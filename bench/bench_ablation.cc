@@ -1,0 +1,160 @@
+// Ablation experiments for the design choices DESIGN.md calls out:
+//   * the AND-contiguity guard (P1/P11) — without it, co-occurring labels
+//     merge into adjacent groups that jump over interleaved content and
+//     the evolved DTD stops validating the very documents it was learned
+//     from;
+//   * old-window operator restriction — tightens DTDs at zero validity
+//     cost for the observed population;
+//   * simplification — smaller DTDs, identical language.
+// Counters: valid_pct (post-evolution validity of the recorded
+// population), dtd_nodes.
+
+#include <benchmark/benchmark.h>
+
+#include "adapt/adapter.h"
+#include "bench_util.h"
+#include "dtd/dtd_parser.h"
+#include "evolve/evolver.h"
+#include "evolve/recorder.h"
+#include "workload/generator.h"
+
+namespace dtdevolve {
+namespace {
+
+/// Interleaved drift population: documents follow the hidden schema
+/// (name, price|sale, description?, image+) while the source only knows
+/// (name, price). `name` and `image` co-occur in every document, so
+/// without the contiguity guard P1 merges them across price/description.
+std::vector<xml::Document> InterleavedDocs(size_t n) {
+  auto hidden = dtd::ParseDtd(R"(
+    <!ELEMENT product (name, (price | sale), description?, image+)>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT price (#PCDATA)>
+    <!ELEMENT sale (#PCDATA)>
+    <!ELEMENT description (#PCDATA)>
+    <!ELEMENT image (#PCDATA)>
+  )");
+  workload::DocumentGenerator generator(*hidden, workload::GeneratorOptions(),
+                                        91);
+  std::vector<xml::Document> docs;
+  for (size_t i = 0; i < n; ++i) docs.push_back(generator.Generate());
+  return docs;
+}
+
+dtd::Dtd StaleProductDtd() {
+  auto dtd = dtd::ParseDtd(R"(
+    <!ELEMENT product (name, price)>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT price (#PCDATA)>
+  )");
+  return std::move(*dtd);
+}
+
+void RunEvolution(benchmark::State& state,
+                  const evolve::EvolutionOptions& options) {
+  std::vector<xml::Document> docs = InterleavedDocs(100);
+  double valid = 0.0;
+  size_t nodes = 0;
+  for (auto _ : state) {
+    evolve::ExtendedDtd ext(StaleProductDtd());
+    evolve::Recorder recorder(ext);
+    for (const auto& doc : docs) recorder.RecordDocument(doc);
+    evolve::EvolveDtd(ext, options);
+    valid = bench::ValidFraction(ext.dtd(), docs);
+    nodes = ext.dtd().TotalNodeCount();
+  }
+  state.counters["valid_pct"] = 100.0 * valid;
+  state.counters["dtd_nodes"] = static_cast<double>(nodes);
+}
+
+void BM_ContiguityGuard_On(benchmark::State& state) {
+  RunEvolution(state, {});
+}
+BENCHMARK(BM_ContiguityGuard_On)->Unit(benchmark::kMillisecond);
+
+void BM_ContiguityGuard_Off(benchmark::State& state) {
+  evolve::EvolutionOptions options;
+  options.contiguity_guard = false;
+  RunEvolution(state, options);
+}
+BENCHMARK(BM_ContiguityGuard_Off)->Unit(benchmark::kMillisecond);
+
+void BM_Simplify_Off(benchmark::State& state) {
+  evolve::EvolutionOptions options;
+  options.simplify = false;
+  RunEvolution(state, options);
+}
+BENCHMARK(BM_Simplify_Off)->Unit(benchmark::kMillisecond);
+
+/// Restriction ablation: a loose DTD, conforming documents. With
+/// restriction the DTD tightens (fewer accepted never-seen shapes) while
+/// staying 100% valid on the population.
+void RunRestriction(benchmark::State& state, bool restrict_operators) {
+  auto loose = dtd::ParseDtd(R"(
+    <!ELEMENT log (entry*)>
+    <!ELEMENT entry (time?, message*)>
+    <!ELEMENT time (#PCDATA)>
+    <!ELEMENT message (#PCDATA)>
+  )");
+  // Documents always carry ≥1 entry, each with time and exactly one
+  // message.
+  std::vector<xml::Document> docs;
+  {
+    auto strict = dtd::ParseDtd(R"(
+      <!ELEMENT log (entry+)>
+      <!ELEMENT entry (time, message)>
+      <!ELEMENT time (#PCDATA)>
+      <!ELEMENT message (#PCDATA)>
+    )");
+    workload::DocumentGenerator generator(*strict,
+                                          workload::GeneratorOptions(), 97);
+    for (int i = 0; i < 100; ++i) docs.push_back(generator.Generate());
+  }
+  double valid = 0.0;
+  size_t nodes = 0;
+  for (auto _ : state) {
+    evolve::ExtendedDtd ext(loose->Clone());
+    evolve::Recorder recorder(ext);
+    for (const auto& doc : docs) recorder.RecordDocument(doc);
+    evolve::EvolutionOptions options;
+    options.restrict_operators = restrict_operators;
+    evolve::EvolveDtd(ext, options);
+    valid = bench::ValidFraction(ext.dtd(), docs);
+    nodes = ext.dtd().TotalNodeCount();
+  }
+  state.counters["valid_pct"] = 100.0 * valid;
+  state.counters["dtd_nodes"] = static_cast<double>(nodes);
+}
+
+void BM_Restriction_On(benchmark::State& state) {
+  RunRestriction(state, true);
+}
+BENCHMARK(BM_Restriction_On)->Unit(benchmark::kMillisecond);
+
+void BM_Restriction_Off(benchmark::State& state) {
+  RunRestriction(state, false);
+}
+BENCHMARK(BM_Restriction_Off)->Unit(benchmark::kMillisecond);
+
+/// Document-adaptation throughput (the §6 adapt extension): mutated
+/// documents repaired per second against the hidden schema.
+void BM_AdaptThroughput(benchmark::State& state) {
+  dtd::Dtd dtd = bench::MailDtd();
+  std::vector<xml::Document> docs =
+      bench::DriftedDocs(dtd, 128, 0.5, /*seed=*/101);
+  size_t i = 0;
+  for (auto _ : state) {
+    xml::Document doc = docs[i % docs.size()].Clone();
+    adapt::AdaptReport report;
+    benchmark::DoNotOptimize(
+        adapt::AdaptDocument(doc, dtd, {}, &report).ok());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_AdaptThroughput);
+
+}  // namespace
+}  // namespace dtdevolve
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Experiments E2 and E10: classification outcome as σ sweeps, and the
+// information loss of validator-only (boolean) classification.
+//
+// Series reported via counters, per σ·100 argument:
+//   classified_pct — documents whose best similarity reached σ,
+//   validator_pct  — documents a rigid validator would accept (E10),
+//   correct_pct    — multi-DTD routing accuracy (best DTD = true origin).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "classify/classifier.h"
+#include "workload/scenarios.h"
+
+namespace dtdevolve {
+namespace {
+
+struct Corpus {
+  std::vector<xml::Document> docs;
+  std::vector<std::string> origin;  // true scenario per document
+  dtd::Dtd bib, catalog, news, forum;
+};
+
+const Corpus& SharedCorpus() {
+  static const Corpus* corpus = [] {
+    auto* c = new Corpus;
+    std::vector<workload::ScenarioStream> scenarios =
+        workload::MakeAllScenarios(3, 60);
+    c->bib = scenarios[0].InitialDtd();
+    c->catalog = scenarios[1].InitialDtd();
+    c->news = scenarios[2].InitialDtd();
+    c->forum = scenarios[3].InitialDtd();
+    for (workload::ScenarioStream& scenario : scenarios) {
+      while (!scenario.Done()) {
+        c->docs.push_back(scenario.Next());
+        c->origin.push_back(scenario.name());
+      }
+    }
+    return c;
+  }();
+  return *corpus;
+}
+
+void BM_SigmaSweep(benchmark::State& state) {
+  const Corpus& corpus = SharedCorpus();
+  const double sigma = static_cast<double>(state.range(0)) / 100.0;
+
+  classify::Classifier classifier(sigma);
+  classifier.AddDtd("bibliography", &corpus.bib);
+  classifier.AddDtd("catalog", &corpus.catalog);
+  classifier.AddDtd("news", &corpus.news);
+  classifier.AddDtd("forum", &corpus.forum);
+
+  validate::Validator bib_validator(corpus.bib);
+  validate::Validator catalog_validator(corpus.catalog);
+  validate::Validator news_validator(corpus.news);
+  validate::Validator forum_validator(corpus.forum);
+
+  size_t classified = 0, correct = 0, validator_ok = 0;
+  for (auto _ : state) {
+    classified = correct = validator_ok = 0;
+    for (size_t i = 0; i < corpus.docs.size(); ++i) {
+      classify::ClassificationOutcome outcome =
+          classifier.Classify(corpus.docs[i]);
+      if (outcome.classified) {
+        ++classified;
+        if (outcome.dtd_name == corpus.origin[i]) ++correct;
+      }
+      if (bib_validator.Validate(corpus.docs[i]).valid ||
+          catalog_validator.Validate(corpus.docs[i]).valid ||
+          news_validator.Validate(corpus.docs[i]).valid ||
+          forum_validator.Validate(corpus.docs[i]).valid) {
+        ++validator_ok;
+      }
+    }
+    benchmark::DoNotOptimize(classified);
+  }
+  const double n = static_cast<double>(corpus.docs.size());
+  state.counters["classified_pct"] = 100.0 * classified / n;
+  state.counters["repository_pct"] = 100.0 * (n - classified) / n;
+  state.counters["validator_pct"] = 100.0 * validator_ok / n;
+  state.counters["correct_pct"] =
+      classified == 0 ? 0.0 : 100.0 * correct / static_cast<double>(classified);
+}
+BENCHMARK(BM_SigmaSweep)
+    ->Arg(10)
+    ->Arg(30)
+    ->Arg(50)
+    ->Arg(70)
+    ->Arg(90)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClassifyOneDocument(benchmark::State& state) {
+  const Corpus& corpus = SharedCorpus();
+  classify::Classifier classifier(0.5);
+  classifier.AddDtd("bibliography", &corpus.bib);
+  classifier.AddDtd("catalog", &corpus.catalog);
+  classifier.AddDtd("news", &corpus.news);
+  classifier.AddDtd("forum", &corpus.forum);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto outcome = classifier.Classify(corpus.docs[i % corpus.docs.size()]);
+    benchmark::DoNotOptimize(outcome.similarity);
+    ++i;
+  }
+}
+BENCHMARK(BM_ClassifyOneDocument);
+
+}  // namespace
+}  // namespace dtdevolve
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Experiment E4: the incremental advantage. The paper's evolution phase
+// runs on recorded aggregates and never re-reads documents; batch
+// inference (XTRACT-style, naive union) must re-read everything. This
+// bench times one re-derivation round for each approach as the number of
+// accumulated documents grows: the evolution phase stays flat (it depends
+// on the number of *distinct structures*), batch grows linearly.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/naive_infer.h"
+#include "baseline/xtract.h"
+#include "bench_util.h"
+#include "evolve/recorder.h"
+#include "evolve/structure_builder.h"
+
+namespace dtdevolve {
+namespace {
+
+struct Prepared {
+  std::vector<xml::Document> docs;
+  evolve::ExtendedDtd ext;
+
+  explicit Prepared(size_t n)
+      : docs(bench::DriftedDocs(bench::MailDtd(), n, 0.4, /*seed=*/23)),
+        ext(bench::MailDtd()) {
+    evolve::Recorder recorder(ext);
+    for (const xml::Document& doc : docs) recorder.RecordDocument(doc);
+  }
+};
+
+void BM_EvolutionPhase_FromAggregates(benchmark::State& state) {
+  Prepared prepared(static_cast<size_t>(state.range(0)));
+  size_t rebuilt = 0;
+  for (auto _ : state) {
+    rebuilt = 0;
+    // The evolution phase proper: derive a structure per element from the
+    // recorded statistics (non-destructive variant of EvolveDtd).
+    for (const auto& [name, stats] : prepared.ext.all_stats()) {
+      evolve::BuildOutcome outcome = evolve::BuildElementStructure(stats);
+      if (outcome.model != nullptr) ++rebuilt;
+      benchmark::DoNotOptimize(outcome.model);
+    }
+  }
+  state.counters["elements_rebuilt"] = static_cast<double>(rebuilt);
+}
+BENCHMARK(BM_EvolutionPhase_FromAggregates)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_XtractBatch_RereadsEverything(benchmark::State& state) {
+  Prepared prepared(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    dtd::Dtd inferred = baseline::InferXtractDtd(prepared.docs, "mail");
+    benchmark::DoNotOptimize(inferred.size());
+  }
+}
+BENCHMARK(BM_XtractBatch_RereadsEverything)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NaiveBatch_RereadsEverything(benchmark::State& state) {
+  Prepared prepared(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    dtd::Dtd inferred = baseline::InferNaiveDtd(prepared.docs, "mail");
+    benchmark::DoNotOptimize(inferred.size());
+  }
+}
+BENCHMARK(BM_NaiveBatch_RereadsEverything)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Recording cost is paid once per document at classification time; this
+// reports the amortized per-document recording cost for context.
+void BM_RecordingAmortized(benchmark::State& state) {
+  std::vector<xml::Document> docs =
+      bench::DriftedDocs(bench::MailDtd(), 512, 0.4, /*seed=*/29);
+  evolve::ExtendedDtd ext(bench::MailDtd());
+  evolve::Recorder recorder(ext);
+  size_t i = 0;
+  for (auto _ : state) {
+    recorder.RecordDocument(docs[i % docs.size()]);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_RecordingAmortized);
+
+}  // namespace
+}  // namespace dtdevolve
+
+BENCHMARK_MAIN();

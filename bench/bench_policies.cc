@@ -1,0 +1,108 @@
+// Experiment E8: which heuristic policies fire under which drift mix, and
+// the OR ablation (§5 contrast with approaches that cannot generate OR).
+// Counters per drift mix: p1..p13 firing counts, and for the ablation the
+// post-evolution validity with and without OR policies.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "evolve/evolver.h"
+#include "evolve/recorder.h"
+#include "xml/parser.h"
+
+namespace dtdevolve {
+namespace {
+
+enum DriftMix : int64_t {
+  kNewElements = 0,   // documents gain consistent new elements
+  kAlternatives = 1,  // mutually exclusive element pairs
+  kRepetition = 2,    // grouped repetition
+  kChaos = 3,         // everything at once
+};
+
+std::vector<xml::Document> MakeMix(int64_t mix) {
+  std::vector<xml::Document> docs;
+  auto doc = [&](const char* text) {
+    auto parsed = xml::ParseDocument(text);
+    docs.push_back(std::move(*parsed));
+  };
+  switch (mix) {
+    case kNewElements:
+      for (int i = 0; i < 20; ++i) {
+        doc("<mail><from>a</from><to>b</to><cc>c</cc><body>x</body>"
+            "<signature>s</signature></mail>");
+      }
+      break;
+    case kAlternatives:
+      for (int i = 0; i < 10; ++i) {
+        doc("<mail><from>a</from><to>b</to><body>x</body></mail>");
+        doc("<mail><from>a</from><list>l</list><body>x</body></mail>");
+      }
+      break;
+    case kRepetition:
+      for (int i = 0; i < 20; ++i) {
+        doc("<mail><from>a</from><to>b</to><part>1</part><note>n</note>"
+            "<part>2</part><note>m</note><body>x</body></mail>");
+      }
+      break;
+    case kChaos:
+    default:
+      for (int i = 0; i < 7; ++i) {
+        doc("<mail><from>a</from><to>b</to><cc>c</cc><cc>d</cc>"
+            "<body>x</body></mail>");
+        doc("<mail><from>a</from><list>l</list><body>x</body>"
+            "<signature>s</signature></mail>");
+        doc("<mail><from>a</from><to>b</to><to>c</to><priority>1"
+            "</priority></mail>");
+      }
+      break;
+  }
+  return docs;
+}
+
+void RunMix(benchmark::State& state, bool enable_or) {
+  std::vector<xml::Document> docs = MakeMix(state.range(0));
+  std::map<int, size_t> fired;
+  double valid = 0.0;
+  for (auto _ : state) {
+    evolve::ExtendedDtd ext(bench::MailDtd());
+    evolve::Recorder recorder(ext);
+    for (const auto& doc : docs) recorder.RecordDocument(doc);
+    evolve::EvolutionOptions options;
+    options.enable_or_policies = enable_or;
+    evolve::EvolutionResult result = evolve::EvolveDtd(ext, options);
+    fired.clear();
+    for (const auto& element : result.elements) {
+      for (const auto& trace : element.trace) ++fired[trace.policy];
+    }
+    valid = bench::ValidFraction(ext.dtd(), docs);
+  }
+  for (const auto& [policy, count] : fired) {
+    state.counters["p" + std::to_string(policy)] =
+        static_cast<double>(count);
+  }
+  state.counters["valid_pct"] = 100.0 * valid;
+}
+
+void BM_PolicyDistribution(benchmark::State& state) {
+  RunMix(state, /*enable_or=*/true);
+}
+BENCHMARK(BM_PolicyDistribution)
+    ->Arg(kNewElements)
+    ->Arg(kAlternatives)
+    ->Arg(kRepetition)
+    ->Arg(kChaos)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PolicyDistribution_NoOr(benchmark::State& state) {
+  RunMix(state, /*enable_or=*/false);
+}
+BENCHMARK(BM_PolicyDistribution_NoOr)
+    ->Arg(kAlternatives)
+    ->Arg(kChaos)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace dtdevolve
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Experiment E1: quality of the obtained DTDs — the evaluation the paper
+// announces in §6 ("assessing the quality of the obtained DTDs"). For a
+// population drifting at each rate, four describers are compared over the
+// whole population:
+//   original  — the initial DTD, untouched;
+//   evolved   — the paper's approach (record + evolve once);
+//   xtract    — XTRACT-style batch re-inference from scratch;
+//   naive     — union-based inference without OR (Moh et al. class).
+// Counters: *_sim (mean structural similarity), *_valid (percent valid),
+// *_nodes (DTD size). Expected shape: evolved ≈ xtract ≫ original; naive
+// close on validity but looser (accepts unseen combinations) and unable
+// to express alternatives.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/naive_infer.h"
+#include "baseline/xtract.h"
+#include "bench_util.h"
+#include "evolve/evolver.h"
+#include "evolve/recorder.h"
+
+namespace dtdevolve {
+namespace {
+
+void BM_QualityVsDrift(benchmark::State& state) {
+  const double drift = static_cast<double>(state.range(0)) / 100.0;
+  dtd::Dtd initial = bench::MailDtd();
+  std::vector<xml::Document> docs =
+      bench::DriftedDocs(initial, 200, drift, /*seed=*/83);
+
+  double original_sim = 0, evolved_sim = 0, xtract_sim = 0, naive_sim = 0;
+  double original_valid = 0, evolved_valid = 0, xtract_valid = 0,
+         naive_valid = 0;
+  size_t evolved_nodes = 0, xtract_nodes = 0, naive_nodes = 0;
+
+  for (auto _ : state) {
+    // The paper's approach.
+    evolve::ExtendedDtd ext(initial.Clone());
+    evolve::Recorder recorder(ext);
+    for (const auto& doc : docs) recorder.RecordDocument(doc);
+    evolve::EvolutionOptions options;
+    options.min_support = 0.05;
+    evolve::EvolveDtd(ext, options);
+
+    // Batch baselines (re-read all documents).
+    dtd::Dtd xtract = baseline::InferXtractDtd(docs, "mail");
+    dtd::Dtd naive = baseline::InferNaiveDtd(docs, "mail");
+
+    original_sim = bench::MeanSimilarity(initial, docs);
+    evolved_sim = bench::MeanSimilarity(ext.dtd(), docs);
+    xtract_sim = bench::MeanSimilarity(xtract, docs);
+    naive_sim = bench::MeanSimilarity(naive, docs);
+    original_valid = bench::ValidFraction(initial, docs);
+    evolved_valid = bench::ValidFraction(ext.dtd(), docs);
+    xtract_valid = bench::ValidFraction(xtract, docs);
+    naive_valid = bench::ValidFraction(naive, docs);
+    evolved_nodes = ext.dtd().TotalNodeCount();
+    xtract_nodes = xtract.TotalNodeCount();
+    naive_nodes = naive.TotalNodeCount();
+  }
+  state.counters["original_sim"] = original_sim;
+  state.counters["evolved_sim"] = evolved_sim;
+  state.counters["xtract_sim"] = xtract_sim;
+  state.counters["naive_sim"] = naive_sim;
+  state.counters["original_valid"] = 100.0 * original_valid;
+  state.counters["evolved_valid"] = 100.0 * evolved_valid;
+  state.counters["xtract_valid"] = 100.0 * xtract_valid;
+  state.counters["naive_valid"] = 100.0 * naive_valid;
+  state.counters["evolved_nodes"] = static_cast<double>(evolved_nodes);
+  state.counters["xtract_nodes"] = static_cast<double>(xtract_nodes);
+  state.counters["naive_nodes"] = static_cast<double>(naive_nodes);
+}
+BENCHMARK(BM_QualityVsDrift)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(75)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dtdevolve
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Experiment E3: the recording phase — throughput of RecordDocument and
+// the storage footprint of the extended DTD as the stream grows, backing
+// the paper's claim that the recorded information is aggregate and cheap
+// ("they do not require much storage space", §2/§3).
+//
+// Counters: bytes (extended-DTD footprint), bytes_per_doc.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "evolve/recorder.h"
+
+namespace dtdevolve {
+namespace {
+
+void BM_RecordDocument(benchmark::State& state) {
+  dtd::Dtd dtd = bench::MailDtd();
+  const double drift = static_cast<double>(state.range(0)) / 100.0;
+  std::vector<xml::Document> docs =
+      bench::DriftedDocs(dtd, 256, drift, /*seed=*/11);
+  evolve::ExtendedDtd ext(dtd.Clone());
+  evolve::Recorder recorder(ext);
+  size_t i = 0;
+  for (auto _ : state) {
+    recorder.RecordDocument(docs[i % docs.size()]);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+  state.counters["divergence"] = ext.MeanDivergence();
+}
+BENCHMARK(BM_RecordDocument)->Arg(0)->Arg(20)->Arg(60);
+
+void BM_ExtendedDtdFootprint(benchmark::State& state) {
+  dtd::Dtd dtd = bench::MailDtd();
+  const size_t num_docs = static_cast<size_t>(state.range(0));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    evolve::ExtendedDtd ext(dtd.Clone());
+    evolve::Recorder recorder(ext);
+    std::vector<xml::Document> docs =
+        bench::DriftedDocs(dtd, num_docs, 0.3, /*seed=*/13);
+    for (const xml::Document& doc : docs) recorder.RecordDocument(doc);
+    bytes = ext.MemoryFootprint();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+  state.counters["bytes_per_doc"] =
+      static_cast<double>(bytes) / static_cast<double>(num_docs);
+}
+BENCHMARK(BM_ExtendedDtdFootprint)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// The recording phase must not grow with the number of *documents* —
+// only with the number of distinct structures. This run feeds identical
+// structure repeatedly and reports the (flat) footprint.
+void BM_FootprintIsAggregate(benchmark::State& state) {
+  dtd::Dtd dtd = bench::MailDtd();
+  const size_t num_docs = static_cast<size_t>(state.range(0));
+  std::vector<xml::Document> docs =
+      bench::DriftedDocs(dtd, 1, 0.5, /*seed=*/17);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    evolve::ExtendedDtd ext(dtd.Clone());
+    evolve::Recorder recorder(ext);
+    for (size_t i = 0; i < num_docs; ++i) {
+      recorder.RecordDocument(docs[0]);
+    }
+    bytes = ext.MemoryFootprint();
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_FootprintIsAggregate)
+    ->Arg(100)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dtdevolve
+
+BENCHMARK_MAIN();

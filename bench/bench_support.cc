@@ -1,0 +1,91 @@
+// Experiment E6: the µ minimum-support threshold — the precision /
+// conciseness trade-off of the mining step (§4.2). A population with one
+// dominant shape plus long-tail noise is evolved at each µ.
+// Counters per µ·100:
+//   dtd_nodes     — size of the evolved DTD (content-model tree nodes),
+//   dominant_valid— post-evolution validity of the dominant shape,
+//   noise_valid   — post-evolution validity of the noise documents.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "evolve/evolver.h"
+#include "evolve/recorder.h"
+
+namespace dtdevolve {
+namespace {
+
+struct Population {
+  std::vector<xml::Document> dominant;
+  std::vector<xml::Document> noise;
+};
+
+Population MakePopulation() {
+  Population population;
+  dtd::Dtd dtd = bench::MailDtd();
+  // Dominant drift: a consistent new `cc` element (insert-only, applied
+  // to every document the same way).
+  {
+    workload::DocumentGenerator generator(dtd, workload::GeneratorOptions(),
+                                          41);
+    for (int i = 0; i < 90; ++i) {
+      xml::Document doc = generator.Generate();
+      auto cc = std::make_unique<xml::Element>("cc");
+      cc->AddText("x");
+      doc.root().children().push_back(std::move(cc));
+      population.dominant.push_back(std::move(doc));
+    }
+  }
+  // Long-tail noise: heavy random damage with many distinct new tags.
+  {
+    workload::DocumentGenerator generator(dtd, workload::GeneratorOptions(),
+                                          43);
+    workload::MutationOptions mutation;
+    mutation.insert_probability = 0.9;
+    mutation.drop_probability = 0.6;
+    mutation.new_tags = {"n1", "n2", "n3", "n4", "n5", "n6"};
+    workload::Mutator mutator(mutation, 47);
+    for (int i = 0; i < 10; ++i) {
+      xml::Document doc = generator.Generate();
+      mutator.Mutate(doc);
+      population.noise.push_back(std::move(doc));
+    }
+  }
+  return population;
+}
+
+void BM_MuSweep(benchmark::State& state) {
+  const double mu = static_cast<double>(state.range(0)) / 100.0;
+  Population population = MakePopulation();
+  size_t nodes = 0;
+  double dominant_valid = 0, noise_valid = 0;
+  for (auto _ : state) {
+    evolve::ExtendedDtd ext(bench::MailDtd());
+    evolve::Recorder recorder(ext);
+    for (const auto& doc : population.dominant) recorder.RecordDocument(doc);
+    for (const auto& doc : population.noise) recorder.RecordDocument(doc);
+    evolve::EvolutionOptions options;
+    options.min_support = mu;
+    options.psi = 0.05;
+    evolve::EvolveDtd(ext, options);
+    nodes = ext.dtd().TotalNodeCount();
+    dominant_valid = bench::ValidFraction(ext.dtd(), population.dominant);
+    noise_valid = bench::ValidFraction(ext.dtd(), population.noise);
+  }
+  state.counters["dtd_nodes"] = static_cast<double>(nodes);
+  state.counters["dominant_valid"] = 100.0 * dominant_valid;
+  state.counters["noise_valid"] = 100.0 * noise_valid;
+}
+BENCHMARK(BM_MuSweep)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(25)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dtdevolve
+
+BENCHMARK_MAIN();

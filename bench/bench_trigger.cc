@@ -1,0 +1,81 @@
+// Experiment E9: the τ activation threshold — how often evolution fires
+// over a drifting stream, and the freshness/cost trade-off (§2: "an
+// obvious trade-off between the frequency and the precision of the
+// evolution process ... and its cost").
+// Counters per τ·100:
+//   evolutions   — rounds triggered over the stream,
+//   final_valid  — validity of the last 50 documents under the final DTD,
+//   mean_sim     — mean classification similarity over the stream.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/source.h"
+#include "workload/scenarios.h"
+
+namespace dtdevolve {
+namespace {
+
+void BM_TauSweep(benchmark::State& state) {
+  const double tau = static_cast<double>(state.range(0)) / 100.0;
+  uint64_t evolutions = 0;
+  double final_valid = 0.0, mean_sim = 0.0;
+  for (auto _ : state) {
+    workload::ScenarioStream scenario =
+        workload::MakeBibliographyScenario(71, 80);
+    core::SourceOptions options;
+    options.sigma = 0.3;
+    options.tau = tau;
+    options.min_documents_before_check = 20;
+    core::XmlSource source(options);
+    source.AddDtd("bib", scenario.InitialDtd());
+
+    std::vector<xml::Document> tail;
+    double sim_sum = 0.0;
+    uint64_t processed = 0;
+    while (!scenario.Done()) {
+      xml::Document doc = scenario.Next();
+      if (scenario.Done() ||
+          processed + 50 >= scenario.total_documents()) {
+        tail.push_back(doc.Clone());
+      }
+      auto outcome = source.Process(std::move(doc));
+      sim_sum += outcome.similarity;
+      ++processed;
+    }
+    evolutions = source.evolutions_performed();
+    const dtd::Dtd* dtd = source.FindDtd("bib");
+    final_valid = bench::ValidFraction(*dtd, tail);
+    mean_sim = sim_sum / static_cast<double>(processed);
+  }
+  state.counters["evolutions"] = static_cast<double>(evolutions);
+  state.counters["final_valid"] = 100.0 * final_valid;
+  state.counters["mean_sim"] = mean_sim;
+}
+BENCHMARK(BM_TauSweep)
+    ->Arg(2)
+    ->Arg(10)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(90)
+    ->Unit(benchmark::kMillisecond);
+
+// The check phase itself must be O(1): it reads two aggregates.
+void BM_CheckPhase(benchmark::State& state) {
+  core::SourceOptions options;
+  options.auto_evolve = false;
+  core::XmlSource source(options);
+  workload::ScenarioStream scenario = workload::MakeNewsScenario(73, 50);
+  source.AddDtd("news", scenario.InitialDtd());
+  while (!scenario.Done()) source.Process(scenario.Next());
+  for (auto _ : state) {
+    auto check = source.Check("news");
+    benchmark::DoNotOptimize(check.divergence);
+  }
+}
+BENCHMARK(BM_CheckPhase);
+
+}  // namespace
+}  // namespace dtdevolve
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+#ifndef DTDEVOLVE_BENCH_BENCH_UTIL_H_
+#define DTDEVOLVE_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment benchmarks (EXPERIMENTS.md E1–E10).
+
+#include <string>
+#include <vector>
+
+#include "dtd/dtd.h"
+#include "dtd/dtd_parser.h"
+#include "similarity/similarity.h"
+#include "validate/validator.h"
+#include "workload/generator.h"
+#include "workload/mutator.h"
+#include "xml/document.h"
+
+namespace dtdevolve::bench {
+
+/// The base DTD most experiments drift away from: a mail archive.
+inline dtd::Dtd MailDtd() {
+  auto dtd = dtd::ParseDtd(R"(
+    <!ELEMENT mail (from, to+, subject?, body)>
+    <!ELEMENT from (#PCDATA)>
+    <!ELEMENT to (#PCDATA)>
+    <!ELEMENT subject (#PCDATA)>
+    <!ELEMENT body (#PCDATA)>
+  )");
+  return std::move(*dtd);
+}
+
+/// Documents generated from `dtd` and damaged with the three §2
+/// regularity classes at `drift` intensity (0 = all valid).
+inline std::vector<xml::Document> DriftedDocs(const dtd::Dtd& dtd, size_t n,
+                                              double drift, uint64_t seed) {
+  workload::DocumentGenerator generator(dtd, workload::GeneratorOptions(),
+                                        seed);
+  workload::MutationOptions mutation;
+  mutation.drop_probability = drift * 0.5;
+  mutation.insert_probability = drift;
+  mutation.duplicate_probability = drift * 0.5;
+  mutation.new_tags = {"cc", "priority"};
+  workload::Mutator mutator(mutation, seed + 1);
+  std::vector<xml::Document> docs;
+  docs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    xml::Document doc = generator.Generate();
+    mutator.Mutate(doc);
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+inline double MeanSimilarity(const dtd::Dtd& dtd,
+                             const std::vector<xml::Document>& docs) {
+  similarity::SimilarityEvaluator evaluator(dtd);
+  double sum = 0.0;
+  for (const xml::Document& doc : docs) {
+    sum += evaluator.DocumentSimilarity(doc);
+  }
+  return docs.empty() ? 0.0 : sum / static_cast<double>(docs.size());
+}
+
+inline double ValidFraction(const dtd::Dtd& dtd,
+                            const std::vector<xml::Document>& docs) {
+  validate::Validator validator(dtd);
+  size_t valid = 0;
+  for (const xml::Document& doc : docs) {
+    if (validator.Validate(doc).valid) ++valid;
+  }
+  return docs.empty() ? 0.0
+                      : static_cast<double>(valid) /
+                            static_cast<double>(docs.size());
+}
+
+}  // namespace dtdevolve::bench
+
+#endif  // DTDEVOLVE_BENCH_BENCH_UTIL_H_

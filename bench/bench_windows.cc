@@ -1,0 +1,83 @@
+// Experiment E5: the ψ window threshold. A population where elements
+// diverge at different rates is recorded, then evolved at each ψ.
+// Counters per ψ·100:
+//   old_pct/misc_pct/new_pct — element-window distribution,
+//   old_docs_valid / cur_docs_valid — post-evolution validity of the
+//     already-conforming documents vs the newly-drifted ones (the
+//     DOC_old/DOC_cur relevance trade-off of §4.1).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "evolve/evolver.h"
+#include "evolve/recorder.h"
+
+namespace dtdevolve {
+namespace {
+
+struct Population {
+  std::vector<xml::Document> old_docs;  // valid for the initial DTD
+  std::vector<xml::Document> cur_docs;  // drifted
+};
+
+Population MakePopulation() {
+  Population population;
+  dtd::Dtd dtd = bench::MailDtd();
+  population.old_docs = bench::DriftedDocs(dtd, 60, 0.0, /*seed=*/31);
+  population.cur_docs = bench::DriftedDocs(dtd, 40, 0.7, /*seed=*/37);
+  return population;
+}
+
+void BM_PsiSweep(benchmark::State& state) {
+  const double psi = static_cast<double>(state.range(0)) / 100.0;
+  Population population = MakePopulation();
+
+  size_t old_count = 0, misc_count = 0, new_count = 0;
+  double old_valid = 0, cur_valid = 0;
+  for (auto _ : state) {
+    evolve::ExtendedDtd ext(bench::MailDtd());
+    evolve::Recorder recorder(ext);
+    for (const auto& doc : population.old_docs) recorder.RecordDocument(doc);
+    for (const auto& doc : population.cur_docs) recorder.RecordDocument(doc);
+
+    evolve::EvolutionOptions options;
+    options.psi = psi;
+    evolve::EvolutionResult result = evolve::EvolveDtd(ext, options);
+
+    old_count = misc_count = new_count = 0;
+    for (const evolve::ElementEvolution& element : result.elements) {
+      switch (element.window) {
+        case evolve::Window::kOld:
+          ++old_count;
+          break;
+        case evolve::Window::kMisc:
+          ++misc_count;
+          break;
+        case evolve::Window::kNew:
+          ++new_count;
+          break;
+      }
+    }
+    old_valid = bench::ValidFraction(ext.dtd(), population.old_docs);
+    cur_valid = bench::ValidFraction(ext.dtd(), population.cur_docs);
+  }
+  const double total =
+      static_cast<double>(old_count + misc_count + new_count);
+  state.counters["old_pct"] = total == 0 ? 0 : 100.0 * old_count / total;
+  state.counters["misc_pct"] = total == 0 ? 0 : 100.0 * misc_count / total;
+  state.counters["new_pct"] = total == 0 ? 0 : 100.0 * new_count / total;
+  state.counters["old_docs_valid"] = 100.0 * old_valid;
+  state.counters["cur_docs_valid"] = 100.0 * cur_valid;
+}
+BENCHMARK(BM_PsiSweep)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(25)
+    ->Arg(40)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dtdevolve
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Schema migration: the complete §6 loop through the public API.
+//
+//  1. A source ingests an XML *Schema* (converted to a DTD internally).
+//  2. Drifted documents are classified and recorded; a trigger-language
+//     rule fires the evolution.
+//  3. The already-stored documents are *adapted* to the evolved DTD.
+//  4. The evolved DTD is exported back as an XML Schema.
+//
+//   $ ./schema_migration
+
+#include <cstdio>
+
+#include "adapt/adapter.h"
+#include "core/source.h"
+#include "dtd/dtd_writer.h"
+#include "validate/validator.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xsd/from_dtd.h"
+#include "xsd/parser.h"
+#include "xsd/to_dtd.h"
+#include "xsd/writer.h"
+
+int main() {
+  using namespace dtdevolve;  // example code; the library never does this
+
+  // 1. The incoming contract is an XML Schema.
+  const char* schema_text = R"(<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="order">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element ref="customer"/>
+        <xs:element ref="item" maxOccurs="unbounded"/>
+        <xs:element ref="total"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="customer" type="xs:string"/>
+  <xs:element name="item" type="xs:string"/>
+  <xs:element name="total" type="xs:string"/>
+</xs:schema>)";
+
+  StatusOr<xsd::Schema> schema = xsd::ParseSchema(schema_text);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "%s\n", schema.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<dtd::Dtd> initial = xsd::ToDtd(*schema);
+  if (!initial.ok()) return 1;
+  std::printf("== ingested schema as DTD ==\n%s\n",
+              dtd::WriteDtd(*initial).c_str());
+
+  // 2. Feed drifted documents; a trigger rule governs evolution.
+  core::SourceOptions options;
+  options.sigma = 0.3;
+  core::XmlSource source(options);
+  if (!source.AddDtd("order", std::move(*initial)).ok()) return 1;
+  if (!source
+           .AddTriggerRule("ON order WHEN divergence > 0.15 AND "
+                           "documents >= 10 EVOLVE WITH psi = 0.05")
+           .ok()) {
+    return 1;
+  }
+
+  // New reality: orders carry a shipping block and an optional coupon.
+  const char* drifted[] = {
+      "<order><customer>c</customer><item>i1</item><item>i2</item>"
+      "<shipping><address>a</address></shipping><total>9</total></order>",
+      "<order><customer>c</customer><item>i1</item>"
+      "<shipping><address>a</address></shipping><coupon>X</coupon>"
+      "<total>5</total></order>",
+  };
+  for (int round = 0; round < 8; ++round) {
+    for (const char* text : drifted) {
+      auto outcome = source.ProcessText(text);
+      if (outcome.ok() && outcome->evolved) {
+        std::printf("-- trigger rule fired at document %llu --\n",
+                    static_cast<unsigned long long>(
+                        source.documents_processed()));
+      }
+    }
+  }
+  const dtd::Dtd& evolved = *source.FindDtd("order");
+  std::printf("\n== evolved DTD ==\n%s\n", dtd::WriteDtd(evolved).c_str());
+
+  // 3. Adapt a legacy document (no shipping block) to the evolved DTD.
+  StatusOr<xml::Document> legacy = xml::ParseDocument(
+      "<order><customer>old</customer><item>i</item><total>1</total>"
+      "</order>");
+  adapt::AdaptOptions adapt_options;
+  adapt_options.placeholder_text = "TBD";
+  adapt::AdaptReport report;
+  if (!adapt::AdaptDocument(*legacy, evolved, adapt_options, &report).ok()) {
+    return 1;
+  }
+  validate::Validator validator(evolved);
+  std::printf("== legacy document adapted (%llu inserted) — now %s ==\n%s\n",
+              static_cast<unsigned long long>(report.children_inserted),
+              validator.Validate(*legacy).valid ? "valid" : "INVALID",
+              xml::WriteElement(legacy->root()).c_str());
+
+  // 4. Export the evolved DTD back as an XML Schema.
+  std::printf("\n== evolved schema ==\n%s",
+              xsd::WriteSchema(xsd::FromDtd(evolved)).c_str());
+  return 0;
+}

@@ -1,0 +1,256 @@
+#include "adapt/adapter.h"
+
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "similarity/matcher.h"
+#include "validate/validator.h"
+
+namespace dtdevolve::adapt {
+
+namespace {
+
+using Kind = dtd::ContentModel::Kind;
+
+/// Minimum number of required element leaves to satisfy a model.
+size_t MinSize(const dtd::ContentModel& model) {
+  switch (model.kind()) {
+    case Kind::kName:
+      return 1;
+    case Kind::kPcdata:
+    case Kind::kAny:
+    case Kind::kEmpty:
+      return 0;
+    case Kind::kAnd: {
+      size_t total = 0;
+      for (const auto& child : model.children()) total += MinSize(*child);
+      return total;
+    }
+    case Kind::kOr: {
+      size_t best = std::numeric_limits<size_t>::max();
+      for (const auto& child : model.children()) {
+        best = std::min(best, MinSize(*child));
+      }
+      return best;
+    }
+    case Kind::kOptional:
+    case Kind::kStar:
+      return 0;
+    case Kind::kPlus:
+      return MinSize(model.child());
+  }
+  return 0;
+}
+
+void EmitMinimal(const dtd::ContentModel& model, const dtd::Dtd& dtd,
+                 const AdaptOptions& options, int depth,
+                 xml::Element& parent);
+
+std::unique_ptr<xml::Element> MinimalElementRec(const dtd::Dtd& dtd,
+                                                const std::string& name,
+                                                const AdaptOptions& options,
+                                                int depth) {
+  auto element = std::make_unique<xml::Element>(name);
+  const dtd::ElementDecl* decl = dtd.FindElement(name);
+  if (decl != nullptr && decl->content != nullptr && depth < 32) {
+    EmitMinimal(*decl->content, dtd, options, depth + 1, *element);
+  }
+  return element;
+}
+
+void EmitMinimal(const dtd::ContentModel& model, const dtd::Dtd& dtd,
+                 const AdaptOptions& options, int depth,
+                 xml::Element& parent) {
+  switch (model.kind()) {
+    case Kind::kName:
+      parent.AddChild(MinimalElementRec(dtd, model.name(), options, depth));
+      return;
+    case Kind::kPcdata:
+      if (!options.placeholder_text.empty()) {
+        parent.AddText(options.placeholder_text);
+      }
+      return;
+    case Kind::kAny:
+    case Kind::kEmpty:
+      return;
+    case Kind::kAnd:
+      for (const auto& child : model.children()) {
+        EmitMinimal(*child, dtd, options, depth, parent);
+      }
+      return;
+    case Kind::kOr: {
+      const dtd::ContentModel* best = model.children().front().get();
+      size_t best_size = MinSize(*best);
+      for (const auto& child : model.children()) {
+        size_t size = MinSize(*child);
+        if (size < best_size) {
+          best = child.get();
+          best_size = size;
+        }
+      }
+      EmitMinimal(*best, dtd, options, depth, parent);
+      return;
+    }
+    case Kind::kOptional:
+    case Kind::kStar:
+      return;  // minimal: skip optional content
+    case Kind::kPlus:
+      EmitMinimal(model.child(), dtd, options, depth, parent);
+      return;
+  }
+}
+
+/// Adapts one element's direct content to its declaration (no recursion):
+/// replays the optimal alignment path — matches keep their nodes, minus
+/// events are satisfied by moving a misplaced (plus) child of the same
+/// tag or by synthesizing a minimal element, plus events drop the child.
+void AdaptOneLevel(xml::Element& element, const dtd::Dtd& dtd,
+                   const dtd::Automaton& automaton,
+                   const AdaptOptions& options, AdaptReport& report) {
+  if (automaton.is_any()) return;
+
+  std::vector<std::string> symbols = validate::ContentSymbols(element);
+  similarity::MatchResult aligned = similarity::AlignChildren(
+      automaton, symbols, [&](size_t i, const std::string& label) {
+        return symbols[i] == label ? 1.0 : -1.0;
+      });
+
+  auto& children = element.children();
+  std::vector<std::unique_ptr<xml::Node>> old_children = std::move(children);
+  children.clear();
+
+  // Node indices per symbol (one #PCDATA symbol spans consecutive text
+  // nodes; blank text nodes are dropped silently).
+  std::vector<std::vector<size_t>> symbol_nodes;
+  {
+    bool in_text = false;
+    for (size_t n = 0; n < old_children.size(); ++n) {
+      const xml::Node& node = *old_children[n];
+      if (node.is_element()) {
+        symbol_nodes.push_back({n});
+        in_text = false;
+      } else {
+        const auto& text = static_cast<const xml::Text&>(node);
+        if (text.value().find_first_not_of(" \t\r\n") == std::string::npos) {
+          continue;
+        }
+        if (in_text) {
+          symbol_nodes.back().push_back(n);
+        } else {
+          symbol_nodes.push_back({n});
+          in_text = true;
+        }
+      }
+    }
+  }
+
+  // Plus children by tag, available for moves.
+  std::map<std::string, std::vector<size_t>> misplaced;
+  for (const similarity::PathEvent& event : aligned.events) {
+    if (event.kind != similarity::PathEvent::Kind::kPlus) continue;
+    size_t node = symbol_nodes[event.child_index].front();
+    if (old_children[node]->is_element()) {
+      misplaced[old_children[node]->AsElement().tag()].push_back(node);
+    }
+  }
+
+  std::vector<bool> consumed(old_children.size(), false);
+  for (const similarity::PathEvent& event : aligned.events) {
+    switch (event.kind) {
+      case similarity::PathEvent::Kind::kMatch:
+        for (size_t node : symbol_nodes[event.child_index]) {
+          consumed[node] = true;
+          children.push_back(std::move(old_children[node]));
+        }
+        break;
+      case similarity::PathEvent::Kind::kPlus:
+        break;  // resolved below (dropped, kept, or moved)
+      case similarity::PathEvent::Kind::kMinus: {
+        const std::string& label = automaton.LabelOfPosition(event.position);
+        if (label == dtd::kPcdataSymbol) {
+          if (!options.placeholder_text.empty()) {
+            element.AddText(options.placeholder_text);
+          }
+          break;
+        }
+        bool moved = false;
+        if (options.move_misplaced) {
+          auto it = misplaced.find(label);
+          if (it != misplaced.end()) {
+            while (!it->second.empty() && !moved) {
+              size_t node = it->second.front();
+              it->second.erase(it->second.begin());
+              if (!consumed[node]) {
+                consumed[node] = true;
+                children.push_back(std::move(old_children[node]));
+                ++report.children_moved;
+                moved = true;
+              }
+            }
+          }
+        }
+        if (!moved && options.insert_missing) {
+          children.push_back(MinimalElementRec(dtd, label, options, 0));
+          ++report.children_inserted;
+        }
+        break;
+      }
+    }
+  }
+
+  // Whatever was neither matched nor moved: drop, or keep at the end.
+  for (size_t n = 0; n < old_children.size(); ++n) {
+    if (consumed[n] || old_children[n] == nullptr) continue;
+    if (!old_children[n]->is_element()) continue;  // stray text dropped
+    if (options.drop_unknown) {
+      ++report.children_dropped;
+    } else {
+      children.push_back(std::move(old_children[n]));
+    }
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<xml::Element> MinimalElement(const dtd::Dtd& dtd,
+                                             const std::string& name,
+                                             const AdaptOptions& options) {
+  return MinimalElementRec(dtd, name, options, 0);
+}
+
+Status AdaptElement(xml::Element& element, const dtd::Dtd& dtd,
+                    const AdaptOptions& options, AdaptReport* report) {
+  AdaptReport local;
+  AdaptReport& r = report != nullptr ? *report : local;
+
+  const dtd::ElementDecl* decl = dtd.FindElement(element.tag());
+  if (decl == nullptr || decl->content == nullptr) {
+    return Status::NotFound("element '" + element.tag() +
+                            "' has no declaration");
+  }
+  ++r.elements_visited;
+  dtd::Automaton automaton = dtd::Automaton::Build(*decl->content);
+  AdaptOneLevel(element, dtd, automaton, options, r);
+  for (xml::Element* child : element.ChildElements()) {
+    if (dtd.HasElement(child->tag())) {
+      DTDEVOLVE_RETURN_IF_ERROR(AdaptElement(*child, dtd, options, &r));
+    }
+  }
+  return Status::Ok();
+}
+
+Status AdaptDocument(xml::Document& doc, const dtd::Dtd& dtd,
+                     const AdaptOptions& options, AdaptReport* report) {
+  if (!doc.has_root()) {
+    return Status::FailedPrecondition("document has no root element");
+  }
+  if (!dtd.HasElement(doc.root().tag())) {
+    return Status::NotFound("root element '" + doc.root().tag() +
+                            "' has no declaration");
+  }
+  return AdaptElement(doc.root(), dtd, options, report);
+}
+
+}  // namespace dtdevolve::adapt

@@ -1,0 +1,68 @@
+#ifndef DTDEVOLVE_ADAPT_ADAPTER_H_
+#define DTDEVOLVE_ADAPT_ADAPTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dtd/dtd.h"
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace dtdevolve::adapt {
+
+/// Options of the document adapter.
+struct AdaptOptions {
+  /// Remove child elements the declaration does not admit (*plus*
+  /// components). When false, unknown children are kept and the adapted
+  /// document may stay invalid.
+  bool drop_unknown = true;
+  /// Create elements the declaration requires but the document misses
+  /// (*minus* components), with minimal valid content.
+  bool insert_missing = true;
+  /// Reuse a dropped child of tag `l` to satisfy a required `l` elsewhere
+  /// in the content — turning an order violation into a move instead of a
+  /// delete + synthesize.
+  bool move_misplaced = true;
+  /// Text content given to synthesized #PCDATA elements.
+  std::string placeholder_text;
+};
+
+/// What the adapter did, for reporting and tests.
+struct AdaptReport {
+  uint64_t elements_visited = 0;
+  uint64_t children_dropped = 0;
+  uint64_t children_moved = 0;
+  uint64_t children_inserted = 0;
+  bool changed() const {
+    return children_dropped + children_moved + children_inserted > 0;
+  }
+};
+
+/// The §6 open problem made concrete: "how to adapt documents, already
+/// stored in the source, to the new structure prescribed by the evolved
+/// set of DTDs". Each element's children are aligned against its
+/// (evolved) declaration with the similarity matcher; matched children
+/// stay, plus children are dropped (or moved to satisfy a missing
+/// occurrence of the same tag), minus components are synthesized with
+/// minimal valid content. With all options on, the adapted document is
+/// valid for `dtd` (asserted by property tests).
+Status AdaptElement(xml::Element& element, const dtd::Dtd& dtd,
+                    const AdaptOptions& options, AdaptReport* report);
+
+/// Whole-document variant; fails with NotFound when the root element has
+/// no declaration.
+Status AdaptDocument(xml::Document& doc, const dtd::Dtd& dtd,
+                     const AdaptOptions& options = {},
+                     AdaptReport* report = nullptr);
+
+/// Builds a minimal valid instance of `name` per its declaration in
+/// `dtd`: optional particles are skipped, the smallest alternative of
+/// every choice is taken, `+` emits one occurrence. Used by the adapter
+/// for minus components; exposed for tests and tooling.
+std::unique_ptr<xml::Element> MinimalElement(const dtd::Dtd& dtd,
+                                             const std::string& name,
+                                             const AdaptOptions& options = {});
+
+}  // namespace dtdevolve::adapt
+
+#endif  // DTDEVOLVE_ADAPT_ADAPTER_H_

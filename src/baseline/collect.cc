@@ -1,0 +1,38 @@
+#include "baseline/collect.h"
+
+namespace dtdevolve::baseline {
+
+namespace {
+
+void Walk(const xml::Element& element,
+          std::map<std::string, TagContent>& out) {
+  TagContent& content = out[element.tag()];
+  ++content.instances;
+  if (element.HasTextContent()) ++content.text_instances;
+  ++content.sequences[element.ChildTagSequence()];
+  for (const xml::Element* child : element.ChildElements()) {
+    Walk(*child, out);
+  }
+}
+
+}  // namespace
+
+std::map<std::string, TagContent> CollectTagContent(
+    const std::vector<const xml::Element*>& roots) {
+  std::map<std::string, TagContent> out;
+  for (const xml::Element* root : roots) {
+    if (root != nullptr) Walk(*root, out);
+  }
+  return out;
+}
+
+std::map<std::string, TagContent> CollectTagContent(
+    const std::vector<xml::Document>& docs) {
+  std::map<std::string, TagContent> out;
+  for (const xml::Document& doc : docs) {
+    if (doc.has_root()) Walk(doc.root(), out);
+  }
+  return out;
+}
+
+}  // namespace dtdevolve::baseline

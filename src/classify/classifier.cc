@@ -1,0 +1,68 @@
+#include "classify/classifier.h"
+
+#include <cassert>
+
+namespace dtdevolve::classify {
+
+Classifier::Classifier(double sigma, similarity::SimilarityOptions options)
+    : sigma_(sigma), options_(options) {}
+
+void Classifier::AddDtd(const std::string& name, const dtd::Dtd* dtd) {
+  assert(dtd != nullptr);
+  dtds_[name] = dtd;
+  evaluators_.erase(name);
+}
+
+bool Classifier::RemoveDtd(const std::string& name) {
+  evaluators_.erase(name);
+  return dtds_.erase(name) > 0;
+}
+
+void Classifier::Invalidate(const std::string& name) {
+  evaluators_.erase(name);
+}
+
+void Classifier::InvalidateAll() { evaluators_.clear(); }
+
+std::vector<std::string> Classifier::DtdNames() const {
+  std::vector<std::string> names;
+  names.reserve(dtds_.size());
+  for (const auto& [name, dtd] : dtds_) names.push_back(name);
+  return names;
+}
+
+const similarity::SimilarityEvaluator& Classifier::EvaluatorFor(
+    const std::string& name) const {
+  auto it = evaluators_.find(name);
+  if (it == evaluators_.end()) {
+    it = evaluators_
+             .emplace(name, std::make_unique<similarity::SimilarityEvaluator>(
+                                *dtds_.at(name), options_))
+             .first;
+  }
+  return *it->second;
+}
+
+ClassificationOutcome Classifier::Classify(const xml::Document& doc) const {
+  ClassificationOutcome outcome;
+  for (const auto& [name, dtd] : dtds_) {
+    double score = EvaluatorFor(name).DocumentSimilarity(doc);
+    outcome.scores.emplace_back(name, score);
+    if (score > outcome.similarity ||
+        (outcome.dtd_name.empty() && outcome.scores.size() == 1)) {
+      outcome.similarity = score;
+      outcome.dtd_name = name;
+    }
+  }
+  outcome.classified =
+      !outcome.dtd_name.empty() && outcome.similarity >= sigma_;
+  return outcome;
+}
+
+double Classifier::Similarity(const xml::Document& doc,
+                              const std::string& name) const {
+  if (dtds_.find(name) == dtds_.end()) return 0.0;
+  return EvaluatorFor(name).DocumentSimilarity(doc);
+}
+
+}  // namespace dtdevolve::classify

@@ -1,0 +1,79 @@
+#ifndef DTDEVOLVE_CLASSIFY_CLASSIFIER_H_
+#define DTDEVOLVE_CLASSIFY_CLASSIFIER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dtd/dtd.h"
+#include "similarity/similarity.h"
+#include "xml/document.h"
+
+namespace dtdevolve::classify {
+
+/// Outcome of classifying one document against the DTD set.
+struct ClassificationOutcome {
+  /// True when the best similarity reached the threshold σ.
+  bool classified = false;
+  /// Name of the best-matching DTD (meaningful even when unclassified,
+  /// unless the set is empty).
+  std::string dtd_name;
+  /// Best similarity value.
+  double similarity = 0.0;
+  /// Similarity against every DTD in the set, for analysis.
+  std::vector<std::pair<std::string, double>> scores;
+};
+
+/// Classifies documents against a *set of DTDs* (§2): each document is
+/// matched against every DTD with the structural-similarity measure; it
+/// becomes an instance of the best-scoring DTD when that score is ≥ σ,
+/// and is otherwise left to the repository of unclassified documents.
+///
+/// The classifier holds non-owning pointers to the DTDs; call
+/// `Invalidate` after a DTD object changes (e.g. after evolution) so the
+/// cached evaluator is rebuilt.
+class Classifier {
+ public:
+  explicit Classifier(double sigma,
+                      similarity::SimilarityOptions options = {});
+
+  Classifier(const Classifier&) = delete;
+  Classifier& operator=(const Classifier&) = delete;
+
+  double sigma() const { return sigma_; }
+  void set_sigma(double sigma) { sigma_ = sigma; }
+
+  /// Registers (or re-registers) a DTD under `name`. The pointee must
+  /// outlive the classifier or its next `Invalidate(name)`.
+  void AddDtd(const std::string& name, const dtd::Dtd* dtd);
+  /// Removes a DTD from the set; returns false when unknown.
+  bool RemoveDtd(const std::string& name);
+  /// Drops the cached evaluator of `name` (the DTD object changed).
+  void Invalidate(const std::string& name);
+  void InvalidateAll();
+
+  std::vector<std::string> DtdNames() const;
+  size_t size() const { return dtds_.size(); }
+
+  /// Classifies `doc` against every registered DTD.
+  ClassificationOutcome Classify(const xml::Document& doc) const;
+
+  /// Similarity of `doc` against one registered DTD (0 when unknown).
+  double Similarity(const xml::Document& doc, const std::string& name) const;
+
+ private:
+  const similarity::SimilarityEvaluator& EvaluatorFor(
+      const std::string& name) const;
+
+  double sigma_;
+  similarity::SimilarityOptions options_;
+  std::map<std::string, const dtd::Dtd*> dtds_;
+  mutable std::map<std::string, std::unique_ptr<similarity::SimilarityEvaluator>>
+      evaluators_;
+};
+
+}  // namespace dtdevolve::classify
+
+#endif  // DTDEVOLVE_CLASSIFY_CLASSIFIER_H_

@@ -1,0 +1,27 @@
+#include "classify/repository.h"
+
+#include <utility>
+
+namespace dtdevolve::classify {
+
+int Repository::Add(xml::Document doc) {
+  int id = next_id_++;
+  docs_.emplace(id, std::move(doc));
+  return id;
+}
+
+std::vector<int> Repository::Ids() const {
+  std::vector<int> ids;
+  ids.reserve(docs_.size());
+  for (const auto& [id, doc] : docs_) ids.push_back(id);
+  return ids;
+}
+
+xml::Document Repository::Take(int id) {
+  auto it = docs_.find(id);
+  xml::Document doc = std::move(it->second);
+  docs_.erase(it);
+  return doc;
+}
+
+}  // namespace dtdevolve::classify

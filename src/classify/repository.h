@@ -1,0 +1,45 @@
+#ifndef DTDEVOLVE_CLASSIFY_REPOSITORY_H_
+#define DTDEVOLVE_CLASSIFY_REPOSITORY_H_
+
+#include <map>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace dtdevolve::classify {
+
+/// The repository of unclassified documents (§2): documents whose best
+/// similarity stayed below σ wait here and are re-classified after every
+/// evolution round.
+class Repository {
+ public:
+  Repository() = default;
+
+  Repository(const Repository&) = delete;
+  Repository& operator=(const Repository&) = delete;
+
+  /// Stores a document; returns its repository id.
+  int Add(xml::Document doc);
+
+  size_t size() const { return docs_.size(); }
+  bool empty() const { return docs_.empty(); }
+
+  /// Ids of all stored documents, ascending.
+  std::vector<int> Ids() const;
+
+  /// Must be called with a valid id.
+  const xml::Document& Get(int id) const { return docs_.at(id); }
+
+  /// Removes the document and returns it; must be called with a valid id.
+  xml::Document Take(int id);
+
+  void Clear() { docs_.clear(); }
+
+ private:
+  int next_id_ = 0;
+  std::map<int, xml::Document> docs_;
+};
+
+}  // namespace dtdevolve::classify
+
+#endif  // DTDEVOLVE_CLASSIFY_REPOSITORY_H_

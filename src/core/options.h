@@ -1,0 +1,42 @@
+#ifndef DTDEVOLVE_CORE_OPTIONS_H_
+#define DTDEVOLVE_CORE_OPTIONS_H_
+
+#include <cstddef>
+
+#include "evolve/evolver.h"
+#include "similarity/similarity.h"
+
+namespace dtdevolve::core {
+
+/// All thresholds and knobs of the evolution process (Fig. 1), gathered
+/// in one place:
+///   σ — classification threshold (initialization phase),
+///   τ — evolution activation threshold (check phase),
+///   ψ — window threshold and µ — minimum sequence support (evolution
+///       phase, inside `evolution`).
+struct SourceOptions {
+  /// Similarity a document must reach against some DTD to be classified;
+  /// below it the document goes to the repository.
+  double sigma = 0.5;
+  /// Mean per-document divergence that triggers evolution of a DTD.
+  double tau = 0.2;
+  /// Run the check phase after every classification and evolve
+  /// automatically when it fires.
+  bool auto_evolve = true;
+  /// The check phase never fires before this many documents were
+  /// classified into the DTD ("after a certain number of documents").
+  size_t min_documents_before_check = 10;
+  /// Keep classified documents in memory (experiments re-validate them
+  /// after evolution; a production deployment would store them in the
+  /// database instead).
+  bool keep_documents = true;
+  /// Re-classify repository documents automatically after an evolution.
+  bool reclassify_after_evolution = true;
+
+  evolve::EvolutionOptions evolution;
+  similarity::SimilarityOptions similarity;
+};
+
+}  // namespace dtdevolve::core
+
+#endif  // DTDEVOLVE_CORE_OPTIONS_H_

@@ -1,0 +1,57 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+#include "evolve/windows.h"
+
+namespace dtdevolve::core {
+
+std::string FormatEvolution(const evolve::EvolutionResult& result) {
+  std::string out;
+  char line[256];
+  for (const evolve::ElementEvolution& element : result.elements) {
+    std::snprintf(line, sizeof(line), "%-12s window=%-4s I=%.3f n=%llu %s",
+                  element.name.c_str(),
+                  evolve::WindowName(element.window).c_str(),
+                  element.invalidity,
+                  static_cast<unsigned long long>(element.instances),
+                  element.changed ? "CHANGED" : "kept");
+    out += line;
+    out += '\n';
+    if (element.changed) {
+      out += "  old: " + element.old_model + "\n";
+      out += "  new: " + element.new_model + "\n";
+    }
+    for (const evolve::PolicyTrace& trace : element.trace) {
+      std::snprintf(line, sizeof(line), "  policy %2d: %s", trace.policy,
+                    trace.description.c_str());
+      out += line;
+      out += '\n';
+    }
+  }
+  if (!result.added_declarations.empty()) {
+    out += "  added declarations:";
+    for (const std::string& name : result.added_declarations) {
+      out += ' ';
+      out += name;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string EventKindName(SourceEvent::Kind kind) {
+  switch (kind) {
+    case SourceEvent::Kind::kClassified:
+      return "classified";
+    case SourceEvent::Kind::kUnclassified:
+      return "unclassified";
+    case SourceEvent::Kind::kEvolved:
+      return "evolved";
+    case SourceEvent::Kind::kReclassified:
+      return "reclassified";
+  }
+  return "?";
+}
+
+}  // namespace dtdevolve::core

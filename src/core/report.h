@@ -1,0 +1,38 @@
+#ifndef DTDEVOLVE_CORE_REPORT_H_
+#define DTDEVOLVE_CORE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "evolve/evolver.h"
+
+namespace dtdevolve::core {
+
+/// One entry of the source's event log.
+struct SourceEvent {
+  enum class Kind {
+    kClassified,    // document became an instance of `dtd_name`
+    kUnclassified,  // document went to the repository
+    kEvolved,       // `dtd_name` was evolved; detail has the summary
+    kReclassified,  // a repository document was classified after evolution
+  };
+
+  Kind kind = Kind::kClassified;
+  std::string dtd_name;
+  double similarity = 0.0;
+  uint64_t document_index = 0;  // processing order, 0-based
+  std::string detail;
+};
+
+/// Human-readable multi-line summary of an evolution round: per-element
+/// window, invalidity, old → new declaration, fired policies, added
+/// declarations.
+std::string FormatEvolution(const evolve::EvolutionResult& result);
+
+/// Short name of an event kind for logs.
+std::string EventKindName(SourceEvent::Kind kind);
+
+}  // namespace dtdevolve::core
+
+#endif  // DTDEVOLVE_CORE_REPORT_H_

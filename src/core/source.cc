@@ -1,0 +1,207 @@
+#include "core/source.h"
+
+#include <utility>
+
+#include "dtd/dtd_parser.h"
+#include "xml/parser.h"
+
+namespace dtdevolve::core {
+
+XmlSource::XmlSource(SourceOptions options)
+    : options_(std::move(options)),
+      classifier_(options_.sigma, options_.similarity) {}
+
+Status XmlSource::AddDtd(const std::string& name, dtd::Dtd dtd) {
+  if (dtds_.find(name) != dtds_.end()) {
+    return Status::AlreadyExists("DTD '" + name + "' already registered");
+  }
+  DTDEVOLVE_RETURN_IF_ERROR(dtd.Check());
+  auto [it, inserted] =
+      dtds_.emplace(name, evolve::ExtendedDtd(std::move(dtd)));
+  classifier_.AddDtd(name, &it->second.dtd());
+  recorders_.emplace(name,
+                     std::make_unique<evolve::Recorder>(it->second));
+  instances_.emplace(name, std::vector<xml::Document>());
+  return Status::Ok();
+}
+
+Status XmlSource::AddDtdText(const std::string& name,
+                             std::string_view dtd_text, std::string root) {
+  StatusOr<dtd::Dtd> parsed = dtd::ParseDtd(dtd_text, std::move(root));
+  if (!parsed.ok()) return parsed.status();
+  return AddDtd(name, std::move(parsed).value());
+}
+
+XmlSource::ProcessOutcome XmlSource::Process(xml::Document doc) {
+  ProcessOutcome outcome;
+  const uint64_t index = documents_processed_++;
+
+  classify::ClassificationOutcome classification = classifier_.Classify(doc);
+  outcome.dtd_name = classification.dtd_name;
+  outcome.similarity = classification.similarity;
+
+  if (!classification.classified) {
+    repository_.Add(std::move(doc));
+    events_.push_back({SourceEvent::Kind::kUnclassified,
+                       classification.dtd_name, classification.similarity,
+                       index, ""});
+    return outcome;
+  }
+
+  outcome.classified = true;
+  ++documents_classified_;
+  const std::string& name = classification.dtd_name;
+  evolve::ExtendedDtd& ext = dtds_.at(name);
+  recorders_.at(name)->RecordDocument(doc);
+  if (options_.keep_documents) {
+    instances_.at(name).push_back(std::move(doc));
+  }
+  events_.push_back({SourceEvent::Kind::kClassified, name,
+                     classification.similarity, index, ""});
+
+  if (!trigger_rules_.empty()) {
+    // The trigger language replaces the plain τ check.
+    TriggerMetrics metrics = MetricsFor(name);
+    for (const TriggerRule& rule : trigger_rules_) {
+      if (!rule.AppliesTo(name) || !rule.Evaluate(metrics)) continue;
+      evolve::EvolutionResult result =
+          evolve::EvolveDtd(ext, rule.OptionsOver(options_.evolution));
+      AfterEvolution(name, result);
+      outcome.evolved = true;
+      if (options_.reclassify_after_evolution) {
+        outcome.reclassified = ReclassifyRepository();
+      }
+      break;
+    }
+  } else if (options_.auto_evolve &&
+             ext.documents_recorded() >=
+                 options_.min_documents_before_check) {
+    evolve::CheckResult check =
+        evolve::CheckEvolutionTrigger(ext, options_.tau);
+    if (check.should_evolve) {
+      evolve::EvolutionResult result =
+          evolve::EvolveDtd(ext, options_.evolution);
+      AfterEvolution(name, result);
+      outcome.evolved = true;
+      if (options_.reclassify_after_evolution) {
+        outcome.reclassified = ReclassifyRepository();
+      }
+    }
+  }
+  return outcome;
+}
+
+StatusOr<XmlSource::ProcessOutcome> XmlSource::ProcessText(
+    std::string_view xml_text) {
+  StatusOr<xml::Document> doc = xml::ParseDocument(xml_text);
+  if (!doc.ok()) return doc.status();
+  return Process(std::move(doc).value());
+}
+
+void XmlSource::AfterEvolution(const std::string& name,
+                               const evolve::EvolutionResult& result) {
+  ++evolutions_performed_;
+  classifier_.Invalidate(name);
+  recorders_[name] =
+      std::make_unique<evolve::Recorder>(dtds_.at(name));
+  events_.push_back({SourceEvent::Kind::kEvolved, name, 0.0,
+                     documents_processed_ == 0 ? 0 : documents_processed_ - 1,
+                     FormatEvolution(result)});
+}
+
+std::vector<std::string> XmlSource::DtdNames() const {
+  std::vector<std::string> names;
+  names.reserve(dtds_.size());
+  for (const auto& [name, ext] : dtds_) names.push_back(name);
+  return names;
+}
+
+const dtd::Dtd* XmlSource::FindDtd(const std::string& name) const {
+  auto it = dtds_.find(name);
+  return it == dtds_.end() ? nullptr : &it->second.dtd();
+}
+
+const evolve::ExtendedDtd* XmlSource::FindExtended(
+    const std::string& name) const {
+  auto it = dtds_.find(name);
+  return it == dtds_.end() ? nullptr : &it->second;
+}
+
+const std::vector<xml::Document>& XmlSource::InstancesOf(
+    const std::string& name) const {
+  static const std::vector<xml::Document>* const kEmpty =
+      new std::vector<xml::Document>();
+  auto it = instances_.find(name);
+  return it == instances_.end() ? *kEmpty : it->second;
+}
+
+Status XmlSource::AddTriggerRule(std::string_view rule_text) {
+  StatusOr<TriggerRule> rule = TriggerRule::Parse(rule_text);
+  if (!rule.ok()) return rule.status();
+  trigger_rules_.push_back(std::move(*rule));
+  return Status::Ok();
+}
+
+Status XmlSource::AddTriggerRules(std::string_view rules_text) {
+  StatusOr<std::vector<TriggerRule>> rules = ParseTriggerRules(rules_text);
+  if (!rules.ok()) return rules.status();
+  for (TriggerRule& rule : *rules) {
+    trigger_rules_.push_back(std::move(rule));
+  }
+  return Status::Ok();
+}
+
+TriggerMetrics XmlSource::MetricsFor(const std::string& name) const {
+  TriggerMetrics metrics;
+  auto it = dtds_.find(name);
+  if (it == dtds_.end()) return metrics;
+  const evolve::ExtendedDtd& ext = it->second;
+  metrics.divergence = ext.MeanDivergence();
+  metrics.documents = ext.documents_recorded();
+  metrics.total_elements = ext.total_elements_recorded();
+  metrics.invalid_elements = ext.invalid_elements_recorded();
+  metrics.invalid_fraction =
+      metrics.total_elements == 0
+          ? 0.0
+          : static_cast<double>(metrics.invalid_elements) /
+                static_cast<double>(metrics.total_elements);
+  return metrics;
+}
+
+evolve::CheckResult XmlSource::Check(const std::string& name) const {
+  auto it = dtds_.find(name);
+  if (it == dtds_.end()) return {};
+  return evolve::CheckEvolutionTrigger(it->second, options_.tau);
+}
+
+std::optional<evolve::EvolutionResult> XmlSource::ForceEvolve(
+    const std::string& name) {
+  auto it = dtds_.find(name);
+  if (it == dtds_.end()) return std::nullopt;
+  evolve::EvolutionResult result =
+      evolve::EvolveDtd(it->second, options_.evolution);
+  AfterEvolution(name, result);
+  return result;
+}
+
+size_t XmlSource::ReclassifyRepository() {
+  size_t recovered = 0;
+  for (int id : repository_.Ids()) {
+    classify::ClassificationOutcome classification =
+        classifier_.Classify(repository_.Get(id));
+    if (!classification.classified) continue;
+    xml::Document doc = repository_.Take(id);
+    const std::string& name = classification.dtd_name;
+    recorders_.at(name)->RecordDocument(doc);
+    ++documents_classified_;
+    if (options_.keep_documents) {
+      instances_.at(name).push_back(std::move(doc));
+    }
+    events_.push_back({SourceEvent::Kind::kReclassified, name,
+                       classification.similarity, 0, ""});
+    ++recovered;
+  }
+  return recovered;
+}
+
+}  // namespace dtdevolve::core

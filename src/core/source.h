@@ -1,0 +1,136 @@
+#ifndef DTDEVOLVE_CORE_SOURCE_H_
+#define DTDEVOLVE_CORE_SOURCE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "classify/repository.h"
+#include "core/options.h"
+#include "core/report.h"
+#include "core/trigger_language.h"
+#include "evolve/extended_dtd.h"
+#include "evolve/recorder.h"
+#include "evolve/trigger.h"
+#include "util/status.h"
+
+namespace dtdevolve::core {
+
+/// The source of XML documents of Fig. 1 — the library's main entry
+/// point. It owns the set of (extended) DTDs, the repository of
+/// unclassified documents, and drives the whole loop:
+///
+///   initialization → [ classification → recording → check ]* → evolution
+///   → repository re-classification → …
+///
+/// ```
+///   XmlSource source;
+///   source.AddDtdText("mail", "<!ELEMENT mail (from,to,body)> …");
+///   for (const std::string& xml : incoming) source.ProcessText(xml);
+///   // DTDs have evolved to match the stream:
+///   std::string dtd = dtd::WriteDtd(*source.FindDtd("mail"));
+/// ```
+class XmlSource {
+ public:
+  explicit XmlSource(SourceOptions options = {});
+
+  XmlSource(const XmlSource&) = delete;
+  XmlSource& operator=(const XmlSource&) = delete;
+
+  // --- Initialization phase -----------------------------------------------
+
+  /// Registers a DTD under `name`. Fails when the name is taken or the
+  /// DTD does not pass its consistency check.
+  Status AddDtd(const std::string& name, dtd::Dtd dtd);
+  /// Convenience: parses `dtd_text` and registers it. `root` overrides
+  /// the root element (defaults to the first declaration).
+  Status AddDtdText(const std::string& name, std::string_view dtd_text,
+                    std::string root = "");
+
+  // --- Feeding documents --------------------------------------------------
+
+  struct ProcessOutcome {
+    bool classified = false;
+    std::string dtd_name;     // best match (also when unclassified)
+    double similarity = 0.0;
+    bool evolved = false;     // this document triggered an evolution
+    size_t reclassified = 0;  // repository documents recovered afterwards
+  };
+
+  /// Classifies, records and (when the check phase fires) evolves.
+  ProcessOutcome Process(xml::Document doc);
+  /// Parses then processes.
+  StatusOr<ProcessOutcome> ProcessText(std::string_view xml_text);
+
+  // --- Inspection ----------------------------------------------------------
+
+  std::vector<std::string> DtdNames() const;
+  /// The current (possibly evolved) DTD; nullptr when unknown.
+  const dtd::Dtd* FindDtd(const std::string& name) const;
+  /// The extended DTD with its recording structures; nullptr when unknown.
+  const evolve::ExtendedDtd* FindExtended(const std::string& name) const;
+
+  const classify::Repository& repository() const { return repository_; }
+  /// Documents classified into `name` (empty unless keep_documents).
+  const std::vector<xml::Document>& InstancesOf(const std::string& name) const;
+
+  const std::vector<SourceEvent>& events() const { return events_; }
+  uint64_t documents_processed() const { return documents_processed_; }
+  uint64_t documents_classified() const { return documents_classified_; }
+  uint64_t evolutions_performed() const { return evolutions_performed_; }
+
+  const SourceOptions& options() const { return options_; }
+
+  // --- Trigger language (§6 extension) --------------------------------------
+
+  /// Installs a trigger rule (see core/trigger_language.h). When any
+  /// rules are installed they replace the plain τ check: after every
+  /// classification the first applicable rule whose condition holds
+  /// fires an evolution with its WITH-overlaid options (the
+  /// `min_documents_before_check` gate does not apply — rules express
+  /// their own document thresholds).
+  Status AddTriggerRule(std::string_view rule_text);
+  /// Installs a whole rule set (one rule per line, `#` comments).
+  Status AddTriggerRules(std::string_view rules_text);
+  const std::vector<TriggerRule>& trigger_rules() const {
+    return trigger_rules_;
+  }
+
+  /// Metric snapshot for `name`, as the trigger rules see it.
+  TriggerMetrics MetricsFor(const std::string& name) const;
+
+  // --- Manual control (used by experiments) --------------------------------
+
+  /// The check phase for one DTD (τ from the options).
+  evolve::CheckResult Check(const std::string& name) const;
+  /// Runs the evolution phase for `name` unconditionally; returns nullopt
+  /// when the name is unknown.
+  std::optional<evolve::EvolutionResult> ForceEvolve(const std::string& name);
+  /// Re-classifies repository documents against the current DTD set;
+  /// returns how many were recovered.
+  size_t ReclassifyRepository();
+
+ private:
+  void AfterEvolution(const std::string& name,
+                      const evolve::EvolutionResult& result);
+
+  SourceOptions options_;
+  std::map<std::string, evolve::ExtendedDtd> dtds_;
+  std::map<std::string, std::unique_ptr<evolve::Recorder>> recorders_;
+  std::map<std::string, std::vector<xml::Document>> instances_;
+  classify::Classifier classifier_;
+  classify::Repository repository_;
+  std::vector<TriggerRule> trigger_rules_;
+  std::vector<SourceEvent> events_;
+  uint64_t documents_processed_ = 0;
+  uint64_t documents_classified_ = 0;
+  uint64_t evolutions_performed_ = 0;
+};
+
+}  // namespace dtdevolve::core
+
+#endif  // DTDEVOLVE_CORE_SOURCE_H_

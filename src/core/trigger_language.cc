@@ -1,0 +1,328 @@
+#include "core/trigger_language.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace dtdevolve::core {
+
+namespace {
+
+const std::set<std::string>& KnownMetrics() {
+  static const auto* metrics = new std::set<std::string>{
+      "divergence", "documents", "total_elements", "invalid_elements",
+      "invalid_fraction"};
+  return *metrics;
+}
+
+const std::set<std::string>& KnownAssignments() {
+  static const auto* keys = new std::set<std::string>{
+      "psi",        "min_support", "rename_min_score", "restrict_operators",
+      "enable_or",  "simplify",    "drop_orphans"};
+  return *keys;
+}
+
+/// Token scanner over one rule line.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  /// Consumes `word` (case-sensitive keyword) if next.
+  bool ConsumeWord(std::string_view word) {
+    SkipSpace();
+    if (text_.substr(pos_, word.size()) != word) return false;
+    size_t end = pos_ + word.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      return false;  // prefix of a longer identifier
+    }
+    pos_ = end;
+    return true;
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Identifier: [A-Za-z_][A-Za-z0-9_-]* or '*'.
+  StatusOr<std::string> Identifier() {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '*') {
+      ++pos_;
+      return std::string("*");
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected an identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  StatusOr<std::string> Comparator() {
+    SkipSpace();
+    for (std::string_view op : {">=", "<=", "==", "!=", ">", "<"}) {
+      if (text_.substr(pos_, op.size()) == op) {
+        pos_ += op.size();
+        return std::string(op);
+      }
+    }
+    return Error("expected a comparison operator");
+  }
+
+  StatusOr<double> Number() {
+    SkipSpace();
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    double value = std::strtod(begin, &end);
+    if (end == begin) return Error("expected a number");
+    pos_ += static_cast<size_t>(end - begin);
+    return value;
+  }
+
+  Status Error(std::string message) const {
+    return Status::ParseError("trigger rule, column " +
+                              std::to_string(pos_ + 1) + ": " +
+                              std::move(message));
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+using Condition = TriggerRule::Condition;
+
+StatusOr<std::unique_ptr<Condition>> ParseOr(Scanner& scanner);
+
+StatusOr<std::unique_ptr<Condition>> ParsePrimary(Scanner& scanner) {
+  if (scanner.ConsumeChar('(')) {
+    StatusOr<std::unique_ptr<Condition>> inner = ParseOr(scanner);
+    if (!inner.ok()) return inner.status();
+    if (!scanner.ConsumeChar(')')) return scanner.Error("expected ')'");
+    return inner;
+  }
+  StatusOr<std::string> metric = scanner.Identifier();
+  if (!metric.ok()) return metric.status();
+  if (KnownMetrics().count(*metric) == 0) {
+    return scanner.Error("unknown metric '" + *metric + "'");
+  }
+  StatusOr<std::string> op = scanner.Comparator();
+  if (!op.ok()) return op.status();
+  StatusOr<double> value = scanner.Number();
+  if (!value.ok()) return value.status();
+  auto condition = std::make_unique<Condition>();
+  condition->kind = Condition::Kind::kComparison;
+  condition->metric = std::move(*metric);
+  condition->op = std::move(*op);
+  condition->value = *value;
+  return condition;
+}
+
+StatusOr<std::unique_ptr<Condition>> ParseAnd(Scanner& scanner) {
+  StatusOr<std::unique_ptr<Condition>> lhs = ParsePrimary(scanner);
+  if (!lhs.ok()) return lhs.status();
+  std::unique_ptr<Condition> result = std::move(*lhs);
+  while (scanner.ConsumeWord("AND")) {
+    StatusOr<std::unique_ptr<Condition>> rhs = ParsePrimary(scanner);
+    if (!rhs.ok()) return rhs.status();
+    auto node = std::make_unique<Condition>();
+    node->kind = Condition::Kind::kAnd;
+    node->lhs = std::move(result);
+    node->rhs = std::move(*rhs);
+    result = std::move(node);
+  }
+  return result;
+}
+
+StatusOr<std::unique_ptr<Condition>> ParseOr(Scanner& scanner) {
+  StatusOr<std::unique_ptr<Condition>> lhs = ParseAnd(scanner);
+  if (!lhs.ok()) return lhs.status();
+  std::unique_ptr<Condition> result = std::move(*lhs);
+  while (scanner.ConsumeWord("OR")) {
+    StatusOr<std::unique_ptr<Condition>> rhs = ParseAnd(scanner);
+    if (!rhs.ok()) return rhs.status();
+    auto node = std::make_unique<Condition>();
+    node->kind = Condition::Kind::kOr;
+    node->lhs = std::move(result);
+    node->rhs = std::move(*rhs);
+    result = std::move(node);
+  }
+  return result;
+}
+
+double MetricValue(const TriggerMetrics& metrics, const std::string& name) {
+  if (name == "divergence") return metrics.divergence;
+  if (name == "documents") return static_cast<double>(metrics.documents);
+  if (name == "total_elements") {
+    return static_cast<double>(metrics.total_elements);
+  }
+  if (name == "invalid_elements") {
+    return static_cast<double>(metrics.invalid_elements);
+  }
+  return metrics.invalid_fraction;
+}
+
+bool EvaluateCondition(const Condition& condition,
+                       const TriggerMetrics& metrics) {
+  switch (condition.kind) {
+    case Condition::Kind::kAnd:
+      return EvaluateCondition(*condition.lhs, metrics) &&
+             EvaluateCondition(*condition.rhs, metrics);
+    case Condition::Kind::kOr:
+      return EvaluateCondition(*condition.lhs, metrics) ||
+             EvaluateCondition(*condition.rhs, metrics);
+    case Condition::Kind::kComparison: {
+      double lhs = MetricValue(metrics, condition.metric);
+      if (condition.op == ">") return lhs > condition.value;
+      if (condition.op == ">=") return lhs >= condition.value;
+      if (condition.op == "<") return lhs < condition.value;
+      if (condition.op == "<=") return lhs <= condition.value;
+      if (condition.op == "==") return lhs == condition.value;
+      return lhs != condition.value;
+    }
+  }
+  return false;
+}
+
+void RenderCondition(const Condition& condition, std::string& out) {
+  switch (condition.kind) {
+    case Condition::Kind::kComparison: {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%s %s %g",
+                    condition.metric.c_str(), condition.op.c_str(),
+                    condition.value);
+      out += buffer;
+      return;
+    }
+    case Condition::Kind::kAnd:
+      RenderCondition(*condition.lhs, out);
+      out += " AND ";
+      RenderCondition(*condition.rhs, out);
+      return;
+    case Condition::Kind::kOr:
+      out += '(';
+      RenderCondition(*condition.lhs, out);
+      out += " OR ";
+      RenderCondition(*condition.rhs, out);
+      out += ')';
+      return;
+  }
+}
+
+}  // namespace
+
+StatusOr<TriggerRule> TriggerRule::Parse(std::string_view text) {
+  Scanner scanner(text);
+  if (!scanner.ConsumeWord("ON")) return scanner.Error("expected 'ON'");
+  StatusOr<std::string> target = scanner.Identifier();
+  if (!target.ok()) return target.status();
+  if (!scanner.ConsumeWord("WHEN")) return scanner.Error("expected 'WHEN'");
+  StatusOr<std::unique_ptr<Condition>> condition = ParseOr(scanner);
+  if (!condition.ok()) return condition.status();
+  if (!scanner.ConsumeWord("EVOLVE")) {
+    return scanner.Error("expected 'EVOLVE'");
+  }
+  TriggerRule rule;
+  rule.target_ = std::move(*target);
+  rule.condition_ = std::move(*condition);
+  if (scanner.ConsumeWord("WITH")) {
+    while (true) {
+      StatusOr<std::string> key = scanner.Identifier();
+      if (!key.ok()) return key.status();
+      if (KnownAssignments().count(*key) == 0) {
+        return scanner.Error("unknown option '" + *key + "'");
+      }
+      if (!scanner.ConsumeChar('=')) return scanner.Error("expected '='");
+      StatusOr<double> value = scanner.Number();
+      if (!value.ok()) return value.status();
+      rule.assignments_.emplace_back(std::move(*key), *value);
+      if (!scanner.ConsumeChar(',')) break;
+    }
+  }
+  if (!scanner.AtEnd()) {
+    return scanner.Error("unexpected trailing input");
+  }
+  return rule;
+}
+
+bool TriggerRule::Evaluate(const TriggerMetrics& metrics) const {
+  return condition_ != nullptr && EvaluateCondition(*condition_, metrics);
+}
+
+evolve::EvolutionOptions TriggerRule::OptionsOver(
+    const evolve::EvolutionOptions& base) const {
+  evolve::EvolutionOptions options = base;
+  for (const auto& [key, value] : assignments_) {
+    if (key == "psi") {
+      options.psi = value;
+    } else if (key == "min_support") {
+      options.min_support = value;
+    } else if (key == "rename_min_score") {
+      options.rename_min_score = value;
+    } else if (key == "restrict_operators") {
+      options.restrict_operators = value != 0.0;
+    } else if (key == "enable_or") {
+      options.enable_or_policies = value != 0.0;
+    } else if (key == "simplify") {
+      options.simplify = value != 0.0;
+    } else if (key == "drop_orphans") {
+      options.drop_orphan_declarations = value != 0.0;
+    }
+  }
+  return options;
+}
+
+std::string TriggerRule::ToString() const {
+  std::string out = "ON " + target_ + " WHEN ";
+  if (condition_ != nullptr) RenderCondition(*condition_, out);
+  out += " EVOLVE";
+  for (size_t i = 0; i < assignments_.size(); ++i) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%s%s = %g",
+                  i == 0 ? " WITH " : ", ", assignments_[i].first.c_str(),
+                  assignments_[i].second);
+    out += buffer;
+  }
+  return out;
+}
+
+StatusOr<std::vector<TriggerRule>> ParseTriggerRules(std::string_view text) {
+  std::vector<TriggerRule> rules;
+  for (const std::string& line : Split(text, '\n')) {
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    StatusOr<TriggerRule> rule = TriggerRule::Parse(stripped);
+    if (!rule.ok()) {
+      return Status::ParseError("in rule '" + std::string(stripped) +
+                                "': " + rule.status().message());
+    }
+    rules.push_back(std::move(*rule));
+  }
+  return rules;
+}
+
+}  // namespace dtdevolve::core

@@ -1,0 +1,95 @@
+#ifndef DTDEVOLVE_CORE_TRIGGER_LANGUAGE_H_
+#define DTDEVOLVE_CORE_TRIGGER_LANGUAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "evolve/evolver.h"
+#include "util/status.h"
+
+namespace dtdevolve::core {
+
+/// Metrics a trigger rule may test, snapshot from one extended DTD.
+struct TriggerMetrics {
+  double divergence = 0.0;        // mean per-document divergence (the τ LHS)
+  uint64_t documents = 0;         // documents recorded since last evolution
+  uint64_t total_elements = 0;    // elements recorded
+  uint64_t invalid_elements = 0;  // locally invalid elements recorded
+  double invalid_fraction = 0.0;  // invalid_elements / total_elements
+};
+
+/// The §6 extension made concrete: "the development of an evolution
+/// trigger language, by using which applications can specify and
+/// automatically activate DTD evolution". One rule per line:
+///
+///   ON <dtd-name|*> WHEN <condition> EVOLVE [WITH k = v, ...]
+///
+///   condition   := disjunction of conjunctions of comparisons
+///                  (AND binds tighter than OR; parentheses allowed)
+///   comparison  := metric (> | >= | < | <= | == | !=) number
+///   metric      := divergence | documents | total_elements |
+///                  invalid_elements | invalid_fraction
+///   WITH keys   := psi, min_support, rename_min_score,
+///                  restrict_operators, enable_or, simplify,
+///                  drop_orphans   (flags take 0/1)
+///
+/// Example:
+///   ON mail WHEN divergence > 0.25 AND documents >= 50
+///     EVOLVE WITH psi = 0.05, min_support = 0.2
+///   ON * WHEN invalid_fraction > 0.5 EVOLVE
+class TriggerRule {
+ public:
+  /// AST of the WHEN condition.
+  struct Condition {
+    enum class Kind { kComparison, kAnd, kOr };
+    Kind kind = Kind::kComparison;
+    // kComparison:
+    std::string metric;
+    std::string op;
+    double value = 0.0;
+    // kAnd / kOr:
+    std::unique_ptr<Condition> lhs;
+    std::unique_ptr<Condition> rhs;
+  };
+
+  /// Parses a single rule. Returns ParseError with position info on
+  /// malformed input.
+  static StatusOr<TriggerRule> Parse(std::string_view text);
+
+  TriggerRule(TriggerRule&&) = default;
+  TriggerRule& operator=(TriggerRule&&) = default;
+
+  /// Target DTD name, or "*" for every DTD.
+  const std::string& target() const { return target_; }
+  bool AppliesTo(std::string_view dtd_name) const {
+    return target_ == "*" || target_ == dtd_name;
+  }
+
+  /// Evaluates the WHEN condition against a metric snapshot.
+  bool Evaluate(const TriggerMetrics& metrics) const;
+
+  /// The base evolution options overlaid with this rule's WITH clause.
+  evolve::EvolutionOptions OptionsOver(
+      const evolve::EvolutionOptions& base) const;
+
+  /// Canonical rendering (round-trips through Parse).
+  std::string ToString() const;
+
+ private:
+  TriggerRule() = default;
+
+  std::string target_;
+  std::unique_ptr<Condition> condition_;
+  std::vector<std::pair<std::string, double>> assignments_;
+};
+
+/// Parses a rule set: one rule per line; blank lines and `#` comments are
+/// skipped.
+StatusOr<std::vector<TriggerRule>> ParseTriggerRules(std::string_view text);
+
+}  // namespace dtdevolve::core
+
+#endif  // DTDEVOLVE_CORE_TRIGGER_LANGUAGE_H_

@@ -1,0 +1,227 @@
+#include "dtd/content_model.h"
+
+#include <cassert>
+
+namespace dtdevolve::dtd {
+
+ContentModel::Ptr ContentModel::Name(std::string name) {
+  Ptr node(new ContentModel(Kind::kName));
+  node->name_ = std::move(name);
+  return node;
+}
+
+ContentModel::Ptr ContentModel::Pcdata() {
+  return Ptr(new ContentModel(Kind::kPcdata));
+}
+
+ContentModel::Ptr ContentModel::Any() {
+  return Ptr(new ContentModel(Kind::kAny));
+}
+
+ContentModel::Ptr ContentModel::Empty() {
+  return Ptr(new ContentModel(Kind::kEmpty));
+}
+
+ContentModel::Ptr ContentModel::Seq(std::vector<Ptr> children) {
+  assert(!children.empty());
+  Ptr node(new ContentModel(Kind::kAnd));
+  node->children_ = std::move(children);
+  return node;
+}
+
+ContentModel::Ptr ContentModel::Choice(std::vector<Ptr> children) {
+  assert(!children.empty());
+  Ptr node(new ContentModel(Kind::kOr));
+  node->children_ = std::move(children);
+  return node;
+}
+
+ContentModel::Ptr ContentModel::Opt(Ptr child) {
+  assert(child != nullptr);
+  Ptr node(new ContentModel(Kind::kOptional));
+  node->children_.push_back(std::move(child));
+  return node;
+}
+
+ContentModel::Ptr ContentModel::Star(Ptr child) {
+  assert(child != nullptr);
+  Ptr node(new ContentModel(Kind::kStar));
+  node->children_.push_back(std::move(child));
+  return node;
+}
+
+ContentModel::Ptr ContentModel::Plus(Ptr child) {
+  assert(child != nullptr);
+  Ptr node(new ContentModel(Kind::kPlus));
+  node->children_.push_back(std::move(child));
+  return node;
+}
+
+ContentModel::Ptr ContentModel::Clone() const {
+  Ptr copy(new ContentModel(kind_));
+  copy->name_ = name_;
+  copy->children_.reserve(children_.size());
+  for (const Ptr& child : children_) {
+    copy->children_.push_back(child->Clone());
+  }
+  return copy;
+}
+
+bool ContentModel::Equals(const ContentModel& other) const {
+  if (kind_ != other.kind_ || name_ != other.name_ ||
+      children_.size() != other.children_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+void ContentModel::ToStringRec(std::string& out, bool top_level) const {
+  switch (kind_) {
+    case Kind::kName:
+      out += name_;
+      return;
+    case Kind::kPcdata:
+      if (top_level) {
+        out += "(#PCDATA)";
+      } else {
+        out += "#PCDATA";
+      }
+      return;
+    case Kind::kAny:
+      out += "ANY";
+      return;
+    case Kind::kEmpty:
+      out += "EMPTY";
+      return;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* sep = (kind_ == Kind::kAnd) ? "," : "|";
+      out += '(';
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += sep;
+        children_[i]->ToStringRec(out, /*top_level=*/false);
+      }
+      out += ')';
+      return;
+    }
+    case Kind::kOptional:
+    case Kind::kStar:
+    case Kind::kPlus: {
+      const ContentModel& inner = child();
+      // A unary operator over a name or #PCDATA needs no parentheses; over
+      // another operator the child already parenthesizes itself except for
+      // nested unaries, which do need explicit grouping in DTD syntax.
+      bool need_parens = inner.is_unary();
+      if (need_parens) out += '(';
+      inner.ToStringRec(out, /*top_level=*/false);
+      if (need_parens) out += ')';
+      out += (kind_ == Kind::kOptional) ? '?' : (kind_ == Kind::kStar ? '*' : '+');
+      return;
+    }
+  }
+}
+
+std::string ContentModel::ToString() const {
+  std::string out;
+  // The XML grammar requires a parenthesized group at top level for
+  // element content; a bare name `a` is rendered `(a)`, `a?` as `(a?)`,
+  // and `#PCDATA*` as `(#PCDATA)*` (the mixed-content form).
+  if (kind_ == Kind::kName) {
+    out += '(';
+    out += name_;
+    out += ')';
+    return out;
+  }
+  if (is_unary() && child().is_leaf()) {
+    char op = (kind_ == Kind::kOptional) ? '?'
+                                         : (kind_ == Kind::kStar ? '*' : '+');
+    if (child().kind() == Kind::kPcdata) {
+      out += "(#PCDATA)";
+      out += op;
+      return out;
+    }
+    out += '(';
+    child().ToStringRec(out, /*top_level=*/false);
+    out += op;
+    out += ')';
+    return out;
+  }
+  ToStringRec(out, /*top_level=*/true);
+  return out;
+}
+
+size_t ContentModel::NodeCount() const {
+  size_t count = 1;
+  for (const Ptr& child : children_) count += child->NodeCount();
+  return count;
+}
+
+std::set<std::string> ContentModel::SymbolSet() const {
+  std::set<std::string> out;
+  if (kind_ == Kind::kName) {
+    out.insert(name_);
+    return out;
+  }
+  for (const Ptr& child : children_) {
+    std::set<std::string> sub = child->SymbolSet();
+    out.insert(sub.begin(), sub.end());
+  }
+  return out;
+}
+
+bool ContentModel::Nullable() const {
+  switch (kind_) {
+    case Kind::kName:
+      return false;
+    case Kind::kPcdata:  // character data is never required
+    case Kind::kAny:
+    case Kind::kEmpty:
+    case Kind::kOptional:
+    case Kind::kStar:
+      return true;
+    case Kind::kPlus:
+      return child().Nullable();
+    case Kind::kAnd:
+      for (const Ptr& c : children_) {
+        if (!c->Nullable()) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const Ptr& c : children_) {
+        if (c->Nullable()) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+bool ContentModel::Mentions(std::string_view name) const {
+  if (kind_ == Kind::kName) return name_ == name;
+  for (const Ptr& child : children_) {
+    if (child->Mentions(name)) return true;
+  }
+  return false;
+}
+
+ContentModel::Ptr SeqOfNames(const std::vector<std::string>& names) {
+  std::vector<ContentModel::Ptr> children;
+  children.reserve(names.size());
+  for (const std::string& name : names) {
+    children.push_back(ContentModel::Name(name));
+  }
+  return ContentModel::Seq(std::move(children));
+}
+
+ContentModel::Ptr ChoiceOfNames(const std::vector<std::string>& names) {
+  std::vector<ContentModel::Ptr> children;
+  children.reserve(names.size());
+  for (const std::string& name : names) {
+    children.push_back(ContentModel::Name(name));
+  }
+  return ContentModel::Choice(std::move(children));
+}
+
+}  // namespace dtdevolve::dtd

@@ -1,0 +1,112 @@
+#ifndef DTDEVOLVE_DTD_CONTENT_MODEL_H_
+#define DTDEVOLVE_DTD_CONTENT_MODEL_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dtdevolve::dtd {
+
+/// A DTD content model as a labeled tree, exactly the paper's
+/// representation: internal labels from OP = {AND, OR, ?, *, +}, leaf
+/// labels from EN (element names) or ET = {#PCDATA, ANY} (plus EMPTY).
+///
+/// - kAnd  — a sequence `(a, b, ...)`; at least one child.
+/// - kOr   — an alternative `(a | b | ...)`; at least one alternative must
+///           be chosen (paper footnote 2); at least one child.
+/// - kOptional/kStar/kPlus — unary `?`, `*`, `+`; exactly one child.
+/// - kName — a leaf element name.
+/// - kPcdata — the #PCDATA leaf. Character data is never *required* by XML
+///           (an element declared `(#PCDATA)` may be empty), which the
+///           automaton construction accounts for.
+/// - kAny / kEmpty — whole-declaration types `ANY` and `EMPTY`.
+class ContentModel {
+ public:
+  enum class Kind {
+    kName,
+    kPcdata,
+    kAny,
+    kEmpty,
+    kAnd,
+    kOr,
+    kOptional,
+    kStar,
+    kPlus,
+  };
+
+  using Ptr = std::unique_ptr<ContentModel>;
+
+  /// Factories. Operator factories assert their arity.
+  static Ptr Name(std::string name);
+  static Ptr Pcdata();
+  static Ptr Any();
+  static Ptr Empty();
+  static Ptr Seq(std::vector<Ptr> children);
+  static Ptr Choice(std::vector<Ptr> children);
+  static Ptr Opt(Ptr child);
+  static Ptr Star(Ptr child);
+  static Ptr Plus(Ptr child);
+
+  ContentModel(const ContentModel&) = delete;
+  ContentModel& operator=(const ContentModel&) = delete;
+
+  Kind kind() const { return kind_; }
+  bool is_leaf() const {
+    return kind_ == Kind::kName || kind_ == Kind::kPcdata ||
+           kind_ == Kind::kAny || kind_ == Kind::kEmpty;
+  }
+  bool is_operator() const { return !is_leaf(); }
+  bool is_unary() const {
+    return kind_ == Kind::kOptional || kind_ == Kind::kStar ||
+           kind_ == Kind::kPlus;
+  }
+
+  /// Leaf element name; only valid for kName.
+  const std::string& name() const { return name_; }
+
+  const std::vector<Ptr>& children() const { return children_; }
+  std::vector<Ptr>& children() { return children_; }
+  /// The unique child of a unary operator.
+  const ContentModel& child() const { return *children_.front(); }
+
+  Ptr Clone() const;
+
+  /// Deep structural equality.
+  bool Equals(const ContentModel& other) const;
+
+  /// DTD-syntax rendering, e.g. `(b,c)`, `(d|e)`, `b*`, `(#PCDATA|a)*`.
+  /// Top-level leaves render as `(#PCDATA)`, `ANY`, `EMPTY`.
+  std::string ToString() const;
+
+  /// Number of nodes in this tree (a DTD-size measure for experiments).
+  size_t NodeCount() const;
+
+  /// The paper's function αβ applied to a declaration: names of direct
+  /// subelements *independently from the operators*, i.e. every kName leaf.
+  std::set<std::string> SymbolSet() const;
+
+  /// True if the empty sequence of children matches this model.
+  bool Nullable() const;
+
+  /// True if `name` occurs as a leaf.
+  bool Mentions(std::string_view name) const;
+
+ private:
+  explicit ContentModel(Kind kind) : kind_(kind) {}
+
+  void ToStringRec(std::string& out, bool top_level) const;
+
+  Kind kind_;
+  std::string name_;
+  std::vector<Ptr> children_;
+};
+
+/// Convenience: builds `Seq`/`Choice` from names for terse test setup.
+ContentModel::Ptr SeqOfNames(const std::vector<std::string>& names);
+ContentModel::Ptr ChoiceOfNames(const std::vector<std::string>& names);
+
+}  // namespace dtdevolve::dtd
+
+#endif  // DTDEVOLVE_DTD_CONTENT_MODEL_H_

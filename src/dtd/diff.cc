@@ -1,0 +1,90 @@
+#include "dtd/diff.h"
+
+#include "dtd/glushkov.h"
+
+namespace dtdevolve::dtd {
+
+std::vector<DeclDiff> DiffDtds(const Dtd& old_dtd, const Dtd& new_dtd) {
+  std::vector<DeclDiff> diff;
+
+  for (const std::string& name : old_dtd.ElementNames()) {
+    const ElementDecl* old_decl = old_dtd.FindElement(name);
+    const ElementDecl* new_decl = new_dtd.FindElement(name);
+    if (new_decl == nullptr) {
+      DeclDiff entry;
+      entry.kind = DeclDiff::Kind::kRemoved;
+      entry.name = name;
+      entry.old_model =
+          old_decl->content ? old_decl->content->ToString() : "ANY";
+      diff.push_back(std::move(entry));
+      continue;
+    }
+    if (old_decl->content == nullptr || new_decl->content == nullptr) {
+      continue;  // placeholder declarations — nothing comparable
+    }
+    bool old_in_new = LanguageSubset(*old_decl->content, *new_decl->content);
+    bool new_in_old = LanguageSubset(*new_decl->content, *old_decl->content);
+    if (old_in_new && new_in_old) continue;  // same language — no entry
+    DeclDiff entry;
+    entry.kind = DeclDiff::Kind::kChanged;
+    entry.name = name;
+    entry.old_model = old_decl->content->ToString();
+    entry.new_model = new_decl->content->ToString();
+    if (old_in_new) {
+      entry.relation = DeclRelation::kWidened;
+    } else if (new_in_old) {
+      entry.relation = DeclRelation::kNarrowed;
+    } else {
+      entry.relation = DeclRelation::kIncomparable;
+    }
+    diff.push_back(std::move(entry));
+  }
+
+  for (const std::string& name : new_dtd.ElementNames()) {
+    if (old_dtd.HasElement(name)) continue;
+    const ElementDecl* new_decl = new_dtd.FindElement(name);
+    DeclDiff entry;
+    entry.kind = DeclDiff::Kind::kAdded;
+    entry.name = name;
+    entry.new_model =
+        new_decl->content ? new_decl->content->ToString() : "ANY";
+    diff.push_back(std::move(entry));
+  }
+  return diff;
+}
+
+std::string RelationName(DeclRelation relation) {
+  switch (relation) {
+    case DeclRelation::kEqual:
+      return "equal";
+    case DeclRelation::kNarrowed:
+      return "narrowed";
+    case DeclRelation::kWidened:
+      return "widened";
+    case DeclRelation::kIncomparable:
+      return "incomparable";
+  }
+  return "?";
+}
+
+std::string FormatDiff(const std::vector<DeclDiff>& diff) {
+  if (diff.empty()) return "(no language changes)\n";
+  std::string out;
+  for (const DeclDiff& entry : diff) {
+    switch (entry.kind) {
+      case DeclDiff::Kind::kAdded:
+        out += "+ " + entry.name + " " + entry.new_model + "\n";
+        break;
+      case DeclDiff::Kind::kRemoved:
+        out += "- " + entry.name + " " + entry.old_model + "\n";
+        break;
+      case DeclDiff::Kind::kChanged:
+        out += "~ " + entry.name + " [" + RelationName(entry.relation) +
+               "] " + entry.old_model + " -> " + entry.new_model + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dtdevolve::dtd

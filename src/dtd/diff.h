@@ -1,0 +1,44 @@
+#ifndef DTDEVOLVE_DTD_DIFF_H_
+#define DTDEVOLVE_DTD_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "dtd/dtd.h"
+
+namespace dtdevolve::dtd {
+
+/// Language relation between two declarations of the same element.
+enum class DeclRelation {
+  kEqual,        // same language
+  kNarrowed,     // new ⊂ old (the evolved DTD accepts less)
+  kWidened,      // old ⊂ new (the evolved DTD accepts more)
+  kIncomparable  // neither contains the other
+};
+
+/// One entry of a DTD diff.
+struct DeclDiff {
+  enum class Kind { kAdded, kRemoved, kChanged };
+
+  Kind kind = Kind::kChanged;
+  std::string name;
+  std::string old_model;  // empty for kAdded
+  std::string new_model;  // empty for kRemoved
+  DeclRelation relation = DeclRelation::kEqual;  // kChanged only
+};
+
+/// Structural + language diff of two DTDs — what an evolution (or any
+/// other schema change) did, element by element. Declarations whose
+/// content models denote the same language (even if written differently)
+/// are not reported.
+std::vector<DeclDiff> DiffDtds(const Dtd& old_dtd, const Dtd& new_dtd);
+
+/// Human-readable multi-line rendering of a diff.
+std::string FormatDiff(const std::vector<DeclDiff>& diff);
+
+/// Name of a relation for reports ("equal", "narrowed", …).
+std::string RelationName(DeclRelation relation);
+
+}  // namespace dtdevolve::dtd
+
+#endif  // DTDEVOLVE_DTD_DIFF_H_

@@ -1,0 +1,136 @@
+#include "dtd/dtd.h"
+
+#include <algorithm>
+#include <set>
+
+namespace dtdevolve::dtd {
+
+ElementDecl ElementDecl::Clone() const {
+  ElementDecl copy;
+  copy.name = name;
+  copy.content = content ? content->Clone() : nullptr;
+  copy.attributes = attributes;
+  return copy;
+}
+
+const std::string& Dtd::root_name() const {
+  if (!root_name_.empty() || order_.empty()) return root_name_;
+  return order_.front();
+}
+
+ElementDecl& Dtd::DeclareElement(std::string name, ContentModel::Ptr content) {
+  auto it = decls_.find(name);
+  if (it == decls_.end()) {
+    order_.push_back(name);
+    auto [inserted, _] =
+        decls_.emplace(name, ElementDecl(name, std::move(content)));
+    return inserted->second;
+  }
+  it->second.content = std::move(content);
+  return it->second;
+}
+
+ElementDecl& Dtd::SetContent(std::string name, ContentModel::Ptr content) {
+  return DeclareElement(std::move(name), std::move(content));
+}
+
+bool Dtd::RemoveElement(std::string_view name) {
+  auto it = decls_.find(name);
+  if (it == decls_.end()) return false;
+  decls_.erase(it);
+  order_.erase(std::find(order_.begin(), order_.end(), name));
+  return true;
+}
+
+const ElementDecl* Dtd::FindElement(std::string_view name) const {
+  auto it = decls_.find(name);
+  return it == decls_.end() ? nullptr : &it->second;
+}
+
+ElementDecl* Dtd::FindElement(std::string_view name) {
+  auto it = decls_.find(name);
+  return it == decls_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Dtd::ElementNames() const { return order_; }
+
+size_t Dtd::TotalNodeCount() const {
+  size_t count = 0;
+  for (const auto& [name, decl] : decls_) {
+    if (decl.content) count += decl.content->NodeCount();
+  }
+  return count;
+}
+
+Dtd Dtd::Clone() const {
+  Dtd copy;
+  copy.root_name_ = root_name_;
+  copy.order_ = order_;
+  for (const auto& [name, decl] : decls_) {
+    copy.decls_.emplace(name, decl.Clone());
+  }
+  return copy;
+}
+
+std::vector<std::string> Dtd::UndeclaredReferences() const {
+  std::set<std::string> missing;
+  for (const auto& [name, decl] : decls_) {
+    if (!decl.content) continue;
+    for (const std::string& ref : decl.content->SymbolSet()) {
+      if (!HasElement(ref)) missing.insert(ref);
+    }
+  }
+  return {missing.begin(), missing.end()};
+}
+
+std::vector<std::string> Dtd::UnreachableFromRoot() const {
+  std::set<std::string> reachable;
+  std::vector<std::string> frontier;
+  if (HasElement(root_name())) {
+    reachable.insert(root_name());
+    frontier.push_back(root_name());
+  }
+  while (!frontier.empty()) {
+    std::string name = std::move(frontier.back());
+    frontier.pop_back();
+    const ElementDecl* decl = FindElement(name);
+    if (decl == nullptr || decl->content == nullptr) continue;
+    for (const std::string& ref : decl->content->SymbolSet()) {
+      if (HasElement(ref) && reachable.insert(ref).second) {
+        frontier.push_back(ref);
+      }
+    }
+  }
+  std::vector<std::string> out;
+  for (const std::string& name : order_) {
+    if (reachable.count(name) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+Status Dtd::Check() const {
+  if (empty()) return Status::FailedPrecondition("DTD has no declarations");
+  if (!HasElement(root_name())) {
+    return Status::FailedPrecondition("root element '" + root_name() +
+                                      "' is not declared");
+  }
+  for (const auto& [name, decl] : decls_) {
+    if (!decl.content) {
+      return Status::FailedPrecondition("element '" + name +
+                                        "' has no content model");
+    }
+  }
+  std::vector<std::string> missing = UndeclaredReferences();
+  if (!missing.empty()) {
+    std::string joined;
+    for (const std::string& m : missing) {
+      if (!joined.empty()) joined += ", ";
+      joined += m;
+    }
+    return Status::FailedPrecondition("undeclared element references: " +
+                                      joined);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dtdevolve::dtd

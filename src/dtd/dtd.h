@@ -1,0 +1,106 @@
+#ifndef DTDEVOLVE_DTD_DTD_H_
+#define DTDEVOLVE_DTD_DTD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dtd/content_model.h"
+#include "util/status.h"
+
+namespace dtdevolve::dtd {
+
+/// One attribute declaration from an ATTLIST.
+struct AttributeDecl {
+  enum class DefaultKind { kRequired, kImplied, kFixed, kDefault };
+
+  std::string name;
+  /// Attribute type as written (CDATA, ID, IDREF, NMTOKEN, or an
+  /// enumeration rendered `(a|b|c)`).
+  std::string type = "CDATA";
+  DefaultKind default_kind = DefaultKind::kImplied;
+  std::string default_value;  // for kFixed / kDefault
+};
+
+/// The declaration of one element type: a content model plus attributes.
+struct ElementDecl {
+  std::string name;
+  ContentModel::Ptr content;
+  std::vector<AttributeDecl> attributes;
+
+  ElementDecl() = default;
+  ElementDecl(std::string element_name, ContentModel::Ptr model)
+      : name(std::move(element_name)), content(std::move(model)) {}
+
+  ElementDecl Clone() const;
+};
+
+/// A Document Type Definition: an ordered set of element declarations and
+/// a designated root element name. This is one member of the *set of DTDs*
+/// the paper evolves.
+class Dtd {
+ public:
+  Dtd() = default;
+  explicit Dtd(std::string root_name) : root_name_(std::move(root_name)) {}
+
+  Dtd(Dtd&&) = default;
+  Dtd& operator=(Dtd&&) = default;
+
+  /// Name of the document element this DTD describes. When never set
+  /// explicitly, the first declared element acts as root.
+  const std::string& root_name() const;
+  void set_root_name(std::string name) { root_name_ = std::move(name); }
+
+  /// Adds (or replaces) the declaration of `name`. Declaration order is
+  /// preserved for serialization.
+  ElementDecl& DeclareElement(std::string name, ContentModel::Ptr content);
+  /// Replaces only the content model of an existing declaration; declares
+  /// the element first when missing.
+  ElementDecl& SetContent(std::string name, ContentModel::Ptr content);
+
+  /// Removes the declaration of `name`; returns false when absent.
+  bool RemoveElement(std::string_view name);
+
+  /// Looks up a declaration; nullptr when undeclared.
+  const ElementDecl* FindElement(std::string_view name) const;
+  ElementDecl* FindElement(std::string_view name);
+
+  bool HasElement(std::string_view name) const {
+    return FindElement(name) != nullptr;
+  }
+
+  /// Declared element names in declaration order.
+  std::vector<std::string> ElementNames() const;
+
+  size_t size() const { return decls_.size(); }
+  bool empty() const { return decls_.empty(); }
+
+  /// Total content-model tree nodes over all declarations — the DTD-size
+  /// measure used by the conciseness experiments.
+  size_t TotalNodeCount() const;
+
+  Dtd Clone() const;
+
+  /// Consistency check: every name mentioned in a content model is
+  /// declared, and the root is declared. Used by tests and the evolver.
+  Status Check() const;
+
+  /// Names mentioned in some content model but not declared.
+  std::vector<std::string> UndeclaredReferences() const;
+
+  /// Declared names not reachable from the root by following content
+  /// models — candidates for cleanup after evolution (e.g. the old name
+  /// of a renamed element).
+  std::vector<std::string> UnreachableFromRoot() const;
+
+ private:
+  std::string root_name_;
+  std::vector<std::string> order_;                 // declaration order
+  std::map<std::string, ElementDecl, std::less<>> decls_;
+};
+
+}  // namespace dtdevolve::dtd
+
+#endif  // DTDEVOLVE_DTD_DTD_H_

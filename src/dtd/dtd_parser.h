@@ -1,0 +1,24 @@
+#ifndef DTDEVOLVE_DTD_DTD_PARSER_H_
+#define DTDEVOLVE_DTD_DTD_PARSER_H_
+
+#include <string_view>
+
+#include "dtd/dtd.h"
+#include "util/status.h"
+
+namespace dtdevolve::dtd {
+
+/// Parses the text of a DTD (a sequence of `<!ELEMENT ...>` and
+/// `<!ATTLIST ...>` declarations, comments and PIs — e.g. the internal
+/// subset captured by the XML parser, or a standalone .dtd file).
+/// ENTITY and NOTATION declarations are skipped. The first declared
+/// element becomes the DTD root unless `root_name` is supplied.
+StatusOr<Dtd> ParseDtd(std::string_view input, std::string root_name = "");
+
+/// Parses a single content-model expression, e.g. `(b,c)`, `(#PCDATA|a)*`,
+/// `ANY`. Used heavily by tests.
+StatusOr<ContentModel::Ptr> ParseContentModel(std::string_view input);
+
+}  // namespace dtdevolve::dtd
+
+#endif  // DTDEVOLVE_DTD_DTD_PARSER_H_

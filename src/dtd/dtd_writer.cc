@@ -1,0 +1,62 @@
+#include "dtd/dtd_writer.h"
+
+#include "xml/text.h"
+
+namespace dtdevolve::dtd {
+
+std::string WriteElementDecl(const ElementDecl& decl) {
+  std::string out = "<!ELEMENT ";
+  out += decl.name;
+  out += ' ';
+  out += decl.content ? decl.content->ToString() : "ANY";
+  out += '>';
+  return out;
+}
+
+namespace {
+
+std::string WriteAttlist(const ElementDecl& decl) {
+  std::string out = "<!ATTLIST ";
+  out += decl.name;
+  for (const AttributeDecl& attr : decl.attributes) {
+    out += ' ';
+    out += attr.name;
+    out += ' ';
+    out += attr.type;
+    out += ' ';
+    switch (attr.default_kind) {
+      case AttributeDecl::DefaultKind::kRequired:
+        out += "#REQUIRED";
+        break;
+      case AttributeDecl::DefaultKind::kImplied:
+        out += "#IMPLIED";
+        break;
+      case AttributeDecl::DefaultKind::kFixed:
+        out += "#FIXED \"" + xml::EscapeText(attr.default_value) + '"';
+        break;
+      case AttributeDecl::DefaultKind::kDefault:
+        out += '"' + xml::EscapeText(attr.default_value) + '"';
+        break;
+    }
+  }
+  out += '>';
+  return out;
+}
+
+}  // namespace
+
+std::string WriteDtd(const Dtd& dtd) {
+  std::string out;
+  for (const std::string& name : dtd.ElementNames()) {
+    const ElementDecl* decl = dtd.FindElement(name);
+    out += WriteElementDecl(*decl);
+    out += '\n';
+    if (!decl->attributes.empty()) {
+      out += WriteAttlist(*decl);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace dtdevolve::dtd

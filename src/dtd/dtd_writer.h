@@ -1,0 +1,19 @@
+#ifndef DTDEVOLVE_DTD_DTD_WRITER_H_
+#define DTDEVOLVE_DTD_DTD_WRITER_H_
+
+#include <string>
+
+#include "dtd/dtd.h"
+
+namespace dtdevolve::dtd {
+
+/// Serializes one element declaration: `<!ELEMENT name model>`.
+std::string WriteElementDecl(const ElementDecl& decl);
+
+/// Serializes the whole DTD (ELEMENT then ATTLIST per element, one per
+/// line, in declaration order). The output round-trips through ParseDtd.
+std::string WriteDtd(const Dtd& dtd);
+
+}  // namespace dtdevolve::dtd
+
+#endif  // DTDEVOLVE_DTD_DTD_WRITER_H_

@@ -1,0 +1,78 @@
+#ifndef DTDEVOLVE_DTD_GLUSHKOV_H_
+#define DTDEVOLVE_DTD_GLUSHKOV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dtd/content_model.h"
+
+namespace dtdevolve::dtd {
+
+/// Symbol used for character-data items in child sequences.
+inline constexpr std::string_view kPcdataSymbol = "#PCDATA";
+
+/// Glushkov (position) automaton of a content model.
+///
+/// States: 0 is the initial state; state `p + 1` corresponds to position
+/// `p` (a linearized occurrence of a leaf). Every transition consumes the
+/// label of its target position, so the automaton is ε-free — the property
+/// the similarity matcher's shortest-path alignment relies on.
+///
+/// #PCDATA positions are nullable and self-repeating (character data is
+/// never *required* by a DTD, and may appear repeatedly), matching XML
+/// validity semantics for `(#PCDATA)` and mixed content.
+class Automaton {
+ public:
+  /// Builds the automaton for `model`. For `ANY`, `is_any()` is true and
+  /// the automaton accepts every sequence.
+  static Automaton Build(const ContentModel& model);
+
+  /// Number of positions (states excluding the initial one).
+  size_t num_positions() const { return labels_.size(); }
+  /// Number of states including the initial state 0.
+  size_t num_states() const { return labels_.size() + 1; }
+
+  /// Label of position `pos` (0-based).
+  const std::string& LabelOfPosition(int pos) const { return labels_[pos]; }
+
+  /// Positions reachable from `state` (consuming their own labels).
+  const std::vector<int>& SuccessorsOf(int state) const {
+    return successors_[state];
+  }
+
+  /// True if `state` is accepting (input may end here).
+  bool IsAccepting(int state) const { return accepting_[state]; }
+
+  bool is_any() const { return any_; }
+
+  /// Subset-simulation acceptance test over a symbol sequence (element
+  /// tags and `kPcdataSymbol` items).
+  bool Accepts(const std::vector<std::string>& symbols) const;
+
+  /// True if no state has two distinct successor positions with the same
+  /// label — i.e. the content model is deterministic (1-unambiguous), as
+  /// the XML specification requires.
+  bool IsDeterministic() const;
+
+ private:
+  Automaton() = default;
+
+  bool any_ = false;
+  std::vector<std::string> labels_;            // per position
+  std::vector<std::vector<int>> successors_;   // per state (0..P)
+  std::vector<bool> accepting_;                // per state (0..P)
+};
+
+/// True if two content models denote the same language (same accepted
+/// child-tag sequences), decided by determinization + pair exploration.
+/// `ANY` is only equivalent to `ANY`.
+bool LanguageEquivalent(const ContentModel& a, const ContentModel& b);
+
+/// True if the language of `a` is contained in the language of `b`.
+/// `ANY` contains everything.
+bool LanguageSubset(const ContentModel& a, const ContentModel& b);
+
+}  // namespace dtdevolve::dtd
+
+#endif  // DTDEVOLVE_DTD_GLUSHKOV_H_

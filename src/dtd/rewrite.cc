@@ -1,0 +1,192 @@
+#include "dtd/rewrite.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dtd/glushkov.h"
+
+namespace dtdevolve::dtd {
+
+namespace {
+
+using Kind = ContentModel::Kind;
+using Ptr = ContentModel::Ptr;
+
+/// One bottom-up simplification pass. Sets `changed` when any rule fired.
+Ptr SimplifyOnce(Ptr node, bool& changed) {
+  if (node->is_leaf()) return node;
+
+  // Recurse first.
+  std::vector<Ptr> children;
+  children.reserve(node->children().size());
+  for (Ptr& child : node->children()) {
+    children.push_back(SimplifyOnce(std::move(child), changed));
+  }
+  Kind kind = node->kind();
+
+  if (kind == Kind::kAnd || kind == Kind::kOr) {
+    // Flatten same-operator children; EMPTY children are the neutral
+    // element of AND and become an optionality marker inside OR.
+    std::vector<Ptr> flat;
+    bool or_saw_empty = false;
+    for (Ptr& child : children) {
+      if (child->kind() == Kind::kEmpty) {
+        changed = true;
+        if (kind == Kind::kOr) or_saw_empty = true;
+        continue;
+      }
+      if (child->kind() == kind) {
+        changed = true;
+        for (Ptr& grandchild : child->children()) {
+          flat.push_back(std::move(grandchild));
+        }
+      } else {
+        flat.push_back(std::move(child));
+      }
+    }
+    if (flat.empty()) return ContentModel::Empty();
+    if (or_saw_empty) {
+      Ptr inner = flat.size() == 1 ? std::move(flat.front())
+                                   : ContentModel::Choice(std::move(flat));
+      return ContentModel::Opt(std::move(inner));
+    }
+
+    if (kind == Kind::kOr) {
+      // Hoist optional alternatives: (a? | b) == (a | b)?.
+      bool hoisted = false;
+      for (Ptr& child : flat) {
+        if (child->kind() == Kind::kOptional) {
+          child = std::move(child->children().front());
+          hoisted = true;
+        }
+      }
+      // Deduplicate structurally equal alternatives.
+      std::vector<Ptr> unique;
+      for (Ptr& child : flat) {
+        bool duplicate = false;
+        for (const Ptr& kept : unique) {
+          if (kept->Equals(*child)) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) {
+          changed = true;
+        } else {
+          unique.push_back(std::move(child));
+        }
+      }
+      // Drop alternatives whose language another alternative already
+      // contains (common after the misc window ORs an old declaration
+      // with a broader rebuilt one).
+      if (unique.size() > 1) {
+        std::vector<bool> dead(unique.size(), false);
+        for (size_t i = 0; i < unique.size(); ++i) {
+          if (dead[i]) continue;
+          for (size_t j = 0; j < unique.size(); ++j) {
+            if (i == j || dead[j] || dead[i]) continue;
+            if (LanguageSubset(*unique[j], *unique[i])) dead[j] = true;
+          }
+        }
+        std::vector<Ptr> kept;
+        for (size_t i = 0; i < unique.size(); ++i) {
+          if (!dead[i]) {
+            kept.push_back(std::move(unique[i]));
+          } else {
+            changed = true;
+          }
+        }
+        unique = std::move(kept);
+      }
+      // Canonical order (#PCDATA sorts first because '#' < letters).
+      std::vector<std::string> before;
+      before.reserve(unique.size());
+      for (const Ptr& child : unique) before.push_back(child->ToString());
+      std::vector<size_t> index(unique.size());
+      for (size_t i = 0; i < index.size(); ++i) index[i] = i;
+      std::stable_sort(index.begin(), index.end(),
+                       [&](size_t x, size_t y) { return before[x] < before[y]; });
+      bool reordered = false;
+      for (size_t i = 0; i < index.size(); ++i) {
+        if (index[i] != i) reordered = true;
+      }
+      if (reordered) changed = true;
+      std::vector<Ptr> sorted;
+      sorted.reserve(unique.size());
+      for (size_t i : index) sorted.push_back(std::move(unique[i]));
+
+      Ptr result = sorted.size() == 1 ? std::move(sorted.front())
+                                      : ContentModel::Choice(std::move(sorted));
+      if (sorted.size() == 1) changed = true;
+      if (hoisted) {
+        changed = true;
+        result = ContentModel::Opt(std::move(result));
+      }
+      return result;
+    }
+
+    // kAnd.
+    if (flat.size() == 1) {
+      changed = true;
+      return std::move(flat.front());
+    }
+    return ContentModel::Seq(std::move(flat));
+  }
+
+  // Unary operators.
+  Ptr inner = std::move(children.front());
+  if (inner->kind() == Kind::kEmpty) {
+    changed = true;
+    return inner;  // EMPTY?, EMPTY*, EMPTY+ all denote {ε}
+  }
+  Kind inner_kind = inner->kind();
+  if (inner_kind == Kind::kOptional || inner_kind == Kind::kStar ||
+      inner_kind == Kind::kPlus) {
+    // Collapse stacked unaries. The combined operator allows zero
+    // occurrences iff either does, and many occurrences iff either does.
+    bool zero = (kind != Kind::kPlus) || (inner_kind != Kind::kPlus);
+    bool many = (kind != Kind::kOptional) || (inner_kind != Kind::kOptional);
+    Ptr grandchild = std::move(inner->children().front());
+    changed = true;
+    if (zero && many) return ContentModel::Star(std::move(grandchild));
+    if (zero) return ContentModel::Opt(std::move(grandchild));
+    return ContentModel::Plus(std::move(grandchild));
+  }
+  if (kind == Kind::kOptional && inner->Nullable()) {
+    // `x?` where x already matches ε.
+    changed = true;
+    return inner;
+  }
+  switch (kind) {
+    case Kind::kOptional:
+      return ContentModel::Opt(std::move(inner));
+    case Kind::kStar:
+      return ContentModel::Star(std::move(inner));
+    default:
+      return ContentModel::Plus(std::move(inner));
+  }
+}
+
+}  // namespace
+
+ContentModel::Ptr Simplify(ContentModel::Ptr model) {
+  // Iterate to fixpoint; each pass strictly shrinks or canonicalizes, so
+  // a small bound suffices — the loop exits as soon as a pass is clean.
+  for (int round = 0; round < 16; ++round) {
+    bool changed = false;
+    model = SimplifyOnce(std::move(model), changed);
+    if (!changed) break;
+  }
+  return model;
+}
+
+void SimplifyDtd(Dtd& dtd) {
+  for (const std::string& name : dtd.ElementNames()) {
+    ElementDecl* decl = dtd.FindElement(name);
+    if (decl->content) decl->content = Simplify(std::move(decl->content));
+  }
+}
+
+}  // namespace dtdevolve::dtd

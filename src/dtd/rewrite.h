@@ -1,0 +1,32 @@
+#ifndef DTDEVOLVE_DTD_REWRITE_H_
+#define DTDEVOLVE_DTD_REWRITE_H_
+
+#include "dtd/content_model.h"
+#include "dtd/dtd.h"
+
+namespace dtdevolve::dtd {
+
+/// Rewrites a content model into a simpler, language-equivalent one —
+/// the paper's "DTD re-writing rules ... that allow one to rewrite a DTD
+/// in a simpler, yet equivalent, one" ([2], used by the misc window).
+///
+/// Rules applied to fixpoint:
+///  * flatten nested AND-in-AND / OR-in-OR;
+///  * drop singleton AND/OR wrappers;
+///  * collapse stacked unary operators ((x?)? → x?, (x*)+ → x*, (x+)? → x*, …);
+///  * drop `?` around an already-nullable operand;
+///  * deduplicate structurally equal OR alternatives;
+///  * hoist optional alternatives out of OR ((a?|b) → (a|b)?);
+///  * sort OR alternatives into a canonical order (#PCDATA first, then
+///    lexicographic), making equal languages render identically more often.
+///
+/// The result always satisfies `LanguageEquivalent(input, output)`;
+/// a property test sweeps random models to enforce this.
+ContentModel::Ptr Simplify(ContentModel::Ptr model);
+
+/// Applies `Simplify` to every declaration of `dtd` in place.
+void SimplifyDtd(Dtd& dtd);
+
+}  // namespace dtdevolve::dtd
+
+#endif  // DTDEVOLVE_DTD_REWRITE_H_

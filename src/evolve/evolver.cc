@@ -1,0 +1,202 @@
+#include "evolve/evolver.h"
+
+#include <set>
+#include <utility>
+
+#include "dtd/glushkov.h"
+#include "dtd/rewrite.h"
+#include "evolve/restriction.h"
+
+namespace dtdevolve::evolve {
+
+namespace {
+
+using Ptr = dtd::ContentModel::Ptr;
+
+BuildOptions MakeBuildOptions(const EvolutionOptions& options) {
+  BuildOptions build;
+  build.min_support = options.min_support;
+  build.enable_or = options.enable_or_policies;
+  build.contiguity_guard = options.contiguity_guard;
+  return build;
+}
+
+/// Adds declarations for every name referenced by `model` that the DTD
+/// does not declare yet, extracting each from the recorded plus structure
+/// under `parent_stats` (a missing structure falls back to #PCDATA).
+/// Names detected as renames reuse the renamed-from declaration's content
+/// instead. Recurses into the structures of the added declarations.
+void AddPlusDeclarations(dtd::Dtd& dtd, const ElementStats& parent_stats,
+                         const dtd::ContentModel& model,
+                         const EvolutionOptions& options,
+                         const std::vector<RenameCandidate>& renames,
+                         std::vector<std::string>& added) {
+  for (const std::string& name : model.SymbolSet()) {
+    if (dtd.HasElement(name)) continue;
+    // A renamed element inherits the declaration of its old name.
+    const RenameCandidate* rename = nullptr;
+    for (const RenameCandidate& candidate : renames) {
+      if (candidate.to == name) {
+        rename = &candidate;
+        break;
+      }
+    }
+    if (rename != nullptr && dtd.HasElement(rename->from)) {
+      const dtd::ElementDecl* from = dtd.FindElement(rename->from);
+      dtd.DeclareElement(name, from->content ? from->content->Clone()
+                                             : dtd::ContentModel::Pcdata());
+      added.push_back(name);
+      continue;
+    }
+    auto it = parent_stats.labels().find(name);
+    const ElementStats* plus_stats =
+        (it != parent_stats.labels().end() && it->second.plus_structure)
+            ? it->second.plus_structure.get()
+            : nullptr;
+    Ptr content;
+    if (plus_stats != nullptr) {
+      BuildOutcome outcome =
+          BuildElementStructure(*plus_stats, MakeBuildOptions(options));
+      content = std::move(outcome.model);
+    }
+    if (content == nullptr) content = dtd::ContentModel::Pcdata();
+    if (options.simplify) content = dtd::Simplify(std::move(content));
+    dtd::ElementDecl& new_decl =
+        dtd.DeclareElement(name, std::move(content));
+    added.push_back(name);
+    if (plus_stats != nullptr) {
+      if (options.evolve_attributes) {
+        for (const auto& [attr_name, count] :
+             plus_stats->attribute_counts()) {
+          dtd::AttributeDecl attribute;
+          attribute.name = attr_name;
+          attribute.type = "CDATA";
+          attribute.default_kind =
+              count == plus_stats->total_instances()
+                  ? dtd::AttributeDecl::DefaultKind::kRequired
+                  : dtd::AttributeDecl::DefaultKind::kImplied;
+          new_decl.attributes.push_back(std::move(attribute));
+        }
+      }
+      AddPlusDeclarations(dtd, *plus_stats, *new_decl.content, options,
+                          renames, added);
+    }
+  }
+}
+
+}  // namespace
+
+EvolutionResult EvolveDtd(ExtendedDtd& ext, const EvolutionOptions& options) {
+  EvolutionResult result;
+  dtd::Dtd& dtd = ext.mutable_dtd();
+
+  // Snapshot: evolution only touches declarations that recorded instances.
+  std::vector<std::string> names = dtd.ElementNames();
+  for (const std::string& name : names) {
+    const ElementStats* stats = ext.FindStats(name);
+    if (stats == nullptr || stats->total_instances() == 0) continue;
+    dtd::ElementDecl* decl = dtd.FindElement(name);
+    if (decl == nullptr || decl->content == nullptr) continue;
+
+    ElementEvolution record;
+    record.name = name;
+    record.instances = stats->total_instances();
+    record.invalidity = stats->InvalidityRatio();
+    record.window = ClassifyWindow(record.invalidity, options.psi);
+    record.old_model = decl->content->ToString();
+
+    if (options.thesaurus != nullptr && record.window != Window::kOld) {
+      record.renames =
+          DetectRenames(*stats, decl->content->SymbolSet(),
+                        *options.thesaurus, options.rename_min_score);
+    }
+
+    switch (record.window) {
+      case Window::kOld: {
+        if (options.restrict_operators && stats->valid_instances() > 0) {
+          RestrictionResult restricted =
+              RestrictOperators(std::move(decl->content), *stats);
+          decl->content = std::move(restricted.model);
+          record.changed = restricted.changed;
+        }
+        break;
+      }
+      case Window::kNew: {
+        BuildOutcome outcome =
+            BuildElementStructure(*stats, MakeBuildOptions(options));
+        record.trace = std::move(outcome.trace);
+        if (outcome.model != nullptr) {
+          decl->content = options.simplify
+                              ? dtd::Simplify(std::move(outcome.model))
+                              : std::move(outcome.model);
+          record.changed = true;
+          AddPlusDeclarations(dtd, *stats, *decl->content, options,
+                              record.renames, result.added_declarations);
+        }
+        break;
+      }
+      case Window::kMisc: {
+        BuildOutcome outcome =
+            BuildElementStructure(*stats, MakeBuildOptions(options));
+        record.trace = std::move(outcome.trace);
+        if (outcome.model != nullptr &&
+            !outcome.model->Equals(*decl->content)) {
+          std::vector<Ptr> alternatives;
+          alternatives.push_back(std::move(decl->content));
+          alternatives.push_back(std::move(outcome.model));
+          Ptr combined = dtd::ContentModel::Choice(std::move(alternatives));
+          decl->content = options.simplify ? dtd::Simplify(std::move(combined))
+                                           : std::move(combined);
+          record.changed = true;
+          AddPlusDeclarations(dtd, *stats, *decl->content, options,
+                              record.renames, result.added_declarations);
+        }
+        break;
+      }
+    }
+
+    if (options.evolve_attributes) {
+      for (const auto& [attr_name, count] : stats->attribute_counts()) {
+        bool declared = false;
+        for (const dtd::AttributeDecl& existing : decl->attributes) {
+          if (existing.name == attr_name) {
+            declared = true;
+            break;
+          }
+        }
+        if (declared) continue;
+        dtd::AttributeDecl attribute;
+        attribute.name = attr_name;
+        attribute.type = "CDATA";
+        attribute.default_kind =
+            count == stats->total_instances()
+                ? dtd::AttributeDecl::DefaultKind::kRequired
+                : dtd::AttributeDecl::DefaultKind::kImplied;
+        decl->attributes.push_back(std::move(attribute));
+        record.added_attributes.push_back(attr_name);
+        record.changed = true;
+      }
+    }
+
+    record.new_model = decl->content->ToString();
+    record.deterministic =
+        dtd::Automaton::Build(*decl->content).IsDeterministic();
+    result.any_change = result.any_change || record.changed;
+    result.elements.push_back(std::move(record));
+  }
+
+  if (options.drop_orphan_declarations) {
+    for (const std::string& orphan : dtd.UnreachableFromRoot()) {
+      dtd.RemoveElement(orphan);
+      result.removed_declarations.push_back(orphan);
+    }
+  }
+
+  result.any_change = result.any_change ||
+                      !result.added_declarations.empty() ||
+                      !result.removed_declarations.empty();
+  ext.ResetStats();
+  return result;
+}
+
+}  // namespace dtdevolve::evolve

@@ -1,0 +1,92 @@
+#ifndef DTDEVOLVE_EVOLVE_EVOLVER_H_
+#define DTDEVOLVE_EVOLVE_EVOLVER_H_
+
+#include <string>
+#include <vector>
+
+#include "evolve/extended_dtd.h"
+#include "evolve/rename.h"
+#include "evolve/structure_builder.h"
+#include "evolve/windows.h"
+#include "similarity/thesaurus.h"
+
+namespace dtdevolve::evolve {
+
+/// Knobs of the evolution phase.
+struct EvolutionOptions {
+  /// Window threshold ψ ∈ [0, 0.5] (§4.1).
+  double psi = 0.1;
+  /// Minimum sequence support µ for the mining step (§4.2).
+  double min_support = 0.1;
+  /// Apply old-window operator restriction.
+  bool restrict_operators = true;
+  /// Allow OR-producing policies (ablation of §5's comparison).
+  bool enable_or_policies = true;
+  /// Keep the AND-contiguity guard (ablation of a DESIGN.md refinement).
+  bool contiguity_guard = true;
+  /// Simplify evolved declarations with the re-writing rules.
+  bool simplify = true;
+  /// Optional thesaurus enabling tag-rename detection (§6 extension);
+  /// null disables it.
+  const similarity::Thesaurus* thesaurus = nullptr;
+  /// Minimum thesaurus score for a rename candidate.
+  double rename_min_score = 0.5;
+  /// Remove declarations that become unreachable from the root after
+  /// evolution (e.g. the old name of a renamed element).
+  bool drop_orphan_declarations = false;
+  /// Add ATTLIST entries for observed undeclared attributes (the paper
+  /// leaves attributes out of scope; an engineering extension). An
+  /// attribute present on every recorded instance becomes #REQUIRED,
+  /// otherwise #IMPLIED; the type is CDATA.
+  bool evolve_attributes = true;
+};
+
+/// What happened to one element declaration.
+struct ElementEvolution {
+  std::string name;
+  Window window = Window::kOld;
+  double invalidity = 0.0;
+  uint64_t instances = 0;
+  std::string old_model;
+  std::string new_model;
+  bool changed = false;
+  /// Whether the (possibly new) declaration is deterministic
+  /// (1-unambiguous), as strict XML validity requires. The misc window's
+  /// OR of old and new declarations is a common source of
+  /// nondeterminism — reported so applications can decide.
+  bool deterministic = true;
+  std::vector<PolicyTrace> trace;
+  /// Tag renames detected for this element's subelements (§6 extension).
+  std::vector<RenameCandidate> renames;
+  /// Attribute names newly declared on this element.
+  std::vector<std::string> added_attributes;
+};
+
+/// Outcome of one evolution round over a DTD.
+struct EvolutionResult {
+  std::vector<ElementEvolution> elements;
+  /// Declarations newly added for plus elements, in insertion order.
+  std::vector<std::string> added_declarations;
+  /// Declarations removed by the orphan cleanup.
+  std::vector<std::string> removed_declarations;
+  bool any_change = false;
+};
+
+/// The evolution phase (§4): walks every declared element that recorded
+/// instances, classifies it into a window by its invalidity ratio, and
+///  * old  — keeps the declaration (optionally restricting operators to
+///           the valid instances);
+///  * new  — replaces the declaration with the structure built from the
+///           recorded sequences by mining + policies;
+///  * misc — ORs the built structure with the old declaration and
+///           simplifies, giving old and new documents equal relevance.
+/// Declarations are then added for every *plus* element referenced by an
+/// evolved declaration, extracted recursively from the recorded plus
+/// structures ("considering as DTD an empty DTD"). Finally the recorded
+/// statistics are reset — the evolved DTD starts a fresh DOC_cur.
+EvolutionResult EvolveDtd(ExtendedDtd& ext,
+                          const EvolutionOptions& options = {});
+
+}  // namespace dtdevolve::evolve
+
+#endif  // DTDEVOLVE_EVOLVE_EVOLVER_H_

@@ -1,0 +1,37 @@
+#include "evolve/extended_dtd.h"
+
+namespace dtdevolve::evolve {
+
+void ExtendedDtd::RecordDocumentDivergence(uint64_t total_elements,
+                                           uint64_t invalid_elements) {
+  ++documents_recorded_;
+  total_elements_ += total_elements;
+  invalid_elements_ += invalid_elements;
+  if (total_elements > 0) {
+    divergence_sum_ += static_cast<double>(invalid_elements) /
+                       static_cast<double>(total_elements);
+  }
+}
+
+double ExtendedDtd::MeanDivergence() const {
+  if (documents_recorded_ == 0) return 0.0;
+  return divergence_sum_ / static_cast<double>(documents_recorded_);
+}
+
+void ExtendedDtd::ResetStats() {
+  stats_.clear();
+  documents_recorded_ = 0;
+  total_elements_ = 0;
+  invalid_elements_ = 0;
+  divergence_sum_ = 0.0;
+}
+
+size_t ExtendedDtd::MemoryFootprint() const {
+  size_t bytes = sizeof(ExtendedDtd);
+  for (const auto& [name, stats] : stats_) {
+    bytes += name.size() + stats.MemoryFootprint();
+  }
+  return bytes;
+}
+
+}  // namespace dtdevolve::evolve

@@ -1,0 +1,81 @@
+#ifndef DTDEVOLVE_EVOLVE_EXTENDED_DTD_H_
+#define DTDEVOLVE_EVOLVE_EXTENDED_DTD_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "dtd/dtd.h"
+#include "evolve/stats.h"
+
+namespace dtdevolve::evolve {
+
+/// The *extended DTD* (§3.2): a DTD enriched with per-element recording
+/// structures plus the per-document divergence aggregates the check phase
+/// needs. The recorded information is aggregate-only — once a document is
+/// recorded it never needs to be analyzed again (§2).
+class ExtendedDtd {
+ public:
+  explicit ExtendedDtd(dtd::Dtd dtd) : dtd_(std::move(dtd)) {}
+
+  ExtendedDtd(ExtendedDtd&&) = default;
+  ExtendedDtd& operator=(ExtendedDtd&&) = default;
+
+  const dtd::Dtd& dtd() const { return dtd_; }
+  dtd::Dtd& mutable_dtd() { return dtd_; }
+
+  /// Stats attached to the declaration of `name`, created on demand.
+  ElementStats& StatsFor(const std::string& name) { return stats_[name]; }
+  const ElementStats* FindStats(const std::string& name) const {
+    auto it = stats_.find(name);
+    return it == stats_.end() ? nullptr : &it->second;
+  }
+  const std::map<std::string, ElementStats>& all_stats() const {
+    return stats_;
+  }
+
+  /// Adds one classified document's contribution to the trigger aggregate:
+  /// `invalid / total` is the document's non-valid-element fraction.
+  void RecordDocumentDivergence(uint64_t total_elements,
+                                uint64_t invalid_elements);
+
+  uint64_t documents_recorded() const { return documents_recorded_; }
+  uint64_t total_elements_recorded() const { return total_elements_; }
+  uint64_t invalid_elements_recorded() const { return invalid_elements_; }
+
+  /// The left-hand side of the paper's activation condition:
+  ///   Σ_D (#nonvalid(D) / #elements(D)) / #Doc_T.
+  /// 0 when no documents were recorded.
+  double MeanDivergence() const;
+
+  /// Clears all recorded information (after an evolution round the newly
+  /// classified documents start a fresh DOC_cur).
+  void ResetStats();
+
+  /// Rough storage footprint of the auxiliary structures, in bytes.
+  size_t MemoryFootprint() const;
+
+  // --- Restore hooks (used by the persistence module only) -----------------
+
+  double divergence_sum() const { return divergence_sum_; }
+  void RestoreAggregates(uint64_t documents, uint64_t total_elements,
+                         uint64_t invalid_elements, double divergence_sum) {
+    documents_recorded_ = documents;
+    total_elements_ = total_elements;
+    invalid_elements_ = invalid_elements;
+    divergence_sum_ = divergence_sum;
+  }
+
+ private:
+  dtd::Dtd dtd_;
+  std::map<std::string, ElementStats> stats_;
+  uint64_t documents_recorded_ = 0;
+  uint64_t total_elements_ = 0;
+  uint64_t invalid_elements_ = 0;
+  double divergence_sum_ = 0.0;
+};
+
+}  // namespace dtdevolve::evolve
+
+#endif  // DTDEVOLVE_EVOLVE_EXTENDED_DTD_H_

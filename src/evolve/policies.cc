@@ -1,0 +1,649 @@
+#include "evolve/policies.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace dtdevolve::evolve {
+
+namespace {
+
+using Kind = dtd::ContentModel::Kind;
+using Ptr = dtd::ContentModel::Ptr;
+
+/// Joins label names for trace messages.
+std::string JoinLabels(const std::set<std::string>& labels) {
+  std::string out;
+  for (const std::string& label : labels) {
+    if (!out.empty()) out += ',';
+    out += label;
+  }
+  return out;
+}
+
+}  // namespace
+
+PolicyEngine::PolicyEngine(const mining::SequenceRuleOracle& oracle,
+                           const ElementStats& stats, PolicyOptions options)
+    : oracle_(&oracle), stats_(&stats), options_(options) {}
+
+void PolicyEngine::Fire(std::vector<PolicyTrace>* trace, int policy,
+                        std::string description) const {
+  if (trace != nullptr) trace->push_back({policy, std::move(description)});
+}
+
+double PolicyEngine::MeanPosition(const std::string& label) const {
+  auto it = stats_->labels().find(label);
+  if (it == stats_->labels().end()) return 0.5;
+  return it->second.invalid.MeanPosition();
+}
+
+bool PolicyEngine::IsRepeated(const std::string& label) const {
+  auto it = stats_->labels().find(label);
+  if (it == stats_->labels().end()) return false;
+  return it->second.invalid.repeated > 0;
+}
+
+uint32_t PolicyEngine::UniformCount(const std::string& label) const {
+  auto it = stats_->labels().find(label);
+  if (it == stats_->labels().end()) return 0;
+  return it->second.invalid.UniformCount();
+}
+
+bool PolicyEngine::HasGroup(const std::set<std::string>& labels,
+                            uint32_t count) const {
+  GroupKey key;
+  key.labels = labels;
+  key.repeat_count = count;
+  auto it = stats_->groups().find(key);
+  return it != stats_->groups().end() && it->second > 0;
+}
+
+bool PolicyEngine::TreePresent(const std::set<std::string>& labels,
+                               const std::set<std::string>& sequence) const {
+  for (const std::string& label : labels) {
+    if (sequence.count(label) > 0) return true;
+  }
+  return false;
+}
+
+bool PolicyEngine::TreeSometimesAbsent(
+    const std::set<std::string>& labels) const {
+  for (const auto& [sequence, count] : oracle_->frequent_sequences()) {
+    if (!TreePresent(labels, sequence)) return true;
+  }
+  return false;
+}
+
+bool PolicyEngine::TreesMutuallyImply(const std::set<std::string>& a,
+                                      const std::set<std::string>& b) const {
+  bool seen = false;
+  for (const auto& [sequence, count] : oracle_->frequent_sequences()) {
+    bool pa = TreePresent(a, sequence);
+    bool pb = TreePresent(b, sequence);
+    if (pa != pb) return false;
+    if (pa) seen = true;
+  }
+  return seen;
+}
+
+bool PolicyEngine::TreesMutuallyExclude(const std::set<std::string>& a,
+                                        const std::set<std::string>& b) const {
+  if (oracle_->frequent_sequences().empty()) return false;
+  for (const auto& [sequence, count] : oracle_->frequent_sequences()) {
+    bool pa = TreePresent(a, sequence);
+    bool pb = TreePresent(b, sequence);
+    if (pa == pb) return false;  // both or neither — not an alternative
+  }
+  return true;
+}
+
+namespace {
+
+/// Position interval spanned by an entry's labels.
+struct Interval {
+  double lo = 1.0;
+  double hi = 0.0;
+};
+
+}  // namespace
+
+bool PolicyEngine::ContiguousForAnd(const std::vector<Entry>& c, size_t i,
+                                    size_t j) const {
+  if (!options_.contiguity_guard) return true;
+  auto interval_of = [&](const Entry& entry) {
+    Interval interval;
+    for (const std::string& label : entry.labels) {
+      double pos = MeanPosition(label);
+      interval.lo = std::min(interval.lo, pos);
+      interval.hi = std::max(interval.hi, pos);
+    }
+    return interval;
+  };
+  Interval a = interval_of(c[i]);
+  Interval b = interval_of(c[j]);
+  // The gap between the two intervals (empty when they overlap). An AND
+  // binding is only allowed when no third entry's label sits inside it —
+  // otherwise that entry could never be placed between them afterwards.
+  double gap_lo = std::min(a.hi, b.hi);
+  double gap_hi = std::max(a.lo, b.lo);
+  if (gap_lo >= gap_hi) return true;
+  for (size_t k = 0; k < c.size(); ++k) {
+    if (k == i || k == j) continue;
+    for (const std::string& label : c[k].labels) {
+      double pos = MeanPosition(label);
+      if (pos > gap_lo && pos < gap_hi) return false;
+    }
+  }
+  return true;
+}
+
+Ptr PolicyEngine::WrapAlternative(const std::string& label) const {
+  Ptr name = dtd::ContentModel::Name(label);
+  if (IsRepeated(label)) return dtd::ContentModel::Plus(std::move(name));
+  return name;
+}
+
+PolicyEngine::Entry PolicyEngine::MakeEntry(Ptr tree,
+                                            std::set<std::string> labels) const {
+  Entry entry;
+  double sum = 0.0;
+  for (const std::string& label : labels) sum += MeanPosition(label);
+  entry.position = labels.empty() ? 0.5 : sum / static_cast<double>(labels.size());
+  entry.tree = std::move(tree);
+  entry.labels = std::move(labels);
+  return entry;
+}
+
+// ---------------------------------------------------------------------------
+// Policy 1: AND-binding among a maximal mutually-implying element set.
+// ---------------------------------------------------------------------------
+bool PolicyEngine::Policy1(std::vector<Entry>& c,
+                           std::vector<PolicyTrace>* trace) {
+  // Mutual implication with confidence 1 means identical presence
+  // profiles across the frequent sequences — an equivalence relation, so
+  // the maximal sets L_k are exactly the profile classes.
+  const auto& sequences = oracle_->frequent_sequences();
+  if (sequences.empty()) return false;
+  std::map<std::vector<bool>, std::set<std::string>> classes;
+  for (const Entry& entry : c) {
+    if (!entry.IsElement()) continue;
+    const std::string& label = *entry.labels.begin();
+    std::vector<bool> profile;
+    profile.reserve(sequences.size());
+    bool occurs = false;
+    for (const auto& [sequence, count] : sequences) {
+      bool present = sequence.count(label) > 0;
+      profile.push_back(present);
+      occurs = occurs || present;
+    }
+    if (occurs) classes[profile].insert(label);
+  }
+
+  bool fired = false;
+  for (auto& [profile, class_members] : classes) {
+    if (class_members.size() < 2) continue;
+    // Members ordered by mean recorded position.
+    std::vector<std::string> class_ordered(class_members.begin(),
+                                           class_members.end());
+    std::stable_sort(class_ordered.begin(), class_ordered.end(),
+                     [&](const std::string& a, const std::string& b) {
+                       return MeanPosition(a) < MeanPosition(b);
+                     });
+
+    // Contiguity refinement: an AND group must not jump over unrelated
+    // content. Recorded sequences are order-free, so mean positions are
+    // the only adjacency signal — split the class wherever some label
+    // outside it falls strictly between two consecutive members.
+    std::vector<double> outside_positions;
+    for (const Entry& entry : c) {
+      for (const std::string& label : entry.labels) {
+        if (class_members.count(label) == 0) {
+          outside_positions.push_back(MeanPosition(label));
+        }
+      }
+    }
+    std::vector<std::vector<std::string>> runs;
+    runs.emplace_back();
+    runs.back().push_back(class_ordered.front());
+    for (size_t i = 1; i < class_ordered.size(); ++i) {
+      double lo = MeanPosition(class_ordered[i - 1]);
+      double hi = MeanPosition(class_ordered[i]);
+      bool interleaved = false;
+      for (double pos : outside_positions) {
+        if (options_.contiguity_guard && pos > lo && pos < hi) {
+          interleaved = true;
+          break;
+        }
+      }
+      if (interleaved) runs.emplace_back();
+      runs.back().push_back(class_ordered[i]);
+    }
+
+    for (const std::vector<std::string>& ordered : runs) {
+    if (ordered.size() < 2) continue;
+    std::set<std::string> members(ordered.begin(), ordered.end());
+
+    // Repetition sub-cases of the appendix.
+    bool all_once = true;
+    uint32_t shared_count = UniformCount(ordered.front());
+    bool all_same = shared_count > 0;
+    for (const std::string& label : ordered) {
+      uint32_t u = UniformCount(label);
+      if (u != 1) all_once = false;
+      if (u == 0 || u != shared_count) all_same = false;
+    }
+
+    Ptr tree;
+    if (all_once) {
+      // Case 1: every member always occurs exactly once — a plain AND.
+      tree = dtd::SeqOfNames(ordered);
+      Fire(trace, 1, "AND(" + JoinLabels(members) + ")");
+    } else if (all_same && shared_count > 1 &&
+               HasGroup(members, shared_count)) {
+      // Case 2: all members repeated the same number of times, recorded
+      // as a group — a repeatable AND.
+      tree = dtd::ContentModel::Star(dtd::SeqOfNames(ordered));
+      Fire(trace, 1, "AND*(" + JoinLabels(members) + ")");
+    } else {
+      // Case 3: mixed repetitions. Take maximal disjoint recorded groups
+      // inside the class; leftovers repeat independently (wrapped in +)
+      // or occur once.
+      std::vector<std::set<std::string>> chosen_groups;
+      {
+        // Greedy by descending counter.
+        std::vector<std::pair<uint64_t, const GroupKey*>> candidates;
+        for (const auto& [key, counter] : stats_->groups()) {
+          if (key.labels.size() < 2 || counter == 0) continue;
+          if (!std::includes(members.begin(), members.end(),
+                             key.labels.begin(), key.labels.end())) {
+            continue;
+          }
+          candidates.emplace_back(counter, &key);
+        }
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first > b.first;
+                         });
+        std::set<std::string> used;
+        for (const auto& [counter, key] : candidates) {
+          bool overlap = false;
+          for (const std::string& label : key->labels) {
+            if (used.count(label) > 0) {
+              overlap = true;
+              break;
+            }
+          }
+          if (overlap) continue;
+          chosen_groups.push_back(key->labels);
+          used.insert(key->labels.begin(), key->labels.end());
+        }
+      }
+      std::set<std::string> grouped;
+      for (const auto& group : chosen_groups) {
+        grouped.insert(group.begin(), group.end());
+      }
+
+      struct Piece {
+        Ptr tree;
+        double position;
+      };
+      std::vector<Piece> pieces;
+      for (const auto& group : chosen_groups) {
+        std::vector<std::string> group_ordered(group.begin(), group.end());
+        std::stable_sort(group_ordered.begin(), group_ordered.end(),
+                         [&](const std::string& a, const std::string& b) {
+                           return MeanPosition(a) < MeanPosition(b);
+                         });
+        double sum = 0.0;
+        for (const std::string& label : group) sum += MeanPosition(label);
+        pieces.push_back(
+            {dtd::ContentModel::Plus(dtd::SeqOfNames(group_ordered)),
+             sum / static_cast<double>(group.size())});
+      }
+      for (const std::string& label : ordered) {
+        if (grouped.count(label) > 0) continue;
+        Ptr leaf = dtd::ContentModel::Name(label);
+        if (IsRepeated(label)) {
+          leaf = dtd::ContentModel::Plus(std::move(leaf));
+        }
+        pieces.push_back({std::move(leaf), MeanPosition(label)});
+      }
+      std::stable_sort(pieces.begin(), pieces.end(),
+                       [](const Piece& a, const Piece& b) {
+                         return a.position < b.position;
+                       });
+      std::vector<Ptr> children;
+      children.reserve(pieces.size());
+      for (Piece& piece : pieces) children.push_back(std::move(piece.tree));
+      tree = children.size() == 1 ? std::move(children.front())
+                                  : dtd::ContentModel::Seq(std::move(children));
+      Fire(trace, 1, "AND-mixed(" + JoinLabels(members) + ")");
+    }
+
+    // Replace the member entries with the combined tree.
+    std::erase_if(c, [&](const Entry& entry) {
+      return entry.IsElement() && members.count(*entry.labels.begin()) > 0;
+    });
+    c.push_back(MakeEntry(std::move(tree), members));
+    fired = true;
+    }  // runs
+  }
+  return fired;
+}
+
+// ---------------------------------------------------------------------------
+// Policies 2 and 3: AND-binding between an element and an operator tree.
+// ---------------------------------------------------------------------------
+bool PolicyEngine::Policy2and3(std::vector<Entry>& c,
+                               std::vector<PolicyTrace>* trace) {
+  bool fired = false;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t t = 0; t < c.size() && !progress; ++t) {
+      Kind root = c[t].tree->kind();
+      bool star_like = root == Kind::kStar || root == Kind::kPlus;
+      bool and_like = root == Kind::kAnd;
+      if (!star_like && !and_like) continue;
+      for (size_t x = 0; x < c.size(); ++x) {
+        if (x == t || !c[x].IsElement()) continue;
+        const std::string& label = *c[x].labels.begin();
+        bool bind;
+        int policy;
+        if (star_like) {
+          // Policy 2: the tree's labels imply the element's presence.
+          bind = oracle_->Implies(c[t].labels, {}, label, /*rhs_present=*/true);
+          policy = 2;
+        } else {
+          // Policy 3: mutual implication between the element and every
+          // label of the AND tree.
+          bind = oracle_->Implies(c[t].labels, {}, label, /*rhs_present=*/true);
+          for (const std::string& l : c[t].labels) {
+            bind = bind && oracle_->Implies({label}, {}, l, /*rhs_present=*/true);
+          }
+          policy = 3;
+        }
+        if (!bind || !ContiguousForAnd(c, t, x)) continue;
+        Ptr element_tree = std::move(c[x].tree);
+        std::set<std::string> labels = c[t].labels;
+        labels.insert(label);
+        std::vector<Ptr> children;
+        if (MeanPosition(label) < c[t].position) {
+          children.push_back(std::move(element_tree));
+          children.push_back(std::move(c[t].tree));
+        } else {
+          children.push_back(std::move(c[t].tree));
+          children.push_back(std::move(element_tree));
+        }
+        Ptr combined = dtd::ContentModel::Seq(std::move(children));
+        Fire(trace, policy,
+             "AND(" + JoinLabels(labels) + ")");
+        size_t low = std::min(t, x);
+        size_t high = std::max(t, x);
+        c.erase(c.begin() + high);
+        c.erase(c.begin() + low);
+        c.push_back(MakeEntry(std::move(combined), std::move(labels)));
+        fired = true;
+        progress = true;
+        break;
+      }
+    }
+  }
+  return fired;
+}
+
+// ---------------------------------------------------------------------------
+// Policies 4 and 5: OR-binding among mutually exclusive elements.
+// ---------------------------------------------------------------------------
+bool PolicyEngine::Policy4and5(std::vector<Entry>& c,
+                               std::vector<PolicyTrace>* trace) {
+  if (!options_.enable_or) return false;
+  bool fired = false;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Element labels currently in C, ordered by position for determinism.
+    std::vector<std::string> elements;
+    for (const Entry& entry : c) {
+      if (entry.IsElement()) elements.push_back(*entry.labels.begin());
+    }
+    std::stable_sort(elements.begin(), elements.end(),
+                     [&](const std::string& a, const std::string& b) {
+                       return MeanPosition(a) < MeanPosition(b);
+                     });
+    for (const std::string& seed : elements) {
+      // Grow the candidate set by pairwise exclusion (never co-occurring),
+      // then verify the exactly-one property collectively — pairwise
+      // ExactlyOneOf cannot grow beyond two alternatives.
+      std::set<std::string> members = {seed};
+      for (const std::string& candidate : elements) {
+        if (members.count(candidate) > 0) continue;
+        bool disjoint = true;
+        for (const std::string& member : members) {
+          if (oracle_->Support({member, candidate}) > 0.0) {
+            disjoint = false;
+            break;
+          }
+        }
+        if (disjoint) members.insert(candidate);
+      }
+      if (members.size() < 2 || !oracle_->ExactlyOneOf(members)) continue;
+      // Alternative order is semantically irrelevant; use the (sorted)
+      // label order for deterministic, readable output.
+      std::vector<std::string> ordered(members.begin(), members.end());
+      std::vector<Ptr> alternatives;
+      alternatives.reserve(ordered.size());
+      for (const std::string& label : ordered) {
+        alternatives.push_back(WrapAlternative(label));
+      }
+      Ptr tree = dtd::ContentModel::Choice(std::move(alternatives));
+      Fire(trace, members.size() == 2 ? 4 : 5,
+           "OR(" + JoinLabels(members) + ")");
+      std::erase_if(c, [&](const Entry& entry) {
+        return entry.IsElement() && members.count(*entry.labels.begin()) > 0;
+      });
+      c.push_back(MakeEntry(std::move(tree), members));
+      fired = true;
+      progress = true;
+      break;
+    }
+  }
+  return fired;
+}
+
+// ---------------------------------------------------------------------------
+// Policies 6–8: OR-binding between an element and an operator tree.
+// ---------------------------------------------------------------------------
+bool PolicyEngine::Policy678(std::vector<Entry>& c,
+                             std::vector<PolicyTrace>* trace) {
+  if (!options_.enable_or) return false;
+  bool fired = false;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t t = 0; t < c.size() && !progress; ++t) {
+      if (c[t].IsElement()) continue;
+      for (size_t x = 0; x < c.size(); ++x) {
+        if (x == t || !c[x].IsElement()) continue;
+        const std::string& label = *c[x].labels.begin();
+        if (!TreesMutuallyExclude({label}, c[t].labels)) continue;
+        int policy;
+        switch (c[t].tree->kind()) {
+          case Kind::kStar:
+          case Kind::kPlus:
+          case Kind::kOptional:
+            policy = 6;
+            break;
+          case Kind::kAnd:
+            policy = 7;
+            break;
+          default:
+            policy = 8;
+            break;
+        }
+        std::set<std::string> labels = c[t].labels;
+        labels.insert(label);
+        std::vector<Ptr> alternatives;
+        alternatives.push_back(WrapAlternative(label));
+        alternatives.push_back(std::move(c[t].tree));
+        Ptr tree = dtd::ContentModel::Choice(std::move(alternatives));
+        Fire(trace, policy, "OR(" + JoinLabels(labels) + ")");
+        size_t low = std::min(t, x);
+        size_t high = std::max(t, x);
+        c.erase(c.begin() + high);
+        c.erase(c.begin() + low);
+        c.push_back(MakeEntry(std::move(tree), std::move(labels)));
+        fired = true;
+        progress = true;
+        break;
+      }
+    }
+  }
+  return fired;
+}
+
+// ---------------------------------------------------------------------------
+// Policy 9: unary wrap of leftover elements (repetition / optionality).
+// ---------------------------------------------------------------------------
+bool PolicyEngine::Policy9(std::vector<Entry>& c,
+                           std::vector<PolicyTrace>* trace) {
+  bool fired = false;
+  for (Entry& entry : c) {
+    if (!entry.IsElement()) continue;
+    const std::string label = *entry.labels.begin();
+    bool repeated = IsRepeated(label);
+    bool optional = !oracle_->AlwaysPresent(label);
+    if (!repeated && !optional) continue;
+    Ptr name = std::move(entry.tree);
+    if (repeated && optional) {
+      entry.tree = dtd::ContentModel::Star(std::move(name));
+      Fire(trace, 9, label + "*");
+    } else if (repeated) {
+      entry.tree = dtd::ContentModel::Plus(std::move(name));
+      Fire(trace, 9, label + "+");
+    } else {
+      entry.tree = dtd::ContentModel::Opt(std::move(name));
+      Fire(trace, 9, label + "?");
+    }
+    fired = true;
+  }
+  return fired;
+}
+
+// ---------------------------------------------------------------------------
+// Policies 10–12: binding between two operator trees.
+// ---------------------------------------------------------------------------
+bool PolicyEngine::Policy10to12(std::vector<Entry>& c,
+                                std::vector<PolicyTrace>* trace) {
+  bool fired = false;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < c.size() && !progress; ++i) {
+      for (size_t j = i + 1; j < c.size(); ++j) {
+        if (c[i].IsElement() || c[j].IsElement()) continue;
+        bool both_or = c[i].tree->kind() == Kind::kOr &&
+                       c[j].tree->kind() == Kind::kOr;
+        std::set<std::string> labels = c[i].labels;
+        labels.insert(c[j].labels.begin(), c[j].labels.end());
+        Ptr tree;
+        int policy = 0;
+        if (options_.enable_or && both_or &&
+            TreesMutuallyExclude(c[i].labels, c[j].labels)) {
+          // Policy 10: merge two OR trees into one alternative list.
+          std::vector<Ptr> alternatives;
+          for (Ptr& child : c[i].tree->children()) {
+            alternatives.push_back(std::move(child));
+          }
+          for (Ptr& child : c[j].tree->children()) {
+            alternatives.push_back(std::move(child));
+          }
+          tree = dtd::ContentModel::Choice(std::move(alternatives));
+          policy = 10;
+        } else if (TreesMutuallyImply(c[i].labels, c[j].labels) &&
+                   ContiguousForAnd(c, i, j)) {
+          // Policy 11: the groups always occur together — AND.
+          std::vector<Ptr> children;
+          if (c[i].position <= c[j].position) {
+            children.push_back(std::move(c[i].tree));
+            children.push_back(std::move(c[j].tree));
+          } else {
+            children.push_back(std::move(c[j].tree));
+            children.push_back(std::move(c[i].tree));
+          }
+          tree = dtd::ContentModel::Seq(std::move(children));
+          policy = 11;
+        } else if (options_.enable_or &&
+                   TreesMutuallyExclude(c[i].labels, c[j].labels)) {
+          // Policy 12: the groups are alternatives — OR.
+          std::vector<Ptr> alternatives;
+          alternatives.push_back(std::move(c[i].tree));
+          alternatives.push_back(std::move(c[j].tree));
+          tree = dtd::ContentModel::Choice(std::move(alternatives));
+          policy = 12;
+        } else {
+          continue;
+        }
+        Fire(trace, policy,
+             (policy == 11 ? "AND(" : "OR(") + JoinLabels(labels) + ")");
+        c.erase(c.begin() + j);
+        c.erase(c.begin() + i);
+        c.push_back(MakeEntry(std::move(tree), std::move(labels)));
+        fired = true;
+        progress = true;
+        break;
+      }
+    }
+  }
+  return fired;
+}
+
+// ---------------------------------------------------------------------------
+// Policy 13: fallback AND over everything left.
+// ---------------------------------------------------------------------------
+Ptr PolicyEngine::Policy13(std::vector<Entry>& c,
+                           std::vector<PolicyTrace>* trace) {
+  std::stable_sort(c.begin(), c.end(), [](const Entry& a, const Entry& b) {
+    return a.position < b.position;
+  });
+  std::vector<Ptr> children;
+  std::set<std::string> all_labels;
+  children.reserve(c.size());
+  for (Entry& entry : c) {
+    Ptr tree = std::move(entry.tree);
+    if (!tree->Nullable() && TreeSometimesAbsent(entry.labels)) {
+      tree = dtd::ContentModel::Opt(std::move(tree));
+    }
+    all_labels.insert(entry.labels.begin(), entry.labels.end());
+    children.push_back(std::move(tree));
+  }
+  if (children.size() == 1) {
+    // Basic case: C was already a singleton.
+    Fire(trace, 0, "basic(" + JoinLabels(all_labels) + ")");
+    return std::move(children.front());
+  }
+  Fire(trace, 13, "AND(" + JoinLabels(all_labels) + ")");
+  return dtd::ContentModel::Seq(std::move(children));
+}
+
+dtd::ContentModel::Ptr PolicyEngine::Run(const std::set<std::string>& labels,
+                                         std::vector<PolicyTrace>* trace) {
+  if (labels.empty()) return nullptr;
+  std::vector<Entry> c;
+  c.reserve(labels.size());
+  for (const std::string& label : labels) {
+    c.push_back(MakeEntry(dtd::ContentModel::Name(label), {label}));
+  }
+  // The paper's pipeline: each policy applied exhaustively, in turn,
+  // never revisiting an earlier one; policy 13 terminates.
+  Policy1(c, trace);
+  if (c.size() > 1) Policy2and3(c, trace);
+  if (c.size() > 1) Policy4and5(c, trace);
+  if (c.size() > 1) Policy678(c, trace);
+  Policy9(c, trace);
+  if (c.size() > 1) Policy10to12(c, trace);
+  return Policy13(c, trace);
+}
+
+}  // namespace dtdevolve::evolve

@@ -1,0 +1,130 @@
+#ifndef DTDEVOLVE_EVOLVE_POLICIES_H_
+#define DTDEVOLVE_EVOLVE_POLICIES_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dtd/content_model.h"
+#include "evolve/stats.h"
+#include "mining/rules.h"
+
+namespace dtdevolve::evolve {
+
+/// One policy application, for the policy-distribution experiment and for
+/// explaining an evolution decision. Policy 0 denotes the basic cases.
+struct PolicyTrace {
+  int policy = 0;
+  std::string description;
+};
+
+struct PolicyOptions {
+  /// When false, the OR-producing policies (4–8, 10, 12) are disabled —
+  /// the ablation that mimics approaches unable to generate the OR
+  /// operator (Moh–Lim–Ng, §5).
+  bool enable_or = true;
+  /// When false, the contiguity guard on AND-binding (P1/P11) is
+  /// disabled — the ablation showing why AND groups must not jump over
+  /// interleaved content (DESIGN.md §3).
+  bool contiguity_guard = true;
+};
+
+/// The policy engine of §4.2 / Appendix A. Starting from the set C of
+/// trees (initially one per subelement tag), it applies the 13 heuristic
+/// policies in turn — each exhaustively, never revisiting an earlier one —
+/// until C is a singleton; that tree is the new binding of the
+/// subelements. Policies 1–3 follow the appendix verbatim; the appendix
+/// is truncated after policy 3 in the available paper text, so 4–13 are
+/// reconstructed from the constraints the paper states (see DESIGN.md):
+///
+///   1  AND among a maximal mutually-implying element set (three
+///      repetition sub-cases, with recorded groups);
+///   2  AND between a *-rooted tree and an element its labels imply;
+///   3  AND between an AND-rooted tree and a mutually-implying element;
+///   4  OR between two mutually-exclusive elements (exactly one present);
+///   5  OR among a maximal exclusive element set (> 2 elements);
+///   6  OR between an element and a */+-rooted tree (mutual exclusion);
+///   7  OR between an element and an AND-rooted tree;
+///   8  OR between an element and an OR-rooted tree (added alternative);
+///   9  unary wrap of leftover elements: repeated → +/*, optional → ?;
+///   10 merge of two OR-rooted trees under mutual exclusion;
+///   11 AND of two operator-rooted trees under mutual implication;
+///   12 OR of two operator-rooted trees under mutual exclusion;
+///   13 fallback: AND of everything left, wrapping sometimes-absent
+///      non-nullable subtrees in ? — guarantees termination.
+///
+/// AND children are ordered by the mean recorded position of their labels
+/// (recorded sequences are order-free, so this is the only order signal).
+class PolicyEngine {
+ public:
+  /// `oracle` answers confidence-1 rule queries over the frequent
+  /// sequences; `stats` supplies repetition histograms, groups and
+  /// positions. Both must outlive the engine.
+  PolicyEngine(const mining::SequenceRuleOracle& oracle,
+               const ElementStats& stats, PolicyOptions options = {});
+
+  /// Builds the binding of `labels` (the tags found in the frequent
+  /// sequences). Returns null when `labels` is empty. Appends one
+  /// PolicyTrace per application when `trace` is non-null.
+  dtd::ContentModel::Ptr Run(const std::set<std::string>& labels,
+                             std::vector<PolicyTrace>* trace);
+
+ private:
+  struct Entry {
+    dtd::ContentModel::Ptr tree;
+    std::set<std::string> labels;  // λ(T)
+    double position = 0.5;         // mean recorded position, for ordering
+
+    bool IsElement() const {
+      return tree->kind() == dtd::ContentModel::Kind::kName;
+    }
+  };
+
+  void Fire(std::vector<PolicyTrace>* trace, int policy,
+            std::string description) const;
+
+  // Label-level queries against the recorded statistics.
+  double MeanPosition(const std::string& label) const;
+  bool IsRepeated(const std::string& label) const;
+  uint32_t UniformCount(const std::string& label) const;
+  bool HasGroup(const std::set<std::string>& labels, uint32_t count) const;
+
+  // Sequence-level queries about trees (presence = any λ(T) label).
+  bool TreePresent(const std::set<std::string>& labels,
+                   const std::set<std::string>& sequence) const;
+  bool TreeSometimesAbsent(const std::set<std::string>& labels) const;
+  bool TreesMutuallyImply(const std::set<std::string>& a,
+                          const std::set<std::string>& b) const;
+  bool TreesMutuallyExclude(const std::set<std::string>& a,
+                            const std::set<std::string>& b) const;
+
+  /// True when entries i and j of C may be AND-bound without jumping over
+  /// a third entry's recorded position range.
+  bool ContiguousForAnd(const std::vector<Entry>& c, size_t i,
+                        size_t j) const;
+
+  /// Wraps a member of an OR alternative per its repetition evidence.
+  dtd::ContentModel::Ptr WrapAlternative(const std::string& label) const;
+
+  /// Entry for a freshly built tree over `labels`.
+  Entry MakeEntry(dtd::ContentModel::Ptr tree,
+                  std::set<std::string> labels) const;
+
+  // The policies; each returns true when it fired at least once.
+  bool Policy1(std::vector<Entry>& c, std::vector<PolicyTrace>* trace);
+  bool Policy2and3(std::vector<Entry>& c, std::vector<PolicyTrace>* trace);
+  bool Policy4and5(std::vector<Entry>& c, std::vector<PolicyTrace>* trace);
+  bool Policy678(std::vector<Entry>& c, std::vector<PolicyTrace>* trace);
+  bool Policy9(std::vector<Entry>& c, std::vector<PolicyTrace>* trace);
+  bool Policy10to12(std::vector<Entry>& c, std::vector<PolicyTrace>* trace);
+  dtd::ContentModel::Ptr Policy13(std::vector<Entry>& c,
+                                  std::vector<PolicyTrace>* trace);
+
+  const mining::SequenceRuleOracle* oracle_;
+  const ElementStats* stats_;
+  PolicyOptions options_;
+};
+
+}  // namespace dtdevolve::evolve
+
+#endif  // DTDEVOLVE_EVOLVE_POLICIES_H_

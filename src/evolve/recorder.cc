@@ -1,0 +1,100 @@
+#include "evolve/recorder.h"
+
+namespace dtdevolve::evolve {
+
+Recorder::Recorder(ExtendedDtd& target)
+    : target_(&target),
+      validator_(std::make_unique<validate::Validator>(target.dtd())) {}
+
+namespace {
+
+std::vector<std::string> AttributeNames(const xml::Element& element) {
+  std::vector<std::string> names;
+  names.reserve(element.attributes().size());
+  for (const xml::Attribute& attribute : element.attributes()) {
+    names.push_back(attribute.name);
+  }
+  return names;
+}
+
+}  // namespace
+
+void Recorder::RecordPlusInstance(ElementStats& stats,
+                                  const xml::Element& element) {
+  stats.RecordInstance(element.ChildTagSequence(), /*locally_valid=*/false,
+                       element.HasTextContent());
+  stats.RecordAttributes(AttributeNames(element));
+  for (const xml::Element* child : element.ChildElements()) {
+    RecordPlusInstance(stats.PlusStructureFor(child->tag()), *child);
+  }
+}
+
+void Recorder::Walk(const xml::Element& element,
+                    std::set<std::string>& doc_valid,
+                    std::set<std::string>& doc_invalid, uint64_t& total,
+                    uint64_t& invalid) {
+  ++total;
+  const dtd::ElementDecl* decl = target_->dtd().FindElement(element.tag());
+  if (decl != nullptr && decl->content != nullptr) {
+    bool valid = validator_->ElementLocallyValid(element);
+    ElementStats& stats = target_->StatsFor(element.tag());
+    stats.RecordInstance(element.ChildTagSequence(), valid,
+                         element.HasTextContent());
+    stats.RecordAttributes(AttributeNames(element));
+    if (valid) {
+      doc_valid.insert(element.tag());
+    } else {
+      doc_invalid.insert(element.tag());
+      ++invalid;
+      // Record the structure of plus labels (present in the instance,
+      // absent from the declaration) for later extraction.
+      std::set<std::string> declared = decl->content->SymbolSet();
+      for (const xml::Element* child : element.ChildElements()) {
+        if (declared.count(child->tag()) == 0) {
+          RecordPlusInstance(stats.PlusStructureFor(child->tag()), *child);
+        }
+      }
+    }
+  } else {
+    // Element with no declaration at all: non-valid by definition. Its
+    // structure is captured as a plus element under its parent.
+    ++invalid;
+  }
+  for (const xml::Element* child : element.ChildElements()) {
+    Walk(*child, doc_valid, doc_invalid, total, invalid);
+  }
+}
+
+void Recorder::RecordTree(const xml::Element& root) {
+  std::set<std::string> doc_valid;
+  std::set<std::string> doc_invalid;
+  uint64_t total = 0;
+  uint64_t invalid = 0;
+  Walk(root, doc_valid, doc_invalid, total, invalid);
+  for (const std::string& tag : doc_valid) {
+    target_->StatsFor(tag).BumpDocsWithValid();
+  }
+  for (const std::string& tag : doc_invalid) {
+    target_->StatsFor(tag).BumpDocsWithInvalid();
+  }
+}
+
+double Recorder::RecordDocument(const xml::Document& doc) {
+  if (!doc.has_root()) return 0.0;
+  std::set<std::string> doc_valid;
+  std::set<std::string> doc_invalid;
+  uint64_t total = 0;
+  uint64_t invalid = 0;
+  Walk(doc.root(), doc_valid, doc_invalid, total, invalid);
+  for (const std::string& tag : doc_valid) {
+    target_->StatsFor(tag).BumpDocsWithValid();
+  }
+  for (const std::string& tag : doc_invalid) {
+    target_->StatsFor(tag).BumpDocsWithInvalid();
+  }
+  target_->RecordDocumentDivergence(total, invalid);
+  return total == 0 ? 0.0
+                    : static_cast<double>(invalid) / static_cast<double>(total);
+}
+
+}  // namespace dtdevolve::evolve

@@ -1,0 +1,57 @@
+#ifndef DTDEVOLVE_EVOLVE_RECORDER_H_
+#define DTDEVOLVE_EVOLVE_RECORDER_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "evolve/extended_dtd.h"
+#include "validate/validator.h"
+#include "xml/document.h"
+
+namespace dtdevolve::evolve {
+
+/// The recording phase (§3): after a document is classified into a DTD,
+/// extract its structural information into the extended DTD so the
+/// evolution phase never has to re-read documents.
+///
+/// Per element instance e_d matched to declaration e (by tag):
+///  * full local similarity ⇒ the valid-instance counters are bumped
+///    (plus label occurrence stats, which the operator restriction uses);
+///  * otherwise the non-valid counters, the labels of αβ(e_d), the
+///    sequence (tag set), per-label repetition stats and the repetition
+///    groups are recorded, and the subtrees of *plus* labels (labels not
+///    in the declaration) are recorded recursively so a declaration can
+///    later be extracted for them.
+///
+/// The recorder caches a Validator over the target DTD; build a fresh
+/// Recorder after the DTD evolves.
+class Recorder {
+ public:
+  explicit Recorder(ExtendedDtd& target);
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Records a whole classified document (its divergence contribution
+  /// included). Returns the document's non-valid-element fraction.
+  double RecordDocument(const xml::Document& doc);
+
+  /// Records an element subtree (no document-level divergence update).
+  void RecordTree(const xml::Element& root);
+
+ private:
+  void Walk(const xml::Element& element, std::set<std::string>& doc_valid,
+            std::set<std::string>& doc_invalid, uint64_t& total,
+            uint64_t& invalid);
+  /// Recursively records a plus-element instance against an implicit
+  /// empty declaration: every child is again a plus element.
+  void RecordPlusInstance(ElementStats& stats, const xml::Element& element);
+
+  ExtendedDtd* target_;
+  std::unique_ptr<validate::Validator> validator_;
+};
+
+}  // namespace dtdevolve::evolve
+
+#endif  // DTDEVOLVE_EVOLVE_RECORDER_H_

@@ -1,0 +1,58 @@
+#include "evolve/rename.h"
+
+#include <algorithm>
+
+namespace dtdevolve::evolve {
+
+std::vector<RenameCandidate> DetectRenames(
+    const ElementStats& stats, const std::set<std::string>& declared_symbols,
+    const similarity::Thesaurus& thesaurus, double min_score) {
+  // Candidate observed tags: recorded labels not in the declaration.
+  std::vector<RenameCandidate> candidates;
+  for (const auto& [label, label_stats] : stats.labels()) {
+    if (declared_symbols.count(label) > 0) continue;
+    if (label_stats.invalid.instances == 0) continue;
+    for (const std::string& declared : declared_symbols) {
+      double score = thesaurus.Score(label, declared);
+      if (score < min_score) continue;
+      // Complementarity over the recorded sequences.
+      uint64_t with_to = 0;
+      bool co_occur = false;
+      for (const auto& [sequence, count] : stats.sequences()) {
+        bool has_to = sequence.count(label) > 0;
+        bool has_from = sequence.count(declared) > 0;
+        if (has_to) with_to += count;
+        if (has_to && has_from) {
+          co_occur = true;
+          break;
+        }
+      }
+      if (co_occur || with_to == 0) continue;
+      RenameCandidate candidate;
+      candidate.from = declared;
+      candidate.to = label;
+      candidate.score = score;
+      candidate.evidence = with_to;
+      candidates.push_back(std::move(candidate));
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const RenameCandidate& a, const RenameCandidate& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.evidence > b.evidence;
+                   });
+  // Enforce a 1:1 mapping, best first.
+  std::set<std::string> used_from, used_to;
+  std::vector<RenameCandidate> unique;
+  for (RenameCandidate& candidate : candidates) {
+    if (used_from.count(candidate.from) || used_to.count(candidate.to)) {
+      continue;
+    }
+    used_from.insert(candidate.from);
+    used_to.insert(candidate.to);
+    unique.push_back(std::move(candidate));
+  }
+  return unique;
+}
+
+}  // namespace dtdevolve::evolve

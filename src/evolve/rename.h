@@ -1,0 +1,37 @@
+#ifndef DTDEVOLVE_EVOLVE_RENAME_H_
+#define DTDEVOLVE_EVOLVE_RENAME_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "evolve/stats.h"
+#include "similarity/thesaurus.h"
+
+namespace dtdevolve::evolve {
+
+/// A detected tag rename: documents stopped using the declared tag `from`
+/// and consistently use the thesaurus-similar tag `to` in its place.
+struct RenameCandidate {
+  std::string from;  // declared subelement tag
+  std::string to;    // observed replacement tag
+  double score = 0.0;       // thesaurus similarity
+  uint64_t evidence = 0;    // sequences exhibiting the replacement
+};
+
+/// The §6 extension "evolving tag names as well as their structure by
+/// relying on the use of a Thesaurus": a plus label `to` is a rename of a
+/// declared label `from` when
+///  * `to` is not declared while `from` is,
+///  * the thesaurus scores the pair ≥ `min_score`, and
+///  * the two are complementary in the recorded sequences — `from` never
+///    co-occurs with `to`, and `to` does occur.
+/// Candidates are returned best-score-first; each observed tag maps to at
+/// most one declared tag and vice versa.
+std::vector<RenameCandidate> DetectRenames(
+    const ElementStats& stats, const std::set<std::string>& declared_symbols,
+    const similarity::Thesaurus& thesaurus, double min_score = 0.5);
+
+}  // namespace dtdevolve::evolve
+
+#endif  // DTDEVOLVE_EVOLVE_RENAME_H_

@@ -1,0 +1,112 @@
+#include "evolve/restriction.h"
+
+namespace dtdevolve::evolve {
+
+namespace {
+
+using Kind = dtd::ContentModel::Kind;
+using Ptr = dtd::ContentModel::Ptr;
+
+struct LabelEvidence {
+  bool always_present = false;
+  bool never_repeated = false;
+  bool seen = false;
+};
+
+LabelEvidence EvidenceFor(const std::string& label,
+                          const ElementStats& stats) {
+  LabelEvidence evidence;
+  uint64_t valid_total = stats.valid_instances();
+  if (valid_total == 0) return evidence;
+  auto it = stats.labels().find(label);
+  const OccurrenceStats* occ =
+      it == stats.labels().end() ? nullptr : &it->second.valid;
+  uint64_t present = occ == nullptr ? 0 : occ->instances;
+  uint64_t repeated = occ == nullptr ? 0 : occ->repeated;
+  evidence.seen = present > 0;
+  evidence.always_present = present == valid_total;
+  evidence.never_repeated = repeated == 0;
+  return evidence;
+}
+
+Ptr RestrictRec(Ptr node, const ElementStats& stats, bool& changed) {
+  if (node->is_leaf()) return node;
+
+  if (node->is_unary() && node->child().kind() == Kind::kName) {
+    const std::string label = node->child().name();
+    LabelEvidence evidence = EvidenceFor(label, stats);
+    if (!evidence.seen) return node;  // no positive evidence — keep
+    Ptr name = dtd::ContentModel::Name(label);
+    switch (node->kind()) {
+      case Kind::kStar:
+        if (evidence.always_present && evidence.never_repeated) {
+          changed = true;
+          return name;
+        }
+        if (evidence.always_present) {
+          changed = true;
+          return dtd::ContentModel::Plus(std::move(name));
+        }
+        if (evidence.never_repeated) {
+          changed = true;
+          return dtd::ContentModel::Opt(std::move(name));
+        }
+        return node;
+      case Kind::kPlus:
+        if (evidence.never_repeated) {
+          changed = true;
+          return name;
+        }
+        return node;
+      case Kind::kOptional:
+        if (evidence.always_present) {
+          changed = true;
+          return name;
+        }
+        return node;
+      default:
+        return node;
+    }
+  }
+
+  std::vector<Ptr> children;
+  children.reserve(node->children().size());
+  bool any_child_changed = false;
+  for (Ptr& child : node->children()) {
+    bool child_changed = false;
+    children.push_back(RestrictRec(std::move(child), stats, child_changed));
+    any_child_changed = any_child_changed || child_changed;
+  }
+  if (!any_child_changed) {
+    node->children() = std::move(children);
+    return node;
+  }
+  changed = true;
+  switch (node->kind()) {
+    case Kind::kAnd:
+      return dtd::ContentModel::Seq(std::move(children));
+    case Kind::kOr:
+      return dtd::ContentModel::Choice(std::move(children));
+    case Kind::kOptional:
+      return dtd::ContentModel::Opt(std::move(children.front()));
+    case Kind::kStar:
+      return dtd::ContentModel::Star(std::move(children.front()));
+    case Kind::kPlus:
+      return dtd::ContentModel::Plus(std::move(children.front()));
+    default:
+      return node;
+  }
+}
+
+}  // namespace
+
+RestrictionResult RestrictOperators(dtd::ContentModel::Ptr model,
+                                    const ElementStats& stats) {
+  RestrictionResult result;
+  bool changed = false;
+  result.model = RestrictRec(std::move(model), stats, changed);
+  result.changed = changed;
+  return result;
+}
+
+}  // namespace dtdevolve::evolve

@@ -1,0 +1,35 @@
+#ifndef DTDEVOLVE_EVOLVE_RESTRICTION_H_
+#define DTDEVOLVE_EVOLVE_RESTRICTION_H_
+
+#include "dtd/content_model.h"
+#include "evolve/stats.h"
+
+namespace dtdevolve::evolve {
+
+/// Operator restriction (§4.1, old window): when almost all recorded
+/// instances conform to the declaration, the declaration may still be
+/// *tightened* to the valid instances actually seen — e.g. if every
+/// instance of `a` contained at least one `b`, `b*` becomes `b+`.
+///
+/// Restrictions are applied to unary operators over single element names,
+/// judged against the label statistics of the *valid* instances:
+///  * `x*` → `x`   when x was always present and never repeated;
+///  * `x*` → `x+`  when x was always present (and repeated somewhere);
+///  * `x*` → `x?`  when x was never repeated (but sometimes absent);
+///  * `x+` → `x`   when x was never repeated;
+///  * `x?` → `x`   when x was always present.
+/// A restriction only fires with positive evidence: at least one valid
+/// instance recorded, and (for presence-based rules) the label seen at
+/// least once. Labels under OR alternatives are naturally protected —
+/// an alternative not taken by every instance is never "always present".
+struct RestrictionResult {
+  dtd::ContentModel::Ptr model;
+  bool changed = false;
+};
+
+RestrictionResult RestrictOperators(dtd::ContentModel::Ptr model,
+                                    const ElementStats& stats);
+
+}  // namespace dtdevolve::evolve
+
+#endif  // DTDEVOLVE_EVOLVE_RESTRICTION_H_

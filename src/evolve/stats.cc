@@ -1,0 +1,147 @@
+#include "evolve/stats.h"
+
+namespace dtdevolve::evolve {
+
+void OccurrenceStats::RecordInstance(uint32_t count_in_instance) {
+  if (count_in_instance == 0) return;
+  ++instances;
+  if (count_in_instance > 1) ++repeated;
+  occurrences += count_in_instance;
+  ++count_histogram[count_in_instance];
+}
+
+uint32_t OccurrenceStats::UniformCount() const {
+  if (count_histogram.size() != 1) return 0;
+  return count_histogram.begin()->first;
+}
+
+void OccurrenceStats::MergeFrom(const OccurrenceStats& other) {
+  instances += other.instances;
+  repeated += other.repeated;
+  occurrences += other.occurrences;
+  for (const auto& [count, n] : other.count_histogram) {
+    count_histogram[count] += n;
+  }
+  position_sum += other.position_sum;
+}
+
+std::set<std::string> ElementStats::RecordInstance(
+    const std::vector<std::string>& child_tags, bool locally_valid,
+    bool has_text) {
+  // Per-label occurrence counts and positions within this instance.
+  std::map<std::string, uint32_t> counts;
+  std::map<std::string, double> positions;
+  const double denom =
+      child_tags.size() > 1 ? static_cast<double>(child_tags.size() - 1) : 1.0;
+  for (size_t i = 0; i < child_tags.size(); ++i) {
+    ++counts[child_tags[i]];
+    positions[child_tags[i]] += static_cast<double>(i) / denom;
+  }
+
+  if (has_text) ++text_instances_;
+  if (child_tags.empty() && !has_text) ++empty_instances_;
+
+  std::set<std::string> label_set;
+  for (const auto& [label, count] : counts) label_set.insert(label);
+
+  if (locally_valid) {
+    ++valid_instances_;
+    for (const auto& [label, count] : counts) {
+      OccurrenceStats& occ = labels_[label].valid;
+      occ.RecordInstance(count);
+      occ.position_sum += positions[label];
+    }
+    return label_set;
+  }
+
+  ++invalid_instances_;
+  ++sequences_[label_set];
+  for (const auto& [label, count] : counts) {
+    OccurrenceStats& occ = labels_[label].invalid;
+    occ.RecordInstance(count);
+    occ.position_sum += positions[label];
+  }
+  // Groups: for each repetition count m > 1, the set of labels repeated
+  // exactly m times in this instance (§3.2).
+  std::map<uint32_t, std::set<std::string>> by_count;
+  for (const auto& [label, count] : counts) {
+    if (count > 1) by_count[count].insert(label);
+  }
+  for (auto& [count, labels] : by_count) {
+    GroupKey key;
+    key.labels = std::move(labels);
+    key.repeat_count = count;
+    ++groups_[key];
+  }
+  return label_set;
+}
+
+double ElementStats::InvalidityRatio() const {
+  uint64_t n = total_instances();
+  if (n == 0) return 0.0;
+  return static_cast<double>(invalid_instances_) / static_cast<double>(n);
+}
+
+std::vector<std::pair<std::set<std::string>, uint32_t>>
+ElementStats::SequenceList() const {
+  std::vector<std::pair<std::set<std::string>, uint32_t>> out;
+  out.reserve(sequences_.size());
+  for (const auto& [labels, count] : sequences_) {
+    out.emplace_back(labels, static_cast<uint32_t>(count));
+  }
+  return out;
+}
+
+std::set<std::string> ElementStats::LabelUniverse() const {
+  std::set<std::string> out;
+  for (const auto& [labels, count] : sequences_) {
+    out.insert(labels.begin(), labels.end());
+  }
+  return out;
+}
+
+void ElementStats::RecordAttributes(const std::vector<std::string>& names) {
+  for (const std::string& name : names) ++attribute_counts_[name];
+}
+
+ElementStats& ElementStats::PlusStructureFor(const std::string& label) {
+  LabelStats& entry = labels_[label];
+  if (!entry.plus_structure) {
+    entry.plus_structure = std::make_unique<ElementStats>();
+  }
+  return *entry.plus_structure;
+}
+
+void ElementStats::Clear() { *this = ElementStats(); }
+
+void ElementStats::RestoreCounters(uint64_t valid, uint64_t invalid,
+                                   uint64_t docs_valid, uint64_t docs_invalid,
+                                   uint64_t text, uint64_t empty) {
+  valid_instances_ = valid;
+  invalid_instances_ = invalid;
+  docs_with_valid_ = docs_valid;
+  docs_with_invalid_ = docs_invalid;
+  text_instances_ = text;
+  empty_instances_ = empty;
+}
+
+size_t ElementStats::MemoryFootprint() const {
+  size_t bytes = sizeof(ElementStats);
+  for (const auto& [label, stats] : labels_) {
+    bytes += label.size() + sizeof(LabelStats);
+    bytes += stats.valid.count_histogram.size() * sizeof(uint64_t) * 2;
+    bytes += stats.invalid.count_histogram.size() * sizeof(uint64_t) * 2;
+    if (stats.plus_structure) bytes += stats.plus_structure->MemoryFootprint();
+  }
+  for (const auto& [labels, count] : sequences_) {
+    bytes += sizeof(uint64_t);
+    for (const std::string& label : labels) bytes += label.size() + 16;
+  }
+  for (const auto& [key, count] : groups_) {
+    bytes += sizeof(uint64_t) * 2;
+    for (const std::string& label : key.labels) bytes += label.size() + 16;
+  }
+  return bytes;
+}
+
+}  // namespace dtdevolve::evolve

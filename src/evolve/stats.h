@@ -1,0 +1,183 @@
+#ifndef DTDEVOLVE_EVOLVE_STATS_H_
+#define DTDEVOLVE_EVOLVE_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dtdevolve::evolve {
+
+/// Occurrence statistics of one child label across the recorded instances
+/// of a DTD element.
+struct OccurrenceStats {
+  /// Instances whose content contained the label at least once.
+  uint64_t instances = 0;
+  /// Instances where the label occurred more than once (the paper's
+  /// "number of non valid instances ... in which l is repeated").
+  uint64_t repeated = 0;
+  /// Total occurrences of the label, over all instances.
+  uint64_t occurrences = 0;
+  /// Histogram: occurrence count per instance → number of instances.
+  /// Backs the R(T) repetition queries of the evolution policies.
+  std::map<uint32_t, uint64_t> count_histogram;
+  /// Sum of normalized positions (index / max(1, len−1)) of the label's
+  /// occurrences; `occurrences` is the denominator. Lets the structure
+  /// builder order AND children by where the labels actually appeared —
+  /// recorded sequences are order-free sets, so this is the only order
+  /// signal kept (a documented extension of the paper's structures).
+  double position_sum = 0.0;
+
+  void RecordInstance(uint32_t count_in_instance);
+
+  /// Mean normalized position in [0, 1]; 0.5 when never seen.
+  double MeanPosition() const {
+    return occurrences == 0 ? 0.5 : position_sum / static_cast<double>(occurrences);
+  }
+
+  /// If every containing instance had exactly the same occurrence count m,
+  /// returns m; otherwise returns 0 ("varied"). 0 when never seen.
+  uint32_t UniformCount() const;
+
+  void MergeFrom(const OccurrenceStats& other);
+};
+
+class ElementStats;
+
+/// Per-label record inside an element's statistics.
+struct LabelStats {
+  /// Statistics over locally *valid* instances of the element. The paper
+  /// records only counters for valid instances; we additionally keep
+  /// label occurrences because the old-window *operator restriction*
+  /// needs to know what the valid instances actually contained.
+  OccurrenceStats valid;
+  /// Statistics over locally *invalid* instances (§3.2 proper).
+  OccurrenceStats invalid;
+  /// For labels not in the declaration's symbol set (*plus* elements):
+  /// recursively recorded structure of the label's instances, "used for
+  /// extracting from the instances with the same label a DTD declaration
+  /// for l".
+  std::unique_ptr<ElementStats> plus_structure;
+
+  LabelStats() = default;
+  LabelStats(LabelStats&&) = default;
+  LabelStats& operator=(LabelStats&&) = default;
+};
+
+/// A recorded group (§3.2): a set of sibling labels that were repeated the
+/// same number of times within one instance.
+struct GroupKey {
+  std::set<std::string> labels;
+  uint32_t repeat_count = 0;
+
+  friend bool operator<(const GroupKey& a, const GroupKey& b) {
+    if (a.repeat_count != b.repeat_count) return a.repeat_count < b.repeat_count;
+    return a.labels < b.labels;
+  }
+};
+
+/// All structural information recorded against one element declaration —
+/// the per-node payload of the *extended DTD*. Aggregate only: documents
+/// never need to be re-read during evolution.
+class ElementStats {
+ public:
+  ElementStats() = default;
+  ElementStats(ElementStats&&) = default;
+  ElementStats& operator=(ElementStats&&) = default;
+
+  /// Records one instance of the element. `child_tags` are the tags of
+  /// the direct subelements in document order; `locally_valid` is whether
+  /// the content satisfied the declaration; `has_text` whether the
+  /// instance carried non-blank character data.
+  /// Returns the labels of this instance for the caller's convenience.
+  std::set<std::string> RecordInstance(
+      const std::vector<std::string>& child_tags, bool locally_valid,
+      bool has_text);
+
+  uint64_t valid_instances() const { return valid_instances_; }
+  uint64_t invalid_instances() const { return invalid_instances_; }
+  uint64_t total_instances() const {
+    return valid_instances_ + invalid_instances_;
+  }
+  uint64_t text_instances() const { return text_instances_; }
+  uint64_t empty_instances() const { return empty_instances_; }
+
+  /// Documents-containing counters (§3.2); bumped by the recorder once
+  /// per document.
+  uint64_t docs_with_valid() const { return docs_with_valid_; }
+  uint64_t docs_with_invalid() const { return docs_with_invalid_; }
+  void BumpDocsWithValid() { ++docs_with_valid_; }
+  void BumpDocsWithInvalid() { ++docs_with_invalid_; }
+
+  /// The invalidity ratio I(e) = m / n (§3.2); 0 when nothing recorded.
+  double InvalidityRatio() const;
+
+  /// Labels found in the recorded instances (the element's `Label` set).
+  const std::map<std::string, LabelStats>& labels() const { return labels_; }
+  std::map<std::string, LabelStats>& labels() { return labels_; }
+
+  /// The sequences recorded from invalid instances: child-tag sets
+  /// (order and repetition disregarded) with multiplicities.
+  const std::map<std::set<std::string>, uint64_t>& sequences() const {
+    return sequences_;
+  }
+
+  /// Recorded groups with their counters r.
+  const std::map<GroupKey, uint64_t>& groups() const { return groups_; }
+
+  /// Sequences as (set, count) pairs for the rule oracle.
+  std::vector<std::pair<std::set<std::string>, uint32_t>> SequenceList() const;
+
+  /// Label universe of the recorded sequences.
+  std::set<std::string> LabelUniverse() const;
+
+  /// Gets or creates the nested stats of a plus label.
+  ElementStats& PlusStructureFor(const std::string& label);
+
+  /// Records the attribute names one instance carried (the paper leaves
+  /// attributes out; this backs the attribute-evolution extension).
+  void RecordAttributes(const std::vector<std::string>& names);
+  /// Instances carrying each attribute name, over all instances.
+  const std::map<std::string, uint64_t>& attribute_counts() const {
+    return attribute_counts_;
+  }
+  void RestoreAttributeCount(const std::string& name, uint64_t count) {
+    attribute_counts_[name] += count;
+  }
+
+  /// Resets everything — recording starts over after an evolution round.
+  void Clear();
+
+  /// Rough storage footprint in bytes, for the recording experiment.
+  size_t MemoryFootprint() const;
+
+  // --- Restore hooks (used by the persistence module only) -----------------
+
+  void RestoreCounters(uint64_t valid, uint64_t invalid, uint64_t docs_valid,
+                       uint64_t docs_invalid, uint64_t text, uint64_t empty);
+  void RestoreSequence(std::set<std::string> labels, uint64_t count) {
+    sequences_[std::move(labels)] += count;
+  }
+  void RestoreGroup(GroupKey key, uint64_t count) {
+    groups_[std::move(key)] += count;
+  }
+
+ private:
+  uint64_t valid_instances_ = 0;
+  uint64_t invalid_instances_ = 0;
+  uint64_t docs_with_valid_ = 0;
+  uint64_t docs_with_invalid_ = 0;
+  uint64_t text_instances_ = 0;
+  uint64_t empty_instances_ = 0;
+  std::map<std::string, LabelStats> labels_;
+  std::map<std::set<std::string>, uint64_t> sequences_;
+  std::map<GroupKey, uint64_t> groups_;
+  std::map<std::string, uint64_t> attribute_counts_;
+};
+
+}  // namespace dtdevolve::evolve
+
+#endif  // DTDEVOLVE_EVOLVE_STATS_H_

@@ -1,0 +1,58 @@
+#include "evolve/structure_builder.h"
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "mining/rules.h"
+
+namespace dtdevolve::evolve {
+
+BuildOutcome BuildElementStructure(const ElementStats& stats,
+                                   const BuildOptions& options) {
+  BuildOutcome outcome;
+  if (stats.invalid_instances() == 0) return outcome;  // nothing recorded
+
+  mining::SequenceRuleOracle oracle(stats.SequenceList(),
+                                    stats.LabelUniverse(),
+                                    options.min_support);
+  outcome.frequent_sequences = oracle.frequent_sequences().size();
+  outcome.discarded_sequences =
+      stats.sequences().size() - outcome.frequent_sequences;
+
+  // Labels appearing in at least one representative sequence; labels seen
+  // only in discarded sequences are not representative enough to keep.
+  std::set<std::string> labels;
+  for (const auto& [sequence, count] : oracle.frequent_sequences()) {
+    labels.insert(sequence.begin(), sequence.end());
+  }
+
+  if (labels.empty()) {
+    // The representative instances had no element children at all.
+    outcome.model = stats.text_instances() > 0 ? dtd::ContentModel::Pcdata()
+                                               : dtd::ContentModel::Empty();
+    return outcome;
+  }
+
+  if (stats.text_instances() > 0) {
+    // Character data was observed alongside element children; the only
+    // DTD form admitting both is mixed content (#PCDATA | a | …)*.
+    std::vector<dtd::ContentModel::Ptr> alternatives;
+    alternatives.push_back(dtd::ContentModel::Pcdata());
+    for (const std::string& label : labels) {
+      alternatives.push_back(dtd::ContentModel::Name(label));
+    }
+    outcome.model = dtd::ContentModel::Star(
+        dtd::ContentModel::Choice(std::move(alternatives)));
+    return outcome;
+  }
+
+  PolicyOptions policy_options;
+  policy_options.enable_or = options.enable_or;
+  policy_options.contiguity_guard = options.contiguity_guard;
+  PolicyEngine engine(oracle, stats, policy_options);
+  outcome.model = engine.Run(labels, &outcome.trace);
+  return outcome;
+}
+
+}  // namespace dtdevolve::evolve

@@ -1,0 +1,47 @@
+#ifndef DTDEVOLVE_EVOLVE_STRUCTURE_BUILDER_H_
+#define DTDEVOLVE_EVOLVE_STRUCTURE_BUILDER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dtd/content_model.h"
+#include "evolve/policies.h"
+#include "evolve/stats.h"
+
+namespace dtdevolve::evolve {
+
+struct BuildOptions {
+  /// Minimum support µ of a sequence to be considered representative.
+  double min_support = 0.1;
+  /// Forwarded to the policy engine (OR ablation).
+  bool enable_or = true;
+  /// Forwarded to the policy engine (contiguity-guard ablation).
+  bool contiguity_guard = true;
+};
+
+struct BuildOutcome {
+  /// The inferred content model; null when nothing was recorded to infer
+  /// from (no invalid instances).
+  dtd::ContentModel::Ptr model;
+  /// Policy applications performed, for the distribution experiment.
+  std::vector<PolicyTrace> trace;
+  /// Sequences that survived / failed the µ filter.
+  size_t frequent_sequences = 0;
+  size_t discarded_sequences = 0;
+};
+
+/// Determines a new content model for an element in the *new* window
+/// (§4.2), from its recorded statistics alone:
+///  1. the recorded sequences are completed with absent elements and the
+///     most frequent ones (support > µ) are kept;
+///  2. association rules with confidence 1 are extracted over them;
+///  3. the 13 heuristic policies bind the subelement tags into a tree.
+/// Instances carrying character data produce a `(#PCDATA | …)*` mixed
+/// model (the only text-admitting form a DTD allows); instances with no
+/// element children at all yield `(#PCDATA)` or `EMPTY`.
+BuildOutcome BuildElementStructure(const ElementStats& stats,
+                                   const BuildOptions& options = {});
+
+}  // namespace dtdevolve::evolve
+
+#endif  // DTDEVOLVE_EVOLVE_STRUCTURE_BUILDER_H_

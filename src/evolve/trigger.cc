@@ -1,0 +1,13 @@
+#include "evolve/trigger.h"
+
+namespace dtdevolve::evolve {
+
+CheckResult CheckEvolutionTrigger(const ExtendedDtd& ext, double tau) {
+  CheckResult result;
+  result.documents = ext.documents_recorded();
+  result.divergence = ext.MeanDivergence();
+  result.should_evolve = result.documents > 0 && result.divergence > tau;
+  return result;
+}
+
+}  // namespace dtdevolve::evolve

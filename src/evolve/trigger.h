@@ -1,0 +1,24 @@
+#ifndef DTDEVOLVE_EVOLVE_TRIGGER_H_
+#define DTDEVOLVE_EVOLVE_TRIGGER_H_
+
+#include <cstdint>
+
+#include "evolve/extended_dtd.h"
+
+namespace dtdevolve::evolve {
+
+/// Outcome of the check phase for one DTD.
+struct CheckResult {
+  bool should_evolve = false;
+  /// Mean per-document non-valid-element fraction (the condition's LHS).
+  double divergence = 0.0;
+  uint64_t documents = 0;
+};
+
+/// The check phase (§2): evolution of DTD T triggers when
+///   Σ_{D ∈ Doc_T} (#nonvalid(D) / #elements(D)) / #Doc_T  >  τ.
+CheckResult CheckEvolutionTrigger(const ExtendedDtd& ext, double tau);
+
+}  // namespace dtdevolve::evolve
+
+#endif  // DTDEVOLVE_EVOLVE_TRIGGER_H_

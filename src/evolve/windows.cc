@@ -1,0 +1,26 @@
+#include "evolve/windows.h"
+
+#include <algorithm>
+
+namespace dtdevolve::evolve {
+
+Window ClassifyWindow(double invalidity_ratio, double psi) {
+  psi = std::clamp(psi, 0.0, 0.5);
+  if (invalidity_ratio <= psi) return Window::kOld;
+  if (invalidity_ratio >= 1.0 - psi) return Window::kNew;
+  return Window::kMisc;
+}
+
+std::string WindowName(Window window) {
+  switch (window) {
+    case Window::kOld:
+      return "old";
+    case Window::kMisc:
+      return "misc";
+    case Window::kNew:
+      return "new";
+  }
+  return "?";
+}
+
+}  // namespace dtdevolve::evolve

@@ -1,0 +1,27 @@
+#ifndef DTDEVOLVE_EVOLVE_WINDOWS_H_
+#define DTDEVOLVE_EVOLVE_WINDOWS_H_
+
+#include <string>
+
+namespace dtdevolve::evolve {
+
+/// The three evolution windows of §4.1, selected by the invalidity ratio
+/// I(e) and the threshold ψ ∈ [0, 0.5]:
+///  * old  — I(e) ∈ [0, ψ]:       keep the declaration (possibly restrict
+///                                 operators to the valid instances);
+///  * new  — I(e) ∈ [1−ψ, 1]:     rebuild the declaration from the
+///                                 recorded structures;
+///  * misc — I(e) ∈ (ψ, 1−ψ):     OR the rebuilt structure with the old
+///                                 declaration, then simplify.
+enum class Window { kOld, kMisc, kNew };
+
+/// Classifies an invalidity ratio. ψ is clamped into [0, 0.5]; with
+/// ψ = 0.5 the misc window is empty and 0.5 itself falls in `old`.
+Window ClassifyWindow(double invalidity_ratio, double psi);
+
+/// "old" / "misc" / "new" for reports.
+std::string WindowName(Window window);
+
+}  // namespace dtdevolve::evolve
+
+#endif  // DTDEVOLVE_EVOLVE_WINDOWS_H_

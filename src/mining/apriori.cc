@@ -1,0 +1,106 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace dtdevolve::mining {
+
+namespace {
+
+/// Joins two sorted k-itemsets sharing their first k−1 items into a
+/// (k+1)-candidate; empty result when they do not join.
+std::vector<int> Join(const std::vector<int>& a, const std::vector<int>& b) {
+  for (size_t i = 0; i + 1 < a.size(); ++i) {
+    if (a[i] != b[i]) return {};
+  }
+  if (a.back() >= b.back()) return {};
+  std::vector<int> joined = a;
+  joined.push_back(b.back());
+  return joined;
+}
+
+/// Downward closure: every k-subset of `candidate` must be frequent.
+bool AllSubsetsFrequent(const std::vector<int>& candidate,
+                        const std::set<std::vector<int>>& frequent) {
+  std::vector<int> subset;
+  subset.reserve(candidate.size() - 1);
+  for (size_t skip = 0; skip < candidate.size(); ++skip) {
+    subset.clear();
+    for (size_t i = 0; i < candidate.size(); ++i) {
+      if (i != skip) subset.push_back(candidate[i]);
+    }
+    if (frequent.find(subset) == frequent.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> MineFrequentItemsets(
+    const TransactionSet& transactions, const AprioriOptions& options) {
+  std::vector<FrequentItemset> result;
+  const uint64_t total = transactions.total_count();
+  if (total == 0) return result;
+  const auto min_count =
+      static_cast<uint64_t>(options.min_support * static_cast<double>(total));
+
+  // L1: count single items.
+  std::map<int, uint64_t> item_counts;
+  for (const Transaction& transaction : transactions.transactions()) {
+    for (int item : transaction.items) item_counts[item] += transaction.count;
+  }
+  std::vector<std::vector<int>> level;
+  for (const auto& [item, count] : item_counts) {
+    if (count >= min_count && count > 0) {
+      FrequentItemset fis;
+      fis.items = {item};
+      fis.count = count;
+      fis.support = static_cast<double>(count) / static_cast<double>(total);
+      result.push_back(fis);
+      level.push_back({item});
+    }
+  }
+
+  size_t k = 1;
+  while (!level.empty() && (options.max_size == 0 || k < options.max_size)) {
+    // Candidate generation by prefix join + pruning.
+    std::set<std::vector<int>> frequent_k(level.begin(), level.end());
+    std::vector<std::vector<int>> candidates;
+    for (size_t i = 0; i < level.size(); ++i) {
+      for (size_t j = i + 1; j < level.size(); ++j) {
+        std::vector<int> candidate = Join(level[i], level[j]);
+        if (candidate.empty()) continue;
+        if (AllSubsetsFrequent(candidate, frequent_k)) {
+          candidates.push_back(std::move(candidate));
+        }
+      }
+    }
+    // Support counting.
+    std::vector<uint64_t> counts(candidates.size(), 0);
+    for (const Transaction& transaction : transactions.transactions()) {
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        if (transaction.ContainsAll(candidates[c])) {
+          counts[c] += transaction.count;
+        }
+      }
+    }
+    std::vector<std::vector<int>> next_level;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (counts[c] >= min_count && counts[c] > 0) {
+        FrequentItemset fis;
+        fis.items = candidates[c];
+        fis.count = counts[c];
+        fis.support =
+            static_cast<double>(counts[c]) / static_cast<double>(total);
+        result.push_back(fis);
+        next_level.push_back(std::move(candidates[c]));
+      }
+    }
+    level = std::move(next_level);
+    ++k;
+  }
+  return result;
+}
+
+}  // namespace dtdevolve::mining

@@ -1,0 +1,35 @@
+#ifndef DTDEVOLVE_MINING_APRIORI_H_
+#define DTDEVOLVE_MINING_APRIORI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mining/transactions.h"
+
+namespace dtdevolve::mining {
+
+/// A frequent itemset discovered by Apriori.
+struct FrequentItemset {
+  std::vector<int> items;  // sorted item ids
+  uint64_t count = 0;      // weighted transaction count
+  double support = 0.0;    // count / total_count
+};
+
+/// Apriori options.
+struct AprioriOptions {
+  /// Minimum support in [0, 1] (the paper's µ).
+  double min_support = 0.1;
+  /// Largest itemset size to mine; 0 means unbounded.
+  size_t max_size = 0;
+};
+
+/// Classic Apriori (Han & Kamber [4], the paper's mining reference):
+/// level-wise candidate generation with prefix join + downward-closure
+/// pruning, support counting by weighted subset test. Returns all frequent
+/// itemsets of every size, smallest first.
+std::vector<FrequentItemset> MineFrequentItemsets(
+    const TransactionSet& transactions, const AprioriOptions& options = {});
+
+}  // namespace dtdevolve::mining
+
+#endif  // DTDEVOLVE_MINING_APRIORI_H_

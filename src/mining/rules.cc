@@ -1,0 +1,173 @@
+#include "mining/rules.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dtdevolve::mining {
+
+std::vector<AssociationRule> GenerateRules(
+    const std::vector<FrequentItemset>& itemsets, double min_confidence) {
+  // Index supports of all frequent itemsets for subset lookups.
+  std::map<std::vector<int>, double> support;
+  for (const FrequentItemset& fis : itemsets) {
+    support[fis.items] = fis.support;
+  }
+
+  std::vector<AssociationRule> rules;
+  for (const FrequentItemset& fis : itemsets) {
+    const size_t n = fis.items.size();
+    if (n < 2) continue;
+    // Enumerate bipartitions by bitmask (itemsets mined in practice are
+    // small; max_size caps this in the callers that need a bound).
+    if (n > 20) continue;  // defensive: never enumerate 2^n beyond this
+    const uint32_t limit = 1u << n;
+    for (uint32_t mask = 1; mask + 1 < limit; ++mask) {
+      AssociationRule rule;
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (1u << i)) {
+          rule.lhs.push_back(fis.items[i]);
+        } else {
+          rule.rhs.push_back(fis.items[i]);
+        }
+      }
+      auto it = support.find(rule.lhs);
+      if (it == support.end() || it->second <= 0.0) continue;
+      rule.support = fis.support;
+      rule.confidence = fis.support / it->second;
+      if (rule.confidence >= min_confidence) {
+        rules.push_back(std::move(rule));
+      }
+    }
+  }
+  return rules;
+}
+
+std::string RuleToString(const AssociationRule& rule,
+                         const ItemDictionary& dict) {
+  std::string out;
+  for (size_t i = 0; i < rule.lhs.size(); ++i) {
+    if (i > 0) out += ',';
+    out += dict.Get(rule.lhs[i]).ToString();
+  }
+  out += " -> ";
+  for (size_t i = 0; i < rule.rhs.size(); ++i) {
+    if (i > 0) out += ',';
+    out += dict.Get(rule.rhs[i]).ToString();
+  }
+  return out;
+}
+
+SequenceRuleOracle::SequenceRuleOracle(
+    std::vector<std::pair<std::set<std::string>, uint32_t>> sequences,
+    std::set<std::string> universe, double min_support)
+    : universe_(std::move(universe)) {
+  uint64_t total = 0;
+  for (const auto& [labels, count] : sequences) total += count;
+  if (total == 0) return;
+  for (auto& [labels, count] : sequences) {
+    double support = static_cast<double>(count) / static_cast<double>(total);
+    if (support > min_support) {
+      frequent_total_ += count;
+      frequent_.emplace_back(std::move(labels), count);
+    }
+  }
+}
+
+uint64_t SequenceRuleOracle::CountWhere(
+    const std::set<std::string>& present,
+    const std::set<std::string>& absent) const {
+  uint64_t count = 0;
+  for (const auto& [labels, multiplicity] : frequent_) {
+    bool ok = true;
+    for (const std::string& label : present) {
+      if (labels.count(label) == 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (const std::string& label : absent) {
+        if (labels.count(label) > 0) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) count += multiplicity;
+  }
+  return count;
+}
+
+double SequenceRuleOracle::Support(const std::set<std::string>& present,
+                                   const std::set<std::string>& absent) const {
+  if (frequent_total_ == 0) return 0.0;
+  return static_cast<double>(CountWhere(present, absent)) /
+         static_cast<double>(frequent_total_);
+}
+
+double SequenceRuleOracle::Confidence(const std::set<std::string>& lhs_present,
+                                      const std::set<std::string>& lhs_absent,
+                                      const std::string& rhs,
+                                      bool rhs_present) const {
+  uint64_t antecedent = CountWhere(lhs_present, lhs_absent);
+  if (antecedent == 0) return 0.0;
+  std::set<std::string> present = lhs_present;
+  std::set<std::string> absent = lhs_absent;
+  if (rhs_present) {
+    present.insert(rhs);
+  } else {
+    absent.insert(rhs);
+  }
+  uint64_t both = CountWhere(present, absent);
+  return static_cast<double>(both) / static_cast<double>(antecedent);
+}
+
+bool SequenceRuleOracle::Implies(const std::set<std::string>& lhs_present,
+                                 const std::set<std::string>& lhs_absent,
+                                 const std::string& rhs,
+                                 bool rhs_present) const {
+  uint64_t antecedent = CountWhere(lhs_present, lhs_absent);
+  if (antecedent == 0) return false;
+  return Confidence(lhs_present, lhs_absent, rhs, rhs_present) == 1.0;
+}
+
+bool SequenceRuleOracle::AtomicSet(const std::set<std::string>& labels) const {
+  if (labels.empty() || frequent_.empty()) return false;
+  bool occurs = false;
+  for (const auto& [sequence, count] : frequent_) {
+    size_t hits = 0;
+    for (const std::string& label : labels) {
+      if (sequence.count(label) > 0) ++hits;
+    }
+    if (hits != 0 && hits != labels.size()) return false;
+    if (hits == labels.size()) occurs = true;
+  }
+  return occurs;
+}
+
+bool SequenceRuleOracle::ExactlyOneOf(
+    const std::set<std::string>& labels) const {
+  if (labels.size() < 2 || frequent_.empty()) return false;
+  for (const auto& [sequence, count] : frequent_) {
+    size_t hits = 0;
+    for (const std::string& label : labels) {
+      if (sequence.count(label) > 0) ++hits;
+    }
+    if (hits != 1) return false;
+  }
+  return true;
+}
+
+bool SequenceRuleOracle::AlwaysPresent(const std::string& label) const {
+  if (frequent_.empty()) return false;
+  for (const auto& [sequence, count] : frequent_) {
+    if (sequence.count(label) == 0) return false;
+  }
+  return true;
+}
+
+double SequenceRuleOracle::PresenceFraction(const std::string& label) const {
+  return Support({label}, {});
+}
+
+}  // namespace dtdevolve::mining

@@ -1,0 +1,106 @@
+#ifndef DTDEVOLVE_MINING_RULES_H_
+#define DTDEVOLVE_MINING_RULES_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mining/apriori.h"
+#include "mining/transactions.h"
+
+namespace dtdevolve::mining {
+
+/// An association rule X → Y over interned items, with the standard
+/// support / confidence semantics of §4.2:
+///   support    — fraction of sequences containing X ∪ Y,
+///   confidence — fraction of sequences containing X that also contain Y.
+struct AssociationRule {
+  std::vector<int> lhs;  // sorted
+  std::vector<int> rhs;  // sorted
+  double support = 0.0;
+  double confidence = 0.0;
+};
+
+/// Generates all rules with confidence ≥ `min_confidence` from the
+/// frequent itemsets, splitting each itemset into every (lhs, rhs)
+/// bipartition with non-empty sides. Subset supports are looked up among
+/// the (downward-closed) frequent itemsets.
+std::vector<AssociationRule> GenerateRules(
+    const std::vector<FrequentItemset>& itemsets, double min_confidence);
+
+/// Renders a rule as `a,b -> !c` for logs and tests.
+std::string RuleToString(const AssociationRule& rule,
+                         const ItemDictionary& dict);
+
+/// The paper's four-step rule pipeline over the sequences recorded for
+/// one DTD element (§4.2):
+///   1. complete each sequence with absent elements over `Label`;
+///   2. keep the *most frequent* sequences (support > µ), discarding the
+///      rest as not representative;
+///   3-4. extract the association rules with maximal confidence (= 1)
+///      over those frequent sequences.
+/// This class answers confidence-1 rule queries exactly — a rule
+/// `X, Ȳ → z` holds iff every frequent sequence satisfying the antecedent
+/// also satisfies the consequent, and at least one sequence satisfies the
+/// antecedent.
+class SequenceRuleOracle {
+ public:
+  /// `sequences`: (set of present tags, multiplicity) pairs.
+  /// `universe`: the label set `Label` used for absent completion.
+  /// `min_support`: the paper's µ threshold applied to raw sequences.
+  SequenceRuleOracle(
+      std::vector<std::pair<std::set<std::string>, uint32_t>> sequences,
+      std::set<std::string> universe, double min_support);
+
+  /// Frequent sequences that survived the µ filter.
+  const std::vector<std::pair<std::set<std::string>, uint32_t>>&
+  frequent_sequences() const {
+    return frequent_;
+  }
+  bool HasFrequentSequences() const { return !frequent_.empty(); }
+  const std::set<std::string>& universe() const { return universe_; }
+
+  /// Weighted fraction of frequent sequences containing all of `present`
+  /// and none of `absent`.
+  double Support(const std::set<std::string>& present,
+                 const std::set<std::string>& absent = {}) const;
+
+  /// Confidence of the rule (present ∧ absent̄) → rhs (present/absent);
+  /// 0 when no frequent sequence satisfies the antecedent.
+  double Confidence(const std::set<std::string>& lhs_present,
+                    const std::set<std::string>& lhs_absent,
+                    const std::string& rhs, bool rhs_present) const;
+
+  /// True iff the rule has confidence 1 and a satisfied antecedent —
+  /// membership in the paper's `Rules` set.
+  bool Implies(const std::set<std::string>& lhs_present,
+               const std::set<std::string>& lhs_absent,
+               const std::string& rhs, bool rhs_present) const;
+
+  /// Principle P1 generalized: the labels behave atomically (every
+  /// frequent sequence contains all of them or none), and they do occur.
+  bool AtomicSet(const std::set<std::string>& labels) const;
+
+  /// Principle P2 generalized: every frequent sequence contains exactly
+  /// one of `labels` (requires at least two labels).
+  bool ExactlyOneOf(const std::set<std::string>& labels) const;
+
+  /// True when every frequent sequence contains `label`.
+  bool AlwaysPresent(const std::string& label) const;
+  /// Weighted fraction of frequent sequences containing `label`.
+  double PresenceFraction(const std::string& label) const;
+
+ private:
+  uint64_t CountWhere(const std::set<std::string>& present,
+                      const std::set<std::string>& absent) const;
+
+  std::set<std::string> universe_;
+  std::vector<std::pair<std::set<std::string>, uint32_t>> frequent_;
+  uint64_t frequent_total_ = 0;
+};
+
+}  // namespace dtdevolve::mining
+
+#endif  // DTDEVOLVE_MINING_RULES_H_

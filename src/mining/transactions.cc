@@ -1,0 +1,68 @@
+#include "mining/transactions.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dtdevolve::mining {
+
+int ItemDictionary::Intern(const std::string& label, bool present) {
+  Item item{label, present};
+  auto it = index_.find(item);
+  if (it != index_.end()) return it->second;
+  int id = static_cast<int>(items_.size());
+  items_.push_back(item);
+  index_.emplace(std::move(item), id);
+  return id;
+}
+
+int ItemDictionary::Find(const std::string& label, bool present) const {
+  auto it = index_.find(Item{label, present});
+  return it == index_.end() ? -1 : it->second;
+}
+
+bool Transaction::Contains(int item) const {
+  return std::binary_search(items.begin(), items.end(), item);
+}
+
+bool Transaction::ContainsAll(const std::vector<int>& subset) const {
+  return std::includes(items.begin(), items.end(), subset.begin(),
+                       subset.end());
+}
+
+void TransactionSet::Add(const std::set<std::string>& present,
+                         const std::set<std::string>& universe,
+                         uint32_t count) {
+  Transaction transaction;
+  transaction.count = count;
+  transaction.items.reserve(universe.size());
+  for (const std::string& label : universe) {
+    bool is_present = present.count(label) > 0;
+    transaction.items.push_back(dict_.Intern(label, is_present));
+  }
+  // Tags outside the universe are ignored by design; assert in debug.
+  for ([[maybe_unused]] const std::string& label : present) {
+    assert(universe.count(label) > 0 && "present tag outside universe");
+  }
+  std::sort(transaction.items.begin(), transaction.items.end());
+  total_count_ += count;
+  transactions_.push_back(std::move(transaction));
+}
+
+uint64_t TransactionSet::CountContaining(
+    const std::vector<int>& items) const {
+  std::vector<int> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  uint64_t count = 0;
+  for (const Transaction& transaction : transactions_) {
+    if (transaction.ContainsAll(sorted)) count += transaction.count;
+  }
+  return count;
+}
+
+double TransactionSet::Support(const std::vector<int>& items) const {
+  if (total_count_ == 0) return 0.0;
+  return static_cast<double>(CountContaining(items)) /
+         static_cast<double>(total_count_);
+}
+
+}  // namespace dtdevolve::mining

@@ -1,0 +1,88 @@
+#ifndef DTDEVOLVE_MINING_TRANSACTIONS_H_
+#define DTDEVOLVE_MINING_TRANSACTIONS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dtdevolve::mining {
+
+/// An item: an element tag together with a presence polarity. The paper
+/// encodes each recorded sequence over the full label set `Label`, adding
+/// the *absent* items `x̄` for tags not in the sequence (Example 4), so
+/// rules of the form "absence of b implies presence of c" are derivable.
+struct Item {
+  std::string label;
+  bool present = true;
+
+  friend bool operator==(const Item&, const Item&) = default;
+  friend auto operator<=>(const Item&, const Item&) = default;
+
+  /// `label` or `!label` for absent items.
+  std::string ToString() const { return present ? label : "!" + label; }
+};
+
+/// Interns items to dense integer ids for the mining algorithms.
+class ItemDictionary {
+ public:
+  ItemDictionary() = default;
+
+  /// Returns the id of the item, creating it if new.
+  int Intern(const std::string& label, bool present);
+  /// Returns the id if known, -1 otherwise.
+  int Find(const std::string& label, bool present) const;
+
+  const Item& Get(int id) const { return items_[id]; }
+  size_t size() const { return items_.size(); }
+
+ private:
+  std::vector<Item> items_;
+  std::map<Item, int> index_;
+};
+
+/// One transaction: a sorted set of item ids with a multiplicity (how many
+/// recorded element instances exhibited exactly this item set).
+struct Transaction {
+  std::vector<int> items;  // sorted, unique
+  uint32_t count = 1;
+
+  bool Contains(int item) const;
+  bool ContainsAll(const std::vector<int>& subset) const;  // subset sorted
+};
+
+/// The input of the mining step: sequences recorded against one DTD
+/// element, each completed with absent items over the label universe.
+class TransactionSet {
+ public:
+  TransactionSet() = default;
+
+  /// Adds a transaction for a sequence containing exactly the tags in
+  /// `present`; every universe tag not in `present` is added as an absent
+  /// item. `present` must be a subset of `universe`.
+  void Add(const std::set<std::string>& present,
+           const std::set<std::string>& universe, uint32_t count = 1);
+
+  const ItemDictionary& dictionary() const { return dict_; }
+  const std::vector<Transaction>& transactions() const {
+    return transactions_;
+  }
+  /// Σ of transaction multiplicities.
+  uint64_t total_count() const { return total_count_; }
+
+  /// Weighted number of transactions containing all of `items`.
+  uint64_t CountContaining(const std::vector<int>& items) const;
+  /// `CountContaining / total_count` (0 when empty).
+  double Support(const std::vector<int>& items) const;
+
+ private:
+  ItemDictionary dict_;
+  std::vector<Transaction> transactions_;
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace dtdevolve::mining
+
+#endif  // DTDEVOLVE_MINING_TRANSACTIONS_H_

@@ -1,0 +1,138 @@
+#include "similarity/matcher.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace dtdevolve::similarity {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Back-pointer for path reconstruction.
+struct Step {
+  enum class Kind { kNone, kMatch, kPlus, kMinus };
+  Kind kind = Kind::kNone;
+  int prev_node = -1;
+  int position = -1;   // for kMatch / kMinus
+  double credit = 0.0;  // for kMatch
+};
+
+}  // namespace
+
+MatchResult AlignChildren(const dtd::Automaton& automaton,
+                          const std::vector<std::string>& symbols,
+                          const CreditFn& credit,
+                          const MatchOptions& options) {
+  MatchResult result;
+  if (automaton.is_any()) {
+    // ANY accepts everything: every child is a full-credit match.
+    result.assignments.resize(symbols.size());
+    for (ChildAssignment& a : result.assignments) {
+      a.kind = ChildAssignment::Kind::kMatched;
+      a.position = -1;
+      a.credit = 1.0;
+    }
+    return result;
+  }
+
+  const size_t n = symbols.size();
+  const size_t num_states = automaton.num_states();
+  const size_t num_nodes = (n + 1) * num_states;
+  auto node_id = [&](size_t i, size_t state) {
+    return static_cast<int>(i * num_states + state);
+  };
+
+  std::vector<double> dist(num_nodes, kInfinity);
+  std::vector<Step> back(num_nodes);
+  using QueueItem = std::pair<double, int>;  // (distance, node)
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
+
+  dist[node_id(0, 0)] = 0.0;
+  queue.push({0.0, node_id(0, 0)});
+
+  auto relax = [&](int to, double new_dist, Step step) {
+    if (new_dist < dist[to]) {
+      dist[to] = new_dist;
+      back[to] = step;
+      queue.push({new_dist, to});
+    }
+  };
+
+  while (!queue.empty()) {
+    auto [d, node] = queue.top();
+    queue.pop();
+    if (d > dist[node]) continue;
+    const size_t i = static_cast<size_t>(node) / num_states;
+    const int state = node % static_cast<int>(num_states);
+
+    // minus: traverse a transition without consuming input.
+    for (int pos : automaton.SuccessorsOf(state)) {
+      relax(node_id(i, pos + 1), d + options.minus_cost,
+            {Step::Kind::kMinus, node, pos, 0.0});
+    }
+    if (i < n) {
+      // plus: consume the child without moving.
+      relax(node_id(i + 1, state), d + options.plus_cost,
+            {Step::Kind::kPlus, node, -1, 0.0});
+      // match: consume the child along a permitted transition.
+      for (int pos : automaton.SuccessorsOf(state)) {
+        double c = credit(i, automaton.LabelOfPosition(pos));
+        if (c < 0.0) continue;
+        c = std::min(c, 1.0);
+        relax(node_id(i + 1, pos + 1), d + (1.0 - c),
+              {Step::Kind::kMatch, node, pos, c});
+      }
+    }
+  }
+
+  // Best accepting end state.
+  int best_node = -1;
+  double best_dist = kInfinity;
+  for (size_t state = 0; state < num_states; ++state) {
+    if (!automaton.IsAccepting(static_cast<int>(state))) continue;
+    int node = node_id(n, state);
+    if (dist[node] < best_dist) {
+      best_dist = dist[node];
+      best_node = node;
+    }
+  }
+  assert(best_node >= 0 &&
+         "alignment always exists: all-plus then all-minus to acceptance");
+
+  // Reconstruct.
+  result.cost = best_dist;
+  result.assignments.resize(n);
+  int node = best_node;
+  while (back[node].kind != Step::Kind::kNone) {
+    const Step& step = back[node];
+    const size_t i = static_cast<size_t>(node) / num_states;
+    switch (step.kind) {
+      case Step::Kind::kMatch:
+        result.assignments[i - 1] = {ChildAssignment::Kind::kMatched,
+                                     step.position, step.credit};
+        result.events.push_back(
+            {PathEvent::Kind::kMatch, i - 1, step.position});
+        break;
+      case Step::Kind::kPlus:
+        result.assignments[i - 1] = {ChildAssignment::Kind::kPlus, -1, 0.0};
+        result.events.push_back({PathEvent::Kind::kPlus, i - 1, -1});
+        break;
+      case Step::Kind::kMinus:
+        result.minus_labels.push_back(automaton.LabelOfPosition(step.position));
+        result.events.push_back({PathEvent::Kind::kMinus, i, step.position});
+        break;
+      case Step::Kind::kNone:
+        break;
+    }
+    node = step.prev_node;
+  }
+  std::reverse(result.minus_labels.begin(), result.minus_labels.end());
+  std::reverse(result.events.begin(), result.events.end());
+  return result;
+}
+
+}  // namespace dtdevolve::similarity

@@ -1,0 +1,84 @@
+#ifndef DTDEVOLVE_SIMILARITY_MATCHER_H_
+#define DTDEVOLVE_SIMILARITY_MATCHER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dtd/glushkov.h"
+
+namespace dtdevolve::similarity {
+
+/// Costs of the two deviation kinds during alignment.
+struct MatchOptions {
+  /// Cost of leaving a document child unmatched (a *plus* component).
+  double plus_cost = 1.0;
+  /// Cost of traversing a required model transition without consuming a
+  /// document child (a *minus* component).
+  double minus_cost = 1.0;
+};
+
+/// How one document child was placed by the optimal alignment.
+struct ChildAssignment {
+  enum class Kind { kMatched, kPlus };
+
+  Kind kind = Kind::kPlus;
+  /// Glushkov position the child matched (kMatched only); -1 for the
+  /// ANY shortcut, where no position exists.
+  int position = -1;
+  /// Match credit in [0, 1] as returned by the credit function.
+  double credit = 0.0;
+};
+
+/// One step of the optimal alignment path, in path order. The sequence of
+/// kMatch/kMinus events is exactly the model-conforming output order (the
+/// document adapter replays it); kPlus events mark skipped children.
+struct PathEvent {
+  enum class Kind { kMatch, kPlus, kMinus };
+  Kind kind = Kind::kMatch;
+  /// Input symbol index (kMatch / kPlus).
+  size_t child_index = 0;
+  /// Model position taken (kMatch / kMinus).
+  int position = -1;
+};
+
+/// Result of aligning a child-symbol sequence against a content model.
+struct MatchResult {
+  /// One entry per input symbol, in order.
+  std::vector<ChildAssignment> assignments;
+  /// Labels of model positions traversed without a matching child — the
+  /// *minus* components at this level, with multiplicity, in path order.
+  std::vector<std::string> minus_labels;
+  /// The full optimal path (matches, skips and minus traversals
+  /// interleaved in order). Empty for the ANY shortcut.
+  std::vector<PathEvent> events;
+  /// Total alignment cost (Σ plus_cost + Σ minus_cost + Σ (1 − credit)).
+  double cost = 0.0;
+};
+
+/// Credit oracle: similarity in [0, 1] of document child `child_index`
+/// matched against a model position labeled `label`; a negative return
+/// forbids the match. The *local* evaluator returns tag similarity only;
+/// the *global* evaluator recursively evaluates the child against the
+/// label's declaration.
+using CreditFn =
+    std::function<double(size_t child_index, const std::string& label)>;
+
+/// Computes the minimum-cost alignment of `symbols` (child element tags
+/// and #PCDATA items, in document order) against `automaton` via Dijkstra
+/// over the (input position × automaton state) graph. Moves:
+///   match — consume a child along a transition whose credit ≥ 0,
+///           cost 1 − credit;
+///   plus  — consume a child without moving, cost plus_cost;
+///   minus — take a transition without consuming, cost minus_cost.
+/// The automaton is ε-free (Glushkov), so all cycles have positive cost
+/// and the search terminates. Valid content yields cost 0: every child
+/// matched with credit 1 and no minus labels.
+MatchResult AlignChildren(const dtd::Automaton& automaton,
+                          const std::vector<std::string>& symbols,
+                          const CreditFn& credit,
+                          const MatchOptions& options = {});
+
+}  // namespace dtdevolve::similarity
+
+#endif  // DTDEVOLVE_SIMILARITY_MATCHER_H_

@@ -1,0 +1,249 @@
+#include "similarity/similarity.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+#include "validate/validator.h"
+
+namespace dtdevolve::similarity {
+
+namespace {
+
+/// Contribution of a matched child to its parent's triple: one unit of
+/// mass. A share `alpha` (the tag weight) is earned by the tag match
+/// itself; the remainder is split by the child's own normalized triple.
+/// Everything is scaled by the tag-similarity score, whose residue is
+/// charged half to plus and half to minus (the tags deviate in both
+/// directions at once).
+Triple MatchedChildContribution(const Triple& child, double tag_score,
+                                double alpha) {
+  double total = child.total();
+  double p_frac = 0.0, m_frac = 0.0, c_frac = 1.0;
+  if (total > 0.0) {
+    p_frac = child.plus / total;
+    m_frac = child.minus / total;
+    c_frac = child.common / total;
+  }
+  double common_share = alpha + (1.0 - alpha) * c_frac;
+  double residue = (1.0 - tag_score) * common_share;
+  return Triple((1.0 - alpha) * p_frac + residue / 2.0,
+                (1.0 - alpha) * m_frac + residue / 2.0,
+                tag_score * common_share);
+}
+
+}  // namespace
+
+SimilarityEvaluator::SimilarityEvaluator(const dtd::Dtd& dtd,
+                                         SimilarityOptions options)
+    : dtd_(&dtd), options_(options) {
+  for (const std::string& name : dtd.ElementNames()) {
+    const dtd::ElementDecl* decl = dtd.FindElement(name);
+    if (decl->content) {
+      automata_.emplace(name, dtd::Automaton::Build(*decl->content));
+    }
+  }
+}
+
+double SimilarityEvaluator::TagScore(const std::string& a,
+                                     const std::string& b) const {
+  if (options_.thesaurus != nullptr) return options_.thesaurus->Score(a, b);
+  return a == b ? 1.0 : 0.0;
+}
+
+const dtd::Automaton* SimilarityEvaluator::FindAutomaton(
+    const std::string& name) const {
+  auto it = automata_.find(name);
+  return it == automata_.end() ? nullptr : &it->second;
+}
+
+std::vector<const xml::Element*> SimilarityEvaluator::SymbolElements(
+    const xml::Element& element, const std::vector<std::string>& symbols) {
+  std::vector<const xml::Element*> out;
+  out.reserve(symbols.size());
+  for (const auto& child : element.children()) {
+    if (child->is_element()) {
+      out.push_back(&child->AsElement());
+    }
+  }
+  // Interleave text-run placeholders to line up with the symbols.
+  std::vector<const xml::Element*> aligned;
+  aligned.reserve(symbols.size());
+  size_t next_element = 0;
+  for (const std::string& symbol : symbols) {
+    if (symbol == dtd::kPcdataSymbol) {
+      aligned.push_back(nullptr);
+    } else {
+      aligned.push_back(out[next_element++]);
+    }
+  }
+  assert(next_element == out.size());
+  return aligned;
+}
+
+Triple SimilarityEvaluator::GlobalTripleCached(
+    const xml::Element& element, const std::string& decl_name) const {
+  auto key = std::make_pair(&element, decl_name);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+
+  const dtd::Automaton* automaton = FindAutomaton(decl_name);
+  std::vector<std::string> symbols = validate::ContentSymbols(element);
+  Triple triple;
+  if (automaton == nullptr || automaton->is_any()) {
+    // ANY (or an undeclared reference): everything is common.
+    triple.common = static_cast<double>(symbols.size());
+    memo_.emplace(key, triple);
+    return triple;
+  }
+
+  std::vector<const xml::Element*> children = SymbolElements(element, symbols);
+
+  // Credit of matching child i against a position labeled `label`:
+  // tag similarity times the child's own global evaluation.
+  std::map<std::pair<size_t, std::string>, Triple> child_triples;
+  CreditFn credit = [&](size_t i, const std::string& label) -> double {
+    if (children[i] == nullptr) {  // text run
+      return label == dtd::kPcdataSymbol ? 1.0 : -1.0;
+    }
+    if (label == dtd::kPcdataSymbol) return -1.0;
+    double tag = TagScore(children[i]->tag(), label);
+    if (tag <= 0.0) return -1.0;
+    Triple sub = GlobalTripleCached(*children[i], label);
+    child_triples.emplace(std::make_pair(i, label), sub);
+    double alpha = options_.tag_weight;
+    return tag * (alpha + (1.0 - alpha) * Evaluate(sub, options_.weights));
+  };
+
+  MatchResult aligned =
+      AlignChildren(*automaton, symbols, credit, options_.match);
+
+  for (size_t i = 0; i < aligned.assignments.size(); ++i) {
+    const ChildAssignment& a = aligned.assignments[i];
+    if (a.kind == ChildAssignment::Kind::kPlus) {
+      triple.plus += 1.0;
+      continue;
+    }
+    if (children[i] == nullptr) {
+      triple.common += 1.0;  // matched text
+      continue;
+    }
+    const std::string& label =
+        a.position >= 0 ? automaton->LabelOfPosition(a.position)
+                        : children[i]->tag();
+    double tag = TagScore(children[i]->tag(), label);
+    auto sub_it = child_triples.find(std::make_pair(i, label));
+    Triple sub = sub_it == child_triples.end()
+                     ? GlobalTripleCached(*children[i], label)
+                     : sub_it->second;
+    triple += MatchedChildContribution(sub, tag, options_.tag_weight);
+  }
+  triple.minus += static_cast<double>(aligned.minus_labels.size());
+
+  memo_.emplace(key, triple);
+  return triple;
+}
+
+Triple SimilarityEvaluator::GlobalTriple(const xml::Element& element,
+                                         const std::string& decl_name) const {
+  return GlobalTripleCached(element, decl_name);
+}
+
+double SimilarityEvaluator::GlobalSimilarity(
+    const xml::Element& element, const std::string& decl_name) const {
+  return Evaluate(GlobalTriple(element, decl_name), options_.weights);
+}
+
+MatchResult SimilarityEvaluator::AlignLocal(
+    const xml::Element& element, const std::string& decl_name) const {
+  const dtd::Automaton* automaton = FindAutomaton(decl_name);
+  std::vector<std::string> symbols = validate::ContentSymbols(element);
+  if (automaton == nullptr) {
+    // Undeclared: behave like ANY.
+    MatchResult result;
+    result.assignments.resize(symbols.size());
+    for (ChildAssignment& a : result.assignments) {
+      a.kind = ChildAssignment::Kind::kMatched;
+      a.credit = 1.0;
+    }
+    return result;
+  }
+  std::vector<const xml::Element*> children = SymbolElements(element, symbols);
+  CreditFn credit = [&](size_t i, const std::string& label) -> double {
+    if (children[i] == nullptr) {
+      return label == dtd::kPcdataSymbol ? 1.0 : -1.0;
+    }
+    if (label == dtd::kPcdataSymbol) return -1.0;
+    double tag = TagScore(children[i]->tag(), label);
+    return tag > 0.0 ? tag : -1.0;
+  };
+  return AlignChildren(*automaton, symbols, credit, options_.match);
+}
+
+Triple SimilarityEvaluator::LocalTriple(const xml::Element& element,
+                                        const std::string& decl_name) const {
+  const dtd::Automaton* automaton = FindAutomaton(decl_name);
+  std::vector<std::string> symbols = validate::ContentSymbols(element);
+  Triple triple;
+  if (automaton == nullptr || automaton->is_any()) {
+    triple.common = static_cast<double>(symbols.size());
+    return triple;
+  }
+  MatchResult aligned = AlignLocal(element, decl_name);
+  for (const ChildAssignment& a : aligned.assignments) {
+    if (a.kind == ChildAssignment::Kind::kPlus) {
+      triple.plus += 1.0;
+    } else {
+      // Imperfect tag similarity leaves a residue split between plus and
+      // minus, mirroring MatchedChildContribution at credit granularity.
+      triple.common += a.credit;
+      triple.plus += (1.0 - a.credit) / 2.0;
+      triple.minus += (1.0 - a.credit) / 2.0;
+    }
+  }
+  triple.minus += static_cast<double>(aligned.minus_labels.size());
+  return triple;
+}
+
+double SimilarityEvaluator::LocalSimilarity(
+    const xml::Element& element, const std::string& decl_name) const {
+  return Evaluate(LocalTriple(element, decl_name), options_.weights);
+}
+
+double SimilarityEvaluator::DocumentSimilarity(
+    const xml::Document& doc) const {
+  ClearMemo();
+  if (!doc.has_root() || dtd_->empty()) return 0.0;
+  const std::string& root_name = dtd_->root_name();
+  double tag = TagScore(doc.root().tag(), root_name);
+  if (tag <= 0.0) return 0.0;
+  return tag * GlobalSimilarity(doc.root(), root_name);
+}
+
+std::vector<ElementReport> SimilarityEvaluator::EvaluateElements(
+    const xml::Element& root) const {
+  ClearMemo();
+  std::vector<ElementReport> reports;
+  std::vector<const xml::Element*> stack = {&root};
+  while (!stack.empty()) {
+    const xml::Element* element = stack.back();
+    stack.pop_back();
+    ElementReport report;
+    report.element = element;
+    report.declared = dtd_->HasElement(element->tag());
+    if (report.declared) {
+      report.local_triple = LocalTriple(*element, element->tag());
+      report.local_similarity = Evaluate(report.local_triple, options_.weights);
+      report.global_triple = GlobalTriple(*element, element->tag());
+      report.global_similarity =
+          Evaluate(report.global_triple, options_.weights);
+    }
+    reports.push_back(report);
+    std::vector<const xml::Element*> children = element->ChildElements();
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return reports;
+}
+
+}  // namespace dtdevolve::similarity

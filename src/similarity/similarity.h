@@ -1,0 +1,125 @@
+#ifndef DTDEVOLVE_SIMILARITY_SIMILARITY_H_
+#define DTDEVOLVE_SIMILARITY_SIMILARITY_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dtd/dtd.h"
+#include "dtd/glushkov.h"
+#include "similarity/matcher.h"
+#include "similarity/thesaurus.h"
+#include "similarity/triple.h"
+#include "xml/document.h"
+
+namespace dtdevolve::similarity {
+
+/// Knobs of the similarity measure.
+struct SimilarityOptions {
+  EvalWeights weights;
+  MatchOptions match;
+  /// Optional tag-similarity oracle (§6 extension). Null ⇒ tag equality.
+  const Thesaurus* thesaurus = nullptr;
+  /// Share of a matched child's unit mass earned by the tag match itself;
+  /// the rest is distributed by the child's own (recursive) triple. This
+  /// makes deviations deep in the tree discount similarity less than the
+  /// same deviation near the root — the level-sensitivity of [2].
+  double tag_weight = 0.5;
+};
+
+/// Per-element outcome of evaluating a document subtree against the DTD,
+/// each element matched against the declaration of its own tag.
+struct ElementReport {
+  const xml::Element* element = nullptr;
+  bool declared = false;
+  Triple local_triple;
+  double local_similarity = 0.0;
+  Triple global_triple;
+  double global_similarity = 0.0;
+};
+
+/// The structural-similarity measure of the companion paper [2], extended
+/// with the *local similarity* variant this paper introduces (§3.1):
+///
+///  * **local** similarity of element e_d vs declaration e evaluates only
+///    how the direct children of e_d meet the constraints of e's content
+///    model — declarations of subelements are ignored;
+///  * **global** similarity recursively evaluates matched children against
+///    their own declarations, so it is the numeric counterpart of validity
+///    (a valid subtree has global similarity 1).
+///
+/// Both visit document and DTD trees simultaneously, associate a
+/// `(plus, minus, common)` triple with each node, and evaluate it with E.
+/// A matched child contributes one unit of mass to its parent's triple,
+/// distributed according to the child's own (normalized) triple — so
+/// deviations deep in the tree discount global similarity proportionally.
+class SimilarityEvaluator {
+ public:
+  explicit SimilarityEvaluator(const dtd::Dtd& dtd,
+                               SimilarityOptions options = {});
+
+  SimilarityEvaluator(const SimilarityEvaluator&) = delete;
+  SimilarityEvaluator& operator=(const SimilarityEvaluator&) = delete;
+
+  /// Similarity of a whole document to the DTD: the root element evaluated
+  /// globally against the DTD root declaration, scaled by root-tag
+  /// similarity. In [0, 1]; 1 iff the document is valid.
+  double DocumentSimilarity(const xml::Document& doc) const;
+
+  /// Global triple / similarity of one element against declaration
+  /// `decl_name`. An undeclared name behaves like ANY.
+  Triple GlobalTriple(const xml::Element& element,
+                      const std::string& decl_name) const;
+  double GlobalSimilarity(const xml::Element& element,
+                          const std::string& decl_name) const;
+
+  /// Local triple / similarity (direct children only).
+  Triple LocalTriple(const xml::Element& element,
+                     const std::string& decl_name) const;
+  double LocalSimilarity(const xml::Element& element,
+                         const std::string& decl_name) const;
+
+  /// The full alignment of an element's children against `decl_name`'s
+  /// content model with *local* credits — recording and analysis use the
+  /// assignment details.
+  MatchResult AlignLocal(const xml::Element& element,
+                         const std::string& decl_name) const;
+
+  /// Pre-order per-element reports for a whole subtree, each element
+  /// matched against the declaration of its own tag.
+  std::vector<ElementReport> EvaluateElements(const xml::Element& root) const;
+
+  const dtd::Dtd& dtd() const { return *dtd_; }
+  const SimilarityOptions& options() const { return options_; }
+
+  /// Drops the recursive-evaluation memo. The memo is keyed by element
+  /// addresses, so it must not outlive the documents it was built from;
+  /// `DocumentSimilarity` and `EvaluateElements` clear it on entry, and
+  /// callers holding the evaluator across documents while using the
+  /// single-element `GlobalTriple` API should clear it between documents.
+  void ClearMemo() const { memo_.clear(); }
+
+ private:
+  /// Tag similarity per options (1/0 equality unless a thesaurus is set).
+  double TagScore(const std::string& a, const std::string& b) const;
+  const dtd::Automaton* FindAutomaton(const std::string& name) const;
+
+  /// Child nodes aligned 1:1 with the content symbols of `element`
+  /// (nullptr entries stand for text runs).
+  static std::vector<const xml::Element*> SymbolElements(
+      const xml::Element& element, const std::vector<std::string>& symbols);
+
+  Triple GlobalTripleCached(const xml::Element& element,
+                            const std::string& decl_name) const;
+
+  const dtd::Dtd* dtd_;
+  SimilarityOptions options_;
+  std::map<std::string, dtd::Automaton> automata_;
+  /// Memo for the recursive global evaluation; keyed by (element, decl).
+  mutable std::map<std::pair<const xml::Element*, std::string>, Triple> memo_;
+};
+
+}  // namespace dtdevolve::similarity
+
+#endif  // DTDEVOLVE_SIMILARITY_SIMILARITY_H_

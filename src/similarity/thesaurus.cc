@@ -1,0 +1,28 @@
+#include "similarity/thesaurus.h"
+
+namespace dtdevolve::similarity {
+
+namespace {
+
+std::pair<std::string, std::string> OrderedKey(std::string_view a,
+                                               std::string_view b) {
+  if (a <= b) return {std::string(a), std::string(b)};
+  return {std::string(b), std::string(a)};
+}
+
+}  // namespace
+
+void Thesaurus::AddSynonym(std::string_view a, std::string_view b,
+                           double score) {
+  if (score < 0.0) score = 0.0;
+  if (score > 1.0) score = 1.0;
+  scores_[OrderedKey(a, b)] = score;
+}
+
+double Thesaurus::Score(std::string_view a, std::string_view b) const {
+  if (a == b) return 1.0;
+  auto it = scores_.find(OrderedKey(a, b));
+  return it == scores_.end() ? 0.0 : it->second;
+}
+
+}  // namespace dtdevolve::similarity

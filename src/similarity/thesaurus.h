@@ -1,0 +1,35 @@
+#ifndef DTDEVOLVE_SIMILARITY_THESAURUS_H_
+#define DTDEVOLVE_SIMILARITY_THESAURUS_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dtdevolve::similarity {
+
+/// Tag-similarity oracle — the paper's §6 extension "shifting from tag
+/// equality to tag similarity" via a WordNet-like thesaurus. The default
+/// (empty) thesaurus degrades to exact tag equality.
+class Thesaurus {
+ public:
+  Thesaurus() = default;
+
+  /// Declares `a` and `b` similar with the given score in (0, 1].
+  /// Symmetric; re-adding overwrites.
+  void AddSynonym(std::string_view a, std::string_view b, double score = 1.0);
+
+  /// Similarity of two tags: 1 for equal tags, the declared synonym score
+  /// if any, otherwise 0.
+  double Score(std::string_view a, std::string_view b) const;
+
+  size_t size() const { return scores_.size(); }
+
+ private:
+  // Key is the lexicographically ordered pair.
+  std::map<std::pair<std::string, std::string>, double> scores_;
+};
+
+}  // namespace dtdevolve::similarity
+
+#endif  // DTDEVOLVE_SIMILARITY_THESAURUS_H_

@@ -1,0 +1,26 @@
+#include "similarity/triple.h"
+
+#include <cstdio>
+
+namespace dtdevolve::similarity {
+
+std::string Triple::ToString() const {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "(p=%.3f, m=%.3f, c=%.3f)", plus,
+                minus, common);
+  return buffer;
+}
+
+double Evaluate(const Triple& triple, const EvalWeights& weights) {
+  double numerator = weights.common_weight * triple.common;
+  double denominator = numerator + weights.plus_weight * triple.plus +
+                       weights.minus_weight * triple.minus;
+  if (denominator == 0.0) return 1.0;
+  return numerator / denominator;
+}
+
+bool IsFull(const Triple& triple) {
+  return triple.plus == 0.0 && triple.minus == 0.0;
+}
+
+}  // namespace dtdevolve::similarity

@@ -1,0 +1,58 @@
+#ifndef DTDEVOLVE_SIMILARITY_TRIPLE_H_
+#define DTDEVOLVE_SIMILARITY_TRIPLE_H_
+
+#include <string>
+
+namespace dtdevolve::similarity {
+
+/// The paper's evaluation triple `(p, m, c)` associated with each node
+/// while matching a document tree against a DTD tree:
+///   p — *plus* weight: document components absent from the DTD,
+///   m — *minus* weight: DTD-required components absent from the document,
+///   c — *common* weight: components present in both.
+/// Weights are fractional because a matched child propagates its own
+/// (normalized) triple upward (see SimilarityEvaluator).
+struct Triple {
+  double plus = 0.0;
+  double minus = 0.0;
+  double common = 0.0;
+
+  Triple() = default;
+  Triple(double p, double m, double c) : plus(p), minus(m), common(c) {}
+
+  Triple& operator+=(const Triple& other) {
+    plus += other.plus;
+    minus += other.minus;
+    common += other.common;
+    return *this;
+  }
+
+  double total() const { return plus + minus + common; }
+
+  /// True when nothing was evaluated at all (empty against empty).
+  bool empty() const { return total() == 0.0; }
+
+  std::string ToString() const;
+};
+
+/// Weights of the evaluation function E. The companion paper allows
+/// penalizing plus and minus components differently (e.g. extra elements
+/// may be more tolerable than missing required ones).
+struct EvalWeights {
+  double plus_weight = 1.0;
+  double minus_weight = 1.0;
+  double common_weight = 1.0;
+};
+
+/// The evaluation function E of [2]:
+///   E(p, m, c) = w_c·c / (w_c·c + w_p·p + w_m·m),
+/// mapping a triple to a similarity degree in [0, 1]. An empty triple
+/// (nothing required, nothing present) evaluates to 1 — full similarity.
+double Evaluate(const Triple& triple, const EvalWeights& weights = {});
+
+/// True when the triple denotes a perfect match (no plus, no minus).
+bool IsFull(const Triple& triple);
+
+}  // namespace dtdevolve::similarity
+
+#endif  // DTDEVOLVE_SIMILARITY_TRIPLE_H_

@@ -1,0 +1,112 @@
+#ifndef DTDEVOLVE_UTIL_STATUS_H_
+#define DTDEVOLVE_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dtdevolve {
+
+/// Lightweight operation outcome, in the style of database libraries:
+/// the library never throws; fallible operations return a `Status` (or a
+/// `StatusOr<T>`), and the caller is expected to check `ok()`.
+class Status {
+ public:
+  /// Machine-inspectable failure category.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,   // caller passed something malformed
+    kParseError,        // XML / DTD text could not be parsed
+    kNotFound,          // named entity (element, DTD, document) missing
+    kAlreadyExists,     // duplicate insertion
+    kFailedPrecondition,// operation called in the wrong state
+    kInternal,          // invariant violation inside the library
+  };
+
+  /// Successful status.
+  Status() : code_(Code::kOk) {}
+
+  /// Factory helpers; each carries a human-readable message.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(Code::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>" for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or a non-OK `Status` explaining its absence.
+/// `*` / `->` / `value()` must only be used when `ok()` is true.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or from an error status keeps call
+  /// sites terse (`return parsed;` / `return Status::ParseError(...)`).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dtdevolve
+
+/// Early-return helper: propagate a non-OK Status from the current function.
+#define DTDEVOLVE_RETURN_IF_ERROR(expr)              \
+  do {                                               \
+    ::dtdevolve::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+#endif  // DTDEVOLVE_UTIL_STATUS_H_

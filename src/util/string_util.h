@@ -1,0 +1,27 @@
+#ifndef DTDEVOLVE_UTIL_STRING_UTIL_H_
+#define DTDEVOLVE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dtdevolve {
+
+/// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Returns `text` with leading and trailing ASCII whitespace removed.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True if `text` consists only of ASCII whitespace (or is empty).
+bool IsBlank(std::string_view text);
+
+}  // namespace dtdevolve
+
+#endif  // DTDEVOLVE_UTIL_STRING_UTIL_H_

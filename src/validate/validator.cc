@@ -1,0 +1,139 @@
+#include "validate/validator.h"
+
+#include "util/string_util.h"
+
+namespace dtdevolve::validate {
+
+std::vector<std::string> ContentSymbols(const xml::Element& element) {
+  std::vector<std::string> symbols;
+  bool last_was_text = false;
+  for (const auto& child : element.children()) {
+    if (child->is_element()) {
+      symbols.push_back(child->AsElement().tag());
+      last_was_text = false;
+    } else {
+      const auto& text = static_cast<const xml::Text&>(*child);
+      if (IsBlank(text.value())) continue;
+      if (!last_was_text) {
+        symbols.emplace_back(dtd::kPcdataSymbol);
+      }
+      last_was_text = true;
+    }
+  }
+  return symbols;
+}
+
+Validator::Validator(const dtd::Dtd& dtd) : dtd_(&dtd) {
+  for (const std::string& name : dtd.ElementNames()) {
+    const dtd::ElementDecl* decl = dtd.FindElement(name);
+    if (decl->content) {
+      automata_.emplace(name, dtd::Automaton::Build(*decl->content));
+    }
+  }
+}
+
+const dtd::Automaton* Validator::FindAutomaton(const std::string& name) const {
+  auto it = automata_.find(name);
+  return it == automata_.end() ? nullptr : &it->second;
+}
+
+bool Validator::ElementLocallyValid(const xml::Element& element) const {
+  const dtd::Automaton* automaton = FindAutomaton(element.tag());
+  if (automaton == nullptr) return false;
+  return automaton->Accepts(ContentSymbols(element));
+}
+
+void Validator::CheckAttributes(const xml::Element& element,
+                                const std::string& path,
+                                ValidationResult& result) const {
+  const dtd::ElementDecl* decl = dtd_->FindElement(element.tag());
+  if (decl == nullptr) return;
+  for (const dtd::AttributeDecl& attr : decl->attributes) {
+    const std::string* value = element.FindAttribute(attr.name);
+    if (attr.default_kind == dtd::AttributeDecl::DefaultKind::kRequired &&
+        value == nullptr) {
+      result.valid = false;
+      result.errors.push_back(
+          {path, "missing required attribute '" + attr.name + "'"});
+    }
+    if (attr.default_kind == dtd::AttributeDecl::DefaultKind::kFixed &&
+        value != nullptr && *value != attr.default_value) {
+      result.valid = false;
+      result.errors.push_back(
+          {path, "attribute '" + attr.name + "' must be fixed to \"" +
+                     attr.default_value + "\""});
+    }
+    if (!attr.type.empty() && attr.type.front() == '(' && value != nullptr) {
+      // Enumerated type `(a|b|c)`.
+      std::vector<std::string> allowed =
+          Split(attr.type.substr(1, attr.type.size() - 2), '|');
+      bool found = false;
+      for (const std::string& candidate : allowed) {
+        if (candidate == *value) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        result.valid = false;
+        result.errors.push_back(
+            {path, "attribute '" + attr.name + "' value \"" + *value +
+                       "\" not in enumeration " + attr.type});
+      }
+    }
+  }
+}
+
+void Validator::ValidateRec(const xml::Element& element,
+                            const std::string& path,
+                            ValidationResult& result) const {
+  ++result.total_elements;
+  const dtd::Automaton* automaton = FindAutomaton(element.tag());
+  if (automaton == nullptr) {
+    result.valid = false;
+    ++result.invalid_elements;
+    result.errors.push_back({path, "element '" + element.tag() +
+                                       "' is not declared in the DTD"});
+  } else if (!automaton->Accepts(ContentSymbols(element))) {
+    result.valid = false;
+    ++result.invalid_elements;
+    const dtd::ElementDecl* decl = dtd_->FindElement(element.tag());
+    result.errors.push_back(
+        {path, "content does not match declaration " +
+                   (decl->content ? decl->content->ToString() : "ANY")});
+  }
+  CheckAttributes(element, path, result);
+  size_t child_index = 0;
+  for (const xml::Element* child : element.ChildElements()) {
+    ValidateRec(*child,
+                path + "/" + child->tag() + "[" +
+                    std::to_string(child_index++) + "]",
+                result);
+  }
+}
+
+ValidationResult Validator::ValidateSubtree(const xml::Element& root) const {
+  ValidationResult result;
+  ValidateRec(root, root.tag(), result);
+  return result;
+}
+
+ValidationResult Validator::Validate(const xml::Document& doc) const {
+  ValidationResult result;
+  if (!doc.has_root()) {
+    result.valid = false;
+    result.errors.push_back({"", "document has no root element"});
+    return result;
+  }
+  if (doc.root().tag() != dtd_->root_name()) {
+    result.valid = false;
+    result.errors.push_back(
+        {doc.root().tag(), "root element '" + doc.root().tag() +
+                               "' does not match DTD root '" +
+                               dtd_->root_name() + "'"});
+  }
+  ValidateRec(doc.root(), doc.root().tag(), result);
+  return result;
+}
+
+}  // namespace dtdevolve::validate

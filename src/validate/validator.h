@@ -1,0 +1,78 @@
+#ifndef DTDEVOLVE_VALIDATE_VALIDATOR_H_
+#define DTDEVOLVE_VALIDATE_VALIDATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dtd/dtd.h"
+#include "dtd/glushkov.h"
+#include "xml/document.h"
+
+namespace dtdevolve::validate {
+
+/// One validity violation, located by a slash path from the root.
+struct ValidationError {
+  std::string path;
+  std::string message;
+};
+
+/// Outcome of validating a document (or subtree) against a DTD.
+struct ValidationResult {
+  bool valid = true;
+  std::vector<ValidationError> errors;
+  /// Elements visited / elements whose own content violated their
+  /// declaration. `invalid_elements / total_elements` is the per-document
+  /// ratio the evolution trigger condition aggregates.
+  size_t total_elements = 0;
+  size_t invalid_elements = 0;
+
+  double InvalidFraction() const {
+    return total_elements == 0
+               ? 0.0
+               : static_cast<double>(invalid_elements) / total_elements;
+  }
+};
+
+/// Boolean validator — the "rigid classifier" of the paper's introduction.
+/// Caches one Glushkov automaton per element declaration, so repeated
+/// validations against the same DTD are cheap.
+class Validator {
+ public:
+  explicit Validator(const dtd::Dtd& dtd);
+
+  Validator(const Validator&) = delete;
+  Validator& operator=(const Validator&) = delete;
+
+  /// Full-document validation: the root tag must equal the DTD root name
+  /// and every element must locally satisfy its declaration.
+  ValidationResult Validate(const xml::Document& doc) const;
+
+  /// Validates an element subtree without the root-name requirement.
+  ValidationResult ValidateSubtree(const xml::Element& root) const;
+
+  /// Local check: does this one element's direct content satisfy its
+  /// declaration? (Descendants are not inspected — the boolean analogue
+  /// of the paper's *local* similarity.)
+  bool ElementLocallyValid(const xml::Element& element) const;
+
+  const dtd::Dtd& dtd() const { return *dtd_; }
+
+ private:
+  void ValidateRec(const xml::Element& element, const std::string& path,
+                   ValidationResult& result) const;
+  const dtd::Automaton* FindAutomaton(const std::string& name) const;
+  void CheckAttributes(const xml::Element& element, const std::string& path,
+                       ValidationResult& result) const;
+
+  const dtd::Dtd* dtd_;
+  std::map<std::string, dtd::Automaton> automata_;
+};
+
+/// Convenience: symbol sequence of an element's direct content — child
+/// element tags in order, with non-blank text runs as `kPcdataSymbol`.
+std::vector<std::string> ContentSymbols(const xml::Element& element);
+
+}  // namespace dtdevolve::validate
+
+#endif  // DTDEVOLVE_VALIDATE_VALIDATOR_H_

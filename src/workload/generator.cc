@@ -1,0 +1,81 @@
+#include "workload/generator.h"
+
+namespace dtdevolve::workload {
+
+xml::Document DocumentGenerator::Generate() {
+  xml::Document doc;
+  doc.set_root(GenerateElement(dtd_->root_name()));
+  doc.set_doctype_name(dtd_->root_name());
+  return doc;
+}
+
+std::unique_ptr<xml::Element> DocumentGenerator::GenerateElement(
+    const std::string& name, uint32_t depth) {
+  auto element = std::make_unique<xml::Element>(name);
+  const dtd::ElementDecl* decl = dtd_->FindElement(name);
+  if (decl == nullptr || decl->content == nullptr ||
+      depth >= options_.max_depth) {
+    if (options_.fill_text) {
+      element->AddText("v" + std::to_string(text_counter_++));
+    }
+    return element;
+  }
+  EmitContent(*decl->content, *element, depth);
+  return element;
+}
+
+void DocumentGenerator::EmitContent(const dtd::ContentModel& node,
+                                    xml::Element& parent, uint32_t depth) {
+  using Kind = dtd::ContentModel::Kind;
+  switch (node.kind()) {
+    case Kind::kName: {
+      parent.AddChild(GenerateElement(node.name(), depth + 1));
+      return;
+    }
+    case Kind::kPcdata:
+      if (options_.fill_text) {
+        parent.AddText("v" + std::to_string(text_counter_++));
+      }
+      return;
+    case Kind::kAny:
+      if (options_.fill_text) {
+        parent.AddText("v" + std::to_string(text_counter_++));
+      }
+      return;
+    case Kind::kEmpty:
+      return;
+    case Kind::kAnd:
+      for (const auto& child : node.children()) {
+        EmitContent(*child, parent, depth);
+      }
+      return;
+    case Kind::kOr: {
+      uint32_t pick =
+          rng_.Uniform(static_cast<uint32_t>(node.children().size()));
+      EmitContent(*node.children()[pick], parent, depth);
+      return;
+    }
+    case Kind::kOptional:
+      // Nearing the recursion bound, optional content is omitted — the
+      // only way to terminate recursive DTDs *validly*.
+      if (depth + 1 < options_.max_depth &&
+          rng_.Chance(options_.optional_probability)) {
+        EmitContent(node.child(), parent, depth);
+      }
+      return;
+    case Kind::kStar: {
+      uint32_t n = depth + 1 < options_.max_depth
+                       ? rng_.Uniform(options_.max_repeat + 1)
+                       : 0;
+      for (uint32_t i = 0; i < n; ++i) EmitContent(node.child(), parent, depth);
+      return;
+    }
+    case Kind::kPlus: {
+      uint32_t n = 1 + rng_.Uniform(options_.max_repeat);
+      for (uint32_t i = 0; i < n; ++i) EmitContent(node.child(), parent, depth);
+      return;
+    }
+  }
+}
+
+}  // namespace dtdevolve::workload

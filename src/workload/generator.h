@@ -1,0 +1,56 @@
+#ifndef DTDEVOLVE_WORKLOAD_GENERATOR_H_
+#define DTDEVOLVE_WORKLOAD_GENERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "dtd/dtd.h"
+#include "workload/rng.h"
+#include "xml/document.h"
+
+namespace dtdevolve::workload {
+
+struct GeneratorOptions {
+  /// Occurrences drawn for `*` (0..max) and `+` (1..max).
+  uint32_t max_repeat = 3;
+  /// Probability an optional particle is emitted.
+  double optional_probability = 0.5;
+  /// Recursion guard for recursive DTDs; past it, elements are emitted
+  /// with text content only.
+  uint32_t max_depth = 16;
+  /// Emit short text for #PCDATA particles.
+  bool fill_text = true;
+};
+
+/// Generates random documents *valid* for a DTD (the drift scenarios
+/// generate from a sequence of "true" DTDs and let the source chase
+/// them). Deterministic given the seed.
+class DocumentGenerator {
+ public:
+  DocumentGenerator(const dtd::Dtd& dtd, GeneratorOptions options,
+                    uint64_t seed)
+      : dtd_(&dtd), options_(options), rng_(seed) {}
+
+  DocumentGenerator(const DocumentGenerator&) = delete;
+  DocumentGenerator& operator=(const DocumentGenerator&) = delete;
+
+  /// A document rooted at the DTD root element.
+  xml::Document Generate();
+
+  /// An element subtree rooted at `name`.
+  std::unique_ptr<xml::Element> GenerateElement(const std::string& name,
+                                                uint32_t depth = 0);
+
+ private:
+  void EmitContent(const dtd::ContentModel& node, xml::Element& parent,
+                   uint32_t depth);
+
+  const dtd::Dtd* dtd_;
+  GeneratorOptions options_;
+  Rng rng_;
+  uint64_t text_counter_ = 0;
+};
+
+}  // namespace dtdevolve::workload
+
+#endif  // DTDEVOLVE_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,86 @@
+#include "workload/mutator.h"
+
+#include <memory>
+#include <utility>
+
+namespace dtdevolve::workload {
+
+size_t Mutator::MutateOne(xml::Element& element) {
+  size_t mutations = 0;
+  auto& children = element.children();
+
+  // Drop: remove one random element child.
+  if (!children.empty() && rng_.Chance(options_.drop_probability)) {
+    std::vector<size_t> element_indices;
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (children[i]->is_element()) element_indices.push_back(i);
+    }
+    if (!element_indices.empty()) {
+      size_t victim = element_indices[rng_.Uniform(
+          static_cast<uint32_t>(element_indices.size()))];
+      children.erase(children.begin() + victim);
+      ++mutations;
+    }
+  }
+
+  // Insert: add a new element with an unknown tag at a random spot.
+  if (rng_.Chance(options_.insert_probability) && !options_.new_tags.empty()) {
+    const std::string& tag =
+        options_.new_tags[next_tag_++ % options_.new_tags.size()];
+    auto inserted = std::make_unique<xml::Element>(tag);
+    if (options_.new_tag_with_text) {
+      inserted->AddText("x" + std::to_string(text_counter_++));
+    }
+    size_t pos = children.empty()
+                     ? 0
+                     : rng_.Uniform(static_cast<uint32_t>(children.size() + 1));
+    children.insert(children.begin() + pos, std::move(inserted));
+    ++mutations;
+  }
+
+  // Duplicate: repeat one element child right after itself.
+  if (!children.empty() && rng_.Chance(options_.duplicate_probability)) {
+    std::vector<size_t> element_indices;
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (children[i]->is_element()) element_indices.push_back(i);
+    }
+    if (!element_indices.empty()) {
+      size_t target = element_indices[rng_.Uniform(
+          static_cast<uint32_t>(element_indices.size()))];
+      children.insert(children.begin() + target + 1,
+                      children[target]->Clone());
+      ++mutations;
+    }
+  }
+
+  // Swap: exchange two adjacent children (order violation).
+  if (children.size() >= 2 && rng_.Chance(options_.swap_probability)) {
+    size_t i = rng_.Uniform(static_cast<uint32_t>(children.size() - 1));
+    std::swap(children[i], children[i + 1]);
+    ++mutations;
+  }
+
+  return mutations;
+}
+
+size_t Mutator::Mutate(xml::Element& element) {
+  // Recurse into the *original* children first, then mutate this level:
+  // nodes inserted or duplicated here are never re-visited, so the
+  // per-call growth is bounded (at high probabilities, re-visiting fresh
+  // nodes would compound into exponential blowup).
+  size_t mutations = 0;
+  if (options_.recursive) {
+    for (xml::Element* child : element.ChildElements()) {
+      mutations += Mutate(*child);
+    }
+  }
+  mutations += MutateOne(element);
+  return mutations;
+}
+
+size_t Mutator::Mutate(xml::Document& doc) {
+  if (!doc.has_root()) return 0;
+  return Mutate(doc.root());
+}
+
+}  // namespace dtdevolve::workload

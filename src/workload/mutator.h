@@ -1,0 +1,60 @@
+#ifndef DTDEVOLVE_WORKLOAD_MUTATOR_H_
+#define DTDEVOLVE_WORKLOAD_MUTATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/rng.h"
+#include "xml/document.h"
+
+namespace dtdevolve::workload {
+
+/// Probabilities of the structured mutations, matching the three
+/// regularity classes of §2 exactly:
+///  * drop      — documents *miss* elements the DTD requires;
+///  * insert    — documents *contain new elements* not in the DTD;
+///  * duplicate / swap — elements match but the *operators are violated*
+///    (unexpected repetition, wrong order).
+struct MutationOptions {
+  double drop_probability = 0.0;
+  double insert_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double swap_probability = 0.0;
+  /// Tags used by `insert`; cycled through deterministically.
+  std::vector<std::string> new_tags = {"extra"};
+  /// Inserted elements carry short text content.
+  bool new_tag_with_text = true;
+  /// Apply mutations below the root as well (per element, independently).
+  bool recursive = true;
+};
+
+/// Applies structured random mutations to documents — the divergence
+/// injector of the synthetic workloads (the paper's Web corpus is not
+/// available; DESIGN.md documents the substitution).
+class Mutator {
+ public:
+  Mutator(MutationOptions options, uint64_t seed)
+      : options_(std::move(options)), rng_(seed) {}
+
+  Mutator(const Mutator&) = delete;
+  Mutator& operator=(const Mutator&) = delete;
+
+  /// Mutates the element's children in place (and descendants when
+  /// `recursive`). Returns the number of mutations applied.
+  size_t Mutate(xml::Element& element);
+
+  /// Convenience: mutates a document's root subtree.
+  size_t Mutate(xml::Document& doc);
+
+ private:
+  size_t MutateOne(xml::Element& element);
+
+  MutationOptions options_;
+  Rng rng_;
+  size_t next_tag_ = 0;
+  uint64_t text_counter_ = 0;
+};
+
+}  // namespace dtdevolve::workload
+
+#endif  // DTDEVOLVE_WORKLOAD_MUTATOR_H_

@@ -1,0 +1,21 @@
+#include "workload/rng.h"
+
+namespace dtdevolve::workload {
+
+uint64_t Rng::Next() {
+  state_ += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+uint32_t Rng::Uniform(uint32_t bound) {
+  return static_cast<uint32_t>(Next() % bound);
+}
+
+}  // namespace dtdevolve::workload

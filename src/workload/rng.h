@@ -1,0 +1,32 @@
+#ifndef DTDEVOLVE_WORKLOAD_RNG_H_
+#define DTDEVOLVE_WORKLOAD_RNG_H_
+
+#include <cstdint>
+
+namespace dtdevolve::workload {
+
+/// Deterministic, seedable PRNG (splitmix64). All workload generation is
+/// reproducible from a seed so experiments can be re-run exactly.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 random bits.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound); bound must be positive.
+  uint32_t Uniform(uint32_t bound);
+
+  /// True with probability `p`.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace dtdevolve::workload
+
+#endif  // DTDEVOLVE_WORKLOAD_RNG_H_

@@ -1,0 +1,189 @@
+#include "workload/scenarios.h"
+
+#include <cassert>
+#include <utility>
+
+#include "dtd/dtd_parser.h"
+
+namespace dtdevolve::workload {
+
+namespace {
+
+dtd::Dtd MustParseDtd(std::string_view text, std::string root) {
+  StatusOr<dtd::Dtd> parsed = dtd::ParseDtd(text, std::move(root));
+  assert(parsed.ok() && "scenario DTD must parse");
+  return std::move(parsed).value();
+}
+
+}  // namespace
+
+ScenarioStream::ScenarioStream(std::string name,
+                               std::vector<DriftPhase> phases,
+                               GeneratorOptions options, uint64_t seed)
+    : name_(std::move(name)),
+      phases_(std::move(phases)),
+      options_(options),
+      seed_(seed) {
+  assert(!phases_.empty());
+}
+
+uint64_t ScenarioStream::total_documents() const {
+  uint64_t total = 0;
+  for (const DriftPhase& phase : phases_) total += phase.num_documents;
+  return total;
+}
+
+size_t ScenarioStream::current_phase() const {
+  uint64_t remaining = produced_;
+  for (size_t i = 0; i < phases_.size(); ++i) {
+    if (remaining < phases_[i].num_documents) return i;
+    remaining -= phases_[i].num_documents;
+  }
+  return phases_.size() - 1;
+}
+
+xml::Document ScenarioStream::Next() {
+  assert(!Done());
+  size_t phase = current_phase();
+  // A fresh generator per document, seeded from (seed, index): documents
+  // are independent and the stream is restartable.
+  DocumentGenerator generator(phases_[phase].dtd, options_,
+                              seed_ * 0x9E3779B9u + produced_);
+  ++produced_;
+  return generator.Generate();
+}
+
+ScenarioStream MakeBibliographyScenario(uint64_t seed,
+                                        uint64_t docs_per_phase) {
+  std::vector<DriftPhase> phases;
+  phases.push_back({MustParseDtd(R"(
+    <!ELEMENT article (title, author+, journal, year)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT author (#PCDATA)>
+    <!ELEMENT journal (#PCDATA)>
+    <!ELEMENT year (#PCDATA)>
+  )",
+                                 "article"),
+                    docs_per_phase});
+  phases.push_back({MustParseDtd(R"(
+    <!ELEMENT article (title, author+, journal, year, doi, url?)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT author (#PCDATA)>
+    <!ELEMENT journal (#PCDATA)>
+    <!ELEMENT year (#PCDATA)>
+    <!ELEMENT doi (#PCDATA)>
+    <!ELEMENT url (#PCDATA)>
+  )",
+                                 "article"),
+                    docs_per_phase});
+  phases.push_back({MustParseDtd(R"(
+    <!ELEMENT article (title, author+, (journal | booktitle), year, doi, url?)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT author (#PCDATA)>
+    <!ELEMENT journal (#PCDATA)>
+    <!ELEMENT booktitle (#PCDATA)>
+    <!ELEMENT year (#PCDATA)>
+    <!ELEMENT doi (#PCDATA)>
+    <!ELEMENT url (#PCDATA)>
+  )",
+                                 "article"),
+                    docs_per_phase});
+  return ScenarioStream("bibliography", std::move(phases), GeneratorOptions(),
+                        seed);
+}
+
+ScenarioStream MakeCatalogScenario(uint64_t seed, uint64_t docs_per_phase) {
+  std::vector<DriftPhase> phases;
+  phases.push_back({MustParseDtd(R"(
+    <!ELEMENT catalog (vendor, product+)>
+    <!ELEMENT vendor (#PCDATA)>
+    <!ELEMENT product (name, price, description?)>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT price (#PCDATA)>
+    <!ELEMENT description (#PCDATA)>
+  )",
+                                 "catalog"),
+                    docs_per_phase});
+  phases.push_back({MustParseDtd(R"(
+    <!ELEMENT catalog (vendor, product+)>
+    <!ELEMENT vendor (#PCDATA)>
+    <!ELEMENT product (name, (price | sale), description?, image+)>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT price (#PCDATA)>
+    <!ELEMENT sale (price, discount)>
+    <!ELEMENT discount (#PCDATA)>
+    <!ELEMENT description (#PCDATA)>
+    <!ELEMENT image (#PCDATA)>
+  )",
+                                 "catalog"),
+                    docs_per_phase});
+  return ScenarioStream("catalog", std::move(phases), GeneratorOptions(),
+                        seed);
+}
+
+ScenarioStream MakeNewsScenario(uint64_t seed, uint64_t docs_per_phase) {
+  std::vector<DriftPhase> phases;
+  phases.push_back({MustParseDtd(R"(
+    <!ELEMENT news (headline, body, date)>
+    <!ELEMENT headline (#PCDATA)>
+    <!ELEMENT body (#PCDATA)>
+    <!ELEMENT date (#PCDATA)>
+  )",
+                                 "news"),
+                    docs_per_phase});
+  phases.push_back({MustParseDtd(R"(
+    <!ELEMENT news (headline, summary?, body, date, (author | agency))>
+    <!ELEMENT headline (#PCDATA)>
+    <!ELEMENT summary (#PCDATA)>
+    <!ELEMENT body (par+)>
+    <!ELEMENT par (#PCDATA)>
+    <!ELEMENT date (#PCDATA)>
+    <!ELEMENT author (#PCDATA)>
+    <!ELEMENT agency (#PCDATA)>
+  )",
+                                 "news"),
+                    docs_per_phase});
+  return ScenarioStream("news", std::move(phases), GeneratorOptions(), seed);
+}
+
+ScenarioStream MakeForumScenario(uint64_t seed, uint64_t docs_per_phase) {
+  GeneratorOptions options;
+  options.max_repeat = 2;
+  options.max_depth = 8;  // bound the reply recursion
+  std::vector<DriftPhase> phases;
+  phases.push_back({MustParseDtd(R"(
+    <!ELEMENT thread (title, post+)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT post (user, text, reply*)>
+    <!ELEMENT reply (user, text, reply*)>
+    <!ELEMENT user (#PCDATA)>
+    <!ELEMENT text (#PCDATA)>
+  )",
+                                 "thread"),
+                    docs_per_phase});
+  phases.push_back({MustParseDtd(R"(
+    <!ELEMENT thread (title, post+)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT post (user, score, text, reply*)>
+    <!ELEMENT reply (user, score, text, mod?, reply*)>
+    <!ELEMENT user (#PCDATA)>
+    <!ELEMENT score (#PCDATA)>
+    <!ELEMENT text (#PCDATA)>
+    <!ELEMENT mod EMPTY>
+  )",
+                                 "thread"),
+                    docs_per_phase});
+  return ScenarioStream("forum", std::move(phases), options, seed);
+}
+
+std::vector<ScenarioStream> MakeAllScenarios(uint64_t seed,
+                                             uint64_t docs_per_phase) {
+  std::vector<ScenarioStream> scenarios;
+  scenarios.push_back(MakeBibliographyScenario(seed, docs_per_phase));
+  scenarios.push_back(MakeCatalogScenario(seed + 1, docs_per_phase));
+  scenarios.push_back(MakeNewsScenario(seed + 2, docs_per_phase));
+  scenarios.push_back(MakeForumScenario(seed + 3, docs_per_phase));
+  return scenarios;
+}
+
+}  // namespace dtdevolve::workload

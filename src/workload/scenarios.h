@@ -1,0 +1,78 @@
+#ifndef DTDEVOLVE_WORKLOAD_SCENARIOS_H_
+#define DTDEVOLVE_WORKLOAD_SCENARIOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dtd/dtd.h"
+#include "workload/generator.h"
+#include "xml/document.h"
+
+namespace dtdevolve::workload {
+
+/// One phase of structural drift: documents are generated from `dtd`
+/// (the *true*, hidden schema of the moment) for `num_documents`.
+struct DriftPhase {
+  dtd::Dtd dtd;
+  uint64_t num_documents = 0;
+};
+
+/// A document stream whose underlying schema drifts through phases —
+/// the dynamic Web source of the paper, synthesized (see DESIGN.md).
+/// The evolution approach starts from the phase-0 DTD and should track
+/// the later phases.
+class ScenarioStream {
+ public:
+  ScenarioStream(std::string name, std::vector<DriftPhase> phases,
+                 GeneratorOptions options, uint64_t seed);
+
+  ScenarioStream(ScenarioStream&&) = default;
+
+  const std::string& name() const { return name_; }
+  size_t num_phases() const { return phases_.size(); }
+  const dtd::Dtd& TrueDtdAt(size_t phase) const { return phases_[phase].dtd; }
+  /// A copy of the phase-0 DTD — what the source starts with.
+  dtd::Dtd InitialDtd() const { return phases_.front().dtd.Clone(); }
+
+  uint64_t total_documents() const;
+  bool Done() const { return produced_ >= total_documents(); }
+  size_t current_phase() const;
+
+  /// The next document of the stream; must not be called when Done().
+  xml::Document Next();
+
+ private:
+  std::string name_;
+  std::vector<DriftPhase> phases_;
+  GeneratorOptions options_;
+  uint64_t seed_;
+  uint64_t produced_ = 0;
+};
+
+/// Bibliography records: articles gain `doi`/`url` fields, then `journal`
+/// grows a `booktitle` alternative (conference papers).
+ScenarioStream MakeBibliographyScenario(uint64_t seed,
+                                        uint64_t docs_per_phase = 100);
+
+/// Product catalog: products gain a `sale` price alternative and
+/// repeatable `image`s.
+ScenarioStream MakeCatalogScenario(uint64_t seed,
+                                   uint64_t docs_per_phase = 100);
+
+/// News items: stories gain an optional `summary`, a source alternative
+/// (`author` | `agency`), and the flat body becomes paragraphs.
+ScenarioStream MakeNewsScenario(uint64_t seed, uint64_t docs_per_phase = 100);
+
+/// Forum threads: a *recursive* DTD (replies nest replies); the drift
+/// adds per-post scores and an optional moderator mark — evolution must
+/// cope with elements whose statistics aggregate across nesting levels.
+ScenarioStream MakeForumScenario(uint64_t seed, uint64_t docs_per_phase = 100);
+
+/// All four, for sweep experiments.
+std::vector<ScenarioStream> MakeAllScenarios(uint64_t seed,
+                                             uint64_t docs_per_phase = 100);
+
+}  // namespace dtdevolve::workload
+
+#endif  // DTDEVOLVE_WORKLOAD_SCENARIOS_H_

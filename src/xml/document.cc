@@ -1,0 +1,143 @@
+#include "xml/document.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace dtdevolve::xml {
+
+const Element& Node::AsElement() const {
+  assert(is_element());
+  return static_cast<const Element&>(*this);
+}
+
+Element& Node::AsElement() {
+  assert(is_element());
+  return static_cast<Element&>(*this);
+}
+
+const std::string* Element::FindAttribute(std::string_view name) const {
+  for (const Attribute& attr : attributes_) {
+    if (attr.name == name) return &attr.value;
+  }
+  return nullptr;
+}
+
+Node& Element::AddChild(std::unique_ptr<Node> child) {
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+Element& Element::AddElement(std::string tag) {
+  return AddChild(std::make_unique<Element>(std::move(tag))).AsElement();
+}
+
+Text& Element::AddText(std::string value) {
+  Node& node = AddChild(std::make_unique<Text>(std::move(value)));
+  return static_cast<Text&>(node);
+}
+
+std::vector<const Element*> Element::ChildElements() const {
+  std::vector<const Element*> out;
+  for (const auto& child : children_) {
+    if (child->is_element()) out.push_back(&child->AsElement());
+  }
+  return out;
+}
+
+std::vector<Element*> Element::ChildElements() {
+  std::vector<Element*> out;
+  for (auto& child : children_) {
+    if (child->is_element()) out.push_back(&child->AsElement());
+  }
+  return out;
+}
+
+std::set<std::string> Element::ChildTagSet() const {
+  std::set<std::string> out;
+  for (const auto& child : children_) {
+    if (child->is_element()) out.insert(child->AsElement().tag());
+  }
+  return out;
+}
+
+std::vector<std::string> Element::ChildTagSequence() const {
+  std::vector<std::string> out;
+  for (const auto& child : children_) {
+    if (child->is_element()) out.push_back(child->AsElement().tag());
+  }
+  return out;
+}
+
+bool Element::HasTextContent() const {
+  for (const auto& child : children_) {
+    if (child->is_text() &&
+        !IsBlank(static_cast<const Text&>(*child).value())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Element::TextContent() const {
+  std::string out;
+  for (const auto& child : children_) {
+    if (child->is_text()) out += static_cast<const Text&>(*child).value();
+  }
+  return out;
+}
+
+size_t Element::SubtreeElementCount() const {
+  size_t count = 1;
+  for (const auto& child : children_) {
+    if (child->is_element()) {
+      count += child->AsElement().SubtreeElementCount();
+    }
+  }
+  return count;
+}
+
+size_t Element::SubtreeHeight() const {
+  size_t best = 0;
+  for (const auto& child : children_) {
+    if (child->is_element()) {
+      best = std::max(best, child->AsElement().SubtreeHeight());
+    }
+  }
+  return best + 1;
+}
+
+std::unique_ptr<Node> Element::Clone() const { return CloneElement(); }
+
+std::unique_ptr<Element> Element::CloneElement() const {
+  auto copy = std::make_unique<Element>(tag_);
+  copy->attributes_ = attributes_;
+  copy->children_.reserve(children_.size());
+  for (const auto& child : children_) {
+    copy->children_.push_back(child->Clone());
+  }
+  return copy;
+}
+
+Document Document::Clone() const {
+  Document copy;
+  copy.doctype_name_ = doctype_name_;
+  copy.internal_subset_ = internal_subset_;
+  if (root_) copy.root_ = root_->CloneElement();
+  return copy;
+}
+
+bool StructurallyEqual(const Element& a, const Element& b) {
+  if (a.tag() != b.tag()) return false;
+  if (a.attributes() != b.attributes()) return false;
+  std::vector<const Element*> ea = a.ChildElements();
+  std::vector<const Element*> eb = b.ChildElements();
+  if (ea.size() != eb.size()) return false;
+  for (size_t i = 0; i < ea.size(); ++i) {
+    if (!StructurallyEqual(*ea[i], *eb[i])) return false;
+  }
+  return StripWhitespace(a.TextContent()) == StripWhitespace(b.TextContent());
+}
+
+}  // namespace dtdevolve::xml

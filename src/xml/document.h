@@ -1,0 +1,167 @@
+#ifndef DTDEVOLVE_XML_DOCUMENT_H_
+#define DTDEVOLVE_XML_DOCUMENT_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dtdevolve::xml {
+
+class Element;
+
+/// A node of the document tree. The paper represents documents as labeled
+/// trees whose labels come from a set EN of element tags plus a set V of
+/// #PCDATA values; accordingly a node is either an Element (tag label) or a
+/// Text node (value label).
+class Node {
+ public:
+  enum class Kind { kElement, kText };
+
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  Kind kind() const { return kind_; }
+  bool is_element() const { return kind_ == Kind::kElement; }
+  bool is_text() const { return kind_ == Kind::kText; }
+
+  /// Downcasts; must only be called when the kind matches.
+  const Element& AsElement() const;
+  Element& AsElement();
+
+  /// Deep copy of this node and its subtree.
+  virtual std::unique_ptr<Node> Clone() const = 0;
+
+ protected:
+  explicit Node(Kind kind) : kind_(kind) {}
+
+ private:
+  Kind kind_;
+};
+
+/// A #PCDATA leaf.
+class Text : public Node {
+ public:
+  explicit Text(std::string value)
+      : Node(Kind::kText), value_(std::move(value)) {}
+
+  const std::string& value() const { return value_; }
+  void set_value(std::string value) { value_ = std::move(value); }
+
+  std::unique_ptr<Node> Clone() const override {
+    return std::make_unique<Text>(value_);
+  }
+
+ private:
+  std::string value_;
+};
+
+/// An attribute as it appeared on a start tag.
+struct Attribute {
+  std::string name;
+  std::string value;
+
+  friend bool operator==(const Attribute&, const Attribute&) = default;
+};
+
+/// An element node: a tag label plus an ordered list of child nodes.
+class Element : public Node {
+ public:
+  explicit Element(std::string tag)
+      : Node(Kind::kElement), tag_(std::move(tag)) {}
+
+  const std::string& tag() const { return tag_; }
+  void set_tag(std::string tag) { tag_ = std::move(tag); }
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  void AddAttribute(std::string name, std::string value) {
+    attributes_.push_back({std::move(name), std::move(value)});
+  }
+  /// Returns the value of attribute `name`, or nullptr when absent.
+  const std::string* FindAttribute(std::string_view name) const;
+
+  const std::vector<std::unique_ptr<Node>>& children() const {
+    return children_;
+  }
+  std::vector<std::unique_ptr<Node>>& children() { return children_; }
+
+  /// Appends a child node and returns a reference to it.
+  Node& AddChild(std::unique_ptr<Node> child);
+  /// Convenience: appends a new child element with the given tag.
+  Element& AddElement(std::string tag);
+  /// Convenience: appends a new text child.
+  Text& AddText(std::string value);
+
+  /// Direct child elements, in document order (text children skipped).
+  std::vector<const Element*> ChildElements() const;
+  std::vector<Element*> ChildElements();
+
+  /// The paper's function αβ: the *set* of tags of direct subelements.
+  std::set<std::string> ChildTagSet() const;
+  /// Tags of direct subelements in document order (with repetitions).
+  std::vector<std::string> ChildTagSequence() const;
+
+  /// True if this element has a text (non-blank) child.
+  bool HasTextContent() const;
+  /// Concatenation of all direct text children.
+  std::string TextContent() const;
+
+  /// Number of element nodes in this subtree, including this one.
+  size_t SubtreeElementCount() const;
+  /// Height of the element subtree (a leaf element has height 1).
+  size_t SubtreeHeight() const;
+
+  std::unique_ptr<Node> Clone() const override;
+  /// Clone with the concrete Element type preserved.
+  std::unique_ptr<Element> CloneElement() const;
+
+ private:
+  std::string tag_;
+  std::vector<Attribute> attributes_;
+  std::vector<std::unique_ptr<Node>> children_;
+};
+
+/// A parsed XML document: optional DOCTYPE information plus the root element.
+class Document {
+ public:
+  Document() = default;
+  explicit Document(std::unique_ptr<Element> root) : root_(std::move(root)) {}
+
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  bool has_root() const { return root_ != nullptr; }
+  const Element& root() const { return *root_; }
+  Element& root() { return *root_; }
+  void set_root(std::unique_ptr<Element> root) { root_ = std::move(root); }
+
+  /// Name declared in <!DOCTYPE name ...>, empty when absent.
+  const std::string& doctype_name() const { return doctype_name_; }
+  void set_doctype_name(std::string name) { doctype_name_ = std::move(name); }
+
+  /// Raw text of the DOCTYPE internal subset (between '[' and ']'),
+  /// empty when absent; parse it with dtd::ParseDtd if needed.
+  const std::string& internal_subset() const { return internal_subset_; }
+  void set_internal_subset(std::string text) {
+    internal_subset_ = std::move(text);
+  }
+
+  Document Clone() const;
+
+ private:
+  std::string doctype_name_;
+  std::string internal_subset_;
+  std::unique_ptr<Element> root_;
+};
+
+/// Structural equality of two element subtrees: same tags, same ordered
+/// children, same attributes, same (stripped) text content.
+bool StructurallyEqual(const Element& a, const Element& b);
+
+}  // namespace dtdevolve::xml
+
+#endif  // DTDEVOLVE_XML_DOCUMENT_H_

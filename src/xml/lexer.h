@@ -1,0 +1,72 @@
+#ifndef DTDEVOLVE_XML_LEXER_H_
+#define DTDEVOLVE_XML_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace dtdevolve::xml {
+
+/// One lexical event from the document stream.
+struct Token {
+  enum class Kind {
+    kStartTag,   // <name attr="v" ...>  (self_closing true for <name/>)
+    kEndTag,     // </name>
+    kText,       // character data (entities decoded)
+    kComment,    // <!-- ... --> (content without delimiters)
+    kPi,         // <?target ...?> (content without delimiters)
+    kDoctype,    // <!DOCTYPE name [subset]> — name + raw internal subset
+    kEof,
+  };
+
+  Kind kind = Kind::kEof;
+  std::string name;                   // tag / target / doctype name
+  std::vector<Attribute> attributes;  // for kStartTag
+  std::string text;                   // text / comment / PI / subset content
+  bool self_closing = false;          // for kStartTag
+  size_t line = 0;                    // 1-based line of the token start
+};
+
+/// Pull lexer over an in-memory XML document. Produces a stream of Tokens;
+/// all errors are reported with the 1-based source line.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Lexer(const Lexer&) = delete;
+  Lexer& operator=(const Lexer&) = delete;
+
+  /// Returns the next token, or a ParseError status.
+  StatusOr<Token> Next();
+
+  /// 1-based line number at the current cursor.
+  size_t line() const { return line_; }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char Advance();
+  bool Consume(char expected);
+  bool ConsumeWord(std::string_view word);
+  void SkipWhitespace();
+  Status ErrorHere(std::string message) const;
+
+  StatusOr<std::string> LexName();
+  StatusOr<std::string> LexQuotedValue();
+  StatusOr<Token> LexMarkup();        // cursor just after '<'
+  StatusOr<Token> LexBang();          // cursor just after '<!'
+  StatusOr<Token> LexDoctype();       // cursor just after '<!DOCTYPE'
+  StatusOr<Token> LexStartTag();      // cursor at first char of name
+  StatusOr<Token> LexText();
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+}  // namespace dtdevolve::xml
+
+#endif  // DTDEVOLVE_XML_LEXER_H_

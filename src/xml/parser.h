@@ -1,0 +1,23 @@
+#ifndef DTDEVOLVE_XML_PARSER_H_
+#define DTDEVOLVE_XML_PARSER_H_
+
+#include <string_view>
+
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace dtdevolve::xml {
+
+/// Parses an XML document from `input`. Comments, processing instructions
+/// and the XML declaration are skipped; a DOCTYPE (with its raw internal
+/// subset, if any) is recorded on the returned Document. Whitespace-only
+/// text between elements is dropped; all other character data becomes Text
+/// nodes with entities decoded.
+StatusOr<Document> ParseDocument(std::string_view input);
+
+/// Parses a fragment that must consist of exactly one element (no prolog).
+StatusOr<Document> ParseElementFragment(std::string_view input);
+
+}  // namespace dtdevolve::xml
+
+#endif  // DTDEVOLVE_XML_PARSER_H_

@@ -1,0 +1,57 @@
+#include "xml/path.h"
+
+#include "util/string_util.h"
+
+namespace dtdevolve::xml {
+
+namespace {
+
+void SelectRec(const Element& node, const std::vector<std::string>& steps,
+               size_t index, std::vector<const Element*>& out) {
+  const std::string& step = steps[index];
+  if (step != "*" && node.tag() != step) return;
+  if (index + 1 == steps.size()) {
+    out.push_back(&node);
+    return;
+  }
+  for (const Element* child : node.ChildElements()) {
+    SelectRec(*child, steps, index + 1, out);
+  }
+}
+
+}  // namespace
+
+std::vector<const Element*> SelectPath(const Element& root,
+                                       std::string_view path) {
+  std::vector<const Element*> out;
+  std::vector<std::string> steps = Split(path, '/');
+  if (steps.empty()) return out;
+  SelectRec(root, steps, 0, out);
+  return out;
+}
+
+const Element* SelectFirst(const Element& root, std::string_view path) {
+  std::vector<const Element*> matches = SelectPath(root, path);
+  return matches.empty() ? nullptr : matches.front();
+}
+
+std::vector<const Element*> AllElements(const Element& root) {
+  std::vector<const Element*> out;
+  out.push_back(&root);
+  for (const Element* child : root.ChildElements()) {
+    std::vector<const Element*> sub = AllElements(*child);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::vector<const Element*> ElementsByTag(const Element& root,
+                                          std::string_view tag) {
+  std::vector<const Element*> out;
+  for (const Element* e : AllElements(root)) {
+    if (e->tag() == tag) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace dtdevolve::xml

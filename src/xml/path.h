@@ -1,0 +1,30 @@
+#ifndef DTDEVOLVE_XML_PATH_H_
+#define DTDEVOLVE_XML_PATH_H_
+
+#include <string_view>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace dtdevolve::xml {
+
+/// Evaluates a simple slash-separated child path against `root`.
+/// `"a/b/c"` returns every `c` element reachable as root(a)/b/c; the first
+/// step must match the root's own tag. `"*"` steps match any tag. This is a
+/// deliberately small subset of XPath used by tests and examples.
+std::vector<const Element*> SelectPath(const Element& root,
+                                       std::string_view path);
+
+/// Returns the first match of `SelectPath`, or nullptr.
+const Element* SelectFirst(const Element& root, std::string_view path);
+
+/// Collects every element in the subtree (pre-order), including `root`.
+std::vector<const Element*> AllElements(const Element& root);
+
+/// Collects every element in the subtree with the given tag.
+std::vector<const Element*> ElementsByTag(const Element& root,
+                                          std::string_view tag);
+
+}  // namespace dtdevolve::xml
+
+#endif  // DTDEVOLVE_XML_PATH_H_

@@ -1,0 +1,129 @@
+#include "xml/text.h"
+
+#include <cctype>
+
+namespace dtdevolve::xml {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+bool IsValidName(std::string_view name) {
+  if (name.empty() || !IsNameStartChar(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!IsNameChar(c)) return false;
+  }
+  return true;
+}
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+StatusOr<std::string> UnescapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c != '&') {
+      out += c;
+      ++i;
+      continue;
+    }
+    size_t end = text.find(';', i + 1);
+    if (end == std::string_view::npos) {
+      return Status::ParseError("unterminated entity reference");
+    }
+    std::string_view name = text.substr(i + 1, end - i - 1);
+    if (name == "amp") {
+      out += '&';
+    } else if (name == "lt") {
+      out += '<';
+    } else if (name == "gt") {
+      out += '>';
+    } else if (name == "quot") {
+      out += '"';
+    } else if (name == "apos") {
+      out += '\'';
+    } else if (!name.empty() && name[0] == '#') {
+      int base = 10;
+      std::string_view digits = name.substr(1);
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        base = 16;
+        digits = digits.substr(1);
+      }
+      if (digits.empty()) {
+        return Status::ParseError("empty character reference");
+      }
+      int value = 0;
+      for (char d : digits) {
+        int digit;
+        if (d >= '0' && d <= '9') {
+          digit = d - '0';
+        } else if (base == 16 && d >= 'a' && d <= 'f') {
+          digit = d - 'a' + 10;
+        } else if (base == 16 && d >= 'A' && d <= 'F') {
+          digit = d - 'A' + 10;
+        } else {
+          return Status::ParseError("malformed character reference: &" +
+                                    std::string(name) + ";");
+        }
+        value = value * base + digit;
+        if (value > 0x10FFFF) {
+          return Status::ParseError("character reference out of range");
+        }
+      }
+      if (value > 0x7F) {
+        // Encode as UTF-8.
+        if (value <= 0x7FF) {
+          out += static_cast<char>(0xC0 | (value >> 6));
+          out += static_cast<char>(0x80 | (value & 0x3F));
+        } else if (value <= 0xFFFF) {
+          out += static_cast<char>(0xE0 | (value >> 12));
+          out += static_cast<char>(0x80 | ((value >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (value & 0x3F));
+        } else {
+          out += static_cast<char>(0xF0 | (value >> 18));
+          out += static_cast<char>(0x80 | ((value >> 12) & 0x3F));
+          out += static_cast<char>(0x80 | ((value >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (value & 0x3F));
+        }
+      } else {
+        out += static_cast<char>(value);
+      }
+    } else {
+      return Status::ParseError("unknown entity reference: &" +
+                                std::string(name) + ";");
+    }
+    i = end + 1;
+  }
+  return out;
+}
+
+}  // namespace dtdevolve::xml

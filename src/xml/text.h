@@ -1,0 +1,31 @@
+#ifndef DTDEVOLVE_XML_TEXT_H_
+#define DTDEVOLVE_XML_TEXT_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace dtdevolve::xml {
+
+/// True if `c` may start an XML name (ASCII subset: letter, '_' or ':').
+bool IsNameStartChar(char c);
+
+/// True if `c` may appear inside an XML name (adds digits, '-', '.').
+bool IsNameChar(char c);
+
+/// True if `name` is a well-formed XML name (non-empty, valid chars).
+bool IsValidName(std::string_view name);
+
+/// Escapes '&', '<', '>', '"' for inclusion in element content or
+/// attribute values.
+std::string EscapeText(std::string_view text);
+
+/// Decodes the five predefined entities (&amp; &lt; &gt; &quot; &apos;)
+/// and decimal/hex character references restricted to ASCII. Unknown
+/// entities are a parse error.
+StatusOr<std::string> UnescapeText(std::string_view text);
+
+}  // namespace dtdevolve::xml
+
+#endif  // DTDEVOLVE_XML_TEXT_H_

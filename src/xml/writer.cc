@@ -1,0 +1,92 @@
+#include "xml/writer.h"
+
+#include "util/string_util.h"
+#include "xml/text.h"
+
+namespace dtdevolve::xml {
+
+namespace {
+
+void WriteIndent(std::string& out, const WriteOptions& options, int depth) {
+  if (!options.indent) return;
+  out += '\n';
+  out.append(static_cast<size_t>(depth) * options.indent_width, ' ');
+}
+
+void WriteElementRec(const Element& element, const WriteOptions& options,
+                     int depth, std::string& out) {
+  out += '<';
+  out += element.tag();
+  for (const Attribute& attr : element.attributes()) {
+    out += ' ';
+    out += attr.name;
+    out += "=\"";
+    out += EscapeText(attr.value);
+    out += '"';
+  }
+  if (element.children().empty()) {
+    out += "/>";
+    return;
+  }
+  out += '>';
+  // Elements whose children are all text are written inline; mixed or
+  // element content is indented one level per depth.
+  bool all_text = true;
+  for (const auto& child : element.children()) {
+    if (!child->is_text()) {
+      all_text = false;
+      break;
+    }
+  }
+  if (all_text) {
+    for (const auto& child : element.children()) {
+      out += EscapeText(static_cast<const Text&>(*child).value());
+    }
+  } else {
+    for (const auto& child : element.children()) {
+      WriteIndent(out, options, depth + 1);
+      if (child->is_text()) {
+        out += EscapeText(static_cast<const Text&>(*child).value());
+      } else {
+        WriteElementRec(child->AsElement(), options, depth + 1, out);
+      }
+    }
+    WriteIndent(out, options, depth);
+  }
+  out += "</";
+  out += element.tag();
+  out += '>';
+}
+
+}  // namespace
+
+std::string WriteElement(const Element& element, const WriteOptions& options) {
+  std::string out;
+  WriteElementRec(element, options, 0, out);
+  return out;
+}
+
+std::string WriteDocument(const Document& doc, const WriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out += "<?xml version=\"1.0\"?>";
+    if (options.indent) out += '\n';
+  }
+  if (!doc.doctype_name().empty()) {
+    out += "<!DOCTYPE ";
+    out += doc.doctype_name();
+    if (!doc.internal_subset().empty()) {
+      out += " [";
+      out += doc.internal_subset();
+      out += ']';
+    }
+    out += '>';
+    if (options.indent) out += '\n';
+  }
+  if (doc.has_root()) {
+    WriteElementRec(doc.root(), options, 0, out);
+  }
+  return out;
+}
+
+}  // namespace dtdevolve::xml

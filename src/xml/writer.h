@@ -1,0 +1,29 @@
+#ifndef DTDEVOLVE_XML_WRITER_H_
+#define DTDEVOLVE_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/document.h"
+
+namespace dtdevolve::xml {
+
+/// Serialization options.
+struct WriteOptions {
+  /// Pretty-print with this indent per level; when false, emit compactly.
+  bool indent = true;
+  int indent_width = 2;
+  /// Emit an `<?xml version="1.0"?>` declaration before the root.
+  bool declaration = false;
+};
+
+/// Serializes an element subtree.
+std::string WriteElement(const Element& element,
+                         const WriteOptions& options = WriteOptions());
+
+/// Serializes a whole document (declaration + DOCTYPE if present + root).
+std::string WriteDocument(const Document& doc,
+                          const WriteOptions& options = WriteOptions());
+
+}  // namespace dtdevolve::xml
+
+#endif  // DTDEVOLVE_XML_WRITER_H_

@@ -1,0 +1,180 @@
+#include "xsd/from_dtd.h"
+
+#include <utility>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace dtdevolve::xsd {
+
+namespace {
+
+using Kind = dtd::ContentModel::Kind;
+
+/// Multiplies occurrence bounds (wrapping an already-bounded particle in
+/// another unary operator).
+Occurs Scale(Occurs inner, Occurs outer) {
+  Occurs result;
+  result.min = inner.min * outer.min;  // 0/1 factors only — no overflow
+  if (inner.max == Occurs::kUnbounded || outer.max == Occurs::kUnbounded) {
+    result.max = Occurs::kUnbounded;
+  } else {
+    result.max = inner.max * outer.max;
+  }
+  return result;
+}
+
+/// True when `model` is mixed content: Star(Choice(#PCDATA, names…)) or a
+/// bare/starred #PCDATA variant that still admits elements.
+bool IsMixed(const dtd::ContentModel& model) {
+  const dtd::ContentModel* inner = &model;
+  if (model.kind() == Kind::kStar) inner = &model.child();
+  if (inner->kind() != Kind::kOr) return false;
+  for (const auto& child : inner->children()) {
+    if (child->kind() == Kind::kPcdata) return true;
+  }
+  return false;
+}
+
+Particle::Ptr ConvertModel(const dtd::ContentModel& model) {
+  switch (model.kind()) {
+    case Kind::kName:
+      return Particle::ElementRef(model.name());
+    case Kind::kPcdata:
+    case Kind::kAny:
+    case Kind::kEmpty:
+      return nullptr;  // handled at the element level
+    case Kind::kAnd: {
+      std::vector<Particle::Ptr> children;
+      for (const auto& child : model.children()) {
+        Particle::Ptr particle = ConvertModel(*child);
+        if (particle != nullptr) children.push_back(std::move(particle));
+      }
+      if (children.empty()) return nullptr;
+      if (children.size() == 1) return std::move(children.front());
+      return Particle::Sequence(std::move(children));
+    }
+    case Kind::kOr: {
+      std::vector<Particle::Ptr> children;
+      for (const auto& child : model.children()) {
+        Particle::Ptr particle = ConvertModel(*child);
+        if (particle != nullptr) children.push_back(std::move(particle));
+      }
+      if (children.empty()) return nullptr;
+      if (children.size() == 1) return std::move(children.front());
+      return Particle::Choice(std::move(children));
+    }
+    case Kind::kOptional:
+    case Kind::kStar:
+    case Kind::kPlus: {
+      Particle::Ptr inner = ConvertModel(model.child());
+      if (inner == nullptr) return nullptr;
+      Occurs outer;
+      switch (model.kind()) {
+        case Kind::kOptional:
+          outer = {0, 1};
+          break;
+        case Kind::kStar:
+          outer = {0, Occurs::kUnbounded};
+          break;
+        default:
+          outer = {1, Occurs::kUnbounded};
+          break;
+      }
+      inner->occurs() = Scale(inner->occurs(), outer);
+      return inner;
+    }
+  }
+  return nullptr;
+}
+
+std::string MapAttributeType(const std::string& dtd_type) {
+  if (dtd_type == "CDATA") return "xs:string";
+  if (dtd_type == "ID") return "xs:ID";
+  if (dtd_type == "IDREF") return "xs:IDREF";
+  if (dtd_type == "IDREFS") return "xs:IDREFS";
+  if (dtd_type == "NMTOKEN") return "xs:NMTOKEN";
+  if (dtd_type == "NMTOKENS") return "xs:NMTOKENS";
+  if (dtd_type == "ENTITY") return "xs:ENTITY";
+  if (dtd_type == "ENTITIES") return "xs:ENTITIES";
+  if (dtd_type == "NOTATION") return "xs:NOTATION";
+  return "xs:string";
+}
+
+AttributeUse ConvertAttribute(const dtd::AttributeDecl& decl) {
+  AttributeUse use;
+  use.name = decl.name;
+  if (!decl.type.empty() && decl.type.front() == '(') {
+    use.type.clear();
+    use.enumeration =
+        Split(decl.type.substr(1, decl.type.size() - 2), '|');
+  } else {
+    use.type = MapAttributeType(decl.type);
+  }
+  switch (decl.default_kind) {
+    case dtd::AttributeDecl::DefaultKind::kRequired:
+      use.required = true;
+      break;
+    case dtd::AttributeDecl::DefaultKind::kImplied:
+      break;
+    case dtd::AttributeDecl::DefaultKind::kFixed:
+      use.fixed_value = decl.default_value;
+      break;
+    case dtd::AttributeDecl::DefaultKind::kDefault:
+      use.default_value = decl.default_value;
+      break;
+  }
+  return use;
+}
+
+}  // namespace
+
+Schema FromDtd(const dtd::Dtd& dtd) {
+  Schema schema;
+  schema.set_root_name(dtd.root_name());
+  for (const std::string& name : dtd.ElementNames()) {
+    const dtd::ElementDecl* decl = dtd.FindElement(name);
+    ElementDef& def = schema.AddElement(name);
+    for (const dtd::AttributeDecl& attribute : decl->attributes) {
+      def.attributes.push_back(ConvertAttribute(attribute));
+    }
+    if (decl->content == nullptr) {
+      def.content = ElementDef::ContentKind::kAny;
+      continue;
+    }
+    const dtd::ContentModel& model = *decl->content;
+    switch (model.kind()) {
+      case Kind::kPcdata:
+        def.content = ElementDef::ContentKind::kSimple;
+        continue;
+      case Kind::kEmpty:
+        def.content = ElementDef::ContentKind::kEmpty;
+        continue;
+      case Kind::kAny:
+        def.content = ElementDef::ContentKind::kAny;
+        continue;
+      default:
+        break;
+    }
+    Particle::Ptr particle = ConvertModel(model);
+    if (IsMixed(model)) {
+      def.content = ElementDef::ContentKind::kMixed;
+      if (particle != nullptr) {
+        // The paper-side mixed form is (#PCDATA | a | …)*: the element
+        // alternatives may repeat freely.
+        particle->occurs() = {0, Occurs::kUnbounded};
+      }
+      def.particle = std::move(particle);
+    } else if (particle == nullptr) {
+      // A model with no element leaves that is not literally (#PCDATA) —
+      // e.g. (#PCDATA)* — still has simple content.
+      def.content = ElementDef::ContentKind::kSimple;
+    } else {
+      def.content = ElementDef::ContentKind::kComplex;
+      def.particle = std::move(particle);
+    }
+  }
+  return schema;
+}
+
+}  // namespace dtdevolve::xsd

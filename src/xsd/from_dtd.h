@@ -1,0 +1,32 @@
+#ifndef DTDEVOLVE_XSD_FROM_DTD_H_
+#define DTDEVOLVE_XSD_FROM_DTD_H_
+
+#include "dtd/dtd.h"
+#include "xsd/schema.h"
+
+namespace dtdevolve::xsd {
+
+/// Converts a DTD into the equivalent XML Schema — the §6 direction
+/// "since a DTD can be considered as a kind of XML schema, we are
+/// currently extending the approach to the evolution of XML schemas".
+/// With this exporter, an *evolved* DTD becomes an evolved schema.
+///
+/// Mapping:
+///   (a, b)         → xs:sequence of element refs
+///   (a | b)        → xs:choice
+///   x?             → minOccurs="0"
+///   x*             → minOccurs="0" maxOccurs="unbounded"
+///   x+             → maxOccurs="unbounded"
+///   (#PCDATA)      → xs:string simple content
+///   (#PCDATA|a|…)* → mixed complex type over a choice of the elements
+///   EMPTY          → empty complex type
+///   ANY            → xs:anyType
+///   ATTLIST        → xs:attribute uses (CDATA→xs:string, ID/IDREF/
+///                    NMTOKEN(S)/ENTITY mapped to the xs built-ins,
+///                    enumerations → xs:string restriction facets,
+///                    #REQUIRED → use="required", #FIXED → fixed="…")
+Schema FromDtd(const dtd::Dtd& dtd);
+
+}  // namespace dtdevolve::xsd
+
+#endif  // DTDEVOLVE_XSD_FROM_DTD_H_

@@ -1,0 +1,197 @@
+#include "xsd/parser.h"
+
+#include <cstdlib>
+
+#include "xml/parser.h"
+
+namespace dtdevolve::xsd {
+
+namespace {
+
+/// Strips an `xs:`/`xsd:` prefix from a tag for matching.
+std::string_view LocalName(std::string_view tag) {
+  size_t colon = tag.find(':');
+  return colon == std::string_view::npos ? tag : tag.substr(colon + 1);
+}
+
+StatusOr<Occurs> ParseOccurs(const xml::Element& element) {
+  Occurs occurs;
+  if (const std::string* min = element.FindAttribute("minOccurs")) {
+    occurs.min = static_cast<uint32_t>(std::strtoul(min->c_str(), nullptr, 10));
+  }
+  if (const std::string* max = element.FindAttribute("maxOccurs")) {
+    if (*max == "unbounded") {
+      occurs.max = Occurs::kUnbounded;
+    } else {
+      occurs.max =
+          static_cast<uint32_t>(std::strtoul(max->c_str(), nullptr, 10));
+    }
+  }
+  if (occurs.max != Occurs::kUnbounded && occurs.max < occurs.min) {
+    return Status::ParseError("maxOccurs < minOccurs");
+  }
+  return occurs;
+}
+
+StatusOr<Particle::Ptr> ParseParticle(const xml::Element& element) {
+  std::string_view local = LocalName(element.tag());
+  StatusOr<Occurs> occurs = ParseOccurs(element);
+  if (!occurs.ok()) return occurs.status();
+  if (local == "element") {
+    const std::string* ref = element.FindAttribute("ref");
+    if (ref == nullptr) {
+      return Status::ParseError(
+          "only global-element references are supported inside particles");
+    }
+    return Particle::ElementRef(*ref, *occurs);
+  }
+  if (local == "sequence" || local == "choice") {
+    std::vector<Particle::Ptr> children;
+    for (const xml::Element* child : element.ChildElements()) {
+      StatusOr<Particle::Ptr> particle = ParseParticle(*child);
+      if (!particle.ok()) return particle.status();
+      children.push_back(std::move(*particle));
+    }
+    if (children.empty()) {
+      return Status::ParseError("empty " + std::string(local));
+    }
+    return local == "sequence"
+               ? Particle::Sequence(std::move(children), *occurs)
+               : Particle::Choice(std::move(children), *occurs);
+  }
+  return Status::ParseError("unsupported particle <" +
+                            std::string(element.tag()) + ">");
+}
+
+StatusOr<AttributeUse> ParseAttribute(const xml::Element& element) {
+  AttributeUse use;
+  const std::string* name = element.FindAttribute("name");
+  if (name == nullptr) {
+    return Status::ParseError("xs:attribute without a name");
+  }
+  use.name = *name;
+  if (const std::string* type = element.FindAttribute("type")) {
+    use.type = *type;
+  }
+  if (const std::string* required = element.FindAttribute("use")) {
+    use.required = *required == "required";
+  }
+  if (const std::string* fixed = element.FindAttribute("fixed")) {
+    use.fixed_value = *fixed;
+  }
+  if (const std::string* dflt = element.FindAttribute("default")) {
+    use.default_value = *dflt;
+  }
+  // Inline enumeration restriction.
+  for (const xml::Element* child : element.ChildElements()) {
+    if (LocalName(child->tag()) != "simpleType") continue;
+    use.type.clear();
+    for (const xml::Element* restriction : child->ChildElements()) {
+      if (LocalName(restriction->tag()) != "restriction") continue;
+      for (const xml::Element* facet : restriction->ChildElements()) {
+        if (LocalName(facet->tag()) != "enumeration") continue;
+        if (const std::string* value = facet->FindAttribute("value")) {
+          use.enumeration.push_back(*value);
+        }
+      }
+    }
+  }
+  return use;
+}
+
+Status ParseElement(const xml::Element& element, Schema& schema) {
+  const std::string* name = element.FindAttribute("name");
+  if (name == nullptr) {
+    return Status::ParseError("global xs:element without a name");
+  }
+  ElementDef& def = schema.AddElement(*name);
+
+  if (const std::string* type = element.FindAttribute("type")) {
+    def.content = (*type == "xs:anyType") ? ElementDef::ContentKind::kAny
+                                          : ElementDef::ContentKind::kSimple;
+    return Status::Ok();
+  }
+
+  const xml::Element* complex_type = nullptr;
+  for (const xml::Element* child : element.ChildElements()) {
+    if (LocalName(child->tag()) == "complexType") {
+      complex_type = child;
+      break;
+    }
+  }
+  if (complex_type == nullptr) {
+    def.content = ElementDef::ContentKind::kSimple;
+    return Status::Ok();
+  }
+
+  bool mixed = false;
+  if (const std::string* m = complex_type->FindAttribute("mixed")) {
+    mixed = *m == "true";
+  }
+
+  for (const xml::Element* child : complex_type->ChildElements()) {
+    std::string_view local = LocalName(child->tag());
+    if (local == "sequence" || local == "choice" || local == "element") {
+      StatusOr<Particle::Ptr> particle = ParseParticle(*child);
+      if (!particle.ok()) return particle.status();
+      def.particle = std::move(*particle);
+    } else if (local == "attribute") {
+      StatusOr<AttributeUse> use = ParseAttribute(*child);
+      if (!use.ok()) return use.status();
+      def.attributes.push_back(std::move(*use));
+    } else if (local == "simpleContent") {
+      def.content = ElementDef::ContentKind::kSimple;
+      for (const xml::Element* extension : child->ChildElements()) {
+        if (LocalName(extension->tag()) != "extension") continue;
+        for (const xml::Element* attr : extension->ChildElements()) {
+          if (LocalName(attr->tag()) != "attribute") continue;
+          StatusOr<AttributeUse> use = ParseAttribute(*attr);
+          if (!use.ok()) return use.status();
+          def.attributes.push_back(std::move(*use));
+        }
+      }
+      return Status::Ok();
+    } else {
+      return Status::ParseError("unsupported schema construct <" +
+                                std::string(child->tag()) + ">");
+    }
+  }
+
+  if (def.particle == nullptr) {
+    def.content = ElementDef::ContentKind::kEmpty;
+  } else {
+    def.content = mixed ? ElementDef::ContentKind::kMixed
+                        : ElementDef::ContentKind::kComplex;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<Schema> ParseSchema(std::string_view text) {
+  StatusOr<xml::Document> doc = xml::ParseDocument(text);
+  if (!doc.ok()) return doc.status();
+  if (LocalName(doc->root().tag()) != "schema") {
+    return Status::ParseError("root element is not xs:schema");
+  }
+  Schema schema;
+  for (const xml::Element* child : doc->root().ChildElements()) {
+    std::string_view local = LocalName(child->tag());
+    if (local == "element") {
+      DTDEVOLVE_RETURN_IF_ERROR(ParseElement(*child, schema));
+    } else if (local == "annotation" || local == "import" ||
+               local == "include") {
+      continue;  // tolerated and ignored
+    } else {
+      return Status::ParseError("unsupported top-level construct <" +
+                                std::string(child->tag()) + ">");
+    }
+  }
+  if (schema.size() == 0) {
+    return Status::ParseError("schema declares no elements");
+  }
+  schema.set_root_name(schema.ElementNames().front());
+  return schema;
+}
+
+}  // namespace dtdevolve::xsd

@@ -1,0 +1,20 @@
+#ifndef DTDEVOLVE_XSD_PARSER_H_
+#define DTDEVOLVE_XSD_PARSER_H_
+
+#include <string_view>
+
+#include "util/status.h"
+#include "xsd/schema.h"
+
+namespace dtdevolve::xsd {
+
+/// Parses a W3C XML Schema document (the subset `WriteSchema` emits:
+/// global elements, complex types with one sequence/choice particle,
+/// element refs with occurrence bounds, mixed content, attributes with
+/// enumeration restrictions). `WriteSchema` output round-trips exactly;
+/// unsupported constructs are rejected with a ParseError naming them.
+StatusOr<Schema> ParseSchema(std::string_view text);
+
+}  // namespace dtdevolve::xsd
+
+#endif  // DTDEVOLVE_XSD_PARSER_H_

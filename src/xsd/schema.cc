@@ -1,0 +1,58 @@
+#include "xsd/schema.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dtdevolve::xsd {
+
+Particle::Ptr Particle::ElementRef(std::string name, Occurs occurs) {
+  Ptr particle(new Particle(Kind::kElementRef));
+  particle->ref_ = std::move(name);
+  particle->occurs_ = occurs;
+  return particle;
+}
+
+Particle::Ptr Particle::Sequence(std::vector<Ptr> children, Occurs occurs) {
+  assert(!children.empty());
+  Ptr particle(new Particle(Kind::kSequence));
+  particle->children_ = std::move(children);
+  particle->occurs_ = occurs;
+  return particle;
+}
+
+Particle::Ptr Particle::Choice(std::vector<Ptr> children, Occurs occurs) {
+  assert(!children.empty());
+  Ptr particle(new Particle(Kind::kChoice));
+  particle->children_ = std::move(children);
+  particle->occurs_ = occurs;
+  return particle;
+}
+
+Particle::Ptr Particle::Clone() const {
+  Ptr copy(new Particle(kind_));
+  copy->occurs_ = occurs_;
+  copy->ref_ = ref_;
+  copy->children_.reserve(children_.size());
+  for (const Ptr& child : children_) {
+    copy->children_.push_back(child->Clone());
+  }
+  return copy;
+}
+
+ElementDef& Schema::AddElement(std::string name) {
+  auto it = elements_.find(name);
+  if (it == elements_.end()) {
+    order_.push_back(name);
+    ElementDef def;
+    def.name = name;
+    it = elements_.emplace(std::move(name), std::move(def)).first;
+  }
+  return it->second;
+}
+
+const ElementDef* Schema::FindElement(const std::string& name) const {
+  auto it = elements_.find(name);
+  return it == elements_.end() ? nullptr : &it->second;
+}
+
+}  // namespace dtdevolve::xsd

@@ -1,0 +1,112 @@
+#ifndef DTDEVOLVE_XSD_SCHEMA_H_
+#define DTDEVOLVE_XSD_SCHEMA_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dtdevolve::xsd {
+
+/// Occurrence bounds of a particle (minOccurs / maxOccurs).
+struct Occurs {
+  static constexpr uint32_t kUnbounded =
+      std::numeric_limits<uint32_t>::max();
+
+  uint32_t min = 1;
+  uint32_t max = 1;
+
+  bool IsDefault() const { return min == 1 && max == 1; }
+  friend bool operator==(const Occurs&, const Occurs&) = default;
+};
+
+/// A content particle: a global-element reference, a sequence or a
+/// choice — the fragment of XML Schema that DTD content models map onto
+/// (the "salami slice" design: every element is declared globally, which
+/// matches DTD semantics where element declarations are global).
+class Particle {
+ public:
+  enum class Kind { kElementRef, kSequence, kChoice };
+
+  using Ptr = std::unique_ptr<Particle>;
+
+  static Ptr ElementRef(std::string name, Occurs occurs = {});
+  static Ptr Sequence(std::vector<Ptr> children, Occurs occurs = {});
+  static Ptr Choice(std::vector<Ptr> children, Occurs occurs = {});
+
+  Particle(const Particle&) = delete;
+  Particle& operator=(const Particle&) = delete;
+
+  Kind kind() const { return kind_; }
+  const Occurs& occurs() const { return occurs_; }
+  Occurs& occurs() { return occurs_; }
+  /// Referenced element name (kElementRef only).
+  const std::string& ref() const { return ref_; }
+  const std::vector<Ptr>& children() const { return children_; }
+
+  Ptr Clone() const;
+
+ private:
+  explicit Particle(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  Occurs occurs_;
+  std::string ref_;
+  std::vector<Ptr> children_;
+};
+
+/// One attribute use on a complex type.
+struct AttributeUse {
+  std::string name;
+  /// XML Schema type name (xs:string, xs:ID, …) or empty when
+  /// `enumeration` is used instead.
+  std::string type = "xs:string";
+  /// Enumeration facet values (empty unless the DTD type was enumerated).
+  std::vector<std::string> enumeration;
+  bool required = false;
+  std::string fixed_value;    // non-empty for #FIXED
+  std::string default_value;  // non-empty for a plain default
+};
+
+/// A global element declaration.
+struct ElementDef {
+  enum class ContentKind {
+    kSimple,   // xs:string content (DTD (#PCDATA))
+    kEmpty,    // empty content (DTD EMPTY)
+    kAny,      // xs:anyType (DTD ANY)
+    kComplex,  // element-only content with a particle
+    kMixed,    // mixed content with a particle
+  };
+
+  std::string name;
+  ContentKind content = ContentKind::kSimple;
+  Particle::Ptr particle;  // kComplex / kMixed
+  std::vector<AttributeUse> attributes;
+};
+
+/// An XML Schema document (the subset DTDs map onto).
+class Schema {
+ public:
+  Schema() = default;
+  Schema(Schema&&) = default;
+  Schema& operator=(Schema&&) = default;
+
+  const std::string& root_name() const { return root_name_; }
+  void set_root_name(std::string name) { root_name_ = std::move(name); }
+
+  ElementDef& AddElement(std::string name);
+  const ElementDef* FindElement(const std::string& name) const;
+  std::vector<std::string> ElementNames() const { return order_; }
+  size_t size() const { return elements_.size(); }
+
+ private:
+  std::string root_name_;
+  std::vector<std::string> order_;
+  std::map<std::string, ElementDef> elements_;
+};
+
+}  // namespace dtdevolve::xsd
+
+#endif  // DTDEVOLVE_XSD_SCHEMA_H_

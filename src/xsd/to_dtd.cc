@@ -1,0 +1,175 @@
+#include "xsd/to_dtd.h"
+
+#include <utility>
+#include <vector>
+
+#include "dtd/rewrite.h"
+
+namespace dtdevolve::xsd {
+
+namespace {
+
+using Ptr = dtd::ContentModel::Ptr;
+
+/// Bounds beyond which {m,n} expansion widens instead.
+constexpr uint32_t kMaxExpansion = 4;
+
+Ptr ConvertParticle(const Particle& particle);
+
+/// Applies occurrence bounds to a converted particle body.
+Ptr ApplyOccurs(Ptr body, const Occurs& occurs) {
+  const uint32_t min = occurs.min;
+  const uint32_t max = occurs.max;
+  if (min == 1 && max == 1) return body;
+  if (min == 0 && max == 1) return dtd::ContentModel::Opt(std::move(body));
+  if (min == 0 && max == Occurs::kUnbounded) {
+    return dtd::ContentModel::Star(std::move(body));
+  }
+  if (min >= 1 && max == Occurs::kUnbounded) {
+    // {m,∞}: m−1 required copies then a +.
+    std::vector<Ptr> parts;
+    for (uint32_t i = 1; i < min && i <= kMaxExpansion; ++i) {
+      parts.push_back(body->Clone());
+    }
+    parts.push_back(dtd::ContentModel::Plus(std::move(body)));
+    if (parts.size() == 1) return std::move(parts.front());
+    return dtd::ContentModel::Seq(std::move(parts));
+  }
+  // Finite {m,n}.
+  if (max <= kMaxExpansion) {
+    std::vector<Ptr> parts;
+    for (uint32_t i = 0; i < min; ++i) parts.push_back(body->Clone());
+    for (uint32_t i = min; i < max; ++i) {
+      parts.push_back(dtd::ContentModel::Opt(body->Clone()));
+    }
+    if (parts.empty()) return dtd::ContentModel::Opt(std::move(body));
+    if (parts.size() == 1) return std::move(parts.front());
+    return dtd::ContentModel::Seq(std::move(parts));
+  }
+  // Too large to expand: widen to the closest DTD operator.
+  return min == 0 ? dtd::ContentModel::Star(std::move(body))
+                  : dtd::ContentModel::Plus(std::move(body));
+}
+
+Ptr ConvertParticle(const Particle& particle) {
+  Ptr body;
+  switch (particle.kind()) {
+    case Particle::Kind::kElementRef:
+      body = dtd::ContentModel::Name(particle.ref());
+      break;
+    case Particle::Kind::kSequence:
+    case Particle::Kind::kChoice: {
+      std::vector<Ptr> children;
+      children.reserve(particle.children().size());
+      for (const Particle::Ptr& child : particle.children()) {
+        children.push_back(ConvertParticle(*child));
+      }
+      if (children.size() == 1) {
+        body = std::move(children.front());
+      } else if (particle.kind() == Particle::Kind::kSequence) {
+        body = dtd::ContentModel::Seq(std::move(children));
+      } else {
+        body = dtd::ContentModel::Choice(std::move(children));
+      }
+      break;
+    }
+  }
+  return ApplyOccurs(std::move(body), particle.occurs());
+}
+
+std::string MapXsdType(const std::string& xsd_type) {
+  if (xsd_type == "xs:ID") return "ID";
+  if (xsd_type == "xs:IDREF") return "IDREF";
+  if (xsd_type == "xs:IDREFS") return "IDREFS";
+  if (xsd_type == "xs:NMTOKEN") return "NMTOKEN";
+  if (xsd_type == "xs:NMTOKENS") return "NMTOKENS";
+  if (xsd_type == "xs:ENTITY") return "ENTITY";
+  if (xsd_type == "xs:ENTITIES") return "ENTITIES";
+  return "CDATA";
+}
+
+dtd::AttributeDecl ConvertAttribute(const AttributeUse& use) {
+  dtd::AttributeDecl decl;
+  decl.name = use.name;
+  if (!use.enumeration.empty()) {
+    std::string enumeration = "(";
+    for (size_t i = 0; i < use.enumeration.size(); ++i) {
+      if (i > 0) enumeration += '|';
+      enumeration += use.enumeration[i];
+    }
+    enumeration += ')';
+    decl.type = std::move(enumeration);
+  } else {
+    decl.type = MapXsdType(use.type);
+  }
+  if (!use.fixed_value.empty()) {
+    decl.default_kind = dtd::AttributeDecl::DefaultKind::kFixed;
+    decl.default_value = use.fixed_value;
+  } else if (!use.default_value.empty()) {
+    decl.default_kind = dtd::AttributeDecl::DefaultKind::kDefault;
+    decl.default_value = use.default_value;
+  } else if (use.required) {
+    decl.default_kind = dtd::AttributeDecl::DefaultKind::kRequired;
+  } else {
+    decl.default_kind = dtd::AttributeDecl::DefaultKind::kImplied;
+  }
+  return decl;
+}
+
+}  // namespace
+
+StatusOr<dtd::Dtd> ToDtd(const Schema& schema) {
+  if (schema.size() == 0) {
+    return Status::InvalidArgument("schema declares no elements");
+  }
+  dtd::Dtd dtd(schema.root_name());
+  for (const std::string& name : schema.ElementNames()) {
+    const ElementDef* def = schema.FindElement(name);
+    Ptr content;
+    switch (def->content) {
+      case ElementDef::ContentKind::kSimple:
+        content = dtd::ContentModel::Pcdata();
+        break;
+      case ElementDef::ContentKind::kEmpty:
+        content = dtd::ContentModel::Empty();
+        break;
+      case ElementDef::ContentKind::kAny:
+        content = dtd::ContentModel::Any();
+        break;
+      case ElementDef::ContentKind::kComplex:
+        if (def->particle == nullptr) {
+          return Status::InvalidArgument("complex element '" + name +
+                                         "' has no particle");
+        }
+        content = dtd::Simplify(ConvertParticle(*def->particle));
+        break;
+      case ElementDef::ContentKind::kMixed: {
+        std::vector<Ptr> alternatives;
+        alternatives.push_back(dtd::ContentModel::Pcdata());
+        if (def->particle != nullptr) {
+          for (const std::string& label : [&] {
+                 // All element names referenced by the particle.
+                 Ptr converted = ConvertParticle(*def->particle);
+                 std::set<std::string> symbols = converted->SymbolSet();
+                 return std::vector<std::string>(symbols.begin(),
+                                                 symbols.end());
+               }()) {
+            alternatives.push_back(dtd::ContentModel::Name(label));
+          }
+        }
+        Ptr inner = alternatives.size() == 1
+                        ? std::move(alternatives.front())
+                        : dtd::ContentModel::Choice(std::move(alternatives));
+        content = dtd::ContentModel::Star(std::move(inner));
+        break;
+      }
+    }
+    dtd::ElementDecl& decl = dtd.DeclareElement(name, std::move(content));
+    for (const AttributeUse& use : def->attributes) {
+      decl.attributes.push_back(ConvertAttribute(use));
+    }
+  }
+  return dtd;
+}
+
+}  // namespace dtdevolve::xsd

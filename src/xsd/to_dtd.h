@@ -1,0 +1,21 @@
+#ifndef DTDEVOLVE_XSD_TO_DTD_H_
+#define DTDEVOLVE_XSD_TO_DTD_H_
+
+#include "dtd/dtd.h"
+#include "util/status.h"
+#include "xsd/schema.h"
+
+namespace dtdevolve::xsd {
+
+/// Converts a Schema back into a DTD — the inverse of `FromDtd`, closing
+/// the §6 loop: a source can ingest an XML Schema, evolve it as a DTD,
+/// and re-export it. Occurrence bounds map onto DTD operators exactly
+/// when they are one of {1,1}, {0,1}, {0,∞}, {1,∞}; other finite bounds
+/// {m,n} are expanded into m required plus (n−m) optional copies up to a
+/// small limit, beyond which they widen to `*`/`+` (the closest DTD can
+/// express; this is the only lossy case and it only ever *widens*).
+StatusOr<dtd::Dtd> ToDtd(const Schema& schema);
+
+}  // namespace dtdevolve::xsd
+
+#endif  // DTDEVOLVE_XSD_TO_DTD_H_

@@ -1,0 +1,164 @@
+#include "xsd/writer.h"
+
+#include "xml/text.h"
+
+namespace dtdevolve::xsd {
+
+namespace {
+
+void Indent(std::string& out, int depth) {
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+void AppendOccursAttrs(const Occurs& occurs, std::string& out) {
+  if (occurs.min != 1) {
+    out += " minOccurs=\"" + std::to_string(occurs.min) + '"';
+  }
+  if (occurs.max == Occurs::kUnbounded) {
+    out += " maxOccurs=\"unbounded\"";
+  } else if (occurs.max != 1) {
+    out += " maxOccurs=\"" + std::to_string(occurs.max) + '"';
+  }
+}
+
+void WriteParticle(const Particle& particle, int depth, std::string& out) {
+  Indent(out, depth);
+  switch (particle.kind()) {
+    case Particle::Kind::kElementRef:
+      out += "<xs:element ref=\"" + xml::EscapeText(particle.ref()) + '"';
+      AppendOccursAttrs(particle.occurs(), out);
+      out += "/>\n";
+      return;
+    case Particle::Kind::kSequence:
+    case Particle::Kind::kChoice: {
+      const char* tag =
+          particle.kind() == Particle::Kind::kSequence ? "xs:sequence"
+                                                       : "xs:choice";
+      out += '<';
+      out += tag;
+      AppendOccursAttrs(particle.occurs(), out);
+      out += ">\n";
+      for (const Particle::Ptr& child : particle.children()) {
+        WriteParticle(*child, depth + 1, out);
+      }
+      Indent(out, depth);
+      out += "</";
+      out += tag;
+      out += ">\n";
+      return;
+    }
+  }
+}
+
+void WriteAttribute(const AttributeUse& attribute, int depth,
+                    std::string& out) {
+  Indent(out, depth);
+  out += "<xs:attribute name=\"" + xml::EscapeText(attribute.name) + '"';
+  if (!attribute.type.empty()) {
+    out += " type=\"" + attribute.type + '"';
+  }
+  if (attribute.required) out += " use=\"required\"";
+  if (!attribute.fixed_value.empty()) {
+    out += " fixed=\"" + xml::EscapeText(attribute.fixed_value) + '"';
+  } else if (!attribute.default_value.empty()) {
+    out += " default=\"" + xml::EscapeText(attribute.default_value) + '"';
+  }
+  if (attribute.enumeration.empty()) {
+    out += "/>\n";
+    return;
+  }
+  out += ">\n";
+  Indent(out, depth + 1);
+  out += "<xs:simpleType>\n";
+  Indent(out, depth + 2);
+  out += "<xs:restriction base=\"xs:string\">\n";
+  for (const std::string& value : attribute.enumeration) {
+    Indent(out, depth + 3);
+    out += "<xs:enumeration value=\"" + xml::EscapeText(value) + "\"/>\n";
+  }
+  Indent(out, depth + 2);
+  out += "</xs:restriction>\n";
+  Indent(out, depth + 1);
+  out += "</xs:simpleType>\n";
+  Indent(out, depth);
+  out += "</xs:attribute>\n";
+}
+
+void WriteElement(const ElementDef& def, std::string& out) {
+  Indent(out, 1);
+  out += "<xs:element name=\"" + xml::EscapeText(def.name) + '"';
+
+  // Simple and any content without attributes can use a type reference.
+  if (def.attributes.empty()) {
+    if (def.content == ElementDef::ContentKind::kSimple) {
+      out += " type=\"xs:string\"/>\n";
+      return;
+    }
+    if (def.content == ElementDef::ContentKind::kAny) {
+      out += " type=\"xs:anyType\"/>\n";
+      return;
+    }
+  }
+  out += ">\n";
+
+  Indent(out, 2);
+  out += "<xs:complexType";
+  if (def.content == ElementDef::ContentKind::kMixed) {
+    out += " mixed=\"true\"";
+  }
+  out += ">\n";
+  if (def.content == ElementDef::ContentKind::kSimple) {
+    // Simple content with attributes: extend xs:string.
+    Indent(out, 3);
+    out += "<xs:simpleContent>\n";
+    Indent(out, 4);
+    out += "<xs:extension base=\"xs:string\">\n";
+    for (const AttributeUse& attribute : def.attributes) {
+      WriteAttribute(attribute, 5, out);
+    }
+    Indent(out, 4);
+    out += "</xs:extension>\n";
+    Indent(out, 3);
+    out += "</xs:simpleContent>\n";
+  } else {
+    if (def.particle != nullptr) {
+      // Strict XSD requires a model group under complexType; wrap a bare
+      // element reference in a sequence.
+      if (def.particle->kind() == Particle::Kind::kElementRef) {
+        Indent(out, 3);
+        out += "<xs:sequence>\n";
+        WriteParticle(*def.particle, 4, out);
+        Indent(out, 3);
+        out += "</xs:sequence>\n";
+      } else {
+        WriteParticle(*def.particle, 3, out);
+      }
+    }
+    for (const AttributeUse& attribute : def.attributes) {
+      WriteAttribute(attribute, 3, out);
+    }
+  }
+  Indent(out, 2);
+  out += "</xs:complexType>\n";
+  Indent(out, 1);
+  out += "</xs:element>\n";
+}
+
+}  // namespace
+
+std::string WriteSchema(const Schema& schema) {
+  std::string out =
+      "<?xml version=\"1.0\"?>\n"
+      "<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n";
+  // Root element first, then the rest in declaration order.
+  const ElementDef* root = schema.FindElement(schema.root_name());
+  if (root != nullptr) WriteElement(*root, out);
+  for (const std::string& name : schema.ElementNames()) {
+    if (name == schema.root_name()) continue;
+    WriteElement(*schema.FindElement(name), out);
+  }
+  out += "</xs:schema>\n";
+  return out;
+}
+
+}  // namespace dtdevolve::xsd

@@ -1,0 +1,19 @@
+#ifndef DTDEVOLVE_XSD_WRITER_H_
+#define DTDEVOLVE_XSD_WRITER_H_
+
+#include <string>
+
+#include "xsd/schema.h"
+
+namespace dtdevolve::xsd {
+
+/// Serializes a Schema as a W3C XML Schema document (`xs:schema` with
+/// global `xs:element` declarations, `xs:complexType`, `xs:sequence`,
+/// `xs:choice`, `minOccurs`/`maxOccurs`, `mixed="true"`, `xs:attribute`
+/// with enumeration restrictions). The output is well-formed XML and
+/// round-trips through the library's own XML parser.
+std::string WriteSchema(const Schema& schema);
+
+}  // namespace dtdevolve::xsd
+
+#endif  // DTDEVOLVE_XSD_WRITER_H_

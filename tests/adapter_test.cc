@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "adapt/adapter.h"
+#include "dtd/dtd_parser.h"
+#include "validate/validator.h"
+#include "workload/generator.h"
+#include "workload/mutator.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace dtdevolve::adapt {
+namespace {
+
+dtd::Dtd MakeDtd(const char* text) {
+  StatusOr<dtd::Dtd> dtd = dtd::ParseDtd(text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return std::move(*dtd);
+}
+
+xml::Document MakeDoc(const char* text) {
+  StatusOr<xml::Document> doc = xml::ParseDocument(text);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(*doc);
+}
+
+const char* kMailDtd = R"(
+  <!ELEMENT mail (from, to, subject?, body)>
+  <!ELEMENT from (#PCDATA)>
+  <!ELEMENT to (#PCDATA)>
+  <!ELEMENT subject (#PCDATA)>
+  <!ELEMENT body (#PCDATA)>
+)";
+
+TEST(MinimalElementTest, BuildsSmallestValidInstance) {
+  dtd::Dtd dtd = MakeDtd(R"(
+    <!ELEMENT a (((b,c) | d), e*, f?)>
+    <!ELEMENT b (#PCDATA)>
+    <!ELEMENT c (#PCDATA)>
+    <!ELEMENT d (#PCDATA)>
+    <!ELEMENT e (#PCDATA)>
+    <!ELEMENT f (#PCDATA)>
+  )");
+  std::unique_ptr<xml::Element> minimal = MinimalElement(dtd, "a");
+  // The cheapest alternative (d, 1 leaf) is chosen; optionals skipped.
+  EXPECT_EQ(minimal->ChildTagSequence(), (std::vector<std::string>{"d"}));
+  validate::Validator validator(dtd);
+  EXPECT_TRUE(validator.ValidateSubtree(*minimal).valid);
+}
+
+TEST(MinimalElementTest, PlaceholderText) {
+  dtd::Dtd dtd = MakeDtd("<!ELEMENT t (#PCDATA)>");
+  AdaptOptions options;
+  options.placeholder_text = "TODO";
+  std::unique_ptr<xml::Element> minimal = MinimalElement(dtd, "t", options);
+  EXPECT_EQ(minimal->TextContent(), "TODO");
+}
+
+TEST(AdapterTest, ValidDocumentUntouched) {
+  dtd::Dtd dtd = MakeDtd(kMailDtd);
+  xml::Document doc = MakeDoc(
+      "<mail><from>a</from><to>b</to><body>x</body></mail>");
+  xml::Document before = doc.Clone();
+  AdaptReport report;
+  ASSERT_TRUE(AdaptDocument(doc, dtd, {}, &report).ok());
+  EXPECT_FALSE(report.changed());
+  EXPECT_TRUE(xml::StructurallyEqual(before.root(), doc.root()));
+}
+
+TEST(AdapterTest, DropsUnknownChildren) {
+  dtd::Dtd dtd = MakeDtd(kMailDtd);
+  xml::Document doc = MakeDoc(
+      "<mail><from>a</from><to>b</to><spam>z</spam><body>x</body></mail>");
+  AdaptReport report;
+  ASSERT_TRUE(AdaptDocument(doc, dtd, {}, &report).ok());
+  EXPECT_EQ(report.children_dropped, 1u);
+  validate::Validator validator(dtd);
+  EXPECT_TRUE(validator.Validate(doc).valid);
+  // Matched content is preserved verbatim.
+  EXPECT_EQ(doc.root().ChildElements()[0]->TextContent(), "a");
+}
+
+TEST(AdapterTest, InsertsMissingRequiredChildren) {
+  dtd::Dtd dtd = MakeDtd(kMailDtd);
+  xml::Document doc = MakeDoc("<mail><from>a</from></mail>");
+  AdaptReport report;
+  ASSERT_TRUE(AdaptDocument(doc, dtd, {}, &report).ok());
+  EXPECT_EQ(report.children_inserted, 2u);  // to, body (subject optional)
+  EXPECT_EQ(doc.root().ChildTagSequence(),
+            (std::vector<std::string>{"from", "to", "body"}));
+  validate::Validator validator(dtd);
+  EXPECT_TRUE(validator.Validate(doc).valid);
+}
+
+TEST(AdapterTest, MovesMisplacedChildrenInsteadOfSynthesizing) {
+  dtd::Dtd dtd = MakeDtd(kMailDtd);
+  // from and to swapped: an order violation.
+  xml::Document doc = MakeDoc(
+      "<mail><to>b</to><from>a</from><body>x</body></mail>");
+  AdaptReport report;
+  ASSERT_TRUE(AdaptDocument(doc, dtd, {}, &report).ok());
+  EXPECT_GE(report.children_moved, 1u);
+  EXPECT_EQ(report.children_dropped, 0u);
+  EXPECT_EQ(doc.root().ChildTagSequence(),
+            (std::vector<std::string>{"from", "to", "body"}));
+  // The moved element keeps its content — no information loss.
+  EXPECT_EQ(doc.root().ChildElements()[1]->TextContent(), "b");
+  validate::Validator validator(dtd);
+  EXPECT_TRUE(validator.Validate(doc).valid);
+}
+
+TEST(AdapterTest, RepetitionViolationTrimmed) {
+  dtd::Dtd dtd = MakeDtd(kMailDtd);
+  xml::Document doc = MakeDoc(
+      "<mail><from>a</from><to>b</to><to>c</to><body>x</body></mail>");
+  ASSERT_TRUE(AdaptDocument(doc, dtd).ok());
+  validate::Validator validator(dtd);
+  EXPECT_TRUE(validator.Validate(doc).valid);
+  EXPECT_EQ(doc.root().ChildTagSequence(),
+            (std::vector<std::string>{"from", "to", "body"}));
+}
+
+TEST(AdapterTest, AdaptsNestedLevels) {
+  dtd::Dtd dtd = MakeDtd(R"(
+    <!ELEMENT r (s)>
+    <!ELEMENT s (u, v)>
+    <!ELEMENT u (#PCDATA)>
+    <!ELEMENT v (#PCDATA)>
+  )");
+  xml::Document doc = MakeDoc("<r><s><v>x</v></s></r>");
+  AdaptReport report;
+  ASSERT_TRUE(AdaptDocument(doc, dtd, {}, &report).ok());
+  validate::Validator validator(dtd);
+  EXPECT_TRUE(validator.Validate(doc).valid);
+  // v kept, u synthesized before it.
+  const xml::Element* s = doc.root().ChildElements()[0];
+  EXPECT_EQ(s->ChildTagSequence(), (std::vector<std::string>{"u", "v"}));
+  EXPECT_EQ(s->ChildElements()[1]->TextContent(), "x");
+}
+
+TEST(AdapterTest, KeepUnknownWhenConfigured) {
+  dtd::Dtd dtd = MakeDtd(kMailDtd);
+  xml::Document doc = MakeDoc(
+      "<mail><from>a</from><to>b</to><spam>z</spam><body>x</body></mail>");
+  AdaptOptions options;
+  options.drop_unknown = false;
+  AdaptReport report;
+  ASSERT_TRUE(AdaptDocument(doc, dtd, options, &report).ok());
+  EXPECT_EQ(report.children_dropped, 0u);
+  EXPECT_TRUE(doc.root().ChildTagSet().count("spam"));
+}
+
+TEST(AdapterTest, UndeclaredRootFails) {
+  dtd::Dtd dtd = MakeDtd(kMailDtd);
+  xml::Document doc = MakeDoc("<other/>");
+  Status status = AdaptDocument(doc, dtd);
+  EXPECT_EQ(status.code(), Status::Code::kNotFound);
+}
+
+TEST(AdapterTest, AnyContentUntouched) {
+  dtd::Dtd dtd = MakeDtd("<!ELEMENT box ANY><!ELEMENT x (#PCDATA)>");
+  xml::Document doc = MakeDoc("<box><x>1</x>text<x>2</x></box>");
+  xml::Document before = doc.Clone();
+  ASSERT_TRUE(AdaptDocument(doc, dtd).ok());
+  EXPECT_TRUE(xml::StructurallyEqual(before.root(), doc.root()));
+}
+
+// Property: adapting any mutated document yields a valid document, and
+// already-valid documents are never changed.
+class AdapterProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AdapterProperty, AdaptedDocumentsAreValid) {
+  dtd::Dtd dtd = MakeDtd(R"(
+    <!ELEMENT a (b+, (c|d), e?)>
+    <!ELEMENT b (#PCDATA)>
+    <!ELEMENT c (f, g?)>
+    <!ELEMENT d (#PCDATA)>
+    <!ELEMENT e (#PCDATA)>
+    <!ELEMENT f (#PCDATA)>
+    <!ELEMENT g (#PCDATA)>
+  )");
+  validate::Validator validator(dtd);
+  workload::DocumentGenerator generator(dtd, workload::GeneratorOptions(),
+                                        GetParam());
+  workload::MutationOptions mutation;
+  mutation.drop_probability = 0.4;
+  mutation.insert_probability = 0.4;
+  mutation.duplicate_probability = 0.3;
+  mutation.swap_probability = 0.4;
+  workload::Mutator mutator(mutation, GetParam() + 1);
+  for (int i = 0; i < 25; ++i) {
+    xml::Document doc = generator.Generate();
+    mutator.Mutate(doc);
+    ASSERT_TRUE(AdaptDocument(doc, dtd).ok());
+    validate::ValidationResult result = validator.Validate(doc);
+    ASSERT_TRUE(result.valid)
+        << xml::WriteElement(doc.root())
+        << "\n"
+        << (result.errors.empty() ? "?" : result.errors[0].message);
+  }
+}
+
+TEST_P(AdapterProperty, ValidDocumentsAreFixpoints) {
+  dtd::Dtd dtd = MakeDtd(R"(
+    <!ELEMENT a (b*, (c|d)+)>
+    <!ELEMENT b (#PCDATA)>
+    <!ELEMENT c (#PCDATA)>
+    <!ELEMENT d EMPTY>
+  )");
+  workload::DocumentGenerator generator(dtd, workload::GeneratorOptions(),
+                                        GetParam() * 31);
+  for (int i = 0; i < 25; ++i) {
+    xml::Document doc = generator.Generate();
+    xml::Document before = doc.Clone();
+    AdaptReport report;
+    ASSERT_TRUE(AdaptDocument(doc, dtd, {}, &report).ok());
+    ASSERT_FALSE(report.changed());
+    ASSERT_TRUE(xml::StructurallyEqual(before.root(), doc.root()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdapterProperty,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace dtdevolve::adapt

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "dtd/dtd_parser.h"
+#include "evolve/evolver.h"
+#include "evolve/recorder.h"
+#include "validate/validator.h"
+#include "xml/parser.h"
+
+namespace dtdevolve::evolve {
+namespace {
+
+ExtendedDtd MakeExtended(const char* dtd_text) {
+  StatusOr<dtd::Dtd> dtd = dtd::ParseDtd(dtd_text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return ExtendedDtd(std::move(*dtd));
+}
+
+void Record(ExtendedDtd& ext, const char* doc_text, int times = 1) {
+  Recorder recorder(ext);
+  for (int i = 0; i < times; ++i) {
+    StatusOr<xml::Document> doc = xml::ParseDocument(doc_text);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    recorder.RecordDocument(*doc);
+  }
+}
+
+const dtd::AttributeDecl* FindAttribute(const dtd::Dtd& dtd,
+                                        const std::string& element,
+                                        const std::string& name) {
+  const dtd::ElementDecl* decl = dtd.FindElement(element);
+  if (decl == nullptr) return nullptr;
+  for (const dtd::AttributeDecl& attribute : decl->attributes) {
+    if (attribute.name == name) return &attribute;
+  }
+  return nullptr;
+}
+
+TEST(AttributeEvolutionTest, AlwaysPresentBecomesRequired) {
+  ExtendedDtd ext = MakeExtended("<!ELEMENT a (#PCDATA)>");
+  Record(ext, R"(<a id="1">x</a>)", 10);
+  EvolutionResult result = EvolveDtd(ext, {});
+  const dtd::AttributeDecl* id = FindAttribute(ext.dtd(), "a", "id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->default_kind, dtd::AttributeDecl::DefaultKind::kRequired);
+  EXPECT_EQ(id->type, "CDATA");
+  EXPECT_TRUE(result.any_change);
+  ASSERT_FALSE(result.elements.empty());
+  EXPECT_EQ(result.elements[0].added_attributes,
+            (std::vector<std::string>{"id"}));
+}
+
+TEST(AttributeEvolutionTest, SometimesPresentBecomesImplied) {
+  ExtendedDtd ext = MakeExtended("<!ELEMENT a (#PCDATA)>");
+  Record(ext, R"(<a lang="en">x</a>)", 5);
+  Record(ext, "<a>x</a>", 5);
+  EvolveDtd(ext, {});
+  const dtd::AttributeDecl* lang = FindAttribute(ext.dtd(), "a", "lang");
+  ASSERT_NE(lang, nullptr);
+  EXPECT_EQ(lang->default_kind, dtd::AttributeDecl::DefaultKind::kImplied);
+}
+
+TEST(AttributeEvolutionTest, DeclaredAttributesUntouched) {
+  ExtendedDtd ext = MakeExtended(R"(
+    <!ELEMENT a (#PCDATA)>
+    <!ATTLIST a id ID #REQUIRED>
+  )");
+  Record(ext, R"(<a id="1">x</a>)", 10);
+  EvolutionResult result = EvolveDtd(ext, {});
+  const dtd::ElementDecl* decl = ext.dtd().FindElement("a");
+  ASSERT_EQ(decl->attributes.size(), 1u);
+  EXPECT_EQ(decl->attributes[0].type, "ID");  // type not downgraded
+  EXPECT_TRUE(result.elements[0].added_attributes.empty());
+}
+
+TEST(AttributeEvolutionTest, DisabledByOption) {
+  ExtendedDtd ext = MakeExtended("<!ELEMENT a (#PCDATA)>");
+  Record(ext, R"(<a id="1">x</a>)", 10);
+  EvolutionOptions options;
+  options.evolve_attributes = false;
+  EvolveDtd(ext, options);
+  EXPECT_EQ(FindAttribute(ext.dtd(), "a", "id"), nullptr);
+}
+
+TEST(AttributeEvolutionTest, PlusElementsCarryTheirAttributes) {
+  ExtendedDtd ext = MakeExtended("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>");
+  Record(ext, R"(<a><b>1</b><img src="u.png"/></a>)", 20);
+  EvolveDtd(ext, {});
+  ASSERT_TRUE(ext.dtd().HasElement("img"));
+  const dtd::AttributeDecl* src = FindAttribute(ext.dtd(), "img", "src");
+  ASSERT_NE(src, nullptr);
+  EXPECT_EQ(src->default_kind, dtd::AttributeDecl::DefaultKind::kRequired);
+  // The evolved DTD validates the drifted documents, attributes included.
+  validate::Validator validator(ext.dtd());
+  StatusOr<xml::Document> doc =
+      xml::ParseDocument(R"(<a><b>1</b><img src="u.png"/></a>)");
+  EXPECT_TRUE(validator.Validate(*doc).valid);
+  StatusOr<xml::Document> missing =
+      xml::ParseDocument("<a><b>1</b><img/></a>");
+  EXPECT_FALSE(validator.Validate(*missing).valid);
+}
+
+TEST(AttributeEvolutionTest, StatsRecordAttributeCounts) {
+  ExtendedDtd ext = MakeExtended("<!ELEMENT a (#PCDATA)>");
+  Record(ext, R"(<a x="1" y="2">t</a>)", 3);
+  Record(ext, R"(<a x="1">t</a>)", 2);
+  const ElementStats* stats = ext.FindStats("a");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->attribute_counts().at("x"), 5u);
+  EXPECT_EQ(stats->attribute_counts().at("y"), 3u);
+}
+
+}  // namespace
+}  // namespace dtdevolve::evolve

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "baseline/naive_infer.h"
+#include "baseline/xtract.h"
+#include "validate/validator.h"
+#include "xml/parser.h"
+
+namespace dtdevolve::baseline {
+namespace {
+
+std::vector<xml::Document> MakeDocs(std::vector<const char*> texts) {
+  std::vector<xml::Document> docs;
+  for (const char* text : texts) {
+    StatusOr<xml::Document> doc = xml::ParseDocument(text);
+    EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+    docs.push_back(std::move(*doc));
+  }
+  return docs;
+}
+
+/// Every inferred DTD must validate the documents it was inferred from
+/// ("precise" in XTRACT's sense) — for the generalizing inferencers.
+void ExpectValidatesAll(const dtd::Dtd& dtd,
+                        const std::vector<xml::Document>& docs) {
+  validate::Validator validator(dtd);
+  for (const xml::Document& doc : docs) {
+    validate::ValidationResult result = validator.Validate(doc);
+    EXPECT_TRUE(result.valid) << (result.errors.empty()
+                                      ? "?"
+                                      : result.errors[0].message);
+  }
+}
+
+TEST(CollectTest, GroupsContentByTag) {
+  std::vector<xml::Document> docs = MakeDocs({
+      "<a><b>1</b><c>2</c></a>",
+      "<a><b>3</b></a>",
+  });
+  std::map<std::string, TagContent> content = CollectTagContent(docs);
+  EXPECT_EQ(content.size(), 3u);
+  EXPECT_EQ(content["a"].instances, 2u);
+  EXPECT_EQ(content["a"].sequences.size(), 2u);
+  EXPECT_EQ(content["b"].instances, 2u);
+  EXPECT_EQ(content["b"].text_instances, 2u);
+}
+
+TEST(NaiveInferTest, UniformDocuments) {
+  std::vector<xml::Document> docs = MakeDocs({
+      "<a><b>1</b><c>2</c></a>",
+      "<a><b>3</b><c>4</c></a>",
+  });
+  dtd::Dtd dtd = InferNaiveDtd(docs, "a");
+  EXPECT_EQ(dtd.FindElement("a")->content->ToString(), "(b,c)");
+  EXPECT_EQ(dtd.FindElement("b")->content->ToString(), "(#PCDATA)");
+  ExpectValidatesAll(dtd, docs);
+  EXPECT_TRUE(dtd.Check().ok());
+}
+
+TEST(NaiveInferTest, OptionalAndRepeatedChildren) {
+  std::vector<xml::Document> docs = MakeDocs({
+      "<a><b>1</b></a>",
+      "<a><b>1</b><b>2</b><c>3</c></a>",
+  });
+  dtd::Dtd dtd = InferNaiveDtd(docs, "a");
+  EXPECT_EQ(dtd.FindElement("a")->content->ToString(), "(b+,c?)");
+  ExpectValidatesAll(dtd, docs);
+}
+
+TEST(NaiveInferTest, CannotExpressAlternatives) {
+  // The §5 contrast: a union-based inferencer has no OR operator, so
+  // mutually exclusive children become independent optionals — less
+  // precise than the evolution approach.
+  std::vector<xml::Document> docs = MakeDocs({
+      "<a><d>1</d></a>",
+      "<a><e>2</e></a>",
+  });
+  dtd::Dtd dtd = InferNaiveDtd(docs, "a");
+  EXPECT_EQ(dtd.FindElement("a")->content->ToString(), "(d?,e?)");
+  ExpectValidatesAll(dtd, docs);
+  // …and consequently also accepts the never-seen combinations.
+  validate::Validator validator(dtd);
+  StatusOr<xml::Document> both = xml::ParseDocument("<a><d>1</d><e>2</e></a>");
+  EXPECT_TRUE(validator.Validate(*both).valid);
+}
+
+TEST(NaiveInferTest, MixedAndEmptyContent) {
+  std::vector<xml::Document> docs = MakeDocs({
+      "<a>text <b>x</b> more</a>",
+      "<a><b>y</b></a>",
+      "<a><b/></a>",
+  });
+  dtd::Dtd dtd = InferNaiveDtd(docs, "a");
+  EXPECT_EQ(dtd.FindElement("a")->content->ToString(), "(#PCDATA|b)*");
+  // b was empty once and texty twice: text wins (#PCDATA admits empty).
+  EXPECT_EQ(dtd.FindElement("b")->content->ToString(), "(#PCDATA)");
+  ExpectValidatesAll(dtd, docs);
+}
+
+TEST(XtractTest, EnumerationBeatsStarOnHomogeneousData) {
+  std::vector<xml::Document> docs = MakeDocs({
+      "<a><b>1</b><c>2</c></a>",
+      "<a><b>3</b><c>4</c></a>",
+      "<a><b>5</b><c>6</c></a>",
+  });
+  dtd::Dtd dtd = InferXtractDtd(docs, "a");
+  EXPECT_EQ(dtd.FindElement("a")->content->ToString(), "(b,c)");
+  ExpectValidatesAll(dtd, docs);
+}
+
+TEST(XtractTest, GeneralizesRunsToPlus) {
+  std::vector<xml::Document> docs = MakeDocs({
+      "<a><b>1</b><b>2</b><c>3</c></a>",
+      "<a><b>4</b><c>5</c></a>",
+  });
+  dtd::Dtd dtd = InferXtractDtd(docs, "a");
+  ExpectValidatesAll(dtd, docs);
+  EXPECT_TRUE(dtd.FindElement("a")->content->Mentions("b"));
+}
+
+TEST(XtractTest, CanProduceAlternatives) {
+  // Unlike the naive baseline, the enumeration candidate captures
+  // exclusive shapes with an OR.
+  std::vector<xml::Document> docs = MakeDocs({
+      "<a><d>1</d></a>", "<a><d>1</d></a>", "<a><e>2</e></a>",
+      "<a><e>2</e></a>",
+  });
+  dtd::Dtd dtd = InferXtractDtd(docs, "a");
+  ExpectValidatesAll(dtd, docs);
+  const std::string model = dtd.FindElement("a")->content->ToString();
+  EXPECT_NE(model.find('|'), std::string::npos) << model;
+  // The never-seen combination is rejected.
+  validate::Validator validator(dtd);
+  StatusOr<xml::Document> both = xml::ParseDocument("<a><d>1</d><e>2</e></a>");
+  EXPECT_FALSE(validator.Validate(*both).valid);
+}
+
+TEST(XtractTest, HighModelWeightPrefersTinyModels) {
+  // With the model cost dominating, the star-of-choice candidate wins.
+  std::vector<const char*> texts;
+  std::vector<xml::Document> docs = MakeDocs({
+      "<a><b>1</b><c>2</c></a>",
+      "<a><c>2</c><b>1</b></a>",
+      "<a><b>1</b></a>",
+      "<a><c>2</c><c>3</c></a>",
+  });
+  XtractOptions options;
+  options.model_weight = 1000.0;
+  dtd::Dtd dtd = InferXtractDtd(docs, "a", options);
+  ExpectValidatesAll(dtd, docs);
+  const std::string model = dtd.FindElement("a")->content->ToString();
+  EXPECT_NE(model.find('*'), std::string::npos) << model;
+}
+
+TEST(XtractTest, MdlPrefersConciseOverEnumerationOnNoisyData) {
+  // Many distinct shapes: enumerating them all costs more than (b|c)*.
+  std::vector<xml::Document> docs = MakeDocs({
+      "<a><b>1</b></a>",
+      "<a><b>1</b><b>2</b></a>",
+      "<a><c>1</c><b>2</b></a>",
+      "<a><b>1</b><c>2</c><b>3</b></a>",
+      "<a><c>1</c></a>",
+      "<a><c>1</c><c>2</c><b>3</b></a>",
+      "<a><b>9</b><c>8</c><c>7</c></a>",
+      "<a><c>6</c><b>5</b><c>4</c></a>",
+  });
+  dtd::Dtd dtd = InferXtractDtd(docs, "a");
+  ExpectValidatesAll(dtd, docs);
+  size_t nodes = dtd.FindElement("a")->content->NodeCount();
+  EXPECT_LE(nodes, 6u) << dtd.FindElement("a")->content->ToString();
+}
+
+TEST(XtractTest, EmptyAndTextTags) {
+  std::vector<xml::Document> docs = MakeDocs({
+      "<a><hr/><p>t</p></a>",
+  });
+  dtd::Dtd dtd = InferXtractDtd(docs, "a");
+  EXPECT_EQ(dtd.FindElement("hr")->content->ToString(), "EMPTY");
+  EXPECT_EQ(dtd.FindElement("p")->content->ToString(), "(#PCDATA)");
+  ExpectValidatesAll(dtd, docs);
+}
+
+}  // namespace
+}  // namespace dtdevolve::baseline

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "dtd/content_model.h"
+#include "dtd/dtd.h"
+
+namespace dtdevolve::dtd {
+namespace {
+
+TEST(ContentModelTest, FactoryKinds) {
+  EXPECT_EQ(ContentModel::Name("a")->kind(), ContentModel::Kind::kName);
+  EXPECT_EQ(ContentModel::Pcdata()->kind(), ContentModel::Kind::kPcdata);
+  EXPECT_EQ(ContentModel::Any()->kind(), ContentModel::Kind::kAny);
+  EXPECT_EQ(ContentModel::Empty()->kind(), ContentModel::Kind::kEmpty);
+  EXPECT_TRUE(ContentModel::Name("a")->is_leaf());
+  EXPECT_TRUE(SeqOfNames({"a", "b"})->is_operator());
+  EXPECT_TRUE(ContentModel::Opt(ContentModel::Name("a"))->is_unary());
+}
+
+TEST(ContentModelTest, ToStringMatchesDtdSyntax) {
+  EXPECT_EQ(SeqOfNames({"b", "c"})->ToString(), "(b,c)");
+  EXPECT_EQ(ChoiceOfNames({"d", "e"})->ToString(), "(d|e)");
+  EXPECT_EQ(ContentModel::Star(ContentModel::Name("b"))->ToString(), "(b*)");
+  EXPECT_EQ(ContentModel::Pcdata()->ToString(), "(#PCDATA)");
+  EXPECT_EQ(ContentModel::Any()->ToString(), "ANY");
+  EXPECT_EQ(ContentModel::Empty()->ToString(), "EMPTY");
+  EXPECT_EQ(ContentModel::Name("a")->ToString(), "(a)");
+  // The paper's evolved declaration of Example 5: ((b,c)*,(d|e)).
+  std::vector<ContentModel::Ptr> children;
+  children.push_back(ContentModel::Star(SeqOfNames({"b", "c"})));
+  children.push_back(ChoiceOfNames({"d", "e"}));
+  EXPECT_EQ(ContentModel::Seq(std::move(children))->ToString(),
+            "((b,c)*,(d|e))");
+}
+
+TEST(ContentModelTest, NestedUnaryNeedsParentheses) {
+  ContentModel::Ptr model =
+      ContentModel::Star(ContentModel::Plus(ContentModel::Name("a")));
+  EXPECT_EQ(model->ToString(), "(a+)*");
+}
+
+TEST(ContentModelTest, MixedContentRendering) {
+  std::vector<ContentModel::Ptr> alts;
+  alts.push_back(ContentModel::Pcdata());
+  alts.push_back(ContentModel::Name("em"));
+  ContentModel::Ptr mixed =
+      ContentModel::Star(ContentModel::Choice(std::move(alts)));
+  EXPECT_EQ(mixed->ToString(), "(#PCDATA|em)*");
+}
+
+TEST(ContentModelTest, CloneAndEquals) {
+  ContentModel::Ptr a = SeqOfNames({"x", "y"});
+  ContentModel::Ptr b = a->Clone();
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*ChoiceOfNames({"x", "y"})));
+  EXPECT_FALSE(a->Equals(*SeqOfNames({"y", "x"})));
+  EXPECT_FALSE(a->Equals(*SeqOfNames({"x", "y", "z"})));
+}
+
+TEST(ContentModelTest, NodeCountAndSymbols) {
+  ContentModel::Ptr model = ContentModel::Seq([] {
+    std::vector<ContentModel::Ptr> children;
+    children.push_back(ContentModel::Star(SeqOfNames({"b", "c"})));
+    children.push_back(ChoiceOfNames({"d", "e"}));
+    return children;
+  }());
+  EXPECT_EQ(model->NodeCount(), 8u);  // AND, *, AND, b, c, OR, d, e
+  EXPECT_EQ(model->SymbolSet(), (std::set<std::string>{"b", "c", "d", "e"}));
+  EXPECT_TRUE(model->Mentions("b"));
+  EXPECT_FALSE(model->Mentions("z"));
+}
+
+TEST(ContentModelTest, Nullable) {
+  EXPECT_FALSE(ContentModel::Name("a")->Nullable());
+  EXPECT_TRUE(ContentModel::Pcdata()->Nullable());
+  EXPECT_TRUE(ContentModel::Empty()->Nullable());
+  EXPECT_TRUE(ContentModel::Opt(ContentModel::Name("a"))->Nullable());
+  EXPECT_TRUE(ContentModel::Star(ContentModel::Name("a"))->Nullable());
+  EXPECT_FALSE(ContentModel::Plus(ContentModel::Name("a"))->Nullable());
+  EXPECT_TRUE(ContentModel::Plus(ContentModel::Opt(ContentModel::Name("a")))
+                  ->Nullable());
+  EXPECT_FALSE(SeqOfNames({"a", "b"})->Nullable());
+  EXPECT_FALSE(ChoiceOfNames({"a", "b"})->Nullable());
+  // A sequence of nullables is nullable; a choice with one nullable is.
+  std::vector<ContentModel::Ptr> seq;
+  seq.push_back(ContentModel::Opt(ContentModel::Name("a")));
+  seq.push_back(ContentModel::Star(ContentModel::Name("b")));
+  EXPECT_TRUE(ContentModel::Seq(std::move(seq))->Nullable());
+  std::vector<ContentModel::Ptr> choice;
+  choice.push_back(ContentModel::Name("a"));
+  choice.push_back(ContentModel::Opt(ContentModel::Name("b")));
+  EXPECT_TRUE(ContentModel::Choice(std::move(choice))->Nullable());
+}
+
+// --- Dtd container -----------------------------------------------------------
+
+TEST(DtdTest, DeclareFindRemove) {
+  Dtd dtd;
+  dtd.DeclareElement("a", SeqOfNames({"b"}));
+  dtd.DeclareElement("b", ContentModel::Pcdata());
+  EXPECT_EQ(dtd.size(), 2u);
+  EXPECT_EQ(dtd.root_name(), "a");  // first declared
+  ASSERT_NE(dtd.FindElement("b"), nullptr);
+  EXPECT_TRUE(dtd.RemoveElement("b"));
+  EXPECT_FALSE(dtd.RemoveElement("b"));
+  EXPECT_EQ(dtd.ElementNames(), (std::vector<std::string>{"a"}));
+}
+
+TEST(DtdTest, ExplicitRootOverridesFirst) {
+  Dtd dtd("b");
+  dtd.DeclareElement("a", ContentModel::Pcdata());
+  dtd.DeclareElement("b", ContentModel::Pcdata());
+  EXPECT_EQ(dtd.root_name(), "b");
+}
+
+TEST(DtdTest, CheckDetectsProblems) {
+  Dtd empty;
+  EXPECT_FALSE(empty.Check().ok());
+
+  Dtd dangling;
+  dangling.DeclareElement("a", SeqOfNames({"missing"}));
+  Status status = dangling.Check();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("missing"), std::string::npos);
+
+  Dtd good;
+  good.DeclareElement("a", SeqOfNames({"b"}));
+  good.DeclareElement("b", ContentModel::Pcdata());
+  EXPECT_TRUE(good.Check().ok());
+}
+
+TEST(DtdTest, CloneIsIndependent) {
+  Dtd dtd;
+  dtd.DeclareElement("a", SeqOfNames({"b"}));
+  dtd.DeclareElement("b", ContentModel::Pcdata());
+  Dtd copy = dtd.Clone();
+  copy.SetContent("a", ContentModel::Pcdata());
+  EXPECT_EQ(dtd.FindElement("a")->content->ToString(), "(b)");
+  EXPECT_EQ(copy.FindElement("a")->content->ToString(), "(#PCDATA)");
+}
+
+TEST(DtdTest, TotalNodeCount) {
+  Dtd dtd;
+  dtd.DeclareElement("a", SeqOfNames({"b", "c"}));  // 3 nodes
+  dtd.DeclareElement("b", ContentModel::Pcdata());  // 1
+  dtd.DeclareElement("c", ContentModel::Pcdata());  // 1
+  EXPECT_EQ(dtd.TotalNodeCount(), 5u);
+}
+
+}  // namespace
+}  // namespace dtdevolve::dtd

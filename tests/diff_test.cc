@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "dtd/diff.h"
+#include "dtd/dtd_parser.h"
+#include "evolve/evolver.h"
+#include "evolve/recorder.h"
+#include "xml/parser.h"
+
+namespace dtdevolve::dtd {
+namespace {
+
+Dtd MakeDtd(const char* text) {
+  StatusOr<Dtd> dtd = ParseDtd(text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return std::move(*dtd);
+}
+
+TEST(DiffTest, IdenticalDtdsProduceNoEntries) {
+  Dtd a = MakeDtd("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>");
+  Dtd b = MakeDtd("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>");
+  EXPECT_TRUE(DiffDtds(a, b).empty());
+  EXPECT_EQ(FormatDiff(DiffDtds(a, b)), "(no language changes)\n");
+}
+
+TEST(DiffTest, SameLanguageDifferentSyntaxIsNoChange) {
+  Dtd a = MakeDtd("<!ELEMENT a ((b?)?)><!ELEMENT b (#PCDATA)>");
+  Dtd b = MakeDtd("<!ELEMENT a (b?)><!ELEMENT b (#PCDATA)>");
+  EXPECT_TRUE(DiffDtds(a, b).empty());
+}
+
+TEST(DiffTest, AddedAndRemoved) {
+  Dtd old_dtd = MakeDtd("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>");
+  Dtd new_dtd = MakeDtd("<!ELEMENT a (c)><!ELEMENT c (#PCDATA)>");
+  std::vector<DeclDiff> diff = DiffDtds(old_dtd, new_dtd);
+  ASSERT_EQ(diff.size(), 3u);  // a changed, b removed, c added
+  EXPECT_EQ(diff[0].kind, DeclDiff::Kind::kChanged);
+  EXPECT_EQ(diff[0].relation, DeclRelation::kIncomparable);
+  EXPECT_EQ(diff[1].kind, DeclDiff::Kind::kRemoved);
+  EXPECT_EQ(diff[1].name, "b");
+  EXPECT_EQ(diff[2].kind, DeclDiff::Kind::kAdded);
+  EXPECT_EQ(diff[2].name, "c");
+}
+
+TEST(DiffTest, RelationDirections) {
+  Dtd old_dtd = MakeDtd("<!ELEMENT a (b*)><!ELEMENT b (#PCDATA)>");
+  Dtd widened = MakeDtd(
+      "<!ELEMENT a ((b|c)*)><!ELEMENT b (#PCDATA)><!ELEMENT c (#PCDATA)>");
+  Dtd narrowed = MakeDtd("<!ELEMENT a (b+)><!ELEMENT b (#PCDATA)>");
+
+  std::vector<DeclDiff> widening = DiffDtds(old_dtd, widened);
+  ASSERT_FALSE(widening.empty());
+  EXPECT_EQ(widening[0].relation, DeclRelation::kWidened);
+
+  std::vector<DeclDiff> narrowing = DiffDtds(old_dtd, narrowed);
+  ASSERT_EQ(narrowing.size(), 1u);
+  EXPECT_EQ(narrowing[0].relation, DeclRelation::kNarrowed);
+  EXPECT_EQ(RelationName(narrowing[0].relation), "narrowed");
+}
+
+TEST(DiffTest, FormatIsReadable) {
+  Dtd old_dtd = MakeDtd("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>");
+  Dtd new_dtd = MakeDtd(
+      "<!ELEMENT a (b,c?)><!ELEMENT b (#PCDATA)><!ELEMENT c (#PCDATA)>");
+  std::string text = FormatDiff(DiffDtds(old_dtd, new_dtd));
+  EXPECT_NE(text.find("~ a [widened] (b) -> (b,c?)"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("+ c (#PCDATA)"), std::string::npos) << text;
+}
+
+TEST(DiffTest, ReportsWhatEvolutionDid) {
+  // End-to-end: diff the DTD before and after an evolution round.
+  evolve::ExtendedDtd ext(
+      MakeDtd("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>"));
+  Dtd before = ext.dtd().Clone();
+  evolve::Recorder recorder(ext);
+  for (int i = 0; i < 20; ++i) {
+    StatusOr<xml::Document> doc =
+        xml::ParseDocument("<a><b>1</b><c>2</c></a>");
+    recorder.RecordDocument(*doc);
+  }
+  evolve::EvolveDtd(ext, {});
+  std::vector<DeclDiff> diff = DiffDtds(before, ext.dtd());
+  ASSERT_EQ(diff.size(), 2u);
+  EXPECT_EQ(diff[0].name, "a");
+  EXPECT_EQ(diff[0].relation, DeclRelation::kIncomparable);  // (b) vs (b,c)
+  EXPECT_EQ(diff[1].kind, DeclDiff::Kind::kAdded);
+  EXPECT_EQ(diff[1].name, "c");
+}
+
+}  // namespace
+}  // namespace dtdevolve::dtd

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "dtd/dtd_parser.h"
+#include "dtd/dtd_writer.h"
+
+namespace dtdevolve::dtd {
+namespace {
+
+TEST(ContentModelParserTest, ParsesBasicForms) {
+  EXPECT_EQ((*ParseContentModel("(b,c)"))->ToString(), "(b,c)");
+  EXPECT_EQ((*ParseContentModel("(d|e)"))->ToString(), "(d|e)");
+  EXPECT_EQ((*ParseContentModel("(a)"))->ToString(), "(a)");
+  EXPECT_EQ((*ParseContentModel("(#PCDATA)"))->ToString(), "(#PCDATA)");
+  EXPECT_EQ((*ParseContentModel("EMPTY"))->ToString(), "EMPTY");
+  EXPECT_EQ((*ParseContentModel("ANY"))->ToString(), "ANY");
+}
+
+TEST(ContentModelParserTest, ParsesOccurrenceOperators) {
+  EXPECT_EQ((*ParseContentModel("(a?)"))->ToString(), "(a?)");
+  EXPECT_EQ((*ParseContentModel("(a,b*)"))->ToString(), "(a,b*)");
+  EXPECT_EQ((*ParseContentModel("(a,b)+"))->ToString(), "(a,b)+");
+  EXPECT_EQ((*ParseContentModel("((a|b)*,c)"))->ToString(), "((a|b)*,c)");
+}
+
+TEST(ContentModelParserTest, ParsesNestedGroups) {
+  StatusOr<ContentModel::Ptr> model =
+      ParseContentModel("((b,c)*,(d|e))");
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ((*model)->ToString(), "((b,c)*,(d|e))");
+}
+
+TEST(ContentModelParserTest, ParsesMixedContent) {
+  StatusOr<ContentModel::Ptr> model = ParseContentModel("(#PCDATA|a|b)*");
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ((*model)->ToString(), "(#PCDATA|a|b)*");
+}
+
+TEST(ContentModelParserTest, ToleratesWhitespace) {
+  StatusOr<ContentModel::Ptr> model =
+      ParseContentModel("( b , c* , ( d | e ) )");
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ((*model)->ToString(), "(b,c*,(d|e))");
+}
+
+TEST(ContentModelParserTest, RejectsMalformedModels) {
+  EXPECT_FALSE(ParseContentModel("").ok());
+  EXPECT_FALSE(ParseContentModel("(a,").ok());
+  EXPECT_FALSE(ParseContentModel("(a|b,c)").ok());  // mixed connectors
+  EXPECT_FALSE(ParseContentModel("(a))").ok());     // trailing characters
+  EXPECT_FALSE(ParseContentModel("(#CDATA)").ok());
+  EXPECT_FALSE(ParseContentModel("bogus").ok());
+}
+
+TEST(DtdParserTest, ParsesTheFig2Dtd) {
+  // Figure 2(c) of the paper.
+  StatusOr<Dtd> dtd = ParseDtd(R"(
+    <!ELEMENT a (b, c)>
+    <!ELEMENT b (#PCDATA)>
+    <!ELEMENT c (d)>
+    <!ELEMENT d (#PCDATA)>
+  )");
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  EXPECT_EQ(dtd->size(), 4u);
+  EXPECT_EQ(dtd->root_name(), "a");
+  EXPECT_EQ(dtd->FindElement("a")->content->ToString(), "(b,c)");
+  EXPECT_EQ(dtd->FindElement("c")->content->ToString(), "(d)");
+  EXPECT_TRUE(dtd->Check().ok());
+}
+
+TEST(DtdParserTest, ParsesAttlist) {
+  StatusOr<Dtd> dtd = ParseDtd(R"(
+    <!ELEMENT a (#PCDATA)>
+    <!ATTLIST a id ID #REQUIRED
+                kind (x|y) "x"
+                note CDATA #IMPLIED
+                ver CDATA #FIXED "1">
+  )");
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  const ElementDecl* decl = dtd->FindElement("a");
+  ASSERT_EQ(decl->attributes.size(), 4u);
+  EXPECT_EQ(decl->attributes[0].name, "id");
+  EXPECT_EQ(decl->attributes[0].type, "ID");
+  EXPECT_EQ(decl->attributes[0].default_kind,
+            AttributeDecl::DefaultKind::kRequired);
+  EXPECT_EQ(decl->attributes[1].type, "(x|y)");
+  EXPECT_EQ(decl->attributes[1].default_value, "x");
+  EXPECT_EQ(decl->attributes[3].default_kind,
+            AttributeDecl::DefaultKind::kFixed);
+  EXPECT_EQ(decl->attributes[3].default_value, "1");
+}
+
+TEST(DtdParserTest, SkipsCommentsEntitiesAndPis) {
+  StatusOr<Dtd> dtd = ParseDtd(R"dtd(
+    <!-- a comment with <!ELEMENT inside -->
+    <!ENTITY copy "(c)">
+    <?keep going?>
+    <!ELEMENT a EMPTY>
+  )dtd");
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  EXPECT_EQ(dtd->size(), 1u);
+}
+
+TEST(DtdParserTest, RejectsDuplicateAndMalformedDeclarations) {
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a (b)><!ELEMENT a (c)>").ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a (b)").ok());
+  EXPECT_FALSE(ParseDtd("<!WHAT a (b)>").ok());
+  EXPECT_FALSE(ParseDtd("ELEMENT a (b)").ok());
+}
+
+TEST(DtdParserTest, AttlistBeforeElementGetsFilled) {
+  StatusOr<Dtd> dtd = ParseDtd(R"(
+    <!ATTLIST a id CDATA #IMPLIED>
+    <!ELEMENT a (#PCDATA)>
+  )");
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  EXPECT_EQ(dtd->FindElement("a")->content->ToString(), "(#PCDATA)");
+  EXPECT_EQ(dtd->FindElement("a")->attributes.size(), 1u);
+}
+
+TEST(DtdWriterTest, RoundTripsThroughParser) {
+  const char* text = R"(
+    <!ELEMENT a ((b,c)*,(d|e))>
+    <!ELEMENT b (#PCDATA)>
+    <!ELEMENT c (#PCDATA)>
+    <!ELEMENT d (#PCDATA)>
+    <!ELEMENT e EMPTY>
+    <!ATTLIST a id ID #REQUIRED>
+  )";
+  StatusOr<Dtd> dtd = ParseDtd(text);
+  ASSERT_TRUE(dtd.ok());
+  std::string written = WriteDtd(*dtd);
+  StatusOr<Dtd> again = ParseDtd(written);
+  ASSERT_TRUE(again.ok()) << written;
+  EXPECT_EQ(WriteDtd(*again), written);
+  EXPECT_TRUE(dtd->FindElement("a")->content->Equals(
+      *again->FindElement("a")->content));
+}
+
+TEST(DtdWriterTest, WritesSingleDeclaration) {
+  ElementDecl decl("a", SeqOfNames({"b", "c"}));
+  EXPECT_EQ(WriteElementDecl(decl), "<!ELEMENT a (b,c)>");
+}
+
+}  // namespace
+}  // namespace dtdevolve::dtd

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "dtd/dtd_parser.h"
+#include "dtd/glushkov.h"
+#include "evolve/evolver.h"
+#include "evolve/recorder.h"
+#include "xml/parser.h"
+
+namespace dtdevolve::evolve {
+namespace {
+
+ExtendedDtd MakeExtended(const char* dtd_text) {
+  StatusOr<dtd::Dtd> dtd = dtd::ParseDtd(dtd_text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return ExtendedDtd(std::move(*dtd));
+}
+
+void Record(ExtendedDtd& ext, const char* doc_text, int times = 1) {
+  Recorder recorder(ext);
+  for (int i = 0; i < times; ++i) {
+    StatusOr<xml::Document> doc = xml::ParseDocument(doc_text);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    recorder.RecordDocument(*doc);
+  }
+}
+
+const ElementEvolution* FindElement(const EvolutionResult& result,
+                                    const std::string& name) {
+  for (const ElementEvolution& element : result.elements) {
+    if (element.name == name) return &element;
+  }
+  return nullptr;
+}
+
+TEST(EvolverTest, NoRecordingNoChange) {
+  ExtendedDtd ext = MakeExtended("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>");
+  EvolutionResult result = EvolveDtd(ext);
+  EXPECT_FALSE(result.any_change);
+  EXPECT_TRUE(result.elements.empty());
+}
+
+TEST(EvolverTest, OldWindowKeepsDeclaration) {
+  ExtendedDtd ext = MakeExtended("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>");
+  Record(ext, "<a><b>1</b></a>", 20);
+  Record(ext, "<a><z/></a>", 1);  // 1/21 invalid — inside ψ = 0.1
+  EvolutionOptions options;
+  options.restrict_operators = false;
+  EvolutionResult result = EvolveDtd(ext, options);
+  const ElementEvolution* a = FindElement(result, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->window, Window::kOld);
+  EXPECT_FALSE(a->changed);
+  EXPECT_EQ(ext.dtd().FindElement("a")->content->ToString(), "(b)");
+}
+
+TEST(EvolverTest, OldWindowRestrictsOperators) {
+  ExtendedDtd ext = MakeExtended("<!ELEMENT a (b*)><!ELEMENT b (#PCDATA)>");
+  Record(ext, "<a><b>1</b><b>2</b></a>", 20);  // valid, b always present
+  EvolutionResult result = EvolveDtd(ext);
+  const ElementEvolution* a = FindElement(result, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->window, Window::kOld);
+  EXPECT_TRUE(a->changed);
+  EXPECT_EQ(ext.dtd().FindElement("a")->content->ToString(), "(b+)");
+}
+
+TEST(EvolverTest, NewWindowRebuildsFromRecordedStructures) {
+  // All documents diverge: a now holds (x, y) instead of (b).
+  ExtendedDtd ext = MakeExtended(R"(
+    <!ELEMENT a (b)>
+    <!ELEMENT b (#PCDATA)>
+  )");
+  Record(ext, "<a><x>1</x><y>2</y></a>", 20);
+  EvolutionResult result = EvolveDtd(ext);
+  const ElementEvolution* a = FindElement(result, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->window, Window::kNew);
+  EXPECT_TRUE(a->changed);
+  EXPECT_EQ(ext.dtd().FindElement("a")->content->ToString(), "(x,y)");
+  // New declarations were added for the plus elements x and y.
+  ASSERT_TRUE(ext.dtd().HasElement("x"));
+  ASSERT_TRUE(ext.dtd().HasElement("y"));
+  EXPECT_EQ(ext.dtd().FindElement("x")->content->ToString(), "(#PCDATA)");
+  EXPECT_EQ(result.added_declarations.size(), 2u);
+  EXPECT_TRUE(ext.dtd().Check().ok());
+}
+
+TEST(EvolverTest, NewWindowNestedPlusDeclarations) {
+  ExtendedDtd ext = MakeExtended("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>");
+  Record(ext, "<a><outer><inner>1</inner></outer></a>", 20);
+  EvolveDtd(ext);
+  ASSERT_TRUE(ext.dtd().HasElement("outer"));
+  ASSERT_TRUE(ext.dtd().HasElement("inner"));
+  EXPECT_EQ(ext.dtd().FindElement("outer")->content->ToString(), "(inner)");
+  EXPECT_EQ(ext.dtd().FindElement("inner")->content->ToString(),
+            "(#PCDATA)");
+  EXPECT_TRUE(ext.dtd().Check().ok());
+}
+
+TEST(EvolverTest, MiscWindowOrsOldAndNew) {
+  ExtendedDtd ext = MakeExtended("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>");
+  Record(ext, "<a><b>1</b></a>", 10);   // valid half
+  Record(ext, "<a><x>1</x></a>", 10);   // divergent half
+  EvolutionResult result = EvolveDtd(ext);
+  const ElementEvolution* a = FindElement(result, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->window, Window::kMisc);
+  EXPECT_TRUE(a->changed);
+  const dtd::ContentModel& model = *ext.dtd().FindElement("a")->content;
+  // The combined declaration accepts both the old and the new shape.
+  dtd::Automaton automaton = dtd::Automaton::Build(model);
+  EXPECT_TRUE(automaton.Accepts({"b"}));
+  EXPECT_TRUE(automaton.Accepts({"x"}));
+  EXPECT_TRUE(ext.dtd().HasElement("x"));
+}
+
+TEST(EvolverTest, StatsAreResetAfterEvolution) {
+  ExtendedDtd ext = MakeExtended("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>");
+  Record(ext, "<a><x>1</x></a>", 5);
+  EvolveDtd(ext);
+  EXPECT_EQ(ext.documents_recorded(), 0u);
+  EXPECT_EQ(ext.FindStats("a"), nullptr);
+}
+
+TEST(EvolverTest, PsiControlsWindowAssignment) {
+  // 3 of 10 instances invalid: ψ = 0.05 → misc; ψ = 0.35 → old.
+  auto run = [](double psi) {
+    ExtendedDtd ext =
+        MakeExtended("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>");
+    Record(ext, "<a><b>1</b></a>", 7);
+    Record(ext, "<a><b>1</b><b>2</b></a>", 3);
+    EvolutionOptions options;
+    options.psi = psi;
+    EvolutionResult result = EvolveDtd(ext, options);
+    const ElementEvolution* a = FindElement(result, "a");
+    EXPECT_NE(a, nullptr);
+    return a->window;
+  };
+  EXPECT_EQ(run(0.05), Window::kMisc);
+  EXPECT_EQ(run(0.35), Window::kOld);
+}
+
+TEST(EvolverTest, Example5EndToEndThroughRecorder) {
+  // The full Fig. 3 → Fig. 5 pipeline: a declared as (b,c); documents
+  // arrive shaped (b,c,b,c,d) and (b,c,b,c,e).
+  ExtendedDtd ext = MakeExtended(R"(
+    <!ELEMENT a (b, c)>
+    <!ELEMENT b (#PCDATA)>
+    <!ELEMENT c (#PCDATA)>
+  )");
+  Record(ext,
+         "<a><b>1</b><c>2</c><b>3</b><c>4</c><d>5</d></a>", 10);
+  Record(ext,
+         "<a><b>1</b><c>2</c><b>3</b><c>4</c><e>6</e></a>", 10);
+  EvolutionResult result = EvolveDtd(ext);
+  const ElementEvolution* a = FindElement(result, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->window, Window::kNew);
+  EXPECT_EQ(ext.dtd().FindElement("a")->content->ToString(),
+            "((b,c)*,(d|e))");
+  // Fig. 5 tree (4): the plus elements get (#PCDATA) declarations.
+  ASSERT_TRUE(ext.dtd().HasElement("d"));
+  ASSERT_TRUE(ext.dtd().HasElement("e"));
+  EXPECT_EQ(ext.dtd().FindElement("d")->content->ToString(), "(#PCDATA)");
+  EXPECT_EQ(ext.dtd().FindElement("e")->content->ToString(), "(#PCDATA)");
+}
+
+TEST(EvolverTest, ExistingDeclarationsAreNotOverwritten) {
+  // `c` is declared already; documents move it under `a` — evolution must
+  // reference, not redeclare, it.
+  ExtendedDtd ext = MakeExtended(R"(
+    <!ELEMENT a (b)>
+    <!ELEMENT b (#PCDATA)>
+    <!ELEMENT c (b)>
+  )");
+  Record(ext, "<a><c><b>1</b></c></a>", 20);
+  EvolveDtd(ext);
+  EXPECT_EQ(ext.dtd().FindElement("a")->content->ToString(), "(c)");
+  EXPECT_EQ(ext.dtd().FindElement("c")->content->ToString(), "(b)");
+  EXPECT_TRUE(ext.dtd().Check().ok());
+}
+
+TEST(EvolverTest, DeterminismIsReported) {
+  // The new-window rebuild here is deterministic…
+  ExtendedDtd clean = MakeExtended("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>");
+  Record(clean, "<a><x>1</x><y>2</y></a>", 20);
+  EvolutionResult clean_result = EvolveDtd(clean);
+  ASSERT_FALSE(clean_result.elements.empty());
+  EXPECT_TRUE(clean_result.elements[0].deterministic);
+
+  // …while a misc-window OR of old and new declarations sharing a prefix
+  // is not 1-unambiguous; the report must say so.
+  ExtendedDtd misc = MakeExtended("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>");
+  Record(misc, "<a><b>1</b></a>", 10);
+  Record(misc, "<a><b>1</b><b>2</b><b>3</b></a>", 10);
+  EvolutionResult misc_result = EvolveDtd(misc);
+  const ElementEvolution* a = FindElement(misc_result, "a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->window, Window::kMisc);
+  dtd::Automaton automaton =
+      dtd::Automaton::Build(*misc.dtd().FindElement("a")->content);
+  EXPECT_EQ(a->deterministic, automaton.IsDeterministic());
+}
+
+TEST(EvolverTest, ReportCarriesModelsAndTrace) {
+  ExtendedDtd ext = MakeExtended("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>");
+  Record(ext, "<a><x>1</x><y>2</y></a>", 20);
+  EvolutionResult result = EvolveDtd(ext);
+  const ElementEvolution* a = FindElement(result, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->old_model, "(b)");
+  EXPECT_EQ(a->new_model, "(x,y)");
+  EXPECT_EQ(a->instances, 20u);
+  EXPECT_DOUBLE_EQ(a->invalidity, 1.0);
+  EXPECT_FALSE(a->trace.empty());
+}
+
+}  // namespace
+}  // namespace dtdevolve::evolve

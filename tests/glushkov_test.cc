@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "dtd/dtd_parser.h"
+#include "dtd/glushkov.h"
+
+namespace dtdevolve::dtd {
+namespace {
+
+Automaton Build(const char* model_text) {
+  StatusOr<ContentModel::Ptr> model = ParseContentModel(model_text);
+  EXPECT_TRUE(model.ok()) << model.status().ToString();
+  return Automaton::Build(**model);
+}
+
+bool Accepts(const char* model_text, std::vector<std::string> symbols) {
+  return Build(model_text).Accepts(symbols);
+}
+
+TEST(AutomatonTest, SequenceAcceptance) {
+  EXPECT_TRUE(Accepts("(b,c)", {"b", "c"}));
+  EXPECT_FALSE(Accepts("(b,c)", {"b"}));
+  EXPECT_FALSE(Accepts("(b,c)", {"c", "b"}));
+  EXPECT_FALSE(Accepts("(b,c)", {"b", "c", "c"}));
+  EXPECT_FALSE(Accepts("(b,c)", {}));
+}
+
+TEST(AutomatonTest, ChoiceAcceptance) {
+  EXPECT_TRUE(Accepts("(d|e)", {"d"}));
+  EXPECT_TRUE(Accepts("(d|e)", {"e"}));
+  EXPECT_FALSE(Accepts("(d|e)", {"d", "e"}));
+  EXPECT_FALSE(Accepts("(d|e)", {}));  // one alternative must be chosen
+}
+
+TEST(AutomatonTest, UnaryOperators) {
+  EXPECT_TRUE(Accepts("(a?)", {}));
+  EXPECT_TRUE(Accepts("(a?)", {"a"}));
+  EXPECT_FALSE(Accepts("(a?)", {"a", "a"}));
+  EXPECT_TRUE(Accepts("(a*)", {}));
+  EXPECT_TRUE(Accepts("(a*)", {"a", "a", "a"}));
+  EXPECT_FALSE(Accepts("(a+)", {}));
+  EXPECT_TRUE(Accepts("(a+)", {"a", "a"}));
+}
+
+TEST(AutomatonTest, PaperExample5Declaration) {
+  // ((b,c)*,(d|e)) — the DTD the evolution derives in Example 5.
+  EXPECT_TRUE(Accepts("((b,c)*,(d|e))", {"d"}));
+  EXPECT_TRUE(Accepts("((b,c)*,(d|e))", {"b", "c", "e"}));
+  EXPECT_TRUE(Accepts("((b,c)*,(d|e))", {"b", "c", "b", "c", "d"}));
+  EXPECT_FALSE(Accepts("((b,c)*,(d|e))", {"b", "c"}));
+  EXPECT_FALSE(Accepts("((b,c)*,(d|e))", {"b", "d"}));
+  EXPECT_FALSE(Accepts("((b,c)*,(d|e))", {"d", "e"}));
+}
+
+TEST(AutomatonTest, PcdataIsOptionalAndRepeatable) {
+  // `(#PCDATA)` admits empty content and any number of text runs.
+  EXPECT_TRUE(Accepts("(#PCDATA)", {}));
+  EXPECT_TRUE(Accepts("(#PCDATA)", {"#PCDATA"}));
+  EXPECT_TRUE(Accepts("(#PCDATA)", {"#PCDATA", "#PCDATA"}));
+  EXPECT_FALSE(Accepts("(#PCDATA)", {"a"}));
+}
+
+TEST(AutomatonTest, MixedContent) {
+  EXPECT_TRUE(Accepts("(#PCDATA|em)*", {}));
+  EXPECT_TRUE(Accepts("(#PCDATA|em)*", {"#PCDATA", "em", "#PCDATA"}));
+  EXPECT_FALSE(Accepts("(#PCDATA|em)*", {"strong"}));
+}
+
+TEST(AutomatonTest, EmptyAndAny) {
+  EXPECT_TRUE(Accepts("EMPTY", {}));
+  EXPECT_FALSE(Accepts("EMPTY", {"a"}));
+  EXPECT_TRUE(Accepts("ANY", {}));
+  EXPECT_TRUE(Accepts("ANY", {"x", "y", "z"}));
+  EXPECT_TRUE(Build("ANY").is_any());
+}
+
+TEST(AutomatonTest, NestedNullableSequence) {
+  EXPECT_TRUE(Accepts("(a?,b?,c?)", {}));
+  EXPECT_TRUE(Accepts("(a?,b?,c?)", {"b"}));
+  EXPECT_TRUE(Accepts("(a?,b?,c?)", {"a", "c"}));
+  EXPECT_FALSE(Accepts("(a?,b?,c?)", {"c", "a"}));
+}
+
+TEST(AutomatonTest, Determinism) {
+  EXPECT_TRUE(Build("(b,c)").IsDeterministic());
+  EXPECT_TRUE(Build("((b,c)*,(d|e))").IsDeterministic());
+  // The classic nondeterministic model: ((a,b)|(a,c)).
+  EXPECT_FALSE(Build("((a,b)|(a,c))").IsDeterministic());
+  // (a*,a) is also not 1-unambiguous.
+  EXPECT_FALSE(Build("(a*,a)").IsDeterministic());
+}
+
+TEST(LanguageEquivalenceTest, BasicIdentities) {
+  auto eq = [](const char* a, const char* b) {
+    return LanguageEquivalent(**ParseContentModel(a), **ParseContentModel(b));
+  };
+  EXPECT_TRUE(eq("(a?)", "(a?)"));
+  EXPECT_TRUE(eq("((a?)?)", "(a?)"));
+  EXPECT_TRUE(eq("((a*)+)", "(a*)"));
+  EXPECT_TRUE(eq("((a+)?)", "(a*)"));
+  EXPECT_TRUE(eq("(a|b)", "(b|a)"));
+  EXPECT_TRUE(eq("((a,b),c)", "(a,(b,c))"));
+  EXPECT_FALSE(eq("(a?)", "(a)"));
+  EXPECT_FALSE(eq("(a,b)", "(b,a)"));
+  EXPECT_FALSE(eq("(a*)", "(a+)"));
+  EXPECT_FALSE(eq("(a|b)", "(a,b)"));
+}
+
+TEST(LanguageEquivalenceTest, AnyOnlyEqualsAny) {
+  EXPECT_TRUE(LanguageEquivalent(*ContentModel::Any(), *ContentModel::Any()));
+  EXPECT_FALSE(LanguageEquivalent(*ContentModel::Any(),
+                                  **ParseContentModel("(a*)")));
+}
+
+TEST(LanguageSubsetTest, Ordering) {
+  auto sub = [](const char* a, const char* b) {
+    return LanguageSubset(**ParseContentModel(a), **ParseContentModel(b));
+  };
+  EXPECT_TRUE(sub("(a)", "(a?)"));
+  EXPECT_TRUE(sub("(a?)", "(a*)"));
+  EXPECT_TRUE(sub("(a+)", "(a*)"));
+  EXPECT_TRUE(sub("(a,b)", "((a|b)*)"));
+  EXPECT_FALSE(sub("(a*)", "(a+)"));
+  EXPECT_FALSE(sub("(a,b)", "(b,a)"));
+  EXPECT_TRUE(LanguageSubset(**ParseContentModel("(a,b)"),
+                             *ContentModel::Any()));
+  EXPECT_FALSE(LanguageSubset(*ContentModel::Any(),
+                              **ParseContentModel("(a*)")));
+}
+
+struct DeterminismCase {
+  const char* model;
+  bool deterministic;
+};
+
+class DeterminismSuite : public ::testing::TestWithParam<DeterminismCase> {};
+
+TEST_P(DeterminismSuite, MatchesExpectation) {
+  EXPECT_EQ(Build(GetParam().model).IsDeterministic(),
+            GetParam().deterministic)
+      << GetParam().model;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, DeterminismSuite,
+    ::testing::Values(DeterminismCase{"(a)", true},
+                      DeterminismCase{"(a,b,c)", true},
+                      DeterminismCase{"(a|b|c)", true},
+                      DeterminismCase{"(a*,b)", true},
+                      DeterminismCase{"(a?,b)", true},
+                      DeterminismCase{"((a,b)+,c)", true},
+                      DeterminismCase{"(#PCDATA|a|b)*", true},
+                      DeterminismCase{"((a,b)|(a,c))", false},
+                      DeterminismCase{"(a*,a)", false},
+                      DeterminismCase{"(a?,a)", false},
+                      DeterminismCase{"((a|b)*,a)", false},
+                      // The misc-window shape: shared prefix across OR.
+                      DeterminismCase{"((b)|(b,c))", false}));
+
+TEST(AutomatonTest, StructureOfSmallAutomaton) {
+  Automaton a = Build("(b,c)");
+  EXPECT_EQ(a.num_positions(), 2u);
+  EXPECT_EQ(a.num_states(), 3u);
+  // start → b → c, only c accepting.
+  EXPECT_FALSE(a.IsAccepting(0));
+  ASSERT_EQ(a.SuccessorsOf(0).size(), 1u);
+  EXPECT_EQ(a.LabelOfPosition(a.SuccessorsOf(0)[0]), "b");
+}
+
+}  // namespace
+}  // namespace dtdevolve::dtd

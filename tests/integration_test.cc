@@ -1,0 +1,134 @@
+// End-to-end integration: the full Fig.-1 loop chasing the drift
+// scenarios, checking that evolved DTDs describe the population better
+// than the originals.
+
+#include <gtest/gtest.h>
+
+#include "classify/classifier.h"
+#include "core/source.h"
+#include "dtd/dtd_writer.h"
+#include "validate/validator.h"
+#include "workload/scenarios.h"
+
+namespace dtdevolve {
+namespace {
+
+/// Fraction of `docs` valid under `dtd`.
+double ValidFraction(const dtd::Dtd& dtd,
+                     const std::vector<xml::Document>& docs) {
+  if (docs.empty()) return 0.0;
+  validate::Validator validator(dtd);
+  size_t valid = 0;
+  for (const xml::Document& doc : docs) {
+    if (validator.Validate(doc).valid) ++valid;
+  }
+  return static_cast<double>(valid) / static_cast<double>(docs.size());
+}
+
+/// Mean similarity of `docs` to `dtd`.
+double MeanSimilarity(const dtd::Dtd& dtd,
+                      const std::vector<xml::Document>& docs) {
+  similarity::SimilarityEvaluator evaluator(dtd);
+  double sum = 0.0;
+  for (const xml::Document& doc : docs) {
+    sum += evaluator.DocumentSimilarity(doc);
+  }
+  return docs.empty() ? 0.0 : sum / static_cast<double>(docs.size());
+}
+
+class ScenarioIntegration : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScenarioIntegration, EvolutionTracksTheDrift) {
+  std::vector<workload::ScenarioStream> scenarios =
+      workload::MakeAllScenarios(21, 40);
+  workload::ScenarioStream& scenario = scenarios[GetParam()];
+
+  core::SourceOptions options;
+  options.sigma = 0.3;
+  options.tau = 0.15;
+  options.min_documents_before_check = 20;
+  core::XmlSource source(options);
+  ASSERT_TRUE(source.AddDtd(scenario.name(), scenario.InitialDtd()).ok());
+
+  std::vector<xml::Document> all_docs;
+  while (!scenario.Done()) {
+    xml::Document doc = scenario.Next();
+    all_docs.push_back(doc.Clone());
+    source.Process(std::move(doc));
+  }
+
+  // The drift must have forced at least one evolution.
+  EXPECT_GE(source.evolutions_performed(), 1u) << scenario.name();
+
+  const dtd::Dtd* evolved = source.FindDtd(scenario.name());
+  ASSERT_NE(evolved, nullptr);
+  EXPECT_TRUE(evolved->Check().ok()) << dtd::WriteDtd(*evolved);
+
+  dtd::Dtd initial = scenario.InitialDtd();
+  double initial_similarity = MeanSimilarity(initial, all_docs);
+  double evolved_similarity = MeanSimilarity(*evolved, all_docs);
+  // The evolved DTD describes the whole population better.
+  EXPECT_GT(evolved_similarity, initial_similarity) << scenario.name();
+
+  // And validates strictly more of the late-phase documents.
+  std::vector<xml::Document> late;
+  for (size_t i = all_docs.size() / 2; i < all_docs.size(); ++i) {
+    late.push_back(all_docs[i].Clone());
+  }
+  EXPECT_GT(ValidFraction(*evolved, late), ValidFraction(initial, late))
+      << scenario.name() << "\n"
+      << dtd::WriteDtd(*evolved);
+}
+
+std::string ScenarioName(const ::testing::TestParamInfo<int>& info) {
+  static const char* kNames[] = {"bibliography", "catalog", "news", "forum"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioIntegration,
+                         ::testing::Values(0, 1, 2, 3), ScenarioName);
+
+TEST(MultiDtdSourceTest, DocumentsRouteToTheRightDtd) {
+  core::SourceOptions options;
+  options.sigma = 0.3;
+  options.auto_evolve = false;
+  core::XmlSource source(options);
+
+  workload::ScenarioStream bib = workload::MakeBibliographyScenario(5, 30);
+  workload::ScenarioStream news = workload::MakeNewsScenario(6, 30);
+  ASSERT_TRUE(source.AddDtd("bib", bib.InitialDtd()).ok());
+  ASSERT_TRUE(source.AddDtd("news", news.InitialDtd()).ok());
+
+  size_t bib_docs = 0, news_docs = 0;
+  for (int i = 0; i < 30; ++i) {
+    core::XmlSource::ProcessOutcome a = source.Process(bib.Next());
+    if (a.classified && a.dtd_name == "bib") ++bib_docs;
+    core::XmlSource::ProcessOutcome b = source.Process(news.Next());
+    if (b.classified && b.dtd_name == "news") ++news_docs;
+  }
+  // Phase-0 documents are valid for their own DTD: all classify correctly.
+  EXPECT_EQ(bib_docs, 30u);
+  EXPECT_EQ(news_docs, 30u);
+}
+
+TEST(SigmaSweepTest, LowerSigmaClassifiesMore) {
+  // E2's shape in miniature: lower σ keeps more drifted documents out of
+  // the repository.
+  auto run = [](double sigma) {
+    core::SourceOptions options;
+    options.sigma = sigma;
+    options.auto_evolve = false;
+    core::XmlSource source(options);
+    workload::ScenarioStream scenario =
+        workload::MakeBibliographyScenario(9, 30);
+    source.AddDtd("bib", scenario.InitialDtd());
+    while (!scenario.Done()) source.Process(scenario.Next());
+    return source.documents_classified();
+  };
+  uint64_t lenient = run(0.2);
+  uint64_t strict = run(0.95);
+  EXPECT_GT(lenient, strict);
+}
+
+}  // namespace
+}  // namespace dtdevolve

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mining/apriori.h"
+#include "mining/transactions.h"
+
+namespace dtdevolve::mining {
+namespace {
+
+TEST(ItemDictionaryTest, InternAndFind) {
+  ItemDictionary dict;
+  int a = dict.Intern("a", true);
+  int not_a = dict.Intern("a", false);
+  EXPECT_NE(a, not_a);
+  EXPECT_EQ(dict.Intern("a", true), a);  // idempotent
+  EXPECT_EQ(dict.Find("a", false), not_a);
+  EXPECT_EQ(dict.Find("zzz", true), -1);
+  EXPECT_EQ(dict.Get(a).ToString(), "a");
+  EXPECT_EQ(dict.Get(not_a).ToString(), "!a");
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(TransactionSetTest, AbsentCompletion) {
+  // Example 4 of the paper: universe {a,b,c,d}; the sequence {a,b} is
+  // completed to {a, b, c̄, d̄}.
+  TransactionSet transactions;
+  std::set<std::string> universe = {"a", "b", "c", "d"};
+  transactions.Add({"a", "b", "c"}, universe);
+  transactions.Add({"a", "b"}, universe);
+  transactions.Add({"b", "c", "d"}, universe);
+  EXPECT_EQ(transactions.total_count(), 3u);
+
+  const ItemDictionary& dict = transactions.dictionary();
+  // 4 present items plus absent items for a, c, d (b occurs everywhere).
+  EXPECT_EQ(dict.size(), 7u);
+  EXPECT_EQ(dict.Find("b", false), -1);
+
+  int a = dict.Find("a", true);
+  int c_absent = dict.Find("c", false);
+  ASSERT_GE(a, 0);
+  ASSERT_GE(c_absent, 0);
+  EXPECT_EQ(transactions.CountContaining({a}), 2u);
+  EXPECT_EQ(transactions.CountContaining({c_absent}), 1u);
+  EXPECT_EQ(transactions.CountContaining({a, c_absent}), 1u);
+}
+
+TEST(TransactionSetTest, WeightedCounts) {
+  TransactionSet transactions;
+  std::set<std::string> universe = {"a", "b"};
+  transactions.Add({"a"}, universe, 10);
+  transactions.Add({"a", "b"}, universe, 5);
+  EXPECT_EQ(transactions.total_count(), 15u);
+  int b = transactions.dictionary().Find("b", true);
+  EXPECT_EQ(transactions.CountContaining({b}), 5u);
+  EXPECT_DOUBLE_EQ(transactions.Support({b}), 5.0 / 15.0);
+}
+
+TEST(TransactionTest, ContainsAll) {
+  Transaction t;
+  t.items = {1, 3, 5, 7};
+  EXPECT_TRUE(t.Contains(3));
+  EXPECT_FALSE(t.Contains(4));
+  EXPECT_TRUE(t.ContainsAll({1, 5}));
+  EXPECT_TRUE(t.ContainsAll({}));
+  EXPECT_FALSE(t.ContainsAll({1, 4}));
+}
+
+// --- Apriori -----------------------------------------------------------------
+
+TEST(AprioriTest, Example3Support) {
+  // Example 3: S = {{a,b,c},{a,b},{b,c,d}}; support({a,b,c}) = 1/3.
+  TransactionSet transactions;
+  std::set<std::string> universe = {"a", "b", "c", "d"};
+  transactions.Add({"a", "b", "c"}, universe);
+  transactions.Add({"a", "b"}, universe);
+  transactions.Add({"b", "c", "d"}, universe);
+
+  AprioriOptions options;
+  options.min_support = 0.3;  // keeps 1/3 itemsets
+  std::vector<FrequentItemset> itemsets =
+      MineFrequentItemsets(transactions, options);
+
+  const ItemDictionary& dict = transactions.dictionary();
+  std::vector<int> abc = {dict.Find("a", true), dict.Find("b", true),
+                          dict.Find("c", true)};
+  std::sort(abc.begin(), abc.end());
+  bool found = false;
+  for (const FrequentItemset& fis : itemsets) {
+    if (fis.items == abc) {
+      found = true;
+      EXPECT_NEAR(fis.support, 1.0 / 3.0, 1e-12);
+      EXPECT_EQ(fis.count, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AprioriTest, DownwardClosureHolds) {
+  TransactionSet transactions;
+  std::set<std::string> universe = {"a", "b", "c"};
+  for (int i = 0; i < 8; ++i) transactions.Add({"a", "b"}, universe);
+  for (int i = 0; i < 2; ++i) transactions.Add({"c"}, universe);
+
+  AprioriOptions options;
+  options.min_support = 0.5;
+  std::vector<FrequentItemset> itemsets =
+      MineFrequentItemsets(transactions, options);
+  // Every subset of a frequent itemset must be in the result.
+  std::set<std::vector<int>> keys;
+  for (const FrequentItemset& fis : itemsets) keys.insert(fis.items);
+  for (const FrequentItemset& fis : itemsets) {
+    if (fis.items.size() < 2) continue;
+    for (size_t skip = 0; skip < fis.items.size(); ++skip) {
+      std::vector<int> subset;
+      for (size_t i = 0; i < fis.items.size(); ++i) {
+        if (i != skip) subset.push_back(fis.items[i]);
+      }
+      EXPECT_TRUE(keys.count(subset)) << "missing subset";
+    }
+  }
+  // And supports are monotone: support(superset) <= support(subset).
+  for (const FrequentItemset& fis : itemsets) {
+    if (fis.items.size() < 2) continue;
+    for (size_t skip = 0; skip < fis.items.size(); ++skip) {
+      std::vector<int> subset;
+      for (size_t i = 0; i < fis.items.size(); ++i) {
+        if (i != skip) subset.push_back(fis.items[i]);
+      }
+      for (const FrequentItemset& sub : itemsets) {
+        if (sub.items == subset) {
+          EXPECT_GE(sub.support, fis.support);
+        }
+      }
+    }
+  }
+}
+
+TEST(AprioriTest, MaxSizeCapsItemsets) {
+  TransactionSet transactions;
+  std::set<std::string> universe = {"a", "b", "c", "d"};
+  for (int i = 0; i < 4; ++i) transactions.Add({"a", "b", "c", "d"}, universe);
+  AprioriOptions options;
+  options.min_support = 0.5;
+  options.max_size = 2;
+  for (const FrequentItemset& fis :
+       MineFrequentItemsets(transactions, options)) {
+    EXPECT_LE(fis.items.size(), 2u);
+  }
+}
+
+TEST(AprioriTest, EmptyInput) {
+  TransactionSet transactions;
+  EXPECT_TRUE(MineFrequentItemsets(transactions).empty());
+}
+
+TEST(AprioriTest, FullSupportItemsetsSurviveHighThreshold) {
+  TransactionSet transactions;
+  std::set<std::string> universe = {"a", "b"};
+  for (int i = 0; i < 5; ++i) transactions.Add({"a", "b"}, universe);
+  AprioriOptions options;
+  options.min_support = 1.0;
+  std::vector<FrequentItemset> itemsets =
+      MineFrequentItemsets(transactions, options);
+  // {a}, {b}, {a,b} all have support 1.
+  EXPECT_EQ(itemsets.size(), 3u);
+  for (const FrequentItemset& fis : itemsets) {
+    EXPECT_DOUBLE_EQ(fis.support, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace dtdevolve::mining

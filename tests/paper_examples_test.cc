@@ -1,0 +1,259 @@
+// Executable reproduction of every worked example and figure in the paper
+// (EXPERIMENTS.md ids F2, F3, EX34, F5). Each test states where in the
+// paper the expected behaviour comes from.
+
+#include <gtest/gtest.h>
+
+#include "dtd/dtd_parser.h"
+#include "dtd/dtd_writer.h"
+#include "evolve/evolver.h"
+#include "evolve/recorder.h"
+#include "mining/rules.h"
+#include "similarity/similarity.h"
+#include "validate/validator.h"
+#include "xml/parser.h"
+
+namespace dtdevolve {
+namespace {
+
+dtd::Dtd MakeDtd(const char* text) {
+  StatusOr<dtd::Dtd> dtd = dtd::ParseDtd(text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return std::move(*dtd);
+}
+
+xml::Document MakeDoc(const char* text) {
+  StatusOr<xml::Document> doc = xml::ParseDocument(text);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(*doc);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: the document <a><b>5</b><c>7</c></a> and the DTD
+// a:(b,c), b:(#PCDATA), c:(d), d:(#PCDATA), as labeled trees.
+// ---------------------------------------------------------------------------
+
+const char* kFig2Dtd = R"(
+  <!ELEMENT a (b, c)>
+  <!ELEMENT b (#PCDATA)>
+  <!ELEMENT c (d)>
+  <!ELEMENT d (#PCDATA)>
+)";
+const char* kFig2Doc = "<a><b>5</b><c>7</c></a>";
+
+TEST(Fig2, TreeRepresentations) {
+  xml::Document doc = MakeDoc(kFig2Doc);
+  EXPECT_EQ(doc.root().tag(), "a");
+  // αβ(a) = {b, c} on the document side (paper §2).
+  EXPECT_EQ(doc.root().ChildTagSet(), (std::set<std::string>{"b", "c"}));
+
+  dtd::Dtd dtd = MakeDtd(kFig2Dtd);
+  // αβ applied to a DTD node returns the direct subelements independently
+  // from the operators: αβ(a) = {b, c}.
+  EXPECT_EQ(dtd.FindElement("a")->content->SymbolSet(),
+            (std::set<std::string>{"b", "c"}));
+  // Serialization round-trips the figure's declarations.
+  EXPECT_EQ(dtd::WriteElementDecl(*dtd.FindElement("a")),
+            "<!ELEMENT a (b,c)>");
+}
+
+TEST(Fig2, DocumentIsNotValidButLocallySimilar) {
+  // Example 1: local similarity of a is full; global similarity is not,
+  // because c holds data content where the DTD requires a d element.
+  dtd::Dtd dtd = MakeDtd(kFig2Dtd);
+  xml::Document doc = MakeDoc(kFig2Doc);
+
+  validate::Validator validator(dtd);
+  EXPECT_FALSE(validator.Validate(doc).valid);
+  EXPECT_TRUE(validator.ElementLocallyValid(doc.root()));
+
+  similarity::SimilarityEvaluator evaluator(dtd);
+  EXPECT_DOUBLE_EQ(evaluator.LocalSimilarity(doc.root(), "a"), 1.0);
+  double global = evaluator.GlobalSimilarity(doc.root(), "a");
+  EXPECT_LT(global, 1.0);
+  EXPECT_GT(global, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Example 2 / Figure 3: recording the D1/D2 population against
+// T = a:(b,c). D1 documents contain the (b,c) sequence followed by d
+// elements; D2 documents contain it followed by a single e.
+// ---------------------------------------------------------------------------
+
+class Fig3Recording : public ::testing::Test {
+ protected:
+  Fig3Recording()
+      : ext_(MakeDtd(R"(
+          <!ELEMENT a (b, c)>
+          <!ELEMENT b (#PCDATA)>
+          <!ELEMENT c (#PCDATA)>
+        )")) {
+    evolve::Recorder recorder(ext_);
+    for (int i = 0; i < 10; ++i) {
+      // D1: (b,c) twice, then d twice — d is repeatable.
+      recorder.RecordDocument(MakeDoc(
+          "<a><b>1</b><c>2</c><b>3</b><c>4</c><d>5</d><d>6</d></a>"));
+      // D2: (b,c) twice, then one e — d is also optional.
+      recorder.RecordDocument(
+          MakeDoc("<a><b>1</b><c>2</c><b>3</b><c>4</c><e>7</e></a>"));
+    }
+  }
+
+  evolve::ExtendedDtd ext_;
+};
+
+TEST_F(Fig3Recording, LabelSetIsBCDE) {
+  // "Element a is associated with the set {b, c, d, e} of element tags
+  // found in the documents classified against T."
+  const evolve::ElementStats* a = ext_.FindStats("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->LabelUniverse(),
+            (std::set<std::string>{"b", "c", "d", "e"}));
+  EXPECT_EQ(a->invalid_instances(), 20u);
+  EXPECT_EQ(a->valid_instances(), 0u);
+  EXPECT_DOUBLE_EQ(a->InvalidityRatio(), 1.0);
+}
+
+TEST_F(Fig3Recording, GroupBCIsRecorded) {
+  // "{b, c} forms a group since elements b and c are repeated the same
+  // number of times." In D1 instances d shares the repetition count, so
+  // the recorded group there is {b,c,d}; D2 instances record {b,c}.
+  const evolve::ElementStats* a = ext_.FindStats("a");
+  evolve::GroupKey bc{{"b", "c"}, 2};
+  evolve::GroupKey bcd{{"b", "c", "d"}, 2};
+  ASSERT_TRUE(a->groups().count(bc));
+  EXPECT_EQ(a->groups().at(bc), 10u);   // the D2 instances
+  ASSERT_TRUE(a->groups().count(bcd));
+  EXPECT_EQ(a->groups().at(bcd), 10u);  // the D1 instances
+}
+
+TEST_F(Fig3Recording, DIsRepeatableAndOptional) {
+  // "element d is repeatable and optional (there are documents that do
+  // not contain it)."
+  const evolve::ElementStats* a = ext_.FindStats("a");
+  const evolve::OccurrenceStats& d = a->labels().at("d").invalid;
+  EXPECT_EQ(d.instances, 10u);   // only in D1 documents
+  EXPECT_EQ(d.repeated, 10u);    // always twice there
+  mining::SequenceRuleOracle oracle(a->SequenceList(), a->LabelUniverse(),
+                                    0.0);
+  EXPECT_FALSE(oracle.AlwaysPresent("d"));
+}
+
+TEST_F(Fig3Recording, PlusElementsRecordSubstructure) {
+  // d and e are plus elements of a: their content ((#PCDATA)) is recorded
+  // so a declaration can later be extracted (Fig. 5 tree (4)).
+  const evolve::ElementStats* a = ext_.FindStats("a");
+  ASSERT_NE(a->labels().at("d").plus_structure, nullptr);
+  EXPECT_EQ(a->labels().at("d").plus_structure->text_instances(), 20u);
+  ASSERT_NE(a->labels().at("e").plus_structure, nullptr);
+}
+
+TEST_F(Fig3Recording, SequencesDisregardOrderAndRepetition) {
+  const evolve::ElementStats* a = ext_.FindStats("a");
+  ASSERT_EQ(a->sequences().size(), 2u);
+  EXPECT_TRUE(a->sequences().count({"b", "c", "d"}));
+  EXPECT_TRUE(a->sequences().count({"b", "c", "e"}));
+}
+
+// ---------------------------------------------------------------------------
+// Examples 3 and 4: association-rule arithmetic and absent elements.
+// ---------------------------------------------------------------------------
+
+TEST(Ex3, SupportAndConfidence) {
+  // S = {{a,b,c},{a,b},{b,c,d}}; R = c → a,b:
+  // Support(R) = 1/3, Confidence(R) = 1/2.
+  using Sequences = std::vector<std::pair<std::set<std::string>, uint32_t>>;
+  Sequences sequences = {
+      {{"a", "b", "c"}, 1}, {{"a", "b"}, 1}, {{"b", "c", "d"}, 1}};
+  mining::SequenceRuleOracle oracle(sequences, {"a", "b", "c", "d"}, 0.0);
+  EXPECT_NEAR(oracle.Support({"a", "b", "c"}), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(oracle.Confidence({"c"}, {}, "a", true) *
+                  oracle.Confidence({"c", "a"}, {}, "b", true),
+              1.0 / 2.0, 1e-12);  // c → a,b decomposed
+  EXPECT_NEAR(oracle.Confidence({"c"}, {}, "b", true), 1.0, 1e-12);
+}
+
+TEST(Ex4, AbsentElements) {
+  // "The only absent element for the sequence {a,b,c} is d, whereas c and
+  // d are absent for the sequence {a,b}." Absent items enable rules like
+  // b̄ → c ("if element b is absent then element c is present").
+  mining::TransactionSet transactions;
+  std::set<std::string> universe = {"a", "b", "c", "d"};
+  transactions.Add({"a", "b", "c"}, universe);
+  transactions.Add({"a", "b"}, universe);
+  transactions.Add({"b", "c", "d"}, universe);
+  const mining::ItemDictionary& dict = transactions.dictionary();
+  EXPECT_EQ(transactions.CountContaining({dict.Find("d", false)}), 2u);
+  EXPECT_EQ(transactions.CountContaining(
+                {dict.Find("c", false), dict.Find("d", false)}),
+            1u);
+  // ā → c,d holds with confidence 1 in S (the only a-less sequence is
+  // {b,c,d}).
+  int a_absent = dict.Find("a", false);
+  int c_present = dict.Find("c", true);
+  int d_present = dict.Find("d", true);
+  EXPECT_EQ(transactions.CountContaining({a_absent}),
+            transactions.CountContaining({a_absent, c_present, d_present}));
+}
+
+// ---------------------------------------------------------------------------
+// Example 5 / Figure 5: the full evolution of element a.
+// ---------------------------------------------------------------------------
+
+TEST_F(Fig3Recording, Fig5Evolution) {
+  evolve::EvolutionOptions options;
+  evolve::EvolutionResult result = evolve::EvolveDtd(ext_, options);
+
+  // Policy 1 merges {b,c} into (b,c)*; policy 4 builds the d/e
+  // alternative; the final binding is Fig. 5 tree (3). Our recording saw
+  // d repeated in every D1 instance ("a sequence of d elements"), so the
+  // d alternative carries the + the prose implies: ((b,c)*,(d+|e)).
+  EXPECT_EQ(ext_.dtd().FindElement("a")->content->ToString(),
+            "((b,c)*,(d+|e))");
+
+  bool p1 = false, p4 = false;
+  for (const evolve::ElementEvolution& element : result.elements) {
+    for (const evolve::PolicyTrace& trace : element.trace) {
+      if (trace.policy == 1) p1 = true;
+      if (trace.policy == 4) p4 = true;
+    }
+  }
+  EXPECT_TRUE(p1);
+  EXPECT_TRUE(p4);
+
+  // "by recursively applying the evolution algorithm ... their actual
+  // structure can be extracted" — Fig. 5 tree (4): d, e get (#PCDATA).
+  ASSERT_TRUE(ext_.dtd().HasElement("d"));
+  ASSERT_TRUE(ext_.dtd().HasElement("e"));
+  EXPECT_EQ(ext_.dtd().FindElement("d")->content->ToString(), "(#PCDATA)");
+  EXPECT_EQ(ext_.dtd().FindElement("e")->content->ToString(), "(#PCDATA)");
+  EXPECT_TRUE(ext_.dtd().Check().ok());
+
+  // The evolved DTD validates both document shapes.
+  validate::Validator validator(ext_.dtd());
+  EXPECT_TRUE(validator
+                  .Validate(MakeDoc("<a><b>1</b><c>2</c><b>3</b><c>4</c>"
+                                    "<d>5</d><d>6</d></a>"))
+                  .valid);
+  EXPECT_TRUE(
+      validator
+          .Validate(MakeDoc(
+              "<a><b>1</b><c>2</c><b>3</b><c>4</c><e>7</e></a>"))
+          .valid);
+}
+
+TEST(Fig5, RestrictionExample) {
+  // §4.1's restriction example: a declared (b*); every instance contains
+  // at least one b ⇒ the operator is restricted to +.
+  evolve::ExtendedDtd ext(
+      MakeDtd("<!ELEMENT a (b*)><!ELEMENT b (#PCDATA)>"));
+  evolve::Recorder recorder(ext);
+  for (int i = 0; i < 10; ++i) {
+    recorder.RecordDocument(MakeDoc("<a><b>1</b><b>2</b></a>"));
+  }
+  evolve::EvolveDtd(ext, {});
+  EXPECT_EQ(ext.dtd().FindElement("a")->content->ToString(), "(b+)");
+}
+
+}  // namespace
+}  // namespace dtdevolve

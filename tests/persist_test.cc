@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "dtd/dtd_parser.h"
+#include "dtd/dtd_writer.h"
+#include "evolve/evolver.h"
+#include "evolve/persist.h"
+#include "evolve/recorder.h"
+#include "workload/generator.h"
+#include "workload/mutator.h"
+#include "xml/parser.h"
+
+namespace dtdevolve::evolve {
+namespace {
+
+ExtendedDtd MakeExtended(const char* dtd_text) {
+  StatusOr<dtd::Dtd> dtd = dtd::ParseDtd(dtd_text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return ExtendedDtd(std::move(*dtd));
+}
+
+const char* kDtd = R"(
+  <!ELEMENT a (b, c)>
+  <!ELEMENT b (#PCDATA)>
+  <!ELEMENT c (#PCDATA)>
+)";
+
+TEST(PersistTest, EmptyRoundTrip) {
+  ExtendedDtd ext = MakeExtended(kDtd);
+  std::string data = SerializeExtendedDtd(ext);
+  StatusOr<ExtendedDtd> restored = DeserializeExtendedDtd(data);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(dtd::WriteDtd(restored->dtd()), dtd::WriteDtd(ext.dtd()));
+  EXPECT_EQ(restored->documents_recorded(), 0u);
+  EXPECT_TRUE(restored->all_stats().empty());
+}
+
+TEST(PersistTest, RoundTripPreservesEverything) {
+  ExtendedDtd ext = MakeExtended(kDtd);
+  Recorder recorder(ext);
+  auto record = [&](const char* text, int times) {
+    for (int i = 0; i < times; ++i) {
+      StatusOr<xml::Document> doc = xml::ParseDocument(text);
+      ASSERT_TRUE(doc.ok());
+      recorder.RecordDocument(*doc);
+    }
+  };
+  record("<a><b>1</b><c>2</c></a>", 5);
+  record("<a><b>1</b><c>2</c><b>3</b><c>4</c><d><e>x</e></d></a>", 7);
+
+  std::string data = SerializeExtendedDtd(ext);
+  StatusOr<ExtendedDtd> restored = DeserializeExtendedDtd(data);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  EXPECT_EQ(restored->documents_recorded(), 12u);
+  EXPECT_EQ(restored->total_elements_recorded(),
+            ext.total_elements_recorded());
+  EXPECT_DOUBLE_EQ(restored->MeanDivergence(), ext.MeanDivergence());
+
+  const ElementStats* original = ext.FindStats("a");
+  const ElementStats* copy = restored->FindStats("a");
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->valid_instances(), original->valid_instances());
+  EXPECT_EQ(copy->invalid_instances(), original->invalid_instances());
+  EXPECT_EQ(copy->sequences(), original->sequences());
+  EXPECT_EQ(copy->labels().size(), original->labels().size());
+  EXPECT_EQ(copy->labels().at("b").invalid.count_histogram,
+            original->labels().at("b").invalid.count_histogram);
+  EXPECT_DOUBLE_EQ(copy->labels().at("b").invalid.position_sum,
+                   original->labels().at("b").invalid.position_sum);
+  // Groups round-trip.
+  EXPECT_EQ(copy->groups().size(), original->groups().size());
+  // The nested plus structure of d (containing e) round-trips.
+  ASSERT_NE(copy->labels().at("d").plus_structure, nullptr);
+  const ElementStats& d = *copy->labels().at("d").plus_structure;
+  EXPECT_EQ(d.invalid_instances(), 7u);
+  ASSERT_NE(d.labels().at("e").plus_structure, nullptr);
+  EXPECT_EQ(d.labels().at("e").plus_structure->text_instances(), 7u);
+}
+
+TEST(PersistTest, SerializationIsDeterministic) {
+  ExtendedDtd ext = MakeExtended(kDtd);
+  Recorder recorder(ext);
+  StatusOr<xml::Document> doc =
+      xml::ParseDocument("<a><b>1</b><z>2</z></a>");
+  ASSERT_TRUE(doc.ok());
+  recorder.RecordDocument(*doc);
+  std::string once = SerializeExtendedDtd(ext);
+  StatusOr<ExtendedDtd> restored = DeserializeExtendedDtd(once);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(SerializeExtendedDtd(*restored), once);
+}
+
+TEST(PersistTest, EvolutionAfterRestoreMatchesDirectEvolution) {
+  // The load-bearing property: save/load must not change what evolution
+  // produces.
+  auto populate = [](ExtendedDtd& ext) {
+    Recorder recorder(ext);
+    workload::DocumentGenerator generator(
+        ext.dtd(), workload::GeneratorOptions(), 404);
+    workload::MutationOptions mutation;
+    mutation.insert_probability = 0.5;
+    mutation.duplicate_probability = 0.3;
+    workload::Mutator mutator(mutation, 405);
+    for (int i = 0; i < 40; ++i) {
+      xml::Document doc = generator.Generate();
+      mutator.Mutate(doc);
+      recorder.RecordDocument(doc);
+    }
+  };
+
+  ExtendedDtd direct = MakeExtended(kDtd);
+  populate(direct);
+  std::string snapshot = SerializeExtendedDtd(direct);
+  EvolveDtd(direct, {});
+
+  StatusOr<ExtendedDtd> restored = DeserializeExtendedDtd(snapshot);
+  ASSERT_TRUE(restored.ok());
+  EvolveDtd(*restored, {});
+
+  EXPECT_EQ(dtd::WriteDtd(restored->dtd()), dtd::WriteDtd(direct.dtd()));
+}
+
+TEST(PersistTest, RejectsCorruptedInput) {
+  EXPECT_FALSE(DeserializeExtendedDtd("").ok());
+  EXPECT_FALSE(DeserializeExtendedDtd("bogus 1").ok());
+  EXPECT_FALSE(DeserializeExtendedDtd("dtdevolve-stats 99").ok());
+
+  ExtendedDtd ext = MakeExtended(kDtd);
+  std::string data = SerializeExtendedDtd(ext);
+  // Truncation anywhere must be detected, not crash.
+  for (size_t cut : {data.size() / 4, data.size() / 2, data.size() - 3}) {
+    StatusOr<ExtendedDtd> restored =
+        DeserializeExtendedDtd(data.substr(0, cut));
+    EXPECT_FALSE(restored.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(PersistTest, PreservesAttlists) {
+  ExtendedDtd ext = MakeExtended(R"(
+    <!ELEMENT a (#PCDATA)>
+    <!ATTLIST a id ID #REQUIRED>
+  )");
+  std::string data = SerializeExtendedDtd(ext);
+  StatusOr<ExtendedDtd> restored = DeserializeExtendedDtd(data);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->dtd().FindElement("a")->attributes.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dtdevolve::evolve

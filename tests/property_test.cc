@@ -1,0 +1,189 @@
+// Property-based suites over randomized inputs (seeded, reproducible):
+//  * generator documents are always valid for their DTD;
+//  * global similarity is 1 exactly for valid documents, in [0,1] always,
+//    and monotonically degrades under mutation;
+//  * Simplify preserves the language of randomly built content models;
+//  * the evolver always produces a consistent DTD that validates the
+//    dominant recorded shape.
+
+#include <gtest/gtest.h>
+
+#include "dtd/glushkov.h"
+#include "dtd/rewrite.h"
+#include "evolve/evolver.h"
+#include "evolve/recorder.h"
+#include "similarity/similarity.h"
+#include "validate/validator.h"
+#include "workload/generator.h"
+#include "workload/mutator.h"
+#include "workload/rng.h"
+
+namespace dtdevolve {
+namespace {
+
+/// Builds a random content model over a small alphabet.
+dtd::ContentModel::Ptr RandomModel(workload::Rng& rng, int depth) {
+  using CM = dtd::ContentModel;
+  static const char* kNames[] = {"a", "b", "c", "d"};
+  if (depth <= 0 || rng.Chance(0.4)) {
+    return CM::Name(kNames[rng.Uniform(4)]);
+  }
+  switch (rng.Uniform(5)) {
+    case 0: {
+      std::vector<CM::Ptr> children;
+      uint32_t n = 2 + rng.Uniform(2);
+      for (uint32_t i = 0; i < n; ++i) {
+        children.push_back(RandomModel(rng, depth - 1));
+      }
+      return CM::Seq(std::move(children));
+    }
+    case 1: {
+      std::vector<CM::Ptr> children;
+      uint32_t n = 2 + rng.Uniform(2);
+      for (uint32_t i = 0; i < n; ++i) {
+        children.push_back(RandomModel(rng, depth - 1));
+      }
+      return CM::Choice(std::move(children));
+    }
+    case 2:
+      return CM::Opt(RandomModel(rng, depth - 1));
+    case 3:
+      return CM::Star(RandomModel(rng, depth - 1));
+    default:
+      return CM::Plus(RandomModel(rng, depth - 1));
+  }
+}
+
+/// A random flat DTD: root with a random model over leaves a..d.
+dtd::Dtd RandomDtd(uint64_t seed) {
+  workload::Rng rng(seed);
+  dtd::Dtd dtd;
+  dtd.DeclareElement("root", RandomModel(rng, 3));
+  for (const char* name : {"a", "b", "c", "d"}) {
+    dtd.DeclareElement(name, dtd::ContentModel::Pcdata());
+  }
+  return dtd;
+}
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeededProperty, SimplifyPreservesRandomModelLanguage) {
+  workload::Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    dtd::ContentModel::Ptr model = RandomModel(rng, 3);
+    dtd::ContentModel::Ptr original = model->Clone();
+    dtd::ContentModel::Ptr simplified = dtd::Simplify(std::move(model));
+    ASSERT_TRUE(dtd::LanguageEquivalent(*original, *simplified))
+        << original->ToString() << " vs " << simplified->ToString();
+    ASSERT_LE(simplified->NodeCount(), original->NodeCount());
+  }
+}
+
+TEST_P(SeededProperty, GeneratedDocumentsAreValidAndFullySimilar) {
+  dtd::Dtd dtd = RandomDtd(GetParam());
+  validate::Validator validator(dtd);
+  similarity::SimilarityEvaluator evaluator(dtd);
+  workload::DocumentGenerator generator(dtd, workload::GeneratorOptions(),
+                                        GetParam() ^ 0xABCDEF);
+  for (int i = 0; i < 20; ++i) {
+    xml::Document doc = generator.Generate();
+    ASSERT_TRUE(validator.Validate(doc).valid)
+        << dtd.FindElement("root")->content->ToString();
+    ASSERT_DOUBLE_EQ(evaluator.DocumentSimilarity(doc), 1.0);
+  }
+}
+
+TEST_P(SeededProperty, SimilarityBoundedAndOneIffValid) {
+  dtd::Dtd dtd = RandomDtd(GetParam());
+  validate::Validator validator(dtd);
+  similarity::SimilarityEvaluator evaluator(dtd);
+  workload::DocumentGenerator generator(dtd, workload::GeneratorOptions(),
+                                        GetParam() + 99);
+  workload::MutationOptions mutation;
+  mutation.drop_probability = 0.4;
+  mutation.insert_probability = 0.4;
+  mutation.duplicate_probability = 0.3;
+  mutation.swap_probability = 0.3;
+  workload::Mutator mutator(mutation, GetParam() + 7);
+  for (int i = 0; i < 20; ++i) {
+    xml::Document doc = generator.Generate();
+    mutator.Mutate(doc);
+    double sim = evaluator.DocumentSimilarity(doc);
+    ASSERT_GE(sim, 0.0);
+    ASSERT_LE(sim, 1.0);
+    bool valid = validator.Validate(doc).valid;
+    if (valid) {
+      ASSERT_DOUBLE_EQ(sim, 1.0);
+    } else {
+      ASSERT_LT(sim, 1.0);
+    }
+  }
+}
+
+TEST_P(SeededProperty, MutationNeverRaisesMeanSimilarity) {
+  dtd::Dtd dtd = RandomDtd(GetParam());
+  similarity::SimilarityEvaluator evaluator(dtd);
+  workload::DocumentGenerator generator(dtd, workload::GeneratorOptions(),
+                                        GetParam() + 1);
+  auto mean_at = [&](double rate) {
+    workload::MutationOptions mutation;
+    mutation.drop_probability = rate;
+    mutation.insert_probability = rate;
+    workload::Mutator mutator(mutation, 1234);
+    double sum = 0.0;
+    workload::DocumentGenerator local(dtd, workload::GeneratorOptions(),
+                                      GetParam() + 1);
+    for (int i = 0; i < 30; ++i) {
+      xml::Document doc = local.Generate();
+      mutator.Mutate(doc);
+      sum += evaluator.DocumentSimilarity(doc);
+    }
+    return sum / 30.0;
+  };
+  double clean = mean_at(0.0);
+  double damaged = mean_at(0.8);
+  ASSERT_DOUBLE_EQ(clean, 1.0);
+  ASSERT_LE(damaged, clean);
+}
+
+TEST_P(SeededProperty, EvolverProducesConsistentDtdForAnyShape) {
+  // Feed the evolver a uniform drifted shape and demand: consistent DTD,
+  // and the shape validates afterwards.
+  workload::Rng rng(GetParam());
+  dtd::Dtd dtd = RandomDtd(GetParam() * 3 + 1);
+  workload::DocumentGenerator generator(dtd, workload::GeneratorOptions(),
+                                        GetParam());
+  // The "true" new shape: generated from a different random DTD.
+  dtd::Dtd target = RandomDtd(GetParam() * 7 + 5);
+  workload::DocumentGenerator target_generator(
+      target, workload::GeneratorOptions(), GetParam() + 2);
+
+  evolve::ExtendedDtd ext(dtd.Clone());
+  evolve::Recorder recorder(ext);
+  std::vector<xml::Document> docs;
+  for (int i = 0; i < 30; ++i) {
+    xml::Document doc = target_generator.Generate();
+    recorder.RecordDocument(doc);
+    docs.push_back(std::move(doc));
+  }
+  evolve::EvolutionOptions options;
+  options.min_support = 0.05;
+  evolve::EvolveDtd(ext, options);
+  ASSERT_TRUE(ext.dtd().Check().ok());
+
+  // The dominant shapes should now be far more similar than before.
+  similarity::SimilarityEvaluator before(dtd);
+  similarity::SimilarityEvaluator after(ext.dtd());
+  double before_sum = 0.0, after_sum = 0.0;
+  for (const xml::Document& doc : docs) {
+    before_sum += before.DocumentSimilarity(doc);
+    after_sum += after.DocumentSimilarity(doc);
+  }
+  ASSERT_GE(after_sum, before_sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace dtdevolve

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "dtd/dtd_parser.h"
+#include "evolve/recorder.h"
+#include "evolve/trigger.h"
+#include "xml/parser.h"
+
+namespace dtdevolve::evolve {
+namespace {
+
+ExtendedDtd MakeExtended(const char* dtd_text) {
+  StatusOr<dtd::Dtd> dtd = dtd::ParseDtd(dtd_text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return ExtendedDtd(std::move(*dtd));
+}
+
+xml::Document MakeDoc(const char* text) {
+  StatusOr<xml::Document> doc = xml::ParseDocument(text);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(*doc);
+}
+
+const char* kDtd = R"(
+  <!ELEMENT a (b, c)>
+  <!ELEMENT b (#PCDATA)>
+  <!ELEMENT c (#PCDATA)>
+)";
+
+TEST(RecorderTest, ValidDocumentBumpsValidCounters) {
+  ExtendedDtd ext = MakeExtended(kDtd);
+  Recorder recorder(ext);
+  double divergence =
+      recorder.RecordDocument(MakeDoc("<a><b>1</b><c>2</c></a>"));
+  EXPECT_EQ(divergence, 0.0);
+  const ElementStats* a = ext.FindStats("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->valid_instances(), 1u);
+  EXPECT_EQ(a->invalid_instances(), 0u);
+  EXPECT_EQ(a->docs_with_valid(), 1u);
+  EXPECT_EQ(ext.documents_recorded(), 1u);
+  EXPECT_DOUBLE_EQ(ext.MeanDivergence(), 0.0);
+}
+
+TEST(RecorderTest, InvalidInstanceRecordsSequenceAndLabels) {
+  ExtendedDtd ext = MakeExtended(kDtd);
+  Recorder recorder(ext);
+  double divergence =
+      recorder.RecordDocument(MakeDoc("<a><b>1</b><d>x</d></a>"));
+  // a is invalid (content mismatch) and d is undeclared: 2 of 3 elements.
+  EXPECT_NEAR(divergence, 2.0 / 3.0, 1e-12);
+  const ElementStats* a = ext.FindStats("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->invalid_instances(), 1u);
+  EXPECT_EQ(a->docs_with_invalid(), 1u);
+  ASSERT_EQ(a->sequences().size(), 1u);
+  EXPECT_EQ(a->sequences().begin()->first,
+            (std::set<std::string>{"b", "d"}));
+  // d is a plus label: its structure is recorded for later extraction.
+  ASSERT_TRUE(a->labels().count("d"));
+  const LabelStats& d = a->labels().at("d");
+  ASSERT_NE(d.plus_structure, nullptr);
+  EXPECT_EQ(d.plus_structure->invalid_instances(), 1u);
+  EXPECT_EQ(d.plus_structure->text_instances(), 1u);
+  // b is declared: no plus structure.
+  EXPECT_EQ(a->labels().at("b").plus_structure, nullptr);
+}
+
+TEST(RecorderTest, PlusStructureRecordsNestedChildren) {
+  ExtendedDtd ext = MakeExtended(kDtd);
+  Recorder recorder(ext);
+  recorder.RecordDocument(
+      MakeDoc("<a><b>1</b><c>2</c><new><sub>s</sub><sub>t</sub></new></a>"));
+  const ElementStats* a = ext.FindStats("a");
+  const LabelStats& entry = a->labels().at("new");
+  ASSERT_NE(entry.plus_structure, nullptr);
+  const ElementStats& plus = *entry.plus_structure;
+  EXPECT_EQ(plus.invalid_instances(), 1u);
+  ASSERT_TRUE(plus.labels().count("sub"));
+  EXPECT_EQ(plus.labels().at("sub").invalid.repeated, 1u);
+  // sub itself is nested once more.
+  ASSERT_NE(plus.labels().at("sub").plus_structure, nullptr);
+  EXPECT_EQ(plus.labels().at("sub").plus_structure->text_instances(), 2u);
+}
+
+TEST(RecorderTest, DivergenceAggregatesOverDocuments) {
+  ExtendedDtd ext = MakeExtended(kDtd);
+  Recorder recorder(ext);
+  recorder.RecordDocument(MakeDoc("<a><b>1</b><c>2</c></a>"));  // 0
+  recorder.RecordDocument(MakeDoc("<a><b>1</b></a>"));          // 1/2
+  EXPECT_EQ(ext.documents_recorded(), 2u);
+  EXPECT_NEAR(ext.MeanDivergence(), 0.25, 1e-12);
+  EXPECT_EQ(ext.total_elements_recorded(), 5u);
+  EXPECT_EQ(ext.invalid_elements_recorded(), 1u);
+}
+
+TEST(RecorderTest, DocsCountersBumpedOncePerDocument) {
+  ExtendedDtd ext = MakeExtended(kDtd);
+  Recorder recorder(ext);
+  // b appears twice (both valid instances) in one document.
+  recorder.RecordDocument(MakeDoc("<a><b>1</b><b>2</b></a>"));
+  const ElementStats* b = ext.FindStats("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->valid_instances(), 2u);
+  EXPECT_EQ(b->docs_with_valid(), 1u);
+}
+
+TEST(RecorderTest, ResetStatsClearsEverything) {
+  ExtendedDtd ext = MakeExtended(kDtd);
+  Recorder recorder(ext);
+  recorder.RecordDocument(MakeDoc("<a><b>1</b></a>"));
+  EXPECT_GT(ext.MemoryFootprint(), 0u);
+  ext.ResetStats();
+  EXPECT_EQ(ext.documents_recorded(), 0u);
+  EXPECT_EQ(ext.FindStats("a"), nullptr);
+  EXPECT_DOUBLE_EQ(ext.MeanDivergence(), 0.0);
+}
+
+TEST(RecorderTest, RecordTreeSkipsDocumentAggregates) {
+  ExtendedDtd ext = MakeExtended(kDtd);
+  Recorder recorder(ext);
+  xml::Document doc = MakeDoc("<a><b>1</b><c>2</c></a>");
+  recorder.RecordTree(doc.root());
+  EXPECT_EQ(ext.documents_recorded(), 0u);
+  EXPECT_EQ(ext.FindStats("a")->valid_instances(), 1u);
+}
+
+TEST(CheckTriggerTest, FiresAboveTau) {
+  ExtendedDtd ext = MakeExtended(kDtd);
+  Recorder recorder(ext);
+  recorder.RecordDocument(MakeDoc("<a><b>1</b></a>"));  // divergence 1/2
+  CheckResult below = CheckEvolutionTrigger(ext, 0.6);
+  EXPECT_FALSE(below.should_evolve);
+  EXPECT_NEAR(below.divergence, 0.5, 1e-12);
+  CheckResult above = CheckEvolutionTrigger(ext, 0.4);
+  EXPECT_TRUE(above.should_evolve);
+  EXPECT_EQ(above.documents, 1u);
+}
+
+TEST(CheckTriggerTest, NoDocumentsNoTrigger) {
+  ExtendedDtd ext = MakeExtended(kDtd);
+  EXPECT_FALSE(CheckEvolutionTrigger(ext, 0.0).should_evolve);
+}
+
+}  // namespace
+}  // namespace dtdevolve::evolve

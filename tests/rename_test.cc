@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "dtd/dtd_parser.h"
+#include "evolve/evolver.h"
+#include "evolve/recorder.h"
+#include "evolve/rename.h"
+#include "xml/parser.h"
+
+namespace dtdevolve::evolve {
+namespace {
+
+ExtendedDtd MakeExtended(const char* dtd_text) {
+  StatusOr<dtd::Dtd> dtd = dtd::ParseDtd(dtd_text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return ExtendedDtd(std::move(*dtd));
+}
+
+void Record(ExtendedDtd& ext, const char* doc_text, int times = 1) {
+  Recorder recorder(ext);
+  for (int i = 0; i < times; ++i) {
+    StatusOr<xml::Document> doc = xml::ParseDocument(doc_text);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    recorder.RecordDocument(*doc);
+  }
+}
+
+const char* kBookDtd = R"(
+  <!ELEMENT book (title, writer)>
+  <!ELEMENT title (#PCDATA)>
+  <!ELEMENT writer (name, org?)>
+  <!ELEMENT name (#PCDATA)>
+  <!ELEMENT org (#PCDATA)>
+)";
+
+TEST(DetectRenamesTest, FindsComplementaryThesaurusPair) {
+  ExtendedDtd ext = MakeExtended(kBookDtd);
+  // Documents consistently use `author` where the DTD says `writer`.
+  Record(ext,
+         "<book><title>t</title><author><name>n</name></author></book>", 10);
+
+  similarity::Thesaurus thesaurus;
+  thesaurus.AddSynonym("writer", "author", 0.9);
+
+  const ElementStats* stats = ext.FindStats("book");
+  ASSERT_NE(stats, nullptr);
+  std::vector<RenameCandidate> renames = DetectRenames(
+      *stats, ext.dtd().FindElement("book")->content->SymbolSet(), thesaurus,
+      0.5);
+  ASSERT_EQ(renames.size(), 1u);
+  EXPECT_EQ(renames[0].from, "writer");
+  EXPECT_EQ(renames[0].to, "author");
+  EXPECT_DOUBLE_EQ(renames[0].score, 0.9);
+  EXPECT_EQ(renames[0].evidence, 10u);
+}
+
+TEST(DetectRenamesTest, CoOccurrenceBlocksRename) {
+  ExtendedDtd ext = MakeExtended(kBookDtd);
+  // writer and author appear together: author is an addition, not a
+  // rename.
+  Record(ext,
+         "<book><title>t</title><writer><name>n</name></writer>"
+         "<author>x</author></book>",
+         10);
+  similarity::Thesaurus thesaurus;
+  thesaurus.AddSynonym("writer", "author", 0.9);
+  const ElementStats* stats = ext.FindStats("book");
+  std::vector<RenameCandidate> renames = DetectRenames(
+      *stats, ext.dtd().FindElement("book")->content->SymbolSet(), thesaurus,
+      0.5);
+  EXPECT_TRUE(renames.empty());
+}
+
+TEST(DetectRenamesTest, LowScoreBlocksRename) {
+  ExtendedDtd ext = MakeExtended(kBookDtd);
+  Record(ext, "<book><title>t</title><author>x</author></book>", 10);
+  similarity::Thesaurus thesaurus;
+  thesaurus.AddSynonym("writer", "author", 0.3);
+  const ElementStats* stats = ext.FindStats("book");
+  std::vector<RenameCandidate> renames = DetectRenames(
+      *stats, ext.dtd().FindElement("book")->content->SymbolSet(), thesaurus,
+      0.5);
+  EXPECT_TRUE(renames.empty());
+}
+
+TEST(EvolverRenameTest, RenamedElementInheritsDeclaration) {
+  ExtendedDtd ext = MakeExtended(kBookDtd);
+  Record(ext,
+         "<book><title>t</title><author><name>n</name></author></book>",
+         20);
+  similarity::Thesaurus thesaurus;
+  thesaurus.AddSynonym("writer", "author", 0.9);
+  EvolutionOptions options;
+  options.thesaurus = &thesaurus;
+  EvolutionResult result = EvolveDtd(ext, options);
+
+  // The book declaration now uses the new tag name…
+  EXPECT_EQ(ext.dtd().FindElement("book")->content->ToString(),
+            "(title,author)");
+  // …and the author declaration was inherited from writer — including the
+  // optional org the instances never showed.
+  ASSERT_TRUE(ext.dtd().HasElement("author"));
+  EXPECT_EQ(ext.dtd().FindElement("author")->content->ToString(),
+            "(name,org?)");
+  // The rename is reported.
+  bool reported = false;
+  for (const ElementEvolution& element : result.elements) {
+    for (const RenameCandidate& rename : element.renames) {
+      if (rename.from == "writer" && rename.to == "author") reported = true;
+    }
+  }
+  EXPECT_TRUE(reported);
+}
+
+TEST(EvolverRenameTest, WithoutThesaurusPlusStructureIsUsed) {
+  ExtendedDtd ext = MakeExtended(kBookDtd);
+  Record(ext,
+         "<book><title>t</title><author><name>n</name></author></book>",
+         20);
+  EvolutionResult result = EvolveDtd(ext, {});
+  (void)result;
+  // Extracted from the instances: author holds a single name.
+  ASSERT_TRUE(ext.dtd().HasElement("author"));
+  EXPECT_EQ(ext.dtd().FindElement("author")->content->ToString(), "(name)");
+}
+
+TEST(EvolverRenameTest, OrphanCleanupRemovesOldName) {
+  ExtendedDtd ext = MakeExtended(kBookDtd);
+  Record(ext,
+         "<book><title>t</title><author><name>n</name></author></book>",
+         20);
+  similarity::Thesaurus thesaurus;
+  thesaurus.AddSynonym("writer", "author", 0.9);
+  EvolutionOptions options;
+  options.thesaurus = &thesaurus;
+  options.drop_orphan_declarations = true;
+  EvolutionResult result = EvolveDtd(ext, options);
+  EXPECT_FALSE(ext.dtd().HasElement("writer"));
+  EXPECT_TRUE(ext.dtd().Check().ok());
+  ASSERT_FALSE(result.removed_declarations.empty());
+  EXPECT_EQ(result.removed_declarations[0], "writer");
+}
+
+TEST(DtdTest, UnreachableFromRoot) {
+  StatusOr<dtd::Dtd> dtd = dtd::ParseDtd(R"(
+    <!ELEMENT a (b)>
+    <!ELEMENT b (#PCDATA)>
+    <!ELEMENT stray (other)>
+    <!ELEMENT other (#PCDATA)>
+  )");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(dtd->UnreachableFromRoot(),
+            (std::vector<std::string>{"stray", "other"}));
+}
+
+}  // namespace
+}  // namespace dtdevolve::evolve

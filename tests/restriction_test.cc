@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "dtd/dtd_parser.h"
+#include "evolve/restriction.h"
+#include "evolve/windows.h"
+
+namespace dtdevolve::evolve {
+namespace {
+
+/// Builds stats where `label` appeared in `present` of `total` valid
+/// instances and was repeated in `repeated` of them.
+ElementStats StatsWith(const std::string& label, uint64_t total,
+                       uint64_t present, uint64_t repeated) {
+  ElementStats stats;
+  for (uint64_t i = 0; i < total; ++i) {
+    std::vector<std::string> tags;
+    if (i < present) {
+      tags.push_back(label);
+      if (i < repeated) tags.push_back(label);
+    }
+    stats.RecordInstance(tags, /*locally_valid=*/true, false);
+  }
+  return stats;
+}
+
+std::string Restrict(const char* model_text, const ElementStats& stats,
+                     bool* changed = nullptr) {
+  auto model = dtd::ParseContentModel(model_text);
+  EXPECT_TRUE(model.ok());
+  RestrictionResult result = RestrictOperators(std::move(*model), stats);
+  if (changed != nullptr) *changed = result.changed;
+  return result.model->ToString();
+}
+
+TEST(RestrictionTest, StarToPlainWhenAlwaysOnce) {
+  ElementStats stats = StatsWith("b", 10, 10, 0);
+  bool changed = false;
+  EXPECT_EQ(Restrict("(b*)", stats, &changed), "(b)");
+  EXPECT_TRUE(changed);
+}
+
+TEST(RestrictionTest, StarToPlusWhenAlwaysPresentRepeated) {
+  // The paper's own example: every `a` contained at least one `b` — the
+  // `*` operator is restricted to `+` (§4.1).
+  ElementStats stats = StatsWith("b", 10, 10, 4);
+  EXPECT_EQ(Restrict("(b*)", stats), "(b+)");
+}
+
+TEST(RestrictionTest, StarToOptionalWhenNeverRepeated) {
+  ElementStats stats = StatsWith("b", 10, 6, 0);
+  EXPECT_EQ(Restrict("(b*)", stats), "(b?)");
+}
+
+TEST(RestrictionTest, PlusToPlainWhenNeverRepeated) {
+  ElementStats stats = StatsWith("b", 10, 10, 0);
+  EXPECT_EQ(Restrict("(b+)", stats), "(b)");
+}
+
+TEST(RestrictionTest, OptionalToPlainWhenAlwaysPresent) {
+  ElementStats stats = StatsWith("b", 10, 10, 0);
+  EXPECT_EQ(Restrict("(b?)", stats), "(b)");
+}
+
+TEST(RestrictionTest, NoEvidenceNoChange) {
+  ElementStats stats;  // nothing recorded
+  bool changed = true;
+  EXPECT_EQ(Restrict("(b*)", stats, &changed), "(b*)");
+  EXPECT_FALSE(changed);
+
+  // Label never seen in any valid instance: also untouched.
+  ElementStats absent = StatsWith("b", 10, 0, 0);
+  EXPECT_EQ(Restrict("(b*)", absent, &changed), "(b*)");
+  EXPECT_FALSE(changed);
+}
+
+TEST(RestrictionTest, SometimesAbsentStaysLoose) {
+  ElementStats stats = StatsWith("b", 10, 6, 3);  // absent + repeated
+  bool changed = true;
+  EXPECT_EQ(Restrict("(b*)", stats, &changed), "(b*)");
+  EXPECT_FALSE(changed);
+}
+
+TEST(RestrictionTest, RestrictsInsideSequences) {
+  ElementStats stats;
+  for (int i = 0; i < 5; ++i) {
+    stats.RecordInstance({"a", "b"}, true, false);
+  }
+  EXPECT_EQ(Restrict("(a?, b*)", stats), "(a,b)");
+}
+
+TEST(RestrictionTest, OrAlternativesAreProtected) {
+  // Half the instances chose a, half b — neither is always present, so
+  // nothing under the OR is restricted.
+  ElementStats stats;
+  for (int i = 0; i < 5; ++i) stats.RecordInstance({"a"}, true, false);
+  for (int i = 0; i < 5; ++i) stats.RecordInstance({"b"}, true, false);
+  bool changed = true;
+  EXPECT_EQ(Restrict("((a?)|(b?))", stats, &changed), "(a?|b?)");
+  EXPECT_FALSE(changed);
+}
+
+TEST(RestrictionTest, OnlyUnaryOverNamesAreTouched) {
+  ElementStats stats = StatsWith("b", 10, 10, 0);
+  bool changed = true;
+  // `(b,c)*` is a group operator — out of scope for restriction.
+  EXPECT_EQ(Restrict("((b,c)*)", stats, &changed), "(b,c)*");
+  EXPECT_FALSE(changed);
+}
+
+TEST(WindowTest, Boundaries) {
+  EXPECT_EQ(ClassifyWindow(0.0, 0.1), Window::kOld);
+  EXPECT_EQ(ClassifyWindow(0.1, 0.1), Window::kOld);
+  EXPECT_EQ(ClassifyWindow(0.100001, 0.1), Window::kMisc);
+  EXPECT_EQ(ClassifyWindow(0.5, 0.1), Window::kMisc);
+  EXPECT_EQ(ClassifyWindow(0.899999, 0.1), Window::kMisc);
+  EXPECT_EQ(ClassifyWindow(0.9, 0.1), Window::kNew);
+  EXPECT_EQ(ClassifyWindow(1.0, 0.1), Window::kNew);
+}
+
+TEST(WindowTest, PsiHalfLeavesNoMiscWindow) {
+  EXPECT_EQ(ClassifyWindow(0.49, 0.5), Window::kOld);
+  EXPECT_EQ(ClassifyWindow(0.5, 0.5), Window::kOld);
+  EXPECT_EQ(ClassifyWindow(0.51, 0.5), Window::kNew);
+}
+
+TEST(WindowTest, PsiClampedAndNames) {
+  EXPECT_EQ(ClassifyWindow(0.2, 2.0), ClassifyWindow(0.2, 0.5));
+  EXPECT_EQ(WindowName(Window::kOld), "old");
+  EXPECT_EQ(WindowName(Window::kMisc), "misc");
+  EXPECT_EQ(WindowName(Window::kNew), "new");
+}
+
+}  // namespace
+}  // namespace dtdevolve::evolve

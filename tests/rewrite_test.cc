@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "dtd/dtd_parser.h"
+#include "dtd/glushkov.h"
+#include "dtd/rewrite.h"
+
+namespace dtdevolve::dtd {
+namespace {
+
+std::string Simplified(const char* model_text) {
+  StatusOr<ContentModel::Ptr> model = ParseContentModel(model_text);
+  EXPECT_TRUE(model.ok()) << model.status().ToString();
+  return Simplify(std::move(*model))->ToString();
+}
+
+TEST(RewriteTest, CollapsesStackedUnaries) {
+  EXPECT_EQ(Simplified("((a?)?)"), "(a?)");
+  EXPECT_EQ(Simplified("((a*)*)"), "(a*)");
+  EXPECT_EQ(Simplified("((a+)+)"), "(a+)");
+  EXPECT_EQ(Simplified("((a*)?)"), "(a*)");
+  EXPECT_EQ(Simplified("((a?)*)"), "(a*)");
+  EXPECT_EQ(Simplified("((a+)?)"), "(a*)");
+  EXPECT_EQ(Simplified("((a?)+)"), "(a*)");
+  EXPECT_EQ(Simplified("((a*)+)"), "(a*)");
+  EXPECT_EQ(Simplified("((a+)*)"), "(a*)");
+}
+
+TEST(RewriteTest, FlattensNestedGroups) {
+  EXPECT_EQ(Simplified("((a,b),c)"), "(a,b,c)");
+  EXPECT_EQ(Simplified("(a,(b,(c,d)))"), "(a,b,c,d)");
+  EXPECT_EQ(Simplified("((a|b)|c)"), "(a|b|c)");
+}
+
+TEST(RewriteTest, DeduplicatesAndSortsAlternatives) {
+  EXPECT_EQ(Simplified("(b|a|b)"), "(a|b)");
+  EXPECT_EQ(Simplified("(a|a)"), "(a)");
+}
+
+TEST(RewriteTest, HoistsOptionalAlternatives) {
+  EXPECT_EQ(Simplified("(a?|b)"), "(a|b)?");
+}
+
+TEST(RewriteTest, DropsRedundantOptionality) {
+  EXPECT_EQ(Simplified("((a*)?)"), "(a*)");
+  EXPECT_EQ(Simplified("((a?,b?)?)"), "(a?,b?)");
+}
+
+TEST(RewriteTest, EmptyIsNeutralInSequences) {
+  std::vector<ContentModel::Ptr> seq;
+  seq.push_back(ContentModel::Empty());
+  seq.push_back(ContentModel::Name("a"));
+  EXPECT_EQ(Simplify(ContentModel::Seq(std::move(seq)))->ToString(), "(a)");
+}
+
+TEST(RewriteTest, EmptyInChoiceBecomesOptionality) {
+  std::vector<ContentModel::Ptr> choice;
+  choice.push_back(ContentModel::Empty());
+  choice.push_back(ContentModel::Name("a"));
+  EXPECT_EQ(Simplify(ContentModel::Choice(std::move(choice)))->ToString(),
+            "(a?)");
+}
+
+TEST(RewriteTest, UnaryOverEmptyIsEmpty) {
+  EXPECT_EQ(Simplify(ContentModel::Star(ContentModel::Empty()))->ToString(),
+            "EMPTY");
+}
+
+TEST(RewriteTest, LeavesCanonicalFormsAlone) {
+  EXPECT_EQ(Simplified("((b,c)*,(d|e))"), "((b,c)*,(d|e))");
+  EXPECT_EQ(Simplified("(#PCDATA)"), "(#PCDATA)");
+  EXPECT_EQ(Simplified("(#PCDATA|a)*"), "(#PCDATA|a)*");
+}
+
+TEST(RewriteTest, MixedContentKeepsPcdataFirst) {
+  EXPECT_EQ(Simplified("(b|#PCDATA|a)*"), "(#PCDATA|a|b)*");
+}
+
+TEST(RewriteTest, SimplifyDtdTouchesEveryDeclaration) {
+  StatusOr<Dtd> dtd = ParseDtd(R"(
+    <!ELEMENT a ((b?)?)>
+    <!ELEMENT b ((c|c))>
+    <!ELEMENT c (#PCDATA)>
+  )");
+  ASSERT_TRUE(dtd.ok());
+  SimplifyDtd(*dtd);
+  EXPECT_EQ(dtd->FindElement("a")->content->ToString(), "(b?)");
+  EXPECT_EQ(dtd->FindElement("b")->content->ToString(), "(c)");
+}
+
+// Property: simplification preserves the language. TEST_P over a pool of
+// hand-picked and mechanically combined models.
+class RewriteEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RewriteEquivalence, PreservesLanguage) {
+  StatusOr<ContentModel::Ptr> parsed = ParseContentModel(GetParam());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ContentModel::Ptr original = (*parsed)->Clone();
+  ContentModel::Ptr simplified = Simplify(std::move(*parsed));
+  EXPECT_TRUE(LanguageEquivalent(*original, *simplified))
+      << GetParam() << " vs " << simplified->ToString();
+  // Simplification never grows the tree.
+  EXPECT_LE(simplified->NodeCount(), original->NodeCount());
+  // And is idempotent.
+  ContentModel::Ptr twice = Simplify(simplified->Clone());
+  EXPECT_TRUE(twice->Equals(*simplified))
+      << simplified->ToString() << " vs " << twice->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelPool, RewriteEquivalence,
+    ::testing::Values(
+        "(a)", "(a?)", "(a*)", "(a+)", "((a?)*)", "((a+)*)", "((a*)?)",
+        "(a,b)", "(a|b)", "(a?|b)", "(a?|b?)", "((a,b),c)", "((a|b)|c)",
+        "((a,b)|(a,b))", "((a,(b,c)),d)", "((a|b)*,c?)", "(a,(b|c)+,d*)",
+        "((a+)?,b)", "(((a)))", "((a?,b?))", "((a|b)|(c|d))",
+        "(x|(y|(z|x)))", "((a,b)*|c)", "((#PCDATA|a)*)", "(#PCDATA)",
+        "((a*,b*),c*)", "(a?|b*)", "(((a,b)+)*)", "((d|e)|(b|c))",
+        "((a|a)|a)", "((a,a),a)", "(q?,(r|s)?,t+)"));
+
+}  // namespace
+}  // namespace dtdevolve::dtd

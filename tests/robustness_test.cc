@@ -1,0 +1,128 @@
+// Robustness: the parsers must reject (never crash, hang, or leak via
+// assert) arbitrary mangled input — truncations, splices and random byte
+// flips of valid documents, DTDs, trigger rules and schema files.
+
+#include <gtest/gtest.h>
+
+#include "core/trigger_language.h"
+#include "dtd/dtd_parser.h"
+#include "evolve/persist.h"
+#include "workload/rng.h"
+#include "xml/parser.h"
+#include "xsd/parser.h"
+
+namespace dtdevolve {
+namespace {
+
+const char* kSeedXml =
+    "<!DOCTYPE a [<!ELEMENT a (b)>]><a x=\"1\"><b>t &amp; u</b>"
+    "<!--c--><![CDATA[<z>]]></a>";
+const char* kSeedDtd =
+    "<!ELEMENT a ((b,c)*|d+)?><!ELEMENT b (#PCDATA)><!ELEMENT c EMPTY>"
+    "<!ELEMENT d ANY><!ATTLIST a k (x|y) \"x\" i ID #REQUIRED>";
+const char* kSeedRule =
+    "ON mail WHEN divergence > 0.25 AND (documents >= 50 OR "
+    "invalid_fraction > 0.5) EVOLVE WITH psi = 0.05, enable_or = 0";
+
+std::string Mangle(const std::string& seed, workload::Rng& rng) {
+  std::string out = seed;
+  switch (rng.Uniform(4)) {
+    case 0: {  // truncate
+      out.resize(rng.Uniform(static_cast<uint32_t>(out.size()) + 1));
+      break;
+    }
+    case 1: {  // flip bytes
+      for (int i = 0; i < 4 && !out.empty(); ++i) {
+        out[rng.Uniform(static_cast<uint32_t>(out.size()))] =
+            static_cast<char>(rng.Uniform(256));
+      }
+      break;
+    }
+    case 2: {  // splice a random chunk of itself somewhere
+      if (!out.empty()) {
+        size_t from = rng.Uniform(static_cast<uint32_t>(out.size()));
+        size_t len = rng.Uniform(16);
+        size_t to = rng.Uniform(static_cast<uint32_t>(out.size()));
+        out.insert(to, out.substr(from, len));
+      }
+      break;
+    }
+    default: {  // duplicate the whole text
+      out += out;
+      break;
+    }
+  }
+  return out;
+}
+
+class Robustness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Robustness, XmlParserNeverCrashes) {
+  workload::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    std::string input = Mangle(kSeedXml, rng);
+    StatusOr<xml::Document> doc = xml::ParseDocument(input);
+    if (doc.ok()) {
+      // Whatever parsed must serialize and re-parse.
+      ASSERT_TRUE(doc->has_root());
+    }
+  }
+}
+
+TEST_P(Robustness, DtdParserNeverCrashes) {
+  workload::Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 200; ++i) {
+    std::string input = Mangle(kSeedDtd, rng);
+    StatusOr<dtd::Dtd> dtd = dtd::ParseDtd(input);
+    (void)dtd;  // empty input parses to an empty (OK) DTD by design
+  }
+}
+
+TEST_P(Robustness, TriggerRuleParserNeverCrashes) {
+  workload::Rng rng(GetParam() + 2000);
+  for (int i = 0; i < 200; ++i) {
+    std::string input = Mangle(kSeedRule, rng);
+    StatusOr<core::TriggerRule> rule = core::TriggerRule::Parse(input);
+    if (rule.ok()) {
+      // Whatever parsed must render and re-parse to the same form.
+      std::string rendered = rule->ToString();
+      StatusOr<core::TriggerRule> again = core::TriggerRule::Parse(rendered);
+      ASSERT_TRUE(again.ok()) << rendered;
+    }
+  }
+}
+
+TEST_P(Robustness, SchemaParserNeverCrashes) {
+  const std::string seed =
+      "<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">"
+      "<xs:element name=\"a\"><xs:complexType mixed=\"true\">"
+      "<xs:sequence><xs:element ref=\"b\" minOccurs=\"0\" "
+      "maxOccurs=\"unbounded\"/></xs:sequence></xs:complexType>"
+      "</xs:element><xs:element name=\"b\" type=\"xs:string\"/></xs:schema>";
+  workload::Rng rng(GetParam() + 3000);
+  for (int i = 0; i < 200; ++i) {
+    std::string input = Mangle(seed, rng);
+    StatusOr<xsd::Schema> schema = xsd::ParseSchema(input);
+    (void)schema;
+  }
+}
+
+TEST_P(Robustness, StatsDeserializerNeverCrashes) {
+  // Start from a real serialization, then mangle.
+  StatusOr<dtd::Dtd> dtd = dtd::ParseDtd("<!ELEMENT a (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  evolve::ExtendedDtd ext(std::move(*dtd));
+  std::string seed = evolve::SerializeExtendedDtd(ext);
+  workload::Rng rng(GetParam() + 4000);
+  for (int i = 0; i < 200; ++i) {
+    std::string input = Mangle(seed, rng);
+    StatusOr<evolve::ExtendedDtd> restored =
+        evolve::DeserializeExtendedDtd(input);
+    (void)restored;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Robustness, ::testing::Range<uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace dtdevolve

@@ -1,0 +1,210 @@
+// Cross-cutting round-trip and language properties over random inputs:
+//  * document → write → parse → structurally equal (writer/parser duality);
+//  * DTD → write → parse → identical serialization;
+//  * random content model: strings sampled from the model are accepted by
+//    its automaton; the model's language equals itself and its Simplify;
+//    LanguageSubset is consistent with LanguageEquivalent;
+//  * extended DTD → serialize → deserialize → identical serialization
+//    after random recording.
+
+#include <gtest/gtest.h>
+
+#include "dtd/dtd_parser.h"
+#include "dtd/dtd_writer.h"
+#include "dtd/glushkov.h"
+#include "dtd/rewrite.h"
+#include "evolve/persist.h"
+#include "evolve/recorder.h"
+#include "workload/generator.h"
+#include "workload/mutator.h"
+#include "workload/rng.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace dtdevolve {
+namespace {
+
+/// Random content model over a small alphabet (same shape as
+/// property_test's, duplicated deliberately: test files stay
+/// self-contained).
+dtd::ContentModel::Ptr RandomModel(workload::Rng& rng, int depth) {
+  using CM = dtd::ContentModel;
+  static const char* kNames[] = {"a", "b", "c"};
+  if (depth <= 0 || rng.Chance(0.35)) {
+    return CM::Name(kNames[rng.Uniform(3)]);
+  }
+  switch (rng.Uniform(5)) {
+    case 0:
+    case 1: {
+      std::vector<CM::Ptr> children;
+      uint32_t n = 2 + rng.Uniform(2);
+      for (uint32_t i = 0; i < n; ++i) {
+        children.push_back(RandomModel(rng, depth - 1));
+      }
+      return rng.Chance(0.5) ? CM::Seq(std::move(children))
+                             : CM::Choice(std::move(children));
+    }
+    case 2:
+      return CM::Opt(RandomModel(rng, depth - 1));
+    case 3:
+      return CM::Star(RandomModel(rng, depth - 1));
+    default:
+      return CM::Plus(RandomModel(rng, depth - 1));
+  }
+}
+
+/// Samples a random word from the model's language.
+void SampleWord(const dtd::ContentModel& model, workload::Rng& rng,
+                std::vector<std::string>& out) {
+  using Kind = dtd::ContentModel::Kind;
+  switch (model.kind()) {
+    case Kind::kName:
+      out.push_back(model.name());
+      return;
+    case Kind::kPcdata:
+    case Kind::kAny:
+    case Kind::kEmpty:
+      return;
+    case Kind::kAnd:
+      for (const auto& child : model.children()) {
+        SampleWord(*child, rng, out);
+      }
+      return;
+    case Kind::kOr:
+      SampleWord(*model.children()[rng.Uniform(
+                     static_cast<uint32_t>(model.children().size()))],
+                 rng, out);
+      return;
+    case Kind::kOptional:
+      if (rng.Chance(0.5)) SampleWord(model.child(), rng, out);
+      return;
+    case Kind::kStar: {
+      uint32_t n = rng.Uniform(3);
+      for (uint32_t i = 0; i < n; ++i) SampleWord(model.child(), rng, out);
+      return;
+    }
+    case Kind::kPlus: {
+      uint32_t n = 1 + rng.Uniform(2);
+      for (uint32_t i = 0; i < n; ++i) SampleWord(model.child(), rng, out);
+      return;
+    }
+  }
+}
+
+class RoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTrip, DocumentWriteParse) {
+  workload::Rng rng(GetParam());
+  auto dtd = dtd::ParseDtd(R"(
+    <!ELEMENT r (s*, (t | u)+)>
+    <!ELEMENT s (#PCDATA)>
+    <!ELEMENT t (s?, v*)>
+    <!ELEMENT u EMPTY>
+    <!ELEMENT v (#PCDATA)>
+  )");
+  ASSERT_TRUE(dtd.ok());
+  workload::DocumentGenerator generator(*dtd, workload::GeneratorOptions(),
+                                        GetParam());
+  workload::MutationOptions mutation;
+  mutation.insert_probability = 0.3;
+  mutation.duplicate_probability = 0.3;
+  workload::Mutator mutator(mutation, GetParam() + 5);
+  for (int i = 0; i < 20; ++i) {
+    xml::Document doc = generator.Generate();
+    mutator.Mutate(doc);
+    for (bool indent : {true, false}) {
+      xml::WriteOptions options;
+      options.indent = indent;
+      options.declaration = (i % 2) == 0;
+      std::string text = xml::WriteDocument(doc, options);
+      StatusOr<xml::Document> again = xml::ParseDocument(text);
+      ASSERT_TRUE(again.ok()) << again.status().ToString() << "\n" << text;
+      ASSERT_TRUE(xml::StructurallyEqual(doc.root(), again->root()))
+          << text;
+    }
+  }
+}
+
+TEST_P(RoundTrip, DtdWriteParse) {
+  workload::Rng rng(GetParam() * 17 + 3);
+  for (int i = 0; i < 10; ++i) {
+    dtd::Dtd dtd;
+    dtd.DeclareElement("root", RandomModel(rng, 3));
+    for (const char* name : {"a", "b", "c"}) {
+      dtd.DeclareElement(name, dtd::ContentModel::Pcdata());
+    }
+    std::string written = dtd::WriteDtd(dtd);
+    StatusOr<dtd::Dtd> again = dtd::ParseDtd(written);
+    ASSERT_TRUE(again.ok()) << again.status().ToString() << "\n" << written;
+    ASSERT_EQ(dtd::WriteDtd(*again), written);
+    ASSERT_TRUE(dtd.FindElement("root")->content->Equals(
+        *again->FindElement("root")->content));
+  }
+}
+
+TEST_P(RoundTrip, SampledWordsAreAccepted) {
+  workload::Rng rng(GetParam() * 29 + 7);
+  for (int i = 0; i < 15; ++i) {
+    dtd::ContentModel::Ptr model = RandomModel(rng, 3);
+    dtd::Automaton automaton = dtd::Automaton::Build(*model);
+    for (int w = 0; w < 10; ++w) {
+      std::vector<std::string> word;
+      SampleWord(*model, rng, word);
+      ASSERT_TRUE(automaton.Accepts(word)) << model->ToString();
+    }
+  }
+}
+
+TEST_P(RoundTrip, LanguageRelationsAreConsistent) {
+  workload::Rng rng(GetParam() * 41 + 11);
+  for (int i = 0; i < 8; ++i) {
+    dtd::ContentModel::Ptr a = RandomModel(rng, 2);
+    dtd::ContentModel::Ptr b = RandomModel(rng, 2);
+    // Equivalence is reflexive and equals two-way subset.
+    ASSERT_TRUE(dtd::LanguageEquivalent(*a, *a));
+    bool equal = dtd::LanguageEquivalent(*a, *b);
+    bool ab = dtd::LanguageSubset(*a, *b);
+    bool ba = dtd::LanguageSubset(*b, *a);
+    ASSERT_EQ(equal, ab && ba)
+        << a->ToString() << " vs " << b->ToString();
+    // Simplify preserves subset relations against a third model.
+    dtd::ContentModel::Ptr simplified = dtd::Simplify(a->Clone());
+    ASSERT_EQ(dtd::LanguageSubset(*a, *b),
+              dtd::LanguageSubset(*simplified, *b));
+  }
+}
+
+TEST_P(RoundTrip, PersistAfterRandomRecording) {
+  auto dtd = dtd::ParseDtd(R"(
+    <!ELEMENT r (s*, (t | u)+)>
+    <!ELEMENT s (#PCDATA)>
+    <!ELEMENT t (s?, v*)>
+    <!ELEMENT u EMPTY>
+    <!ELEMENT v (#PCDATA)>
+  )");
+  ASSERT_TRUE(dtd.ok());
+  evolve::ExtendedDtd ext(std::move(*dtd));
+  evolve::Recorder recorder(ext);
+  workload::DocumentGenerator generator(ext.dtd(),
+                                        workload::GeneratorOptions(),
+                                        GetParam() + 100);
+  workload::MutationOptions mutation;
+  mutation.insert_probability = 0.4;
+  mutation.drop_probability = 0.3;
+  workload::Mutator mutator(mutation, GetParam() + 101);
+  for (int i = 0; i < 15; ++i) {
+    xml::Document doc = generator.Generate();
+    mutator.Mutate(doc);
+    recorder.RecordDocument(doc);
+  }
+  std::string once = evolve::SerializeExtendedDtd(ext);
+  StatusOr<evolve::ExtendedDtd> restored =
+      evolve::DeserializeExtendedDtd(once);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(evolve::SerializeExtendedDtd(*restored), once);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTrip, ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace dtdevolve

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "mining/rules.h"
+
+namespace dtdevolve::mining {
+namespace {
+
+using Sequences = std::vector<std::pair<std::set<std::string>, uint32_t>>;
+
+// --- Generic rule generation ---------------------------------------------------
+
+TEST(GenerateRulesTest, Example3SupportAndConfidence) {
+  // Example 3: S = {{a,b,c},{a,b},{b,c,d}}, rule R = c → a,b.
+  // Support(R) = 1/3, Confidence(R) = 1/2.
+  TransactionSet transactions;
+  std::set<std::string> universe = {"a", "b", "c", "d"};
+  transactions.Add({"a", "b", "c"}, universe);
+  transactions.Add({"a", "b"}, universe);
+  transactions.Add({"b", "c", "d"}, universe);
+
+  AprioriOptions options;
+  options.min_support = 0.3;
+  std::vector<FrequentItemset> itemsets =
+      MineFrequentItemsets(transactions, options);
+  std::vector<AssociationRule> rules = GenerateRules(itemsets, 0.0);
+
+  const ItemDictionary& dict = transactions.dictionary();
+  int a = dict.Find("a", true), b = dict.Find("b", true),
+      c = dict.Find("c", true);
+  bool found = false;
+  for (const AssociationRule& rule : rules) {
+    if (rule.lhs == std::vector<int>{c} &&
+        rule.rhs == std::vector<int>{std::min(a, b), std::max(a, b)}) {
+      found = true;
+      EXPECT_NEAR(rule.support, 1.0 / 3.0, 1e-12);
+      EXPECT_NEAR(rule.confidence, 1.0 / 2.0, 1e-12);
+      EXPECT_EQ(RuleToString(rule, dict), "c -> a,b");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GenerateRulesTest, ConfidenceThresholdFilters) {
+  TransactionSet transactions;
+  std::set<std::string> universe = {"a", "b"};
+  for (int i = 0; i < 3; ++i) transactions.Add({"a", "b"}, universe);
+  transactions.Add({"a"}, universe);
+
+  AprioriOptions options;
+  options.min_support = 0.5;
+  std::vector<AssociationRule> all =
+      GenerateRules(MineFrequentItemsets(transactions, options), 0.0);
+  std::vector<AssociationRule> strict =
+      GenerateRules(MineFrequentItemsets(transactions, options), 1.0);
+  EXPECT_GT(all.size(), strict.size());
+  // b → a has confidence 1 (every b-transaction contains a).
+  const ItemDictionary& dict = transactions.dictionary();
+  int a = dict.Find("a", true), b = dict.Find("b", true);
+  bool found = false;
+  for (const AssociationRule& rule : strict) {
+    if (rule.lhs == std::vector<int>{b} && rule.rhs == std::vector<int>{a}) {
+      found = true;
+      EXPECT_DOUBLE_EQ(rule.confidence, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- SequenceRuleOracle (the paper's 4-step pipeline) --------------------------
+
+class OracleFixture : public ::testing::Test {
+ protected:
+  // The Example 2 / Figure 3 population: sequences {b,c,d} (docs in D1)
+  // and {b,c,e} (docs in D2).
+  SequenceRuleOracle MakeExample2Oracle(double mu = 0.0) {
+    Sequences sequences = {{{"b", "c", "d"}, 10}, {{"b", "c", "e"}, 10}};
+    return SequenceRuleOracle(sequences, {"b", "c", "d", "e"}, mu);
+  }
+};
+
+TEST_F(OracleFixture, Example5Rules) {
+  SequenceRuleOracle oracle = MakeExample2Oracle();
+  // The paper's Rules set contains {b → c, c → b, d → ē, ē → d}.
+  EXPECT_TRUE(oracle.Implies({"b"}, {}, "c", true));
+  EXPECT_TRUE(oracle.Implies({"c"}, {}, "b", true));
+  EXPECT_TRUE(oracle.Implies({"d"}, {}, "e", false));
+  EXPECT_TRUE(oracle.Implies({}, {"e"}, "d", true));
+  EXPECT_TRUE(oracle.Implies({"e"}, {}, "d", false));
+  EXPECT_TRUE(oracle.Implies({}, {"d"}, "e", true));
+  // And not, e.g., d → e.
+  EXPECT_FALSE(oracle.Implies({"d"}, {}, "e", true));
+  EXPECT_FALSE(oracle.Implies({"b"}, {}, "d", true));  // only half the docs
+}
+
+TEST_F(OracleFixture, AtomicAndExclusiveSets) {
+  SequenceRuleOracle oracle = MakeExample2Oracle();
+  EXPECT_TRUE(oracle.AtomicSet({"b", "c"}));
+  EXPECT_FALSE(oracle.AtomicSet({"b", "d"}));
+  EXPECT_TRUE(oracle.ExactlyOneOf({"d", "e"}));
+  EXPECT_FALSE(oracle.ExactlyOneOf({"b", "c"}));
+  EXPECT_FALSE(oracle.ExactlyOneOf({"b", "d"}));  // both present in D1
+  EXPECT_FALSE(oracle.ExactlyOneOf({"d"}));       // needs at least two
+}
+
+TEST_F(OracleFixture, PresenceQueries) {
+  SequenceRuleOracle oracle = MakeExample2Oracle();
+  EXPECT_TRUE(oracle.AlwaysPresent("b"));
+  EXPECT_FALSE(oracle.AlwaysPresent("d"));
+  EXPECT_DOUBLE_EQ(oracle.PresenceFraction("d"), 0.5);
+  EXPECT_DOUBLE_EQ(oracle.Support({"b", "c"}), 1.0);
+  EXPECT_DOUBLE_EQ(oracle.Support({"d"}, {"e"}), 0.5);
+  EXPECT_DOUBLE_EQ(oracle.Support({"d", "e"}), 0.0);
+}
+
+TEST_F(OracleFixture, ConfidenceValues) {
+  SequenceRuleOracle oracle = MakeExample2Oracle();
+  EXPECT_DOUBLE_EQ(oracle.Confidence({"b"}, {}, "d", true), 0.5);
+  EXPECT_DOUBLE_EQ(oracle.Confidence({"b"}, {}, "c", true), 1.0);
+  // Unsatisfiable antecedent ⇒ confidence 0 (and Implies false).
+  EXPECT_DOUBLE_EQ(oracle.Confidence({"d", "e"}, {}, "b", true), 0.0);
+  EXPECT_FALSE(oracle.Implies({"d", "e"}, {}, "b", true));
+}
+
+TEST(OracleTest, MinSupportFiltersRareSequences) {
+  // 95 regular sequences and 5 noise ones; with µ = 0.1 the noise is
+  // discarded ("not representative enough", §4.2 step 2).
+  Sequences sequences = {{{"a", "b"}, 95}, {{"z"}, 5}};
+  SequenceRuleOracle oracle(sequences, {"a", "b", "z"}, 0.1);
+  ASSERT_EQ(oracle.frequent_sequences().size(), 1u);
+  EXPECT_TRUE(oracle.AlwaysPresent("a"));
+  // z does not occur in any frequent sequence.
+  EXPECT_DOUBLE_EQ(oracle.PresenceFraction("z"), 0.0);
+}
+
+TEST(OracleTest, AllSequencesRareMeansNoRules) {
+  Sequences sequences = {{{"a"}, 1}, {{"b"}, 1}, {{"c"}, 1}};
+  SequenceRuleOracle oracle(sequences, {"a", "b", "c"}, 0.5);
+  EXPECT_FALSE(oracle.HasFrequentSequences());
+  EXPECT_FALSE(oracle.Implies({"a"}, {}, "b", true));
+  EXPECT_FALSE(oracle.AtomicSet({"a", "b"}));
+}
+
+TEST(OracleTest, EmptySequenceParticipates) {
+  // Elements that are sometimes empty make everything optional.
+  Sequences sequences = {{{"a"}, 5}, {{}, 5}};
+  SequenceRuleOracle oracle(sequences, {"a"}, 0.0);
+  EXPECT_FALSE(oracle.AlwaysPresent("a"));
+  EXPECT_DOUBLE_EQ(oracle.PresenceFraction("a"), 0.5);
+}
+
+TEST(OracleTest, EmptyInput) {
+  SequenceRuleOracle oracle({}, {}, 0.1);
+  EXPECT_FALSE(oracle.HasFrequentSequences());
+  EXPECT_DOUBLE_EQ(oracle.Support({"a"}), 0.0);
+}
+
+}  // namespace
+}  // namespace dtdevolve::mining

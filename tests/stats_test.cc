@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "evolve/stats.h"
+
+namespace dtdevolve::evolve {
+namespace {
+
+TEST(OccurrenceStatsTest, RecordAndHistogram) {
+  OccurrenceStats stats;
+  stats.RecordInstance(1);
+  stats.RecordInstance(3);
+  stats.RecordInstance(3);
+  stats.RecordInstance(0);  // not containing — ignored
+  EXPECT_EQ(stats.instances, 3u);
+  EXPECT_EQ(stats.repeated, 2u);
+  EXPECT_EQ(stats.occurrences, 7u);
+  EXPECT_EQ(stats.count_histogram.at(1), 1u);
+  EXPECT_EQ(stats.count_histogram.at(3), 2u);
+  EXPECT_EQ(stats.UniformCount(), 0u);  // mixed counts
+}
+
+TEST(OccurrenceStatsTest, UniformCount) {
+  OccurrenceStats stats;
+  EXPECT_EQ(stats.UniformCount(), 0u);  // nothing recorded
+  stats.RecordInstance(2);
+  stats.RecordInstance(2);
+  EXPECT_EQ(stats.UniformCount(), 2u);
+  stats.RecordInstance(3);
+  EXPECT_EQ(stats.UniformCount(), 0u);
+}
+
+TEST(OccurrenceStatsTest, Merge) {
+  OccurrenceStats a, b;
+  a.RecordInstance(1);
+  b.RecordInstance(2);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.instances, 2u);
+  EXPECT_EQ(a.occurrences, 3u);
+  EXPECT_EQ(a.count_histogram.size(), 2u);
+}
+
+TEST(ElementStatsTest, ValidInstanceOnlyBumpsCounters) {
+  ElementStats stats;
+  stats.RecordInstance({"b", "c"}, /*locally_valid=*/true, false);
+  EXPECT_EQ(stats.valid_instances(), 1u);
+  EXPECT_EQ(stats.invalid_instances(), 0u);
+  EXPECT_TRUE(stats.sequences().empty());  // sequences only for invalid
+  EXPECT_EQ(stats.labels().at("b").valid.instances, 1u);
+  EXPECT_EQ(stats.labels().at("b").invalid.instances, 0u);
+  EXPECT_DOUBLE_EQ(stats.InvalidityRatio(), 0.0);
+}
+
+TEST(ElementStatsTest, InvalidInstanceRecordsEverything) {
+  ElementStats stats;
+  stats.RecordInstance({"b", "c", "b", "c", "d"}, /*locally_valid=*/false,
+                       false);
+  EXPECT_EQ(stats.invalid_instances(), 1u);
+  EXPECT_DOUBLE_EQ(stats.InvalidityRatio(), 1.0);
+  // The sequence is the set of tags, order and repetition disregarded.
+  ASSERT_EQ(stats.sequences().size(), 1u);
+  EXPECT_EQ(stats.sequences().begin()->first,
+            (std::set<std::string>{"b", "c", "d"}));
+  // Per-label repetition stats.
+  EXPECT_EQ(stats.labels().at("b").invalid.instances, 1u);
+  EXPECT_EQ(stats.labels().at("b").invalid.repeated, 1u);
+  EXPECT_EQ(stats.labels().at("d").invalid.repeated, 0u);
+  // The group {b, c} with repetition 2 is recorded (§3.2).
+  GroupKey key;
+  key.labels = {"b", "c"};
+  key.repeat_count = 2;
+  ASSERT_TRUE(stats.groups().count(key));
+  EXPECT_EQ(stats.groups().at(key), 1u);
+}
+
+TEST(ElementStatsTest, GroupsSplitByRepeatCount) {
+  ElementStats stats;
+  // b twice, c twice, d three times.
+  stats.RecordInstance({"b", "c", "b", "c", "d", "d", "d"}, false, false);
+  GroupKey bc{{"b", "c"}, 2};
+  GroupKey d3{{"d"}, 3};
+  EXPECT_TRUE(stats.groups().count(bc));
+  EXPECT_TRUE(stats.groups().count(d3));
+}
+
+TEST(ElementStatsTest, MeanPositionTracksOrder) {
+  ElementStats stats;
+  stats.RecordInstance({"first", "second"}, false, false);
+  stats.RecordInstance({"first", "second"}, false, false);
+  EXPECT_LT(stats.labels().at("first").invalid.MeanPosition(),
+            stats.labels().at("second").invalid.MeanPosition());
+}
+
+TEST(ElementStatsTest, TextAndEmptyCounters) {
+  ElementStats stats;
+  stats.RecordInstance({}, false, /*has_text=*/true);
+  stats.RecordInstance({}, false, /*has_text=*/false);
+  stats.RecordInstance({"a"}, false, false);
+  EXPECT_EQ(stats.text_instances(), 1u);
+  EXPECT_EQ(stats.empty_instances(), 1u);
+}
+
+TEST(ElementStatsTest, SequenceMultiplicity) {
+  ElementStats stats;
+  for (int i = 0; i < 7; ++i) stats.RecordInstance({"x", "y"}, false, false);
+  for (int i = 0; i < 3; ++i) stats.RecordInstance({"x"}, false, false);
+  auto list = stats.SequenceList();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(stats.LabelUniverse(), (std::set<std::string>{"x", "y"}));
+  uint32_t total = 0;
+  for (const auto& [labels, count] : list) total += count;
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(ElementStatsTest, PlusStructureNesting) {
+  ElementStats stats;
+  ElementStats& plus = stats.PlusStructureFor("new_child");
+  plus.RecordInstance({"inner"}, false, true);
+  EXPECT_EQ(&stats.PlusStructureFor("new_child"), &plus);  // same object
+  EXPECT_EQ(stats.labels().at("new_child").plus_structure->invalid_instances(),
+            1u);
+}
+
+TEST(ElementStatsTest, InvalidityRatioMixes) {
+  ElementStats stats;
+  for (int i = 0; i < 3; ++i) stats.RecordInstance({"a"}, true, false);
+  stats.RecordInstance({"b"}, false, false);
+  EXPECT_DOUBLE_EQ(stats.InvalidityRatio(), 0.25);
+  EXPECT_EQ(stats.total_instances(), 4u);
+}
+
+TEST(ElementStatsTest, DocsCountersAndClear) {
+  ElementStats stats;
+  stats.RecordInstance({"a"}, true, false);
+  stats.BumpDocsWithValid();
+  stats.BumpDocsWithInvalid();
+  EXPECT_EQ(stats.docs_with_valid(), 1u);
+  EXPECT_EQ(stats.docs_with_invalid(), 1u);
+  EXPECT_GT(stats.MemoryFootprint(), 0u);
+  stats.Clear();
+  EXPECT_EQ(stats.total_instances(), 0u);
+  EXPECT_TRUE(stats.labels().empty());
+}
+
+}  // namespace
+}  // namespace dtdevolve::evolve

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "evolve/structure_builder.h"
+
+namespace dtdevolve::evolve {
+namespace {
+
+ElementStats StatsFromSequences(
+    const std::vector<std::pair<std::vector<std::string>, uint32_t>>& seqs,
+    uint32_t text_instances = 0) {
+  ElementStats stats;
+  for (const auto& [tags, count] : seqs) {
+    for (uint32_t i = 0; i < count; ++i) {
+      stats.RecordInstance(tags, /*locally_valid=*/false, false);
+    }
+  }
+  for (uint32_t i = 0; i < text_instances; ++i) {
+    stats.RecordInstance({}, false, /*has_text=*/true);
+  }
+  return stats;
+}
+
+TEST(StructureBuilderTest, NothingRecordedReturnsNull) {
+  ElementStats stats;
+  BuildOutcome outcome = BuildElementStructure(stats);
+  EXPECT_EQ(outcome.model, nullptr);
+}
+
+TEST(StructureBuilderTest, SimpleAnd) {
+  ElementStats stats = StatsFromSequences({{{"x", "y"}, 10}});
+  BuildOutcome outcome = BuildElementStructure(stats);
+  ASSERT_NE(outcome.model, nullptr);
+  EXPECT_EQ(outcome.model->ToString(), "(x,y)");
+  EXPECT_EQ(outcome.frequent_sequences, 1u);
+  EXPECT_EQ(outcome.discarded_sequences, 0u);
+  EXPECT_FALSE(outcome.trace.empty());
+}
+
+TEST(StructureBuilderTest, TextOnlyBecomesPcdata) {
+  ElementStats stats = StatsFromSequences({}, /*text_instances=*/5);
+  BuildOutcome outcome = BuildElementStructure(stats);
+  ASSERT_NE(outcome.model, nullptr);
+  EXPECT_EQ(outcome.model->ToString(), "(#PCDATA)");
+}
+
+TEST(StructureBuilderTest, NoContentBecomesEmpty) {
+  ElementStats stats;
+  for (int i = 0; i < 5; ++i) stats.RecordInstance({}, false, false);
+  BuildOutcome outcome = BuildElementStructure(stats);
+  ASSERT_NE(outcome.model, nullptr);
+  EXPECT_EQ(outcome.model->ToString(), "EMPTY");
+}
+
+TEST(StructureBuilderTest, TextPlusElementsBecomesMixed) {
+  ElementStats stats;
+  for (int i = 0; i < 5; ++i) {
+    stats.RecordInstance({"em"}, false, /*has_text=*/true);
+  }
+  BuildOutcome outcome = BuildElementStructure(stats);
+  ASSERT_NE(outcome.model, nullptr);
+  EXPECT_EQ(outcome.model->ToString(), "(#PCDATA|em)*");
+}
+
+TEST(StructureBuilderTest, MuDiscardsRareSequences) {
+  ElementStats stats =
+      StatsFromSequences({{{"x", "y"}, 95}, {{"noise"}, 5}});
+  BuildOptions options;
+  options.min_support = 0.1;
+  BuildOutcome outcome = BuildElementStructure(stats, options);
+  ASSERT_NE(outcome.model, nullptr);
+  EXPECT_EQ(outcome.model->ToString(), "(x,y)");
+  EXPECT_EQ(outcome.frequent_sequences, 1u);
+  EXPECT_EQ(outcome.discarded_sequences, 1u);
+}
+
+TEST(StructureBuilderTest, MuZeroKeepsEverything) {
+  ElementStats stats =
+      StatsFromSequences({{{"x", "y"}, 95}, {{"noise"}, 5}});
+  BuildOptions options;
+  options.min_support = 0.0;
+  BuildOutcome outcome = BuildElementStructure(stats, options);
+  ASSERT_NE(outcome.model, nullptr);
+  EXPECT_TRUE(outcome.model->Mentions("noise"));
+}
+
+TEST(StructureBuilderTest, OrAblationFlag) {
+  ElementStats stats = StatsFromSequences({{{"d"}, 5}, {{"e"}, 5}});
+  BuildOptions with_or;
+  BuildOutcome or_outcome = BuildElementStructure(stats, with_or);
+  EXPECT_EQ(or_outcome.model->ToString(), "(d|e)");
+
+  BuildOptions without_or;
+  without_or.enable_or = false;
+  BuildOutcome no_or = BuildElementStructure(stats, without_or);
+  EXPECT_EQ(no_or.model->ToString(), "(d?,e?)");
+}
+
+TEST(StructureBuilderTest, PaperExample5) {
+  ElementStats stats = StatsFromSequences(
+      {{{"b", "c", "b", "c", "d"}, 10}, {{"b", "c", "b", "c", "e"}, 10}});
+  BuildOutcome outcome = BuildElementStructure(stats);
+  ASSERT_NE(outcome.model, nullptr);
+  EXPECT_EQ(outcome.model->ToString(), "((b,c)*,(d|e))");
+}
+
+}  // namespace
+}  // namespace dtdevolve::evolve

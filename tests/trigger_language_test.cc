@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "core/source.h"
+#include "core/trigger_language.h"
+
+namespace dtdevolve::core {
+namespace {
+
+TriggerRule MustParse(const char* text) {
+  StatusOr<TriggerRule> rule = TriggerRule::Parse(text);
+  EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+  return std::move(*rule);
+}
+
+TEST(TriggerRuleParseTest, BasicRule) {
+  TriggerRule rule = MustParse("ON mail WHEN divergence > 0.25 EVOLVE");
+  EXPECT_EQ(rule.target(), "mail");
+  EXPECT_TRUE(rule.AppliesTo("mail"));
+  EXPECT_FALSE(rule.AppliesTo("news"));
+  EXPECT_EQ(rule.ToString(), "ON mail WHEN divergence > 0.25 EVOLVE");
+}
+
+TEST(TriggerRuleParseTest, WildcardAndWith) {
+  TriggerRule rule = MustParse(
+      "ON * WHEN divergence >= 0.3 AND documents >= 50 "
+      "EVOLVE WITH psi = 0.05, min_support = 0.2, enable_or = 0");
+  EXPECT_TRUE(rule.AppliesTo("anything"));
+  evolve::EvolutionOptions base;
+  evolve::EvolutionOptions overlaid = rule.OptionsOver(base);
+  EXPECT_DOUBLE_EQ(overlaid.psi, 0.05);
+  EXPECT_DOUBLE_EQ(overlaid.min_support, 0.2);
+  EXPECT_FALSE(overlaid.enable_or_policies);
+  EXPECT_EQ(base.psi, 0.1);  // base untouched
+}
+
+TEST(TriggerRuleParseTest, RoundTripsThroughToString) {
+  const char* rules[] = {
+      "ON mail WHEN divergence > 0.25 EVOLVE",
+      "ON * WHEN documents >= 100 EVOLVE WITH psi = 0.2",
+      "ON a WHEN invalid_fraction != 0 AND documents > 5 EVOLVE",
+  };
+  for (const char* text : rules) {
+    TriggerRule rule = MustParse(text);
+    TriggerRule again = MustParse(rule.ToString().c_str());
+    EXPECT_EQ(rule.ToString(), again.ToString()) << text;
+  }
+}
+
+TEST(TriggerRuleParseTest, Errors) {
+  EXPECT_FALSE(TriggerRule::Parse("").ok());
+  EXPECT_FALSE(TriggerRule::Parse("WHEN divergence > 1 EVOLVE").ok());
+  EXPECT_FALSE(TriggerRule::Parse("ON x EVOLVE").ok());
+  EXPECT_FALSE(TriggerRule::Parse("ON x WHEN bogus > 1 EVOLVE").ok());
+  EXPECT_FALSE(TriggerRule::Parse("ON x WHEN divergence >> 1 EVOLVE").ok());
+  EXPECT_FALSE(TriggerRule::Parse("ON x WHEN divergence > 1").ok());
+  EXPECT_FALSE(
+      TriggerRule::Parse("ON x WHEN divergence > 1 EVOLVE WITH nope = 2")
+          .ok());
+  EXPECT_FALSE(
+      TriggerRule::Parse("ON x WHEN divergence > 1 EVOLVE garbage").ok());
+}
+
+TEST(TriggerRuleEvaluateTest, Comparisons) {
+  TriggerMetrics metrics;
+  metrics.divergence = 0.4;
+  metrics.documents = 10;
+  metrics.invalid_fraction = 0.25;
+
+  EXPECT_TRUE(MustParse("ON * WHEN divergence > 0.3 EVOLVE").Evaluate(metrics));
+  EXPECT_FALSE(
+      MustParse("ON * WHEN divergence > 0.5 EVOLVE").Evaluate(metrics));
+  EXPECT_TRUE(
+      MustParse("ON * WHEN documents >= 10 EVOLVE").Evaluate(metrics));
+  EXPECT_TRUE(
+      MustParse("ON * WHEN invalid_fraction == 0.25 EVOLVE").Evaluate(metrics));
+  EXPECT_TRUE(
+      MustParse("ON * WHEN invalid_fraction != 0.3 EVOLVE").Evaluate(metrics));
+}
+
+TEST(TriggerRuleEvaluateTest, BooleanStructure) {
+  TriggerMetrics metrics;
+  metrics.divergence = 0.4;
+  metrics.documents = 10;
+
+  // AND binds tighter than OR.
+  EXPECT_TRUE(MustParse("ON * WHEN documents > 100 AND divergence > 0.1 "
+                        "OR divergence > 0.3 EVOLVE")
+                  .Evaluate(metrics));
+  EXPECT_FALSE(MustParse("ON * WHEN documents > 100 AND (divergence > 0.1 "
+                         "OR divergence > 0.3) EVOLVE")
+                   .Evaluate(metrics));
+  EXPECT_TRUE(MustParse("ON * WHEN divergence > 0.3 AND documents >= 10 "
+                        "EVOLVE")
+                  .Evaluate(metrics));
+}
+
+TEST(ParseTriggerRulesTest, MultiLineWithComments) {
+  StatusOr<std::vector<TriggerRule>> rules = ParseTriggerRules(R"(
+    # high-drift fast path
+    ON mail WHEN divergence > 0.5 EVOLVE WITH psi = 0.02
+
+    ON * WHEN documents >= 200 AND divergence > 0.1 EVOLVE
+  )");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  ASSERT_EQ(rules->size(), 2u);
+  EXPECT_EQ((*rules)[0].target(), "mail");
+  EXPECT_EQ((*rules)[1].target(), "*");
+}
+
+TEST(ParseTriggerRulesTest, ErrorNamesTheRule) {
+  StatusOr<std::vector<TriggerRule>> rules =
+      ParseTriggerRules("ON x WHEN nope > 1 EVOLVE");
+  ASSERT_FALSE(rules.ok());
+  EXPECT_NE(rules.status().message().find("nope"), std::string::npos);
+}
+
+// --- Integration with XmlSource ----------------------------------------------
+
+const char* kMailDtd = R"(
+  <!ELEMENT mail (from, to, body)>
+  <!ELEMENT from (#PCDATA)>
+  <!ELEMENT to (#PCDATA)>
+  <!ELEMENT body (#PCDATA)>
+)";
+
+TEST(SourceTriggerTest, RuleFiresEvolution) {
+  SourceOptions options;
+  options.sigma = 0.3;
+  options.tau = 10.0;  // the plain check would never fire
+  XmlSource source(options);
+  ASSERT_TRUE(source.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(source
+                  .AddTriggerRule("ON mail WHEN divergence > 0.1 AND "
+                                  "documents >= 5 EVOLVE WITH psi = 0.05")
+                  .ok());
+  EXPECT_EQ(source.trigger_rules().size(), 1u);
+
+  bool evolved = false;
+  for (int i = 0; i < 8 && !evolved; ++i) {
+    auto outcome = source.ProcessText(
+        "<mail><from>a</from><to>b</to><cc>c</cc><body>x</body></mail>");
+    ASSERT_TRUE(outcome.ok());
+    evolved = outcome->evolved;
+  }
+  EXPECT_TRUE(evolved);
+  EXPECT_TRUE(source.FindDtd("mail")->HasElement("cc"));
+}
+
+TEST(SourceTriggerTest, NonMatchingTargetNeverFires) {
+  SourceOptions options;
+  options.sigma = 0.3;
+  XmlSource source(options);
+  ASSERT_TRUE(source.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(
+      source.AddTriggerRule("ON other WHEN divergence > 0 EVOLVE").ok());
+  for (int i = 0; i < 30; ++i) {
+    auto outcome = source.ProcessText(
+        "<mail><from>a</from><to>b</to><cc>c</cc><body>x</body></mail>");
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_FALSE(outcome->evolved);
+  }
+  EXPECT_EQ(source.evolutions_performed(), 0u);
+}
+
+TEST(SourceTriggerTest, MetricsSnapshot) {
+  SourceOptions options;
+  options.sigma = 0.3;
+  options.auto_evolve = false;
+  XmlSource source(options);
+  ASSERT_TRUE(source.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(source
+                  .ProcessText("<mail><from>a</from><to>b</to>"
+                               "<cc>c</cc><body>x</body></mail>")
+                  .ok());
+  TriggerMetrics metrics = source.MetricsFor("mail");
+  EXPECT_EQ(metrics.documents, 1u);
+  EXPECT_GT(metrics.divergence, 0.0);
+  EXPECT_EQ(metrics.total_elements, 5u);
+  EXPECT_EQ(metrics.invalid_elements, 2u);  // mail content + undeclared cc
+  EXPECT_DOUBLE_EQ(metrics.invalid_fraction, 0.4);
+  // Unknown DTD gives zeros.
+  EXPECT_EQ(source.MetricsFor("nope").documents, 0u);
+}
+
+TEST(SourceTriggerTest, BadRuleRejected) {
+  XmlSource source;
+  EXPECT_FALSE(source.AddTriggerRule("EVOLVE NOW").ok());
+  EXPECT_TRUE(source.trigger_rules().empty());
+}
+
+}  // namespace
+}  // namespace dtdevolve::core

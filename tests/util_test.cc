@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace dtdevolve {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    Status::Code code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("m"), Status::Code::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::ParseError("m"), Status::Code::kParseError, "ParseError"},
+      {Status::NotFound("m"), Status::Code::kNotFound, "NotFound"},
+      {Status::AlreadyExists("m"), Status::Code::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::FailedPrecondition("m"), Status::Code::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::Internal("m"), Status::Code::kInternal, "Internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "m");
+    EXPECT_EQ(c.status.ToString(), std::string(c.name) + ": m");
+  }
+}
+
+TEST(StatusOrTest, ValueAndStatusPaths) {
+  StatusOr<int> ok = 42;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.value(), 42);
+
+  StatusOr<int> bad = Status::NotFound("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Status::Code::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyTypes) {
+  StatusOr<std::unique_ptr<int>> holder = std::make_unique<int>(7);
+  ASSERT_TRUE(holder.ok());
+  EXPECT_EQ(**holder, 7);
+  std::unique_ptr<int> taken = std::move(holder).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> text = std::string("hello");
+  EXPECT_EQ(text->size(), 5u);
+}
+
+TEST(ReturnIfErrorTest, PropagatesAndPasses) {
+  auto fails = []() -> Status {
+    DTDEVOLVE_RETURN_IF_ERROR(Status::Internal("boom"));
+    return Status::Ok();
+  };
+  EXPECT_EQ(fails().code(), Status::Code::kInternal);
+  auto passes = []() -> Status {
+    DTDEVOLVE_RETURN_IF_ERROR(Status::Ok());
+    return Status::NotFound("reached");
+  };
+  EXPECT_EQ(passes().code(), Status::Code::kNotFound);
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StringUtilTest, SplitJoinRoundTrip) {
+  const std::string original = "x|y||z";
+  EXPECT_EQ(Join(Split(original, '|'), "|"), original);
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b  "), "a b");
+  EXPECT_EQ(StripWhitespace("\t\n x \r\n"), "x");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("hello", ""));
+  EXPECT_TRUE(StartsWith("hello", "hello"));
+  EXPECT_FALSE(StartsWith("hello", "hello!"));
+  EXPECT_FALSE(StartsWith("", "a"));
+}
+
+TEST(StringUtilTest, IsBlank) {
+  EXPECT_TRUE(IsBlank(""));
+  EXPECT_TRUE(IsBlank(" \t\r\n"));
+  EXPECT_FALSE(IsBlank(" x "));
+}
+
+}  // namespace
+}  // namespace dtdevolve

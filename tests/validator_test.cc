@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "dtd/dtd_parser.h"
+#include "validate/validator.h"
+#include "xml/parser.h"
+
+namespace dtdevolve::validate {
+namespace {
+
+dtd::Dtd MakeDtd(const char* text, std::string root = "") {
+  StatusOr<dtd::Dtd> dtd = dtd::ParseDtd(text, std::move(root));
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return std::move(*dtd);
+}
+
+xml::Document MakeDoc(const char* text) {
+  StatusOr<xml::Document> doc = xml::ParseDocument(text);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(*doc);
+}
+
+const char* kMailDtd = R"(
+  <!ELEMENT mail (from, to+, subject?, body)>
+  <!ELEMENT from (#PCDATA)>
+  <!ELEMENT to (#PCDATA)>
+  <!ELEMENT subject (#PCDATA)>
+  <!ELEMENT body (#PCDATA)>
+)";
+
+TEST(ValidatorTest, AcceptsValidDocument) {
+  dtd::Dtd dtd = MakeDtd(kMailDtd);
+  Validator validator(dtd);
+  ValidationResult result = validator.Validate(MakeDoc(
+      "<mail><from>a</from><to>b</to><to>c</to><body>hi</body></mail>"));
+  EXPECT_TRUE(result.valid) << result.errors[0].message;
+  EXPECT_EQ(result.invalid_elements, 0u);
+  EXPECT_EQ(result.total_elements, 5u);
+  EXPECT_EQ(result.InvalidFraction(), 0.0);
+}
+
+TEST(ValidatorTest, RejectsMissingRequiredElement) {
+  dtd::Dtd dtd = MakeDtd(kMailDtd);
+  Validator validator(dtd);
+  ValidationResult result =
+      validator.Validate(MakeDoc("<mail><from>a</from><to>b</to></mail>"));
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(result.invalid_elements, 1u);  // only the mail element itself
+  EXPECT_EQ(result.total_elements, 3u);
+}
+
+TEST(ValidatorTest, RejectsUndeclaredElement) {
+  dtd::Dtd dtd = MakeDtd(kMailDtd);
+  Validator validator(dtd);
+  ValidationResult result = validator.Validate(
+      MakeDoc("<mail><from>a</from><to>b</to><cc>x</cc><body>h</body>"
+              "</mail>"));
+  EXPECT_FALSE(result.valid);
+  // mail's content no longer matches AND cc itself is undeclared.
+  EXPECT_EQ(result.invalid_elements, 2u);
+}
+
+TEST(ValidatorTest, RejectsWrongRootName) {
+  dtd::Dtd dtd = MakeDtd(kMailDtd);
+  Validator validator(dtd);
+  ValidationResult result = validator.Validate(MakeDoc("<from>a</from>"));
+  EXPECT_FALSE(result.valid);
+  EXPECT_NE(result.errors[0].message.find("root"), std::string::npos);
+}
+
+TEST(ValidatorTest, SubtreeValidationSkipsRootCheck) {
+  dtd::Dtd dtd = MakeDtd(kMailDtd);
+  Validator validator(dtd);
+  xml::Document doc = MakeDoc("<from>a</from>");
+  EXPECT_TRUE(validator.ValidateSubtree(doc.root()).valid);
+}
+
+TEST(ValidatorTest, LocalValidityIgnoresDescendants) {
+  // `mail` content is fine, but `body` contains a rogue element.
+  dtd::Dtd dtd = MakeDtd(kMailDtd);
+  Validator validator(dtd);
+  xml::Document doc = MakeDoc(
+      "<mail><from>a</from><to>b</to><body><rogue/></body></mail>");
+  EXPECT_TRUE(validator.ElementLocallyValid(doc.root()));
+  ValidationResult result = validator.Validate(doc);
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(result.invalid_elements, 2u);  // body + rogue
+}
+
+TEST(ValidatorTest, OrderViolationDetected) {
+  dtd::Dtd dtd = MakeDtd(kMailDtd);
+  Validator validator(dtd);
+  ValidationResult result = validator.Validate(MakeDoc(
+      "<mail><to>b</to><from>a</from><body>h</body></mail>"));
+  EXPECT_FALSE(result.valid);
+}
+
+TEST(ValidatorTest, EmptyContentModel) {
+  dtd::Dtd dtd = MakeDtd("<!ELEMENT br EMPTY>");
+  Validator validator(dtd);
+  EXPECT_TRUE(validator.Validate(MakeDoc("<br/>")).valid);
+  EXPECT_FALSE(validator.Validate(MakeDoc("<br>text</br>")).valid);
+  EXPECT_FALSE(validator.Validate(MakeDoc("<br><x/></br>")).valid);
+}
+
+TEST(ValidatorTest, AnyContentModel) {
+  dtd::Dtd dtd = MakeDtd("<!ELEMENT box ANY><!ELEMENT x (#PCDATA)>");
+  Validator validator(dtd);
+  EXPECT_TRUE(validator.Validate(MakeDoc("<box><x>1</x>text</box>")).valid);
+  // Undeclared children under ANY are still flagged.
+  EXPECT_FALSE(validator.Validate(MakeDoc("<box><y/></box>")).valid);
+}
+
+TEST(ValidatorTest, MixedContent) {
+  dtd::Dtd dtd = MakeDtd(
+      "<!ELEMENT p (#PCDATA|em)*><!ELEMENT em (#PCDATA)>");
+  Validator validator(dtd);
+  EXPECT_TRUE(
+      validator.Validate(MakeDoc("<p>a<em>b</em>c</p>")).valid);
+  EXPECT_TRUE(validator.Validate(MakeDoc("<p/>")).valid);
+}
+
+TEST(ValidatorTest, RequiredAttribute) {
+  dtd::Dtd dtd = MakeDtd(R"(
+    <!ELEMENT a (#PCDATA)>
+    <!ATTLIST a id CDATA #REQUIRED kind (x|y) "x">
+  )");
+  Validator validator(dtd);
+  EXPECT_TRUE(validator.Validate(MakeDoc(R"(<a id="1">t</a>)")).valid);
+  EXPECT_FALSE(validator.Validate(MakeDoc("<a>t</a>")).valid);
+  EXPECT_FALSE(
+      validator.Validate(MakeDoc(R"(<a id="1" kind="z">t</a>)")).valid);
+  EXPECT_TRUE(
+      validator.Validate(MakeDoc(R"(<a id="1" kind="y">t</a>)")).valid);
+}
+
+TEST(ValidatorTest, FixedAttribute) {
+  dtd::Dtd dtd = MakeDtd(R"(
+    <!ELEMENT a (#PCDATA)>
+    <!ATTLIST a v CDATA #FIXED "1">
+  )");
+  Validator validator(dtd);
+  EXPECT_TRUE(validator.Validate(MakeDoc(R"(<a v="1">t</a>)")).valid);
+  EXPECT_TRUE(validator.Validate(MakeDoc("<a>t</a>")).valid);
+  EXPECT_FALSE(validator.Validate(MakeDoc(R"(<a v="2">t</a>)")).valid);
+}
+
+TEST(ContentSymbolsTest, CollapsesTextRuns) {
+  xml::Document doc = MakeDoc("<a>one<b/>two three<c/></a>");
+  std::vector<std::string> symbols = ContentSymbols(doc.root());
+  EXPECT_EQ(symbols, (std::vector<std::string>{"#PCDATA", "b", "#PCDATA",
+                                               "c"}));
+}
+
+TEST(ContentSymbolsTest, SkipsBlankText) {
+  xml::Document doc = MakeDoc("<a>\n  <b/>\n  <c/>\n</a>");
+  EXPECT_EQ(ContentSymbols(doc.root()),
+            (std::vector<std::string>{"b", "c"}));
+}
+
+}  // namespace
+}  // namespace dtdevolve::validate

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "dtd/dtd_parser.h"
+#include "validate/validator.h"
+#include "workload/generator.h"
+#include "workload/mutator.h"
+#include "workload/rng.h"
+#include "workload/scenarios.h"
+
+namespace dtdevolve::workload {
+namespace {
+
+dtd::Dtd MakeDtd(const char* text) {
+  StatusOr<dtd::Dtd> dtd = dtd::ParseDtd(text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return std::move(*dtd);
+}
+
+TEST(RngTest, DeterministicAndBounded) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+  for (int i = 0; i < 1000; ++i) {
+    double d = a.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    EXPECT_LT(a.Uniform(7), 7u);
+  }
+  // Chance respects extremes.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(a.Chance(0.0));
+    EXPECT_TRUE(a.Chance(1.0));
+  }
+}
+
+TEST(GeneratorTest, DocumentsAreValidForTheirDtd) {
+  dtd::Dtd dtd = MakeDtd(R"(
+    <!ELEMENT a ((b,c)*, (d|e), f?)>
+    <!ELEMENT b (#PCDATA)>
+    <!ELEMENT c (#PCDATA)>
+    <!ELEMENT d (#PCDATA)>
+    <!ELEMENT e EMPTY>
+    <!ELEMENT f (g+)>
+    <!ELEMENT g (#PCDATA)>
+  )");
+  validate::Validator validator(dtd);
+  DocumentGenerator generator(dtd, GeneratorOptions(), 7);
+  for (int i = 0; i < 50; ++i) {
+    xml::Document doc = generator.Generate();
+    validate::ValidationResult result = validator.Validate(doc);
+    EXPECT_TRUE(result.valid)
+        << (result.errors.empty() ? "?" : result.errors[0].message);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  dtd::Dtd dtd = MakeDtd(R"(
+    <!ELEMENT a (b*, c?)>
+    <!ELEMENT b (#PCDATA)>
+    <!ELEMENT c (#PCDATA)>
+  )");
+  DocumentGenerator g1(dtd, GeneratorOptions(), 5);
+  DocumentGenerator g2(dtd, GeneratorOptions(), 5);
+  for (int i = 0; i < 10; ++i) {
+    xml::Document d1 = g1.Generate();
+    xml::Document d2 = g2.Generate();
+    EXPECT_TRUE(xml::StructurallyEqual(d1.root(), d2.root()));
+  }
+}
+
+TEST(GeneratorTest, RecursionGuardTerminates) {
+  // A recursive DTD: sections nest sections.
+  dtd::Dtd dtd = MakeDtd(R"(
+    <!ELEMENT section (title, section*)>
+    <!ELEMENT title (#PCDATA)>
+  )");
+  GeneratorOptions options;
+  options.max_depth = 4;
+  DocumentGenerator generator(dtd, options, 11);
+  for (int i = 0; i < 20; ++i) {
+    xml::Document doc = generator.Generate();
+    EXPECT_LE(doc.root().SubtreeHeight(), 6u);
+  }
+}
+
+TEST(MutatorTest, DropRemovesElements) {
+  dtd::Dtd dtd = MakeDtd(R"(
+    <!ELEMENT a (b, c, d)>
+    <!ELEMENT b (#PCDATA)>
+    <!ELEMENT c (#PCDATA)>
+    <!ELEMENT d (#PCDATA)>
+  )");
+  DocumentGenerator generator(dtd, GeneratorOptions(), 3);
+  MutationOptions options;
+  options.drop_probability = 1.0;
+  options.recursive = false;
+  Mutator mutator(options, 9);
+  xml::Document doc = generator.Generate();
+  size_t before = doc.root().ChildElements().size();
+  size_t mutations = mutator.Mutate(doc);
+  EXPECT_EQ(mutations, 1u);
+  EXPECT_EQ(doc.root().ChildElements().size(), before - 1);
+}
+
+TEST(MutatorTest, InsertAddsNewTags) {
+  dtd::Dtd dtd = MakeDtd("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>");
+  DocumentGenerator generator(dtd, GeneratorOptions(), 3);
+  MutationOptions options;
+  options.insert_probability = 1.0;
+  options.new_tags = {"cc", "bcc"};
+  options.recursive = false;
+  Mutator mutator(options, 9);
+  xml::Document d1 = generator.Generate();
+  xml::Document d2 = generator.Generate();
+  mutator.Mutate(d1);
+  mutator.Mutate(d2);
+  // The new tags cycle deterministically.
+  EXPECT_EQ(d1.root().ChildTagSet().count("cc") +
+                d2.root().ChildTagSet().count("bcc"),
+            2u);
+}
+
+TEST(MutatorTest, DuplicateRepeatsAChild) {
+  dtd::Dtd dtd = MakeDtd("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>");
+  DocumentGenerator generator(dtd, GeneratorOptions(), 3);
+  MutationOptions options;
+  options.duplicate_probability = 1.0;
+  options.recursive = false;
+  Mutator mutator(options, 9);
+  xml::Document doc = generator.Generate();
+  mutator.Mutate(doc);
+  EXPECT_EQ(doc.root().ChildTagSequence(),
+            (std::vector<std::string>{"b", "b"}));
+}
+
+TEST(MutatorTest, SwapViolatesOrder) {
+  dtd::Dtd dtd = MakeDtd(R"(
+    <!ELEMENT a (b, c)>
+    <!ELEMENT b (#PCDATA)>
+    <!ELEMENT c (#PCDATA)>
+  )");
+  DocumentGenerator generator(dtd, GeneratorOptions(), 3);
+  MutationOptions options;
+  options.swap_probability = 1.0;
+  options.recursive = false;
+  Mutator mutator(options, 9);
+  xml::Document doc = generator.Generate();
+  mutator.Mutate(doc);
+  EXPECT_EQ(doc.root().ChildTagSequence(),
+            (std::vector<std::string>{"c", "b"}));
+}
+
+TEST(MutatorTest, ZeroProbabilitiesChangeNothing) {
+  dtd::Dtd dtd = MakeDtd("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>");
+  DocumentGenerator generator(dtd, GeneratorOptions(), 3);
+  Mutator mutator(MutationOptions(), 9);
+  xml::Document doc = generator.Generate();
+  xml::Document copy = doc.Clone();
+  EXPECT_EQ(mutator.Mutate(doc), 0u);
+  EXPECT_TRUE(xml::StructurallyEqual(doc.root(), copy.root()));
+}
+
+TEST(ScenarioTest, StreamsProduceValidPhaseDocuments) {
+  for (ScenarioStream& scenario : MakeAllScenarios(17, 5)) {
+    size_t produced = 0;
+    while (!scenario.Done()) {
+      size_t phase = scenario.current_phase();
+      xml::Document doc = scenario.Next();
+      validate::Validator validator(scenario.TrueDtdAt(phase));
+      EXPECT_TRUE(validator.Validate(doc).valid)
+          << scenario.name() << " phase " << phase;
+      ++produced;
+    }
+    EXPECT_EQ(produced, scenario.total_documents());
+  }
+}
+
+TEST(ScenarioTest, PhasesAdvance) {
+  ScenarioStream scenario = MakeBibliographyScenario(3, 2);
+  EXPECT_EQ(scenario.num_phases(), 3u);
+  EXPECT_EQ(scenario.total_documents(), 6u);
+  EXPECT_EQ(scenario.current_phase(), 0u);
+  scenario.Next();
+  scenario.Next();
+  EXPECT_EQ(scenario.current_phase(), 1u);
+}
+
+TEST(ScenarioTest, LaterPhasesDivergeFromInitialDtd) {
+  ScenarioStream scenario = MakeBibliographyScenario(3, 2);
+  dtd::Dtd initial = scenario.InitialDtd();
+  validate::Validator validator(initial);
+  // Skip phase 0.
+  scenario.Next();
+  scenario.Next();
+  // Phase 1 documents carry `doi`, unknown to the initial DTD.
+  xml::Document drifted = scenario.Next();
+  EXPECT_FALSE(validator.Validate(drifted).valid);
+}
+
+}  // namespace
+}  // namespace dtdevolve::workload

@@ -1,0 +1,151 @@
+// Round-trip tests for the bidirectional XSD bridge: DTD → Schema →
+// text → Schema → DTD preserves the language (exactly for the operator
+// bounds DTDs can express).
+
+#include <gtest/gtest.h>
+
+#include "dtd/dtd_parser.h"
+#include "dtd/dtd_writer.h"
+#include "dtd/glushkov.h"
+#include "xsd/from_dtd.h"
+#include "xsd/parser.h"
+#include "xsd/to_dtd.h"
+#include "xsd/writer.h"
+
+namespace dtdevolve::xsd {
+namespace {
+
+dtd::Dtd MakeDtd(const char* text) {
+  StatusOr<dtd::Dtd> dtd = dtd::ParseDtd(text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return std::move(*dtd);
+}
+
+/// DTD → XSD text → Schema → DTD.
+dtd::Dtd RoundTrip(const dtd::Dtd& dtd) {
+  std::string text = WriteSchema(FromDtd(dtd));
+  StatusOr<Schema> schema = ParseSchema(text);
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString() << "\n" << text;
+  StatusOr<dtd::Dtd> back = ToDtd(*schema);
+  EXPECT_TRUE(back.ok()) << back.status().ToString();
+  return std::move(*back);
+}
+
+class DtdXsdRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DtdXsdRoundTrip, PreservesEveryDeclarationLanguage) {
+  dtd::Dtd original = MakeDtd(GetParam());
+  dtd::Dtd back = RoundTrip(original);
+  ASSERT_EQ(back.ElementNames().size(), original.ElementNames().size());
+  EXPECT_EQ(back.root_name(), original.root_name());
+  for (const std::string& name : original.ElementNames()) {
+    const dtd::ElementDecl* a = original.FindElement(name);
+    const dtd::ElementDecl* b = back.FindElement(name);
+    ASSERT_NE(b, nullptr) << name;
+    EXPECT_TRUE(dtd::LanguageEquivalent(*a->content, *b->content))
+        << name << ": " << a->content->ToString() << " vs "
+        << b->content->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dtds, DtdXsdRoundTrip,
+    ::testing::Values(
+        R"(<!ELEMENT a (b, c)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>)",
+        R"(<!ELEMENT a ((b,c)*,(d|e))> <!ELEMENT b (#PCDATA)>
+           <!ELEMENT c (#PCDATA)> <!ELEMENT d (#PCDATA)> <!ELEMENT e EMPTY>)",
+        R"(<!ELEMENT a (b?, c*, d+)> <!ELEMENT b (#PCDATA)>
+           <!ELEMENT c (#PCDATA)> <!ELEMENT d (#PCDATA)>)",
+        R"(<!ELEMENT p (#PCDATA|em|strong)*> <!ELEMENT em (#PCDATA)>
+           <!ELEMENT strong (#PCDATA)>)",
+        R"(<!ELEMENT r (s | (t, u) | v+)> <!ELEMENT s (#PCDATA)>
+           <!ELEMENT t (#PCDATA)> <!ELEMENT u (#PCDATA)>
+           <!ELEMENT v (#PCDATA)>)",
+        R"(<!ELEMENT x ANY> <!ELEMENT y (x)>)"));
+
+TEST(DtdXsdRoundTrip, AttributesSurvive) {
+  dtd::Dtd original = MakeDtd(R"(
+    <!ELEMENT a (#PCDATA)>
+    <!ATTLIST a id ID #REQUIRED
+                kind (x|y) "x"
+                ver CDATA #FIXED "1"
+                note CDATA #IMPLIED>
+  )");
+  dtd::Dtd back = RoundTrip(original);
+  const dtd::ElementDecl* decl = back.FindElement("a");
+  ASSERT_EQ(decl->attributes.size(), 4u);
+  EXPECT_EQ(decl->attributes[0].type, "ID");
+  EXPECT_EQ(decl->attributes[0].default_kind,
+            dtd::AttributeDecl::DefaultKind::kRequired);
+  EXPECT_EQ(decl->attributes[1].type, "(x|y)");
+  EXPECT_EQ(decl->attributes[1].default_value, "x");
+  EXPECT_EQ(decl->attributes[2].default_kind,
+            dtd::AttributeDecl::DefaultKind::kFixed);
+  EXPECT_EQ(decl->attributes[3].default_kind,
+            dtd::AttributeDecl::DefaultKind::kImplied);
+}
+
+TEST(ToDtdTest, FiniteBoundsExpandExactly) {
+  Schema schema;
+  schema.set_root_name("a");
+  ElementDef& a = schema.AddElement("a");
+  a.content = ElementDef::ContentKind::kComplex;
+  a.particle = Particle::ElementRef("b", {2, 3});
+  schema.AddElement("b").content = ElementDef::ContentKind::kSimple;
+
+  StatusOr<dtd::Dtd> dtd = ToDtd(schema);
+  ASSERT_TRUE(dtd.ok());
+  const dtd::ContentModel& model = *dtd->FindElement("a")->content;
+  dtd::Automaton automaton = dtd::Automaton::Build(model);
+  EXPECT_FALSE(automaton.Accepts({"b"}));
+  EXPECT_TRUE(automaton.Accepts({"b", "b"}));
+  EXPECT_TRUE(automaton.Accepts({"b", "b", "b"}));
+  EXPECT_FALSE(automaton.Accepts({"b", "b", "b", "b"}));
+}
+
+TEST(ToDtdTest, LargeBoundsWidenMonotonically) {
+  Schema schema;
+  schema.set_root_name("a");
+  ElementDef& a = schema.AddElement("a");
+  a.content = ElementDef::ContentKind::kComplex;
+  a.particle = Particle::ElementRef("b", {2, 100});
+  schema.AddElement("b").content = ElementDef::ContentKind::kSimple;
+
+  StatusOr<dtd::Dtd> dtd = ToDtd(schema);
+  ASSERT_TRUE(dtd.ok());
+  dtd::Automaton automaton =
+      dtd::Automaton::Build(*dtd->FindElement("a")->content);
+  // Widening: everything in {2..100} must still be accepted.
+  EXPECT_TRUE(automaton.Accepts({"b", "b"}));
+  EXPECT_TRUE(automaton.Accepts(std::vector<std::string>(50, "b")));
+}
+
+TEST(ParseSchemaTest, RejectsUnsupportedConstructs) {
+  EXPECT_FALSE(ParseSchema("<not-a-schema/>").ok());
+  EXPECT_FALSE(ParseSchema("<xs:schema "
+                           "xmlns:xs=\"http://www.w3.org/2001/XMLSchema\"/>")
+                   .ok());
+  EXPECT_FALSE(
+      ParseSchema("<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">"
+                  "<xs:complexType name=\"t\"/></xs:schema>")
+          .ok());
+  // Local element declarations (venetian blind style) are unsupported.
+  EXPECT_FALSE(
+      ParseSchema("<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">"
+                  "<xs:element name=\"a\"><xs:complexType><xs:sequence>"
+                  "<xs:element name=\"local\" type=\"xs:string\"/>"
+                  "</xs:sequence></xs:complexType></xs:element></xs:schema>")
+          .ok());
+}
+
+TEST(ParseSchemaTest, ToleratesAnnotations) {
+  StatusOr<Schema> schema = ParseSchema(
+      "<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">"
+      "<xs:annotation/>"
+      "<xs:element name=\"a\" type=\"xs:string\"/></xs:schema>");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->root_name(), "a");
+}
+
+}  // namespace
+}  // namespace dtdevolve::xsd

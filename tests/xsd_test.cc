@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "dtd/dtd_parser.h"
+#include "evolve/evolver.h"
+#include "evolve/recorder.h"
+#include "xml/parser.h"
+#include "xml/path.h"
+#include "xsd/from_dtd.h"
+#include "xsd/writer.h"
+
+namespace dtdevolve::xsd {
+namespace {
+
+dtd::Dtd MakeDtd(const char* text) {
+  StatusOr<dtd::Dtd> dtd = dtd::ParseDtd(text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  return std::move(*dtd);
+}
+
+TEST(FromDtdTest, SequenceAndOccurrences) {
+  dtd::Dtd dtd = MakeDtd(R"(
+    <!ELEMENT a (b, c?, d*, e+)>
+    <!ELEMENT b (#PCDATA)>
+    <!ELEMENT c (#PCDATA)>
+    <!ELEMENT d (#PCDATA)>
+    <!ELEMENT e (#PCDATA)>
+  )");
+  Schema schema = FromDtd(dtd);
+  EXPECT_EQ(schema.root_name(), "a");
+  const ElementDef* a = schema.FindElement("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->content, ElementDef::ContentKind::kComplex);
+  ASSERT_NE(a->particle, nullptr);
+  EXPECT_EQ(a->particle->kind(), Particle::Kind::kSequence);
+  const auto& children = a->particle->children();
+  ASSERT_EQ(children.size(), 4u);
+  EXPECT_EQ(children[0]->occurs(), (Occurs{1, 1}));
+  EXPECT_EQ(children[1]->occurs(), (Occurs{0, 1}));
+  EXPECT_EQ(children[2]->occurs(), (Occurs{0, Occurs::kUnbounded}));
+  EXPECT_EQ(children[3]->occurs(), (Occurs{1, Occurs::kUnbounded}));
+  EXPECT_EQ(schema.FindElement("b")->content,
+            ElementDef::ContentKind::kSimple);
+}
+
+TEST(FromDtdTest, ChoiceAndGroups) {
+  dtd::Dtd dtd = MakeDtd(R"(
+    <!ELEMENT a ((b,c)*,(d|e))>
+    <!ELEMENT b (#PCDATA)>
+    <!ELEMENT c (#PCDATA)>
+    <!ELEMENT d (#PCDATA)>
+    <!ELEMENT e (#PCDATA)>
+  )");
+  Schema schema = FromDtd(dtd);
+  const ElementDef* a = schema.FindElement("a");
+  ASSERT_EQ(a->particle->kind(), Particle::Kind::kSequence);
+  const auto& children = a->particle->children();
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0]->kind(), Particle::Kind::kSequence);
+  EXPECT_EQ(children[0]->occurs(), (Occurs{0, Occurs::kUnbounded}));
+  EXPECT_EQ(children[1]->kind(), Particle::Kind::kChoice);
+}
+
+TEST(FromDtdTest, SpecialContentKinds) {
+  dtd::Dtd dtd = MakeDtd(R"(
+    <!ELEMENT r (t, br, any, p)>
+    <!ELEMENT t (#PCDATA)>
+    <!ELEMENT br EMPTY>
+    <!ELEMENT any ANY>
+    <!ELEMENT p (#PCDATA|em)*>
+    <!ELEMENT em (#PCDATA)>
+  )");
+  Schema schema = FromDtd(dtd);
+  EXPECT_EQ(schema.FindElement("t")->content, ElementDef::ContentKind::kSimple);
+  EXPECT_EQ(schema.FindElement("br")->content, ElementDef::ContentKind::kEmpty);
+  EXPECT_EQ(schema.FindElement("any")->content, ElementDef::ContentKind::kAny);
+  const ElementDef* p = schema.FindElement("p");
+  EXPECT_EQ(p->content, ElementDef::ContentKind::kMixed);
+  ASSERT_NE(p->particle, nullptr);
+  EXPECT_EQ(p->particle->occurs().max, Occurs::kUnbounded);
+}
+
+TEST(FromDtdTest, Attributes) {
+  dtd::Dtd dtd = MakeDtd(R"(
+    <!ELEMENT a (#PCDATA)>
+    <!ATTLIST a id ID #REQUIRED
+                kind (x|y) "x"
+                ver CDATA #FIXED "1"
+                note CDATA #IMPLIED>
+  )");
+  Schema schema = FromDtd(dtd);
+  const ElementDef* a = schema.FindElement("a");
+  ASSERT_EQ(a->attributes.size(), 4u);
+  EXPECT_EQ(a->attributes[0].type, "xs:ID");
+  EXPECT_TRUE(a->attributes[0].required);
+  EXPECT_EQ(a->attributes[1].enumeration,
+            (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(a->attributes[1].default_value, "x");
+  EXPECT_EQ(a->attributes[2].fixed_value, "1");
+  EXPECT_EQ(a->attributes[3].type, "xs:string");
+  EXPECT_FALSE(a->attributes[3].required);
+}
+
+TEST(WriterTest, OutputIsWellFormedXml) {
+  dtd::Dtd dtd = MakeDtd(R"(
+    <!ELEMENT a ((b,c)*,(d|e),f?)>
+    <!ELEMENT b (#PCDATA)>
+    <!ELEMENT c (#PCDATA|em)*>
+    <!ELEMENT d EMPTY>
+    <!ELEMENT e ANY>
+    <!ELEMENT em (#PCDATA)>
+    <!ELEMENT f (#PCDATA)>
+    <!ATTLIST a id ID #REQUIRED kind (x|y) "x">
+  )");
+  std::string text = WriteSchema(FromDtd(dtd));
+  StatusOr<xml::Document> doc = xml::ParseDocument(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString() << "\n" << text;
+  EXPECT_EQ(doc->root().tag(), "xs:schema");
+  // Root element is declared first.
+  const auto elements = doc->root().ChildElements();
+  ASSERT_FALSE(elements.empty());
+  EXPECT_EQ(*elements[0]->FindAttribute("name"), "a");
+  // Occurrence attributes rendered.
+  EXPECT_NE(text.find("maxOccurs=\"unbounded\""), std::string::npos);
+  EXPECT_NE(text.find("minOccurs=\"0\""), std::string::npos);
+  EXPECT_NE(text.find("mixed=\"true\""), std::string::npos);
+  EXPECT_NE(text.find("<xs:enumeration value=\"x\"/>"), std::string::npos);
+  EXPECT_NE(text.find("use=\"required\""), std::string::npos);
+  EXPECT_NE(text.find("type=\"xs:anyType\""), std::string::npos);
+}
+
+TEST(WriterTest, SimpleContentWithAttributesUsesExtension) {
+  dtd::Dtd dtd = MakeDtd(R"(
+    <!ELEMENT price (#PCDATA)>
+    <!ATTLIST price currency CDATA #REQUIRED>
+  )");
+  std::string text = WriteSchema(FromDtd(dtd));
+  EXPECT_NE(text.find("<xs:simpleContent>"), std::string::npos);
+  EXPECT_NE(text.find("<xs:extension base=\"xs:string\">"),
+            std::string::npos);
+  StatusOr<xml::Document> doc = xml::ParseDocument(text);
+  ASSERT_TRUE(doc.ok()) << text;
+}
+
+TEST(XsdExportTest, EvolvedDtdExportsAsSchema) {
+  // The paper's Example 5 pipeline, ending at an XML Schema — §6's
+  // "extending the approach to the evolution of XML schemas".
+  StatusOr<dtd::Dtd> initial = dtd::ParseDtd(R"(
+    <!ELEMENT a (b, c)>
+    <!ELEMENT b (#PCDATA)>
+    <!ELEMENT c (#PCDATA)>
+  )");
+  ASSERT_TRUE(initial.ok());
+  evolve::ExtendedDtd ext(std::move(*initial));
+  evolve::Recorder recorder(ext);
+  for (int i = 0; i < 10; ++i) {
+    StatusOr<xml::Document> d1 = xml::ParseDocument(
+        "<a><b>1</b><c>2</c><b>3</b><c>4</c><d>5</d></a>");
+    StatusOr<xml::Document> d2 = xml::ParseDocument(
+        "<a><b>1</b><c>2</c><b>3</b><c>4</c><e>6</e></a>");
+    recorder.RecordDocument(*d1);
+    recorder.RecordDocument(*d2);
+  }
+  evolve::EvolveDtd(ext, {});
+
+  std::string text = WriteSchema(FromDtd(ext.dtd()));
+  StatusOr<xml::Document> doc = xml::ParseDocument(text);
+  ASSERT_TRUE(doc.ok()) << text;
+  // The evolved ((b,c)*,(d|e)) appears as a repeatable sequence plus a
+  // choice, and the extracted d/e elements are xs:string.
+  EXPECT_NE(text.find("<xs:choice>"), std::string::npos);
+  EXPECT_NE(text.find("maxOccurs=\"unbounded\""), std::string::npos);
+  EXPECT_NE(text.find("<xs:element name=\"d\" type=\"xs:string\"/>"),
+            std::string::npos);
+}
+
+TEST(ParticleTest, CloneIsDeep) {
+  std::vector<Particle::Ptr> children;
+  children.push_back(Particle::ElementRef("a", {0, 1}));
+  children.push_back(Particle::ElementRef("b"));
+  Particle::Ptr original =
+      Particle::Sequence(std::move(children), {1, Occurs::kUnbounded});
+  Particle::Ptr copy = original->Clone();
+  EXPECT_EQ(copy->kind(), Particle::Kind::kSequence);
+  EXPECT_EQ(copy->children().size(), 2u);
+  EXPECT_EQ(copy->children()[0]->ref(), "a");
+  copy->occurs() = {1, 1};
+  EXPECT_EQ(original->occurs().max, Occurs::kUnbounded);
+}
+
+}  // namespace
+}  // namespace dtdevolve::xsd

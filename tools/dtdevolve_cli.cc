@@ -1,0 +1,286 @@
+// dtdevolve — command-line front end.
+//
+//   dtdevolve validate   <dtd-file> <xml-file>...
+//   dtdevolve similarity <dtd-file> <xml-file>...
+//   dtdevolve infer      [--xtract|--naive] <root-name> <xml-file>...
+//   dtdevolve evolve     <dtd-file> [--sigma S] [--tau T] [--psi P]
+//                        [--mu M] <xml-file>...
+//   dtdevolve adapt      <dtd-file> <xml-file>
+//
+// Exit code 0 on success; 1 on usage/IO/parse errors; for `validate`,
+// 2 when at least one document is invalid.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adapt/adapter.h"
+#include "baseline/naive_infer.h"
+#include "baseline/xtract.h"
+#include "core/source.h"
+#include "dtd/diff.h"
+#include "dtd/dtd_parser.h"
+#include "dtd/dtd_writer.h"
+#include "similarity/similarity.h"
+#include "validate/validator.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xsd/from_dtd.h"
+#include "xsd/writer.h"
+
+namespace {
+
+using dtdevolve::Status;
+using dtdevolve::StatusOr;
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+StatusOr<dtdevolve::dtd::Dtd> LoadDtd(const std::string& path) {
+  StatusOr<std::string> text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return dtdevolve::dtd::ParseDtd(*text);
+}
+
+StatusOr<dtdevolve::xml::Document> LoadDoc(const std::string& path) {
+  StatusOr<std::string> text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return dtdevolve::xml::ParseDocument(*text);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  dtdevolve validate   <dtd> <xml>...\n"
+               "  dtdevolve similarity <dtd> <xml>...\n"
+               "  dtdevolve infer      [--xtract|--naive] <root> <xml>...\n"
+               "  dtdevolve evolve     <dtd> [--sigma S] [--tau T] "
+               "[--psi P] [--mu M] <xml>...\n"
+               "  dtdevolve adapt      <dtd> <xml>\n"
+               "  dtdevolve xsd        <dtd>\n"
+               "  dtdevolve diff       <old-dtd> <new-dtd>\n");
+  return 1;
+}
+
+int CmdDiff(const std::vector<std::string>& args) {
+  if (args.size() != 2) return Usage();
+  StatusOr<dtdevolve::dtd::Dtd> old_dtd = LoadDtd(args[0]);
+  StatusOr<dtdevolve::dtd::Dtd> new_dtd = LoadDtd(args[1]);
+  if (!old_dtd.ok() || !new_dtd.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!old_dtd.ok() ? old_dtd.status() : new_dtd.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  std::printf("%s",
+              dtdevolve::dtd::FormatDiff(
+                  dtdevolve::dtd::DiffDtds(*old_dtd, *new_dtd))
+                  .c_str());
+  return 0;
+}
+
+int CmdXsd(const std::vector<std::string>& args) {
+  if (args.size() != 1) return Usage();
+  StatusOr<dtdevolve::dtd::Dtd> dtd = LoadDtd(args[0]);
+  if (!dtd.ok()) {
+    std::fprintf(stderr, "%s\n", dtd.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s",
+              dtdevolve::xsd::WriteSchema(dtdevolve::xsd::FromDtd(*dtd))
+                  .c_str());
+  return 0;
+}
+
+int CmdValidate(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  StatusOr<dtdevolve::dtd::Dtd> dtd = LoadDtd(args[0]);
+  if (!dtd.ok()) {
+    std::fprintf(stderr, "%s\n", dtd.status().ToString().c_str());
+    return 1;
+  }
+  dtdevolve::validate::Validator validator(*dtd);
+  bool all_valid = true;
+  for (size_t i = 1; i < args.size(); ++i) {
+    StatusOr<dtdevolve::xml::Document> doc = LoadDoc(args[i]);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "%s: %s\n", args[i].c_str(),
+                   doc.status().ToString().c_str());
+      all_valid = false;
+      continue;
+    }
+    dtdevolve::validate::ValidationResult result = validator.Validate(*doc);
+    std::printf("%s: %s\n", args[i].c_str(),
+                result.valid ? "valid" : "INVALID");
+    for (const auto& error : result.errors) {
+      std::printf("  %s: %s\n", error.path.c_str(), error.message.c_str());
+    }
+    all_valid = all_valid && result.valid;
+  }
+  return all_valid ? 0 : 2;
+}
+
+int CmdSimilarity(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  StatusOr<dtdevolve::dtd::Dtd> dtd = LoadDtd(args[0]);
+  if (!dtd.ok()) {
+    std::fprintf(stderr, "%s\n", dtd.status().ToString().c_str());
+    return 1;
+  }
+  dtdevolve::similarity::SimilarityEvaluator evaluator(*dtd);
+  for (size_t i = 1; i < args.size(); ++i) {
+    StatusOr<dtdevolve::xml::Document> doc = LoadDoc(args[i]);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "%s: %s\n", args[i].c_str(),
+                   doc.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s: %.4f\n", args[i].c_str(),
+                evaluator.DocumentSimilarity(*doc));
+  }
+  return 0;
+}
+
+int CmdInfer(std::vector<std::string> args) {
+  bool use_naive = false;
+  if (!args.empty() && (args[0] == "--xtract" || args[0] == "--naive")) {
+    use_naive = args[0] == "--naive";
+    args.erase(args.begin());
+  }
+  if (args.size() < 2) return Usage();
+  const std::string root = args[0];
+  std::vector<dtdevolve::xml::Document> docs;
+  for (size_t i = 1; i < args.size(); ++i) {
+    StatusOr<dtdevolve::xml::Document> doc = LoadDoc(args[i]);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "%s: %s\n", args[i].c_str(),
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    docs.push_back(std::move(*doc));
+  }
+  dtdevolve::dtd::Dtd dtd =
+      use_naive ? dtdevolve::baseline::InferNaiveDtd(docs, root)
+                : dtdevolve::baseline::InferXtractDtd(docs, root);
+  std::printf("%s", dtdevolve::dtd::WriteDtd(dtd).c_str());
+  return 0;
+}
+
+int CmdEvolve(std::vector<std::string> args) {
+  if (args.empty()) return Usage();
+  const std::string dtd_path = args[0];
+  args.erase(args.begin());
+
+  dtdevolve::core::SourceOptions options;
+  options.sigma = 0.3;
+  options.tau = 0.15;
+  options.min_documents_before_check = 1;
+  std::vector<std::string> files;
+  for (size_t i = 0; i < args.size(); ++i) {
+    auto flag_value = [&](const char* name, double* out) {
+      if (args[i] == name && i + 1 < args.size()) {
+        *out = std::strtod(args[++i].c_str(), nullptr);
+        return true;
+      }
+      return false;
+    };
+    if (flag_value("--sigma", &options.sigma)) continue;
+    if (flag_value("--tau", &options.tau)) continue;
+    if (flag_value("--psi", &options.evolution.psi)) continue;
+    if (flag_value("--mu", &options.evolution.min_support)) continue;
+    files.push_back(args[i]);
+  }
+  if (files.empty()) return Usage();
+
+  StatusOr<std::string> dtd_text = ReadFile(dtd_path);
+  if (!dtd_text.ok()) {
+    std::fprintf(stderr, "%s\n", dtd_text.status().ToString().c_str());
+    return 1;
+  }
+  dtdevolve::core::XmlSource source(options);
+  Status added = source.AddDtdText("dtd", *dtd_text);
+  if (!added.ok()) {
+    std::fprintf(stderr, "%s\n", added.ToString().c_str());
+    return 1;
+  }
+  size_t classified = 0;
+  for (const std::string& file : files) {
+    StatusOr<std::string> text = ReadFile(file);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    auto outcome = source.ProcessText(*text);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    if (outcome->classified) ++classified;
+  }
+  // One final forced round absorbs whatever the τ check left pending.
+  if (source.FindExtended("dtd")->documents_recorded() > 0 &&
+      source.Check("dtd").divergence > 0) {
+    source.ForceEvolve("dtd");
+  }
+  std::fprintf(stderr,
+               "processed %zu file(s), classified %zu, repository %zu, "
+               "evolutions %llu\n",
+               files.size(), classified, source.repository().size(),
+               static_cast<unsigned long long>(
+                   source.evolutions_performed()));
+  std::printf("%s", dtdevolve::dtd::WriteDtd(*source.FindDtd("dtd")).c_str());
+  return 0;
+}
+
+int CmdAdapt(const std::vector<std::string>& args) {
+  if (args.size() != 2) return Usage();
+  StatusOr<dtdevolve::dtd::Dtd> dtd = LoadDtd(args[0]);
+  if (!dtd.ok()) {
+    std::fprintf(stderr, "%s\n", dtd.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<dtdevolve::xml::Document> doc = LoadDoc(args[1]);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  dtdevolve::adapt::AdaptReport report;
+  Status adapted = dtdevolve::adapt::AdaptDocument(*doc, *dtd, {}, &report);
+  if (!adapted.ok()) {
+    std::fprintf(stderr, "%s\n", adapted.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "dropped %llu, moved %llu, inserted %llu\n",
+               static_cast<unsigned long long>(report.children_dropped),
+               static_cast<unsigned long long>(report.children_moved),
+               static_cast<unsigned long long>(report.children_inserted));
+  std::printf("%s\n", dtdevolve::xml::WriteDocument(*doc).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "validate") return CmdValidate(args);
+  if (command == "similarity") return CmdSimilarity(args);
+  if (command == "infer") return CmdInfer(std::move(args));
+  if (command == "evolve") return CmdEvolve(std::move(args));
+  if (command == "adapt") return CmdAdapt(args);
+  if (command == "xsd") return CmdXsd(args);
+  if (command == "diff") return CmdDiff(args);
+  return Usage();
+}
