@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recording.dir/bench_recording.cc.o"
+  "CMakeFiles/bench_recording.dir/bench_recording.cc.o.d"
+  "bench_recording"
+  "bench_recording.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recording.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trigger.dir/bench_trigger.cc.o"
+  "CMakeFiles/bench_trigger.dir/bench_trigger.cc.o.d"
+  "bench_trigger"
+  "bench_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_windows.cc" "bench/CMakeFiles/bench_windows.dir/bench_windows.cc.o" "gcc" "bench/CMakeFiles/bench_windows.dir/bench_windows.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dtdevolve_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_evolve.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_validate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_xsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_dtd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

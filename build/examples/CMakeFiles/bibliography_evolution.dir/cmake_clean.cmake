@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibliography_evolution.dir/bibliography_evolution.cpp.o"
+  "CMakeFiles/bibliography_evolution.dir/bibliography_evolution.cpp.o.d"
+  "bibliography_evolution"
+  "bibliography_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibliography_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_migration.dir/schema_migration.cpp.o"
+  "CMakeFiles/schema_migration.dir/schema_migration.cpp.o.d"
+  "schema_migration"
+  "schema_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

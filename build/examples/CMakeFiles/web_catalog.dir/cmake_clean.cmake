@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_catalog.dir/web_catalog.cpp.o"
+  "CMakeFiles/web_catalog.dir/web_catalog.cpp.o.d"
+  "web_catalog"
+  "web_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdevolve_adapt.dir/adapt/adapter.cc.o"
+  "CMakeFiles/dtdevolve_adapt.dir/adapt/adapter.cc.o.d"
+  "libdtdevolve_adapt.a"
+  "libdtdevolve_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdevolve_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdevolve_baseline.dir/baseline/collect.cc.o"
+  "CMakeFiles/dtdevolve_baseline.dir/baseline/collect.cc.o.d"
+  "CMakeFiles/dtdevolve_baseline.dir/baseline/naive_infer.cc.o"
+  "CMakeFiles/dtdevolve_baseline.dir/baseline/naive_infer.cc.o.d"
+  "CMakeFiles/dtdevolve_baseline.dir/baseline/xtract.cc.o"
+  "CMakeFiles/dtdevolve_baseline.dir/baseline/xtract.cc.o.d"
+  "libdtdevolve_baseline.a"
+  "libdtdevolve_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdevolve_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdtdevolve_baseline.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdevolve_classify.dir/classify/classifier.cc.o"
+  "CMakeFiles/dtdevolve_classify.dir/classify/classifier.cc.o.d"
+  "CMakeFiles/dtdevolve_classify.dir/classify/repository.cc.o"
+  "CMakeFiles/dtdevolve_classify.dir/classify/repository.cc.o.d"
+  "libdtdevolve_classify.a"
+  "libdtdevolve_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdevolve_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

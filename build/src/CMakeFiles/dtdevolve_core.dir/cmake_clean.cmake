@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdevolve_core.dir/core/report.cc.o"
+  "CMakeFiles/dtdevolve_core.dir/core/report.cc.o.d"
+  "CMakeFiles/dtdevolve_core.dir/core/source.cc.o"
+  "CMakeFiles/dtdevolve_core.dir/core/source.cc.o.d"
+  "CMakeFiles/dtdevolve_core.dir/core/trigger_language.cc.o"
+  "CMakeFiles/dtdevolve_core.dir/core/trigger_language.cc.o.d"
+  "libdtdevolve_core.a"
+  "libdtdevolve_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdevolve_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtd/content_model.cc" "src/CMakeFiles/dtdevolve_dtd.dir/dtd/content_model.cc.o" "gcc" "src/CMakeFiles/dtdevolve_dtd.dir/dtd/content_model.cc.o.d"
+  "/root/repo/src/dtd/diff.cc" "src/CMakeFiles/dtdevolve_dtd.dir/dtd/diff.cc.o" "gcc" "src/CMakeFiles/dtdevolve_dtd.dir/dtd/diff.cc.o.d"
+  "/root/repo/src/dtd/dtd.cc" "src/CMakeFiles/dtdevolve_dtd.dir/dtd/dtd.cc.o" "gcc" "src/CMakeFiles/dtdevolve_dtd.dir/dtd/dtd.cc.o.d"
+  "/root/repo/src/dtd/dtd_parser.cc" "src/CMakeFiles/dtdevolve_dtd.dir/dtd/dtd_parser.cc.o" "gcc" "src/CMakeFiles/dtdevolve_dtd.dir/dtd/dtd_parser.cc.o.d"
+  "/root/repo/src/dtd/dtd_writer.cc" "src/CMakeFiles/dtdevolve_dtd.dir/dtd/dtd_writer.cc.o" "gcc" "src/CMakeFiles/dtdevolve_dtd.dir/dtd/dtd_writer.cc.o.d"
+  "/root/repo/src/dtd/glushkov.cc" "src/CMakeFiles/dtdevolve_dtd.dir/dtd/glushkov.cc.o" "gcc" "src/CMakeFiles/dtdevolve_dtd.dir/dtd/glushkov.cc.o.d"
+  "/root/repo/src/dtd/rewrite.cc" "src/CMakeFiles/dtdevolve_dtd.dir/dtd/rewrite.cc.o" "gcc" "src/CMakeFiles/dtdevolve_dtd.dir/dtd/rewrite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dtdevolve_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdevolve_dtd.dir/dtd/content_model.cc.o"
+  "CMakeFiles/dtdevolve_dtd.dir/dtd/content_model.cc.o.d"
+  "CMakeFiles/dtdevolve_dtd.dir/dtd/diff.cc.o"
+  "CMakeFiles/dtdevolve_dtd.dir/dtd/diff.cc.o.d"
+  "CMakeFiles/dtdevolve_dtd.dir/dtd/dtd.cc.o"
+  "CMakeFiles/dtdevolve_dtd.dir/dtd/dtd.cc.o.d"
+  "CMakeFiles/dtdevolve_dtd.dir/dtd/dtd_parser.cc.o"
+  "CMakeFiles/dtdevolve_dtd.dir/dtd/dtd_parser.cc.o.d"
+  "CMakeFiles/dtdevolve_dtd.dir/dtd/dtd_writer.cc.o"
+  "CMakeFiles/dtdevolve_dtd.dir/dtd/dtd_writer.cc.o.d"
+  "CMakeFiles/dtdevolve_dtd.dir/dtd/glushkov.cc.o"
+  "CMakeFiles/dtdevolve_dtd.dir/dtd/glushkov.cc.o.d"
+  "CMakeFiles/dtdevolve_dtd.dir/dtd/rewrite.cc.o"
+  "CMakeFiles/dtdevolve_dtd.dir/dtd/rewrite.cc.o.d"
+  "libdtdevolve_dtd.a"
+  "libdtdevolve_dtd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdevolve_dtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evolve/evolver.cc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/evolver.cc.o" "gcc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/evolver.cc.o.d"
+  "/root/repo/src/evolve/extended_dtd.cc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/extended_dtd.cc.o" "gcc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/extended_dtd.cc.o.d"
+  "/root/repo/src/evolve/persist.cc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/persist.cc.o" "gcc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/persist.cc.o.d"
+  "/root/repo/src/evolve/policies.cc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/policies.cc.o" "gcc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/policies.cc.o.d"
+  "/root/repo/src/evolve/recorder.cc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/recorder.cc.o" "gcc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/recorder.cc.o.d"
+  "/root/repo/src/evolve/rename.cc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/rename.cc.o" "gcc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/rename.cc.o.d"
+  "/root/repo/src/evolve/restriction.cc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/restriction.cc.o" "gcc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/restriction.cc.o.d"
+  "/root/repo/src/evolve/stats.cc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/stats.cc.o" "gcc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/stats.cc.o.d"
+  "/root/repo/src/evolve/structure_builder.cc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/structure_builder.cc.o" "gcc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/structure_builder.cc.o.d"
+  "/root/repo/src/evolve/trigger.cc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/trigger.cc.o" "gcc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/trigger.cc.o.d"
+  "/root/repo/src/evolve/windows.cc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/windows.cc.o" "gcc" "src/CMakeFiles/dtdevolve_evolve.dir/evolve/windows.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dtdevolve_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_validate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_dtd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

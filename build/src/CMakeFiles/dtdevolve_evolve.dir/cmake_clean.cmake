@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/evolver.cc.o"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/evolver.cc.o.d"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/extended_dtd.cc.o"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/extended_dtd.cc.o.d"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/persist.cc.o"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/persist.cc.o.d"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/policies.cc.o"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/policies.cc.o.d"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/recorder.cc.o"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/recorder.cc.o.d"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/rename.cc.o"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/rename.cc.o.d"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/restriction.cc.o"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/restriction.cc.o.d"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/stats.cc.o"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/stats.cc.o.d"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/structure_builder.cc.o"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/structure_builder.cc.o.d"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/trigger.cc.o"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/trigger.cc.o.d"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/windows.cc.o"
+  "CMakeFiles/dtdevolve_evolve.dir/evolve/windows.cc.o.d"
+  "libdtdevolve_evolve.a"
+  "libdtdevolve_evolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdevolve_evolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/apriori.cc" "src/CMakeFiles/dtdevolve_mining.dir/mining/apriori.cc.o" "gcc" "src/CMakeFiles/dtdevolve_mining.dir/mining/apriori.cc.o.d"
+  "/root/repo/src/mining/rules.cc" "src/CMakeFiles/dtdevolve_mining.dir/mining/rules.cc.o" "gcc" "src/CMakeFiles/dtdevolve_mining.dir/mining/rules.cc.o.d"
+  "/root/repo/src/mining/transactions.cc" "src/CMakeFiles/dtdevolve_mining.dir/mining/transactions.cc.o" "gcc" "src/CMakeFiles/dtdevolve_mining.dir/mining/transactions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dtdevolve_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdevolve_mining.dir/mining/apriori.cc.o"
+  "CMakeFiles/dtdevolve_mining.dir/mining/apriori.cc.o.d"
+  "CMakeFiles/dtdevolve_mining.dir/mining/rules.cc.o"
+  "CMakeFiles/dtdevolve_mining.dir/mining/rules.cc.o.d"
+  "CMakeFiles/dtdevolve_mining.dir/mining/transactions.cc.o"
+  "CMakeFiles/dtdevolve_mining.dir/mining/transactions.cc.o.d"
+  "libdtdevolve_mining.a"
+  "libdtdevolve_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdevolve_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/similarity/matcher.cc" "src/CMakeFiles/dtdevolve_similarity.dir/similarity/matcher.cc.o" "gcc" "src/CMakeFiles/dtdevolve_similarity.dir/similarity/matcher.cc.o.d"
+  "/root/repo/src/similarity/similarity.cc" "src/CMakeFiles/dtdevolve_similarity.dir/similarity/similarity.cc.o" "gcc" "src/CMakeFiles/dtdevolve_similarity.dir/similarity/similarity.cc.o.d"
+  "/root/repo/src/similarity/thesaurus.cc" "src/CMakeFiles/dtdevolve_similarity.dir/similarity/thesaurus.cc.o" "gcc" "src/CMakeFiles/dtdevolve_similarity.dir/similarity/thesaurus.cc.o.d"
+  "/root/repo/src/similarity/triple.cc" "src/CMakeFiles/dtdevolve_similarity.dir/similarity/triple.cc.o" "gcc" "src/CMakeFiles/dtdevolve_similarity.dir/similarity/triple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dtdevolve_validate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_dtd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dtdevolve_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

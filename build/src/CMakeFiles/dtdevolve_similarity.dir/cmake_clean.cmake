@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdevolve_similarity.dir/similarity/matcher.cc.o"
+  "CMakeFiles/dtdevolve_similarity.dir/similarity/matcher.cc.o.d"
+  "CMakeFiles/dtdevolve_similarity.dir/similarity/similarity.cc.o"
+  "CMakeFiles/dtdevolve_similarity.dir/similarity/similarity.cc.o.d"
+  "CMakeFiles/dtdevolve_similarity.dir/similarity/thesaurus.cc.o"
+  "CMakeFiles/dtdevolve_similarity.dir/similarity/thesaurus.cc.o.d"
+  "CMakeFiles/dtdevolve_similarity.dir/similarity/triple.cc.o"
+  "CMakeFiles/dtdevolve_similarity.dir/similarity/triple.cc.o.d"
+  "libdtdevolve_similarity.a"
+  "libdtdevolve_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdevolve_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

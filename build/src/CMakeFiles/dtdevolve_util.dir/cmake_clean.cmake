@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdevolve_util.dir/util/status.cc.o"
+  "CMakeFiles/dtdevolve_util.dir/util/status.cc.o.d"
+  "CMakeFiles/dtdevolve_util.dir/util/string_util.cc.o"
+  "CMakeFiles/dtdevolve_util.dir/util/string_util.cc.o.d"
+  "libdtdevolve_util.a"
+  "libdtdevolve_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdevolve_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdevolve_validate.dir/validate/validator.cc.o"
+  "CMakeFiles/dtdevolve_validate.dir/validate/validator.cc.o.d"
+  "libdtdevolve_validate.a"
+  "libdtdevolve_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdevolve_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdtdevolve_validate.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdevolve_workload.dir/workload/generator.cc.o"
+  "CMakeFiles/dtdevolve_workload.dir/workload/generator.cc.o.d"
+  "CMakeFiles/dtdevolve_workload.dir/workload/mutator.cc.o"
+  "CMakeFiles/dtdevolve_workload.dir/workload/mutator.cc.o.d"
+  "CMakeFiles/dtdevolve_workload.dir/workload/rng.cc.o"
+  "CMakeFiles/dtdevolve_workload.dir/workload/rng.cc.o.d"
+  "CMakeFiles/dtdevolve_workload.dir/workload/scenarios.cc.o"
+  "CMakeFiles/dtdevolve_workload.dir/workload/scenarios.cc.o.d"
+  "libdtdevolve_workload.a"
+  "libdtdevolve_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdevolve_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/document.cc" "src/CMakeFiles/dtdevolve_xml.dir/xml/document.cc.o" "gcc" "src/CMakeFiles/dtdevolve_xml.dir/xml/document.cc.o.d"
+  "/root/repo/src/xml/lexer.cc" "src/CMakeFiles/dtdevolve_xml.dir/xml/lexer.cc.o" "gcc" "src/CMakeFiles/dtdevolve_xml.dir/xml/lexer.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/dtdevolve_xml.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/dtdevolve_xml.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/path.cc" "src/CMakeFiles/dtdevolve_xml.dir/xml/path.cc.o" "gcc" "src/CMakeFiles/dtdevolve_xml.dir/xml/path.cc.o.d"
+  "/root/repo/src/xml/text.cc" "src/CMakeFiles/dtdevolve_xml.dir/xml/text.cc.o" "gcc" "src/CMakeFiles/dtdevolve_xml.dir/xml/text.cc.o.d"
+  "/root/repo/src/xml/writer.cc" "src/CMakeFiles/dtdevolve_xml.dir/xml/writer.cc.o" "gcc" "src/CMakeFiles/dtdevolve_xml.dir/xml/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dtdevolve_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdevolve_xml.dir/xml/document.cc.o"
+  "CMakeFiles/dtdevolve_xml.dir/xml/document.cc.o.d"
+  "CMakeFiles/dtdevolve_xml.dir/xml/lexer.cc.o"
+  "CMakeFiles/dtdevolve_xml.dir/xml/lexer.cc.o.d"
+  "CMakeFiles/dtdevolve_xml.dir/xml/parser.cc.o"
+  "CMakeFiles/dtdevolve_xml.dir/xml/parser.cc.o.d"
+  "CMakeFiles/dtdevolve_xml.dir/xml/path.cc.o"
+  "CMakeFiles/dtdevolve_xml.dir/xml/path.cc.o.d"
+  "CMakeFiles/dtdevolve_xml.dir/xml/text.cc.o"
+  "CMakeFiles/dtdevolve_xml.dir/xml/text.cc.o.d"
+  "CMakeFiles/dtdevolve_xml.dir/xml/writer.cc.o"
+  "CMakeFiles/dtdevolve_xml.dir/xml/writer.cc.o.d"
+  "libdtdevolve_xml.a"
+  "libdtdevolve_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdevolve_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

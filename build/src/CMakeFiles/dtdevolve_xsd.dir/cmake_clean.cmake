@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdevolve_xsd.dir/xsd/from_dtd.cc.o"
+  "CMakeFiles/dtdevolve_xsd.dir/xsd/from_dtd.cc.o.d"
+  "CMakeFiles/dtdevolve_xsd.dir/xsd/parser.cc.o"
+  "CMakeFiles/dtdevolve_xsd.dir/xsd/parser.cc.o.d"
+  "CMakeFiles/dtdevolve_xsd.dir/xsd/schema.cc.o"
+  "CMakeFiles/dtdevolve_xsd.dir/xsd/schema.cc.o.d"
+  "CMakeFiles/dtdevolve_xsd.dir/xsd/to_dtd.cc.o"
+  "CMakeFiles/dtdevolve_xsd.dir/xsd/to_dtd.cc.o.d"
+  "CMakeFiles/dtdevolve_xsd.dir/xsd/writer.cc.o"
+  "CMakeFiles/dtdevolve_xsd.dir/xsd/writer.cc.o.d"
+  "libdtdevolve_xsd.a"
+  "libdtdevolve_xsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdevolve_xsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapter_test.dir/adapter_test.cc.o"
+  "CMakeFiles/adapter_test.dir/adapter_test.cc.o.d"
+  "adapter_test"
+  "adapter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_evolution_test.dir/attribute_evolution_test.cc.o"
+  "CMakeFiles/attribute_evolution_test.dir/attribute_evolution_test.cc.o.d"
+  "attribute_evolution_test"
+  "attribute_evolution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_evolution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

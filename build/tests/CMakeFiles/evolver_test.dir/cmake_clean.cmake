@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolver_test.dir/evolver_test.cc.o"
+  "CMakeFiles/evolver_test.dir/evolver_test.cc.o.d"
+  "evolver_test"
+  "evolver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glushkov_test.dir/glushkov_test.cc.o"
+  "CMakeFiles/glushkov_test.dir/glushkov_test.cc.o.d"
+  "glushkov_test"
+  "glushkov_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glushkov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restriction_test.dir/restriction_test.cc.o"
+  "CMakeFiles/restriction_test.dir/restriction_test.cc.o.d"
+  "restriction_test"
+  "restriction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restriction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_test.dir/source_test.cc.o"
+  "CMakeFiles/source_test.dir/source_test.cc.o.d"
+  "source_test"
+  "source_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

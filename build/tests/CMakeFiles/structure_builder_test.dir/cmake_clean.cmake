@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structure_builder_test.dir/structure_builder_test.cc.o"
+  "CMakeFiles/structure_builder_test.dir/structure_builder_test.cc.o.d"
+  "structure_builder_test"
+  "structure_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structure_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

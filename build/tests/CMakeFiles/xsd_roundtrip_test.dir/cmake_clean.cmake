@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsd_roundtrip_test.dir/xsd_roundtrip_test.cc.o"
+  "CMakeFiles/xsd_roundtrip_test.dir/xsd_roundtrip_test.cc.o.d"
+  "xsd_roundtrip_test"
+  "xsd_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsd_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtdevolve_cli.dir/dtdevolve_cli.cc.o"
+  "CMakeFiles/dtdevolve_cli.dir/dtdevolve_cli.cc.o.d"
+  "dtdevolve"
+  "dtdevolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtdevolve_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
