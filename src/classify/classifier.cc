@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/thread_pool.h"
+
 namespace dtdevolve::classify {
 
 Classifier::Classifier(double sigma, similarity::SimilarityOptions options)
@@ -10,7 +12,8 @@ Classifier::Classifier(double sigma, similarity::SimilarityOptions options)
 void Classifier::AddDtd(const std::string& name, const dtd::Dtd* dtd) {
   assert(dtd != nullptr);
   dtds_[name] = dtd;
-  evaluators_.erase(name);
+  evaluators_[name] =
+      std::make_unique<similarity::SimilarityEvaluator>(*dtd, options_);
 }
 
 bool Classifier::RemoveDtd(const std::string& name) {
@@ -19,10 +22,18 @@ bool Classifier::RemoveDtd(const std::string& name) {
 }
 
 void Classifier::Invalidate(const std::string& name) {
-  evaluators_.erase(name);
+  auto it = dtds_.find(name);
+  if (it == dtds_.end()) return;
+  evaluators_[name] = std::make_unique<similarity::SimilarityEvaluator>(
+      *it->second, options_);
 }
 
-void Classifier::InvalidateAll() { evaluators_.clear(); }
+void Classifier::InvalidateAll() {
+  for (const auto& [name, dtd] : dtds_) {
+    evaluators_[name] =
+        std::make_unique<similarity::SimilarityEvaluator>(*dtd, options_);
+  }
+}
 
 std::vector<std::string> Classifier::DtdNames() const {
   std::vector<std::string> names;
@@ -34,12 +45,7 @@ std::vector<std::string> Classifier::DtdNames() const {
 const similarity::SimilarityEvaluator& Classifier::EvaluatorFor(
     const std::string& name) const {
   auto it = evaluators_.find(name);
-  if (it == evaluators_.end()) {
-    it = evaluators_
-             .emplace(name, std::make_unique<similarity::SimilarityEvaluator>(
-                                *dtds_.at(name), options_))
-             .first;
-  }
+  assert(it != evaluators_.end());
   return *it->second;
 }
 
@@ -48,8 +54,11 @@ ClassificationOutcome Classifier::Classify(const xml::Document& doc) const {
   for (const auto& [name, dtd] : dtds_) {
     double score = EvaluatorFor(name).DocumentSimilarity(doc);
     outcome.scores.emplace_back(name, score);
-    if (score > outcome.similarity ||
-        (outcome.dtd_name.empty() && outcome.scores.size() == 1)) {
+    // Highest score wins; among equal best scores the lexicographically
+    // smallest name wins. Spelled out so the rule holds whatever order
+    // the DTDs are visited in.
+    if (outcome.dtd_name.empty() || score > outcome.similarity ||
+        (score == outcome.similarity && name < outcome.dtd_name)) {
       outcome.similarity = score;
       outcome.dtd_name = name;
     }
@@ -59,9 +68,38 @@ ClassificationOutcome Classifier::Classify(const xml::Document& doc) const {
   return outcome;
 }
 
-double Classifier::Similarity(const xml::Document& doc,
-                              const std::string& name) const {
-  if (dtds_.find(name) == dtds_.end()) return 0.0;
+std::vector<ClassificationOutcome> Classifier::ClassifyBatch(
+    const std::vector<xml::Document>& docs, size_t jobs) const {
+  std::vector<ClassificationOutcome> outcomes(docs.size());
+  util::ParallelFor(docs.size(), jobs,
+                    [&](size_t i) { outcomes[i] = Classify(docs[i]); });
+  return outcomes;
+}
+
+std::vector<ClassificationOutcome> Classifier::ClassifyBatch(
+    const std::vector<const xml::Document*>& docs, size_t jobs) const {
+  std::vector<ClassificationOutcome> outcomes(docs.size());
+  util::ParallelFor(docs.size(), jobs,
+                    [&](size_t i) { outcomes[i] = Classify(*docs[i]); });
+  return outcomes;
+}
+
+std::vector<ClassificationOutcome> Classifier::ClassifyBatch(
+    const std::vector<const xml::Document*>& docs,
+    util::ThreadPool* pool) const {
+  std::vector<ClassificationOutcome> outcomes(docs.size());
+  auto score = [&](size_t i) { outcomes[i] = Classify(*docs[i]); };
+  if (pool == nullptr || pool->size() <= 1) {
+    for (size_t i = 0; i < docs.size(); ++i) score(i);
+  } else {
+    pool->ParallelFor(docs.size(), score);
+  }
+  return outcomes;
+}
+
+std::optional<double> Classifier::Similarity(const xml::Document& doc,
+                                             const std::string& name) const {
+  if (dtds_.find(name) == dtds_.end()) return std::nullopt;
   return EvaluatorFor(name).DocumentSimilarity(doc);
 }
 

@@ -3,12 +3,14 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "dtd/dtd.h"
 #include "similarity/similarity.h"
+#include "util/thread_pool.h"
 #include "xml/document.h"
 
 namespace dtdevolve::classify {
@@ -31,9 +33,21 @@ struct ClassificationOutcome {
 /// becomes an instance of the best-scoring DTD when that score is ≥ σ,
 /// and is otherwise left to the repository of unclassified documents.
 ///
+/// Tie-break: the best-scoring DTD wins; among equal best scores the
+/// lexicographically smallest name wins, independently of registration or
+/// container order. `ClassifyBatch` follows the same rule.
+///
 /// The classifier holds non-owning pointers to the DTDs; call
 /// `Invalidate` after a DTD object changes (e.g. after evolution) so the
 /// cached evaluator is rebuilt.
+///
+/// Thread-safety: evaluators are built eagerly by the mutating entry
+/// points (`AddDtd`, `Invalidate`, …), so the const entry points
+/// (`Classify`, `ClassifyBatch`, `Similarity`, `DtdNames`) mutate nothing
+/// and may be called concurrently from any number of threads, as long as
+/// no thread is mutating the DTD set at the same time. The mutating entry
+/// points themselves require external serialization (`XmlSource` calls
+/// them only between batches).
 class Classifier {
  public:
   explicit Classifier(double sigma,
@@ -45,12 +59,13 @@ class Classifier {
   double sigma() const { return sigma_; }
   void set_sigma(double sigma) { sigma_ = sigma; }
 
-  /// Registers (or re-registers) a DTD under `name`. The pointee must
-  /// outlive the classifier or its next `Invalidate(name)`.
+  /// Registers (or re-registers) a DTD under `name` and builds its
+  /// evaluator. The pointee must outlive the classifier or its next
+  /// `Invalidate(name)`.
   void AddDtd(const std::string& name, const dtd::Dtd* dtd);
   /// Removes a DTD from the set; returns false when unknown.
   bool RemoveDtd(const std::string& name);
-  /// Drops the cached evaluator of `name` (the DTD object changed).
+  /// Rebuilds the cached evaluator of `name` (the DTD object changed).
   void Invalidate(const std::string& name);
   void InvalidateAll();
 
@@ -60,8 +75,26 @@ class Classifier {
   /// Classifies `doc` against every registered DTD.
   ClassificationOutcome Classify(const xml::Document& doc) const;
 
-  /// Similarity of `doc` against one registered DTD (0 when unknown).
-  double Similarity(const xml::Document& doc, const std::string& name) const;
+  /// Classifies every document concurrently on `jobs` threads (≤ 1 runs
+  /// inline). Scoring is read-only, so the result is identical — entry by
+  /// entry — to calling `Classify` on each document in order.
+  std::vector<ClassificationOutcome> ClassifyBatch(
+      const std::vector<xml::Document>& docs, size_t jobs) const;
+  /// Pointer variant for callers whose documents live elsewhere (e.g. the
+  /// repository). Entries must be non-null.
+  std::vector<ClassificationOutcome> ClassifyBatch(
+      const std::vector<const xml::Document*>& docs, size_t jobs) const;
+  /// Scores on an existing pool so repeated rounds (the chunks of
+  /// `XmlSource::ProcessBatch`) don't respawn threads; `pool == nullptr`
+  /// scores inline.
+  std::vector<ClassificationOutcome> ClassifyBatch(
+      const std::vector<const xml::Document*>& docs,
+      util::ThreadPool* pool) const;
+
+  /// Similarity of `doc` against one registered DTD; nullopt when `name`
+  /// is unknown (distinguishable from a genuine zero score).
+  std::optional<double> Similarity(const xml::Document& doc,
+                                   const std::string& name) const;
 
  private:
   const similarity::SimilarityEvaluator& EvaluatorFor(
@@ -70,7 +103,10 @@ class Classifier {
   double sigma_;
   similarity::SimilarityOptions options_;
   std::map<std::string, const dtd::Dtd*> dtds_;
-  mutable std::map<std::string, std::unique_ptr<similarity::SimilarityEvaluator>>
+  /// Always holds exactly one (eagerly built) evaluator per entry of
+  /// `dtds_` — maintained by the mutating entry points, never from const
+  /// methods.
+  std::map<std::string, std::unique_ptr<similarity::SimilarityEvaluator>>
       evaluators_;
 };
 

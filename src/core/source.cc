@@ -1,8 +1,10 @@
 #include "core/source.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "dtd/dtd_parser.h"
+#include "util/thread_pool.h"
 #include "xml/parser.h"
 
 namespace dtdevolve::core {
@@ -33,10 +35,16 @@ Status XmlSource::AddDtdText(const std::string& name,
 }
 
 XmlSource::ProcessOutcome XmlSource::Process(xml::Document doc) {
+  classify::ClassificationOutcome classification = classifier_.Classify(doc);
+  return ApplyClassification(std::move(doc), classification, /*jobs=*/1);
+}
+
+XmlSource::ProcessOutcome XmlSource::ApplyClassification(
+    xml::Document doc, const classify::ClassificationOutcome& classification,
+    size_t jobs) {
   ProcessOutcome outcome;
   const uint64_t index = documents_processed_++;
 
-  classify::ClassificationOutcome classification = classifier_.Classify(doc);
   outcome.dtd_name = classification.dtd_name;
   outcome.similarity = classification.similarity;
 
@@ -69,7 +77,7 @@ XmlSource::ProcessOutcome XmlSource::Process(xml::Document doc) {
       AfterEvolution(name, result);
       outcome.evolved = true;
       if (options_.reclassify_after_evolution) {
-        outcome.reclassified = ReclassifyRepository();
+        outcome.reclassified = ReclassifyRepository(jobs);
       }
       break;
     }
@@ -84,11 +92,44 @@ XmlSource::ProcessOutcome XmlSource::Process(xml::Document doc) {
       AfterEvolution(name, result);
       outcome.evolved = true;
       if (options_.reclassify_after_evolution) {
-        outcome.reclassified = ReclassifyRepository();
+        outcome.reclassified = ReclassifyRepository(jobs);
       }
     }
   }
   return outcome;
+}
+
+std::vector<XmlSource::ProcessOutcome> XmlSource::ProcessBatch(
+    std::vector<xml::Document> docs, size_t jobs) {
+  if (jobs == 0) jobs = util::ThreadPool::DefaultJobs();
+  std::vector<ProcessOutcome> outcomes;
+  outcomes.reserve(docs.size());
+  // One pool for the whole batch; chunks reuse its workers.
+  std::optional<util::ThreadPool> pool;
+  if (jobs > 1 && docs.size() > 1) pool.emplace(jobs);
+  // Score a chunk in parallel, then apply serially in input order. The
+  // chunk bounds the speculation: an evolution invalidates the scores of
+  // the documents after it, which are then re-scored against the evolved
+  // DTD set — exactly what sequential `Process` would have seen.
+  const size_t chunk = std::max<size_t>(32, 16 * jobs);
+  size_t i = 0;
+  while (i < docs.size()) {
+    const size_t end = std::min(docs.size(), i + chunk);
+    std::vector<const xml::Document*> pending;
+    pending.reserve(end - i);
+    for (size_t j = i; j < end; ++j) pending.push_back(&docs[j]);
+    std::vector<classify::ClassificationOutcome> classifications =
+        classifier_.ClassifyBatch(pending, pool ? &*pool : nullptr);
+    size_t applied = 0;
+    for (size_t j = i; j < end; ++j) {
+      outcomes.push_back(ApplyClassification(std::move(docs[j]),
+                                             classifications[j - i], jobs));
+      ++applied;
+      if (outcomes.back().evolved) break;  // remaining scores are stale
+    }
+    i += applied;
+  }
+  return outcomes;
 }
 
 StatusOr<XmlSource::ProcessOutcome> XmlSource::ProcessText(
@@ -184,13 +225,22 @@ std::optional<evolve::EvolutionResult> XmlSource::ForceEvolve(
   return result;
 }
 
-size_t XmlSource::ReclassifyRepository() {
+size_t XmlSource::ReclassifyRepository(size_t jobs) {
+  // The classifier does not change while we record, so all repository
+  // documents can be scored up front — in parallel when jobs > 1 — and
+  // the serial recording pass below matches the sequential behavior.
+  const std::vector<int> ids = repository_.Ids();
+  std::vector<const xml::Document*> docs;
+  docs.reserve(ids.size());
+  for (int id : ids) docs.push_back(&repository_.Get(id));
+  const std::vector<classify::ClassificationOutcome> classifications =
+      classifier_.ClassifyBatch(docs, jobs);
+
   size_t recovered = 0;
-  for (int id : repository_.Ids()) {
-    classify::ClassificationOutcome classification =
-        classifier_.Classify(repository_.Get(id));
+  for (size_t k = 0; k < ids.size(); ++k) {
+    const classify::ClassificationOutcome& classification = classifications[k];
     if (!classification.classified) continue;
-    xml::Document doc = repository_.Take(id);
+    xml::Document doc = repository_.Take(ids[k]);
     const std::string& name = classification.dtd_name;
     recorders_.at(name)->RecordDocument(doc);
     ++documents_classified_;

@@ -66,6 +66,21 @@ class XmlSource {
   /// Parses then processes.
   StatusOr<ProcessOutcome> ProcessText(std::string_view xml_text);
 
+  /// Batch variant of `Process`: scores documents against the DTD set
+  /// concurrently on `jobs` threads (0 ⇒ hardware concurrency, ≤ 1 ⇒
+  /// inline), then applies recording / check / evolution serially in
+  /// input order. Scoring is speculative: when an evolution fires
+  /// mid-batch the not-yet-applied scores are stale and the remainder of
+  /// the batch is re-scored against the evolved set, so the outcomes —
+  /// classifications, events, evolved DTDs — are identical to feeding
+  /// every document through `Process` one at a time, at any jobs level.
+  ///
+  /// `XmlSource` itself is single-writer: no other method may run while
+  /// `ProcessBatch` is in flight. The internal fan-out only ever calls
+  /// the const, non-mutating scoring path of `Classifier`.
+  std::vector<ProcessOutcome> ProcessBatch(std::vector<xml::Document> docs,
+                                           size_t jobs = 0);
+
   // --- Inspection ----------------------------------------------------------
 
   std::vector<std::string> DtdNames() const;
@@ -111,10 +126,19 @@ class XmlSource {
   /// when the name is unknown.
   std::optional<evolve::EvolutionResult> ForceEvolve(const std::string& name);
   /// Re-classifies repository documents against the current DTD set;
-  /// returns how many were recovered.
-  size_t ReclassifyRepository();
+  /// returns how many were recovered. Scoring runs on `jobs` threads
+  /// (≤ 1 ⇒ inline); recording is applied serially in ascending-id order
+  /// either way, so the result does not depend on `jobs`.
+  size_t ReclassifyRepository(size_t jobs = 1);
 
  private:
+  /// The record / check / evolve tail of `Process`, fed a precomputed
+  /// classification. `jobs` is forwarded to the repository re-scoring
+  /// that may follow an evolution.
+  ProcessOutcome ApplyClassification(
+      xml::Document doc, const classify::ClassificationOutcome& classification,
+      size_t jobs);
+
   void AfterEvolution(const std::string& name,
                       const evolve::EvolutionResult& result);
 

@@ -80,11 +80,12 @@ std::vector<const xml::Element*> SimilarityEvaluator::SymbolElements(
   return aligned;
 }
 
-Triple SimilarityEvaluator::GlobalTripleCached(
-    const xml::Element& element, const std::string& decl_name) const {
+Triple SimilarityEvaluator::GlobalTripleCached(const xml::Element& element,
+                                               const std::string& decl_name,
+                                               Memo& memo) const {
   auto key = std::make_pair(&element, decl_name);
-  auto it = memo_.find(key);
-  if (it != memo_.end()) return it->second;
+  auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
 
   const dtd::Automaton* automaton = FindAutomaton(decl_name);
   std::vector<std::string> symbols = validate::ContentSymbols(element);
@@ -92,7 +93,7 @@ Triple SimilarityEvaluator::GlobalTripleCached(
   if (automaton == nullptr || automaton->is_any()) {
     // ANY (or an undeclared reference): everything is common.
     triple.common = static_cast<double>(symbols.size());
-    memo_.emplace(key, triple);
+    memo.emplace(key, triple);
     return triple;
   }
 
@@ -108,7 +109,7 @@ Triple SimilarityEvaluator::GlobalTripleCached(
     if (label == dtd::kPcdataSymbol) return -1.0;
     double tag = TagScore(children[i]->tag(), label);
     if (tag <= 0.0) return -1.0;
-    Triple sub = GlobalTripleCached(*children[i], label);
+    Triple sub = GlobalTripleCached(*children[i], label, memo);
     child_triples.emplace(std::make_pair(i, label), sub);
     double alpha = options_.tag_weight;
     return tag * (alpha + (1.0 - alpha) * Evaluate(sub, options_.weights));
@@ -133,19 +134,19 @@ Triple SimilarityEvaluator::GlobalTripleCached(
     double tag = TagScore(children[i]->tag(), label);
     auto sub_it = child_triples.find(std::make_pair(i, label));
     Triple sub = sub_it == child_triples.end()
-                     ? GlobalTripleCached(*children[i], label)
+                     ? GlobalTripleCached(*children[i], label, memo)
                      : sub_it->second;
     triple += MatchedChildContribution(sub, tag, options_.tag_weight);
   }
   triple.minus += static_cast<double>(aligned.minus_labels.size());
 
-  memo_.emplace(key, triple);
+  memo.emplace(key, triple);
   return triple;
 }
 
 Triple SimilarityEvaluator::GlobalTriple(const xml::Element& element,
                                          const std::string& decl_name) const {
-  return GlobalTripleCached(element, decl_name);
+  return GlobalTripleCached(element, decl_name, memo_);
 }
 
 double SimilarityEvaluator::GlobalSimilarity(
@@ -211,17 +212,20 @@ double SimilarityEvaluator::LocalSimilarity(
 
 double SimilarityEvaluator::DocumentSimilarity(
     const xml::Document& doc) const {
-  ClearMemo();
+  // A call-local memo keeps this entry point safe for concurrent use on a
+  // shared evaluator; it is scoped to one document anyway.
   if (!doc.has_root() || dtd_->empty()) return 0.0;
   const std::string& root_name = dtd_->root_name();
   double tag = TagScore(doc.root().tag(), root_name);
   if (tag <= 0.0) return 0.0;
-  return tag * GlobalSimilarity(doc.root(), root_name);
+  Memo memo;
+  Triple triple = GlobalTripleCached(doc.root(), root_name, memo);
+  return tag * Evaluate(triple, options_.weights);
 }
 
 std::vector<ElementReport> SimilarityEvaluator::EvaluateElements(
     const xml::Element& root) const {
-  ClearMemo();
+  Memo memo;  // call-local, as in DocumentSimilarity
   std::vector<ElementReport> reports;
   std::vector<const xml::Element*> stack = {&root};
   while (!stack.empty()) {
@@ -233,7 +237,8 @@ std::vector<ElementReport> SimilarityEvaluator::EvaluateElements(
     if (report.declared) {
       report.local_triple = LocalTriple(*element, element->tag());
       report.local_similarity = Evaluate(report.local_triple, options_.weights);
-      report.global_triple = GlobalTriple(*element, element->tag());
+      report.global_triple =
+          GlobalTripleCached(*element, element->tag(), memo);
       report.global_similarity =
           Evaluate(report.global_triple, options_.weights);
     }

@@ -54,6 +54,15 @@ struct ElementReport {
 /// A matched child contributes one unit of mass to its parent's triple,
 /// distributed according to the child's own (normalized) triple — so
 /// deviations deep in the tree discount global similarity proportionally.
+///
+/// Thread-safety: after construction the evaluator is immutable except
+/// for the cross-call memo of the single-element API. `DocumentSimilarity`
+/// and `EvaluateElements` use a call-local memo and may therefore be
+/// called concurrently from any number of threads on one shared evaluator
+/// (this is what batch classification relies on). The single-element
+/// `GlobalTriple` / `GlobalSimilarity` entry points share the member memo
+/// across calls and are NOT thread-safe; confine them (and `ClearMemo`)
+/// to one thread at a time.
 class SimilarityEvaluator {
  public:
   explicit SimilarityEvaluator(const dtd::Dtd& dtd,
@@ -64,11 +73,12 @@ class SimilarityEvaluator {
 
   /// Similarity of a whole document to the DTD: the root element evaluated
   /// globally against the DTD root declaration, scaled by root-tag
-  /// similarity. In [0, 1]; 1 iff the document is valid.
+  /// similarity. In [0, 1]; 1 iff the document is valid. Thread-safe.
   double DocumentSimilarity(const xml::Document& doc) const;
 
   /// Global triple / similarity of one element against declaration
-  /// `decl_name`. An undeclared name behaves like ANY.
+  /// `decl_name`. An undeclared name behaves like ANY. Results are
+  /// memoized across calls (see `ClearMemo`); not thread-safe.
   Triple GlobalTriple(const xml::Element& element,
                       const std::string& decl_name) const;
   double GlobalSimilarity(const xml::Element& element,
@@ -87,20 +97,24 @@ class SimilarityEvaluator {
                          const std::string& decl_name) const;
 
   /// Pre-order per-element reports for a whole subtree, each element
-  /// matched against the declaration of its own tag.
+  /// matched against the declaration of its own tag. Thread-safe.
   std::vector<ElementReport> EvaluateElements(const xml::Element& root) const;
 
   const dtd::Dtd& dtd() const { return *dtd_; }
   const SimilarityOptions& options() const { return options_; }
 
-  /// Drops the recursive-evaluation memo. The memo is keyed by element
-  /// addresses, so it must not outlive the documents it was built from;
-  /// `DocumentSimilarity` and `EvaluateElements` clear it on entry, and
-  /// callers holding the evaluator across documents while using the
-  /// single-element `GlobalTriple` API should clear it between documents.
+  /// Drops the cross-call memo of the single-element API. The memo is
+  /// keyed by element addresses, so it must not outlive the documents it
+  /// was built from; callers holding the evaluator across documents while
+  /// using the single-element `GlobalTriple` API should clear it between
+  /// documents. (`DocumentSimilarity` and `EvaluateElements` use their own
+  /// call-local memo and neither read nor touch this one.)
   void ClearMemo() const { memo_.clear(); }
 
  private:
+  /// Memo of the recursive global evaluation, keyed by (element, decl).
+  using Memo = std::map<std::pair<const xml::Element*, std::string>, Triple>;
+
   /// Tag similarity per options (1/0 equality unless a thesaurus is set).
   double TagScore(const std::string& a, const std::string& b) const;
   const dtd::Automaton* FindAutomaton(const std::string& name) const;
@@ -111,13 +125,13 @@ class SimilarityEvaluator {
       const xml::Element& element, const std::vector<std::string>& symbols);
 
   Triple GlobalTripleCached(const xml::Element& element,
-                            const std::string& decl_name) const;
+                            const std::string& decl_name, Memo& memo) const;
 
   const dtd::Dtd* dtd_;
   SimilarityOptions options_;
   std::map<std::string, dtd::Automaton> automata_;
-  /// Memo for the recursive global evaluation; keyed by (element, decl).
-  mutable std::map<std::pair<const xml::Element*, std::string>, Triple> memo_;
+  /// Cross-call memo backing the single-element `GlobalTriple` API only.
+  mutable Memo memo_;
 };
 
 }  // namespace dtdevolve::similarity

@@ -1,0 +1,72 @@
+#ifndef DTDEVOLVE_UTIL_THREAD_POOL_H_
+#define DTDEVOLVE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dtdevolve::util {
+
+/// A small fixed-size worker pool for data-parallel sections (batch
+/// classification is the first user). Tasks are plain `void()` closures;
+/// exceptions escaping a task terminate (tasks are expected to capture
+/// and report their own errors).
+///
+/// Thread-safety: `Submit` and `Wait` may be called from any thread;
+/// destruction waits for queued tasks to finish.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void Wait();
+
+  /// Runs `body(i)` for every i in [0, n) on this pool's workers and
+  /// blocks until all iterations finished (it waits for the pool to
+  /// drain, so don't interleave with unrelated `Submit`s). Iterations
+  /// are claimed dynamically from a shared counter; `body` must be safe
+  /// to call concurrently for distinct `i`.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// A sensible default worker count: the hardware concurrency, with a
+  /// floor of 1 (hardware_concurrency may report 0).
+  static size_t DefaultJobs();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// One-shot convenience: runs `body(i)` for every i in [0, n) across
+/// `jobs` freshly spawned threads and blocks until all iterations
+/// finished. `jobs <= 1` (or n <= 1) runs inline on the calling thread —
+/// no pool is created, so the sequential path has zero threading
+/// overhead. Callers with several rounds of work should keep one
+/// `ThreadPool` alive and use its `ParallelFor` member instead.
+void ParallelFor(size_t n, size_t jobs,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace dtdevolve::util
+
+#endif  // DTDEVOLVE_UTIL_THREAD_POOL_H_

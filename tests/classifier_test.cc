@@ -113,8 +113,27 @@ TEST_F(ClassifierFixture, SimilarityByName) {
   classifier.AddDtd("mail", &mail_);
   xml::Document doc =
       MakeDoc("<mail><from>a</from><to>b</to><body>x</body></mail>");
-  EXPECT_DOUBLE_EQ(classifier.Similarity(doc, "mail"), 1.0);
-  EXPECT_EQ(classifier.Similarity(doc, "unknown"), 0.0);
+  std::optional<double> known = classifier.Similarity(doc, "mail");
+  ASSERT_TRUE(known.has_value());
+  EXPECT_DOUBLE_EQ(*known, 1.0);
+  // An unknown DTD name is nullopt, not a genuine zero score.
+  EXPECT_EQ(classifier.Similarity(doc, "unknown"), std::nullopt);
+}
+
+TEST_F(ClassifierFixture, EqualScoresBreakTiesByLowestName) {
+  // Two registrations of the same DTD score identically on any document;
+  // the lexicographically smallest name must win regardless of the order
+  // they were registered in.
+  Classifier classifier(0.0);
+  classifier.AddDtd("zz-mail", &mail_);
+  classifier.AddDtd("aa-mail", &mail_);
+  ClassificationOutcome outcome = classifier.Classify(
+      MakeDoc("<mail><from>a</from><to>b</to><body>x</body></mail>"));
+  EXPECT_TRUE(outcome.classified);
+  EXPECT_EQ(outcome.dtd_name, "aa-mail");
+  EXPECT_DOUBLE_EQ(outcome.similarity, 1.0);
+  ASSERT_EQ(outcome.scores.size(), 2u);
+  EXPECT_DOUBLE_EQ(outcome.scores[0].second, outcome.scores[1].second);
 }
 
 TEST(RepositoryTest, AddGetTake) {

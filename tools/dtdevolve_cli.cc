@@ -4,7 +4,7 @@
 //   dtdevolve similarity <dtd-file> <xml-file>...
 //   dtdevolve infer      [--xtract|--naive] <root-name> <xml-file>...
 //   dtdevolve evolve     <dtd-file> [--sigma S] [--tau T] [--psi P]
-//                        [--mu M] <xml-file>...
+//                        [--mu M] [--jobs N] <xml-file>...
 //   dtdevolve adapt      <dtd-file> <xml-file>
 //
 // Exit code 0 on success; 1 on usage/IO/parse errors; for `validate`,
@@ -63,7 +63,7 @@ int Usage() {
                "  dtdevolve similarity <dtd> <xml>...\n"
                "  dtdevolve infer      [--xtract|--naive] <root> <xml>...\n"
                "  dtdevolve evolve     <dtd> [--sigma S] [--tau T] "
-               "[--psi P] [--mu M] <xml>...\n"
+               "[--psi P] [--mu M] [--jobs N] <xml>...\n"
                "  dtdevolve adapt      <dtd> <xml>\n"
                "  dtdevolve xsd        <dtd>\n"
                "  dtdevolve diff       <old-dtd> <new-dtd>\n");
@@ -184,6 +184,10 @@ int CmdEvolve(std::vector<std::string> args) {
   options.sigma = 0.3;
   options.tau = 0.15;
   options.min_documents_before_check = 1;
+  // --jobs N switches to batch ingest: all documents are loaded up
+  // front and scored concurrently on N threads (0 = all cores). The
+  // outcome is identical to the sequential one-at-a-time mode.
+  long jobs = -1;
   std::vector<std::string> files;
   for (size_t i = 0; i < args.size(); ++i) {
     auto flag_value = [&](const char* name, double* out) {
@@ -197,6 +201,11 @@ int CmdEvolve(std::vector<std::string> args) {
     if (flag_value("--tau", &options.tau)) continue;
     if (flag_value("--psi", &options.evolution.psi)) continue;
     if (flag_value("--mu", &options.evolution.min_support)) continue;
+    if (args[i] == "--jobs" && i + 1 < args.size()) {
+      jobs = std::strtol(args[++i].c_str(), nullptr, 10);
+      if (jobs < 0) return Usage();
+      continue;
+    }
     files.push_back(args[i]);
   }
   if (files.empty()) return Usage();
@@ -213,20 +222,39 @@ int CmdEvolve(std::vector<std::string> args) {
     return 1;
   }
   size_t classified = 0;
-  for (const std::string& file : files) {
-    StatusOr<std::string> text = ReadFile(file);
-    if (!text.ok()) {
-      std::fprintf(stderr, "%s: %s\n", file.c_str(),
-                   text.status().ToString().c_str());
-      return 1;
+  if (jobs >= 0) {
+    // Batch ingest: parse everything, then classify in parallel.
+    std::vector<dtdevolve::xml::Document> docs;
+    docs.reserve(files.size());
+    for (const std::string& file : files) {
+      StatusOr<dtdevolve::xml::Document> doc = LoadDoc(file);
+      if (!doc.ok()) {
+        std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                     doc.status().ToString().c_str());
+        return 1;
+      }
+      docs.push_back(std::move(*doc));
     }
-    auto outcome = source.ProcessText(*text);
-    if (!outcome.ok()) {
-      std::fprintf(stderr, "%s: %s\n", file.c_str(),
-                   outcome.status().ToString().c_str());
-      return 1;
+    for (const auto& outcome : source.ProcessBatch(
+             std::move(docs), static_cast<size_t>(jobs))) {
+      if (outcome.classified) ++classified;
     }
-    if (outcome->classified) ++classified;
+  } else {
+    for (const std::string& file : files) {
+      StatusOr<std::string> text = ReadFile(file);
+      if (!text.ok()) {
+        std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                     text.status().ToString().c_str());
+        return 1;
+      }
+      auto outcome = source.ProcessText(*text);
+      if (!outcome.ok()) {
+        std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                     outcome.status().ToString().c_str());
+        return 1;
+      }
+      if (outcome->classified) ++classified;
+    }
   }
   // One final forced round absorbs whatever the τ check left pending.
   if (source.FindExtended("dtd")->documents_recorded() > 0 &&
