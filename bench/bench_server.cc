@@ -1,0 +1,248 @@
+// Ingest-server load generator (EXPERIMENTS-style, but a standalone
+// binary rather than a google-benchmark suite: the subject is a whole
+// multi-threaded server, not a function). Boots an in-process
+// IngestServer on an ephemeral loopback port, hammers POST /ingest?wait=1
+// from concurrent clients with drifted mail documents, and reports
+// end-to-end throughput and latency percentiles:
+//
+//   bench_server [--docs N] [--clients C] [--jobs J] [--drift D] [--out F]
+//
+// Output: one JSON object on stdout, duplicated to --out (default
+// BENCH_server.json) — docs/sec, p50/p99 latency in ms, and how many
+// requests hit 503 backpressure along the way.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/server.h"
+#include "xml/writer.h"
+
+namespace dtdevolve::bench {
+namespace {
+
+struct LoadOptions {
+  size_t docs = 2000;
+  size_t clients = 8;
+  size_t jobs = 4;
+  double drift = 0.3;
+  std::string out = "BENCH_server.json";
+};
+
+/// Minimal blocking HTTP POST against 127.0.0.1:port; returns the status
+/// code, or 0 on transport failure.
+int PostIngest(uint16_t port, const std::string& body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return 0;
+  }
+  const std::string request =
+      "POST /ingest?wait=1 HTTP/1.1\r\nHost: bench\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\n\r\n" + body;
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      return 0;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string head;
+  char chunk[2048];
+  while (head.find("\r\n") == std::string::npos) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    head.append(chunk, static_cast<size_t>(n));
+  }
+  // Drain to EOF so the server's send never sees a reset.
+  while (::recv(fd, chunk, sizeof(chunk), 0) > 0) {
+  }
+  ::close(fd);
+  if (head.rfind("HTTP/1.1 ", 0) != 0) return 0;
+  return std::atoi(head.c_str() + 9);
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted.size() - 1)));
+  return sorted[index];
+}
+
+int Run(const LoadOptions& options) {
+  // Drifted documents exercise the full loop: most classify, some evolve
+  // the DTD mid-run, the rest land in the repository.
+  dtd::Dtd mail = MailDtd();
+  std::vector<xml::Document> docs =
+      DriftedDocs(mail, options.docs, options.drift, 1234);
+  std::vector<std::string> bodies;
+  bodies.reserve(docs.size());
+  for (const xml::Document& doc : docs) {
+    bodies.push_back(xml::WriteDocument(doc));
+  }
+
+  core::SourceOptions source_options;
+  source_options.sigma = 0.3;
+  source_options.tau = 0.1;
+  source_options.min_documents_before_check = 15;
+  server::ServerOptions server_options;
+  server_options.port = 0;
+  server_options.jobs = options.jobs;
+  server_options.queue_capacity = std::max<size_t>(64, options.clients * 8);
+  server::IngestServer server(source_options, server_options);
+  {
+    // Seed with the DTD text, not the parsed form: same path as the CLI.
+    std::string mail_text = R"(
+      <!ELEMENT mail (from, to+, subject?, body)>
+      <!ELEMENT from (#PCDATA)>
+      <!ELEMENT to (#PCDATA)>
+      <!ELEMENT subject (#PCDATA)>
+      <!ELEMENT body (#PCDATA)>
+    )";
+    Status added = server.AddDtdText("mail", mail_text);
+    if (!added.ok()) {
+      std::fprintf(stderr, "%s\n", added.ToString().c_str());
+      return 1;
+    }
+  }
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> failed{0};
+  std::vector<std::vector<double>> latencies(options.clients);
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> clients;
+  clients.reserve(options.clients);
+  for (size_t c = 0; c < options.clients; ++c) {
+    clients.emplace_back([&, c] {
+      latencies[c].reserve(options.docs / options.clients + 1);
+      while (true) {
+        const size_t i = next.fetch_add(1);
+        if (i >= bodies.size()) break;
+        const auto t0 = std::chrono::steady_clock::now();
+        int status = PostIngest(server.port(), bodies[i]);
+        while (status == 503) {  // backpressure: brief pause, same doc
+          rejected.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          status = PostIngest(server.port(), bodies[i]);
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        if (status != 200) {
+          failed.fetch_add(1);
+          continue;
+        }
+        latencies[c].push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  server.Shutdown();
+  server.Wait();
+
+  std::vector<double> all;
+  for (const std::vector<double>& partial : latencies) {
+    all.insert(all.end(), partial.begin(), partial.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  const double docs_per_second =
+      elapsed > 0 ? static_cast<double>(all.size()) / elapsed : 0.0;
+  char json[512];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"benchmark\":\"server_ingest\",\"docs\":%zu,\"clients\":%zu,"
+      "\"jobs\":%zu,\"drift\":%g,\"seconds\":%.3f,"
+      "\"docs_per_second\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
+      "\"rejected_503\":%llu,\"failed\":%llu,"
+      "\"evolutions\":%llu,\"repository\":%zu}\n",
+      options.docs, options.clients, options.jobs, options.drift, elapsed,
+      docs_per_second, Percentile(all, 0.50), Percentile(all, 0.99),
+      static_cast<unsigned long long>(rejected.load()),
+      static_cast<unsigned long long>(failed.load()),
+      static_cast<unsigned long long>(server.source().evolutions_performed()),
+      server.source().repository().size());
+  std::fputs(json, stdout);
+  if (!options.out.empty()) {
+    if (std::FILE* f = std::fopen(options.out.c_str(), "w")) {
+      std::fputs(json, f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", options.out.c_str());
+    }
+  }
+  return failed.load() == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dtdevolve::bench
+
+int main(int argc, char** argv) {
+  dtdevolve::bench::LoadOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--docs") {
+      const char* v = value();
+      if (v == nullptr || std::atol(v) <= 0) return 1;
+      options.docs = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--clients") {
+      const char* v = value();
+      if (v == nullptr || std::atol(v) <= 0) return 1;
+      options.clients = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--jobs") {
+      const char* v = value();
+      if (v == nullptr || std::atol(v) <= 0) return 1;
+      options.jobs = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--drift") {
+      const char* v = value();
+      if (v == nullptr) return 1;
+      options.drift = std::atof(v);
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) return 1;
+      options.out = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_server [--docs N] [--clients C] [--jobs J] "
+                   "[--drift D] [--out F]\n");
+      return 1;
+    }
+  }
+  return dtdevolve::bench::Run(options);
+}

@@ -1,6 +1,7 @@
 #include "classify/classifier.h"
 
 #include <cassert>
+#include <chrono>
 
 #include "util/thread_pool.h"
 
@@ -50,9 +51,17 @@ const similarity::SimilarityEvaluator& Classifier::EvaluatorFor(
 }
 
 ClassificationOutcome Classifier::Classify(const xml::Document& doc) const {
+  // The clock is read only when someone actually installed a histogram,
+  // so the uninstrumented hot path pays nothing.
+  const auto start = metrics_.score_seconds != nullptr
+                         ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point();
   ClassificationOutcome outcome;
   for (const auto& [name, dtd] : dtds_) {
     double score = EvaluatorFor(name).DocumentSimilarity(doc);
+    if (metrics_.similarity_evaluations != nullptr) {
+      metrics_.similarity_evaluations->Increment();
+    }
     outcome.scores.emplace_back(name, score);
     // Highest score wins; among equal best scores the lexicographically
     // smallest name wins. Spelled out so the rule holds whatever order
@@ -65,6 +74,14 @@ ClassificationOutcome Classifier::Classify(const xml::Document& doc) const {
   }
   outcome.classified =
       !outcome.dtd_name.empty() && outcome.similarity >= sigma_;
+  if (metrics_.documents_scored != nullptr) {
+    metrics_.documents_scored->Increment();
+  }
+  if (metrics_.score_seconds != nullptr) {
+    metrics_.score_seconds->Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+  }
   return outcome;
 }
 

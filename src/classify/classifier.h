@@ -9,11 +9,25 @@
 #include <vector>
 
 #include "dtd/dtd.h"
+#include "obs/metrics.h"
 #include "similarity/similarity.h"
 #include "util/thread_pool.h"
 #include "xml/document.h"
 
 namespace dtdevolve::classify {
+
+/// Optional instrumentation of the scoring hot path. All pointers may be
+/// null (the corresponding signal is skipped); the pointees must outlive
+/// the classifier. Counters and histograms are internally atomic, so the
+/// hooks fire safely from `ClassifyBatch` worker threads.
+struct ClassifierMetrics {
+  /// One increment per document scored (any entry point).
+  obs::Counter* documents_scored = nullptr;
+  /// One increment per document × DTD similarity evaluation.
+  obs::Counter* similarity_evaluations = nullptr;
+  /// Wall-clock seconds spent scoring one document against the full set.
+  obs::Histogram* score_seconds = nullptr;
+};
 
 /// Outcome of classifying one document against the DTD set.
 struct ClassificationOutcome {
@@ -59,6 +73,11 @@ class Classifier {
   double sigma() const { return sigma_; }
   void set_sigma(double sigma) { sigma_ = sigma; }
 
+  /// Installs (or clears, with a default-constructed value) the scoring
+  /// instrumentation. Mutating entry point: do not call concurrently
+  /// with scoring.
+  void set_metrics(const ClassifierMetrics& metrics) { metrics_ = metrics; }
+
   /// Registers (or re-registers) a DTD under `name` and builds its
   /// evaluator. The pointee must outlive the classifier or its next
   /// `Invalidate(name)`.
@@ -102,6 +121,7 @@ class Classifier {
 
   double sigma_;
   similarity::SimilarityOptions options_;
+  ClassifierMetrics metrics_;
   std::map<std::string, const dtd::Dtd*> dtds_;
   /// Always holds exactly one (eagerly built) evaluator per entry of
   /// `dtds_` — maintained by the mutating entry points, never from const

@@ -21,10 +21,41 @@ Status XmlSource::AddDtd(const std::string& name, dtd::Dtd dtd) {
   auto [it, inserted] =
       dtds_.emplace(name, evolve::ExtendedDtd(std::move(dtd)));
   classifier_.AddDtd(name, &it->second.dtd());
-  recorders_.emplace(name,
-                     std::make_unique<evolve::Recorder>(it->second));
+  auto recorder = std::make_unique<evolve::Recorder>(it->second);
+  recorder->set_metrics(metrics_.documents_recorded,
+                        metrics_.elements_recorded);
+  recorders_.emplace(name, std::move(recorder));
   instances_.emplace(name, std::vector<xml::Document>());
   return Status::Ok();
+}
+
+Status XmlSource::RestoreExtended(const std::string& name,
+                                  evolve::ExtendedDtd ext) {
+  auto it = dtds_.find(name);
+  if (it == dtds_.end()) {
+    return Status::NotFound("DTD '" + name + "' is not registered");
+  }
+  DTDEVOLVE_RETURN_IF_ERROR(ext.dtd().Check());
+  it->second = std::move(ext);
+  // The DTD object moved: re-point the classifier (rebuilding the
+  // evaluator) and rebuild the recorder over the restored state.
+  classifier_.AddDtd(name, &it->second.dtd());
+  auto recorder = std::make_unique<evolve::Recorder>(it->second);
+  recorder->set_metrics(metrics_.documents_recorded,
+                        metrics_.elements_recorded);
+  recorders_[name] = std::move(recorder);
+  return Status::Ok();
+}
+
+void XmlSource::set_metrics(const SourceMetrics& metrics) {
+  metrics_ = metrics;
+  classifier_.set_metrics({metrics.documents_scored,
+                           metrics.similarity_evaluations,
+                           metrics.score_seconds});
+  for (auto& [name, recorder] : recorders_) {
+    recorder->set_metrics(metrics.documents_recorded,
+                          metrics.elements_recorded);
+  }
 }
 
 Status XmlSource::AddDtdText(const std::string& name,
@@ -44,12 +75,18 @@ XmlSource::ProcessOutcome XmlSource::ApplyClassification(
     size_t jobs) {
   ProcessOutcome outcome;
   const uint64_t index = documents_processed_++;
+  if (metrics_.documents_processed != nullptr) {
+    metrics_.documents_processed->Increment();
+  }
 
   outcome.dtd_name = classification.dtd_name;
   outcome.similarity = classification.similarity;
 
   if (!classification.classified) {
     repository_.Add(std::move(doc));
+    if (metrics_.documents_unclassified != nullptr) {
+      metrics_.documents_unclassified->Increment();
+    }
     events_.push_back({SourceEvent::Kind::kUnclassified,
                        classification.dtd_name, classification.similarity,
                        index, ""});
@@ -58,6 +95,9 @@ XmlSource::ProcessOutcome XmlSource::ApplyClassification(
 
   outcome.classified = true;
   ++documents_classified_;
+  if (metrics_.documents_classified != nullptr) {
+    metrics_.documents_classified->Increment();
+  }
   const std::string& name = classification.dtd_name;
   evolve::ExtendedDtd& ext = dtds_.at(name);
   recorders_.at(name)->RecordDocument(doc);
@@ -69,6 +109,9 @@ XmlSource::ProcessOutcome XmlSource::ApplyClassification(
 
   if (!trigger_rules_.empty()) {
     // The trigger language replaces the plain τ check.
+    if (metrics_.trigger_checks != nullptr) {
+      metrics_.trigger_checks->Increment();
+    }
     TriggerMetrics metrics = MetricsFor(name);
     for (const TriggerRule& rule : trigger_rules_) {
       if (!rule.AppliesTo(name) || !rule.Evaluate(metrics)) continue;
@@ -84,6 +127,9 @@ XmlSource::ProcessOutcome XmlSource::ApplyClassification(
   } else if (options_.auto_evolve &&
              ext.documents_recorded() >=
                  options_.min_documents_before_check) {
+    if (metrics_.trigger_checks != nullptr) {
+      metrics_.trigger_checks->Increment();
+    }
     evolve::CheckResult check =
         evolve::CheckEvolutionTrigger(ext, options_.tau);
     if (check.should_evolve) {
@@ -102,11 +148,17 @@ XmlSource::ProcessOutcome XmlSource::ApplyClassification(
 std::vector<XmlSource::ProcessOutcome> XmlSource::ProcessBatch(
     std::vector<xml::Document> docs, size_t jobs) {
   if (jobs == 0) jobs = util::ThreadPool::DefaultJobs();
-  std::vector<ProcessOutcome> outcomes;
-  outcomes.reserve(docs.size());
   // One pool for the whole batch; chunks reuse its workers.
   std::optional<util::ThreadPool> pool;
   if (jobs > 1 && docs.size() > 1) pool.emplace(jobs);
+  return ProcessBatch(std::move(docs), pool ? &*pool : nullptr);
+}
+
+std::vector<XmlSource::ProcessOutcome> XmlSource::ProcessBatch(
+    std::vector<xml::Document> docs, util::ThreadPool* pool) {
+  const size_t jobs = pool != nullptr && pool->size() > 1 ? pool->size() : 1;
+  std::vector<ProcessOutcome> outcomes;
+  outcomes.reserve(docs.size());
   // Score a chunk in parallel, then apply serially in input order. The
   // chunk bounds the speculation: an evolution invalidates the scores of
   // the documents after it, which are then re-scored against the evolved
@@ -119,7 +171,7 @@ std::vector<XmlSource::ProcessOutcome> XmlSource::ProcessBatch(
     pending.reserve(end - i);
     for (size_t j = i; j < end; ++j) pending.push_back(&docs[j]);
     std::vector<classify::ClassificationOutcome> classifications =
-        classifier_.ClassifyBatch(pending, pool ? &*pool : nullptr);
+        classifier_.ClassifyBatch(pending, pool);
     size_t applied = 0;
     for (size_t j = i; j < end; ++j) {
       outcomes.push_back(ApplyClassification(std::move(docs[j]),
@@ -142,9 +194,12 @@ StatusOr<XmlSource::ProcessOutcome> XmlSource::ProcessText(
 void XmlSource::AfterEvolution(const std::string& name,
                                const evolve::EvolutionResult& result) {
   ++evolutions_performed_;
+  if (metrics_.evolutions != nullptr) metrics_.evolutions->Increment();
   classifier_.Invalidate(name);
-  recorders_[name] =
-      std::make_unique<evolve::Recorder>(dtds_.at(name));
+  auto recorder = std::make_unique<evolve::Recorder>(dtds_.at(name));
+  recorder->set_metrics(metrics_.documents_recorded,
+                        metrics_.elements_recorded);
+  recorders_[name] = std::move(recorder);
   events_.push_back({SourceEvent::Kind::kEvolved, name, 0.0,
                      documents_processed_ == 0 ? 0 : documents_processed_ - 1,
                      FormatEvolution(result)});
@@ -249,6 +304,9 @@ size_t XmlSource::ReclassifyRepository(size_t jobs) {
     }
     events_.push_back({SourceEvent::Kind::kReclassified, name,
                        classification.similarity, 0, ""});
+    if (metrics_.documents_reclassified != nullptr) {
+      metrics_.documents_reclassified->Increment();
+    }
     ++recovered;
   }
   return recovered;

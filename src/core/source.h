@@ -16,9 +16,33 @@
 #include "evolve/extended_dtd.h"
 #include "evolve/recorder.h"
 #include "evolve/trigger.h"
+#include "obs/metrics.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace dtdevolve::core {
+
+/// Optional instrumentation of the whole classify → record → check →
+/// evolve loop. All pointers may be null; the pointees must outlive the
+/// source. Scoring hooks fire from batch worker threads (the metric
+/// types are internally atomic); everything else fires on the serial
+/// apply path.
+struct SourceMetrics {
+  // Loop outcomes.
+  obs::Counter* documents_processed = nullptr;
+  obs::Counter* documents_classified = nullptr;
+  obs::Counter* documents_unclassified = nullptr;
+  obs::Counter* documents_reclassified = nullptr;
+  obs::Counter* trigger_checks = nullptr;
+  obs::Counter* evolutions = nullptr;
+  // Classification hot path (forwarded to the Classifier).
+  obs::Counter* documents_scored = nullptr;
+  obs::Counter* similarity_evaluations = nullptr;
+  obs::Histogram* score_seconds = nullptr;
+  // Recording hot path (forwarded to every Recorder).
+  obs::Counter* documents_recorded = nullptr;
+  obs::Counter* elements_recorded = nullptr;
+};
 
 /// The source of XML documents of Fig. 1 — the library's main entry
 /// point. It owns the set of (extended) DTDs, the repository of
@@ -51,6 +75,19 @@ class XmlSource {
   Status AddDtdText(const std::string& name, std::string_view dtd_text,
                     std::string root = "");
 
+  /// Replaces the extended DTD registered under `name` — declarations
+  /// *and* recording state — with `ext`, rebuilding the classifier
+  /// evaluator and the recorder. This is how a server restores a
+  /// persisted snapshot (`evolve/persist.h`) over the freshly registered
+  /// seed DTD at startup. Fails with `kNotFound` when `name` is unknown
+  /// and with the DTD's own error when `ext` fails its consistency check.
+  Status RestoreExtended(const std::string& name, evolve::ExtendedDtd ext);
+
+  /// Installs (or clears) loop instrumentation; forwarded to the
+  /// classifier and to every recorder, including ones created by later
+  /// evolutions. Do not call while a batch is in flight.
+  void set_metrics(const SourceMetrics& metrics);
+
   // --- Feeding documents --------------------------------------------------
 
   struct ProcessOutcome {
@@ -80,6 +117,13 @@ class XmlSource {
   /// the const, non-mutating scoring path of `Classifier`.
   std::vector<ProcessOutcome> ProcessBatch(std::vector<xml::Document> docs,
                                            size_t jobs = 0);
+
+  /// `ProcessBatch` on a caller-owned pool, so a long-running server can
+  /// share one pool across every ingest batch instead of respawning
+  /// threads. `pool == nullptr` (or a pool of one worker) scores inline;
+  /// outcomes are identical either way.
+  std::vector<ProcessOutcome> ProcessBatch(std::vector<xml::Document> docs,
+                                           util::ThreadPool* pool);
 
   // --- Inspection ----------------------------------------------------------
 
@@ -143,6 +187,7 @@ class XmlSource {
                       const evolve::EvolutionResult& result);
 
   SourceOptions options_;
+  SourceMetrics metrics_;
   std::map<std::string, evolve::ExtendedDtd> dtds_;
   std::map<std::string, std::unique_ptr<evolve::Recorder>> recorders_;
   std::map<std::string, std::vector<xml::Document>> instances_;

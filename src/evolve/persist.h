@@ -24,6 +24,19 @@ std::string SerializeExtendedDtd(const ExtendedDtd& ext);
 /// Parses a serialization produced by `SerializeExtendedDtd`.
 StatusOr<ExtendedDtd> DeserializeExtendedDtd(std::string_view data);
 
+/// Writes the serialization of `ext` to `path` **atomically**: the bytes
+/// go to `path + ".tmp"` in the same directory, are flushed and fsynced,
+/// and the temporary is then renamed over `path`. A crash at any point
+/// leaves either the previous snapshot or the new one — never a torn
+/// file. The stale temporary from an interrupted earlier save is simply
+/// overwritten.
+Status SaveExtendedDtdFile(const ExtendedDtd& ext, const std::string& path);
+
+/// Reads and parses a snapshot written by `SaveExtendedDtdFile`.
+/// A missing file yields `kNotFound`; a truncated or corrupted snapshot
+/// yields a clean `kParseError` from the deserializer.
+StatusOr<ExtendedDtd> LoadExtendedDtdFile(const std::string& path);
+
 }  // namespace dtdevolve::evolve
 
 #endif  // DTDEVOLVE_EVOLVE_PERSIST_H_

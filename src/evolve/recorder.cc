@@ -93,6 +93,12 @@ double Recorder::RecordDocument(const xml::Document& doc) {
     target_->StatsFor(tag).BumpDocsWithInvalid();
   }
   target_->RecordDocumentDivergence(total, invalid);
+  if (documents_recorded_metric_ != nullptr) {
+    documents_recorded_metric_->Increment();
+  }
+  if (elements_recorded_metric_ != nullptr && total > 0) {
+    elements_recorded_metric_->Increment(total);
+  }
   return total == 0 ? 0.0
                     : static_cast<double>(invalid) / static_cast<double>(total);
 }

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "evolve/extended_dtd.h"
+#include "obs/metrics.h"
 #include "validate/validator.h"
 #include "xml/document.h"
 
@@ -40,6 +41,14 @@ class Recorder {
   /// Records an element subtree (no document-level divergence update).
   void RecordTree(const xml::Element& root);
 
+  /// Optional instrumentation: `documents` bumps once per recorded
+  /// document, `elements` by the element count of each. Either may be
+  /// null; the pointees must outlive the recorder.
+  void set_metrics(obs::Counter* documents, obs::Counter* elements) {
+    documents_recorded_metric_ = documents;
+    elements_recorded_metric_ = elements;
+  }
+
  private:
   void Walk(const xml::Element& element, std::set<std::string>& doc_valid,
             std::set<std::string>& doc_invalid, uint64_t& total,
@@ -50,6 +59,8 @@ class Recorder {
 
   ExtendedDtd* target_;
   std::unique_ptr<validate::Validator> validator_;
+  obs::Counter* documents_recorded_metric_ = nullptr;
+  obs::Counter* elements_recorded_metric_ = nullptr;
 };
 
 }  // namespace dtdevolve::evolve

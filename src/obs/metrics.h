@@ -1,0 +1,150 @@
+#ifndef DTDEVOLVE_OBS_METRICS_H_
+#define DTDEVOLVE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dtdevolve::obs {
+
+/// Dependency-free process metrics: monotonic counters, gauges and
+/// fixed-bucket histograms behind a registry with a Prometheus
+/// text-format renderer.
+///
+/// Thread-safety: every mutation entry point (`Counter::Increment`,
+/// `Gauge::Set/Add`, `Histogram::Observe`) is lock-free and safe to call
+/// from any thread — in particular from `util::ThreadPool` workers inside
+/// a scoring fan-out. Series lookup in the `Registry` is lock-striped:
+/// sixteen independent shards, each behind its own mutex, so concurrent
+/// lookups of unrelated series never contend. Hot paths are expected to
+/// look a series up once and keep the returned reference (references are
+/// stable for the registry's lifetime; series are never removed).
+
+/// A monotonically increasing counter. Increments are striped over
+/// cache-line-sized cells indexed by the calling thread so concurrent
+/// writers do not bounce one cache line; `Value()` sums the stripes.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1);
+  uint64_t Value() const;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+  static constexpr size_t kStripes = 8;
+  std::array<Cell, kStripes> cells_;
+};
+
+/// A value that can go up and down (queue depths, worker counts, …).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value);
+  void Add(double delta);
+  double Value() const;
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A fixed-bucket histogram (Prometheus semantics): `bounds` are the
+/// inclusive upper bounds of the finite buckets, in strictly ascending
+/// order; an implicit +Inf bucket catches the rest. Bucket counts, the
+/// running sum and the observation count are all atomics.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative per-bucket counts; size is `bounds().size() + 1`
+  /// (the final entry is the +Inf bucket).
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t Count() const;
+  double Sum() const;
+
+  /// Latency buckets from 100µs to 10s, suitable for ingest timing.
+  static std::vector<double> DefaultLatencyBounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Label set of one series, e.g. `{{"dtd", "mail"}}`. Order is
+/// normalized (sorted by key) when the series is created.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Owns every metric series and renders them in the Prometheus text
+/// exposition format. `Get*` returns the existing series when the
+/// (name, labels) pair is already registered — the `help` of the first
+/// registration wins — and creates it otherwise. Registering the same
+/// name with two different metric types is a programming error
+/// (asserted in debug builds; the first type wins in release builds and
+/// a fresh unrendered series is handed back so callers stay safe).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& GetCounter(std::string_view name, std::string_view help,
+                      Labels labels = {});
+  Gauge& GetGauge(std::string_view name, std::string_view help,
+                  Labels labels = {});
+  Histogram& GetHistogram(std::string_view name, std::string_view help,
+                          std::vector<double> bounds, Labels labels = {});
+
+  /// The full Prometheus text exposition: `# HELP` / `# TYPE` once per
+  /// family, series sorted by name then label set, histograms expanded
+  /// into cumulative `_bucket{le=…}` plus `_sum` / `_count`.
+  std::string RenderPrometheus() const;
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    std::string name;
+    std::string help;
+    Labels labels;
+    Type type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mutex;
+    // Keyed by name + rendered label set; values are stable pointers.
+    std::vector<std::pair<std::string, std::unique_ptr<Series>>> series;
+  };
+
+  Series& GetSeries(std::string_view name, std::string_view help, Type type,
+                    Labels labels, std::vector<double> bounds);
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace dtdevolve::obs
+
+#endif  // DTDEVOLVE_OBS_METRICS_H_

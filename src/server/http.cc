@@ -1,0 +1,190 @@
+#include "server/http.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace dtdevolve::server {
+
+namespace {
+
+constexpr size_t kMaxHeaderBytes = 16 * 1024;
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                           text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  const std::string lowered = ToLower(name);
+  for (const auto& [key, value] : headers) {
+    if (key == lowered) return &value;
+  }
+  return nullptr;
+}
+
+bool HttpRequest::QueryFlag(std::string_view key) const {
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    std::string_view param(query.data() + pos, end - pos);
+    if (param == key ||
+        param == std::string(key) + "=1" ||
+        param == std::string(key) + "=true") {
+      return true;
+    }
+    pos = end + 1;
+  }
+  return false;
+}
+
+StatusOr<HttpRequest> ReadHttpRequest(int fd, size_t max_body) {
+  std::string buffer;
+  size_t header_end = std::string::npos;
+  // Read until the blank line terminating the header block.
+  while (header_end == std::string::npos) {
+    if (buffer.size() > kMaxHeaderBytes) {
+      return Status::InvalidArgument("HTTP header block too large");
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return Status::InvalidArgument(
+          buffer.empty() ? "connection closed before request"
+                         : "connection closed mid-header");
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    header_end = buffer.find("\r\n\r\n");
+  }
+
+  HttpRequest request;
+  const std::string_view head(buffer.data(), header_end);
+  size_t line_start = 0;
+  bool first_line = true;
+  while (line_start <= head.size()) {
+    size_t line_end = head.find("\r\n", line_start);
+    if (line_end == std::string_view::npos) line_end = head.size();
+    const std::string_view line = head.substr(line_start, line_end - line_start);
+    if (first_line) {
+      // METHOD SP TARGET SP VERSION
+      const size_t sp1 = line.find(' ');
+      const size_t sp2 = sp1 == std::string_view::npos
+                             ? std::string_view::npos
+                             : line.find(' ', sp1 + 1);
+      if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+        return Status::InvalidArgument("malformed HTTP request line");
+      }
+      request.method = std::string(line.substr(0, sp1));
+      request.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+      const std::string_view version = line.substr(sp2 + 1);
+      if (version.rfind("HTTP/1.", 0) != 0) {
+        return Status::InvalidArgument("unsupported HTTP version");
+      }
+      const size_t question = request.target.find('?');
+      request.path = request.target.substr(0, question);
+      request.query = question == std::string::npos
+                          ? ""
+                          : request.target.substr(question + 1);
+      first_line = false;
+    } else if (!line.empty()) {
+      const size_t colon = line.find(':');
+      if (colon == std::string_view::npos) {
+        return Status::InvalidArgument("malformed HTTP header line");
+      }
+      request.headers.emplace_back(ToLower(Trim(line.substr(0, colon))),
+                                   std::string(Trim(line.substr(colon + 1))));
+    }
+    if (line_end == head.size()) break;
+    line_start = line_end + 2;
+  }
+  if (first_line) return Status::InvalidArgument("empty HTTP request");
+
+  size_t content_length = 0;
+  if (const std::string* value = request.FindHeader("content-length")) {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(value->c_str(), &end, 10);
+    if (errno != 0 || end == value->c_str() || *end != '\0') {
+      return Status::InvalidArgument("malformed Content-Length");
+    }
+    content_length = static_cast<size_t>(parsed);
+  }
+  if (content_length > max_body) {
+    return Status::InvalidArgument("request body exceeds limit");
+  }
+
+  request.body = buffer.substr(header_end + 4);
+  while (request.body.size() < content_length) {
+    char chunk[4096];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return Status::InvalidArgument("connection closed mid-body");
+    }
+    request.body.append(chunk, static_cast<size_t>(n));
+  }
+  request.body.resize(content_length);  // ignore pipelined extra bytes
+  return request;
+}
+
+Status WriteHttpResponse(int fd, const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    HttpReason(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+
+  size_t written = 0;
+  while (written < out.size()) {
+    ssize_t n = ::send(fd, out.data() + written, out.size() - written,
+                       MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return Status::Internal(std::string("send failed: ") +
+                              std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+const char* HttpReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default:  return "Unknown";
+  }
+}
+
+}  // namespace dtdevolve::server

@@ -1,0 +1,55 @@
+#ifndef DTDEVOLVE_SERVER_HTTP_H_
+#define DTDEVOLVE_SERVER_HTTP_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dtdevolve::server {
+
+/// Minimal HTTP/1.1 framing over a connected POSIX socket — just enough
+/// for the ingest server and its scrapers (curl, Prometheus): request
+/// line, headers, Content-Length bodies. No chunked encoding, no
+/// keep-alive (every response carries `Connection: close`), no TLS.
+
+struct HttpRequest {
+  std::string method;   // e.g. "POST", upper-case as sent
+  std::string target;   // raw request target, e.g. "/ingest?wait=1"
+  std::string path;     // target up to the '?'
+  std::string query;    // after the '?', possibly empty
+  /// Header names are lower-cased; values are trimmed.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  const std::string* FindHeader(std::string_view name) const;
+  /// True when the query string contains `key` as `key`, `key=1` or
+  /// `key=true`.
+  bool QueryFlag(std::string_view key) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  /// Extra headers beyond Content-Type/Content-Length/Connection.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+};
+
+/// Reads one request from `fd` (blocking; honors the socket's receive
+/// timeout). Fails with `kInvalidArgument` on malformed framing, a body
+/// beyond `max_body` bytes, or headers beyond an internal cap.
+StatusOr<HttpRequest> ReadHttpRequest(int fd, size_t max_body);
+
+/// Serializes and writes `response`, handling partial writes.
+Status WriteHttpResponse(int fd, const HttpResponse& response);
+
+/// The canonical reason phrase ("OK", "Not Found", …; "Unknown" when
+/// unmapped).
+const char* HttpReason(int status);
+
+}  // namespace dtdevolve::server
+
+#endif  // DTDEVOLVE_SERVER_HTTP_H_

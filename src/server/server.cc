@@ -1,0 +1,523 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "dtd/dtd_writer.h"
+#include "evolve/persist.h"
+#include "xml/parser.h"
+
+namespace dtdevolve::server {
+
+namespace {
+
+/// Minimal JSON string escaping (DTD names and error messages).
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n";  break;
+      case '\r': out += "\\r";  break;
+      case '\t': out += "\\t";  break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+/// Snapshot file names come from user-supplied DTD names; anything that
+/// could traverse directories is flattened.
+std::string SanitizeFileComponent(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                      c == '.';
+    out += safe ? c : '_';
+  }
+  return out.empty() ? "_" : out;
+}
+
+void SetRecvTimeout(int fd, int seconds) {
+  struct timeval tv;
+  tv.tv_sec = seconds;
+  tv.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+IngestServer::IngestServer(core::SourceOptions source_options,
+                           ServerOptions options)
+    : source_(std::move(source_options)), options_(std::move(options)) {
+  if (options_.jobs == 0) options_.jobs = util::ThreadPool::DefaultJobs();
+  if (options_.batch_max == 0) options_.batch_max = 1;
+}
+
+IngestServer::~IngestServer() {
+  Shutdown();
+  Wait();
+}
+
+Status IngestServer::AddDtdText(const std::string& name,
+                                std::string_view dtd_text) {
+  return source_.AddDtdText(name, dtd_text);
+}
+
+std::string IngestServer::SnapshotPath(const std::string& name) const {
+  return options_.snapshot_dir + "/" + SanitizeFileComponent(name) +
+         ".dtdstate";
+}
+
+Status IngestServer::RestoreSnapshots() {
+  if (options_.snapshot_dir.empty()) return Status::Ok();
+  for (const std::string& name : source_.DtdNames()) {
+    StatusOr<evolve::ExtendedDtd> restored =
+        evolve::LoadExtendedDtdFile(SnapshotPath(name));
+    if (!restored.ok()) {
+      // A missing snapshot is the normal first boot; anything else
+      // (truncated or corrupt file) must fail loudly rather than
+      // silently restart from the seed DTD.
+      if (restored.status().code() == Status::Code::kNotFound) continue;
+      return restored.status();
+    }
+    DTDEVOLVE_RETURN_IF_ERROR(
+        source_.RestoreExtended(name, std::move(*restored)));
+  }
+  return Status::Ok();
+}
+
+Status IngestServer::SnapshotNow() {
+  if (options_.snapshot_dir.empty()) return Status::Ok();
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  for (const std::string& name : source_.DtdNames()) {
+    DTDEVOLVE_RETURN_IF_ERROR(evolve::SaveExtendedDtdFile(
+        *source_.FindExtended(name), SnapshotPath(name)));
+  }
+  return Status::Ok();
+}
+
+Status IngestServer::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("server already started");
+  }
+  DTDEVOLVE_RETURN_IF_ERROR(RestoreSnapshots());
+
+  // Loop + hot-path instrumentation, all under the one registry that
+  // GET /metrics renders.
+  core::SourceMetrics metrics;
+  metrics.documents_processed = &registry_.GetCounter(
+      "dtdevolve_documents_processed_total", "Documents fed into the loop");
+  metrics.documents_classified = &registry_.GetCounter(
+      "dtdevolve_documents_classified_total",
+      "Documents classified into some DTD");
+  metrics.documents_unclassified = &registry_.GetCounter(
+      "dtdevolve_documents_unclassified_total",
+      "Documents left to the repository");
+  metrics.documents_reclassified = &registry_.GetCounter(
+      "dtdevolve_documents_reclassified_total",
+      "Repository documents recovered after evolutions");
+  metrics.trigger_checks = &registry_.GetCounter(
+      "dtdevolve_trigger_checks_total",
+      "Evolution trigger (tau or rule) evaluations");
+  metrics.evolutions = &registry_.GetCounter(
+      "dtdevolve_evolutions_total", "DTD evolutions fired");
+  metrics.documents_scored = &registry_.GetCounter(
+      "dtdevolve_documents_scored_total",
+      "Documents scored against the DTD set");
+  metrics.similarity_evaluations = &registry_.GetCounter(
+      "dtdevolve_similarity_evaluations_total",
+      "Document x DTD similarity evaluations");
+  metrics.score_seconds = &registry_.GetHistogram(
+      "dtdevolve_score_seconds",
+      "Wall-clock seconds scoring one document against the full DTD set",
+      obs::Histogram::DefaultLatencyBounds());
+  metrics.documents_recorded = &registry_.GetCounter(
+      "dtdevolve_documents_recorded_total",
+      "Documents recorded into extended DTDs");
+  metrics.elements_recorded = &registry_.GetCounter(
+      "dtdevolve_elements_recorded_total",
+      "Element instances recorded into extended DTDs");
+  source_.set_metrics(metrics);
+
+  requests_rejected_ = &registry_.GetCounter(
+      "dtdevolve_ingest_rejected_total",
+      "Ingest requests rejected with 503 (queue full)");
+  queue_depth_ = &registry_.GetGauge("dtdevolve_ingest_queue_depth",
+                                     "Documents waiting in the ingest queue");
+  ingest_seconds_ = &registry_.GetHistogram(
+      "dtdevolve_ingest_seconds",
+      "Seconds from enqueue to applied, per document",
+      obs::Histogram::DefaultLatencyBounds());
+  batch_seconds_ = &registry_.GetHistogram(
+      "dtdevolve_ingest_batch_seconds",
+      "Seconds spent in one ProcessBatch round",
+      obs::Histogram::DefaultLatencyBounds());
+  registry_.GetGauge("dtdevolve_ingest_queue_capacity",
+                     "Configured ingest queue bound")
+      .Set(static_cast<double>(options_.queue_capacity));
+
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::Internal(std::string("pipe failed: ") +
+                            std::strerror(errno));
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::Internal(std::string("bind failed: ") +
+                            std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return Status::Internal(std::string("listen failed: ") +
+                            std::strerror(errno));
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  pool_.emplace(options_.jobs);
+  started_ = true;
+  worker_thread_ = std::thread([this] { IngestWorker(); });
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void IngestServer::Shutdown() {
+  if (shutdown_requested_.exchange(true)) return;
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'q';
+    // write() is async-signal-safe; this is the whole signal path.
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void IngestServer::Wait() {
+  if (!started_) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Graceful order: (1) no new connections (listener is down), (2) the
+  // worker keeps running un-paused so in-flight wait=1 requests finish,
+  // (3) once connections are gone, drain the queue, (4) snapshot.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(conn_mutex_);
+    conn_done_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+  if (worker_thread_.joinable()) worker_thread_.join();
+
+  SnapshotNow();
+
+  if (pool_) pool_->Shutdown();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  listen_fd_ = -1;
+  started_ = false;
+}
+
+void IngestServer::PauseIngest() {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  paused_ = true;
+}
+
+void IngestServer::ResumeIngest() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+}
+
+void IngestServer::AcceptLoop() {
+  for (;;) {
+    struct pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // shutdown requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    SetRecvTimeout(fd, 10);
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      ++active_connections_;
+    }
+    // Detached: Wait() blocks on active_connections_ reaching zero, and
+    // the decrement is the thread's final touch of server state.
+    std::thread([this, fd] { HandleConnection(fd); }).detach();
+  }
+}
+
+void IngestServer::HandleConnection(int fd) {
+  StatusOr<HttpRequest> request = ReadHttpRequest(fd, options_.max_body_bytes);
+  if (request.ok()) {
+    HttpResponse response = Route(*request);
+    // Label cardinality stays bounded: arbitrary 404 targets all fold
+    // into "other".
+    std::string path_label = "other";
+    for (const char* known :
+         {"/ingest", "/dtds", "/stats", "/metrics", "/healthz"}) {
+      if (request->path == known) path_label = known;
+    }
+    if (request->path.rfind("/dtds/", 0) == 0) path_label = "/dtds/{name}";
+    registry_
+        .GetCounter("dtdevolve_http_requests_total", "HTTP requests served",
+                    {{"path", path_label},
+                     {"code", std::to_string(response.status)}})
+        .Increment();
+    WriteHttpResponse(fd, response);
+  } else {
+    HttpResponse response;
+    response.status = 400;
+    response.body = request.status().ToString() + "\n";
+    WriteHttpResponse(fd, response);
+  }
+  ::close(fd);
+  {
+    // Notify under the lock: these threads are detached, so a notify
+    // after unlocking would race with `Wait` returning and the server
+    // (and this condition variable) being destroyed.
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    --active_connections_;
+    conn_done_cv_.notify_all();
+  }
+}
+
+HttpResponse IngestServer::Route(const HttpRequest& request) {
+  if (request.path == "/healthz") {
+    return {200, "text/plain; charset=utf-8", {}, "ok\n"};
+  }
+  if (request.path == "/metrics") {
+    if (request.method != "GET") return {405, "text/plain", {}, ""};
+    return {200, "text/plain; version=0.0.4; charset=utf-8", {},
+            registry_.RenderPrometheus()};
+  }
+  if (request.path == "/ingest") {
+    if (request.method != "POST") return {405, "text/plain", {}, ""};
+    return HandleIngest(request);
+  }
+  if (request.path == "/dtds" || request.path.rfind("/dtds/", 0) == 0) {
+    if (request.method != "GET") return {405, "text/plain", {}, ""};
+    return HandleDtds(request);
+  }
+  if (request.path == "/stats") {
+    if (request.method != "GET") return {405, "text/plain", {}, ""};
+    return HandleStats();
+  }
+  return {404, "text/plain; charset=utf-8", {}, "not found\n"};
+}
+
+HttpResponse IngestServer::HandleIngest(const HttpRequest& request) {
+  StatusOr<xml::Document> doc = xml::ParseDocument(request.body);
+  if (!doc.ok()) {
+    return {400, "application/json", {},
+            "{\"error\":\"" + JsonEscape(doc.status().ToString()) + "\"}\n"};
+  }
+
+  PendingDoc pending;
+  pending.doc = std::move(*doc);
+  pending.enqueued = std::chrono::steady_clock::now();
+  const bool wait = request.QueryFlag("wait");
+  if (wait) pending.waiter = std::make_shared<IngestWaiter>();
+  std::shared_ptr<IngestWaiter> waiter = pending.waiter;
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (queue_.size() >= options_.queue_capacity) {
+      requests_rejected_->Increment();
+      return {503,
+              "application/json",
+              {{"Retry-After", std::to_string(options_.retry_after_seconds)}},
+              "{\"error\":\"ingest queue full\"}\n"};
+    }
+    queue_.push_back(std::move(pending));
+    queue_depth_->Set(static_cast<double>(queue_.size()));
+  }
+  queue_cv_.notify_all();
+
+  if (!wait) {
+    return {202, "application/json", {}, "{\"queued\":true}\n"};
+  }
+  std::unique_lock<std::mutex> lock(waiter->mutex);
+  waiter->cv.wait(lock, [&] { return waiter->done; });
+  const core::XmlSource::ProcessOutcome& outcome = waiter->outcome;
+  std::string body = "{\"classified\":";
+  body += outcome.classified ? "true" : "false";
+  body += ",\"dtd\":\"" + JsonEscape(outcome.dtd_name) + "\"";
+  body += ",\"similarity\":" + FormatDouble(outcome.similarity);
+  body += ",\"evolved\":";
+  body += outcome.evolved ? "true" : "false";
+  body += ",\"reclassified\":" + std::to_string(outcome.reclassified);
+  body += "}\n";
+  return {200, "application/json", {}, body};
+}
+
+HttpResponse IngestServer::HandleDtds(const HttpRequest& request) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (request.path == "/dtds") {
+    std::string body = "{\"dtds\":[";
+    bool first = true;
+    for (const std::string& name : source_.DtdNames()) {
+      if (!first) body += ',';
+      first = false;
+      body += "\"" + JsonEscape(name) + "\"";
+    }
+    body += "]}\n";
+    return {200, "application/json", {}, body};
+  }
+  const std::string name = request.path.substr(std::strlen("/dtds/"));
+  const dtd::Dtd* dtd = source_.FindDtd(name);
+  if (dtd == nullptr) {
+    return {404, "application/json", {},
+            "{\"error\":\"unknown DTD '" + JsonEscape(name) + "'\"}\n"};
+  }
+  return {200, "application/xml-dtd; charset=utf-8", {}, dtd::WriteDtd(*dtd)};
+}
+
+HttpResponse IngestServer::HandleStats() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  std::string body = "{";
+  body += "\"documents_processed\":" +
+          std::to_string(source_.documents_processed());
+  body += ",\"documents_classified\":" +
+          std::to_string(source_.documents_classified());
+  body += ",\"repository_size\":" + std::to_string(source_.repository().size());
+  body += ",\"evolutions_performed\":" +
+          std::to_string(source_.evolutions_performed());
+  body += ",\"dtds\":{";
+  bool first = true;
+  for (const std::string& name : source_.DtdNames()) {
+    const evolve::ExtendedDtd* ext = source_.FindExtended(name);
+    if (!first) body += ',';
+    first = false;
+    body += "\"" + JsonEscape(name) + "\":{";
+    body += "\"documents_recorded\":" +
+            std::to_string(ext->documents_recorded());
+    body += ",\"mean_divergence\":" + FormatDouble(ext->MeanDivergence());
+    auto ingested = ingested_per_dtd_.find(name);
+    body += ",\"documents_ingested\":" +
+            std::to_string(ingested == ingested_per_dtd_.end()
+                               ? 0
+                               : ingested->second);
+    auto evolved = evolutions_per_dtd_.find(name);
+    body += ",\"evolutions\":" +
+            std::to_string(evolved == evolutions_per_dtd_.end()
+                               ? 0
+                               : evolved->second);
+    body += "}";
+  }
+  body += "}}\n";
+  return {200, "application/json", {}, body};
+}
+
+void IngestServer::IngestWorker() {
+  for (;;) {
+    std::vector<PendingDoc> pending;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return draining_ || (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty() && draining_) return;
+      const size_t take = std::min(queue_.size(), options_.batch_max);
+      pending.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        pending.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      queue_depth_->Set(static_cast<double>(queue_.size()));
+    }
+    if (!pending.empty()) ProcessPending(std::move(pending));
+  }
+}
+
+void IngestServer::ProcessPending(std::vector<PendingDoc> pending) {
+  std::vector<xml::Document> docs;
+  docs.reserve(pending.size());
+  for (PendingDoc& item : pending) docs.push_back(std::move(item.doc));
+
+  const auto batch_start = std::chrono::steady_clock::now();
+  std::vector<core::XmlSource::ProcessOutcome> outcomes;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    outcomes = source_.ProcessBatch(std::move(docs), pool_ ? &*pool_ : nullptr);
+    for (const core::XmlSource::ProcessOutcome& outcome : outcomes) {
+      if (outcome.classified) ++ingested_per_dtd_[outcome.dtd_name];
+      if (outcome.evolved) ++evolutions_per_dtd_[outcome.dtd_name];
+    }
+  }
+  const auto now = std::chrono::steady_clock::now();
+  batch_seconds_->Observe(
+      std::chrono::duration<double>(now - batch_start).count());
+
+  for (size_t i = 0; i < pending.size(); ++i) {
+    ingest_seconds_->Observe(
+        std::chrono::duration<double>(now - pending[i].enqueued).count());
+    if (pending[i].waiter != nullptr) {
+      std::lock_guard<std::mutex> lock(pending[i].waiter->mutex);
+      pending[i].waiter->outcome = outcomes[i];
+      pending[i].waiter->done = true;
+      pending[i].waiter->cv.notify_all();
+    }
+  }
+}
+
+}  // namespace dtdevolve::server

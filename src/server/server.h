@@ -1,0 +1,190 @@
+#ifndef DTDEVOLVE_SERVER_SERVER_H_
+#define DTDEVOLVE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/source.h"
+#include "obs/metrics.h"
+#include "server/http.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace dtdevolve::server {
+
+struct ServerOptions {
+  /// TCP port to listen on; 0 binds an ephemeral port (read it back with
+  /// `port()` after `Start`).
+  uint16_t port = 8080;
+  /// Scoring threads; one `util::ThreadPool` is shared across every
+  /// ingest batch for the server's lifetime.
+  size_t jobs = 1;
+  /// Pending ingest documents before `POST /ingest` answers 503 with a
+  /// `Retry-After` header — the backpressure bound.
+  size_t queue_capacity = 256;
+  /// Most documents drained into one `ProcessBatch` round.
+  size_t batch_max = 64;
+  /// Largest accepted request body.
+  size_t max_body_bytes = 4 * 1024 * 1024;
+  /// Advertised on 503 responses.
+  int retry_after_seconds = 1;
+  /// Directory for extended-DTD snapshots (one `<name>.dtdstate` per
+  /// DTD): written atomically on shutdown (and via `SnapshotNow`),
+  /// restored over the seed DTDs on `Start`. Empty disables persistence.
+  std::string snapshot_dir;
+};
+
+/// The networked front of Fig. 1: a long-running HTTP/1.1 server (plain
+/// POSIX sockets, no external dependencies) wrapping one `XmlSource` and
+/// driving the classify → record → check → evolve loop over documents
+/// that arrive on the wire.
+///
+/// Endpoints:
+///   POST /ingest          body = one XML document. Parsed on the
+///                         connection thread, then queued; a single
+///                         ingest worker drains the queue in batches
+///                         through `ProcessBatch` on the shared pool.
+///                         Replies 202 once queued, or — with `?wait=1` —
+///                         200 with the JSON outcome after the document
+///                         was applied. 400 on parse errors, 503 +
+///                         Retry-After when the queue is full.
+///   GET /dtds             JSON list of registered DTD names.
+///   GET /dtds/{name}      the current (possibly evolved) declarations,
+///                         as DTD text.
+///   GET /stats            JSON: per-DTD document counts and divergence,
+///                         repository size, evolution count.
+///   GET /metrics          Prometheus text exposition.
+///   GET /healthz          200 "ok".
+///
+/// Lifecycle: `AddDtdText` seeds the set, `Start` binds/restores/spawns,
+/// `Shutdown` (async-signal-safe — wire it to SIGINT/SIGTERM) requests a
+/// graceful stop, `Wait` blocks until the stop completed: the listener
+/// closes, in-flight connections finish, the queue drains through the
+/// loop, and the extended-DTD state is snapshotted.
+///
+/// Threading: connection threads only parse and enqueue; the single
+/// ingest worker is the only `XmlSource` writer. Read endpoints take the
+/// same state mutex the worker holds while applying a batch, so scrapes
+/// see consistent state.
+class IngestServer {
+ public:
+  IngestServer(core::SourceOptions source_options, ServerOptions options);
+  ~IngestServer();
+
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  /// Registers a seed DTD. Call before `Start`.
+  Status AddDtdText(const std::string& name, std::string_view dtd_text);
+
+  /// Binds and listens, restores snapshots (when configured), wires the
+  /// metrics, and spawns the accept loop and the ingest worker.
+  Status Start();
+
+  /// The bound port (useful with `options.port == 0`).
+  uint16_t port() const { return port_; }
+
+  /// Requests a graceful stop. Async-signal-safe (a single `write` to a
+  /// self-pipe) and idempotent.
+  void Shutdown();
+
+  /// Blocks until the graceful stop finished. Returns immediately when
+  /// `Start` never ran.
+  void Wait();
+
+  /// Pauses / resumes the ingest worker between batches (documents keep
+  /// queueing until the queue is full — useful for maintenance and for
+  /// exercising backpressure deterministically). A shutdown overrides a
+  /// pause so draining always completes.
+  void PauseIngest();
+  void ResumeIngest();
+
+  /// Writes one atomic snapshot per DTD into `snapshot_dir`. No-op
+  /// without a snapshot dir. Also called by the graceful stop.
+  Status SnapshotNow();
+
+  obs::Registry& metrics() { return registry_; }
+
+  /// The wrapped source. Only safe while the server is not running
+  /// (before `Start` or after `Wait`); running servers serve state over
+  /// HTTP instead.
+  const core::XmlSource& source() const { return source_; }
+
+ private:
+  struct IngestWaiter {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    core::XmlSource::ProcessOutcome outcome;
+  };
+
+  struct PendingDoc {
+    xml::Document doc;
+    std::chrono::steady_clock::time_point enqueued;
+    std::shared_ptr<IngestWaiter> waiter;  // null for fire-and-forget
+  };
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  HttpResponse Route(const HttpRequest& request);
+  HttpResponse HandleIngest(const HttpRequest& request);
+  HttpResponse HandleDtds(const HttpRequest& request);
+  HttpResponse HandleStats();
+  void IngestWorker();
+  void ProcessPending(std::vector<PendingDoc> pending);
+  Status RestoreSnapshots();
+  std::string SnapshotPath(const std::string& name) const;
+
+  core::XmlSource source_;
+  ServerOptions options_;
+  obs::Registry registry_;
+  std::optional<util::ThreadPool> pool_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  uint16_t port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> shutdown_requested_{false};
+
+  std::thread accept_thread_;
+  std::thread worker_thread_;
+
+  // Connection bookkeeping: threads are detached; Wait() blocks until
+  // the count returns to zero.
+  std::mutex conn_mutex_;
+  std::condition_variable conn_done_cv_;
+  size_t active_connections_ = 0;
+
+  // The bounded ingest queue.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingDoc> queue_;
+  bool paused_ = false;
+  bool draining_ = false;  // set by Wait(): drain fully, then exit
+
+  // Guards source_ and the per-DTD tallies below.
+  mutable std::mutex state_mutex_;
+  std::map<std::string, uint64_t> ingested_per_dtd_;
+  std::map<std::string, uint64_t> evolutions_per_dtd_;
+
+  // Wired in Start(); hot-path handles into registry_.
+  obs::Counter* requests_rejected_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Histogram* ingest_seconds_ = nullptr;
+  obs::Histogram* batch_seconds_ = nullptr;
+};
+
+}  // namespace dtdevolve::server
+
+#endif  // DTDEVOLVE_SERVER_SERVER_H_

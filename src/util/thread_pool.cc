@@ -1,29 +1,44 @@
 #include "util/thread_pool.h"
 
-#include <atomic>
+#include <cassert>
 
 namespace dtdevolve::util {
 
 ThreadPool::ThreadPool(size_t threads) {
   if (threads == 0) threads = 1;
+  size_ = threads;
   workers_.reserve(threads);
   for (size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  std::vector<std::thread> workers;
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_) return;  // idempotent
     stopping_ = true;
+    workers.swap(workers_);
   }
   task_ready_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  // Workers drain the queue before exiting, so every submitted task
+  // still runs.
+  for (std::thread& worker : workers) worker.join();
+  size_ = 0;
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_) {
+      lock.unlock();
+      assert(false && "ThreadPool::Submit after Shutdown");
+      task();  // release builds: run inline rather than drop the work
+      return;
+    }
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
@@ -61,8 +76,12 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t)>& body) {
   if (n == 0) return;
-  std::atomic<size_t> next{0};
   const size_t workers = size() < n ? size() : n;
+  if (workers == 0) {  // pool already shut down: degrade to inline
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
   for (size_t w = 0; w < workers; ++w) {
     Submit([&next, &body, n] {
       for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;

@@ -1,6 +1,7 @@
 #ifndef DTDEVOLVE_UTIL_THREAD_POOL_H_
 #define DTDEVOLVE_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -17,7 +18,9 @@ namespace dtdevolve::util {
 /// and report their own errors).
 ///
 /// Thread-safety: `Submit` and `Wait` may be called from any thread;
-/// destruction waits for queued tasks to finish.
+/// destruction waits for queued tasks to finish. One pool can be shared
+/// across many rounds of work (the ingest server reuses a single pool
+/// for every batch): `Wait` is reusable and idempotent.
 class ThreadPool {
  public:
   /// Spawns `threads` workers (at least 1).
@@ -27,13 +30,25 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  size_t size() const { return workers_.size(); }
+  /// Worker count; 0 once `Shutdown` has run.
+  size_t size() const { return size_; }
 
-  /// Enqueues a task for execution on some worker.
+  /// Enqueues a task for execution on some worker. Submitting after
+  /// `Shutdown` is a programming error: it asserts in debug builds and
+  /// degrades to running the task inline on the caller in release
+  /// builds, so work is never silently dropped.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every task submitted so far has completed.
+  /// Blocks until every task submitted so far has completed. Safe to
+  /// call repeatedly (a second `Wait` with no new work returns
+  /// immediately) and after `Shutdown` (no-op).
   void Wait();
+
+  /// Drains every queued task, joins the workers and leaves the pool
+  /// empty (`size() == 0`). Idempotent; called by the destructor. After
+  /// shutdown the pool degrades gracefully: `Submit` runs inline (see
+  /// above), `ParallelFor` runs inline, `Wait` returns immediately.
+  void Shutdown();
 
   /// Runs `body(i)` for every i in [0, n) on this pool's workers and
   /// blocks until all iterations finished (it waits for the pool to
@@ -55,6 +70,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   size_t in_flight_ = 0;  // queued + currently running tasks
   bool stopping_ = false;
+  std::atomic<size_t> size_{0};  // drops to 0 on Shutdown
   std::vector<std::thread> workers_;
 };
 

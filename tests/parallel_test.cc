@@ -153,6 +153,55 @@ TEST(ThreadPoolTest, WaitIsReusableAcrossRounds) {
   }
 }
 
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndDrains) {
+  util::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Shutdown();  // must drain everything already submitted
+  EXPECT_EQ(counter.load(), 50);
+  EXPECT_EQ(pool.size(), 0u);
+  pool.Shutdown();  // second call is a no-op
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(ThreadPoolTest, DoubleWaitIsWellDefined) {
+  util::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  pool.Wait();  // no pending work: returns immediately
+  EXPECT_EQ(counter.load(), 10);
+  pool.Shutdown();
+  pool.Wait();  // after shutdown: still well-defined, still a no-op
+  EXPECT_EQ(counter.load(), 10);
+}
+
+#ifdef NDEBUG
+TEST(ThreadPoolTest, SubmitAfterShutdownRunsInlineInRelease) {
+  // With assertions disabled, a post-shutdown Submit degrades to inline
+  // execution rather than losing the task. (In debug builds it asserts.)
+  util::ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 1);
+}
+#endif
+
+TEST(ThreadPoolTest, ParallelForRunsInlineAfterShutdown) {
+  util::ThreadPool pool(2);
+  pool.Shutdown();
+  std::vector<std::atomic<int>> hits(17);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
 TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
   for (size_t jobs : kJobsLevels) {
     const size_t n = 257;

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "dtd/dtd_parser.h"
 #include "dtd/dtd_writer.h"
 #include "evolve/evolver.h"
@@ -133,6 +138,82 @@ TEST(PersistTest, RejectsCorruptedInput) {
         DeserializeExtendedDtd(data.substr(0, cut));
     EXPECT_FALSE(restored.ok()) << "cut at " << cut;
   }
+}
+
+TEST(PersistFileTest, SaveThenLoadRoundTrips) {
+  ExtendedDtd ext = MakeExtended(kDtd);
+  Recorder recorder(ext);
+  StatusOr<xml::Document> doc =
+      xml::ParseDocument("<a><b>1</b><c>2</c><d>3</d></a>");
+  ASSERT_TRUE(doc.ok());
+  recorder.RecordDocument(*doc);
+
+  const std::string path = testing::TempDir() + "persist_file_test.dtdstate";
+  Status saved = SaveExtendedDtdFile(ext, path);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  // The write is atomic (tmp + rename): no temp file may survive.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+  StatusOr<ExtendedDtd> restored = LoadExtendedDtdFile(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->documents_recorded(), 1u);
+  EXPECT_EQ(SerializeExtendedDtd(*restored), SerializeExtendedDtd(ext));
+  std::remove(path.c_str());
+}
+
+TEST(PersistFileTest, SaveReplacesExistingSnapshot) {
+  const std::string path = testing::TempDir() + "persist_file_replace.dtdstate";
+  ExtendedDtd first = MakeExtended(kDtd);
+  ASSERT_TRUE(SaveExtendedDtdFile(first, path).ok());
+
+  ExtendedDtd second = MakeExtended(kDtd);
+  Recorder recorder(second);
+  StatusOr<xml::Document> doc = xml::ParseDocument("<a><b>1</b><c>2</c></a>");
+  ASSERT_TRUE(doc.ok());
+  recorder.RecordDocument(*doc);
+  ASSERT_TRUE(SaveExtendedDtdFile(second, path).ok());
+
+  StatusOr<ExtendedDtd> restored = LoadExtendedDtdFile(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->documents_recorded(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(PersistFileTest, LoadMissingFileIsNotFound) {
+  StatusOr<ExtendedDtd> restored =
+      LoadExtendedDtdFile(testing::TempDir() + "no_such_snapshot.dtdstate");
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), Status::Code::kNotFound);
+}
+
+TEST(PersistFileTest, TruncatedSnapshotRejectedWithCleanStatus) {
+  ExtendedDtd ext = MakeExtended(kDtd);
+  Recorder recorder(ext);
+  StatusOr<xml::Document> doc =
+      xml::ParseDocument("<a><b>1</b><c>2</c><z>3</z></a>");
+  ASSERT_TRUE(doc.ok());
+  recorder.RecordDocument(*doc);
+
+  const std::string path = testing::TempDir() + "persist_file_trunc.dtdstate";
+  ASSERT_TRUE(SaveExtendedDtdFile(ext, path).ok());
+
+  std::string data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    data = buffer.str();
+  }
+  ASSERT_GT(data.size(), 8u);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  }
+
+  StatusOr<ExtendedDtd> restored = LoadExtendedDtdFile(path);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_NE(restored.status().code(), Status::Code::kNotFound);
+  std::remove(path.c_str());
 }
 
 TEST(PersistTest, PreservesAttlists) {

@@ -1,0 +1,344 @@
+// Server suite: drives a real IngestServer over loopback sockets —
+// ephemeral ports, so suites can run in parallel. Covers the endpoint
+// surface, queue backpressure, and the graceful-shutdown snapshot
+// round-trip. Multi-threaded end to end, hence under the `concurrency`
+// ctest label for TSan runs.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.h"
+
+namespace dtdevolve::server {
+namespace {
+
+const char* kMailDtd = R"(
+  <!ELEMENT mail (envelope, body)>
+  <!ELEMENT envelope (from, to, subject)>
+  <!ELEMENT from (#PCDATA)>
+  <!ELEMENT to (#PCDATA)>
+  <!ELEMENT subject (#PCDATA)>
+  <!ELEMENT body (#PCDATA)>
+)";
+
+const char* kConformingDoc =
+    "<mail><envelope><from>a</from><to>b</to><subject>s</subject>"
+    "</envelope><body>hello</body></mail>";
+
+// Drifted: extra cc + attachment push divergence past τ and evolve the
+// DTD once enough instances accumulate.
+const char* kDriftedDoc =
+    "<mail><envelope><from>a</from><to>b</to><subject>s</subject>"
+    "<cc>c</cc></envelope><body>hello</body>"
+    "<attachment>x</attachment></mail>";
+
+struct ClientResponse {
+  int status = 0;
+  std::string head;  // status line + headers
+  std::string body;
+};
+
+/// One blocking HTTP exchange against 127.0.0.1:port. The server closes
+/// the connection after each response, so "read to EOF" frames it. On
+/// any transport failure `out->status` stays 0, which every caller's
+/// status expectation then reports.
+void HttpRoundTrip(uint16_t port, const std::string& request,
+                   ClientResponse* out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ADD_FAILURE() << "connect: " << std::strerror(errno);
+    ::close(fd);
+    return;
+  }
+
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ADD_FAILURE() << "send: " << std::strerror(errno);
+      ::close(fd);
+      return;
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string raw;
+  char chunk[4096];
+  while (true) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t split = raw.find("\r\n\r\n");
+  if (split == std::string::npos || raw.rfind("HTTP/1.1 ", 0) != 0) {
+    ADD_FAILURE() << "unframed response: " << raw;
+    return;
+  }
+  out->head = raw.substr(0, split);
+  out->body = raw.substr(split + 4);
+  out->status = std::atoi(out->head.c_str() + 9);
+}
+
+ClientResponse Get(uint16_t port, const std::string& target) {
+  ClientResponse response;
+  HttpRoundTrip(port, "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n",
+                &response);
+  return response;
+}
+
+ClientResponse Post(uint16_t port, const std::string& target,
+                    const std::string& body) {
+  ClientResponse response;
+  HttpRoundTrip(port,
+                "POST " + target + " HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+                    std::to_string(body.size()) + "\r\n\r\n" + body,
+                &response);
+  return response;
+}
+
+core::SourceOptions EvolvingOptions() {
+  core::SourceOptions options;
+  options.sigma = 0.3;
+  options.tau = 0.15;
+  options.min_documents_before_check = 1;
+  return options;
+}
+
+ServerOptions EphemeralOptions() {
+  ServerOptions options;
+  options.port = 0;  // the kernel picks; tests read server.port()
+  options.jobs = 2;
+  return options;
+}
+
+TEST(ServerTest, HealthzRoutesAndMethodChecks) {
+  IngestServer server(EvolvingOptions(), EphemeralOptions());
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_NE(server.port(), 0);
+
+  ClientResponse health = Get(server.port(), "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  EXPECT_EQ(Get(server.port(), "/no-such-route").status, 404);
+  EXPECT_EQ(Get(server.port(), "/ingest").status, 405);
+  EXPECT_EQ(Post(server.port(), "/dtds", "x").status, 405);
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(ServerTest, IngestClassifiesAndServesState) {
+  IngestServer server(EvolvingOptions(), EphemeralOptions());
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Synchronous ingest reports the classification outcome.
+  ClientResponse outcome =
+      Post(server.port(), "/ingest?wait=1", kConformingDoc);
+  EXPECT_EQ(outcome.status, 200);
+  EXPECT_NE(outcome.body.find("\"classified\":true"), std::string::npos);
+  EXPECT_NE(outcome.body.find("\"dtd\":\"mail\""), std::string::npos);
+
+  // Fire-and-forget ingest is accepted immediately.
+  EXPECT_EQ(Post(server.port(), "/ingest", kConformingDoc).status, 202);
+  // Malformed XML is rejected on the connection thread.
+  EXPECT_EQ(Post(server.port(), "/ingest?wait=1", "<mail>").status, 400);
+
+  ClientResponse list = Get(server.port(), "/dtds");
+  EXPECT_EQ(list.status, 200);
+  EXPECT_NE(list.body.find("\"mail\""), std::string::npos);
+
+  ClientResponse dtd = Get(server.port(), "/dtds/mail");
+  EXPECT_EQ(dtd.status, 200);
+  EXPECT_NE(dtd.body.find("<!ELEMENT mail"), std::string::npos);
+  EXPECT_EQ(Get(server.port(), "/dtds/nope").status, 404);
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(ServerTest, MetricsScrapeExposesPipelineCounters) {
+  IngestServer server(EvolvingOptions(), EphemeralOptions());
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  ASSERT_EQ(Post(server.port(), "/ingest?wait=1", kConformingDoc).status,
+            200);
+  ClientResponse metrics = Get(server.port(), "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("dtdevolve_documents_processed_total 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("dtdevolve_documents_classified_total 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("# TYPE dtdevolve_ingest_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("dtdevolve_documents_scored_total"),
+            std::string::npos);
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(ServerTest, FullQueueAnswers503WithRetryAfter) {
+  ServerOptions options = EphemeralOptions();
+  options.queue_capacity = 2;
+  IngestServer server(EvolvingOptions(), options);
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // With the worker paused the queue fills deterministically.
+  server.PauseIngest();
+  EXPECT_EQ(Post(server.port(), "/ingest", kConformingDoc).status, 202);
+  EXPECT_EQ(Post(server.port(), "/ingest", kConformingDoc).status, 202);
+
+  ClientResponse rejected = Post(server.port(), "/ingest", kConformingDoc);
+  EXPECT_EQ(rejected.status, 503);
+  EXPECT_NE(rejected.head.find("Retry-After:"), std::string::npos);
+
+  server.ResumeIngest();
+  // The worker drains asynchronously, so the next ingest may still find
+  // the queue full — retry until a slot frees up. wait=1 proves the path
+  // end to end and leaves no in-flight work behind.
+  ClientResponse after;
+  for (int attempt = 0; attempt < 200 && after.status != 200; ++attempt) {
+    after = Post(server.port(), "/ingest?wait=1", kConformingDoc);
+    if (after.status != 200) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_EQ(after.status, 200);
+
+  ClientResponse metrics = Get(server.port(), "/metrics");
+  // Line-anchored: a bare find() would land on the `# HELP` line.
+  const std::string metric_name = "\ndtdevolve_ingest_rejected_total ";
+  const size_t pos = metrics.body.find(metric_name);
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_GE(std::atoi(metrics.body.c_str() + pos + metric_name.size()), 1);
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(ServerTest, ConcurrentClientsAllGetServed) {
+  IngestServer server(EvolvingOptions(), EphemeralOptions());
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::vector<int> statuses(kClients, 0);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      statuses[i] =
+          Post(server.port(), "/ingest?wait=1", kConformingDoc).status;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int i = 0; i < kClients; ++i) EXPECT_EQ(statuses[i], 200) << i;
+
+  ClientResponse stats = Get(server.port(), "/stats");
+  EXPECT_EQ(stats.status, 200);
+  EXPECT_NE(stats.body.find("\"documents_processed\":8"), std::string::npos);
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(ServerTest, GracefulShutdownSnapshotsAndRestartRestores) {
+  const std::string dir = testing::TempDir() + "server_snapshots";
+  std::remove((dir + "/mail.dtdstate").c_str());
+  ::rmdir(dir.c_str());
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0) << std::strerror(errno);
+
+  std::string evolved_dtd;
+  {
+    ServerOptions options = EphemeralOptions();
+    options.snapshot_dir = dir;
+    IngestServer server(EvolvingOptions(), options);
+    ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+    ASSERT_TRUE(server.Start().ok());
+
+    ASSERT_EQ(Post(server.port(), "/ingest?wait=1", kConformingDoc).status,
+              200);
+    ClientResponse drifted =
+        Post(server.port(), "/ingest?wait=1", kDriftedDoc);
+    ASSERT_EQ(drifted.status, 200);
+    EXPECT_NE(drifted.body.find("\"evolved\":true"), std::string::npos);
+
+    ClientResponse metrics = Get(server.port(), "/metrics");
+    EXPECT_NE(metrics.body.find("dtdevolve_evolutions_total 1"),
+              std::string::npos);
+
+    ClientResponse dtd = Get(server.port(), "/dtds/mail");
+    EXPECT_NE(dtd.body.find("attachment"), std::string::npos);
+    evolved_dtd = dtd.body;
+
+    server.Shutdown();
+    server.Wait();
+  }
+
+  // A fresh server seeded with the ORIGINAL DTD restores the evolved
+  // extended state from the snapshot.
+  {
+    ServerOptions options = EphemeralOptions();
+    options.snapshot_dir = dir;
+    IngestServer restarted(EvolvingOptions(), options);
+    ASSERT_TRUE(restarted.AddDtdText("mail", kMailDtd).ok());
+    ASSERT_TRUE(restarted.Start().ok());
+
+    ClientResponse dtd = Get(restarted.port(), "/dtds/mail");
+    EXPECT_EQ(dtd.status, 200);
+    EXPECT_EQ(dtd.body, evolved_dtd);
+
+    restarted.Shutdown();
+    restarted.Wait();
+  }
+  std::remove((dir + "/mail.dtdstate").c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(ServerTest, ShutdownDrainsQueuedDocumentsBeforeStopping) {
+  ServerOptions options = EphemeralOptions();
+  options.snapshot_dir = "";
+  IngestServer server(EvolvingOptions(), options);
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  server.PauseIngest();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(Post(server.port(), "/ingest", kConformingDoc).status, 202);
+  }
+  // Shutdown overrides the pause: all five queued documents must be
+  // applied before Wait returns.
+  server.Shutdown();
+  server.Wait();
+  EXPECT_EQ(server.source().documents_processed(), 5u);
+}
+
+}  // namespace
+}  // namespace dtdevolve::server

@@ -6,11 +6,19 @@
 //   dtdevolve evolve     <dtd-file> [--sigma S] [--tau T] [--psi P]
 //                        [--mu M] [--jobs N] <xml-file>...
 //   dtdevolve adapt      <dtd-file> <xml-file>
+//   dtdevolve serve      <dtd-file>... [--port P] [--jobs N]
+//                        [--snapshot-dir D] [--sigma S] [--tau T]
+//                        [--psi P] [--mu M]
 //
 // Exit code 0 on success; 1 on usage/IO/parse errors; for `validate`,
 // 2 when at least one document is invalid.
+//
+// Unknown `--flags` are usage errors everywhere; `serve` additionally
+// rejects non-positive --port/--jobs.
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -24,6 +32,7 @@
 #include "dtd/diff.h"
 #include "dtd/dtd_parser.h"
 #include "dtd/dtd_writer.h"
+#include "server/server.h"
 #include "similarity/similarity.h"
 #include "validate/validator.h"
 #include "xml/parser.h"
@@ -66,8 +75,32 @@ int Usage() {
                "[--psi P] [--mu M] [--jobs N] <xml>...\n"
                "  dtdevolve adapt      <dtd> <xml>\n"
                "  dtdevolve xsd        <dtd>\n"
-               "  dtdevolve diff       <old-dtd> <new-dtd>\n");
+               "  dtdevolve diff       <old-dtd> <new-dtd>\n"
+               "  dtdevolve serve      <dtd>... [--port P] [--jobs N] "
+               "[--snapshot-dir D]\n"
+               "                       [--sigma S] [--tau T] [--psi P] "
+               "[--mu M]\n");
   return 1;
+}
+
+int UnknownFlag(const std::string& flag) {
+  std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+  return Usage();
+}
+
+bool IsFlag(const std::string& arg) { return arg.rfind("--", 0) == 0; }
+
+/// Strict numeric flag values: the whole argument must parse.
+bool ParseDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != text.c_str() && *end == '\0';
+}
+
+bool ParseLong(const std::string& text, long* out) {
+  char* end = nullptr;
+  *out = std::strtol(text.c_str(), &end, 10);
+  return end != text.c_str() && *end == '\0';
 }
 
 int CmdDiff(const std::vector<std::string>& args) {
@@ -156,6 +189,9 @@ int CmdInfer(std::vector<std::string> args) {
     use_naive = args[0] == "--naive";
     args.erase(args.begin());
   }
+  for (const std::string& arg : args) {
+    if (IsFlag(arg)) return UnknownFlag(arg);
+  }
   if (args.size() < 2) return Usage();
   const std::string root = args[0];
   std::vector<dtdevolve::xml::Document> docs;
@@ -190,22 +226,31 @@ int CmdEvolve(std::vector<std::string> args) {
   long jobs = -1;
   std::vector<std::string> files;
   for (size_t i = 0; i < args.size(); ++i) {
+    bool bad_value = false;
     auto flag_value = [&](const char* name, double* out) {
-      if (args[i] == name && i + 1 < args.size()) {
-        *out = std::strtod(args[++i].c_str(), nullptr);
+      if (args[i] != name) return false;
+      if (i + 1 >= args.size() || !ParseDouble(args[i + 1], out)) {
+        bad_value = true;
         return true;
       }
-      return false;
+      ++i;
+      return true;
     };
-    if (flag_value("--sigma", &options.sigma)) continue;
-    if (flag_value("--tau", &options.tau)) continue;
-    if (flag_value("--psi", &options.evolution.psi)) continue;
-    if (flag_value("--mu", &options.evolution.min_support)) continue;
-    if (args[i] == "--jobs" && i + 1 < args.size()) {
-      jobs = std::strtol(args[++i].c_str(), nullptr, 10);
-      if (jobs < 0) return Usage();
+    if (flag_value("--sigma", &options.sigma) ||
+        flag_value("--tau", &options.tau) ||
+        flag_value("--psi", &options.evolution.psi) ||
+        flag_value("--mu", &options.evolution.min_support)) {
+      if (bad_value) return Usage();
       continue;
     }
+    if (args[i] == "--jobs") {
+      if (i + 1 >= args.size() || !ParseLong(args[i + 1], &jobs) || jobs < 0) {
+        return Usage();
+      }
+      ++i;
+      continue;
+    }
+    if (IsFlag(args[i])) return UnknownFlag(args[i]);
     files.push_back(args[i]);
   }
   if (files.empty()) return Usage();
@@ -297,6 +342,116 @@ int CmdAdapt(const std::vector<std::string>& args) {
   return 0;
 }
 
+// `serve` wires SIGINT/SIGTERM to a graceful stop; IngestServer::Shutdown
+// is async-signal-safe, so the handler may call it directly.
+dtdevolve::server::IngestServer* g_server = nullptr;
+
+void HandleStopSignal(int) {
+  if (g_server != nullptr) g_server->Shutdown();
+}
+
+/// "schemas/mail.dtd" → "mail": the served DTD name is the file's
+/// basename without its extension.
+std::string DtdNameFromPath(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name = name.substr(0, dot);
+  return name.empty() ? path : name;
+}
+
+int CmdServe(std::vector<std::string> args) {
+  dtdevolve::core::SourceOptions source_options;
+  source_options.sigma = 0.3;
+  source_options.tau = 0.15;
+  source_options.min_documents_before_check = 1;
+  dtdevolve::server::ServerOptions server_options;
+  std::vector<std::string> dtd_files;
+  for (size_t i = 0; i < args.size(); ++i) {
+    bool bad_value = false;
+    auto flag_value = [&](const char* name, double* out) {
+      if (args[i] != name) return false;
+      if (i + 1 >= args.size() || !ParseDouble(args[i + 1], out)) {
+        bad_value = true;
+        return true;
+      }
+      ++i;
+      return true;
+    };
+    auto positive_long = [&](const char* name, long* out) {
+      if (args[i] != name) return false;
+      if (i + 1 >= args.size() || !ParseLong(args[i + 1], out) || *out <= 0) {
+        bad_value = true;
+        return true;
+      }
+      ++i;
+      return true;
+    };
+    if (flag_value("--sigma", &source_options.sigma) ||
+        flag_value("--tau", &source_options.tau) ||
+        flag_value("--psi", &source_options.evolution.psi) ||
+        flag_value("--mu", &source_options.evolution.min_support)) {
+      if (bad_value) return Usage();
+      continue;
+    }
+    long value = 0;
+    if (positive_long("--port", &value)) {
+      if (bad_value || value > 65535) return Usage();
+      server_options.port = static_cast<uint16_t>(value);
+      continue;
+    }
+    if (positive_long("--jobs", &value)) {
+      if (bad_value) return Usage();
+      server_options.jobs = static_cast<size_t>(value);
+      continue;
+    }
+    if (args[i] == "--snapshot-dir") {
+      if (i + 1 >= args.size()) return Usage();
+      server_options.snapshot_dir = args[++i];
+      continue;
+    }
+    if (IsFlag(args[i])) return UnknownFlag(args[i]);
+    dtd_files.push_back(args[i]);
+  }
+  if (dtd_files.empty()) return Usage();
+
+  dtdevolve::server::IngestServer server(source_options, server_options);
+  for (const std::string& file : dtd_files) {
+    StatusOr<std::string> text = ReadFile(file);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    Status added = server.AddDtdText(DtdNameFromPath(file), *text);
+    if (!added.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   added.ToString().c_str());
+      return 1;
+    }
+  }
+
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  g_server = &server;
+  struct sigaction action = {};
+  action.sa_handler = HandleStopSignal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  std::fprintf(stderr, "dtdevolve serve: listening on port %u (%zu dtd(s))\n",
+               static_cast<unsigned>(server.port()), dtd_files.size());
+  server.Wait();
+  g_server = nullptr;
+  std::fprintf(stderr, "dtdevolve serve: drained and stopped\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -310,5 +465,6 @@ int main(int argc, char** argv) {
   if (command == "adapt") return CmdAdapt(args);
   if (command == "xsd") return CmdXsd(args);
   if (command == "diff") return CmdDiff(args);
+  if (command == "serve") return CmdServe(std::move(args));
   return Usage();
 }
