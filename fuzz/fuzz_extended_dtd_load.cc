@@ -1,0 +1,25 @@
+// Fuzz target: the extended-DTD snapshot deserializer — the surface a
+// server exposes to whatever is on disk at startup. Any byte stream must
+// produce a clean Status or a state that is a serialization fixed point:
+// serialize(deserialize(x)) must deserialize again to the same bytes.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "evolve/persist.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  dtdevolve::StatusOr<dtdevolve::evolve::ExtendedDtd> loaded =
+      dtdevolve::evolve::DeserializeExtendedDtd(input);
+  if (!loaded.ok()) return 0;
+  std::string first = dtdevolve::evolve::SerializeExtendedDtd(*loaded);
+  dtdevolve::StatusOr<dtdevolve::evolve::ExtendedDtd> reloaded =
+      dtdevolve::evolve::DeserializeExtendedDtd(first);
+  if (!reloaded.ok()) __builtin_trap();
+  if (dtdevolve::evolve::SerializeExtendedDtd(*reloaded) != first) {
+    __builtin_trap();
+  }
+  return 0;
+}

@@ -1,0 +1,227 @@
+// libFuzzer-compatible driver for toolchains without -fsanitize=fuzzer
+// (plain g++): gives every fuzz target a main() with the OSS-Fuzz
+// replay contract — corpus files or directories as arguments run once
+// each — plus a bounded deterministic mutation loop:
+//
+//   fuzz_xml_parser corpus/xml                 # replay only
+//   fuzz_xml_parser corpus/xml --seconds 60    # replay, then mutate 60s
+//   fuzz_xml_parser corpus/xml --runs 10000    # replay, then N mutations
+//
+// Mutations are splitmix64-seeded (--seed S, default 1), so a crash is
+// reproducible by re-running with the same corpus, seed, and run count.
+// On a crashing signal (trap, abort, segfault) the driver dumps the
+// in-flight input to crash-input.bin in the working directory, so the
+// failure replays directly:
+//
+//   fuzz_xml_parser crash-input.bin
+//
+// --verbose additionally prints every run number to keep a noisy trail.
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+constexpr size_t kMaxInputSize = 1 << 20;
+
+// The input currently inside LLVMFuzzerTestOneInput, for the crash dump.
+// Written only between runs, read only from the fatal-signal handler.
+const uint8_t* g_current_data = nullptr;
+size_t g_current_size = 0;
+
+// Async-signal-safe: open/write/re-raise only.
+void CrashDump(int sig) {
+  int fd = ::open("crash-input.bin", O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    size_t done = 0;
+    while (done < g_current_size) {
+      ssize_t n = ::write(fd, g_current_data + done, g_current_size - done);
+      if (n <= 0) break;
+      done += static_cast<size_t>(n);
+    }
+    ::close(fd);
+    const char msg[] = "crashing input saved to crash-input.bin\n";
+    ssize_t ignored = ::write(STDERR_FILENO, msg, sizeof(msg) - 1);
+    (void)ignored;
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void InstallCrashDump() {
+  for (int sig : {SIGILL, SIGABRT, SIGSEGV, SIGFPE, SIGBUS}) {
+    ::signal(sig, CrashDump);
+  }
+}
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+void RunOne(const std::string& input) {
+  size_t size = input.size() < kMaxInputSize ? input.size() : kMaxInputSize;
+  g_current_data = reinterpret_cast<const uint8_t*>(input.data());
+  g_current_size = size;
+  (void)LLVMFuzzerTestOneInput(g_current_data, size);
+  g_current_data = nullptr;
+  g_current_size = 0;
+}
+
+/// One round of byte-level mutation: flips, inserts, erases, and splices
+/// from a second corpus entry — the classic libFuzzer moves, minus the
+/// coverage feedback the plain toolchain cannot provide.
+std::string Mutate(const std::string& base, const std::string& other,
+                   uint64_t& rng) {
+  std::string out = base;
+  size_t rounds = 1 + SplitMix64(rng) % 8;
+  for (size_t r = 0; r < rounds; ++r) {
+    switch (SplitMix64(rng) % 5) {
+      case 0:  // flip a byte
+        if (!out.empty()) {
+          out[SplitMix64(rng) % out.size()] =
+              static_cast<char>(SplitMix64(rng));
+        }
+        break;
+      case 1:  // insert a random byte
+        out.insert(out.begin() + SplitMix64(rng) % (out.size() + 1),
+                   static_cast<char>(SplitMix64(rng)));
+        break;
+      case 2:  // erase a span
+        if (!out.empty()) {
+          size_t pos = SplitMix64(rng) % out.size();
+          size_t len = 1 + SplitMix64(rng) % (out.size() - pos);
+          out.erase(pos, len);
+        }
+        break;
+      case 3:  // duplicate a span in place
+        if (!out.empty() && out.size() < kMaxInputSize) {
+          size_t pos = SplitMix64(rng) % out.size();
+          size_t len = 1 + SplitMix64(rng) % (out.size() - pos);
+          out.insert(pos, out.substr(pos, len));
+        }
+        break;
+      default:  // splice a span from another corpus entry
+        if (!other.empty() && out.size() < kMaxInputSize) {
+          size_t opos = SplitMix64(rng) % other.size();
+          size_t len = 1 + SplitMix64(rng) % (other.size() - opos);
+          out.insert(SplitMix64(rng) % (out.size() + 1),
+                     other.substr(opos, len));
+        }
+        break;
+    }
+  }
+  if (out.size() > kMaxInputSize) out.resize(kMaxInputSize);
+  return out;
+}
+
+bool ReadFile(const std::filesystem::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InstallCrashDump();
+  std::vector<std::string> corpus;
+  long seconds = 0;
+  long runs = 0;
+  uint64_t seed = 1;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto long_flag = [&](const char* name, long* out) {
+      if (arg != name) return false;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", name);
+        std::exit(1);
+      }
+      *out = std::strtol(argv[++i], nullptr, 10);
+      return true;
+    };
+    long seed_value = 0;
+    if (long_flag("--seconds", &seconds) || long_flag("--runs", &runs)) {
+      continue;
+    }
+    if (long_flag("--seed", &seed_value)) {
+      seed = static_cast<uint64_t>(seed_value);
+      continue;
+    }
+    if (arg == "--verbose") {
+      verbose = true;
+      continue;
+    }
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg, ec)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());  // deterministic replay order
+      for (const auto& file : files) {
+        std::string content;
+        if (ReadFile(file, &content)) corpus.push_back(std::move(content));
+      }
+    } else {
+      std::string content;
+      if (!ReadFile(arg, &content)) {
+        std::fprintf(stderr, "cannot read %s\n", arg.c_str());
+        return 1;
+      }
+      corpus.push_back(std::move(content));
+    }
+  }
+
+  if (corpus.empty()) corpus.push_back("");
+
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    if (verbose) std::fprintf(stderr, "replay %zu\n", i);
+    RunOne(corpus[i]);
+  }
+  std::fprintf(stderr, "replayed %zu corpus entr%s\n", corpus.size(),
+               corpus.size() == 1 ? "y" : "ies");
+
+  if (seconds <= 0 && runs <= 0) return 0;
+
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::seconds(seconds > 0 ? seconds : 0);
+  uint64_t rng = seed;
+  long executed = 0;
+  while (true) {
+    if (runs > 0 && executed >= runs) break;
+    if (seconds > 0 && std::chrono::steady_clock::now() >= deadline) break;
+    const std::string& base = corpus[SplitMix64(rng) % corpus.size()];
+    const std::string& other = corpus[SplitMix64(rng) % corpus.size()];
+    std::string mutated = Mutate(base, other, rng);
+    if (verbose) std::fprintf(stderr, "run %ld (%zu bytes)\n", executed,
+                              mutated.size());
+    RunOne(mutated);
+    ++executed;
+  }
+  std::fprintf(stderr, "executed %ld mutated run(s), seed %llu\n", executed,
+               static_cast<unsigned long long>(seed));
+  return 0;
+}

@@ -1,0 +1,754 @@
+#include "check/oracle.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/report.h"
+#include "core/source.h"
+#include "dtd/dtd_writer.h"
+#include "dtd/glushkov.h"
+#include "evolve/persist.h"
+#include "evolve/windows.h"
+#include "mining/rules.h"
+#include "validate/validator.h"
+#include "workload/mutator.h"
+#include "workload/rng.h"
+#include "workload/scenarios.h"
+#include "xml/document.h"
+
+namespace dtdevolve::check {
+
+namespace {
+
+/// Per-scenario violation cap: one genuine divergence tends to cascade
+/// (every later accounting check also fails), so collecting everything
+/// buries the root cause.
+constexpr size_t kMaxViolationsPerScenario = 24;
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string Truncate(std::string_view s, size_t limit = 160) {
+  if (s.size() <= limit) return std::string(s);
+  return std::string(s.substr(0, limit)) + "…";
+}
+
+std::string EscapeNewlines(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// First line where two line-oriented strings disagree, for diagnostics.
+std::string FirstDifference(const std::string& a, const std::string& b) {
+  size_t line = 1, ia = 0, ib = 0;
+  while (ia < a.size() || ib < b.size()) {
+    size_t ea = a.find('\n', ia);
+    if (ea == std::string::npos) ea = a.size();
+    size_t eb = b.find('\n', ib);
+    if (eb == std::string::npos) eb = b.size();
+    std::string_view la(a.data() + ia, ea - ia);
+    std::string_view lb(b.data() + ib, eb - ib);
+    if (la != lb) {
+      return "line " + std::to_string(line) + ": sequential \"" +
+             Truncate(la) + "\" vs batch \"" + Truncate(lb) + "\"";
+    }
+    ia = ea + 1;
+    ib = eb + 1;
+    ++line;
+  }
+  return "identical lines but different lengths";
+}
+
+template <typename Fn>
+void ForEachElement(const xml::Element& element, const std::string& tag,
+                    Fn&& fn) {
+  if (element.tag() == tag) fn(element);
+  for (const xml::Element* child : element.ChildElements()) {
+    ForEachElement(*child, tag, fn);
+  }
+}
+
+std::string RenderLabelSet(const std::set<std::string>& labels) {
+  std::string out = "{";
+  for (const std::string& label : labels) {
+    if (out.size() > 1) out += ", ";
+    out += label;
+  }
+  return out + "}";
+}
+
+/// Does the automaton accept *some* word that uses every label of
+/// `labels` at least once and nothing else (#PCDATA aside)? Recorded
+/// sequences disregard order and repetition, so this commutative-closure
+/// test is exactly what the rebuilt declaration promises a µ-frequent
+/// structure. BFS over (reachable NFA state set, labels consumed so far).
+bool AcceptsSomeWordOver(const dtd::Automaton& automaton,
+                         const std::set<std::string>& labels) {
+  if (automaton.is_any()) return true;
+  std::vector<std::string> label_list(labels.begin(), labels.end());
+  size_t n = label_list.size();
+  if (n > 31) return true;  // out of scope for the bitmask; never in practice
+  uint32_t full = static_cast<uint32_t>((1u << n) - 1);
+
+  using SearchNode = std::pair<std::vector<int>, uint32_t>;
+  auto accepting = [&](const SearchNode& node) {
+    if (node.second != full) return false;
+    for (int state : node.first) {
+      if (automaton.IsAccepting(state)) return true;
+    }
+    return false;
+  };
+
+  std::set<SearchNode> seen;
+  std::vector<SearchNode> frontier;
+  SearchNode start{{0}, 0};
+  if (accepting(start)) return true;
+  seen.insert(start);
+  frontier.push_back(std::move(start));
+  const std::string pcdata(dtd::kPcdataSymbol);
+
+  while (!frontier.empty()) {
+    SearchNode node = std::move(frontier.back());
+    frontier.pop_back();
+    for (size_t li = 0; li <= n; ++li) {
+      const std::string& label = li < n ? label_list[li] : pcdata;
+      uint32_t mask =
+          li < n ? (node.second | (1u << static_cast<uint32_t>(li)))
+                 : node.second;
+      std::set<int> next_states;
+      for (int state : node.first) {
+        for (int pos : automaton.SuccessorsOf(state)) {
+          if (automaton.LabelOfPosition(pos) == label) {
+            next_states.insert(pos + 1);
+          }
+        }
+      }
+      if (next_states.empty()) continue;
+      SearchNode next{{next_states.begin(), next_states.end()}, mask};
+      if (!seen.insert(next).second) continue;
+      if (accepting(next)) return true;
+      frontier.push_back(std::move(next));
+    }
+  }
+  return false;
+}
+
+// --- Scenario synthesis -----------------------------------------------------
+
+/// A fully materialized scenario: the initial DTD set, the exact document
+/// stream, and the pipeline thresholds — everything a replica needs to
+/// reproduce the run bit-for-bit.
+struct Scenario {
+  std::string label;
+  core::SourceOptions options;
+  std::vector<std::pair<std::string, dtd::Dtd>> dtds;
+  std::vector<xml::Document> documents;
+};
+
+workload::ScenarioStream MakeStream(size_t kind, uint64_t seed,
+                                    uint64_t docs_per_phase) {
+  switch (kind) {
+    case 0:
+      return workload::MakeBibliographyScenario(seed, docs_per_phase);
+    case 1:
+      return workload::MakeCatalogScenario(seed, docs_per_phase);
+    case 2:
+      return workload::MakeNewsScenario(seed, docs_per_phase);
+    default:
+      return workload::MakeForumScenario(seed, docs_per_phase);
+  }
+}
+
+/// Derives a whole scenario from one seed. Generation never depends on
+/// `max_documents` (the cap only truncates the finished stream), so every
+/// prefix run sees exactly the documents of the full run — the property
+/// `MinimizeFailure` relies on.
+Scenario MakeScenario(uint64_t seed, uint64_t max_documents) {
+  // Decorrelate from callers that hand out consecutive seeds.
+  workload::Rng rng(seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+  Scenario scenario;
+
+  uint64_t docs_per_phase = 12 + rng.Uniform(24);
+  size_t num_streams = rng.Chance(0.4) ? 2 : 1;
+  size_t first = rng.Uniform(4);
+  size_t second = (first + 1 + rng.Uniform(3)) % 4;
+
+  std::vector<workload::ScenarioStream> streams;
+  streams.push_back(MakeStream(first, rng.Next(), docs_per_phase));
+  if (num_streams == 2) {
+    streams.push_back(MakeStream(second, rng.Next(), docs_per_phase));
+  }
+
+  scenario.options.sigma = 0.25 + 0.2 * rng.NextDouble();
+  scenario.options.tau = 0.08 + 0.15 * rng.NextDouble();
+  scenario.options.min_documents_before_check = 4 + rng.Uniform(8);
+  // The oracle keeps its own document copies; the source need not.
+  scenario.options.keep_documents = false;
+  scenario.options.evolution.psi = 0.05 + 0.25 * rng.NextDouble();
+  scenario.options.evolution.min_support = 0.02 + 0.13 * rng.NextDouble();
+
+  for (const workload::ScenarioStream& stream : streams) {
+    if (!scenario.label.empty()) scenario.label += "+";
+    scenario.label += stream.name();
+    scenario.dtds.emplace_back(stream.name(), stream.InitialDtd());
+  }
+
+  bool mutate = rng.Chance(0.5);
+  std::unique_ptr<workload::Mutator> mutator;
+  if (mutate) {
+    workload::MutationOptions mo;
+    mo.drop_probability = 0.02 + 0.04 * rng.NextDouble();
+    mo.insert_probability = 0.02 + 0.04 * rng.NextDouble();
+    mo.duplicate_probability = 0.02 + 0.04 * rng.NextDouble();
+    mo.swap_probability = 0.02 + 0.04 * rng.NextDouble();
+    mutator = std::make_unique<workload::Mutator>(mo, rng.Next());
+    scenario.label += " mutated";
+  }
+
+  std::vector<size_t> alive;
+  while (true) {
+    alive.clear();
+    for (size_t s = 0; s < streams.size(); ++s) {
+      if (!streams[s].Done()) alive.push_back(s);
+    }
+    if (alive.empty()) break;
+    size_t pick = alive[rng.Uniform(static_cast<uint32_t>(alive.size()))];
+    xml::Document doc = streams[pick].Next();
+    if (mutator) mutator->Mutate(doc);
+    scenario.documents.push_back(std::move(doc));
+  }
+  if (max_documents != 0 && scenario.documents.size() > max_documents) {
+    scenario.documents.resize(max_documents);
+  }
+  return scenario;
+}
+
+// --- Fingerprints (invariant 3) ---------------------------------------------
+
+using Fingerprint = std::vector<std::pair<std::string, std::string>>;
+
+/// Serializes every observable a batch run could diverge on: outcomes,
+/// the event log, the loop counters, the repository ids, and per DTD the
+/// declarations plus the full extended-DTD recording state. Byte equality
+/// of fingerprints is the "identical at any jobs level" claim.
+Fingerprint FingerprintOf(
+    const core::XmlSource& src,
+    const std::vector<core::XmlSource::ProcessOutcome>& outcomes) {
+  Fingerprint fp;
+
+  std::string o;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const core::XmlSource::ProcessOutcome& out = outcomes[i];
+    o += std::to_string(i) + " " + (out.classified ? "C" : "U") + " " +
+         out.dtd_name + " " + FormatDouble(out.similarity) + " " +
+         (out.evolved ? "E" : "-") + " " + std::to_string(out.reclassified) +
+         "\n";
+  }
+  fp.emplace_back("outcomes", std::move(o));
+
+  std::string e;
+  for (const core::SourceEvent& event : src.events()) {
+    e += core::EventKindName(event.kind) + " " + event.dtd_name + " " +
+         FormatDouble(event.similarity) + " " +
+         std::to_string(event.document_index) + " " +
+         EscapeNewlines(event.detail) + "\n";
+  }
+  fp.emplace_back("events", std::move(e));
+
+  std::string c = std::to_string(src.documents_processed()) + " " +
+                  std::to_string(src.documents_classified()) + " " +
+                  std::to_string(src.evolutions_performed()) + " " +
+                  std::to_string(src.repository().size()) + "\n";
+  fp.emplace_back("counters", std::move(c));
+
+  std::string r;
+  for (int id : src.repository().Ids()) r += std::to_string(id) + "\n";
+  fp.emplace_back("repository", std::move(r));
+
+  for (const std::string& name : src.DtdNames()) {
+    fp.emplace_back("dtd:" + name, dtd::WriteDtd(*src.FindDtd(name)));
+    fp.emplace_back("state:" + name,
+                    evolve::SerializeExtendedDtd(*src.FindExtended(name)));
+  }
+  return fp;
+}
+
+// --- The sequential reference run -------------------------------------------
+
+/// Aggregates recomputed from raw documents with a fresh Validator —
+/// the independent side of the trigger-accounting check.
+struct IndependentTally {
+  uint64_t docs = 0;
+  uint64_t total_elements = 0;
+  uint64_t invalid_elements = 0;
+  double divergence_sum = 0.0;
+};
+
+/// Mirror of one DTD's recording state, maintained outside XmlSource.
+/// `ext` replays every recorded document into an independent copy, so when
+/// an evolution fires (and the primary immediately resets its stats) the
+/// oracle still holds the pre-evolution statistics that *drove* the
+/// evolution — that is what window prediction and the µ filter need.
+struct Shadow {
+  evolve::ExtendedDtd ext;
+  std::unique_ptr<evolve::Recorder> recorder;
+  std::unique_ptr<validate::Validator> validator;
+  /// Clones of the documents recorded since the last evolution (DOC_cur).
+  std::vector<xml::Document> current_docs;
+  IndependentTally tally;
+
+  explicit Shadow(dtd::Dtd dtd) : ext(std::move(dtd)) {
+    recorder = std::make_unique<evolve::Recorder>(ext);
+    validator = std::make_unique<validate::Validator>(ext.dtd());
+  }
+};
+
+class ReferenceRun {
+ public:
+  ReferenceRun(const Scenario& scenario, const OracleOptions& options,
+               ScenarioResult& result)
+      : scenario_(&scenario), options_(&options), result_(&result),
+        src_(scenario.options) {
+    for (const auto& [name, dtd] : scenario.dtds) {
+      Status st = src_.AddDtd(name, dtd.Clone());
+      if (!st.ok()) {
+        AddViolation("setup", name, 0, st.message());
+        continue;
+      }
+      shadows_[name] = std::make_unique<Shadow>(dtd.Clone());
+    }
+  }
+
+  void Feed(const xml::Document& doc, uint64_t index) {
+    size_t events_before = src_.events().size();
+    core::XmlSource::ProcessOutcome out = src_.Process(doc.Clone());
+    outcomes_.push_back(out);
+
+    if (out.classified) {
+      // Recording happened before any evolution, so mirror first: the
+      // triggering document is part of the pre-evolution statistics.
+      MirrorClassified(out.dtd_name, doc);
+    } else {
+      repo_mirror_.emplace(next_repo_id_, doc.Clone());
+    }
+    if (!out.classified) ++next_repo_id_;
+
+    if (out.evolved) {
+      CheckEvolutionInvariants(out.dtd_name, index);
+      if (options_->check_persistence) {
+        // The pre-evolution shadow carries the richest recording state
+        // (sequences, groups, plus structures) — the interesting input
+        // for the round-trip.
+        CheckPersistence(shadows_.at(out.dtd_name)->ext, out.dtd_name, index);
+      }
+      ResyncShadow(out.dtd_name);
+      MirrorReclassified(out, events_before, index);
+    }
+    CheckAccounting(index);
+  }
+
+  void Finish() {
+    if (options_->check_persistence) {
+      for (const std::string& name : src_.DtdNames()) {
+        CheckPersistence(*src_.FindExtended(name), name,
+                         scenario_->documents.size());
+      }
+    }
+  }
+
+  const core::XmlSource& source() const { return src_; }
+  const std::vector<core::XmlSource::ProcessOutcome>& outcomes() const {
+    return outcomes_;
+  }
+
+ private:
+  void AddViolation(std::string invariant, std::string dtd_name,
+                    uint64_t index, std::string detail) {
+    if (result_->violations.size() >= kMaxViolationsPerScenario) return;
+    result_->violations.push_back({std::move(invariant), std::move(dtd_name),
+                                   index, std::move(detail)});
+  }
+
+  void MirrorClassified(const std::string& name, const xml::Document& doc) {
+    if (!doc.has_root()) return;
+    Shadow& shadow = *shadows_.at(name);
+    shadow.recorder->RecordDocument(doc);
+    validate::ValidationResult vr = shadow.validator->ValidateSubtree(doc.root());
+    shadow.tally.docs += 1;
+    shadow.tally.total_elements += vr.total_elements;
+    shadow.tally.invalid_elements += vr.invalid_elements;
+    shadow.tally.divergence_sum += vr.InvalidFraction();
+    shadow.current_docs.push_back(doc.Clone());
+  }
+
+  void ResyncShadow(const std::string& name) {
+    shadows_[name] = std::make_unique<Shadow>(src_.FindDtd(name)->Clone());
+  }
+
+  /// After an evolution the source re-classifies the repository in
+  /// ascending-id order; the ids that disappeared map 1:1, in order, onto
+  /// the kReclassified events appended this step. Mirror those documents
+  /// into their new DTD's shadow.
+  void MirrorReclassified(const core::XmlSource::ProcessOutcome& out,
+                          size_t events_before, uint64_t index) {
+    std::set<int> still;
+    for (int id : src_.repository().Ids()) still.insert(id);
+    std::vector<int> removed;
+    for (const auto& [id, doc] : repo_mirror_) {
+      if (still.count(id) == 0) removed.push_back(id);
+    }
+    std::vector<const core::SourceEvent*> reclassified;
+    for (size_t i = events_before; i < src_.events().size(); ++i) {
+      if (src_.events()[i].kind == core::SourceEvent::Kind::kReclassified) {
+        reclassified.push_back(&src_.events()[i]);
+      }
+    }
+    if (reclassified.size() != removed.size() ||
+        removed.size() != out.reclassified) {
+      AddViolation("reclassify-accounting", out.dtd_name, index,
+                   "outcome reports " + std::to_string(out.reclassified) +
+                       " reclassified, " + std::to_string(reclassified.size()) +
+                       " events logged, " + std::to_string(removed.size()) +
+                       " documents left the repository");
+      return;
+    }
+    for (size_t k = 0; k < removed.size(); ++k) {
+      MirrorClassified(reclassified[k]->dtd_name, repo_mirror_.at(removed[k]));
+      repo_mirror_.erase(removed[k]);
+    }
+  }
+
+  /// Invariants 1 and 2: replay the recorded documents of DOC_cur against
+  /// the old and the evolved declaration of every element that recorded
+  /// instances, with the window the pre-evolution statistics predict.
+  void CheckEvolutionInvariants(const std::string& name, uint64_t index) {
+    Shadow& shadow = *shadows_.at(name);
+    const dtd::Dtd& old_dtd = shadow.ext.dtd();
+    const dtd::Dtd* new_dtd = src_.FindDtd(name);
+    if (new_dtd == nullptr) {
+      AddViolation("evolved-dtd-consistent", name, index,
+                   "DTD disappeared after evolution");
+      return;
+    }
+    Status st = new_dtd->Check();
+    if (!st.ok()) {
+      AddViolation("evolved-dtd-consistent", name, index, st.message());
+    }
+    double psi = src_.options().evolution.psi;
+    double mu = src_.options().evolution.min_support;
+
+    for (const std::string& el_name : old_dtd.ElementNames()) {
+      const evolve::ElementStats* stats = shadow.ext.FindStats(el_name);
+      if (stats == nullptr || stats->total_instances() == 0) continue;
+      const dtd::ElementDecl* old_decl = old_dtd.FindElement(el_name);
+      const dtd::ElementDecl* new_decl = new_dtd->FindElement(el_name);
+      if (old_decl == nullptr || old_decl->content == nullptr) continue;
+      if (new_decl == nullptr || new_decl->content == nullptr) {
+        // Declarations only vanish through the (disabled) orphan cleanup.
+        AddViolation("evolved-dtd-consistent", name, index,
+                     "declaration of " + el_name + " vanished");
+        continue;
+      }
+      evolve::Window window =
+          evolve::ClassifyWindow(stats->InvalidityRatio(), psi);
+      dtd::Automaton new_auto = dtd::Automaton::Build(*new_decl->content);
+
+      if (window == evolve::Window::kNew) {
+        // The new window rebuilds from the recorded sequences, which are
+        // tag *sets* (order and repetition disregarded), filtered by µ.
+        // The promise is therefore set-level: every µ-surviving structure
+        // must be representable under the rebuilt declaration — mirror
+        // the builder's own filtering exactly.
+        mining::SequenceRuleOracle rule_oracle(stats->SequenceList(),
+                                               stats->LabelUniverse(), mu);
+        size_t reported = 0;
+        for (const auto& [labels, count] : rule_oracle.frequent_sequences()) {
+          if (reported >= 3) break;
+          if (!AcceptsSomeWordOver(new_auto, labels)) {
+            AddViolation("new-window-validity", name, index,
+                         "rebuilt declaration of " + el_name +
+                             " admits no instance with µ-frequent structure " +
+                             RenderLabelSet(labels));
+            ++reported;
+          }
+        }
+        continue;
+      }
+
+      dtd::Automaton old_auto = dtd::Automaton::Build(*old_decl->content);
+      size_t reported = 0;
+      for (const xml::Document& doc : shadow.current_docs) {
+        if (!doc.has_root() || reported >= 3) continue;
+        ForEachElement(doc.root(), el_name, [&](const xml::Element& el) {
+          if (reported >= 3) return;
+          std::vector<std::string> symbols = validate::ContentSymbols(el);
+          if (old_auto.Accepts(symbols) && !new_auto.Accepts(symbols)) {
+            AddViolation(window == evolve::Window::kOld
+                             ? "restriction-preserves-validity"
+                             : "misc-preserves-validity",
+                         name, index,
+                         el_name + " instance valid under old declaration "
+                                   "rejected by evolved one (window " +
+                             evolve::WindowName(window) + ")");
+            ++reported;
+          }
+        });
+      }
+    }
+  }
+
+  /// Invariant 4: serialize → deserialize → re-serialize is a byte-level
+  /// fixed point, and the Save/Load file round-trip yields the same state.
+  void CheckPersistence(const evolve::ExtendedDtd& ext, const std::string& name,
+                        uint64_t index) {
+    std::string first = evolve::SerializeExtendedDtd(ext);
+    StatusOr<evolve::ExtendedDtd> reread =
+        evolve::DeserializeExtendedDtd(first);
+    if (!reread.ok()) {
+      AddViolation("persist-fixed-point", name, index,
+                   "deserialize failed: " + reread.status().message());
+      return;
+    }
+    std::string second = evolve::SerializeExtendedDtd(*reread);
+    if (first != second) {
+      AddViolation("persist-fixed-point", name, index,
+                   FirstDifference(first, second));
+      return;
+    }
+
+    static std::atomic<uint64_t> temp_counter{0};
+    std::filesystem::path path =
+        std::filesystem::temp_directory_path() /
+        ("dtdevolve-oracle-" + std::to_string(::getpid()) + "-" +
+         std::to_string(temp_counter.fetch_add(1)) + ".snapshot");
+    Status saved = evolve::SaveExtendedDtdFile(ext, path.string());
+    if (!saved.ok()) {
+      AddViolation("persist-fixed-point", name, index,
+                   "save failed: " + saved.message());
+      return;
+    }
+    StatusOr<evolve::ExtendedDtd> loaded =
+        evolve::LoadExtendedDtdFile(path.string());
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    if (!loaded.ok()) {
+      AddViolation("persist-fixed-point", name, index,
+                   "load failed: " + loaded.status().message());
+      return;
+    }
+    std::string from_file = evolve::SerializeExtendedDtd(*loaded);
+    if (from_file != first) {
+      AddViolation("persist-fixed-point", name, index,
+                   "file round-trip diverged: " +
+                       FirstDifference(first, from_file));
+    }
+  }
+
+  /// Invariant 5: the primary's trigger aggregates equal the independent
+  /// recount. Runs after every document — the aggregates feed the τ check
+  /// on the very next classification, so drift must be caught immediately.
+  void CheckAccounting(uint64_t index) {
+    for (const auto& [name, shadow] : shadows_) {
+      const evolve::ExtendedDtd* ext = src_.FindExtended(name);
+      if (ext == nullptr) {
+        AddViolation("trigger-accounting", name, index, "extended DTD missing");
+        continue;
+      }
+      const IndependentTally& tally = shadow->tally;
+      bool counters_match = ext->documents_recorded() == tally.docs &&
+                            ext->total_elements_recorded() ==
+                                tally.total_elements &&
+                            ext->invalid_elements_recorded() ==
+                                tally.invalid_elements;
+      double tolerance = 1e-9 * (1.0 + static_cast<double>(tally.docs));
+      bool divergence_match =
+          std::fabs(ext->divergence_sum() - tally.divergence_sum) <= tolerance;
+      if (counters_match && divergence_match) continue;
+      std::ostringstream detail;
+      detail << "recorded docs/elements/invalid/divergence "
+             << ext->documents_recorded() << "/"
+             << ext->total_elements_recorded() << "/"
+             << ext->invalid_elements_recorded() << "/"
+             << FormatDouble(ext->divergence_sum()) << " vs independent "
+             << tally.docs << "/" << tally.total_elements << "/"
+             << tally.invalid_elements << "/"
+             << FormatDouble(tally.divergence_sum);
+      AddViolation("trigger-accounting", name, index, detail.str());
+    }
+  }
+
+  const Scenario* scenario_;
+  const OracleOptions* options_;
+  ScenarioResult* result_;
+  core::XmlSource src_;
+  std::map<std::string, std::unique_ptr<Shadow>> shadows_;
+  std::map<int, xml::Document> repo_mirror_;
+  int next_repo_id_ = 0;
+  std::vector<core::XmlSource::ProcessOutcome> outcomes_;
+};
+
+// --- Batch replicas (invariant 3) -------------------------------------------
+
+Fingerprint RunBatchReplica(const Scenario& scenario, size_t jobs) {
+  core::XmlSource src(scenario.options);
+  for (const auto& [name, dtd] : scenario.dtds) {
+    (void)src.AddDtd(name, dtd.Clone());
+  }
+  std::vector<xml::Document> docs;
+  docs.reserve(scenario.documents.size());
+  for (const xml::Document& doc : scenario.documents) {
+    docs.push_back(doc.Clone());
+  }
+  std::vector<core::XmlSource::ProcessOutcome> outcomes =
+      src.ProcessBatch(std::move(docs), jobs);
+  return FingerprintOf(src, outcomes);
+}
+
+void CompareFingerprints(const Fingerprint& reference,
+                         const Fingerprint& batch, size_t jobs,
+                         ScenarioResult& result) {
+  if (result.violations.size() >= kMaxViolationsPerScenario) return;
+  if (reference.size() != batch.size()) {
+    result.violations.push_back(
+        {"batch-divergence", "", 0,
+         "jobs=" + std::to_string(jobs) + ": fingerprint has " +
+             std::to_string(batch.size()) + " sections, expected " +
+             std::to_string(reference.size())});
+    return;
+  }
+  for (size_t i = 0; i < reference.size(); ++i) {
+    if (reference[i].first != batch[i].first ||
+        reference[i].second != batch[i].second) {
+      result.violations.push_back(
+          {"batch-divergence", "", 0,
+           "jobs=" + std::to_string(jobs) + ": section " +
+               reference[i].first + " differs — " +
+               FirstDifference(reference[i].second, batch[i].second)});
+      return;  // first divergent section is the diagnostic; rest cascades
+    }
+  }
+}
+
+}  // namespace
+
+ScenarioResult RunScenario(uint64_t scenario_seed,
+                           const OracleOptions& options) {
+  Scenario scenario = MakeScenario(scenario_seed, options.max_documents);
+  ScenarioResult result;
+  result.seed = scenario_seed;
+  result.scenario = scenario.label;
+  result.documents = scenario.documents.size();
+
+  ReferenceRun reference(scenario, options, result);
+  for (size_t i = 0; i < scenario.documents.size(); ++i) {
+    reference.Feed(scenario.documents[i], i);
+  }
+  reference.Finish();
+  result.evolutions = reference.source().evolutions_performed();
+
+  Fingerprint reference_fp =
+      FingerprintOf(reference.source(), reference.outcomes());
+  for (size_t jobs : options.jobs) {
+    CompareFingerprints(reference_fp, RunBatchReplica(scenario, jobs), jobs,
+                        result);
+  }
+  return result;
+}
+
+OracleReport RunOracle(const OracleOptions& options) {
+  OracleReport report;
+  for (uint64_t i = 0; i < options.scenarios; ++i) {
+    ScenarioResult result = RunScenario(options.seed + i, options);
+    ++report.scenarios_run;
+    report.documents += result.documents;
+    report.evolutions += result.evolutions;
+    if (!result.ok()) {
+      report.failures.push_back(std::move(result));
+      if (report.failures.size() >= options.max_failures) break;
+    }
+  }
+  return report;
+}
+
+ScenarioResult MinimizeFailure(uint64_t scenario_seed,
+                               const OracleOptions& options) {
+  ScenarioResult full = RunScenario(scenario_seed, options);
+  if (full.ok() || full.documents <= 1) return full;
+
+  OracleOptions shrunk = options;
+  uint64_t lo = 1, hi = full.documents;
+  ScenarioResult best = std::move(full);
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    shrunk.max_documents = mid;
+    ScenarioResult attempt = RunScenario(scenario_seed, shrunk);
+    if (!attempt.ok()) {
+      hi = mid;
+      best = std::move(attempt);
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return best;
+}
+
+std::string FormatScenario(const ScenarioResult& result) {
+  std::ostringstream out;
+  out << "scenario seed=" << result.seed << " (" << result.scenario << "): "
+      << result.documents << " documents, " << result.evolutions
+      << " evolutions";
+  if (result.ok()) {
+    out << " — OK\n";
+    return out.str();
+  }
+  out << " — " << result.violations.size() << " violation"
+      << (result.violations.size() == 1 ? "" : "s") << "\n";
+  for (const Violation& v : result.violations) {
+    out << "  [" << v.invariant << "] doc " << v.document_index;
+    if (!v.dtd_name.empty()) out << " dtd=" << v.dtd_name;
+    out << ": " << v.detail << "\n";
+  }
+  return out.str();
+}
+
+std::string FormatReport(const OracleReport& report) {
+  std::ostringstream out;
+  out << "oracle: " << report.scenarios_run << " scenario"
+      << (report.scenarios_run == 1 ? "" : "s") << ", " << report.documents
+      << " documents, " << report.evolutions << " evolutions — "
+      << (report.ok() ? "all invariants held"
+                      : std::to_string(report.failures.size()) +
+                            " failing scenario(s)")
+      << "\n";
+  for (const ScenarioResult& failure : report.failures) {
+    out << FormatScenario(failure);
+    out << "  replay: dtdevolve check --seed " << failure.seed
+        << " --scenarios 1\n";
+  }
+  return out.str();
+}
+
+}  // namespace dtdevolve::check

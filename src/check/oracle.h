@@ -1,0 +1,101 @@
+#ifndef DTDEVOLVE_CHECK_ORACLE_H_
+#define DTDEVOLVE_CHECK_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dtdevolve::check {
+
+/// Differential correctness oracle: replays randomized drift scenarios
+/// (synthesized from `workload/` by a seed) through the full
+/// classify → record → check → evolve pipeline and asserts the paper's
+/// promises after every step:
+///
+///  1. new-window-validity      — a document whose recorded (µ-surviving)
+///     structure put an element in the *new* window validates against the
+///     rebuilt declaration;
+///  2. restriction-preserves-validity / misc-preserves-validity —
+///     old-window operator restriction and the misc window's OR never
+///     invalidate an instance that was valid before the evolution;
+///  3. batch-divergence         — `ProcessBatch` at every jobs level
+///     produces byte-identical outcomes, events, evolved DTDs and
+///     extended-DTD state to feeding documents one at a time;
+///  4. persist-fixed-point      — serialize → deserialize → re-serialize
+///     of the extended DTD is a byte-level fixed point (and the file
+///     round-trip through Save/LoadExtendedDtdFile matches);
+///  5. trigger-accounting       — the recorded aggregates (Σ nonvalid /
+///     elements over Doc_T) equal an independent recount of the raw
+///     documents with a fresh Validator.
+///
+/// All randomness is derived from the scenario seed, so a failure is
+/// replayed exactly by re-running the same seed; `MinimizeFailure`
+/// shrinks a failing run to the shortest document prefix that still
+/// violates an invariant.
+
+/// One invariant violation, pinned to the reference-stream position where
+/// it was detected.
+struct Violation {
+  std::string invariant;  // stable id, e.g. "batch-divergence"
+  std::string dtd_name;
+  uint64_t document_index = 0;
+  std::string detail;
+};
+
+struct ScenarioResult {
+  uint64_t seed = 0;
+  std::string scenario;  // human label, e.g. "bibliography+forum mutated"
+  uint64_t documents = 0;
+  uint64_t evolutions = 0;
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+struct OracleOptions {
+  /// Number of scenarios `RunOracle` derives from `seed` (seed, seed+1, …).
+  uint64_t scenarios = 20;
+  uint64_t seed = 1;
+  /// Jobs levels the batch replicas run at; every level is compared
+  /// byte-for-byte against the sequential reference.
+  std::vector<size_t> jobs = {1, 2, 8};
+  /// Feed only the first `max_documents` documents (0 = the full
+  /// scenario). `MinimizeFailure` shrinks through this knob; prefixes are
+  /// deterministic because generation never depends on the cap.
+  uint64_t max_documents = 0;
+  /// Run the serialize/deserialize fixed-point and file round-trip checks.
+  bool check_persistence = true;
+  /// `RunOracle` stops collecting after this many failing scenarios.
+  uint64_t max_failures = 1;
+};
+
+struct OracleReport {
+  uint64_t scenarios_run = 0;
+  uint64_t documents = 0;
+  uint64_t evolutions = 0;
+  std::vector<ScenarioResult> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Replays the scenario derived from `scenario_seed` and checks every
+/// invariant. Deterministic: equal seeds and options give equal results.
+ScenarioResult RunScenario(uint64_t scenario_seed,
+                           const OracleOptions& options = {});
+
+/// Runs `options.scenarios` scenarios starting at `options.seed`.
+OracleReport RunOracle(const OracleOptions& options = {});
+
+/// Shrinks a failing scenario to the shortest document prefix that still
+/// fails (binary search over `max_documents`). Returns the full run when
+/// the scenario does not fail at all.
+ScenarioResult MinimizeFailure(uint64_t scenario_seed,
+                               const OracleOptions& options = {});
+
+/// Human-readable summaries for the CLI and test logs.
+std::string FormatScenario(const ScenarioResult& result);
+std::string FormatReport(const OracleReport& report);
+
+}  // namespace dtdevolve::check
+
+#endif  // DTDEVOLVE_CHECK_ORACLE_H_

@@ -9,6 +9,12 @@ namespace dtdevolve::dtd {
 
 namespace {
 
+/// Nesting bound for parenthesized groups. Recursive descent (and every
+/// later recursive walk over the parsed model — Glushkov, Simplify,
+/// ToString, destruction) uses one stack frame per level, so unbounded
+/// input like `((((…` would otherwise overflow the stack.
+constexpr int kMaxGroupDepth = 200;
+
 /// Recursive-descent parser over DTD declaration text.
 class DtdParser {
  public:
@@ -53,6 +59,7 @@ class DtdParser {
   std::string_view input_;
   size_t pos_ = 0;
   size_t line_ = 1;
+  int group_depth_ = 0;
 };
 
 StatusOr<std::string> DtdParser::LexName() {
@@ -135,6 +142,11 @@ StatusOr<ContentModel::Ptr> DtdParser::ParseCp() {
 }
 
 StatusOr<ContentModel::Ptr> DtdParser::ParseGroup() {
+  if (++group_depth_ > kMaxGroupDepth) {
+    --group_depth_;
+    return ErrorHere("content model groups nested deeper than " +
+                     std::to_string(kMaxGroupDepth));
+  }
   std::vector<ContentModel::Ptr> children;
   char connector = 0;  // ',' or '|' once determined
   while (true) {
@@ -158,6 +170,7 @@ StatusOr<ContentModel::Ptr> DtdParser::ParseGroup() {
     connector = c;
     Advance();
   }
+  --group_depth_;
   if (children.size() == 1 && connector == 0) {
     // `(a)` — a single-particle group; keep the particle itself.
     return std::move(children.front());
@@ -217,6 +230,7 @@ Status DtdParser::ParseAttlistDecl(Dtd& dtd) {
     if (!attr_name.ok()) return attr_name.status();
     attr.name = std::move(attr_name).value();
     SkipWhitespace();
+    if (AtEnd()) return ErrorHere("unterminated ATTLIST");
     // Attribute type: a name (CDATA, ID, ...) or an enumeration group.
     if (Peek() == '(') {
       std::string enumeration = "(";
@@ -240,6 +254,7 @@ Status DtdParser::ParseAttlistDecl(Dtd& dtd) {
       }
     }
     SkipWhitespace();
+    if (AtEnd()) return ErrorHere("unterminated ATTLIST");
     if (Peek() == '#') {
       Advance();
       StatusOr<std::string> keyword = LexName();

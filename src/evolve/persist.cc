@@ -18,6 +18,12 @@ namespace {
 
 constexpr char kHeader[] = "dtdevolve-stats 1";
 
+/// Nesting bound for `plus` structures. Legitimate snapshots are bounded
+/// by the XML parser's element-depth limit (a plus structure is recorded
+/// per document level), so anything deeper is a corrupted or hostile
+/// snapshot — rejected instead of recursing off the stack.
+constexpr int kMaxPlusDepth = 512;
+
 void AppendOccurrence(const OccurrenceStats& occ, std::string& out) {
   char buffer[128];
   std::snprintf(buffer, sizeof(buffer),
@@ -88,10 +94,14 @@ void AppendElementStats(const ElementStats& stats, std::string& out) {
   std::snprintf(buffer, sizeof(buffer), "attrs %zu\n",
                 stats.attribute_counts().size());
   out += buffer;
+  // Attribute names are unbounded — concatenate instead of routing them
+  // through the fixed-size buffer, which would silently truncate.
   for (const auto& [name, count] : stats.attribute_counts()) {
-    std::snprintf(buffer, sizeof(buffer), "attr %s %" PRIu64 "\n",
-                  name.c_str(), count);
-    out += buffer;
+    out += "attr ";
+    out += name;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
   }
 }
 
@@ -178,7 +188,11 @@ Status ParseOccurrence(Reader& reader, OccurrenceStats& occ) {
   return Status::Ok();
 }
 
-Status ParseElementStats(Reader& reader, ElementStats& stats) {
+Status ParseElementStats(Reader& reader, ElementStats& stats, int depth) {
+  if (depth > kMaxPlusDepth) {
+    return Status::ParseError("plus structures nested deeper than " +
+                              std::to_string(kMaxPlusDepth));
+  }
   DTDEVOLVE_RETURN_IF_ERROR(reader.ExpectWord("counters"));
   uint64_t counters[6];
   for (uint64_t& counter : counters) {
@@ -205,7 +219,7 @@ Status ParseElementStats(Reader& reader, ElementStats& stats) {
     if (*has_plus != 0) {
       label_stats.plus_structure = std::make_unique<ElementStats>();
       DTDEVOLVE_RETURN_IF_ERROR(
-          ParseElementStats(reader, *label_stats.plus_structure));
+          ParseElementStats(reader, *label_stats.plus_structure, depth + 1));
     }
   }
 
@@ -273,11 +287,16 @@ std::string SerializeExtendedDtd(const ExtendedDtd& ext) {
   for (char c : dtd_text) {
     if (c == '\n') ++dtd_lines;
   }
-  char buffer[160];
-  std::snprintf(buffer, sizeof(buffer), "dtd %s %zu\n",
-                ext.dtd().root_name().c_str(), dtd_lines);
-  out += buffer;
+  // The root name is caller-controlled and unbounded — never route it
+  // through a fixed-size buffer, or long names truncate and the
+  // serialization stops being a deserialization fixed point.
+  out += "dtd ";
+  out += ext.dtd().root_name();
+  out += ' ';
+  out += std::to_string(dtd_lines);
+  out += '\n';
   out += dtd_text;
+  char buffer[160];
 
   std::snprintf(buffer, sizeof(buffer),
                 "aggregates %" PRIu64 " %" PRIu64 " %" PRIu64 " %.17g\n",
@@ -335,7 +354,7 @@ StatusOr<ExtendedDtd> DeserializeExtendedDtd(std::string_view data) {
     StatusOr<std::string> name = reader.Word();
     if (!name.ok()) return name.status();
     DTDEVOLVE_RETURN_IF_ERROR(
-        ParseElementStats(reader, ext.StatsFor(*name)));
+        ParseElementStats(reader, ext.StatsFor(*name), /*depth=*/0));
   }
   return ext;
 }

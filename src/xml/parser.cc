@@ -10,6 +10,12 @@ namespace dtdevolve::xml {
 
 namespace {
 
+/// Element-nesting bound. Tree construction itself is iterative, but the
+/// tree is later walked (and destroyed) recursively, so a pathologically
+/// deep document would overflow the stack long after parsing succeeded.
+/// Real documents stay far below this; crafted ones get a clean error.
+constexpr size_t kMaxElementDepth = 512;
+
 /// Builds the element tree from the token stream. `open` is the stack of
 /// currently open elements; the document root is set when the outermost
 /// element closes.
@@ -34,6 +40,12 @@ Status BuildTree(Lexer& lexer, Document& doc) {
           return Status::ParseError(
               "line " + std::to_string(token.line) +
               ": multiple root elements (second is <" + token.name + ">)");
+        }
+        if (open.size() >= kMaxElementDepth) {
+          return Status::ParseError(
+              "line " + std::to_string(token.line) +
+              ": elements nested deeper than " +
+              std::to_string(kMaxElementDepth));
         }
         auto element = std::make_unique<Element>(token.name);
         for (Attribute& attr : token.attributes) {

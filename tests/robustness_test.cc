@@ -124,5 +124,177 @@ TEST_P(Robustness, StatsDeserializerNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Robustness, ::testing::Range<uint64_t>(1, 7));
 
+// Deterministic regressions for hardening fixes: each of these inputs
+// once crashed, read out of bounds, or recursed without bound.
+
+TEST(HardeningRegression, TruncatedAttlistRejected) {
+  // ParseAttlistDecl used to read past the end of these.
+  for (const char* input :
+       {"<!ATTLIST", "<!ATTLIST a", "<!ATTLIST a b", "<!ATTLIST a b CDATA",
+        "<!ATTLIST a b (x", "<!ATTLIST a b (x|y)", "<!ATTLIST a b CDATA #"}) {
+    StatusOr<dtd::Dtd> dtd = dtd::ParseDtd(input);
+    EXPECT_FALSE(dtd.ok()) << input;
+  }
+}
+
+TEST(HardeningRegression, DuplicateElementDeclarationRejected) {
+  StatusOr<dtd::Dtd> dtd =
+      dtd::ParseDtd("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)><!ELEMENT a (c)>");
+  ASSERT_FALSE(dtd.ok());
+  EXPECT_NE(dtd.status().ToString().find("duplicate"), std::string::npos);
+}
+
+TEST(HardeningRegression, DeeplyNestedXmlRejected) {
+  // 512 is the element-depth cap; one past it must be a clean parse error.
+  std::string open, close;
+  for (int i = 0; i < 600; ++i) {
+    open += "<a>";
+    close += "</a>";
+  }
+  EXPECT_FALSE(xml::ParseDocument(open + close).ok());
+
+  std::string ok_open, ok_close;
+  for (int i = 0; i < 100; ++i) {
+    ok_open += "<a>";
+    ok_close += "</a>";
+  }
+  EXPECT_TRUE(xml::ParseDocument(ok_open + ok_close).ok());
+}
+
+TEST(HardeningRegression, DeeplyNestedDtdGroupsRejected) {
+  // 200 is the content-model group-depth cap.
+  std::string deep = "<!ELEMENT a " + std::string(300, '(') + "b" +
+                     std::string(300, ')') + ">";
+  EXPECT_FALSE(dtd::ParseDtd(deep).ok());
+
+  std::string fine = "<!ELEMENT a " + std::string(50, '(') + "b" +
+                     std::string(50, ')') + "><!ELEMENT b (#PCDATA)>";
+  EXPECT_TRUE(dtd::ParseDtd(fine).ok());
+}
+
+TEST(HardeningRegression, DeeplyNestedSnapshotPlusStructuresRejected) {
+  // A snapshot can nest ElementStats through `plus 1` markers; 512 is the
+  // cap. Build one level per iteration, never closing — the parser must
+  // stop at the depth limit rather than recurse through all 600 levels.
+  std::string input =
+      "dtdevolve-stats 1\n"
+      "dtd a 1\n"
+      "<!ELEMENT a (#PCDATA)>\n"
+      "aggregates 0 0 0 0\n"
+      "stats 1\n"
+      "element a\n";
+  for (int i = 0; i < 600; ++i) {
+    input +=
+        "counters 0 0 0 0 0 0\n"
+        "labels 1\n"
+        "label x\n"
+        "occ 0 0 0 0 0\n"
+        "occ 0 0 0 0 0\n"
+        "plus 1\n";
+  }
+  StatusOr<evolve::ExtendedDtd> restored =
+      evolve::DeserializeExtendedDtd(input);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_NE(restored.status().ToString().find("nested deeper"),
+            std::string::npos);
+}
+
+TEST(HardeningRegression, SnapshotRoundTripSurvivesLongNames) {
+  // Found by fuzz_extended_dtd_load: the serializer routed the root and
+  // attribute names through a fixed 160-byte snprintf buffer, so names
+  // longer than that truncated and serialize(deserialize(x)) was no
+  // longer a deserialization fixed point.
+  std::string long_root(300, 'r');
+  std::string long_attr(300, 'k');
+  std::string input =
+      "dtdevolve-stats 1\n"
+      "dtd " + long_root + " 1\n" +
+      "<!ELEMENT a (#PCDATA)>\n"
+      "aggregates 0 0 0 0\n"
+      "stats 1\n"
+      "element a\n"
+      "counters 0 0 0 0 0 0\n"
+      "labels 0\n"
+      "sequences 0\n"
+      "groups 0\n"
+      "attrs 1\n"
+      "attr " + long_attr + " 3\n";
+  StatusOr<evolve::ExtendedDtd> restored =
+      evolve::DeserializeExtendedDtd(input);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->dtd().root_name(), long_root);
+  std::string first = evolve::SerializeExtendedDtd(*restored);
+  StatusOr<evolve::ExtendedDtd> again =
+      evolve::DeserializeExtendedDtd(first);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(evolve::SerializeExtendedDtd(*again), first);
+}
+
+TEST(HardeningRegression, SnapshotRoundTripSurvivesNulBytesInNames) {
+  // Found by fuzz_extended_dtd_load (tests/corpus/extended_dtd/
+  // nul_in_root_name.snapshot): a byte flip put a NUL inside the root
+  // name token. The serializer's snprintf("%s", name.c_str()) stopped at
+  // the NUL, mangling the header line, so the re-serialization failed to
+  // parse. Names must round-trip byte-exactly, NULs included.
+  std::string root = std::string("\0rticle", 7);
+  std::string input = "dtdevolve-stats 1\ndtd ";
+  input += root;
+  input +=
+      " 1\n"
+      "<!ELEMENT a (#PCDATA)>\n"
+      "aggregates 0 0 0 0\n"
+      "stats 0\n";
+  StatusOr<evolve::ExtendedDtd> restored =
+      evolve::DeserializeExtendedDtd(input);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->dtd().root_name(), root);
+  std::string first = evolve::SerializeExtendedDtd(*restored);
+  StatusOr<evolve::ExtendedDtd> again =
+      evolve::DeserializeExtendedDtd(first);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(evolve::SerializeExtendedDtd(*again), first);
+}
+
+TEST(HardeningRegression, ShallowSnapshotPlusStructuresAccepted) {
+  // The same shape within the limit parses and round-trips.
+  std::string input =
+      "dtdevolve-stats 1\n"
+      "dtd a 1\n"
+      "<!ELEMENT a (#PCDATA)>\n"
+      "aggregates 0 0 0 0\n"
+      "stats 1\n"
+      "element a\n";
+  const int kDepth = 8;
+  for (int i = 0; i < kDepth; ++i) {
+    input +=
+        "counters 0 0 0 0 0 0\n"
+        "labels 1\n"
+        "label x\n"
+        "occ 0 0 0 0 0\n"
+        "occ 0 0 0 0 0\n"
+        "plus 1\n";
+  }
+  input +=
+      "counters 0 0 0 0 0 0\n"
+      "labels 0\n"
+      "sequences 0\n"
+      "groups 0\n"
+      "attrs 0\n";
+  for (int i = 0; i < kDepth; ++i) {
+    input +=
+        "sequences 0\n"
+        "groups 0\n"
+        "attrs 0\n";
+  }
+  StatusOr<evolve::ExtendedDtd> restored =
+      evolve::DeserializeExtendedDtd(input);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  std::string serialized = evolve::SerializeExtendedDtd(*restored);
+  StatusOr<evolve::ExtendedDtd> again =
+      evolve::DeserializeExtendedDtd(serialized);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(evolve::SerializeExtendedDtd(*again), serialized);
+}
+
 }  // namespace
 }  // namespace dtdevolve

@@ -144,6 +144,107 @@ TEST(ValidatorTest, FixedAttribute) {
   EXPECT_FALSE(validator.Validate(MakeDoc(R"(<a v="2">t</a>)")).valid);
 }
 
+TEST(ValidatorTest, DocumentWithoutRootIsInvalid) {
+  dtd::Dtd dtd = MakeDtd(kMailDtd);
+  Validator validator(dtd);
+  ValidationResult result = validator.Validate(xml::Document());
+  EXPECT_FALSE(result.valid);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors[0].message.find("no root"), std::string::npos);
+  EXPECT_EQ(result.total_elements, 0u);
+  EXPECT_EQ(result.InvalidFraction(), 0.0);
+}
+
+TEST(ValidatorTest, EmptyDtdRejectsEveryDocument) {
+  dtd::Dtd dtd = MakeDtd("");
+  Validator validator(dtd);
+  ValidationResult result = validator.Validate(MakeDoc("<a/>"));
+  EXPECT_FALSE(result.valid);
+  // Root mismatch plus the undeclared element itself.
+  EXPECT_EQ(result.errors.size(), 2u);
+  EXPECT_EQ(result.invalid_elements, 1u);
+  EXPECT_FALSE(validator.ElementLocallyValid(MakeDoc("<a/>").root()));
+}
+
+TEST(ValidatorTest, ErrorPathsLocateNestedViolations) {
+  dtd::Dtd dtd = MakeDtd(kMailDtd);
+  Validator validator(dtd);
+  // body is the third element child (index 2) and holds a rogue element.
+  ValidationResult result = validator.Validate(MakeDoc(
+      "<mail><from>a</from><to>b</to><body><rogue/></body></mail>"));
+  EXPECT_FALSE(result.valid);
+  ASSERT_EQ(result.errors.size(), 2u);
+  EXPECT_EQ(result.errors[0].path, "mail/body[2]");
+  EXPECT_EQ(result.errors[1].path, "mail/body[2]/rogue[0]");
+  EXPECT_NE(result.errors[1].message.find("not declared"), std::string::npos);
+}
+
+TEST(ValidatorTest, ContentErrorNamesTheViolatedDeclaration) {
+  dtd::Dtd dtd = MakeDtd(kMailDtd);
+  Validator validator(dtd);
+  ValidationResult result =
+      validator.Validate(MakeDoc("<mail><from>a</from></mail>"));
+  EXPECT_FALSE(result.valid);
+  ASSERT_FALSE(result.errors.empty());
+  // The message carries the declaration so the report is actionable.
+  EXPECT_NE(result.errors[0].message.find("does not match declaration"),
+            std::string::npos);
+  EXPECT_NE(result.errors[0].message.find("from"), std::string::npos);
+}
+
+TEST(ValidatorTest, AttributeErrorsDoNotCountAsInvalidElements) {
+  // Attribute violations fail the document but are deliberately excluded
+  // from the invalid-element ratio that feeds the evolution trigger — the
+  // paper's divergence measure is structural only.
+  dtd::Dtd dtd = MakeDtd(R"(
+    <!ELEMENT a (#PCDATA)>
+    <!ATTLIST a id CDATA #REQUIRED>
+  )");
+  Validator validator(dtd);
+  ValidationResult result = validator.Validate(MakeDoc("<a>t</a>"));
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(result.invalid_elements, 0u);
+  EXPECT_EQ(result.InvalidFraction(), 0.0);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors[0].message.find("missing required attribute"),
+            std::string::npos);
+}
+
+TEST(ValidatorTest, EnumeratedImpliedAttributeOnlyCheckedWhenPresent) {
+  dtd::Dtd dtd = MakeDtd(R"(
+    <!ELEMENT a (#PCDATA)>
+    <!ATTLIST a kind (x|y) #IMPLIED>
+  )");
+  Validator validator(dtd);
+  EXPECT_TRUE(validator.Validate(MakeDoc("<a>t</a>")).valid);
+  EXPECT_TRUE(validator.Validate(MakeDoc(R"(<a kind="y">t</a>)")).valid);
+  ValidationResult bad = validator.Validate(MakeDoc(R"(<a kind="z">t</a>)"));
+  EXPECT_FALSE(bad.valid);
+  ASSERT_EQ(bad.errors.size(), 1u);
+  EXPECT_NE(bad.errors[0].message.find("not in enumeration"),
+            std::string::npos);
+}
+
+TEST(ValidatorTest, UndeclaredAttributesAreIgnored) {
+  // The DTD only constrains declared attributes; extra ones pass (the
+  // recorder is what notices them and proposes evolution).
+  dtd::Dtd dtd = MakeDtd("<!ELEMENT a (#PCDATA)>");
+  Validator validator(dtd);
+  EXPECT_TRUE(validator.Validate(MakeDoc(R"(<a novel="1">t</a>)")).valid);
+}
+
+TEST(ValidatorTest, InvalidFractionAggregatesOverSubtree) {
+  dtd::Dtd dtd = MakeDtd(kMailDtd);
+  Validator validator(dtd);
+  // mail itself invalid (bad order) + the undeclared cc = 2 of 4 elements.
+  ValidationResult result = validator.Validate(
+      MakeDoc("<mail><to>b</to><from>a</from><cc>x</cc></mail>"));
+  EXPECT_FALSE(result.valid);
+  EXPECT_EQ(result.total_elements, 4u);
+  EXPECT_EQ(result.invalid_elements, 2u);
+  EXPECT_DOUBLE_EQ(result.InvalidFraction(), 0.5);
+}
+
 TEST(ContentSymbolsTest, CollapsesTextRuns) {
   xml::Document doc = MakeDoc("<a>one<b/>two three<c/></a>");
   std::vector<std::string> symbols = ContentSymbols(doc.root());

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Sanitizer CI matrix: builds the tree under ASan+UBSan and TSan and runs
+# the `oracle` and `concurrency` ctest labels — the suites that replay
+# the differential oracle and fan out threads, where sanitizer findings
+# actually live. Every configuration is a CMake preset (CMakePresets.json),
+# so a single leg is reproducible by hand:
+#
+#   cmake --preset tsan && cmake --build --preset tsan && ctest --preset tsan
+#
+# Usage:
+#   tools/ci_matrix.sh           # sanitizer legs over oracle+concurrency
+#   tools/ci_matrix.sh --full    # sanitizer legs over the full suite
+#
+# Environment: JOBS (parallel build/test jobs, default nproc).
+
+set -euo pipefail
+
+SRC=$(cd "$(dirname "$0")/.." && pwd)
+JOBS=${JOBS:-$(nproc)}
+FULL=0
+if [ "${1:-}" = "--full" ]; then
+  FULL=1
+  shift
+fi
+
+cd "$SRC"
+
+run_leg() {
+  local preset=$1
+  echo "=== leg: $preset ==="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$JOBS"
+  if [ "$FULL" = 1 ]; then
+    # Full suite: bypass the preset's label filter.
+    ctest --test-dir "build-$preset" --output-on-failure -j "$JOBS"
+  else
+    ctest --preset "$preset" -j "$JOBS"
+  fi
+}
+
+run_leg asan-ubsan
+run_leg tsan
+
+echo "sanitizer matrix clean (asan-ubsan, tsan)"

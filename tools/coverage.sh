@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Line-coverage report over src/: builds with gcov instrumentation
+# (DTDEVOLVE_COVERAGE=ON via the `coverage` preset), runs the test suite,
+# and aggregates per-file line coverage with plain gcov — no lcov/gcovr
+# dependency. Extra arguments are forwarded to ctest (e.g. -L oracle).
+#
+#   tools/coverage.sh                # full suite
+#   tools/coverage.sh -L oracle      # coverage of the oracle label only
+
+set -euo pipefail
+
+SRC=$(cd "$(dirname "$0")/.." && pwd)
+JOBS=${JOBS:-$(nproc)}
+BUILD="$SRC/build-cov"
+
+cd "$SRC"
+cmake --preset coverage
+cmake --build --preset coverage -j "$JOBS"
+# Stale counters from earlier runs would double-count.
+find "$BUILD" -name '*.gcda' -delete
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS" "$@"
+
+cd "$BUILD"
+# `gcov -n` prints "File '<name>' / Lines executed:P% of N" summaries
+# without dropping .gcov files; keep entries for sources under src/.
+# POSIX awk only — no gawk extensions (this box ships mawk).
+rows=$(find src -name '*.gcda' -print0 | xargs -0 -r gcov -n 2>/dev/null |
+  awk -v q="'" -v src_prefix="$SRC/src/" '
+    /^File / {
+      file = $2
+      gsub(q, "", file)
+      keep = index(file, "src/") > 0
+      # Normalize absolute paths to repo-relative ones.
+      sub(src_prefix, "src/", file)
+    }
+    /^Lines executed:/ && keep {
+      s = $0
+      sub(/^Lines executed:/, "", s)
+      split(s, parts, /% of /)
+      pct[file] = parts[1] + 0
+      lines[file] = parts[2] + 0
+      keep = 0
+    }
+    END {
+      for (f in pct) printf "%.2f %d %s\n", pct[f], lines[f], f
+    }')
+
+printf '%s\n' "$rows" | sort -k3 |
+  awk 'NF == 3 { printf "%7.2f%%  %6d  %s\n", $1, $2, $3 }'
+printf '%s\n' "$rows" | awk '
+  NF == 3 { total += $2; covered += $1 * $2 / 100 }
+  END {
+    if (total > 0) printf "%7.2f%%  %6d  TOTAL\n", 100 * covered / total, total
+  }'

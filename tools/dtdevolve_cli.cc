@@ -9,9 +9,13 @@
 //   dtdevolve serve      <dtd-file>... [--port P] [--jobs N]
 //                        [--snapshot-dir D] [--sigma S] [--tau T]
 //                        [--psi P] [--mu M]
+//   dtdevolve check      [--scenarios N] [--seed S] [--max-documents N]
+//                        [--max-failures K] [--no-persistence]
+//                        [--no-minimize]
 //
 // Exit code 0 on success; 1 on usage/IO/parse errors; for `validate`,
-// 2 when at least one document is invalid.
+// 2 when at least one document is invalid; for `check`, 2 when an
+// invariant was violated.
 //
 // Unknown `--flags` are usage errors everywhere; `serve` additionally
 // rejects non-positive --port/--jobs.
@@ -28,6 +32,7 @@
 #include "adapt/adapter.h"
 #include "baseline/naive_infer.h"
 #include "baseline/xtract.h"
+#include "check/oracle.h"
 #include "core/source.h"
 #include "dtd/diff.h"
 #include "dtd/dtd_parser.h"
@@ -79,7 +84,11 @@ int Usage() {
                "  dtdevolve serve      <dtd>... [--port P] [--jobs N] "
                "[--snapshot-dir D]\n"
                "                       [--sigma S] [--tau T] [--psi P] "
-               "[--mu M]\n");
+               "[--mu M]\n"
+               "  dtdevolve check      [--scenarios N] [--seed S] "
+               "[--max-documents N]\n"
+               "                       [--max-failures K] [--no-persistence] "
+               "[--no-minimize]\n");
   return 1;
 }
 
@@ -452,6 +461,76 @@ int CmdServe(std::vector<std::string> args) {
   return 0;
 }
 
+/// The differential correctness oracle (src/check): replays seeded drift
+/// scenarios through the full pipeline and checks the evolution
+/// invariants after every step. On failure the first failing scenario is
+/// shrunk to the shortest document prefix that still fails and a replay
+/// command line is printed.
+int CmdCheck(std::vector<std::string> args) {
+  dtdevolve::check::OracleOptions options;
+  bool minimize = true;
+  for (size_t i = 0; i < args.size(); ++i) {
+    bool bad_value = false;
+    auto long_value = [&](const char* name, long min, long* out) {
+      if (args[i] != name) return false;
+      if (i + 1 >= args.size() || !ParseLong(args[i + 1], out) || *out < min) {
+        bad_value = true;
+        return true;
+      }
+      ++i;
+      return true;
+    };
+    long value = 0;
+    if (long_value("--scenarios", 1, &value)) {
+      if (bad_value) return Usage();
+      options.scenarios = static_cast<uint64_t>(value);
+      continue;
+    }
+    if (long_value("--seed", 0, &value)) {
+      if (bad_value) return Usage();
+      options.seed = static_cast<uint64_t>(value);
+      continue;
+    }
+    if (long_value("--max-documents", 0, &value)) {
+      if (bad_value) return Usage();
+      options.max_documents = static_cast<uint64_t>(value);
+      continue;
+    }
+    if (long_value("--max-failures", 1, &value)) {
+      if (bad_value) return Usage();
+      options.max_failures = static_cast<uint64_t>(value);
+      continue;
+    }
+    if (args[i] == "--no-persistence") {
+      options.check_persistence = false;
+      continue;
+    }
+    if (args[i] == "--no-minimize") {
+      minimize = false;
+      continue;
+    }
+    if (IsFlag(args[i])) return UnknownFlag(args[i]);
+    return Usage();  // check takes no positional arguments
+  }
+
+  dtdevolve::check::OracleReport report = dtdevolve::check::RunOracle(options);
+  std::printf("%s", dtdevolve::check::FormatReport(report).c_str());
+  if (report.ok()) return 0;
+
+  if (minimize) {
+    const dtdevolve::check::ScenarioResult& first = report.failures.front();
+    dtdevolve::check::ScenarioResult shrunk =
+        dtdevolve::check::MinimizeFailure(first.seed, options);
+    std::printf("minimized %s", dtdevolve::check::FormatScenario(shrunk).c_str());
+    std::printf(
+        "  replay: dtdevolve check --seed %llu --scenarios 1 "
+        "--max-documents %llu\n",
+        static_cast<unsigned long long>(shrunk.seed),
+        static_cast<unsigned long long>(shrunk.documents));
+  }
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -466,5 +545,6 @@ int main(int argc, char** argv) {
   if (command == "xsd") return CmdXsd(args);
   if (command == "diff") return CmdDiff(args);
   if (command == "serve") return CmdServe(std::move(args));
+  if (command == "check") return CmdCheck(std::move(args));
   return Usage();
 }
