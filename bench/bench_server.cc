@@ -8,8 +8,9 @@
 //   bench_server [--docs N] [--clients C] [--jobs J] [--drift D] [--out F]
 //
 // Output: one JSON object on stdout, duplicated to --out (default
-// BENCH_server.json) — docs/sec, p50/p99 latency in ms, and how many
-// requests hit 503 backpressure along the way.
+// BENCH_server.json) — docs/sec, p50/p99 latency in ms, how many
+// requests hit 503 backpressure along the way, and the total time spent
+// backing off (exponential, floored at the server's Retry-After).
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -43,8 +44,11 @@ struct LoadOptions {
 };
 
 /// Minimal blocking HTTP POST against 127.0.0.1:port; returns the status
-/// code, or 0 on transport failure.
-int PostIngest(uint16_t port, const std::string& body) {
+/// code, or 0 on transport failure. When the response carries a
+/// Retry-After header (503 backpressure, WAL degraded mode),
+/// `*retry_after_ms` receives it in milliseconds; 0 otherwise.
+int PostIngest(uint16_t port, const std::string& body, long* retry_after_ms) {
+  if (retry_after_ms != nullptr) *retry_after_ms = 0;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return 0;
   sockaddr_in addr = {};
@@ -70,7 +74,7 @@ int PostIngest(uint16_t port, const std::string& body) {
   }
   std::string head;
   char chunk[2048];
-  while (head.find("\r\n") == std::string::npos) {
+  while (head.find("\r\n\r\n") == std::string::npos) {
     ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
@@ -81,6 +85,12 @@ int PostIngest(uint16_t port, const std::string& body) {
   }
   ::close(fd);
   if (head.rfind("HTTP/1.1 ", 0) != 0) return 0;
+  if (retry_after_ms != nullptr) {
+    const size_t pos = head.find("Retry-After: ");
+    if (pos != std::string::npos) {
+      *retry_after_ms = std::atol(head.c_str() + pos + 13) * 1000;
+    }
+  }
   return std::atoi(head.c_str() + 9);
 }
 
@@ -137,6 +147,7 @@ int Run(const LoadOptions& options) {
   std::atomic<size_t> next{0};
   std::atomic<uint64_t> rejected{0};
   std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> backoff_ms_total{0};
   std::vector<std::vector<double>> latencies(options.clients);
   const auto start = std::chrono::steady_clock::now();
 
@@ -149,11 +160,18 @@ int Run(const LoadOptions& options) {
         const size_t i = next.fetch_add(1);
         if (i >= bodies.size()) break;
         const auto t0 = std::chrono::steady_clock::now();
-        int status = PostIngest(server.port(), bodies[i]);
-        while (status == 503) {  // backpressure: brief pause, same doc
+        long retry_after_ms = 0;
+        int status = PostIngest(server.port(), bodies[i], &retry_after_ms);
+        // Backpressure: retry the same document with exponential backoff,
+        // never sleeping less than the server's advertised Retry-After.
+        long backoff_ms = 2;
+        while (status == 503) {
           rejected.fetch_add(1);
-          std::this_thread::sleep_for(std::chrono::milliseconds(2));
-          status = PostIngest(server.port(), bodies[i]);
+          const long wait_ms = std::max(backoff_ms, retry_after_ms);
+          backoff_ms_total.fetch_add(static_cast<uint64_t>(wait_ms));
+          std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+          backoff_ms = std::min<long>(backoff_ms * 2, 1000);
+          status = PostIngest(server.port(), bodies[i], &retry_after_ms);
         }
         const auto t1 = std::chrono::steady_clock::now();
         if (status != 200) {
@@ -181,17 +199,18 @@ int Run(const LoadOptions& options) {
 
   const double docs_per_second =
       elapsed > 0 ? static_cast<double>(all.size()) / elapsed : 0.0;
-  char json[512];
+  char json[640];
   std::snprintf(
       json, sizeof(json),
       "{\"benchmark\":\"server_ingest\",\"docs\":%zu,\"clients\":%zu,"
       "\"jobs\":%zu,\"drift\":%g,\"seconds\":%.3f,"
       "\"docs_per_second\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
-      "\"rejected_503\":%llu,\"failed\":%llu,"
+      "\"rejected_503\":%llu,\"backoff_ms\":%llu,\"failed\":%llu,"
       "\"evolutions\":%llu,\"repository\":%zu}\n",
       options.docs, options.clients, options.jobs, options.drift, elapsed,
       docs_per_second, Percentile(all, 0.50), Percentile(all, 0.99),
       static_cast<unsigned long long>(rejected.load()),
+      static_cast<unsigned long long>(backoff_ms_total.load()),
       static_cast<unsigned long long>(failed.load()),
       static_cast<unsigned long long>(server.source().evolutions_performed()),
       server.source().repository().size());

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -21,12 +22,16 @@
 #include "dtd/glushkov.h"
 #include "evolve/persist.h"
 #include "evolve/windows.h"
+#include "io/fault.h"
 #include "mining/rules.h"
+#include "store/checkpoint.h"
+#include "store/wal.h"
 #include "validate/validator.h"
 #include "workload/mutator.h"
 #include "workload/rng.h"
 #include "workload/scenarios.h"
 #include "xml/document.h"
+#include "xml/writer.h"
 
 namespace dtdevolve::check {
 
@@ -730,6 +735,303 @@ std::string FormatScenario(const ScenarioResult& result) {
     out << "  [" << v.invariant << "] doc " << v.document_index;
     if (!v.dtd_name.empty()) out << " dtd=" << v.dtd_name;
     out << ": " << v.detail << "\n";
+  }
+  return out.str();
+}
+
+// --- Crash-recovery oracle --------------------------------------------------
+
+namespace {
+
+/// Pipeline state restricted to what the durability layer promises to
+/// preserve across a crash: the loop counters, the repository (ids and
+/// document bytes), and per DTD the declarations plus the extended
+/// recording state. The event log and kept instances are process-local
+/// by design and excluded.
+Fingerprint CrashFingerprintOf(const core::XmlSource& src) {
+  Fingerprint fp;
+  std::string c = std::to_string(src.documents_processed()) + " " +
+                  std::to_string(src.documents_classified()) + " " +
+                  std::to_string(src.evolutions_performed()) + "\n";
+  fp.emplace_back("counters", std::move(c));
+
+  xml::WriteOptions compact;
+  compact.indent = false;
+  std::string r;
+  for (int id : src.repository().Ids()) {
+    r += std::to_string(id) + " " +
+         xml::WriteDocument(src.repository().Get(id), compact) + "\n";
+  }
+  fp.emplace_back("repository", std::move(r));
+
+  for (const std::string& name : src.DtdNames()) {
+    fp.emplace_back("dtd:" + name, dtd::WriteDtd(*src.FindDtd(name)));
+    fp.emplace_back("state:" + name,
+                    evolve::SerializeExtendedDtd(*src.FindExtended(name)));
+  }
+  return fp;
+}
+
+std::string FingerprintDiff(const Fingerprint& expected,
+                            const Fingerprint& actual) {
+  if (expected.size() != actual.size()) {
+    return "fingerprint has " + std::to_string(actual.size()) +
+           " sections, expected " + std::to_string(expected.size());
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (expected[i].first != actual[i].first) {
+      return "section " + std::to_string(i) + " is " + actual[i].first +
+             ", expected " + expected[i].first;
+    }
+    if (expected[i].second != actual[i].second) {
+      return "section " + expected[i].first + " differs — " +
+             FirstDifference(expected[i].second, actual[i].second);
+    }
+  }
+  return "fingerprints equal";
+}
+
+struct DurableRun {
+  size_t acked = 0;        // appends that returned OK and were applied
+  bool completed = false;  // reached the end without a fault firing
+};
+
+/// One durable-pipeline execution over `texts` in `dir`: WAL append
+/// before every apply, a checkpoint (plus WAL truncation) every
+/// `checkpoint_every` acked documents. Stops at the first failed append
+/// — from the crash point on the simulated process is dead to the disk,
+/// so continuing would be fiction. Mirrors the ingest server's ordering
+/// exactly; the server itself cannot be swept this densely because a
+/// real crash point would have to kill real threads.
+DurableRun RunDurablePipeline(const Scenario& scenario,
+                              const std::vector<std::string>& texts,
+                              const std::string& dir,
+                              uint64_t checkpoint_every) {
+  DurableRun run;
+  core::XmlSource src(scenario.options);
+  for (const auto& [name, dtd] : scenario.dtds) {
+    (void)src.AddDtd(name, dtd.Clone());
+  }
+  store::WalOptions wal_options;
+  wal_options.dir = dir;
+  StatusOr<std::unique_ptr<store::Wal>> wal =
+      store::RecoverSource(src, wal_options, nullptr);
+  if (!wal.ok()) return run;  // the crash hit a boot-time I/O op
+  uint64_t since_checkpoint = 0;
+  for (const std::string& text : texts) {
+    StatusOr<uint64_t> lsn = (*wal)->Append(text);
+    if (!lsn.ok()) return run;
+    (void)src.ProcessText(text);
+    ++run.acked;
+    if (checkpoint_every != 0 && ++since_checkpoint >= checkpoint_every) {
+      since_checkpoint = 0;
+      store::CheckpointData data = store::CaptureCheckpoint(src, *lsn);
+      if (store::WriteCheckpoint(dir, data).ok()) {
+        (void)(*wal)->TruncateThrough(*lsn);
+      }
+    }
+  }
+  run.completed = true;
+  return run;
+}
+
+/// Boots a fresh pipeline from whatever the crashed run left in `dir`
+/// and fingerprints the recovered state.
+StatusOr<Fingerprint> RecoverFingerprint(const Scenario& scenario,
+                                         const std::string& dir) {
+  core::XmlSource src(scenario.options);
+  for (const auto& [name, dtd] : scenario.dtds) {
+    (void)src.AddDtd(name, dtd.Clone());
+  }
+  store::WalOptions wal_options;
+  wal_options.dir = dir;
+  store::RecoveryReport report;
+  StatusOr<std::unique_ptr<store::Wal>> wal =
+      store::RecoverSource(src, wal_options, &report);
+  if (!wal.ok()) return wal.status();
+  return CrashFingerprintOf(src);
+}
+
+std::string CrashTempDir(uint64_t seed, uint64_t point) {
+  static std::atomic<uint64_t> counter{0};
+  return (std::filesystem::temp_directory_path() /
+          ("dtdevolve-crash-" + std::to_string(::getpid()) + "-" +
+           std::to_string(seed) + "-" + std::to_string(point) + "-" +
+           std::to_string(counter.fetch_add(1))))
+      .string();
+}
+
+}  // namespace
+
+ScenarioResult RunCrashScenario(uint64_t scenario_seed,
+                                const CrashOracleOptions& options,
+                                uint64_t* crash_points) {
+  Scenario scenario = MakeScenario(scenario_seed, options.max_documents);
+  ScenarioResult result;
+  result.seed = scenario_seed;
+  result.scenario = scenario.label;
+  result.documents = scenario.documents.size();
+
+  auto add_violation = [&result](uint64_t op, std::string detail,
+                                 const char* invariant = "crash-recovery") {
+    if (result.violations.size() >= kMaxViolationsPerScenario) return;
+    result.violations.push_back(
+        {invariant, "", op, std::move(detail)});
+  };
+
+  // The WAL carries document *text*; serialize the stream once so the
+  // durable runs, the reference replays and the recoveries all see the
+  // same bytes.
+  std::vector<std::string> texts;
+  texts.reserve(scenario.documents.size());
+  xml::WriteOptions compact;
+  compact.indent = false;
+  for (const xml::Document& doc : scenario.documents) {
+    texts.push_back(xml::WriteDocument(doc, compact));
+  }
+
+  // prefix_fps[j] = the pipeline state after sequentially applying the
+  // first j documents — what recovery from any crash point must match.
+  std::vector<Fingerprint> prefix_fps;
+  prefix_fps.reserve(texts.size() + 1);
+  {
+    core::XmlSource reference(scenario.options);
+    for (const auto& [name, dtd] : scenario.dtds) {
+      (void)reference.AddDtd(name, dtd.Clone());
+    }
+    prefix_fps.push_back(CrashFingerprintOf(reference));
+    for (const std::string& text : texts) {
+      (void)reference.ProcessText(text);
+      prefix_fps.push_back(CrashFingerprintOf(reference));
+    }
+    result.evolutions = reference.evolutions_performed();
+  }
+
+  io::FaultInjector& injector = io::FaultInjector::Instance();
+
+  // Clean pass: count the run's faultable I/O ops (a fail_at of 0 never
+  // fires) and sanity-check that the durable pipeline lands on the same
+  // state as the plain sequential replay.
+  uint64_t total_ops = 0;
+  {
+    const std::string dir = CrashTempDir(scenario_seed, 0);
+    std::filesystem::remove_all(dir);
+    injector.Arm(io::FaultPlan{});
+    DurableRun clean =
+        RunDurablePipeline(scenario, texts, dir, options.checkpoint_every);
+    total_ops = injector.ops_seen();
+    injector.Disarm();
+    if (!clean.completed) {
+      add_violation(0, "clean durable run did not complete");
+    } else {
+      StatusOr<Fingerprint> recovered = RecoverFingerprint(scenario, dir);
+      if (!recovered.ok()) {
+        add_violation(0, "clean-run recovery failed: " +
+                             recovered.status().message());
+      } else if (*recovered != prefix_fps.back()) {
+        add_violation(0, "clean durable run diverged from sequential "
+                         "replay: " +
+                             FingerprintDiff(prefix_fps.back(), *recovered));
+      }
+    }
+    std::filesystem::remove_all(dir);
+    if (!result.violations.empty()) return result;
+  }
+
+  const uint64_t wanted = options.max_crash_points == 0
+                              ? total_ops
+                              : std::min(options.max_crash_points, total_ops);
+  const uint64_t stride =
+      wanted == 0 ? 1 : std::max<uint64_t>(1, total_ops / wanted);
+  for (uint64_t op = 1;
+       op <= total_ops &&
+       result.violations.size() < kMaxViolationsPerScenario;
+       op += stride) {
+    if (crash_points != nullptr) ++*crash_points;
+    const std::string dir = CrashTempDir(scenario_seed, op);
+    std::filesystem::remove_all(dir);
+
+    io::FaultPlan plan;
+    plan.fail_at = op;
+    plan.crash = true;
+    // Vary the failure flavor deterministically: ENOSPC vs EIO, and a
+    // torn prefix of 0, 1/3, 2/3 or all of the failing write's bytes
+    // (a fully persisted write whose ack never returned is the
+    // in-flight case the allowance below exists for).
+    plan.error_code = (op % 2 == 0) ? ENOSPC : EIO;
+    plan.torn_fraction = static_cast<double>(op % 4) / 3.0;
+    injector.Arm(plan);
+    DurableRun run =
+        RunDurablePipeline(scenario, texts, dir, options.checkpoint_every);
+    injector.Disarm();
+
+    StatusOr<Fingerprint> recovered = RecoverFingerprint(scenario, dir);
+    if (!recovered.ok()) {
+      add_violation(op, "recovery after crash at op " + std::to_string(op) +
+                            " (acked " + std::to_string(run.acked) +
+                            "): " + recovered.status().message());
+      std::filesystem::remove_all(dir);
+      continue;
+    }
+    // At-least-once ack: the recovered state is the acked prefix, or —
+    // when the crash fell between a record's last byte and its fsync
+    // returning — the acked prefix plus that single durable-but-unacked
+    // document.
+    const bool exact = *recovered == prefix_fps[run.acked];
+    const bool in_flight = run.acked < texts.size() &&
+                           *recovered == prefix_fps[run.acked + 1];
+    if (!exact && !in_flight) {
+      add_violation(op, "crash at op " + std::to_string(op) + " (acked " +
+                            std::to_string(run.acked) +
+                            " documents): recovered state matches neither "
+                            "the acked prefix nor acked+1 — " +
+                            FingerprintDiff(prefix_fps[run.acked],
+                                            *recovered));
+    } else {
+      StatusOr<Fingerprint> again = RecoverFingerprint(scenario, dir);
+      if (!again.ok()) {
+        add_violation(op, "second recovery failed: " +
+                              again.status().message(),
+                      "recovery-idempotence");
+      } else if (*again != *recovered) {
+        add_violation(op, "second recovery diverged from the first: " +
+                              FingerprintDiff(*recovered, *again),
+                      "recovery-idempotence");
+      }
+    }
+    std::filesystem::remove_all(dir);
+  }
+  return result;
+}
+
+CrashOracleReport RunCrashOracle(const CrashOracleOptions& options) {
+  CrashOracleReport report;
+  for (uint64_t i = 0; i < options.scenarios; ++i) {
+    ScenarioResult result =
+        RunCrashScenario(options.seed + i, options, &report.crash_points);
+    ++report.scenarios_run;
+    report.documents += result.documents;
+    if (!result.ok()) {
+      report.failures.push_back(std::move(result));
+      if (report.failures.size() >= options.max_failures) break;
+    }
+  }
+  return report;
+}
+
+std::string FormatCrashReport(const CrashOracleReport& report) {
+  std::ostringstream out;
+  out << "crash oracle: " << report.scenarios_run << " scenario"
+      << (report.scenarios_run == 1 ? "" : "s") << ", " << report.documents
+      << " documents, " << report.crash_points << " crash points — "
+      << (report.ok() ? "every recovery matched the acked prefix"
+                      : std::to_string(report.failures.size()) +
+                            " failing scenario(s)")
+      << "\n";
+  for (const ScenarioResult& failure : report.failures) {
+    out << FormatScenario(failure);
+    out << "  replay: dtdevolve check --crash-recovery --seed "
+        << failure.seed << " --scenarios 1\n";
   }
   return out.str();
 }

@@ -86,6 +86,60 @@ ScenarioResult RunScenario(uint64_t scenario_seed,
 /// Runs `options.scenarios` scenarios starting at `options.seed`.
 OracleReport RunOracle(const OracleOptions& options = {});
 
+// --- Crash-recovery oracle --------------------------------------------------
+
+/// Options of the crash-recovery sweep (`RunCrashOracle`). Each scenario
+/// first runs the durable pipeline — WAL append before every apply,
+/// periodic checkpoints — once cleanly to enumerate its faultable I/O
+/// operations, then re-runs it once per chosen crash point with the
+/// fault injector (`io/fault.h`) set to crash there: the op fails (with
+/// EIO or ENOSPC, possibly persisting a torn prefix of a write) and
+/// every later I/O op fails too, as if the process had died. Recovery
+/// then boots from what is on disk, and the invariant is checked:
+///
+///   crash-recovery — the recovered pipeline state is byte-identical to
+///   sequentially replaying exactly the acked documents (those whose WAL
+///   append returned OK), or the acked documents plus the single
+///   in-flight one — a crash between a record's last byte and its fsync
+///   return leaves it durable but unacked, and at-least-once ack
+///   semantics admit exactly that one extra;
+///
+///   recovery-idempotence — recovering a second time from the same
+///   directory yields the same state (a crash mid-recovery is harmless).
+struct CrashOracleOptions {
+  uint64_t scenarios = 5;
+  uint64_t seed = 1;
+  /// Documents per scenario (the durable run re-executes per crash
+  /// point, so this stays small).
+  uint64_t max_documents = 40;
+  /// Crash points per scenario, spread evenly over the clean run's
+  /// faultable ops (0 = every op).
+  uint64_t max_crash_points = 64;
+  /// Checkpoint cadence, in acked documents (0 = never checkpoint).
+  uint64_t checkpoint_every = 16;
+  /// Stop after this many failing scenarios.
+  uint64_t max_failures = 1;
+};
+
+struct CrashOracleReport {
+  uint64_t scenarios_run = 0;
+  uint64_t crash_points = 0;  // fault-injected crashes exercised
+  uint64_t documents = 0;
+  std::vector<ScenarioResult> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Sweeps crash points through the scenario derived from `scenario_seed`.
+ScenarioResult RunCrashScenario(uint64_t scenario_seed,
+                                const CrashOracleOptions& options = {},
+                                uint64_t* crash_points = nullptr);
+
+/// Runs `options.scenarios` crash sweeps starting at `options.seed`.
+CrashOracleReport RunCrashOracle(const CrashOracleOptions& options = {});
+
+std::string FormatCrashReport(const CrashOracleReport& report);
+
 /// Shrinks a failing scenario to the shortest document prefix that still
 /// fails (binary search over `max_documents`). Returns the full run when
 /// the scenario does not fail at all.

@@ -33,6 +33,16 @@ class Repository {
   /// Removes the document and returns it; must be called with a valid id.
   xml::Document Take(int id);
 
+  /// Re-inserts a persisted document under its original id (crash
+  /// recovery, see store/checkpoint.h). Ids matter: re-classification
+  /// visits documents in ascending-id order, so restoring them under
+  /// fresh ids would change replay outcomes. Later `Add` calls continue
+  /// above every restored id.
+  void Restore(int id, xml::Document doc) {
+    if (id >= next_id_) next_id_ = id + 1;
+    docs_.insert_or_assign(id, std::move(doc));
+  }
+
   void Clear() { docs_.clear(); }
 
  private:

@@ -47,6 +47,17 @@ Status XmlSource::RestoreExtended(const std::string& name,
   return Status::Ok();
 }
 
+void XmlSource::RestoreCounters(uint64_t processed, uint64_t classified,
+                                uint64_t evolutions) {
+  documents_processed_ = processed;
+  documents_classified_ = classified;
+  evolutions_performed_ = evolutions;
+}
+
+void XmlSource::RestoreRepositoryDoc(int id, xml::Document doc) {
+  repository_.Restore(id, std::move(doc));
+}
+
 void XmlSource::set_metrics(const SourceMetrics& metrics) {
   metrics_ = metrics;
   classifier_.set_metrics({metrics.documents_scored,

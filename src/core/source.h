@@ -83,6 +83,18 @@ class XmlSource {
   /// and with the DTD's own error when `ext` fails its consistency check.
   Status RestoreExtended(const std::string& name, evolve::ExtendedDtd ext);
 
+  /// Recovery hooks (store/checkpoint.h): reinstate the loop counters
+  /// and the repository contents captured in a checkpoint, so replaying
+  /// the WAL tail continues from exactly the persisted state. Counters
+  /// feed event indices and the min-documents gate; repository ids feed
+  /// the re-classification order — both must survive a restart for
+  /// recovery to be replay-equivalent. Neither hook touches the
+  /// installed metrics (the restored work was counted by the previous
+  /// process).
+  void RestoreCounters(uint64_t processed, uint64_t classified,
+                       uint64_t evolutions);
+  void RestoreRepositoryDoc(int id, xml::Document doc);
+
   /// Installs (or clears) loop instrumentation; forwarded to the
   /// classifier and to every recorder, including ones created by later
   /// evolutions. Do not call while a batch is in flight.

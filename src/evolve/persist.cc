@@ -11,6 +11,7 @@
 
 #include "dtd/dtd_parser.h"
 #include "dtd/dtd_writer.h"
+#include "io/file.h"
 
 namespace dtdevolve::evolve {
 
@@ -360,40 +361,13 @@ StatusOr<ExtendedDtd> DeserializeExtendedDtd(std::string_view data) {
 }
 
 Status SaveExtendedDtdFile(const ExtendedDtd& ext, const std::string& path) {
-  const std::string data = SerializeExtendedDtd(ext);
-  const std::string tmp = path + ".tmp";
-  std::FILE* file = std::fopen(tmp.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::Internal("cannot open " + tmp + ": " +
-                            std::strerror(errno));
-  }
-  bool ok = std::fwrite(data.data(), 1, data.size(), file) == data.size();
-  ok = std::fflush(file) == 0 && ok;
-  // fsync before rename: the rename must not become durable before the
-  // bytes it points at.
-  ok = ::fsync(fileno(file)) == 0 && ok;
-  ok = std::fclose(file) == 0 && ok;
-  if (!ok) {
-    std::remove(tmp.c_str());
-    return Status::Internal("short write to " + tmp + ": " +
-                            std::strerror(errno));
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    Status failed = Status::Internal("cannot rename " + tmp + " to " + path +
-                                     ": " + std::strerror(errno));
-    std::remove(tmp.c_str());
-    return failed;
-  }
-  return Status::Ok();
+  return io::WriteFileAtomic(path, SerializeExtendedDtd(ext));
 }
 
 StatusOr<ExtendedDtd> LoadExtendedDtdFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) return Status::Internal("read error on " + path);
-  return DeserializeExtendedDtd(buffer.str());
+  StatusOr<std::string> data = io::ReadFile(path);
+  if (!data.ok()) return data.status();
+  return DeserializeExtendedDtd(*data);
 }
 
 }  // namespace dtdevolve::evolve

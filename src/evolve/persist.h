@@ -24,12 +24,13 @@ std::string SerializeExtendedDtd(const ExtendedDtd& ext);
 /// Parses a serialization produced by `SerializeExtendedDtd`.
 StatusOr<ExtendedDtd> DeserializeExtendedDtd(std::string_view data);
 
-/// Writes the serialization of `ext` to `path` **atomically**: the bytes
-/// go to `path + ".tmp"` in the same directory, are flushed and fsynced,
-/// and the temporary is then renamed over `path`. A crash at any point
-/// leaves either the previous snapshot or the new one — never a torn
-/// file. The stale temporary from an interrupted earlier save is simply
-/// overwritten.
+/// Writes the serialization of `ext` to `path` **atomically** via
+/// `io::WriteFileAtomic`: the bytes go to `path + ".tmp"` in the same
+/// directory, are fsynced, the temporary is renamed over `path`, and the
+/// parent directory is fsynced so the rename itself survives a crash. A
+/// crash at any point leaves either the previous snapshot or the new one
+/// — never a torn file. Going through the `io` layer also makes the
+/// failure paths fault-injectable (`io/fault.h`).
 Status SaveExtendedDtdFile(const ExtendedDtd& ext, const std::string& path);
 
 /// Reads and parses a snapshot written by `SaveExtendedDtdFile`.

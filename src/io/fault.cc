@@ -1,0 +1,50 @@
+#include "io/fault.h"
+
+namespace dtdevolve::io {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = plan;
+  ops_seen_.store(0);
+  crashed_.store(false);
+  armed_.store(true);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false);
+  crashed_.store(false);
+}
+
+bool FaultInjector::ShouldFail(FaultOp op, size_t write_size,
+                               size_t* persist_bytes, int* error_code) {
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_.load()) return false;
+  if ((plan_.op_mask & static_cast<uint32_t>(op)) == 0) return false;
+  const uint64_t seen = ops_seen_.fetch_add(1) + 1;
+  if (crashed_.load()) {
+    // The simulated process is dead: nothing reaches the disk any more.
+    *persist_bytes = 0;
+    *error_code = EIO;
+    return true;
+  }
+  if (plan_.fail_at == 0 || seen != plan_.fail_at) return false;
+  *error_code = plan_.error_code;
+  *persist_bytes = 0;
+  if (op == FaultOp::kWrite && plan_.torn_fraction > 0.0) {
+    double fraction = plan_.torn_fraction;
+    if (fraction > 1.0) fraction = 1.0;
+    *persist_bytes = static_cast<size_t>(
+        static_cast<double>(write_size) * fraction);
+  }
+  if (plan_.crash) crashed_.store(true);
+  return true;
+}
+
+}  // namespace dtdevolve::io

@@ -1,0 +1,83 @@
+#ifndef DTDEVOLVE_IO_FILE_H_
+#define DTDEVOLVE_IO_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "io/fault.h"
+#include "util/status.h"
+
+namespace dtdevolve::io {
+
+/// The file-I/O abstraction of the durability subsystem. Every write,
+/// fsync, rename, unlink and truncate on a durable path — the write-ahead
+/// log (`store/wal.h`) and the atomic snapshots (`evolve/persist.cc`) —
+/// goes through this layer, which consults the process-wide
+/// `FaultInjector` first. That is what makes failure paths *testable*:
+/// a test can fail the 3rd fsync with ENOSPC, persist half of the 7th
+/// write and then kill every later operation, and assert recovery.
+///
+/// All functions return `Status`; messages carry the path and
+/// `strerror(errno)`. Reads are deliberately not faultable — losing
+/// *written* data is the interesting failure class.
+
+/// RAII file descriptor with faultable mutation primitives.
+class File {
+ public:
+  /// Creates/truncates `path` for writing.
+  static StatusOr<File> OpenForWrite(const std::string& path);
+  /// Creates `path` if missing and positions every write at the end.
+  static StatusOr<File> OpenForAppend(const std::string& path);
+  /// Opens an existing file for in-place mutation (truncating a torn
+  /// WAL tail) without clobbering its contents.
+  static StatusOr<File> OpenExisting(const std::string& path);
+
+  File() = default;
+  /// Adopts an already-open descriptor (used by the Open factories).
+  File(int fd, std::string path);
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  ~File();
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Writes all of `data` (looping over partial writes).
+  Status Write(std::string_view data);
+  Status Fsync();
+  Status Truncate(uint64_t size);
+  /// Closes and reports the close error, unlike the silent destructor.
+  Status Close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Faultable directory-entry operations.
+Status Rename(const std::string& from, const std::string& to);
+/// `kNotFound` when the file does not exist.
+Status Unlink(const std::string& path);
+/// Fsyncs the directory itself — the only way to make a completed
+/// `rename` or `unlink` durable.
+Status FsyncDir(const std::string& dir);
+/// mkdir; success when the directory already exists.
+Status CreateDir(const std::string& path);
+
+/// Everything up to the final '/' ("." when there is none).
+std::string DirName(const std::string& path);
+
+/// The canonical crash-safe file write: `path + ".tmp"` gets the bytes,
+/// an fsync and a close, is renamed over `path`, and the parent directory
+/// is fsynced so the rename itself survives a crash. Any failure removes
+/// the temporary (best effort) and leaves the previous `path` intact.
+Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+/// Whole-file read; `kNotFound` when missing. Not faultable.
+StatusOr<std::string> ReadFile(const std::string& path);
+
+}  // namespace dtdevolve::io
+
+#endif  // DTDEVOLVE_IO_FILE_H_

@@ -13,6 +13,7 @@
 
 #include "dtd/dtd_writer.h"
 #include "evolve/persist.h"
+#include "io/file.h"
 #include "xml/parser.h"
 
 namespace dtdevolve::server {
@@ -63,12 +64,17 @@ std::string SanitizeFileComponent(const std::string& name) {
   return out.empty() ? "_" : out;
 }
 
-void SetRecvTimeout(int fd, int seconds) {
+void SetSocketTimeouts(int fd, int recv_seconds, int send_seconds) {
   struct timeval tv;
-  tv.tv_sec = seconds;
   tv.tv_usec = 0;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  if (recv_seconds > 0) {
+    tv.tv_sec = recv_seconds;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  if (send_seconds > 0) {
+    tv.tv_sec = send_seconds;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
 }
 
 }  // namespace
@@ -98,14 +104,25 @@ std::string IngestServer::SnapshotPath(const std::string& name) const {
 Status IngestServer::RestoreSnapshots() {
   if (options_.snapshot_dir.empty()) return Status::Ok();
   for (const std::string& name : source_.DtdNames()) {
+    const std::string path = SnapshotPath(name);
     StatusOr<evolve::ExtendedDtd> restored =
-        evolve::LoadExtendedDtdFile(SnapshotPath(name));
+        evolve::LoadExtendedDtdFile(path);
     if (!restored.ok()) {
-      // A missing snapshot is the normal first boot; anything else
-      // (truncated or corrupt file) must fail loudly rather than
-      // silently restart from the seed DTD.
+      // A missing snapshot is the normal first boot.
       if (restored.status().code() == Status::Code::kNotFound) continue;
-      return restored.status();
+      // A truncated or corrupt snapshot must not take the whole server
+      // down — one bad file would turn a partial failure into a total
+      // one. Quarantine it aside (preserving the evidence), count it,
+      // warn, and continue from the seed DTD.
+      Status moved = io::Rename(path, path + ".corrupt");
+      std::string warning = "quarantined corrupt snapshot " + path + " (" +
+                            restored.status().message() + ")";
+      if (!moved.ok()) warning += "; quarantine rename failed";
+      boot_warnings_.push_back(std::move(warning));
+      if (snapshots_quarantined_ != nullptr) {
+        snapshots_quarantined_->Increment();
+      }
+      continue;
     }
     DTDEVOLVE_RETURN_IF_ERROR(
         source_.RestoreExtended(name, std::move(*restored)));
@@ -123,14 +140,58 @@ Status IngestServer::SnapshotNow() {
   return Status::Ok();
 }
 
+Status IngestServer::CheckpointNow() {
+  if (wal_ == nullptr) return Status::Ok();
+  // Capture under the state mutex (a consistent cut at applied_lsn_),
+  // but do the disk writes outside it so ingest is not stalled for the
+  // duration of the snapshot I/O.
+  store::CheckpointData data;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    data = store::CaptureCheckpoint(source_, applied_lsn_);
+  }
+  Status written = store::WriteCheckpoint(options_.wal_dir, data);
+  if (written.ok()) written = wal_->TruncateThrough(data.lsn);
+  if (!written.ok()) {
+    if (checkpoint_errors_ != nullptr) checkpoint_errors_->Increment();
+    return written;
+  }
+  if (checkpoints_ != nullptr) checkpoints_->Increment();
+  if (checkpoint_lsn_gauge_ != nullptr) {
+    checkpoint_lsn_gauge_->Set(static_cast<double>(data.lsn));
+  }
+  return Status::Ok();
+}
+
+void IngestServer::CheckpointLoop() {
+  std::unique_lock<std::mutex> lock(checkpoint_mutex_);
+  for (;;) {
+    checkpoint_cv_.wait_for(lock, options_.checkpoint_interval,
+                            [this] { return checkpoint_stop_; });
+    if (checkpoint_stop_) return;
+    lock.unlock();
+    uint64_t target = 0;
+    {
+      std::lock_guard<std::mutex> state(state_mutex_);
+      target = applied_lsn_;
+    }
+    // Checkpoints are only worth their I/O when the state moved; a
+    // failed attempt is counted and retried next round.
+    if (target > last_checkpoint_lsn_ && CheckpointNow().ok()) {
+      last_checkpoint_lsn_ = target;
+    }
+    lock.lock();
+  }
+}
+
 Status IngestServer::Start() {
   if (started_) {
     return Status::FailedPrecondition("server already started");
   }
-  DTDEVOLVE_RETURN_IF_ERROR(RestoreSnapshots());
 
   // Loop + hot-path instrumentation, all under the one registry that
-  // GET /metrics renders.
+  // GET /metrics renders. Wired before recovery so boot-time events
+  // (quarantines, replays) land on registered series.
   core::SourceMetrics metrics;
   metrics.documents_processed = &registry_.GetCounter(
       "dtdevolve_documents_processed_total", "Documents fed into the loop");
@@ -182,6 +243,67 @@ Status IngestServer::Start() {
   registry_.GetGauge("dtdevolve_ingest_queue_capacity",
                      "Configured ingest queue bound")
       .Set(static_cast<double>(options_.queue_capacity));
+  degraded_ = &registry_.GetGauge(
+      "dtdevolve_degraded",
+      "1 while ingest is rejected because the write-ahead log cannot be "
+      "written (e.g. disk full), 0 otherwise");
+  checkpoints_ = &registry_.GetCounter("dtdevolve_checkpoints_total",
+                                       "Checkpoints written successfully");
+  checkpoint_errors_ = &registry_.GetCounter(
+      "dtdevolve_checkpoint_errors_total", "Checkpoint attempts that failed");
+  checkpoint_lsn_gauge_ = &registry_.GetGauge(
+      "dtdevolve_checkpoint_lsn", "LSN of the last durable checkpoint");
+  snapshots_quarantined_ = &registry_.GetCounter(
+      "dtdevolve_snapshots_quarantined_total",
+      "Corrupt snapshots renamed aside at boot");
+
+  if (!options_.snapshot_dir.empty()) {
+    // Snapshots are written lazily (shutdown / SnapshotNow); create the
+    // directory up front so a missing one fails the boot loudly instead
+    // of the final snapshot silently.
+    DTDEVOLVE_RETURN_IF_ERROR(io::CreateDir(options_.snapshot_dir));
+  }
+
+  if (!options_.wal_dir.empty()) {
+    store::WalOptions wal_options;
+    wal_options.dir = options_.wal_dir;
+    wal_options.fsync_policy = options_.fsync_policy;
+    wal_options.fsync_interval = options_.fsync_interval;
+    wal_options.segment_bytes = options_.wal_segment_bytes;
+    recovery_report_ = {};
+    StatusOr<std::unique_ptr<store::Wal>> wal =
+        store::RecoverSource(source_, wal_options, &recovery_report_);
+    if (!wal.ok()) return wal.status();
+    wal_ = std::move(*wal);
+    store::WalMetrics wal_metrics;
+    wal_metrics.appends = &registry_.GetCounter(
+        "dtdevolve_wal_appends_total", "WAL records appended");
+    wal_metrics.append_bytes = &registry_.GetCounter(
+        "dtdevolve_wal_append_bytes_total", "WAL bytes appended");
+    wal_metrics.append_errors = &registry_.GetCounter(
+        "dtdevolve_wal_append_errors_total", "WAL appends that failed");
+    wal_metrics.fsyncs = &registry_.GetCounter("dtdevolve_wal_fsyncs_total",
+                                               "WAL fsync calls");
+    wal_metrics.rotations = &registry_.GetCounter(
+        "dtdevolve_wal_rotations_total", "WAL segment rotations");
+    wal_metrics.truncated_segments = &registry_.GetCounter(
+        "dtdevolve_wal_truncated_segments_total",
+        "WAL segments dropped by checkpoint truncation");
+    wal_->set_metrics(wal_metrics);
+    registry_
+        .GetCounter("dtdevolve_wal_replayed_records_total",
+                    "WAL records replayed during boot recovery")
+        .Increment(recovery_report_.replayed_records);
+    applied_lsn_ = recovery_report_.last_applied_lsn;
+    last_checkpoint_lsn_ = recovery_report_.checkpoint_lsn;
+    checkpoint_lsn_gauge_->Set(
+        static_cast<double>(recovery_report_.checkpoint_lsn));
+    if (!recovery_report_.warning.empty()) {
+      boot_warnings_.push_back(recovery_report_.warning);
+    }
+  } else {
+    DTDEVOLVE_RETURN_IF_ERROR(RestoreSnapshots());
+  }
 
   if (::pipe(wake_pipe_) != 0) {
     return Status::Internal(std::string("pipe failed: ") +
@@ -216,8 +338,12 @@ Status IngestServer::Start() {
 
   pool_.emplace(options_.jobs);
   started_ = true;
+  checkpoint_stop_ = false;
   worker_thread_ = std::thread([this] { IngestWorker(); });
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (wal_ != nullptr && options_.checkpoint_interval.count() > 0) {
+    checkpoint_thread_ = std::thread([this] { CheckpointLoop(); });
+  }
   return Status::Ok();
 }
 
@@ -253,6 +379,22 @@ void IngestServer::Wait() {
   queue_cv_.notify_all();
   if (worker_thread_.joinable()) worker_thread_.join();
 
+  {
+    std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+    checkpoint_stop_ = true;
+  }
+  checkpoint_cv_.notify_all();
+  if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
+
+  if (wal_ != nullptr) {
+    if (options_.checkpoint_on_shutdown) {
+      CheckpointNow();
+    } else {
+      // Crash-simulation mode: leave only the log behind, but make sure
+      // everything acked under a lazy fsync policy reaches the disk.
+      wal_->Sync();
+    }
+  }
   SnapshotNow();
 
   if (pool_) pool_->Shutdown();
@@ -295,7 +437,8 @@ void IngestServer::AcceptLoop() {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;
     }
-    SetRecvTimeout(fd, 10);
+    SetSocketTimeouts(fd, options_.recv_timeout_seconds,
+                      options_.send_timeout_seconds);
     {
       std::lock_guard<std::mutex> lock(conn_mutex_);
       ++active_connections_;
@@ -380,16 +523,46 @@ HttpResponse IngestServer::HandleIngest(const HttpRequest& request) {
   std::shared_ptr<IngestWaiter> waiter = pending.waiter;
 
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (queue_.size() >= options_.queue_capacity) {
-      requests_rejected_->Increment();
-      return {503,
-              "application/json",
-              {{"Retry-After", std::to_string(options_.retry_after_seconds)}},
-              "{\"error\":\"ingest queue full\"}\n"};
+    // Spans capacity check → WAL append → enqueue: concurrent ingests
+    // serialize here, so the queue (and therefore the apply order) is
+    // exactly LSN order — the invariant WAL replay depends on.
+    std::lock_guard<std::mutex> order(ingest_order_mutex_);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (queue_.size() >= options_.queue_capacity) {
+        requests_rejected_->Increment();
+        return {503,
+                "application/json",
+                {{"Retry-After",
+                  std::to_string(options_.retry_after_seconds)}},
+                "{\"error\":\"ingest queue full\"}\n"};
+      }
     }
-    queue_.push_back(std::move(pending));
-    queue_depth_->Set(static_cast<double>(queue_.size()));
+    if (wal_ != nullptr) {
+      // The ack contract: the record is in the log (fsynced under the
+      // `always` policy) before any 2xx leaves this function. When the
+      // disk says no, the document is NOT acked — 503 so the client
+      // retries once space returns, and the degraded gauge flags the
+      // condition until an append succeeds again.
+      StatusOr<uint64_t> lsn = wal_->Append(request.body);
+      if (!lsn.ok()) {
+        degraded_->Set(1);
+        requests_rejected_->Increment();
+        return {503,
+                "application/json",
+                {{"Retry-After",
+                  std::to_string(options_.retry_after_seconds)}},
+                "{\"error\":\"write-ahead log append failed: " +
+                    JsonEscape(lsn.status().message()) + "\"}\n"};
+      }
+      degraded_->Set(0);
+      pending.lsn = *lsn;
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      queue_.push_back(std::move(pending));
+      queue_depth_->Set(static_cast<double>(queue_.size()));
+    }
   }
   queue_cv_.notify_all();
 
@@ -502,6 +675,9 @@ void IngestServer::ProcessPending(std::vector<PendingDoc> pending) {
     for (const core::XmlSource::ProcessOutcome& outcome : outcomes) {
       if (outcome.classified) ++ingested_per_dtd_[outcome.dtd_name];
       if (outcome.evolved) ++evolutions_per_dtd_[outcome.dtd_name];
+    }
+    for (const PendingDoc& item : pending) {
+      if (item.lsn > applied_lsn_) applied_lsn_ = item.lsn;
     }
   }
   const auto now = std::chrono::steady_clock::now();

@@ -18,6 +18,8 @@
 #include "core/source.h"
 #include "obs/metrics.h"
 #include "server/http.h"
+#include "store/checkpoint.h"
+#include "store/wal.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -42,7 +44,42 @@ struct ServerOptions {
   /// Directory for extended-DTD snapshots (one `<name>.dtdstate` per
   /// DTD): written atomically on shutdown (and via `SnapshotNow`),
   /// restored over the seed DTDs on `Start`. Empty disables persistence.
+  /// A snapshot that fails to parse at boot is quarantined (renamed to
+  /// `<name>.dtdstate.corrupt`, counted, reported in `boot_warnings`)
+  /// and the server continues from the seed DTD.
   std::string snapshot_dir;
+
+  // --- Crash durability (store/wal.h, store/checkpoint.h) -----------------
+
+  /// Directory for the write-ahead log and its checkpoints. Empty
+  /// disables the WAL. When set, every accepted `/ingest` body is
+  /// appended to the log — and, under `fsync_policy == kAlways`, fsynced
+  /// — *before* the 202/200 ack, so an acked document survives a crash;
+  /// `Start` then recovers the last checkpoint plus the WAL tail instead
+  /// of restoring `snapshot_dir`. An append failure (e.g. disk full)
+  /// answers 503 with `Retry-After` and raises the `dtdevolve_degraded`
+  /// gauge until an append succeeds again.
+  std::string wal_dir;
+  store::FsyncPolicy fsync_policy = store::FsyncPolicy::kAlways;
+  /// Fsync cadence under `FsyncPolicy::kInterval`.
+  std::chrono::milliseconds fsync_interval{100};
+  /// WAL segment rotation threshold.
+  uint64_t wal_segment_bytes = 8 * 1024 * 1024;
+  /// Cadence of the periodic checkpoint thread (snapshot the pipeline
+  /// state, then truncate the WAL through the checkpointed LSN). Zero
+  /// disables the thread; a final checkpoint still runs on graceful
+  /// stop unless `checkpoint_on_shutdown` is off.
+  std::chrono::milliseconds checkpoint_interval{30000};
+  /// Disable to make a graceful stop leave only WAL state behind —
+  /// recovery then has to replay the log, which is how crash-recovery
+  /// tests exercise the replay path deterministically.
+  bool checkpoint_on_shutdown = true;
+
+  /// Per-connection socket timeouts (SO_RCVTIMEO / SO_SNDTIMEO): a
+  /// client that stalls mid-request or stops reading its response frees
+  /// the connection thread after this long. Zero disables the guard.
+  int recv_timeout_seconds = 10;
+  int send_timeout_seconds = 10;
 };
 
 /// The networked front of Fig. 1: a long-running HTTP/1.1 server (plain
@@ -114,6 +151,23 @@ class IngestServer {
   /// without a snapshot dir. Also called by the graceful stop.
   Status SnapshotNow();
 
+  /// Checkpoints the pipeline state at the last applied LSN and
+  /// truncates the WAL through it. No-op without a WAL. Called by the
+  /// periodic checkpoint thread and by the graceful stop.
+  Status CheckpointNow();
+
+  /// What boot-time recovery found (checkpoint LSN, records replayed,
+  /// torn-tail warning). Meaningful after `Start` with a `wal_dir`.
+  const store::RecoveryReport& recovery_report() const {
+    return recovery_report_;
+  }
+
+  /// Non-fatal boot findings (quarantined snapshots, torn WAL tails) —
+  /// the operator-visible "warn" half of warn-and-continue.
+  const std::vector<std::string>& boot_warnings() const {
+    return boot_warnings_;
+  }
+
   obs::Registry& metrics() { return registry_; }
 
   /// The wrapped source. Only safe while the server is not running
@@ -133,6 +187,7 @@ class IngestServer {
     xml::Document doc;
     std::chrono::steady_clock::time_point enqueued;
     std::shared_ptr<IngestWaiter> waiter;  // null for fire-and-forget
+    uint64_t lsn = 0;                      // 0 when the WAL is disabled
   };
 
   void AcceptLoop();
@@ -143,6 +198,7 @@ class IngestServer {
   HttpResponse HandleStats();
   void IngestWorker();
   void ProcessPending(std::vector<PendingDoc> pending);
+  void CheckpointLoop();
   Status RestoreSnapshots();
   std::string SnapshotPath(const std::string& name) const;
 
@@ -159,6 +215,19 @@ class IngestServer {
 
   std::thread accept_thread_;
   std::thread worker_thread_;
+
+  // Durability. `wal_` is created during Start (recovery) and outlives
+  // every ingest; `ingest_order_mutex_` spans capacity check → WAL
+  // append → enqueue so LSN order is exactly apply order.
+  std::unique_ptr<store::Wal> wal_;
+  std::mutex ingest_order_mutex_;
+  store::RecoveryReport recovery_report_;
+  std::vector<std::string> boot_warnings_;
+  std::thread checkpoint_thread_;
+  std::mutex checkpoint_mutex_;
+  std::condition_variable checkpoint_cv_;
+  bool checkpoint_stop_ = false;
+  uint64_t last_checkpoint_lsn_ = 0;  // checkpoint thread only
 
   // Connection bookkeeping: threads are detached; Wait() blocks until
   // the count returns to zero.
@@ -177,12 +246,18 @@ class IngestServer {
   mutable std::mutex state_mutex_;
   std::map<std::string, uint64_t> ingested_per_dtd_;
   std::map<std::string, uint64_t> evolutions_per_dtd_;
+  uint64_t applied_lsn_ = 0;  // highest LSN folded into source_
 
   // Wired in Start(); hot-path handles into registry_.
   obs::Counter* requests_rejected_ = nullptr;
   obs::Gauge* queue_depth_ = nullptr;
   obs::Histogram* ingest_seconds_ = nullptr;
   obs::Histogram* batch_seconds_ = nullptr;
+  obs::Gauge* degraded_ = nullptr;
+  obs::Counter* checkpoints_ = nullptr;
+  obs::Counter* checkpoint_errors_ = nullptr;
+  obs::Gauge* checkpoint_lsn_gauge_ = nullptr;
+  obs::Counter* snapshots_quarantined_ = nullptr;
 };
 
 }  // namespace dtdevolve::server

@@ -1,0 +1,90 @@
+#ifndef DTDEVOLVE_STORE_CHECKPOINT_H_
+#define DTDEVOLVE_STORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/source.h"
+#include "store/wal.h"
+#include "util/status.h"
+
+namespace dtdevolve::store {
+
+/// Checkpoints bound WAL replay: a checkpoint at LSN `L` captures the
+/// full pipeline state after applying every record with `lsn <= L`, so
+/// recovery loads the checkpoint and replays only the tail. The on-disk
+/// protocol is atomic-by-meta:
+///
+///   1. `ckpt-<L>-<i>.dtdstate` — one atomic snapshot per extended DTD;
+///   2. `ckpt-<L>.source`       — counters + repository documents;
+///   3. `checkpoint.meta`       — written (atomically) LAST; it names the
+///      LSN and the DTDs, so a crash anywhere before this rename leaves
+///      the previous complete checkpoint in charge;
+///   4. stale `ckpt-*` files from older (or aborted) checkpoints are
+///      unlinked, and the WAL is truncated through `L`.
+///
+/// "Full pipeline state" is deliberate: counters feed event indices and
+/// the min-documents gate, and repository ids feed the ascending-id
+/// re-classification order, so a checkpoint of the extended DTDs alone
+/// would not be replay-equivalent.
+
+/// One checkpoint's payload, independent of its on-disk layout.
+struct CheckpointData {
+  /// Every record with `lsn <= lsn` is folded into this state.
+  uint64_t lsn = 0;
+  /// name → SerializeExtendedDtd text, one per registered DTD.
+  std::vector<std::pair<std::string, std::string>> dtds;
+  /// SerializeSourceState text (counters + repository).
+  std::string source_state;
+};
+
+/// Counters + repository of `source` in the line-oriented source-state
+/// format (`dtdevolve-source 1` header; repository documents embedded as
+/// length-prefixed XML).
+std::string SerializeSourceState(const core::XmlSource& source);
+
+/// Applies a `SerializeSourceState` text onto `source` (which must still
+/// hold its freshly registered seed DTDs).
+Status RestoreSourceState(core::XmlSource& source, std::string_view data);
+
+/// Captures `source` as checkpoint payload at `lsn`.
+CheckpointData CaptureCheckpoint(const core::XmlSource& source, uint64_t lsn);
+
+/// Runs steps 1–3 plus the stale-file cleanup in `dir` (the WAL
+/// directory). The WAL truncation is the caller's — it owns the `Wal`.
+Status WriteCheckpoint(const std::string& dir, const CheckpointData& data);
+
+/// Loads the checkpoint `checkpoint.meta` points at. A missing meta is
+/// not an error — an empty `CheckpointData` with `lsn == 0` comes back.
+/// A meta that references missing or unparseable files is a hard error:
+/// the WAL below that LSN is gone, so acked history would be lost.
+StatusOr<CheckpointData> ReadCheckpoint(const std::string& dir);
+
+/// What recovery found; for logs and tests.
+struct RecoveryReport {
+  uint64_t checkpoint_lsn = 0;   // 0 ⇒ no checkpoint existed
+  size_t checkpoint_dtds = 0;
+  size_t replayed_records = 0;   // WAL records applied on top
+  uint64_t last_applied_lsn = 0;
+  bool wal_tail_truncated = false;
+  std::string warning;           // non-empty when a torn tail was cut
+};
+
+/// Boot-time recovery: loads the checkpoint (if any) into `source`,
+/// opens the WAL, replays every record with `lsn > checkpoint_lsn`
+/// through `source.ProcessText`, and returns the opened WAL positioned
+/// for new appends. Records at or below the checkpoint LSN are skipped,
+/// so recovering twice (or crashing mid-recovery before the next
+/// checkpoint) is idempotent. `source` must already hold the seed DTDs
+/// the checkpoint's snapshots restore over.
+StatusOr<std::unique_ptr<Wal>> RecoverSource(core::XmlSource& source,
+                                             const WalOptions& options,
+                                             RecoveryReport* report);
+
+}  // namespace dtdevolve::store
+
+#endif  // DTDEVOLVE_STORE_CHECKPOINT_H_

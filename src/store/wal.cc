@@ -1,0 +1,385 @@
+#include "store/wal.h"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "util/crc32.h"
+
+namespace dtdevolve::store {
+
+namespace {
+
+constexpr size_t kRecordHeaderBytes = 16;  // u32 len, u32 crc, u64 lsn
+/// Framing sanity bound: a length beyond this cannot be a real record
+/// (ingest bodies are capped far below) and is treated as corruption.
+constexpr uint32_t kMaxPayloadBytes = 64 * 1024 * 1024;
+
+void PutU32(uint32_t value, std::string& out) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(uint64_t value, std::string& out) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+uint32_t GetU32(const char* data) {
+  uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | static_cast<unsigned char>(data[i]);
+  }
+  return value;
+}
+
+uint64_t GetU64(const char* data) {
+  uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | static_cast<unsigned char>(data[i]);
+  }
+  return value;
+}
+
+std::string EncodeRecord(uint64_t lsn, std::string_view payload) {
+  std::string record;
+  record.reserve(kRecordHeaderBytes + payload.size());
+  PutU32(static_cast<uint32_t>(payload.size()), record);
+  std::string checked;
+  checked.reserve(8 + payload.size());
+  PutU64(lsn, checked);
+  checked.append(payload);
+  PutU32(util::Crc32(checked.data(), checked.size()), record);
+  record.append(checked);
+  return record;
+}
+
+}  // namespace
+
+bool ParseFsyncPolicy(std::string_view text, FsyncPolicy* out) {
+  if (text == "always") {
+    *out = FsyncPolicy::kAlways;
+  } else if (text == "interval") {
+    *out = FsyncPolicy::kInterval;
+  } else if (text == "none") {
+    *out = FsyncPolicy::kNone;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways: return "always";
+    case FsyncPolicy::kInterval: return "interval";
+    case FsyncPolicy::kNone: return "none";
+  }
+  return "?";
+}
+
+std::string Wal::SegmentPath(uint64_t seq) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%010llu.log",
+                static_cast<unsigned long long>(seq));
+  return options_.dir + "/" + name;
+}
+
+StatusOr<std::unique_ptr<Wal>> Wal::Open(WalOptions options,
+                                         uint64_t min_next_lsn,
+                                         WalReplay* replay) {
+  DTDEVOLVE_RETURN_IF_ERROR(io::CreateDir(options.dir));
+  std::unique_ptr<Wal> wal(new Wal(std::move(options)));
+
+  // Collect wal-<seq>.log entries.
+  std::vector<uint64_t> seqs;
+  DIR* dir = ::opendir(wal->options_.dir.c_str());
+  if (dir == nullptr) {
+    return Status::Internal("cannot list " + wal->options_.dir + ": " +
+                            std::strerror(errno));
+  }
+  while (struct dirent* entry = ::readdir(dir)) {
+    unsigned long long seq = 0;
+    char tail = 0;
+    if (std::sscanf(entry->d_name, "wal-%llu.lo%c", &seq, &tail) == 2 &&
+        tail == 'g') {
+      seqs.push_back(seq);
+    }
+  }
+  ::closedir(dir);
+  std::sort(seqs.begin(), seqs.end());
+
+  uint64_t max_lsn = 0;
+  // Nonzero after a torn tail was cut from a *non-final* segment: the
+  // next record anywhere in the log must carry exactly this LSN. A
+  // failed append never consumes an LSN, so contiguity proves the torn
+  // bytes were never acked; a gap means acked history is missing.
+  uint64_t require_lsn = 0;
+  for (size_t s = 0; s < seqs.size(); ++s) {
+    const bool final_segment = s + 1 == seqs.size();
+    Segment segment;
+    segment.seq = seqs[s];
+    segment.path = wal->SegmentPath(seqs[s]);
+    StatusOr<std::string> bytes = io::ReadFile(segment.path);
+    if (!bytes.ok()) return bytes.status();
+    const std::string& data = *bytes;
+
+    size_t offset = 0;
+    while (offset < data.size()) {
+      const size_t remaining = data.size() - offset;
+      bool torn = false;        // cut the tail here
+      bool corrupt = false;     // mid-log damage: refuse to continue
+      std::string why;
+      uint32_t len = 0;
+      if (remaining < kRecordHeaderBytes) {
+        torn = true;
+        why = "truncated record header";
+      } else {
+        len = GetU32(data.data() + offset);
+        if (len > kMaxPayloadBytes) {
+          // The length itself is garbage, so the rest of the file cannot
+          // be framed; at the end of a segment this is a torn tail.
+          torn = true;
+          why = "implausible record length";
+        } else if (remaining < kRecordHeaderBytes + len) {
+          torn = true;
+          why = "truncated record payload";
+        } else {
+          const uint32_t stored_crc = GetU32(data.data() + offset + 4);
+          const uint32_t actual_crc =
+              util::Crc32(data.data() + offset + 8, 8 + len);
+          if (stored_crc != actual_crc) {
+            // A *complete* frame with a bad checksum can only be a torn
+            // fsync of the in-flight final append; anywhere else it is
+            // damage to a record that was fully written — acked history.
+            if (final_segment &&
+                offset + kRecordHeaderBytes + len == data.size()) {
+              torn = true;
+              why = "checksum mismatch on final record";
+            } else {
+              corrupt = true;
+              why = "checksum mismatch on a complete record";
+            }
+          }
+        }
+      }
+      if (!torn && !corrupt) {
+        const uint64_t lsn = GetU64(data.data() + offset + 8);
+        if (lsn <= max_lsn) {
+          corrupt = true;
+          why = "LSN went backwards";
+        } else if (require_lsn != 0 && lsn != require_lsn) {
+          corrupt = true;
+          why = "LSN gap after a torn segment tail";
+        } else {
+          require_lsn = 0;
+          max_lsn = lsn;
+          if (segment.first_lsn == 0) segment.first_lsn = lsn;
+          segment.last_lsn = lsn;
+          if (replay != nullptr) {
+            replay->records.push_back(
+                {lsn, data.substr(offset + kRecordHeaderBytes, len)});
+          }
+          offset += kRecordHeaderBytes + len;
+          continue;
+        }
+      }
+      if (corrupt) {
+        return Status::ParseError(
+            "corrupt WAL record in " + segment.path + " at offset " +
+            std::to_string(offset) + " (" + why +
+            "): refusing to drop acked history");
+      }
+      // Torn tail: that append never returned OK, so cutting it loses
+      // nothing acked. Truncate physically so later appends land on a
+      // clean frame boundary. In a non-final segment (a broken append
+      // whose WAL self-healed by rotating) the claim still needs proof —
+      // the next record must continue the LSN sequence without a gap.
+      StatusOr<io::File> file = io::File::OpenExisting(segment.path);
+      if (!file.ok()) return file.status();
+      DTDEVOLVE_RETURN_IF_ERROR(file->Truncate(offset));
+      DTDEVOLVE_RETURN_IF_ERROR(file->Fsync());
+      DTDEVOLVE_RETURN_IF_ERROR(file->Close());
+      require_lsn = max_lsn + 1;
+      if (replay != nullptr) {
+        replay->tail_truncated = true;
+        if (!replay->warning.empty()) replay->warning += "; ";
+        replay->warning += "truncated torn WAL tail in " + segment.path +
+                           " at offset " + std::to_string(offset) + " (" +
+                           why + ")";
+      }
+      break;
+    }
+    segment.size = std::min<uint64_t>(offset, data.size());
+    wal->segments_.push_back(std::move(segment));
+  }
+
+  wal->next_lsn_ = std::max(max_lsn + 1, std::max<uint64_t>(min_next_lsn, 1));
+  DTDEVOLVE_RETURN_IF_ERROR(wal->OpenActive(/*truncate_to_size=*/false));
+  return wal;
+}
+
+Status Wal::OpenActive(bool /*truncate_to_size*/) {
+  if (segments_.empty()) {
+    Segment segment;
+    segment.seq = 1;
+    segment.path = SegmentPath(1);
+    StatusOr<io::File> file = io::File::OpenForAppend(segment.path);
+    if (!file.ok()) return file.status();
+    active_ = std::move(*file);
+    segments_.push_back(std::move(segment));
+    return io::FsyncDir(options_.dir);
+  }
+  StatusOr<io::File> file = io::File::OpenForAppend(segments_.back().path);
+  if (!file.ok()) return file.status();
+  active_ = std::move(*file);
+  return Status::Ok();
+}
+
+Status Wal::RotateLocked() {
+  if (options_.fsync_policy != FsyncPolicy::kNone && active_.is_open()) {
+    // Best effort: the segment being retired should be on disk before
+    // the directory gains its successor.
+    (void)active_.Fsync();
+  }
+  (void)active_.Close();
+  Segment segment;
+  segment.seq = segments_.empty() ? 1 : segments_.back().seq + 1;
+  segment.path = SegmentPath(segment.seq);
+  StatusOr<io::File> file = io::File::OpenForAppend(segment.path);
+  if (!file.ok()) return file.status();
+  active_ = std::move(*file);
+  segments_.push_back(std::move(segment));
+  DTDEVOLVE_RETURN_IF_ERROR(io::FsyncDir(options_.dir));
+  if (metrics_.rotations != nullptr) metrics_.rotations->Increment();
+  broken_ = false;
+  return Status::Ok();
+}
+
+Status Wal::MaybeFsyncLocked() {
+  switch (options_.fsync_policy) {
+    case FsyncPolicy::kNone:
+      return Status::Ok();
+    case FsyncPolicy::kAlways:
+      break;
+    case FsyncPolicy::kInterval: {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_fsync_ < options_.fsync_interval) return Status::Ok();
+      break;
+    }
+  }
+  DTDEVOLVE_RETURN_IF_ERROR(active_.Fsync());
+  last_fsync_ = std::chrono::steady_clock::now();
+  if (metrics_.fsyncs != nullptr) metrics_.fsyncs->Increment();
+  return Status::Ok();
+}
+
+StatusOr<uint64_t> Wal::Append(std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (broken_) {
+    // Self-heal. First retry the cleanup that broke the WAL — cutting
+    // the torn bytes restores the active segment in place. Failing
+    // that, rotate: the fresh segment leaves the unframeable bytes
+    // behind in the abandoned one, which replay treats as a torn tail
+    // (and verifies against the LSN sequence).
+    if (active_.is_open() && active_.Truncate(segments_.back().size).ok()) {
+      broken_ = false;
+    } else {
+      Status rotated = RotateLocked();
+      if (!rotated.ok()) {
+        if (metrics_.append_errors != nullptr) {
+          metrics_.append_errors->Increment();
+        }
+        return Status::Internal("wal broken and rotation failed: " +
+                                rotated.message());
+      }
+    }
+  }
+  if (segments_.back().size >= options_.segment_bytes) {
+    Status rotated = RotateLocked();
+    if (!rotated.ok()) {
+      if (metrics_.append_errors != nullptr) {
+        metrics_.append_errors->Increment();
+      }
+      return rotated;
+    }
+  }
+
+  Segment& segment = segments_.back();
+  const uint64_t lsn = next_lsn_;
+  const std::string record = EncodeRecord(lsn, payload);
+  Status status = active_.Write(record);
+  if (status.ok()) status = MaybeFsyncLocked();
+  if (!status.ok()) {
+    if (metrics_.append_errors != nullptr) metrics_.append_errors->Increment();
+    // Cut any torn bytes back off so the next append stays framed. When
+    // even that fails (crash simulation, dead disk) the WAL is broken
+    // until a rotation succeeds — the torn tail stays for recovery.
+    Status truncated = active_.Truncate(segment.size);
+    if (!truncated.ok()) broken_ = true;
+    return status;
+  }
+  segment.size += record.size();
+  if (segment.first_lsn == 0) segment.first_lsn = lsn;
+  segment.last_lsn = lsn;
+  next_lsn_ = lsn + 1;
+  if (metrics_.appends != nullptr) metrics_.appends->Increment();
+  if (metrics_.append_bytes != nullptr) {
+    metrics_.append_bytes->Increment(record.size());
+  }
+  return lsn;
+}
+
+Status Wal::Sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DTDEVOLVE_RETURN_IF_ERROR(active_.Fsync());
+  last_fsync_ = std::chrono::steady_clock::now();
+  if (metrics_.fsyncs != nullptr) metrics_.fsyncs->Increment();
+  return Status::Ok();
+}
+
+Status Wal::TruncateThrough(uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The active segment rotates away first when fully covered, so the
+  // unlink loop below can treat every covered segment uniformly.
+  if (!segments_.empty() && segments_.back().last_lsn != 0 &&
+      segments_.back().last_lsn <= lsn) {
+    DTDEVOLVE_RETURN_IF_ERROR(RotateLocked());
+  }
+  bool removed = false;
+  for (size_t i = 0; i + 1 < segments_.size();) {
+    if (segments_[i].last_lsn != 0 && segments_[i].last_lsn <= lsn) {
+      Status status = io::Unlink(segments_[i].path);
+      if (!status.ok() && status.code() != Status::Code::kNotFound) {
+        return status;
+      }
+      if (metrics_.truncated_segments != nullptr) {
+        metrics_.truncated_segments->Increment();
+      }
+      segments_.erase(segments_.begin() + static_cast<long>(i));
+      removed = true;
+    } else {
+      ++i;
+    }
+  }
+  if (removed) return io::FsyncDir(options_.dir);
+  return Status::Ok();
+}
+
+uint64_t Wal::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_lsn_;
+}
+
+size_t Wal::SegmentCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return segments_.size();
+}
+
+}  // namespace dtdevolve::store

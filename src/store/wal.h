@@ -1,0 +1,146 @@
+#ifndef DTDEVOLVE_STORE_WAL_H_
+#define DTDEVOLVE_STORE_WAL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/file.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace dtdevolve::store {
+
+/// Durability discipline of one append. `kAlways` fsyncs before the
+/// append returns — an acked document survives power loss. `kInterval`
+/// fsyncs when the last fsync is older than `fsync_interval` (bounded
+/// loss window, much cheaper). `kNone` never fsyncs — the OS decides.
+enum class FsyncPolicy { kAlways, kInterval, kNone };
+
+/// "always" / "interval" / "none"; false on anything else.
+bool ParseFsyncPolicy(std::string_view text, FsyncPolicy* out);
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+struct WalOptions {
+  std::string dir;
+  FsyncPolicy fsync_policy = FsyncPolicy::kAlways;
+  std::chrono::milliseconds fsync_interval{100};
+  /// A segment past this size is closed and a new one started; the
+  /// checkpoint truncation then drops whole segments.
+  uint64_t segment_bytes = 8 * 1024 * 1024;
+};
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  std::string payload;
+};
+
+/// What `Wal::Open` found on disk.
+struct WalReplay {
+  std::vector<WalRecord> records;
+  /// A torn final record (crash mid-append) was cut off — the log was
+  /// physically truncated back to its last intact record.
+  bool tail_truncated = false;
+  std::string warning;
+};
+
+/// Instrumentation hooks; all pointers optional.
+struct WalMetrics {
+  obs::Counter* appends = nullptr;
+  obs::Counter* append_bytes = nullptr;
+  obs::Counter* append_errors = nullptr;
+  obs::Counter* fsyncs = nullptr;
+  obs::Counter* rotations = nullptr;
+  obs::Counter* truncated_segments = nullptr;
+};
+
+/// Append-only, length-prefixed, CRC32-checksummed write-ahead log over
+/// numbered segment files (`wal-<seq>.log`). Each record is
+///
+///   [u32 payload length][u32 crc32(lsn || payload)][u64 lsn][payload]
+///
+/// little-endian, with strictly increasing LSNs across segments. The ack
+/// contract of the ingest server rests on `Append`: a document whose
+/// append returned OK under `FsyncPolicy::kAlways` is recoverable after
+/// any crash. `Open` replays what a previous process left behind:
+///
+///   * a torn final record (short bytes, or a checksum mismatch at the
+///     very tail) is truncated away with a warning — that append never
+///     returned OK, so nothing acked is lost and boot proceeds;
+///   * an *incomplete* frame ending a non-final segment (a broken append
+///     the WAL healed by rotating away from) is truncated too, but only
+///     if the next record continues the LSN sequence without a gap — a
+///     failed append never consumes an LSN, so contiguity proves the
+///     torn bytes were never acked;
+///   * anything else — a complete record with a bad checksum below more
+///     data, an LSN gap — is a hard error: the log lies about history
+///     and silently dropping records would lose acked documents.
+///
+/// A failed append truncates the segment back to its pre-append size so
+/// a torn tail never sits below later records (if even the truncate
+/// fails, the WAL turns `broken` and every later append fails until a
+/// rotation succeeds). Thread-safe: appends from concurrent connection
+/// threads serialize on an internal mutex, so LSN order is append order.
+class Wal {
+ public:
+  /// Opens (creating `options.dir` when missing), scans existing
+  /// segments into `*replay`, and positions for appending. LSNs continue
+  /// above both what the log contains and `min_next_lsn` (the last
+  /// checkpoint's LSN, so truncated history is never re-issued).
+  static StatusOr<std::unique_ptr<Wal>> Open(WalOptions options,
+                                             uint64_t min_next_lsn,
+                                             WalReplay* replay);
+
+  /// Appends one record, honoring the fsync policy; returns its LSN.
+  StatusOr<uint64_t> Append(std::string_view payload);
+
+  /// Explicit fsync of the active segment (checkpoints, shutdown).
+  Status Sync();
+
+  /// Drops every segment whose records all have `lsn <= lsn` — called
+  /// after a checkpoint at `lsn` became durable. The active segment is
+  /// rotated first when it is fully covered.
+  Status TruncateThrough(uint64_t lsn);
+
+  uint64_t next_lsn() const;
+  const std::string& dir() const { return options_.dir; }
+  /// Number of live segment files (tests; rotation behavior).
+  size_t SegmentCount() const;
+
+  void set_metrics(const WalMetrics& metrics) { metrics_ = metrics; }
+
+ private:
+  struct Segment {
+    uint64_t seq = 0;
+    std::string path;
+    uint64_t first_lsn = 0;  // 0 when empty
+    uint64_t last_lsn = 0;
+    uint64_t size = 0;
+  };
+
+  explicit Wal(WalOptions options) : options_(std::move(options)) {}
+
+  std::string SegmentPath(uint64_t seq) const;
+  Status OpenActive(bool truncate_to_size);
+  Status RotateLocked();
+  Status MaybeFsyncLocked();
+
+  WalOptions options_;
+  WalMetrics metrics_;
+
+  mutable std::mutex mutex_;
+  std::vector<Segment> segments_;  // ascending seq; last one is active
+  io::File active_;
+  uint64_t next_lsn_ = 1;
+  bool broken_ = false;
+  std::chrono::steady_clock::time_point last_fsync_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace dtdevolve::store
+
+#endif  // DTDEVOLVE_STORE_WAL_H_

@@ -1,0 +1,17 @@
+#ifndef DTDEVOLVE_UTIL_CRC32_H_
+#define DTDEVOLVE_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dtdevolve::util {
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the checksum
+/// used by zlib, gzip and most write-ahead-log formats. Dependency-free
+/// table-driven implementation; `seed` allows incremental computation
+/// over scattered buffers (`Crc32(b, nb, Crc32(a, na))`).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace dtdevolve::util
+
+#endif  // DTDEVOLVE_UTIL_CRC32_H_

@@ -1,0 +1,341 @@
+// Durability suite: the crash contract of the ingest server, end to end
+// over loopback sockets. An acked `/ingest` must survive a process
+// death (WAL recovery), checkpoints must bound replay, a full disk must
+// degrade — not lie — and a corrupt snapshot must quarantine, not brick
+// the boot. Fault injection (`io/fault.h`) stands in for the dying
+// disk. Multi-threaded end to end, so the suite runs under both the
+// `durability` and `concurrency` ctest labels.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "evolve/persist.h"
+#include "io/fault.h"
+#include "server/server.h"
+
+namespace dtdevolve::server {
+namespace {
+
+const char* kMailDtd = R"(
+  <!ELEMENT mail (envelope, body)>
+  <!ELEMENT envelope (from, to, subject)>
+  <!ELEMENT from (#PCDATA)>
+  <!ELEMENT to (#PCDATA)>
+  <!ELEMENT subject (#PCDATA)>
+  <!ELEMENT body (#PCDATA)>
+)";
+
+const char* kConformingDoc =
+    "<mail><envelope><from>a</from><to>b</to><subject>s</subject>"
+    "</envelope><body>hello</body></mail>";
+
+const char* kDriftedDoc =
+    "<mail><envelope><from>a</from><to>b</to><subject>s</subject>"
+    "<cc>c</cc></envelope><body>hello</body>"
+    "<attachment>x</attachment></mail>";
+
+struct ClientResponse {
+  int status = 0;
+  std::string head;
+  std::string body;
+};
+
+/// One blocking HTTP exchange; `out->status` stays 0 on transport
+/// failure (same framing as server_test.cc: the server closes after
+/// each response).
+void HttpRoundTrip(uint16_t port, const std::string& request,
+                   ClientResponse* out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ADD_FAILURE() << "connect: " << std::strerror(errno);
+    ::close(fd);
+    return;
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char chunk[4096];
+  while (true) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t split = raw.find("\r\n\r\n");
+  if (split == std::string::npos || raw.rfind("HTTP/1.1 ", 0) != 0) return;
+  out->head = raw.substr(0, split);
+  out->body = raw.substr(split + 4);
+  out->status = std::atoi(out->head.c_str() + 9);
+}
+
+ClientResponse Post(uint16_t port, const std::string& target,
+                    const std::string& body) {
+  ClientResponse response;
+  HttpRoundTrip(port,
+                "POST " + target + " HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+                    std::to_string(body.size()) + "\r\n\r\n" + body,
+                &response);
+  return response;
+}
+
+ClientResponse Get(uint16_t port, const std::string& target) {
+  ClientResponse response;
+  HttpRoundTrip(port, "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n",
+                &response);
+  return response;
+}
+
+core::SourceOptions EvolvingOptions() {
+  core::SourceOptions options;
+  options.sigma = 0.3;
+  options.tau = 0.15;
+  options.min_documents_before_check = 1;
+  return options;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "durability_test_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// ServerOptions for a WAL-backed server that simulates a crash on
+/// stop: no shutdown checkpoint, so the next boot must replay the log.
+ServerOptions CrashSimOptions(const std::string& wal_dir) {
+  ServerOptions options;
+  options.port = 0;
+  options.jobs = 2;
+  options.wal_dir = wal_dir;
+  options.checkpoint_interval = std::chrono::milliseconds(0);
+  options.checkpoint_on_shutdown = false;
+  return options;
+}
+
+/// Everything recovery must reproduce, read from a stopped server.
+struct SourceDigest {
+  uint64_t processed = 0;
+  uint64_t classified = 0;
+  uint64_t evolutions = 0;
+  size_t repository = 0;
+  std::string mail_dtd;
+};
+
+SourceDigest DigestOf(const IngestServer& server) {
+  SourceDigest digest;
+  digest.processed = server.source().documents_processed();
+  digest.classified = server.source().documents_classified();
+  digest.evolutions = server.source().evolutions_performed();
+  digest.repository = server.source().repository().size();
+  const evolve::ExtendedDtd* ext = server.source().FindExtended("mail");
+  if (ext != nullptr) digest.mail_dtd = evolve::SerializeExtendedDtd(*ext);
+  return digest;
+}
+
+TEST(DurabilityTest, WalRecoveryReplaysAckedDocuments) {
+  const std::string wal_dir = FreshDir("replay");
+  SourceDigest before;
+  {
+    IngestServer server(EvolvingOptions(), CrashSimOptions(wal_dir));
+    ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+    ASSERT_TRUE(server.Start().ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_EQ(Post(server.port(), "/ingest?wait=1", kConformingDoc).status,
+                200);
+      ASSERT_EQ(Post(server.port(), "/ingest?wait=1", kDriftedDoc).status,
+                200);
+    }
+    server.Shutdown();
+    server.Wait();
+    before = DigestOf(server);
+    EXPECT_EQ(before.processed, 8u);
+  }
+
+  // "Reboot": a fresh server over the same WAL dir, seeded with the same
+  // DTD text, must replay every acked document and land byte-identical.
+  IngestServer server(EvolvingOptions(), CrashSimOptions(wal_dir));
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.recovery_report().checkpoint_lsn, 0u);
+  EXPECT_EQ(server.recovery_report().replayed_records, 8u);
+  server.Shutdown();
+  server.Wait();
+
+  const SourceDigest after = DigestOf(server);
+  EXPECT_EQ(after.processed, before.processed);
+  EXPECT_EQ(after.classified, before.classified);
+  EXPECT_EQ(after.evolutions, before.evolutions);
+  EXPECT_EQ(after.repository, before.repository);
+  EXPECT_EQ(after.mail_dtd, before.mail_dtd);
+}
+
+TEST(DurabilityTest, CheckpointBoundsReplayAndTruncatesWal) {
+  const std::string wal_dir = FreshDir("checkpoint");
+  SourceDigest before;
+  {
+    IngestServer server(EvolvingOptions(), CrashSimOptions(wal_dir));
+    ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+    ASSERT_TRUE(server.Start().ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(Post(server.port(), "/ingest?wait=1", kDriftedDoc).status,
+                200);
+    }
+    ASSERT_TRUE(server.CheckpointNow().ok());
+    // One more document after the checkpoint: replay resumes mid-log.
+    ASSERT_EQ(Post(server.port(), "/ingest?wait=1", kConformingDoc).status,
+              200);
+    server.Shutdown();
+    server.Wait();
+    before = DigestOf(server);
+  }
+
+  IngestServer server(EvolvingOptions(), CrashSimOptions(wal_dir));
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.recovery_report().checkpoint_lsn, 3u);
+  EXPECT_EQ(server.recovery_report().replayed_records, 1u);
+  server.Shutdown();
+  server.Wait();
+
+  const SourceDigest after = DigestOf(server);
+  EXPECT_EQ(after.processed, before.processed);
+  EXPECT_EQ(after.repository, before.repository);
+  EXPECT_EQ(after.mail_dtd, before.mail_dtd);
+}
+
+TEST(DurabilityTest, WalAppendFailureAnswers503AndDegrades) {
+  const std::string wal_dir = FreshDir("degraded");
+  IngestServer server(EvolvingOptions(), CrashSimOptions(wal_dir));
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    // Disk full at the next WAL write. The document must NOT be acked:
+    // 503 with Retry-After, and the degraded gauge raised.
+    io::FaultPlan plan;
+    plan.fail_at = 1;
+    plan.op_mask = static_cast<uint32_t>(io::FaultOp::kWrite);
+    plan.error_code = ENOSPC;
+    io::ScopedFaultPlan guard(plan);
+    ClientResponse rejected =
+        Post(server.port(), "/ingest?wait=1", kConformingDoc);
+    EXPECT_EQ(rejected.status, 503);
+    EXPECT_NE(rejected.head.find("Retry-After:"), std::string::npos);
+    EXPECT_NE(rejected.body.find("write-ahead log append failed"),
+              std::string::npos);
+  }
+  ClientResponse metrics = Get(server.port(), "/metrics");
+  EXPECT_NE(metrics.body.find("dtdevolve_degraded 1"), std::string::npos);
+
+  // The disk came back: the retried ingest is acked and the gauge drops.
+  EXPECT_EQ(Post(server.port(), "/ingest?wait=1", kConformingDoc).status,
+            200);
+  metrics = Get(server.port(), "/metrics");
+  EXPECT_NE(metrics.body.find("dtdevolve_degraded 0"), std::string::npos);
+  EXPECT_NE(metrics.body.find("dtdevolve_wal_append_errors_total 1"),
+            std::string::npos);
+
+  server.Shutdown();
+  server.Wait();
+  // Only the acked document exists after recovery.
+  IngestServer recovered(EvolvingOptions(), CrashSimOptions(wal_dir));
+  ASSERT_TRUE(recovered.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(recovered.Start().ok());
+  EXPECT_EQ(recovered.recovery_report().replayed_records, 1u);
+  recovered.Shutdown();
+  recovered.Wait();
+  EXPECT_EQ(recovered.source().documents_processed(), 1u);
+}
+
+TEST(DurabilityTest, CorruptSnapshotIsQuarantinedNotFatal) {
+  const std::string dir = FreshDir("quarantine");
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream f(dir + "/mail.dtdstate");
+    f << "this is not a snapshot\n";
+  }
+  ServerOptions options;
+  options.port = 0;
+  options.jobs = 2;
+  options.snapshot_dir = dir;
+  IngestServer server(EvolvingOptions(), options);
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok()) << "a corrupt snapshot must not brick "
+                                      "the boot";
+
+  ASSERT_EQ(server.boot_warnings().size(), 1u);
+  EXPECT_NE(server.boot_warnings()[0].find("quarantined"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/mail.dtdstate"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/mail.dtdstate.corrupt"));
+  ClientResponse metrics = Get(server.port(), "/metrics");
+  EXPECT_NE(
+      metrics.body.find("dtdevolve_snapshots_quarantined_total 1"),
+      std::string::npos);
+  // The server runs on the seed DTD as if this were a first boot.
+  EXPECT_EQ(Post(server.port(), "/ingest?wait=1", kConformingDoc).status,
+            200);
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(DurabilityTest, RecvTimeoutReleasesAStalledConnection) {
+  ServerOptions options;
+  options.port = 0;
+  options.jobs = 1;
+  options.recv_timeout_seconds = 1;
+  IngestServer server(EvolvingOptions(), options);
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Open a connection, send half a request, then stall. Without
+  // SO_RCVTIMEO the connection thread would block in recv() forever and
+  // Wait() below would hang; with it, the server gives up within the
+  // timeout and closes — our recv sees EOF (or an error response).
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char* partial = "POST /ingest HTTP/1.1\r\nContent-Length: 10\r\n\r\n";
+  ASSERT_GT(::send(fd, partial, std::strlen(partial), 0), 0);
+
+  const auto deadline_start = std::chrono::steady_clock::now();
+  char chunk[1024];
+  while (::recv(fd, chunk, sizeof(chunk), 0) > 0) {
+  }
+  const auto waited = std::chrono::steady_clock::now() - deadline_start;
+  ::close(fd);
+  EXPECT_LT(waited, std::chrono::seconds(8))
+      << "server did not time the stalled connection out";
+
+  server.Shutdown();
+  server.Wait();
+}
+
+}  // namespace
+}  // namespace dtdevolve::server

@@ -1,0 +1,368 @@
+// WAL suite: record framing, segment rotation, and — the part worth the
+// suite — what `Wal::Open` does with the wreckage a crash leaves behind.
+// The torn-tail / mid-log distinction is the durability contract: a torn
+// final record was never acked and is truncated away with a warning,
+// while corruption *inside* acked history is a hard error. Fault
+// injection (`io/fault.h`) drives the failed-append and dir-fsync
+// regressions deterministically. Under the `durability` ctest label.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dtd/dtd_parser.h"
+#include "evolve/persist.h"
+#include "io/fault.h"
+#include "io/file.h"
+#include "store/wal.h"
+
+namespace dtdevolve::store {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "wal_test_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+WalOptions OptionsFor(const std::string& dir) {
+  WalOptions options;
+  options.dir = dir;
+  options.fsync_policy = FsyncPolicy::kAlways;
+  return options;
+}
+
+std::unique_ptr<Wal> MustOpen(const WalOptions& options, WalReplay* replay) {
+  StatusOr<std::unique_ptr<Wal>> wal = Wal::Open(options, 0, replay);
+  EXPECT_TRUE(wal.ok()) << wal.status().ToString();
+  return wal.ok() ? std::move(*wal) : nullptr;
+}
+
+/// Path of the single segment a fresh one-segment log lives in.
+std::string OnlySegment(const std::string& dir) {
+  std::string found;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_TRUE(found.empty()) << "expected exactly one segment in " << dir;
+    found = entry.path().string();
+  }
+  EXPECT_FALSE(found.empty());
+  return found;
+}
+
+void CorruptByteAt(const std::string& path, uint64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  f.read(&byte, 1);
+  byte ^= 0x5A;
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&byte, 1);
+}
+
+TEST(WalTest, EmptyLogOpensCleanAndAppendsReplay) {
+  const std::string dir = FreshDir("empty");
+  WalReplay replay;
+  std::unique_ptr<Wal> wal = MustOpen(OptionsFor(dir), &replay);
+  ASSERT_NE(wal, nullptr);
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_FALSE(replay.tail_truncated);
+  EXPECT_EQ(wal->next_lsn(), 1u);
+
+  StatusOr<uint64_t> a = wal->Append("alpha");
+  StatusOr<uint64_t> b = wal->Append("beta");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, 1u);
+  EXPECT_EQ(*b, 2u);
+  wal.reset();
+
+  WalReplay reopened;
+  wal = MustOpen(OptionsFor(dir), &reopened);
+  ASSERT_NE(wal, nullptr);
+  ASSERT_EQ(reopened.records.size(), 2u);
+  EXPECT_EQ(reopened.records[0].lsn, 1u);
+  EXPECT_EQ(reopened.records[0].payload, "alpha");
+  EXPECT_EQ(reopened.records[1].payload, "beta");
+  EXPECT_EQ(wal->next_lsn(), 3u);
+}
+
+TEST(WalTest, TornFinalRecordIsTruncatedWithWarning) {
+  const std::string dir = FreshDir("torn");
+  {
+    WalReplay replay;
+    std::unique_ptr<Wal> wal = MustOpen(OptionsFor(dir), &replay);
+    ASSERT_NE(wal, nullptr);
+    ASSERT_TRUE(wal->Append("first record").ok());
+    ASSERT_TRUE(wal->Append("second record").ok());
+  }
+  // Cut the last record in half: a crash mid-append.
+  const std::string segment = OnlySegment(dir);
+  const uint64_t full = std::filesystem::file_size(segment);
+  const uint64_t torn = full - 7;
+  std::filesystem::resize_file(segment, torn);
+
+  WalReplay replay;
+  std::unique_ptr<Wal> wal = MustOpen(OptionsFor(dir), &replay);
+  ASSERT_NE(wal, nullptr);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].payload, "first record");
+  EXPECT_TRUE(replay.tail_truncated);
+  EXPECT_NE(replay.warning.find("torn"), std::string::npos) << replay.warning;
+  // The tail was truncated *physically*, back to the last intact record.
+  EXPECT_LT(std::filesystem::file_size(segment), torn);
+
+  // Double recovery is idempotent: the second open sees a clean log.
+  wal.reset();
+  WalReplay again;
+  wal = MustOpen(OptionsFor(dir), &again);
+  ASSERT_NE(wal, nullptr);
+  ASSERT_EQ(again.records.size(), 1u);
+  EXPECT_FALSE(again.tail_truncated);
+  EXPECT_TRUE(again.warning.empty());
+  // The torn record's LSN was never acked, so the next append reuses it.
+  StatusOr<uint64_t> lsn = wal->Append("third");
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 2u);
+}
+
+TEST(WalTest, MidLogCorruptionIsAHardError) {
+  const std::string dir = FreshDir("midlog");
+  {
+    WalReplay replay;
+    std::unique_ptr<Wal> wal = MustOpen(OptionsFor(dir), &replay);
+    ASSERT_NE(wal, nullptr);
+    ASSERT_TRUE(wal->Append("first record").ok());
+    ASSERT_TRUE(wal->Append("second record").ok());
+  }
+  // Flip a payload byte of the *first* record — corruption followed by
+  // more data. Dropping the suffix would lose an acked document, so Open
+  // must refuse instead of "repairing".
+  CorruptByteAt(OnlySegment(dir), 16 + 3);
+
+  WalReplay replay;
+  StatusOr<std::unique_ptr<Wal>> wal = Wal::Open(OptionsFor(dir), 0, &replay);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_EQ(wal.status().code(), Status::Code::kParseError);
+}
+
+TEST(WalTest, CorruptionInNonFinalSegmentIsAHardError) {
+  const std::string dir = FreshDir("nonfinal");
+  WalOptions options = OptionsFor(dir);
+  options.segment_bytes = 32;  // every record rotates into a new segment
+  std::string first_segment;
+  {
+    WalReplay replay;
+    std::unique_ptr<Wal> wal = MustOpen(options, &replay);
+    ASSERT_NE(wal, nullptr);
+    ASSERT_TRUE(wal->Append("record one, long enough to rotate").ok());
+    first_segment = OnlySegment(dir);
+    ASSERT_TRUE(wal->Append("record two").ok());
+    ASSERT_GT(wal->SegmentCount(), 1u);
+  }
+  // Cutting the tail of a non-final segment guts an *acked* record: the
+  // next segment's LSN then skips the victim, and the gap is the proof
+  // that refusing to boot is right.
+  std::filesystem::resize_file(first_segment,
+                               std::filesystem::file_size(first_segment) - 3);
+
+  WalReplay replay;
+  StatusOr<std::unique_ptr<Wal>> wal = Wal::Open(options, 0, &replay);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_EQ(wal.status().code(), Status::Code::kParseError);
+  EXPECT_NE(wal.status().message().find("LSN gap"), std::string::npos)
+      << wal.status().ToString();
+}
+
+TEST(WalTest, RotationBoundaryReplaysAcrossSegmentsAndTruncates) {
+  const std::string dir = FreshDir("rotate");
+  WalOptions options = OptionsFor(dir);
+  options.segment_bytes = 64;
+  WalReplay replay;
+  std::unique_ptr<Wal> wal = MustOpen(options, &replay);
+  ASSERT_NE(wal, nullptr);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(wal->Append("payload number " + std::to_string(i)).ok());
+  }
+  const size_t segments = wal->SegmentCount();
+  EXPECT_GT(segments, 2u);
+  wal.reset();
+
+  WalReplay reopened;
+  wal = MustOpen(options, &reopened);
+  ASSERT_NE(wal, nullptr);
+  ASSERT_EQ(reopened.records.size(), 8u);
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(reopened.records[i].lsn, i + 1);
+    EXPECT_EQ(reopened.records[i].payload,
+              "payload number " + std::to_string(i));
+  }
+
+  // Truncating through a checkpointed LSN drops covered segments —
+  // segment-granular, so records at or below the checkpoint may linger,
+  // but everything above it must survive.
+  ASSERT_TRUE(wal->TruncateThrough(5).ok());
+  EXPECT_LT(wal->SegmentCount(), segments);
+  wal.reset();
+  WalReplay truncated;
+  wal = MustOpen(options, &truncated);
+  ASSERT_NE(wal, nullptr);
+  ASSERT_FALSE(truncated.records.empty());
+  EXPECT_EQ(truncated.records.back().lsn, 8u);
+  uint64_t expect = truncated.records.front().lsn;
+  EXPECT_LE(expect, 6u) << "a record above the checkpoint was dropped";
+  for (const WalRecord& record : truncated.records) {
+    EXPECT_EQ(record.lsn, expect++) << "replay after truncation has a gap";
+  }
+}
+
+TEST(WalTest, FailedAppendLeavesLogCleanAndRecovers) {
+  const std::string dir = FreshDir("enospc");
+  WalReplay replay;
+  std::unique_ptr<Wal> wal = MustOpen(OptionsFor(dir), &replay);
+  ASSERT_NE(wal, nullptr);
+  ASSERT_TRUE(wal->Append("survives").ok());
+
+  {
+    // Disk full, half the record persisted — the failed append must
+    // truncate its torn bytes back out of the segment.
+    io::FaultPlan plan;
+    plan.fail_at = 1;
+    plan.op_mask = static_cast<uint32_t>(io::FaultOp::kWrite);
+    plan.error_code = ENOSPC;
+    plan.torn_fraction = 0.5;
+    io::ScopedFaultPlan guard(plan);
+    StatusOr<uint64_t> lsn = wal->Append("must not surface");
+    ASSERT_FALSE(lsn.ok());
+  }
+  // The next append succeeds and the log replays without the casualty.
+  StatusOr<uint64_t> after = wal->Append("after the outage");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  wal.reset();
+
+  WalReplay reopened;
+  wal = MustOpen(OptionsFor(dir), &reopened);
+  ASSERT_NE(wal, nullptr);
+  ASSERT_EQ(reopened.records.size(), 2u);
+  EXPECT_EQ(reopened.records[0].payload, "survives");
+  EXPECT_EQ(reopened.records[1].payload, "after the outage");
+  EXPECT_FALSE(reopened.tail_truncated);
+}
+
+TEST(WalTest, BrokenWalSelfHealsInPlaceWhenTruncateRecovers) {
+  const std::string dir = FreshDir("broken_inplace");
+  WalReplay replay;
+  std::unique_ptr<Wal> wal = MustOpen(OptionsFor(dir), &replay);
+  ASSERT_NE(wal, nullptr);
+  ASSERT_TRUE(wal->Append("before").ok());
+
+  {
+    // The write fails *and* the cleanup truncate fails: the segment may
+    // hold torn bytes, so the WAL must refuse to stack records on top.
+    io::FaultPlan plan;
+    plan.fail_at = 1;
+    plan.op_mask = static_cast<uint32_t>(io::FaultOp::kWrite) |
+                   static_cast<uint32_t>(io::FaultOp::kTruncate);
+    plan.error_code = EIO;
+    plan.torn_fraction = 0.25;
+    plan.crash = true;  // every later masked op fails too: the truncate
+    io::ScopedFaultPlan guard(plan);
+    ASSERT_FALSE(wal->Append("torn and stuck").ok());
+  }
+  // The disk came back: the retry of the cleanup truncate succeeds, so
+  // healing needs no new segment and leaves no torn bytes behind.
+  StatusOr<uint64_t> healed = wal->Append("after heal");
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(wal->SegmentCount(), 1u);
+  wal.reset();
+
+  WalReplay reopened;
+  wal = MustOpen(OptionsFor(dir), &reopened);
+  ASSERT_NE(wal, nullptr);
+  ASSERT_EQ(reopened.records.size(), 2u);
+  EXPECT_EQ(reopened.records[0].payload, "before");
+  EXPECT_EQ(reopened.records[1].payload, "after heal");
+  EXPECT_FALSE(reopened.tail_truncated);
+}
+
+TEST(WalTest, BrokenWalSelfHealsByRotatingWhenTruncateKeepsFailing) {
+  const std::string dir = FreshDir("broken_rotate");
+  WalReplay replay;
+  std::unique_ptr<Wal> wal = MustOpen(OptionsFor(dir), &replay);
+  ASSERT_NE(wal, nullptr);
+  ASSERT_TRUE(wal->Append("before").ok());
+
+  {
+    io::FaultPlan plan;
+    plan.fail_at = 1;
+    plan.op_mask = static_cast<uint32_t>(io::FaultOp::kWrite) |
+                   static_cast<uint32_t>(io::FaultOp::kTruncate);
+    plan.error_code = EIO;
+    plan.torn_fraction = 0.25;
+    plan.crash = true;
+    io::ScopedFaultPlan guard(plan);
+    ASSERT_FALSE(wal->Append("torn and stuck").ok());
+  }
+  {
+    // The in-place truncate retry still fails — healing falls back to
+    // rotating, abandoning the torn bytes in the retired segment.
+    io::FaultPlan plan;
+    plan.fail_at = 1;
+    plan.op_mask = static_cast<uint32_t>(io::FaultOp::kTruncate);
+    plan.error_code = EIO;
+    io::ScopedFaultPlan guard(plan);
+    StatusOr<uint64_t> healed = wal->Append("after heal");
+    ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  }
+  EXPECT_EQ(wal->SegmentCount(), 2u);
+  wal.reset();
+
+  // Replay tolerates the abandoned torn tail: the failed append never
+  // consumed an LSN, so the next segment continues the sequence — the
+  // contiguity that separates this from real mid-log corruption.
+  WalReplay reopened;
+  wal = MustOpen(OptionsFor(dir), &reopened);
+  ASSERT_NE(wal, nullptr);
+  ASSERT_EQ(reopened.records.size(), 2u);
+  EXPECT_EQ(reopened.records[0].payload, "before");
+  EXPECT_EQ(reopened.records[0].lsn, 1u);
+  EXPECT_EQ(reopened.records[1].payload, "after heal");
+  EXPECT_EQ(reopened.records[1].lsn, 2u);
+  EXPECT_TRUE(reopened.tail_truncated);
+  EXPECT_NE(reopened.warning.find("torn"), std::string::npos);
+}
+
+// --- persist.cc durability regression ---------------------------------------
+
+TEST(WalTest, SnapshotSaveFsyncsTheParentDirectory) {
+  const std::string dir = FreshDir("persist_dirsync");
+  ASSERT_TRUE(io::CreateDir(dir).ok());
+  StatusOr<dtd::Dtd> dtd = dtd::ParseDtd("<!ELEMENT a (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  evolve::ExtendedDtd ext(std::move(*dtd));
+  const std::string path = dir + "/a.dtdstate";
+
+  {
+    // If SaveExtendedDtdFile skipped the parent-directory fsync after its
+    // rename, this plan would never fire and the save would "succeed".
+    io::FaultPlan plan;
+    plan.fail_at = 1;
+    plan.op_mask = static_cast<uint32_t>(io::FaultOp::kFsyncDir);
+    io::ScopedFaultPlan guard(plan);
+    Status saved = evolve::SaveExtendedDtdFile(ext, path);
+    ASSERT_FALSE(saved.ok())
+        << "save must surface a parent-dir fsync failure";
+  }
+  Status saved = evolve::SaveExtendedDtdFile(ext, path);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  StatusOr<evolve::ExtendedDtd> loaded = evolve::LoadExtendedDtdFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+}
+
+}  // namespace
+}  // namespace dtdevolve::store

@@ -85,10 +85,18 @@ int Usage() {
                "[--snapshot-dir D]\n"
                "                       [--sigma S] [--tau T] [--psi P] "
                "[--mu M]\n"
+               "                       [--wal-dir D] [--fsync-policy "
+               "always|interval|none]\n"
+               "                       [--fsync-interval-ms N] "
+               "[--checkpoint-interval-ms N]\n"
+               "                       [--recv-timeout S] [--send-timeout "
+               "S]\n"
                "  dtdevolve check      [--scenarios N] [--seed S] "
                "[--max-documents N]\n"
                "                       [--max-failures K] [--no-persistence] "
-               "[--no-minimize]\n");
+               "[--no-minimize]\n"
+               "                       [--crash-recovery] [--crash-points N] "
+               "[--checkpoint-every K]\n");
   return 1;
 }
 
@@ -397,6 +405,16 @@ int CmdServe(std::vector<std::string> args) {
       ++i;
       return true;
     };
+    // For flags where zero is a documented "disabled" value.
+    auto nonnegative_long = [&](const char* name, long* out) {
+      if (args[i] != name) return false;
+      if (i + 1 >= args.size() || !ParseLong(args[i + 1], out) || *out < 0) {
+        bad_value = true;
+        return true;
+      }
+      ++i;
+      return true;
+    };
     if (flag_value("--sigma", &source_options.sigma) ||
         flag_value("--tau", &source_options.tau) ||
         flag_value("--psi", &source_options.evolution.psi) ||
@@ -418,6 +436,40 @@ int CmdServe(std::vector<std::string> args) {
     if (args[i] == "--snapshot-dir") {
       if (i + 1 >= args.size()) return Usage();
       server_options.snapshot_dir = args[++i];
+      continue;
+    }
+    if (args[i] == "--wal-dir") {
+      if (i + 1 >= args.size()) return Usage();
+      server_options.wal_dir = args[++i];
+      continue;
+    }
+    if (args[i] == "--fsync-policy") {
+      if (i + 1 >= args.size() ||
+          !dtdevolve::store::ParseFsyncPolicy(args[i + 1],
+                                              &server_options.fsync_policy)) {
+        return Usage();
+      }
+      ++i;
+      continue;
+    }
+    if (positive_long("--fsync-interval-ms", &value)) {
+      if (bad_value) return Usage();
+      server_options.fsync_interval = std::chrono::milliseconds(value);
+      continue;
+    }
+    if (nonnegative_long("--checkpoint-interval-ms", &value)) {
+      if (bad_value) return Usage();
+      server_options.checkpoint_interval = std::chrono::milliseconds(value);
+      continue;
+    }
+    if (nonnegative_long("--recv-timeout", &value)) {
+      if (bad_value) return Usage();
+      server_options.recv_timeout_seconds = static_cast<int>(value);
+      continue;
+    }
+    if (nonnegative_long("--send-timeout", &value)) {
+      if (bad_value) return Usage();
+      server_options.send_timeout_seconds = static_cast<int>(value);
       continue;
     }
     if (IsFlag(args[i])) return UnknownFlag(args[i]);
@@ -445,6 +497,18 @@ int CmdServe(std::vector<std::string> args) {
     std::fprintf(stderr, "%s\n", started.ToString().c_str());
     return 1;
   }
+  for (const std::string& warning : server.boot_warnings()) {
+    std::fprintf(stderr, "dtdevolve serve: warning: %s\n", warning.c_str());
+  }
+  if (!server_options.wal_dir.empty()) {
+    const dtdevolve::store::RecoveryReport& recovery =
+        server.recovery_report();
+    std::fprintf(stderr,
+                 "dtdevolve serve: recovered checkpoint lsn %llu, replayed "
+                 "%zu WAL record(s)\n",
+                 static_cast<unsigned long long>(recovery.checkpoint_lsn),
+                 recovery.replayed_records);
+  }
 
   g_server = &server;
   struct sigaction action = {};
@@ -468,6 +532,8 @@ int CmdServe(std::vector<std::string> args) {
 /// command line is printed.
 int CmdCheck(std::vector<std::string> args) {
   dtdevolve::check::OracleOptions options;
+  dtdevolve::check::CrashOracleOptions crash_options;
+  bool crash_recovery = false;
   bool minimize = true;
   for (size_t i = 0; i < args.size(); ++i) {
     bool bad_value = false;
@@ -484,21 +550,39 @@ int CmdCheck(std::vector<std::string> args) {
     if (long_value("--scenarios", 1, &value)) {
       if (bad_value) return Usage();
       options.scenarios = static_cast<uint64_t>(value);
+      crash_options.scenarios = static_cast<uint64_t>(value);
       continue;
     }
     if (long_value("--seed", 0, &value)) {
       if (bad_value) return Usage();
       options.seed = static_cast<uint64_t>(value);
+      crash_options.seed = static_cast<uint64_t>(value);
       continue;
     }
     if (long_value("--max-documents", 0, &value)) {
       if (bad_value) return Usage();
       options.max_documents = static_cast<uint64_t>(value);
+      crash_options.max_documents = static_cast<uint64_t>(value);
       continue;
     }
     if (long_value("--max-failures", 1, &value)) {
       if (bad_value) return Usage();
       options.max_failures = static_cast<uint64_t>(value);
+      crash_options.max_failures = static_cast<uint64_t>(value);
+      continue;
+    }
+    if (long_value("--crash-points", 0, &value)) {
+      if (bad_value) return Usage();
+      crash_options.max_crash_points = static_cast<uint64_t>(value);
+      continue;
+    }
+    if (long_value("--checkpoint-every", 0, &value)) {
+      if (bad_value) return Usage();
+      crash_options.checkpoint_every = static_cast<uint64_t>(value);
+      continue;
+    }
+    if (args[i] == "--crash-recovery") {
+      crash_recovery = true;
       continue;
     }
     if (args[i] == "--no-persistence") {
@@ -511,6 +595,14 @@ int CmdCheck(std::vector<std::string> args) {
     }
     if (IsFlag(args[i])) return UnknownFlag(args[i]);
     return Usage();  // check takes no positional arguments
+  }
+
+  if (crash_recovery) {
+    dtdevolve::check::CrashOracleReport crash_report =
+        dtdevolve::check::RunCrashOracle(crash_options);
+    std::printf("%s",
+                dtdevolve::check::FormatCrashReport(crash_report).c_str());
+    return crash_report.ok() ? 0 : 2;
   }
 
   dtdevolve::check::OracleReport report = dtdevolve::check::RunOracle(options);
