@@ -1,0 +1,94 @@
+#ifndef DTDEVOLVE_BENCH_BENCH_JSON_H_
+#define DTDEVOLVE_BENCH_BENCH_JSON_H_
+
+// Machine-readable result files for the benchmark binaries. Each bench
+// that supports `--json [FILE]` runs a fixed-seed headline measurement
+// and emits one flat JSON object (stdout + FILE) — the schema is
+// documented in TESTING.md and consumed by tools/perf_smoke.sh, so keys
+// are stable: snake_case, numbers only (no nested objects), one line.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dtdevolve::bench {
+
+/// Nearest-rank percentile over an already-sorted sample; 0 when empty.
+inline double PercentileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Accumulates `"key":value` pairs and renders the one-line object.
+class JsonObject {
+ public:
+  JsonObject& Add(const std::string& key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    return AddRaw(key, buffer);
+  }
+  JsonObject& Add(const std::string& key, uint64_t value) {
+    return AddRaw(key, std::to_string(value));
+  }
+  JsonObject& Add(const std::string& key, const std::string& value) {
+    return AddRaw(key, "\"" + value + "\"");
+  }
+
+  std::string Render() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += fields_[i];
+    }
+    out += "}\n";
+    return out;
+  }
+
+  /// Renders to stdout and, when `path` is non-empty, to `path`.
+  /// Returns false when the file cannot be written.
+  bool Emit(const std::string& path) const {
+    const std::string text = Render();
+    std::fputs(text.c_str(), stdout);
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fputs(text.c_str(), f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  JsonObject& AddRaw(const std::string& key, const std::string& value) {
+    fields_.push_back("\"" + key + "\":" + value);
+    return *this;
+  }
+
+  std::vector<std::string> fields_;
+};
+
+/// `--json [FILE]` detection for bench mains: returns true when the flag
+/// is present and fills `out` with FILE (or `default_out` when the next
+/// argument is absent or another flag).
+inline bool ParseJsonFlag(int argc, char** argv, const char* default_out,
+                          std::string* out) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != "--json") continue;
+    *out = default_out;
+    if (i + 1 < argc && argv[i + 1][0] != '-') *out = argv[i + 1];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dtdevolve::bench
+
+#endif  // DTDEVOLVE_BENCH_BENCH_JSON_H_

@@ -7,6 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_json.h"
 #include "bench_util.h"
 #include "mining/apriori.h"
 #include "mining/rules.h"
@@ -41,6 +44,8 @@ std::set<std::string> Universe(size_t labels) {
   return out;
 }
 
+/// Third arg selects the support counter: 0 = reference subset scan,
+/// 1 = bitset masks — same workload, so the pairs compare directly.
 void BM_Apriori(benchmark::State& state) {
   const size_t count = static_cast<size_t>(state.range(0));
   const size_t labels = static_cast<size_t>(state.range(1));
@@ -54,6 +59,7 @@ void BM_Apriori(benchmark::State& state) {
   mining::AprioriOptions options;
   options.min_support = 0.3;
   options.max_size = 3;
+  options.bitset_counting = state.range(2) != 0;
   size_t itemsets = 0;
   for (auto _ : state) {
     auto result = mining::MineFrequentItemsets(transactions, options);
@@ -63,11 +69,16 @@ void BM_Apriori(benchmark::State& state) {
   state.counters["itemsets"] = static_cast<double>(itemsets);
 }
 BENCHMARK(BM_Apriori)
-    ->Args({100, 6})
-    ->Args({1000, 6})
-    ->Args({100, 10})
-    ->Args({1000, 10})
-    ->Args({100, 14})
+    ->Args({100, 6, 0})
+    ->Args({100, 6, 1})
+    ->Args({1000, 6, 0})
+    ->Args({1000, 6, 1})
+    ->Args({100, 10, 0})
+    ->Args({100, 10, 1})
+    ->Args({1000, 10, 0})
+    ->Args({1000, 10, 1})
+    ->Args({100, 14, 0})
+    ->Args({100, 14, 1})
     ->Unit(benchmark::kMicrosecond);
 
 void BM_RuleGeneration(benchmark::State& state) {
@@ -119,7 +130,74 @@ BENCHMARK(BM_SequenceOracle)
     ->Arg(1000)
     ->Unit(benchmark::kMicrosecond);
 
+// --- `--json` headline: bitset vs subset-scan support counting ---------------
+//
+// Same fixed-seed transaction population mined with both support
+// counters; one line of JSON (schema in TESTING.md) with the runs/sec of
+// each and the bitset speedup. Itemset counts must agree — a mismatch is
+// reported and fails the run.
+
+int RunHeadline(const std::string& out) {
+  const size_t count = 1000, labels = 14;
+  auto sequences = RandomSequences(count, labels, 59);
+  std::set<std::string> universe = Universe(labels);
+  mining::TransactionSet transactions;
+  for (const auto& [sequence, multiplicity] : sequences) {
+    transactions.Add(sequence, universe, multiplicity);
+  }
+  mining::AprioriOptions options;
+  options.min_support = 0.3;
+  options.max_size = 3;
+  constexpr size_t kRuns = 20;
+
+  auto time_runs = [&](bool bitset, size_t* itemsets) {
+    options.bitset_counting = bitset;
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t r = 0; r < kRuns; ++r) {
+      auto result = mining::MineFrequentItemsets(transactions, options);
+      *itemsets = result.size();
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  size_t scan_itemsets = 0, bitset_itemsets = 0;
+  const double scan_seconds = time_runs(false, &scan_itemsets);
+  const double bitset_seconds = time_runs(true, &bitset_itemsets);
+
+  bench::JsonObject json;
+  json.Add("benchmark", std::string("apriori_support_counting"))
+      .Add("transactions", count)
+      .Add("labels", labels)
+      .Add("runs", static_cast<uint64_t>(kRuns))
+      .Add("itemsets", bitset_itemsets)
+      .Add("scan_seconds", scan_seconds)
+      .Add("bitset_seconds", bitset_seconds)
+      .Add("scan_runs_per_second",
+           scan_seconds > 0 ? static_cast<double>(kRuns) / scan_seconds : 0.0)
+      .Add("bitset_runs_per_second",
+           bitset_seconds > 0 ? static_cast<double>(kRuns) / bitset_seconds
+                              : 0.0)
+      .Add("bitset_speedup",
+           bitset_seconds > 0 ? scan_seconds / bitset_seconds : 0.0)
+      .Add("itemsets_match",
+           static_cast<uint64_t>(scan_itemsets == bitset_itemsets ? 1 : 0));
+  if (!json.Emit(out)) return 1;
+  return scan_itemsets == bitset_itemsets ? 0 : 2;
+}
+
 }  // namespace
 }  // namespace dtdevolve
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string out;
+  if (dtdevolve::bench::ParseJsonFlag(argc, argv, "BENCH_mining.json", &out)) {
+    return dtdevolve::RunHeadline(out);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,20 +1,54 @@
 #include "classify/classifier.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <optional>
 
 #include "util/thread_pool.h"
+#include "validate/validator.h"
 
 namespace dtdevolve::classify {
 
-Classifier::Classifier(double sigma, similarity::SimilarityOptions options)
-    : sigma_(sigma), options_(options) {}
+namespace {
+
+/// Float slack of the pruning cutoff: an evaluation is skipped only when
+/// its bound is strictly below `best − kPruneSlack`, so bound-vs-exact
+/// rounding can never prune the true winner — a pruned DTD's exact score
+/// is strictly below the best, which also keeps it out of the
+/// equal-score tie-break entirely.
+constexpr double kPruneSlack = 1e-9;
+
+}  // namespace
+
+Classifier::Classifier(double sigma, similarity::SimilarityOptions options,
+                       ClassifierOptions classifier_options)
+    : sigma_(sigma),
+      options_(options),
+      classifier_options_(classifier_options) {
+  if (classifier_options_.enable_score_cache &&
+      classifier_options_.score_cache_bytes > 0) {
+    similarity::SubtreeScoreCache::Config config;
+    config.capacity_bytes = classifier_options_.score_cache_bytes;
+    cache_ = std::make_unique<similarity::SubtreeScoreCache>(config);
+  }
+}
+
+void Classifier::set_metrics(const ClassifierMetrics& metrics) {
+  metrics_ = metrics;
+  if (cache_ != nullptr) {
+    cache_->set_metrics(metrics.cache_hits, metrics.cache_misses,
+                        metrics.cache_evictions);
+  }
+}
 
 void Classifier::AddDtd(const std::string& name, const dtd::Dtd* dtd) {
   assert(dtd != nullptr);
   dtds_[name] = dtd;
-  evaluators_[name] =
+  auto evaluator =
       std::make_unique<similarity::SimilarityEvaluator>(*dtd, options_);
+  evaluator->set_shared_cache(cache_.get());
+  evaluators_[name] = std::move(evaluator);
 }
 
 bool Classifier::RemoveDtd(const std::string& name) {
@@ -25,14 +59,21 @@ bool Classifier::RemoveDtd(const std::string& name) {
 void Classifier::Invalidate(const std::string& name) {
   auto it = dtds_.find(name);
   if (it == dtds_.end()) return;
-  evaluators_[name] = std::make_unique<similarity::SimilarityEvaluator>(
+  // The fresh evaluator draws a fresh epoch, so every shared-cache entry
+  // of the old evaluator is unreachable from here on — epoch keying is
+  // the invalidation.
+  auto evaluator = std::make_unique<similarity::SimilarityEvaluator>(
       *it->second, options_);
+  evaluator->set_shared_cache(cache_.get());
+  evaluators_[name] = std::move(evaluator);
 }
 
 void Classifier::InvalidateAll() {
   for (const auto& [name, dtd] : dtds_) {
-    evaluators_[name] =
+    auto evaluator =
         std::make_unique<similarity::SimilarityEvaluator>(*dtd, options_);
+    evaluator->set_shared_cache(cache_.get());
+    evaluators_[name] = std::move(evaluator);
   }
 }
 
@@ -57,20 +98,82 @@ ClassificationOutcome Classifier::Classify(const xml::Document& doc) const {
                          ? std::chrono::steady_clock::now()
                          : std::chrono::steady_clock::time_point();
   ClassificationOutcome outcome;
-  for (const auto& [name, dtd] : dtds_) {
-    double score = EvaluatorFor(name).DocumentSimilarity(doc);
+  outcome.scores.resize(dtds_.size());
+
+  // Per-document work shared by every DTD: the root content symbols feed
+  // the score bounds, the subtree fingerprints feed the shared cache.
+  const bool prune = classifier_options_.enable_pruning && dtds_.size() > 1;
+  std::vector<int32_t> root_symbol_ids;
+  if (prune && doc.has_root()) {
+    root_symbol_ids = validate::ContentSymbolIds(doc.root());
+  }
+  std::optional<similarity::SubtreeFingerprints> fingerprints;
+  if (cache_ != nullptr && doc.has_root()) {
+    fingerprints.emplace(doc.root());
+  }
+  const similarity::SubtreeFingerprints* fingerprints_ptr =
+      fingerprints ? &*fingerprints : nullptr;
+
+  struct Candidate {
+    size_t index = 0;  // position in name order == outcome.scores slot
+    const std::string* name = nullptr;
+    const similarity::SimilarityEvaluator* evaluator = nullptr;
+    double bound = 0.0;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(dtds_.size());
+  {
+    size_t index = 0;
+    for (const auto& [name, dtd] : dtds_) {
+      Candidate c;
+      c.index = index++;
+      c.name = &name;
+      c.evaluator = &EvaluatorFor(name);
+      c.bound = prune ? c.evaluator->ScoreUpperBound(doc, root_symbol_ids)
+                      : 0.0;
+      candidates.push_back(c);
+    }
+  }
+  if (prune) {
+    // Highest bound first; names break ties so the visit order (and with
+    // it which equal-bound DTD seeds `best`) is deterministic.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       if (a.bound != b.bound) return a.bound > b.bound;
+                       return *a.name < *b.name;
+                     });
+  }
+
+  const std::string* best_name = nullptr;
+  double best_score = 0.0;
+  for (const Candidate& c : candidates) {
+    // Never prune before a first exact score exists; afterwards skip any
+    // DTD whose bound cannot beat it. σ is deliberately not part of the
+    // cutoff: the best sub-σ score must still be reported exactly.
+    if (best_name != nullptr && c.bound < best_score - kPruneSlack) {
+      outcome.scores[c.index] = {*c.name, c.bound, /*pruned=*/true};
+      if (metrics_.evaluations_pruned != nullptr) {
+        metrics_.evaluations_pruned->Increment();
+      }
+      continue;
+    }
+    double score = c.evaluator->DocumentSimilarity(doc, fingerprints_ptr);
     if (metrics_.similarity_evaluations != nullptr) {
       metrics_.similarity_evaluations->Increment();
     }
-    outcome.scores.emplace_back(name, score);
+    outcome.scores[c.index] = {*c.name, score, /*pruned=*/false};
     // Highest score wins; among equal best scores the lexicographically
     // smallest name wins. Spelled out so the rule holds whatever order
     // the DTDs are visited in.
-    if (outcome.dtd_name.empty() || score > outcome.similarity ||
-        (score == outcome.similarity && name < outcome.dtd_name)) {
-      outcome.similarity = score;
-      outcome.dtd_name = name;
+    if (best_name == nullptr || score > best_score ||
+        (score == best_score && *c.name < *best_name)) {
+      best_score = score;
+      best_name = c.name;
     }
+  }
+  if (best_name != nullptr) {
+    outcome.dtd_name = *best_name;
+    outcome.similarity = best_score;
   }
   outcome.classified =
       !outcome.dtd_name.empty() && outcome.similarity >= sigma_;
@@ -118,6 +221,16 @@ std::optional<double> Classifier::Similarity(const xml::Document& doc,
                                              const std::string& name) const {
   if (dtds_.find(name) == dtds_.end()) return std::nullopt;
   return EvaluatorFor(name).DocumentSimilarity(doc);
+}
+
+std::optional<double> Classifier::ScoreBound(const xml::Document& doc,
+                                             const std::string& name) const {
+  if (dtds_.find(name) == dtds_.end()) return std::nullopt;
+  std::vector<int32_t> root_symbol_ids;
+  if (doc.has_root()) {
+    root_symbol_ids = validate::ContentSymbolIds(doc.root());
+  }
+  return EvaluatorFor(name).ScoreUpperBound(doc, root_symbol_ids);
 }
 
 }  // namespace dtdevolve::classify

@@ -1,6 +1,7 @@
 #ifndef DTDEVOLVE_CLASSIFY_CLASSIFIER_H_
 #define DTDEVOLVE_CLASSIFY_CLASSIFIER_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -10,6 +11,7 @@
 
 #include "dtd/dtd.h"
 #include "obs/metrics.h"
+#include "similarity/score_cache.h"
 #include "similarity/similarity.h"
 #include "util/thread_pool.h"
 #include "xml/document.h"
@@ -25,8 +27,41 @@ struct ClassifierMetrics {
   obs::Counter* documents_scored = nullptr;
   /// One increment per document × DTD similarity evaluation.
   obs::Counter* similarity_evaluations = nullptr;
+  /// One increment per document × DTD evaluation skipped because its
+  /// score bound could not beat the best score already found.
+  obs::Counter* evaluations_pruned = nullptr;
+  /// Shared subtree score cache traffic (see SubtreeScoreCache).
+  obs::Counter* cache_hits = nullptr;
+  obs::Counter* cache_misses = nullptr;
+  obs::Counter* cache_evictions = nullptr;
   /// Wall-clock seconds spent scoring one document against the full set.
   obs::Histogram* score_seconds = nullptr;
+};
+
+/// Fast-path knobs of the classifier. Both layers are score-equivalent:
+/// enabling or disabling them never changes `classified` / `dtd_name` /
+/// `similarity` (only how much work is spent computing them), which the
+/// differential oracle's batch-divergence invariant enforces end to end.
+struct ClassifierOptions {
+  /// Score-bound pruning: sort DTDs by a conservative per-document upper
+  /// bound and skip evaluations that cannot beat the best score so far.
+  bool enable_pruning = true;
+  /// Shared cross-document subtree score cache.
+  bool enable_score_cache = true;
+  /// Approximate capacity of the shared cache.
+  size_t score_cache_bytes = 64ull << 20;
+};
+
+/// Similarity of one DTD in `ClassificationOutcome::scores`.
+struct ScoreEntry {
+  std::string dtd_name;
+  /// Exact similarity when `pruned` is false; the conservative upper
+  /// bound the pruning decision was made on when `pruned` is true (the
+  /// exact score is ≤ this bound, and strictly below the winner's).
+  double similarity = 0.0;
+  bool pruned = false;
+
+  friend bool operator==(const ScoreEntry&, const ScoreEntry&) = default;
 };
 
 /// Outcome of classifying one document against the DTD set.
@@ -38,8 +73,9 @@ struct ClassificationOutcome {
   std::string dtd_name;
   /// Best similarity value.
   double similarity = 0.0;
-  /// Similarity against every DTD in the set, for analysis.
-  std::vector<std::pair<std::string, double>> scores;
+  /// Per-DTD entries in DTD-name order, for analysis. Entries whose
+  /// evaluation was skipped by score-bound pruning are marked `pruned`.
+  std::vector<ScoreEntry> scores;
 };
 
 /// Classifies documents against a *set of DTDs* (§2): each document is
@@ -51,6 +87,18 @@ struct ClassificationOutcome {
 /// lexicographically smallest name wins, independently of registration or
 /// container order. `ClassifyBatch` follows the same rule.
 ///
+/// Fast path: the document's root content symbols and subtree
+/// fingerprints are derived once, every DTD gets a conservative score
+/// upper bound (root-tag gate + label-vocabulary overlap — see
+/// `SimilarityEvaluator::ScoreUpperBound`), DTDs are visited in
+/// bound-descending order, and an evaluation is skipped when its bound
+/// cannot beat the best score already found. Pruning never consults σ:
+/// folding σ into the cutoff would leave the best score unknown for
+/// sub-σ documents and break byte-identical outcomes. Subtree triples
+/// are additionally shared across documents and batch workers through a
+/// `SubtreeScoreCache` keyed by evaluator epoch, which `Invalidate` /
+/// `InvalidateAll` bump implicitly by rebuilding evaluators.
+///
 /// The classifier holds non-owning pointers to the DTDs; call
 /// `Invalidate` after a DTD object changes (e.g. after evolution) so the
 /// cached evaluator is rebuilt.
@@ -58,14 +106,15 @@ struct ClassificationOutcome {
 /// Thread-safety: evaluators are built eagerly by the mutating entry
 /// points (`AddDtd`, `Invalidate`, …), so the const entry points
 /// (`Classify`, `ClassifyBatch`, `Similarity`, `DtdNames`) mutate nothing
-/// and may be called concurrently from any number of threads, as long as
-/// no thread is mutating the DTD set at the same time. The mutating entry
-/// points themselves require external serialization (`XmlSource` calls
-/// them only between batches).
+/// (the shared cache is internally synchronized) and may be called
+/// concurrently from any number of threads, as long as no thread is
+/// mutating the DTD set at the same time. The mutating entry points
+/// themselves require external serialization (`XmlSource` calls them
+/// only between batches).
 class Classifier {
  public:
-  explicit Classifier(double sigma,
-                      similarity::SimilarityOptions options = {});
+  explicit Classifier(double sigma, similarity::SimilarityOptions options = {},
+                      ClassifierOptions classifier_options = {});
 
   Classifier(const Classifier&) = delete;
   Classifier& operator=(const Classifier&) = delete;
@@ -73,10 +122,14 @@ class Classifier {
   double sigma() const { return sigma_; }
   void set_sigma(double sigma) { sigma_ = sigma; }
 
+  const ClassifierOptions& classifier_options() const {
+    return classifier_options_;
+  }
+
   /// Installs (or clears, with a default-constructed value) the scoring
   /// instrumentation. Mutating entry point: do not call concurrently
   /// with scoring.
-  void set_metrics(const ClassifierMetrics& metrics) { metrics_ = metrics; }
+  void set_metrics(const ClassifierMetrics& metrics);
 
   /// Registers (or re-registers) a DTD under `name` and builds its
   /// evaluator. The pointee must outlive the classifier or its next
@@ -85,6 +138,8 @@ class Classifier {
   /// Removes a DTD from the set; returns false when unknown.
   bool RemoveDtd(const std::string& name);
   /// Rebuilds the cached evaluator of `name` (the DTD object changed).
+  /// The fresh evaluator draws a new epoch, orphaning the stale shared-
+  /// cache entries of the old one.
   void Invalidate(const std::string& name);
   void InvalidateAll();
 
@@ -115,12 +170,24 @@ class Classifier {
   std::optional<double> Similarity(const xml::Document& doc,
                                    const std::string& name) const;
 
+  /// The conservative score upper bound the pruning layer would use for
+  /// `doc` against DTD `name`; nullopt when `name` is unknown. Exposed
+  /// for analysis and for the bound-admissibility property tests.
+  std::optional<double> ScoreBound(const xml::Document& doc,
+                                   const std::string& name) const;
+
+  /// The shared subtree score cache, or nullptr when disabled.
+  const similarity::SubtreeScoreCache* score_cache() const {
+    return cache_.get();
+  }
+
  private:
   const similarity::SimilarityEvaluator& EvaluatorFor(
       const std::string& name) const;
 
   double sigma_;
   similarity::SimilarityOptions options_;
+  ClassifierOptions classifier_options_;
   ClassifierMetrics metrics_;
   std::map<std::string, const dtd::Dtd*> dtds_;
   /// Always holds exactly one (eagerly built) evaluator per entry of
@@ -128,6 +195,9 @@ class Classifier {
   /// methods.
   std::map<std::string, std::unique_ptr<similarity::SimilarityEvaluator>>
       evaluators_;
+  /// Shared across every evaluator, every document and every batch
+  /// worker; null when `enable_score_cache` is off.
+  std::unique_ptr<similarity::SubtreeScoreCache> cache_;
 };
 
 }  // namespace dtdevolve::classify

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "classify/classifier.h"
 #include "evolve/evolver.h"
 #include "similarity/similarity.h"
 
@@ -35,6 +36,10 @@ struct SourceOptions {
 
   evolve::EvolutionOptions evolution;
   similarity::SimilarityOptions similarity;
+  /// Classification fast-path knobs (score-bound pruning, shared subtree
+  /// score cache). Both layers are score-equivalent; the knobs only trade
+  /// memory for speed.
+  classify::ClassifierOptions classifier;
 };
 
 }  // namespace dtdevolve::core

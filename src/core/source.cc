@@ -11,7 +11,8 @@ namespace dtdevolve::core {
 
 XmlSource::XmlSource(SourceOptions options)
     : options_(std::move(options)),
-      classifier_(options_.sigma, options_.similarity) {}
+      classifier_(options_.sigma, options_.similarity,
+                  options_.classifier) {}
 
 Status XmlSource::AddDtd(const std::string& name, dtd::Dtd dtd) {
   if (dtds_.find(name) != dtds_.end()) {
@@ -60,9 +61,15 @@ void XmlSource::RestoreRepositoryDoc(int id, xml::Document doc) {
 
 void XmlSource::set_metrics(const SourceMetrics& metrics) {
   metrics_ = metrics;
-  classifier_.set_metrics({metrics.documents_scored,
-                           metrics.similarity_evaluations,
-                           metrics.score_seconds});
+  classify::ClassifierMetrics classifier_metrics;
+  classifier_metrics.documents_scored = metrics.documents_scored;
+  classifier_metrics.similarity_evaluations = metrics.similarity_evaluations;
+  classifier_metrics.evaluations_pruned = metrics.evaluations_pruned;
+  classifier_metrics.cache_hits = metrics.score_cache_hits;
+  classifier_metrics.cache_misses = metrics.score_cache_misses;
+  classifier_metrics.cache_evictions = metrics.score_cache_evictions;
+  classifier_metrics.score_seconds = metrics.score_seconds;
+  classifier_.set_metrics(classifier_metrics);
   for (auto& [name, recorder] : recorders_) {
     recorder->set_metrics(metrics.documents_recorded,
                           metrics.elements_recorded);

@@ -38,6 +38,10 @@ struct SourceMetrics {
   // Classification hot path (forwarded to the Classifier).
   obs::Counter* documents_scored = nullptr;
   obs::Counter* similarity_evaluations = nullptr;
+  obs::Counter* evaluations_pruned = nullptr;
+  obs::Counter* score_cache_hits = nullptr;
+  obs::Counter* score_cache_misses = nullptr;
+  obs::Counter* score_cache_evictions = nullptr;
   obs::Histogram* score_seconds = nullptr;
   // Recording hot path (forwarded to every Recorder).
   obs::Counter* documents_recorded = nullptr;

@@ -5,7 +5,14 @@
 #include <set>
 #include <utility>
 
+#include "util/symbol_table.h"
+
 namespace dtdevolve::dtd {
+
+int32_t PcdataSymbolId() {
+  static const int32_t id = util::InternSymbol(kPcdataSymbol);
+  return id;
+}
 
 namespace {
 
@@ -120,6 +127,10 @@ Automaton Automaton::Build(const ContentModel& model) {
   Builder builder;
   Fragment root = builder.Visit(model);
   a.labels_ = std::move(builder.labels_);
+  a.label_ids_.reserve(a.labels_.size());
+  for (const std::string& label : a.labels_) {
+    a.label_ids_.push_back(util::InternSymbol(label));
+  }
   size_t num_states = a.labels_.size() + 1;
   a.successors_.resize(num_states);
   a.accepting_.assign(num_states, false);

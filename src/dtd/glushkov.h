@@ -1,6 +1,7 @@
 #ifndef DTDEVOLVE_DTD_GLUSHKOV_H_
 #define DTDEVOLVE_DTD_GLUSHKOV_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -11,6 +12,10 @@ namespace dtdevolve::dtd {
 
 /// Symbol used for character-data items in child sequences.
 inline constexpr std::string_view kPcdataSymbol = "#PCDATA";
+
+/// Interned id of `kPcdataSymbol` in `util::GlobalSymbols()` — the id-side
+/// counterpart of the sentinel above.
+int32_t PcdataSymbolId();
 
 /// Glushkov (position) automaton of a content model.
 ///
@@ -36,6 +41,17 @@ class Automaton {
   /// Label of position `pos` (0-based).
   const std::string& LabelOfPosition(int pos) const { return labels_[pos]; }
 
+  /// Interned id of the label of position `pos` (see
+  /// `util::GlobalSymbols()`), precomputed at build time so the
+  /// similarity hot path compares ids instead of strings.
+  int32_t LabelIdOfPosition(int pos) const { return label_ids_[pos]; }
+
+  /// All per-position label ids (one entry per position, with
+  /// repetitions) — callers derive vocabulary signatures from this.
+  const std::vector<int32_t>& position_label_ids() const {
+    return label_ids_;
+  }
+
   /// Positions reachable from `state` (consuming their own labels).
   const std::vector<int>& SuccessorsOf(int state) const {
     return successors_[state];
@@ -60,6 +76,7 @@ class Automaton {
 
   bool any_ = false;
   std::vector<std::string> labels_;            // per position
+  std::vector<int32_t> label_ids_;             // per position (interned)
   std::vector<std::vector<int>> successors_;   // per state (0..P)
   std::vector<bool> accepting_;                // per state (0..P)
 };

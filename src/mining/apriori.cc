@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
 
 namespace dtdevolve::mining {
@@ -35,6 +36,50 @@ bool AllSubsetsFrequent(const std::vector<int>& candidate,
   return true;
 }
 
+/// Flattened per-transaction bitmasks over the dense item-id universe:
+/// transaction t occupies words [t*words, (t+1)*words). Built once per
+/// mining run; a candidate is contained iff its own mask survives a
+/// word-wise AND with the transaction's.
+class TransactionBitsets {
+ public:
+  explicit TransactionBitsets(const std::vector<Transaction>& transactions) {
+    int max_item = -1;
+    for (const Transaction& transaction : transactions) {
+      if (!transaction.items.empty()) {
+        max_item = std::max(max_item, transaction.items.back());
+      }
+    }
+    words_ = static_cast<size_t>(max_item + 1 + 63) / 64;
+    masks_.assign(transactions.size() * words_, 0);
+    for (size_t t = 0; t < transactions.size(); ++t) {
+      uint64_t* mask = &masks_[t * words_];
+      for (int item : transactions[t].items) {
+        mask[static_cast<size_t>(item) / 64] |= uint64_t{1} << (item % 64);
+      }
+    }
+  }
+
+  std::vector<uint64_t> MaskOf(const std::vector<int>& items) const {
+    std::vector<uint64_t> mask(words_, 0);
+    for (int item : items) {
+      mask[static_cast<size_t>(item) / 64] |= uint64_t{1} << (item % 64);
+    }
+    return mask;
+  }
+
+  bool ContainsAll(size_t transaction, const std::vector<uint64_t>& mask) const {
+    const uint64_t* t = &masks_[transaction * words_];
+    for (size_t w = 0; w < words_; ++w) {
+      if ((t[w] & mask[w]) != mask[w]) return false;
+    }
+    return true;
+  }
+
+ private:
+  size_t words_ = 0;
+  std::vector<uint64_t> masks_;
+};
+
 }  // namespace
 
 std::vector<FrequentItemset> MineFrequentItemsets(
@@ -63,6 +108,9 @@ std::vector<FrequentItemset> MineFrequentItemsets(
   }
 
   size_t k = 1;
+  // Built on first use: L1 counting above never needs it, and when every
+  // level-1 pass already ends the run the masks would be wasted work.
+  std::optional<TransactionBitsets> bitsets;
   while (!level.empty() && (options.max_size == 0 || k < options.max_size)) {
     // Candidate generation by prefix join + pruning.
     std::set<std::vector<int>> frequent_k(level.begin(), level.end());
@@ -78,10 +126,27 @@ std::vector<FrequentItemset> MineFrequentItemsets(
     }
     // Support counting.
     std::vector<uint64_t> counts(candidates.size(), 0);
-    for (const Transaction& transaction : transactions.transactions()) {
-      for (size_t c = 0; c < candidates.size(); ++c) {
-        if (transaction.ContainsAll(candidates[c])) {
-          counts[c] += transaction.count;
+    if (options.bitset_counting && !candidates.empty()) {
+      if (!bitsets) bitsets.emplace(transactions.transactions());
+      std::vector<std::vector<uint64_t>> candidate_masks;
+      candidate_masks.reserve(candidates.size());
+      for (const std::vector<int>& candidate : candidates) {
+        candidate_masks.push_back(bitsets->MaskOf(candidate));
+      }
+      const std::vector<Transaction>& all = transactions.transactions();
+      for (size_t t = 0; t < all.size(); ++t) {
+        for (size_t c = 0; c < candidates.size(); ++c) {
+          if (bitsets->ContainsAll(t, candidate_masks[c])) {
+            counts[c] += all[t].count;
+          }
+        }
+      }
+    } else {
+      for (const Transaction& transaction : transactions.transactions()) {
+        for (size_t c = 0; c < candidates.size(); ++c) {
+          if (transaction.ContainsAll(candidates[c])) {
+            counts[c] += transaction.count;
+          }
         }
       }
     }

@@ -215,6 +215,18 @@ Status IngestServer::Start() {
   metrics.similarity_evaluations = &registry_.GetCounter(
       "dtdevolve_similarity_evaluations_total",
       "Document x DTD similarity evaluations");
+  metrics.evaluations_pruned = &registry_.GetCounter(
+      "dtdevolve_classify_pruned_total",
+      "Document x DTD evaluations skipped by the score upper bound");
+  metrics.score_cache_hits = &registry_.GetCounter(
+      "dtdevolve_score_cache_hits_total",
+      "Shared subtree score cache hits");
+  metrics.score_cache_misses = &registry_.GetCounter(
+      "dtdevolve_score_cache_misses_total",
+      "Shared subtree score cache misses");
+  metrics.score_cache_evictions = &registry_.GetCounter(
+      "dtdevolve_score_cache_evictions_total",
+      "Shared subtree score cache LRU evictions");
   metrics.score_seconds = &registry_.GetHistogram(
       "dtdevolve_score_seconds",
       "Wall-clock seconds scoring one document against the full DTD set",

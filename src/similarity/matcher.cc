@@ -27,10 +27,22 @@ MatchResult AlignChildren(const dtd::Automaton& automaton,
                           const std::vector<std::string>& symbols,
                           const CreditFn& credit,
                           const MatchOptions& options) {
+  return AlignChildrenById(
+      automaton, symbols.size(),
+      [&](size_t i, int pos) {
+        return credit(i, automaton.LabelOfPosition(pos));
+      },
+      options);
+}
+
+MatchResult AlignChildrenById(const dtd::Automaton& automaton,
+                              size_t num_symbols,
+                              const PositionCreditFn& credit,
+                              const MatchOptions& options) {
   MatchResult result;
   if (automaton.is_any()) {
     // ANY accepts everything: every child is a full-credit match.
-    result.assignments.resize(symbols.size());
+    result.assignments.resize(num_symbols);
     for (ChildAssignment& a : result.assignments) {
       a.kind = ChildAssignment::Kind::kMatched;
       a.position = -1;
@@ -39,7 +51,7 @@ MatchResult AlignChildren(const dtd::Automaton& automaton,
     return result;
   }
 
-  const size_t n = symbols.size();
+  const size_t n = num_symbols;
   const size_t num_states = automaton.num_states();
   const size_t num_nodes = (n + 1) * num_states;
   auto node_id = [&](size_t i, size_t state) {
@@ -80,7 +92,7 @@ MatchResult AlignChildren(const dtd::Automaton& automaton,
             {Step::Kind::kPlus, node, -1, 0.0});
       // match: consume the child along a permitted transition.
       for (int pos : automaton.SuccessorsOf(state)) {
-        double c = credit(i, automaton.LabelOfPosition(pos));
+        double c = credit(i, pos);
         if (c < 0.0) continue;
         c = std::min(c, 1.0);
         relax(node_id(i + 1, pos + 1), d + (1.0 - c),

@@ -64,6 +64,12 @@ struct MatchResult {
 using CreditFn =
     std::function<double(size_t child_index, const std::string& label)>;
 
+/// Position-based credit oracle for the interned-id fast path: the callee
+/// receives the Glushkov position itself and looks up the label (or its
+/// interned id) from the automaton, avoiding any string traffic.
+using PositionCreditFn =
+    std::function<double(size_t child_index, int position)>;
+
 /// Computes the minimum-cost alignment of `symbols` (child element tags
 /// and #PCDATA items, in document order) against `automaton` via Dijkstra
 /// over the (input position × automaton state) graph. Moves:
@@ -78,6 +84,15 @@ MatchResult AlignChildren(const dtd::Automaton& automaton,
                           const std::vector<std::string>& symbols,
                           const CreditFn& credit,
                           const MatchOptions& options = {});
+
+/// Interned-id twin of `AlignChildren`: identical algorithm and result,
+/// but the input sequence is given only by its length and credits are
+/// resolved per position (`PositionCreditFn`), so no label strings are
+/// materialized on the hot path.
+MatchResult AlignChildrenById(const dtd::Automaton& automaton,
+                              size_t num_symbols,
+                              const PositionCreditFn& credit,
+                              const MatchOptions& options = {});
 
 }  // namespace dtdevolve::similarity
 

@@ -1,0 +1,163 @@
+#include "similarity/score_cache.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace dtdevolve::similarity {
+
+namespace {
+
+/// splitmix64-style absorption: deterministic, well-mixed, cheap.
+inline uint64_t Mix64(uint64_t h, uint64_t v) {
+  h += 0x9E3779B97F4A7C15ull + v;
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return h;
+}
+
+/// Marker absorbed for a collapsed text run; chosen to never collide with
+/// a small non-negative tag id.
+constexpr uint64_t kPcdataMarker = 0xF1E2D3C4B5A69788ull;
+/// Marker closing a child list, so (a,(b)) and (a,b) hash differently.
+constexpr uint64_t kEndMarker = 0x123456789ABCDEF0ull;
+
+}  // namespace
+
+SubtreeFingerprints::SubtreeFingerprints(const xml::Element& root) {
+  map_.reserve(root.SubtreeElementCount());
+  Compute(root);
+}
+
+SubtreeStats SubtreeFingerprints::Compute(const xml::Element& element) {
+  // The two lanes absorb the same values under different seeds; together
+  // they form a 128-bit fingerprint, making accidental collisions across
+  // a cache lifetime negligible.
+  uint64_t hi = Mix64(0x8A5CD789635D2DFFull, static_cast<uint64_t>(element.tag_id()));
+  uint64_t lo = Mix64(0x121FD2155C472F96ull, ~static_cast<uint64_t>(element.tag_id()));
+  uint32_t count = 1;
+  // Mirror the ContentSymbols collapse rules exactly: blank text skipped,
+  // consecutive non-blank text runs count once.
+  bool last_was_text = false;
+  for (const auto& child : element.children()) {
+    if (child->is_element()) {
+      SubtreeStats sub = Compute(child->AsElement());
+      hi = Mix64(hi, sub.fp_hi);
+      lo = Mix64(lo, sub.fp_lo);
+      count += sub.element_count;
+      last_was_text = false;
+    } else {
+      const auto& text = static_cast<const xml::Text&>(*child);
+      if (IsBlank(text.value())) continue;
+      if (!last_was_text) {
+        hi = Mix64(hi, kPcdataMarker);
+        lo = Mix64(lo, ~kPcdataMarker);
+      }
+      last_was_text = true;
+    }
+  }
+  hi = Mix64(hi, kEndMarker);
+  lo = Mix64(lo, ~kEndMarker);
+  SubtreeStats stats{hi, lo, count};
+  map_.emplace(&element, stats);
+  return stats;
+}
+
+size_t SubtreeScoreCache::KeyHash::operator()(const Key& key) const {
+  uint64_t h = Mix64(key.fp_hi, key.fp_lo);
+  h = Mix64(h, key.epoch);
+  h = Mix64(h, static_cast<uint64_t>(static_cast<uint32_t>(key.label_id)));
+  return static_cast<size_t>(h);
+}
+
+SubtreeScoreCache::SubtreeScoreCache() : SubtreeScoreCache(Config()) {}
+
+SubtreeScoreCache::SubtreeScoreCache(Config config) : config_(config) {
+  max_entries_per_shard_ = std::max<size_t>(
+      1, config_.capacity_bytes / (kNumShards * kApproxEntryBytes));
+}
+
+SubtreeScoreCache::Shard& SubtreeScoreCache::ShardFor(const Key& key) {
+  // fp_lo is already well mixed; fold in the label so one hot structure
+  // scored against many DTDs spreads over shards.
+  uint64_t h = key.fp_lo ^ (static_cast<uint64_t>(
+                                static_cast<uint32_t>(key.label_id))
+                            * 0xC2B2AE3D27D4EB4Full);
+  return shards_[(h >> 56) % kNumShards];
+}
+
+bool SubtreeScoreCache::Lookup(const Key& key, Triple* out) {
+  Shard& shard = ShardFor(key);
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      *out = it->second->second;
+      ++shard.hits;
+      hit = true;
+    } else {
+      ++shard.misses;
+    }
+  }
+  if (hit) {
+    if (hits_counter_ != nullptr) hits_counter_->Increment();
+  } else {
+    if (misses_counter_ != nullptr) misses_counter_->Increment();
+  }
+  return hit;
+}
+
+void SubtreeScoreCache::Insert(const Key& key, const Triple& value) {
+  Shard& shard = ShardFor(key);
+  uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = value;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    shard.lru.emplace_front(key, value);
+    shard.index.emplace(key, shard.lru.begin());
+    while (shard.index.size() > max_entries_per_shard_) {
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+      ++shard.evictions;
+      ++evicted;
+    }
+  }
+  if (evictions_counter_ != nullptr && evicted > 0) {
+    evictions_counter_->Increment(evicted);
+  }
+}
+
+void SubtreeScoreCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.hits = 0;
+    shard.misses = 0;
+    shard.evictions = 0;
+  }
+}
+
+SubtreeScoreCache::Stats SubtreeScoreCache::GetStats() const {
+  Stats stats;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.entries += shard.index.size();
+  }
+  return stats;
+}
+
+}  // namespace dtdevolve::similarity

@@ -1,8 +1,13 @@
 #include "similarity/similarity.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <map>
+#include <optional>
 
 #include "util/string_util.h"
+#include "util/symbol_table.h"
 #include "validate/validator.h"
 
 namespace dtdevolve::similarity {
@@ -31,16 +36,66 @@ Triple MatchedChildContribution(const Triple& child, double tag_score,
                 tag_score * common_share);
 }
 
+/// Source of `SimilarityEvaluator::epoch()`: every evaluator instance
+/// gets a process-unique id, so shared-cache entries written against a
+/// replaced evaluator can never be read by its successor.
+std::atomic<uint64_t> g_epoch_counter{0};
+
 }  // namespace
+
+std::vector<const xml::Element*> AlignSymbolElements(
+    const xml::Element& element, const std::vector<int32_t>& symbol_ids) {
+  std::vector<const xml::Element*> out;
+  out.reserve(symbol_ids.size());
+  for (const auto& child : element.children()) {
+    if (child->is_element()) {
+      out.push_back(&child->AsElement());
+    }
+  }
+  // Interleave text-run placeholders to line up with the symbols.
+  const int32_t pcdata = dtd::PcdataSymbolId();
+  std::vector<const xml::Element*> aligned;
+  aligned.reserve(symbol_ids.size());
+  size_t next_element = 0;
+  for (int32_t symbol : symbol_ids) {
+    if (symbol == pcdata) {
+      aligned.push_back(nullptr);
+    } else if (next_element < out.size()) {
+      aligned.push_back(out[next_element++]);
+    } else {
+      // Symbol sequence claims more elements than the node has children.
+      // Never produced by ContentSymbolIds, but this is a public entry
+      // point: pad with nullptr instead of indexing out of bounds, in
+      // every build mode. The symmetric mismatch (fewer symbols than
+      // children) is tolerated the same way — surplus children are left
+      // unaligned.
+      aligned.push_back(nullptr);
+    }
+  }
+  return aligned;
+}
 
 SimilarityEvaluator::SimilarityEvaluator(const dtd::Dtd& dtd,
                                          SimilarityOptions options)
-    : dtd_(&dtd), options_(options) {
+    : dtd_(&dtd),
+      options_(options),
+      epoch_(g_epoch_counter.fetch_add(1, std::memory_order_relaxed) + 1) {
   for (const std::string& name : dtd.ElementNames()) {
     const dtd::ElementDecl* decl = dtd.FindElement(name);
     if (decl->content) {
-      automata_.emplace(name, dtd::Automaton::Build(*decl->content));
+      automata_.emplace(util::InternSymbol(name),
+                        dtd::Automaton::Build(*decl->content));
     }
+  }
+  root_name_id_ = util::InternSymbol(dtd.root_name());
+  root_automaton_ = FindAutomaton(root_name_id_);
+  root_any_ = root_automaton_ == nullptr || root_automaton_->is_any();
+  if (!root_any_) {
+    root_label_ids_ = root_automaton_->position_label_ids();
+    std::sort(root_label_ids_.begin(), root_label_ids_.end());
+    root_label_ids_.erase(
+        std::unique(root_label_ids_.begin(), root_label_ids_.end()),
+        root_label_ids_.end());
   }
 }
 
@@ -50,73 +105,87 @@ double SimilarityEvaluator::TagScore(const std::string& a,
   return a == b ? 1.0 : 0.0;
 }
 
+double SimilarityEvaluator::TagScoreId(int32_t a_id, const std::string& a,
+                                       int32_t b_id,
+                                       const std::string& b) const {
+  if (a_id == b_id) return 1.0;
+  if (options_.thesaurus == nullptr) return 0.0;
+  return options_.thesaurus->Score(a, b);
+}
+
 const dtd::Automaton* SimilarityEvaluator::FindAutomaton(
-    const std::string& name) const {
-  auto it = automata_.find(name);
+    int32_t label_id) const {
+  auto it = automata_.find(label_id);
   return it == automata_.end() ? nullptr : &it->second;
 }
 
-std::vector<const xml::Element*> SimilarityEvaluator::SymbolElements(
-    const xml::Element& element, const std::vector<std::string>& symbols) {
-  std::vector<const xml::Element*> out;
-  out.reserve(symbols.size());
-  for (const auto& child : element.children()) {
-    if (child->is_element()) {
-      out.push_back(&child->AsElement());
-    }
-  }
-  // Interleave text-run placeholders to line up with the symbols.
-  std::vector<const xml::Element*> aligned;
-  aligned.reserve(symbols.size());
-  size_t next_element = 0;
-  for (const std::string& symbol : symbols) {
-    if (symbol == dtd::kPcdataSymbol) {
-      aligned.push_back(nullptr);
-    } else {
-      aligned.push_back(out[next_element++]);
-    }
-  }
-  assert(next_element == out.size());
-  return aligned;
+const dtd::Automaton* SimilarityEvaluator::FindAutomaton(
+    const std::string& name) const {
+  int32_t id = util::GlobalSymbols().Find(name);
+  return id < 0 ? nullptr : FindAutomaton(id);
 }
 
 Triple SimilarityEvaluator::GlobalTripleCached(const xml::Element& element,
-                                               const std::string& decl_name,
-                                               Memo& memo) const {
-  auto key = std::make_pair(&element, decl_name);
-  auto it = memo.find(key);
-  if (it != memo.end()) return it->second;
+                                               int32_t label_id,
+                                               EvalContext& ctx) const {
+  if (const Triple* found = ctx.memo->Find(&element, label_id)) {
+    return *found;
+  }
 
-  const dtd::Automaton* automaton = FindAutomaton(decl_name);
-  std::vector<std::string> symbols = validate::ContentSymbols(element);
+  // Probe the shared cross-document cache: identical subtree structure ⇒
+  // identical triple, for any element anywhere in the stream.
+  SubtreeScoreCache::Key cache_key;
+  bool use_cache = false;
+  if (ctx.cache != nullptr && ctx.fingerprints != nullptr) {
+    const SubtreeStats* stats = ctx.fingerprints->Find(&element);
+    if (stats != nullptr &&
+        stats->element_count >= ctx.cache->config().min_subtree_elements) {
+      cache_key = {epoch_, stats->fp_hi, stats->fp_lo, label_id};
+      use_cache = true;
+      Triple cached;
+      if (ctx.cache->Lookup(cache_key, &cached)) {
+        ctx.memo->Insert(&element, label_id, cached);
+        return cached;
+      }
+    }
+  }
+
+  const dtd::Automaton* automaton = FindAutomaton(label_id);
+  std::vector<int32_t> symbol_ids = validate::ContentSymbolIds(element);
   Triple triple;
   if (automaton == nullptr || automaton->is_any()) {
     // ANY (or an undeclared reference): everything is common.
-    triple.common = static_cast<double>(symbols.size());
-    memo.emplace(key, triple);
+    triple.common = static_cast<double>(symbol_ids.size());
+    ctx.memo->Insert(&element, label_id, triple);
+    if (use_cache) ctx.cache->Insert(cache_key, triple);
     return triple;
   }
 
-  std::vector<const xml::Element*> children = SymbolElements(element, symbols);
+  std::vector<const xml::Element*> children =
+      AlignSymbolElements(element, symbol_ids);
+  const int32_t pcdata = dtd::PcdataSymbolId();
 
-  // Credit of matching child i against a position labeled `label`:
-  // tag similarity times the child's own global evaluation.
-  std::map<std::pair<size_t, std::string>, Triple> child_triples;
-  CreditFn credit = [&](size_t i, const std::string& label) -> double {
+  // Credit of matching child i against a model position: tag similarity
+  // times the child's own global evaluation. Keyed by (child, label id)
+  // so positions sharing a label share the recursive result.
+  std::map<std::pair<size_t, int32_t>, Triple> child_triples;
+  auto credit = [&](size_t i, int pos) -> double {
+    int32_t pos_label_id = automaton->LabelIdOfPosition(pos);
     if (children[i] == nullptr) {  // text run
-      return label == dtd::kPcdataSymbol ? 1.0 : -1.0;
+      return pos_label_id == pcdata ? 1.0 : -1.0;
     }
-    if (label == dtd::kPcdataSymbol) return -1.0;
-    double tag = TagScore(children[i]->tag(), label);
+    if (pos_label_id == pcdata) return -1.0;
+    double tag = TagScoreId(children[i]->tag_id(), children[i]->tag(),
+                            pos_label_id, automaton->LabelOfPosition(pos));
     if (tag <= 0.0) return -1.0;
-    Triple sub = GlobalTripleCached(*children[i], label, memo);
-    child_triples.emplace(std::make_pair(i, label), sub);
+    Triple sub = GlobalTripleCached(*children[i], pos_label_id, ctx);
+    child_triples.emplace(std::make_pair(i, pos_label_id), sub);
     double alpha = options_.tag_weight;
     return tag * (alpha + (1.0 - alpha) * Evaluate(sub, options_.weights));
   };
 
   MatchResult aligned =
-      AlignChildren(*automaton, symbols, credit, options_.match);
+      AlignChildrenById(*automaton, symbol_ids.size(), credit, options_.match);
 
   for (size_t i = 0; i < aligned.assignments.size(); ++i) {
     const ChildAssignment& a = aligned.assignments[i];
@@ -128,25 +197,33 @@ Triple SimilarityEvaluator::GlobalTripleCached(const xml::Element& element,
       triple.common += 1.0;  // matched text
       continue;
     }
-    const std::string& label =
+    int32_t matched_id = a.position >= 0
+                             ? automaton->LabelIdOfPosition(a.position)
+                             : children[i]->tag_id();
+    const std::string& matched_label =
         a.position >= 0 ? automaton->LabelOfPosition(a.position)
                         : children[i]->tag();
-    double tag = TagScore(children[i]->tag(), label);
-    auto sub_it = child_triples.find(std::make_pair(i, label));
-    Triple sub = sub_it == child_triples.end()
-                     ? GlobalTripleCached(*children[i], label, memo)
-                     : sub_it->second;
+    double tag = TagScoreId(children[i]->tag_id(), children[i]->tag(),
+                            matched_id, matched_label);
+    auto sub_it = child_triples.find(std::make_pair(i, matched_id));
+    Triple sub =
+        sub_it == child_triples.end()
+            ? GlobalTripleCached(*children[i], matched_id, ctx)
+            : sub_it->second;
     triple += MatchedChildContribution(sub, tag, options_.tag_weight);
   }
   triple.minus += static_cast<double>(aligned.minus_labels.size());
 
-  memo.emplace(key, triple);
+  ctx.memo->Insert(&element, label_id, triple);
+  if (use_cache) ctx.cache->Insert(cache_key, triple);
   return triple;
 }
 
 Triple SimilarityEvaluator::GlobalTriple(const xml::Element& element,
                                          const std::string& decl_name) const {
-  return GlobalTripleCached(element, decl_name, memo_);
+  EvalContext ctx;
+  ctx.memo = &memo_;
+  return GlobalTripleCached(element, util::InternSymbol(decl_name), ctx);
 }
 
 double SimilarityEvaluator::GlobalSimilarity(
@@ -157,36 +234,40 @@ double SimilarityEvaluator::GlobalSimilarity(
 MatchResult SimilarityEvaluator::AlignLocal(
     const xml::Element& element, const std::string& decl_name) const {
   const dtd::Automaton* automaton = FindAutomaton(decl_name);
-  std::vector<std::string> symbols = validate::ContentSymbols(element);
+  std::vector<int32_t> symbol_ids = validate::ContentSymbolIds(element);
   if (automaton == nullptr) {
     // Undeclared: behave like ANY.
     MatchResult result;
-    result.assignments.resize(symbols.size());
+    result.assignments.resize(symbol_ids.size());
     for (ChildAssignment& a : result.assignments) {
       a.kind = ChildAssignment::Kind::kMatched;
       a.credit = 1.0;
     }
     return result;
   }
-  std::vector<const xml::Element*> children = SymbolElements(element, symbols);
-  CreditFn credit = [&](size_t i, const std::string& label) -> double {
+  std::vector<const xml::Element*> children =
+      AlignSymbolElements(element, symbol_ids);
+  const int32_t pcdata = dtd::PcdataSymbolId();
+  auto credit = [&](size_t i, int pos) -> double {
+    int32_t pos_label_id = automaton->LabelIdOfPosition(pos);
     if (children[i] == nullptr) {
-      return label == dtd::kPcdataSymbol ? 1.0 : -1.0;
+      return pos_label_id == pcdata ? 1.0 : -1.0;
     }
-    if (label == dtd::kPcdataSymbol) return -1.0;
-    double tag = TagScore(children[i]->tag(), label);
+    if (pos_label_id == pcdata) return -1.0;
+    double tag = TagScoreId(children[i]->tag_id(), children[i]->tag(),
+                            pos_label_id, automaton->LabelOfPosition(pos));
     return tag > 0.0 ? tag : -1.0;
   };
-  return AlignChildren(*automaton, symbols, credit, options_.match);
+  return AlignChildrenById(*automaton, symbol_ids.size(), credit,
+                           options_.match);
 }
 
 Triple SimilarityEvaluator::LocalTriple(const xml::Element& element,
                                         const std::string& decl_name) const {
   const dtd::Automaton* automaton = FindAutomaton(decl_name);
-  std::vector<std::string> symbols = validate::ContentSymbols(element);
   Triple triple;
   if (automaton == nullptr || automaton->is_any()) {
-    triple.common = static_cast<double>(symbols.size());
+    triple.common = static_cast<double>(validate::ContentSymbolIds(element).size());
     return triple;
   }
   MatchResult aligned = AlignLocal(element, decl_name);
@@ -210,22 +291,83 @@ double SimilarityEvaluator::LocalSimilarity(
   return Evaluate(LocalTriple(element, decl_name), options_.weights);
 }
 
+double SimilarityEvaluator::RootTagScore(const xml::Element& root) const {
+  return TagScoreId(root.tag_id(), root.tag(), root_name_id_,
+                    dtd_->root_name());
+}
+
 double SimilarityEvaluator::DocumentSimilarity(
     const xml::Document& doc) const {
+  return DocumentSimilarity(doc, nullptr);
+}
+
+double SimilarityEvaluator::DocumentSimilarity(
+    const xml::Document& doc, const SubtreeFingerprints* fingerprints) const {
   // A call-local memo keeps this entry point safe for concurrent use on a
   // shared evaluator; it is scoped to one document anyway.
   if (!doc.has_root() || dtd_->empty()) return 0.0;
-  const std::string& root_name = dtd_->root_name();
-  double tag = TagScore(doc.root().tag(), root_name);
+  double tag = RootTagScore(doc.root());
   if (tag <= 0.0) return 0.0;
-  Memo memo;
-  Triple triple = GlobalTripleCached(doc.root(), root_name, memo);
+  TripleMemo memo;
+  EvalContext ctx;
+  ctx.memo = &memo;
+  ctx.cache = cache_;
+  ctx.fingerprints = fingerprints;
+  std::optional<SubtreeFingerprints> local_fingerprints;
+  if (cache_ != nullptr && fingerprints == nullptr) {
+    local_fingerprints.emplace(doc.root());
+    ctx.fingerprints = &*local_fingerprints;
+  }
+  Triple triple =
+      GlobalTripleCached(doc.root(), root_name_id_, ctx);
   return tag * Evaluate(triple, options_.weights);
+}
+
+double SimilarityEvaluator::ScoreUpperBound(
+    const xml::Document& doc,
+    const std::vector<int32_t>& root_symbol_ids) const {
+  if (!doc.has_root() || dtd_->empty()) return 0.0;
+  double tag = RootTagScore(doc.root());
+  if (tag <= 0.0) return 0.0;
+  const EvalWeights& w = options_.weights;
+  if (w.common_weight < 0.0 || w.plus_weight < 0.0 || w.minus_weight < 0.0) {
+    // Degenerate weights break E ≤ 1; never prune under them.
+    return 1.0;
+  }
+  // The vocabulary argument needs exact tag gating: a thesaurus can match
+  // a tag outside the literal label vocabulary, and ANY matches anything.
+  if (options_.thesaurus != nullptr || root_any_) return tag;
+  size_t n = root_symbol_ids.size();
+  if (n == 0) return tag;
+  size_t unmatched = 0;
+  for (int32_t id : root_symbol_ids) {
+    if (!std::binary_search(root_label_ids_.begin(), root_label_ids_.end(),
+                            id)) {
+      ++unmatched;
+    }
+  }
+  if (unmatched == 0) return tag;
+  // Each of the `unmatched` symbols is forced plus mass (credit < 0
+  // against every position), each other symbol contributes at most one
+  // unit of common mass, and minus mass only lowers E further.
+  double matched_mass =
+      w.common_weight * static_cast<double>(n - unmatched);
+  double denom = matched_mass + w.plus_weight * static_cast<double>(unmatched);
+  if (denom <= 0.0) return tag;
+  return tag * (matched_mass / denom);
 }
 
 std::vector<ElementReport> SimilarityEvaluator::EvaluateElements(
     const xml::Element& root) const {
-  Memo memo;  // call-local, as in DocumentSimilarity
+  TripleMemo memo;  // call-local, as in DocumentSimilarity
+  EvalContext ctx;
+  ctx.memo = &memo;
+  ctx.cache = cache_;
+  std::optional<SubtreeFingerprints> local_fingerprints;
+  if (cache_ != nullptr) {
+    local_fingerprints.emplace(root);
+    ctx.fingerprints = &*local_fingerprints;
+  }
   std::vector<ElementReport> reports;
   std::vector<const xml::Element*> stack = {&root};
   while (!stack.empty()) {
@@ -238,7 +380,7 @@ std::vector<ElementReport> SimilarityEvaluator::EvaluateElements(
       report.local_triple = LocalTriple(*element, element->tag());
       report.local_similarity = Evaluate(report.local_triple, options_.weights);
       report.global_triple =
-          GlobalTripleCached(*element, element->tag(), memo);
+          GlobalTripleCached(*element, element->tag_id(), ctx);
       report.global_similarity =
           Evaluate(report.global_triple, options_.weights);
     }

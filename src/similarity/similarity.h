@@ -1,14 +1,16 @@
 #ifndef DTDEVOLVE_SIMILARITY_SIMILARITY_H_
 #define DTDEVOLVE_SIMILARITY_SIMILARITY_H_
 
-#include <map>
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "dtd/dtd.h"
 #include "dtd/glushkov.h"
 #include "similarity/matcher.h"
+#include "similarity/score_cache.h"
 #include "similarity/thesaurus.h"
 #include "similarity/triple.h"
 #include "xml/document.h"
@@ -39,6 +41,97 @@ struct ElementReport {
   double global_similarity = 0.0;
 };
 
+/// Call-scoped memo of the recursive global evaluation: an insert-only
+/// open-addressing flat hash table keyed by (element address, interned
+/// declaration label id). Replaces the former ordered map, whose string
+/// keys were copied on every probe.
+class TripleMemo {
+ public:
+  TripleMemo() { slots_.resize(kInitialCapacity); }
+
+  const Triple* Find(const xml::Element* element, int32_t label) const {
+    size_t mask = slots_.size() - 1;
+    for (size_t i = HashKey(element, label) & mask;; i = (i + 1) & mask) {
+      const Slot& slot = slots_[i];
+      if (slot.element == nullptr) return nullptr;
+      if (slot.element == element && slot.label == label) return &slot.value;
+    }
+  }
+
+  void Insert(const xml::Element* element, int32_t label,
+              const Triple& value) {
+    if ((size_ + 1) * 3 > slots_.size() * 2) Grow();
+    InsertNoGrow(element, label, value);
+    ++size_;
+  }
+
+  void clear() {
+    for (Slot& slot : slots_) slot.element = nullptr;
+    size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  struct Slot {
+    const xml::Element* element = nullptr;
+    int32_t label = 0;
+    Triple value;
+  };
+
+  static constexpr size_t kInitialCapacity = 64;  // power of two
+
+  static size_t HashKey(const xml::Element* element, int32_t label) {
+    // Element addresses are ≥ 8-byte aligned; drop the dead bits and mix
+    // with the label by a 64-bit odd multiplier.
+    uint64_t h = (reinterpret_cast<uintptr_t>(element) >> 3) ^
+                 (static_cast<uint64_t>(static_cast<uint32_t>(label)) << 32);
+    h *= 0x9E3779B97F4A7C15ull;
+    h ^= h >> 29;
+    return static_cast<size_t>(h);
+  }
+
+  void InsertNoGrow(const xml::Element* element, int32_t label,
+                    const Triple& value) {
+    size_t mask = slots_.size() - 1;
+    for (size_t i = HashKey(element, label) & mask;; i = (i + 1) & mask) {
+      Slot& slot = slots_[i];
+      if (slot.element == nullptr) {
+        slot.element = element;
+        slot.label = label;
+        slot.value = value;
+        return;
+      }
+      if (slot.element == element && slot.label == label) {
+        slot.value = value;
+        return;
+      }
+    }
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    for (const Slot& slot : old) {
+      if (slot.element != nullptr) {
+        InsertNoGrow(slot.element, slot.label, slot.value);
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+/// Child nodes aligned 1:1 with the content-symbol ids of `element`
+/// (nullptr entries stand for text runs). `symbol_ids` must come from
+/// `validate::ContentSymbolIds(element)`; a mismatched sequence (more
+/// element symbols than child elements, or leftovers) is tolerated
+/// defensively — surplus symbols map to nullptr, surplus children are
+/// ignored — instead of indexing out of bounds.
+std::vector<const xml::Element*> AlignSymbolElements(
+    const xml::Element& element, const std::vector<int32_t>& symbol_ids);
+
 /// The structural-similarity measure of the companion paper [2], extended
 /// with the *local similarity* variant this paper introduces (§3.1):
 ///
@@ -55,14 +148,23 @@ struct ElementReport {
 /// distributed according to the child's own (normalized) triple — so
 /// deviations deep in the tree discount global similarity proportionally.
 ///
+/// Hot-path layout: tags and declaration labels are interned
+/// (`util::GlobalSymbols()`), so all comparisons and memo probes are over
+/// `int32` ids; an optional shared `SubtreeScoreCache` carries triples
+/// across documents keyed by structural fingerprint and this evaluator's
+/// `epoch()` (drawn fresh at construction, which is what invalidates the
+/// cache when a DTD evolves and its evaluator is rebuilt).
+///
 /// Thread-safety: after construction the evaluator is immutable except
 /// for the cross-call memo of the single-element API. `DocumentSimilarity`
 /// and `EvaluateElements` use a call-local memo and may therefore be
 /// called concurrently from any number of threads on one shared evaluator
-/// (this is what batch classification relies on). The single-element
-/// `GlobalTriple` / `GlobalSimilarity` entry points share the member memo
-/// across calls and are NOT thread-safe; confine them (and `ClearMemo`)
-/// to one thread at a time.
+/// (this is what batch classification relies on); the shared cache is
+/// internally synchronized. The single-element `GlobalTriple` /
+/// `GlobalSimilarity` entry points share the member memo across calls and
+/// are NOT thread-safe; confine them (and `ClearMemo`) to one thread at a
+/// time. `set_shared_cache` is a mutating entry point: install the cache
+/// before concurrent scoring starts.
 class SimilarityEvaluator {
  public:
   explicit SimilarityEvaluator(const dtd::Dtd& dtd,
@@ -75,6 +177,34 @@ class SimilarityEvaluator {
   /// globally against the DTD root declaration, scaled by root-tag
   /// similarity. In [0, 1]; 1 iff the document is valid. Thread-safe.
   double DocumentSimilarity(const xml::Document& doc) const;
+
+  /// Fast-path variant: `fingerprints` is the index built over the
+  /// document's root subtree, enabling the shared subtree cache (when one
+  /// is attached) without recomputing fingerprints per DTD. Passing
+  /// nullptr computes them on demand when a cache is attached. The result
+  /// is bit-identical to the plain overload.
+  double DocumentSimilarity(const xml::Document& doc,
+                            const SubtreeFingerprints* fingerprints) const;
+
+  /// Tag similarity of `root`'s tag against this DTD's root declaration
+  /// name — the factor that scales (and gates) `DocumentSimilarity`.
+  double RootTagScore(const xml::Element& root) const;
+
+  /// Conservative upper bound on `DocumentSimilarity(doc)`, computed from
+  /// the root tag and the document's root content-symbol ids
+  /// (`validate::ContentSymbolIds(doc.root())`) alone — no recursion, no
+  /// alignment. Guaranteed `bound ≥ exact` for non-negative weights:
+  /// every root child symbol owns exactly one unit of the root triple's
+  /// document-side mass, and a symbol absent from the root content
+  /// model's label vocabulary can only be plus mass, so with `u` such
+  /// symbols out of `n` the evaluation cannot exceed
+  /// `w_c(n−u) / (w_c(n−u) + w_p·u)`; the whole product is additionally
+  /// capped by the root tag score (E ≤ 1). Falls back to the tag score
+  /// when the vocabulary argument does not apply (ANY/undeclared root,
+  /// thesaurus in play, or u = 0). The classifier sorts DTDs by this
+  /// bound and skips evaluations that cannot beat the best score so far.
+  double ScoreUpperBound(const xml::Document& doc,
+                         const std::vector<int32_t>& root_symbol_ids) const;
 
   /// Global triple / similarity of one element against declaration
   /// `decl_name`. An undeclared name behaves like ANY. Results are
@@ -103,6 +233,18 @@ class SimilarityEvaluator {
   const dtd::Dtd& dtd() const { return *dtd_; }
   const SimilarityOptions& options() const { return options_; }
 
+  /// Attaches (or detaches, with nullptr) a shared cross-document subtree
+  /// score cache. Not owned; must outlive the evaluator. Entries are
+  /// keyed by this evaluator's `epoch()`, so caches may be shared freely
+  /// across evaluators and DTD generations.
+  void set_shared_cache(SubtreeScoreCache* cache) { cache_ = cache; }
+  SubtreeScoreCache* shared_cache() const { return cache_; }
+
+  /// Unique id of this evaluator instance (drawn from a process-global
+  /// monotonic counter at construction); the shared-cache key component
+  /// that makes rebuild-after-evolution an implicit invalidation.
+  uint64_t epoch() const { return epoch_; }
+
   /// Drops the cross-call memo of the single-element API. The memo is
   /// keyed by element addresses, so it must not outlive the documents it
   /// was built from; callers holding the evaluator across documents while
@@ -112,26 +254,39 @@ class SimilarityEvaluator {
   void ClearMemo() const { memo_.clear(); }
 
  private:
-  /// Memo of the recursive global evaluation, keyed by (element, decl).
-  using Memo = std::map<std::pair<const xml::Element*, std::string>, Triple>;
+  /// Everything one recursive evaluation threads through: the call-local
+  /// memo plus the optional shared-cache machinery.
+  struct EvalContext {
+    TripleMemo* memo = nullptr;
+    const SubtreeFingerprints* fingerprints = nullptr;
+    SubtreeScoreCache* cache = nullptr;
+  };
 
   /// Tag similarity per options (1/0 equality unless a thesaurus is set).
   double TagScore(const std::string& a, const std::string& b) const;
+  /// Id fast path: equal ids short-circuit to 1 without touching strings.
+  double TagScoreId(int32_t a_id, const std::string& a, int32_t b_id,
+                    const std::string& b) const;
+
+  const dtd::Automaton* FindAutomaton(int32_t label_id) const;
   const dtd::Automaton* FindAutomaton(const std::string& name) const;
 
-  /// Child nodes aligned 1:1 with the content symbols of `element`
-  /// (nullptr entries stand for text runs).
-  static std::vector<const xml::Element*> SymbolElements(
-      const xml::Element& element, const std::vector<std::string>& symbols);
-
-  Triple GlobalTripleCached(const xml::Element& element,
-                            const std::string& decl_name, Memo& memo) const;
+  Triple GlobalTripleCached(const xml::Element& element, int32_t label_id,
+                            EvalContext& ctx) const;
 
   const dtd::Dtd* dtd_;
   SimilarityOptions options_;
-  std::map<std::string, dtd::Automaton> automata_;
+  std::unordered_map<int32_t, dtd::Automaton> automata_;
+  /// Root-declaration signature, precomputed for `RootTagScore` and
+  /// `ScoreUpperBound`.
+  int32_t root_name_id_ = -1;
+  const dtd::Automaton* root_automaton_ = nullptr;
+  bool root_any_ = true;
+  std::vector<int32_t> root_label_ids_;  // sorted, distinct
+  uint64_t epoch_ = 0;
+  SubtreeScoreCache* cache_ = nullptr;
   /// Cross-call memo backing the single-element `GlobalTriple` API only.
-  mutable Memo memo_;
+  mutable TripleMemo memo_;
 };
 
 }  // namespace dtdevolve::similarity

@@ -1,0 +1,47 @@
+#include "util/symbol_table.h"
+
+#include <mutex>
+
+namespace dtdevolve::util {
+
+int32_t SymbolTable::Intern(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  int32_t id = static_cast<int32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+int32_t SymbolTable::Find(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::string& SymbolTable::NameOf(int32_t id) const {
+  std::shared_lock lock(mutex_);
+  return names_[static_cast<size_t>(id)];
+}
+
+size_t SymbolTable::size() const {
+  std::shared_lock lock(mutex_);
+  return names_.size();
+}
+
+SymbolTable& GlobalSymbols() {
+  static SymbolTable* table = new SymbolTable();
+  return *table;
+}
+
+int32_t InternSymbol(std::string_view name) {
+  return GlobalSymbols().Intern(name);
+}
+
+}  // namespace dtdevolve::util

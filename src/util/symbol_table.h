@@ -1,0 +1,70 @@
+#ifndef DTDEVOLVE_UTIL_SYMBOL_TABLE_H_
+#define DTDEVOLVE_UTIL_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace dtdevolve::util {
+
+/// Interns strings to dense, process-stable `int32` ids. Element tags and
+/// DTD labels come from a small vocabulary, so comparing interned ids
+/// replaces string comparison and string-keyed map lookups on the
+/// classification hot path.
+///
+/// Ids are append-only: once assigned, an id never changes and its name is
+/// never freed, so `NameOf` results stay valid for the process lifetime.
+/// All entry points are thread-safe (readers share, interning excludes).
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Returns the id of `name`, assigning the next dense id on first sight.
+  int32_t Intern(std::string_view name);
+
+  /// Returns the id of `name`, or -1 when it was never interned.
+  int32_t Find(std::string_view name) const;
+
+  /// Name of an interned id. `id` must come from `Intern`.
+  const std::string& NameOf(int32_t id) const;
+
+  size_t size() const;
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, int32_t, Hash, Eq> index_;
+  /// Deque: growth never moves existing strings, so `NameOf` references
+  /// stay stable without copying.
+  std::deque<std::string> names_;
+};
+
+/// The process-wide table interning element tags and DTD labels. Shared by
+/// `xml::Element`, `dtd::Automaton` and the similarity evaluator so their
+/// ids agree.
+SymbolTable& GlobalSymbols();
+
+/// Shorthand for `GlobalSymbols().Intern(name)`.
+int32_t InternSymbol(std::string_view name);
+
+}  // namespace dtdevolve::util
+
+#endif  // DTDEVOLVE_UTIL_SYMBOL_TABLE_H_

@@ -23,6 +23,24 @@ std::vector<std::string> ContentSymbols(const xml::Element& element) {
   return symbols;
 }
 
+std::vector<int32_t> ContentSymbolIds(const xml::Element& element) {
+  std::vector<int32_t> ids;
+  const int32_t pcdata = dtd::PcdataSymbolId();
+  bool last_was_text = false;
+  for (const auto& child : element.children()) {
+    if (child->is_element()) {
+      ids.push_back(child->AsElement().tag_id());
+      last_was_text = false;
+    } else {
+      const auto& text = static_cast<const xml::Text&>(*child);
+      if (IsBlank(text.value())) continue;
+      if (!last_was_text) ids.push_back(pcdata);
+      last_was_text = true;
+    }
+  }
+  return ids;
+}
+
 Validator::Validator(const dtd::Dtd& dtd) : dtd_(&dtd) {
   for (const std::string& name : dtd.ElementNames()) {
     const dtd::ElementDecl* decl = dtd.FindElement(name);

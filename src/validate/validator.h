@@ -73,6 +73,11 @@ class Validator {
 /// element tags in order, with non-blank text runs as `kPcdataSymbol`.
 std::vector<std::string> ContentSymbols(const xml::Element& element);
 
+/// Interned-id twin of `ContentSymbols`: the same sequence as interned
+/// symbol ids (`dtd::PcdataSymbolId()` for text runs). The similarity hot
+/// path uses this form to avoid string copies entirely.
+std::vector<int32_t> ContentSymbolIds(const xml::Element& element);
+
 }  // namespace dtdevolve::validate
 
 #endif  // DTDEVOLVE_VALIDATE_VALIDATOR_H_

@@ -1,12 +1,15 @@
 #ifndef DTDEVOLVE_XML_DOCUMENT_H_
 #define DTDEVOLVE_XML_DOCUMENT_H_
 
+#include <cstdint>
 #include <memory>
 #include <set>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/symbol_table.h"
 
 namespace dtdevolve::xml {
 
@@ -72,10 +75,20 @@ struct Attribute {
 class Element : public Node {
  public:
   explicit Element(std::string tag)
-      : Node(Kind::kElement), tag_(std::move(tag)) {}
+      : Node(Kind::kElement),
+        tag_(std::move(tag)),
+        tag_id_(util::InternSymbol(tag_)) {}
 
   const std::string& tag() const { return tag_; }
-  void set_tag(std::string tag) { tag_ = std::move(tag); }
+  void set_tag(std::string tag) {
+    tag_ = std::move(tag);
+    tag_id_ = util::InternSymbol(tag_);
+  }
+
+  /// Dense id of the tag in `util::GlobalSymbols()`, interned at
+  /// construction — the similarity hot path compares these instead of
+  /// strings.
+  int32_t tag_id() const { return tag_id_; }
 
   const std::vector<Attribute>& attributes() const { return attributes_; }
   void AddAttribute(std::string name, std::string value) {
@@ -121,6 +134,7 @@ class Element : public Node {
 
  private:
   std::string tag_;
+  int32_t tag_id_ = -1;
   std::vector<Attribute> attributes_;
   std::vector<std::unique_ptr<Node>> children_;
 };

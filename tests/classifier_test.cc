@@ -133,7 +133,9 @@ TEST_F(ClassifierFixture, EqualScoresBreakTiesByLowestName) {
   EXPECT_EQ(outcome.dtd_name, "aa-mail");
   EXPECT_DOUBLE_EQ(outcome.similarity, 1.0);
   ASSERT_EQ(outcome.scores.size(), 2u);
-  EXPECT_DOUBLE_EQ(outcome.scores[0].second, outcome.scores[1].second);
+  EXPECT_DOUBLE_EQ(outcome.scores[0].similarity, outcome.scores[1].similarity);
+  EXPECT_FALSE(outcome.scores[0].pruned);
+  EXPECT_FALSE(outcome.scores[1].pruned);
 }
 
 TEST(RepositoryTest, AddGetTake) {

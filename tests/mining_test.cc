@@ -154,6 +154,47 @@ TEST(AprioriTest, EmptyInput) {
   EXPECT_TRUE(MineFrequentItemsets(transactions).empty());
 }
 
+TEST(AprioriTest, BitsetCountingMatchesSubsetScan) {
+  // The bitset support counter must be count-for-count identical to the
+  // reference subset scan on a population wide enough to need more than
+  // one mask word (>64 item ids once absent items are added).
+  for (uint64_t seed : {1u, 7u, 23u}) {
+    TransactionSet transactions;
+    std::set<std::string> universe;
+    for (int l = 0; l < 40; ++l) universe.insert("t" + std::to_string(l));
+    uint64_t state = seed;
+    auto next = [&state]() {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      return state >> 33;
+    };
+    for (int i = 0; i < 200; ++i) {
+      std::set<std::string> present;
+      for (int l = 0; l < 40; ++l) {
+        if (next() % 4 != 0) present.insert("t" + std::to_string(l));
+      }
+      transactions.Add(present, universe,
+                       static_cast<uint32_t>(1 + next() % 3));
+    }
+
+    AprioriOptions scan;
+    scan.min_support = 0.4;
+    scan.max_size = 3;
+    scan.bitset_counting = false;
+    AprioriOptions bitset = scan;
+    bitset.bitset_counting = true;
+
+    std::vector<FrequentItemset> a = MineFrequentItemsets(transactions, scan);
+    std::vector<FrequentItemset> b =
+        MineFrequentItemsets(transactions, bitset);
+    ASSERT_EQ(a.size(), b.size()) << "seed " << seed;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].items, b[i].items) << "seed " << seed;
+      EXPECT_EQ(a[i].count, b[i].count) << "seed " << seed;
+      EXPECT_DOUBLE_EQ(a[i].support, b[i].support) << "seed " << seed;
+    }
+  }
+}
+
 TEST(AprioriTest, FullSupportItemsetsSurviveHighThreshold) {
   TransactionSet transactions;
   std::set<std::string> universe = {"a", "b"};

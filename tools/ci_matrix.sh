@@ -42,4 +42,13 @@ run_leg() {
 run_leg asan-ubsan
 run_leg tsan
 
-echo "sanitizer matrix clean (asan-ubsan, tsan)"
+# Perf smoke on the classification fast path (RelWithDebInfo — sanitizer
+# builds are useless for timing): fails on outcome divergence or a >2x
+# throughput regression against the committed baseline.
+echo "=== leg: perf-smoke ==="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build build -j "$JOBS" --target bench_classification \
+  bench_similarity bench_mining
+tools/perf_smoke.sh build
+
+echo "sanitizer matrix clean (asan-ubsan, tsan) + perf smoke"

@@ -77,7 +77,9 @@ int Usage() {
                "  dtdevolve similarity <dtd> <xml>...\n"
                "  dtdevolve infer      [--xtract|--naive] <root> <xml>...\n"
                "  dtdevolve evolve     <dtd> [--sigma S] [--tau T] "
-               "[--psi P] [--mu M] [--jobs N] <xml>...\n"
+               "[--psi P] [--mu M] [--jobs N]\n"
+               "                       [--score-cache-mb N] "
+               "[--no-score-cache] <xml>...\n"
                "  dtdevolve adapt      <dtd> <xml>\n"
                "  dtdevolve xsd        <dtd>\n"
                "  dtdevolve diff       <old-dtd> <new-dtd>\n"
@@ -91,6 +93,8 @@ int Usage() {
                "[--checkpoint-interval-ms N]\n"
                "                       [--recv-timeout S] [--send-timeout "
                "S]\n"
+               "                       [--score-cache-mb N] "
+               "[--no-score-cache]\n"
                "  dtdevolve check      [--scenarios N] [--seed S] "
                "[--max-documents N]\n"
                "                       [--max-failures K] [--no-persistence] "
@@ -265,6 +269,21 @@ int CmdEvolve(std::vector<std::string> args) {
         return Usage();
       }
       ++i;
+      continue;
+    }
+    if (args[i] == "--score-cache-mb") {
+      long mb = 0;
+      if (i + 1 >= args.size() || !ParseLong(args[i + 1], &mb) || mb < 0) {
+        return Usage();
+      }
+      ++i;
+      // 0 MB means no cache at all, same as --no-score-cache.
+      options.classifier.enable_score_cache = mb > 0;
+      options.classifier.score_cache_bytes = static_cast<size_t>(mb) << 20;
+      continue;
+    }
+    if (args[i] == "--no-score-cache") {
+      options.classifier.enable_score_cache = false;
       continue;
     }
     if (IsFlag(args[i])) return UnknownFlag(args[i]);
@@ -470,6 +489,18 @@ int CmdServe(std::vector<std::string> args) {
     if (nonnegative_long("--send-timeout", &value)) {
       if (bad_value) return Usage();
       server_options.send_timeout_seconds = static_cast<int>(value);
+      continue;
+    }
+    if (nonnegative_long("--score-cache-mb", &value)) {
+      if (bad_value) return Usage();
+      // 0 MB means no cache at all, same as --no-score-cache.
+      source_options.classifier.enable_score_cache = value > 0;
+      source_options.classifier.score_cache_bytes =
+          static_cast<size_t>(value) << 20;
+      continue;
+    }
+    if (args[i] == "--no-score-cache") {
+      source_options.classifier.enable_score_cache = false;
       continue;
     }
     if (IsFlag(args[i])) return UnknownFlag(args[i]);

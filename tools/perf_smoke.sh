@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Perf smoke: runs the classification fast-path headline benchmark
+# (bench_classification --json, fixed seed) and compares it against the
+# committed baseline BENCH_classification.json. Fails when
+#
+#   * the fast path no longer classifies identically to the disabled
+#     fast path (outcome_mismatches != 0), or
+#   * throughput regressed by more than 2x against the committed
+#     baseline's docs_per_second (absolute numbers shift between
+#     machines; a >2x drop on the same fixed workload is a real
+#     regression, not noise).
+#
+# Usage:
+#   tools/perf_smoke.sh [build-dir]     # default: build
+#
+# The fresh measurement is left in <build-dir>/BENCH_classification.json
+# (plus BENCH_similarity.json / BENCH_mining.json for trend tracking).
+
+set -euo pipefail
+
+SRC=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-build}
+BASELINE="$SRC/BENCH_classification.json"
+BENCH="$SRC/$BUILD/bench/bench_classification"
+
+if [ ! -x "$BENCH" ]; then
+  echo "perf_smoke: $BENCH not built (cmake --build $BUILD --target bench_classification)" >&2
+  exit 1
+fi
+if [ ! -f "$BASELINE" ]; then
+  echo "perf_smoke: no committed baseline at $BASELINE" >&2
+  exit 1
+fi
+
+json_field() {
+  # json_field FILE KEY — value of a numeric field in the flat one-line
+  # JSON the bench binaries emit.
+  grep -o "\"$2\":[0-9.eE+-]*" "$1" | head -1 | cut -d: -f2
+}
+
+cd "$SRC/$BUILD"
+"$BENCH" --json BENCH_classification.json > /dev/null
+# Companion headlines, for trend tracking only (never gate).
+./bench/bench_similarity --json BENCH_similarity.json > /dev/null || true
+./bench/bench_mining --json BENCH_mining.json > /dev/null || true
+
+current=$(json_field BENCH_classification.json docs_per_second)
+mismatches=$(json_field BENCH_classification.json outcome_mismatches)
+speedup=$(json_field BENCH_classification.json speedup)
+baseline=$(json_field "$BASELINE" docs_per_second)
+
+echo "perf_smoke: docs/sec current=$current baseline=$baseline" \
+     "speedup=$speedup mismatches=$mismatches"
+
+if [ "$mismatches" != "0" ]; then
+  echo "perf_smoke: FAIL — fast path diverged from reference outcomes" >&2
+  exit 2
+fi
+
+awk -v cur="$current" -v base="$baseline" 'BEGIN {
+  if (cur * 2 < base) {
+    printf "perf_smoke: FAIL — throughput regressed >2x (%.0f vs %.0f)\n",
+           cur, base > "/dev/stderr"
+    exit 2
+  }
+}'
+
+echo "perf_smoke: OK"
