@@ -149,8 +149,10 @@ ClassificationOutcome Classifier::Classify(const xml::Document& doc) const {
   for (const Candidate& c : candidates) {
     // Never prune before a first exact score exists; afterwards skip any
     // DTD whose bound cannot beat it. σ is deliberately not part of the
-    // cutoff: the best sub-σ score must still be reported exactly.
-    if (best_name != nullptr && c.bound < best_score - kPruneSlack) {
+    // cutoff: the best sub-σ score must still be reported exactly. With
+    // pruning disabled every bound is a meaningless 0.0, so the cutoff
+    // must not fire at all — every DTD gets an exact evaluation.
+    if (prune && best_name != nullptr && c.bound < best_score - kPruneSlack) {
       outcome.scores[c.index] = {*c.name, c.bound, /*pruned=*/true};
       if (metrics_.evaluations_pruned != nullptr) {
         metrics_.evaluations_pruned->Increment();

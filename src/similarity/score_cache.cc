@@ -1,6 +1,8 @@
 #include "similarity/score_cache.h"
 
 #include <algorithm>
+#include <functional>
+#include <string_view>
 
 #include "util/string_util.h"
 
@@ -24,6 +26,20 @@ inline uint64_t Mix64(uint64_t h, uint64_t v) {
 constexpr uint64_t kPcdataMarker = 0xF1E2D3C4B5A69788ull;
 /// Marker closing a child list, so (a,(b)) and (a,b) hash differently.
 constexpr uint64_t kEndMarker = 0x123456789ABCDEF0ull;
+/// Seed distinguishing string-hashed tag tokens from dense ids.
+constexpr uint64_t kOverflowTagSeed = 0xA24BAED4963EE407ull;
+
+/// The value a tag absorbs into the fingerprint. Past the symbol table's
+/// capacity distinct tags share the kNoSymbol sentinel, so the id alone
+/// would fingerprint structurally different subtrees identically and
+/// alias their cached triples — hash the tag string instead.
+inline uint64_t TagToken(const xml::Element& element) {
+  if (element.tag_id() >= 0) {
+    return static_cast<uint64_t>(element.tag_id());
+  }
+  return Mix64(kOverflowTagSeed,
+               std::hash<std::string_view>{}(element.tag()));
+}
 
 }  // namespace
 
@@ -36,8 +52,9 @@ SubtreeStats SubtreeFingerprints::Compute(const xml::Element& element) {
   // The two lanes absorb the same values under different seeds; together
   // they form a 128-bit fingerprint, making accidental collisions across
   // a cache lifetime negligible.
-  uint64_t hi = Mix64(0x8A5CD789635D2DFFull, static_cast<uint64_t>(element.tag_id()));
-  uint64_t lo = Mix64(0x121FD2155C472F96ull, ~static_cast<uint64_t>(element.tag_id()));
+  const uint64_t tag_token = TagToken(element);
+  uint64_t hi = Mix64(0x8A5CD789635D2DFFull, tag_token);
+  uint64_t lo = Mix64(0x121FD2155C472F96ull, ~tag_token);
   uint32_t count = 1;
   // Mirror the ContentSymbols collapse rules exactly: blank text skipped,
   // consecutive non-blank text runs count once.

@@ -108,9 +108,14 @@ double SimilarityEvaluator::TagScore(const std::string& a,
 double SimilarityEvaluator::TagScoreId(int32_t a_id, const std::string& a,
                                        int32_t b_id,
                                        const std::string& b) const {
-  if (a_id == b_id) return 1.0;
-  if (options_.thesaurus == nullptr) return 0.0;
-  return options_.thesaurus->Score(a, b);
+  if (a_id >= 0 && b_id >= 0) {
+    if (a_id == b_id) return 1.0;
+    if (options_.thesaurus == nullptr) return 0.0;
+    return options_.thesaurus->Score(a, b);
+  }
+  // Interning overflow: every overflow tag shares the kNoSymbol sentinel,
+  // so a sentinel id is not discriminating — compare the strings.
+  return TagScore(a, b);
 }
 
 const dtd::Automaton* SimilarityEvaluator::FindAutomaton(

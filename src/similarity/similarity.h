@@ -264,7 +264,10 @@ class SimilarityEvaluator {
 
   /// Tag similarity per options (1/0 equality unless a thesaurus is set).
   double TagScore(const std::string& a, const std::string& b) const;
-  /// Id fast path: equal ids short-circuit to 1 without touching strings.
+  /// Id fast path: equal non-negative ids short-circuit to 1 without
+  /// touching strings. A negative id is the interning-overflow sentinel
+  /// shared by every overflow tag, so either side being negative falls
+  /// back to `TagScore` on the strings.
   double TagScoreId(int32_t a_id, const std::string& a, int32_t b_id,
                     const std::string& b) const;
 

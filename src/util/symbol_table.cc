@@ -16,6 +16,29 @@ int32_t SymbolTable::Intern(std::string_view name) {
   int32_t id = static_cast<int32_t>(names_.size());
   names_.emplace_back(name);
   index_.emplace(names_.back(), id);
+  bytes_ += name.size();
+  return id;
+}
+
+int32_t SymbolTable::InternBounded(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    if (names_.size() >= max_entries_ || bytes_ + name.size() > max_bytes_) {
+      return kNoSymbol;
+    }
+  }
+  std::unique_lock lock(mutex_);
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  if (names_.size() >= max_entries_ || bytes_ + name.size() > max_bytes_) {
+    return kNoSymbol;
+  }
+  int32_t id = static_cast<int32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  bytes_ += name.size();
   return id;
 }
 
@@ -35,6 +58,12 @@ size_t SymbolTable::size() const {
   return names_.size();
 }
 
+void SymbolTable::set_capacity(size_t max_entries, size_t max_bytes) {
+  std::unique_lock lock(mutex_);
+  max_entries_ = max_entries;
+  max_bytes_ = max_bytes;
+}
+
 SymbolTable& GlobalSymbols() {
   static SymbolTable* table = new SymbolTable();
   return *table;
@@ -42,6 +71,10 @@ SymbolTable& GlobalSymbols() {
 
 int32_t InternSymbol(std::string_view name) {
   return GlobalSymbols().Intern(name);
+}
+
+int32_t InternSymbolBounded(std::string_view name) {
+  return GlobalSymbols().InternBounded(name);
 }
 
 }  // namespace dtdevolve::util

@@ -17,24 +17,52 @@ namespace dtdevolve::util {
 ///
 /// Ids are append-only: once assigned, an id never changes and its name is
 /// never freed, so `NameOf` results stay valid for the process lifetime.
+/// That permanence is also an exposure: the ingest server parses untrusted
+/// XML, and a stream of documents with unbounded distinct tag names would
+/// grow an uncapped table without bound. Untrusted callers therefore use
+/// `InternBounded`, which stops assigning ids once the capacity is reached
+/// and returns `kNoSymbol` instead; consumers treat `kNoSymbol` as "no
+/// dense id" and fall back to string comparison (two distinct overflow
+/// tags share the sentinel, so the sentinel must never be compared for
+/// equality as if it were an id). `Intern` stays unbounded and is
+/// reserved for trusted bounded-vocabulary callers (DTD declarations,
+/// automaton labels) whose ids must exist for correctness.
 /// All entry points are thread-safe (readers share, interning excludes).
 class SymbolTable {
  public:
+  /// Sentinel returned by `InternBounded`/`Find` when no id exists.
+  static constexpr int32_t kNoSymbol = -1;
+  /// Default capacity: far above any legitimate tag vocabulary, small
+  /// enough that a hostile stream cannot exhaust process memory.
+  static constexpr size_t kDefaultMaxEntries = size_t{1} << 20;
+  static constexpr size_t kDefaultMaxBytes = size_t{64} << 20;
+
   SymbolTable() = default;
 
   SymbolTable(const SymbolTable&) = delete;
   SymbolTable& operator=(const SymbolTable&) = delete;
 
   /// Returns the id of `name`, assigning the next dense id on first sight.
+  /// Unbounded — trusted, bounded-vocabulary callers only.
   int32_t Intern(std::string_view name);
 
-  /// Returns the id of `name`, or -1 when it was never interned.
+  /// Returns the id of `name` if it is already interned; otherwise assigns
+  /// the next dense id unless the table is at capacity, in which case it
+  /// returns `kNoSymbol` without inserting. The untrusted-input entry
+  /// point: names already interned (e.g. DTD labels) always resolve.
+  int32_t InternBounded(std::string_view name);
+
+  /// Returns the id of `name`, or `kNoSymbol` when it was never interned.
   int32_t Find(std::string_view name) const;
 
   /// Name of an interned id. `id` must come from `Intern`.
   const std::string& NameOf(int32_t id) const;
 
   size_t size() const;
+
+  /// Caps future `InternBounded` growth (existing entries are kept even if
+  /// over the new cap). Primarily a test hook for forcing overflow.
+  void set_capacity(size_t max_entries, size_t max_bytes);
 
  private:
   struct Hash {
@@ -55,6 +83,9 @@ class SymbolTable {
   /// Deque: growth never moves existing strings, so `NameOf` references
   /// stay stable without copying.
   std::deque<std::string> names_;
+  size_t bytes_ = 0;  // total bytes of interned names
+  size_t max_entries_ = kDefaultMaxEntries;
+  size_t max_bytes_ = kDefaultMaxBytes;
 };
 
 /// The process-wide table interning element tags and DTD labels. Shared by
@@ -64,6 +95,10 @@ SymbolTable& GlobalSymbols();
 
 /// Shorthand for `GlobalSymbols().Intern(name)`.
 int32_t InternSymbol(std::string_view name);
+
+/// Shorthand for `GlobalSymbols().InternBounded(name)` — the entry point
+/// for names originating in untrusted documents.
+int32_t InternSymbolBounded(std::string_view name);
 
 }  // namespace dtdevolve::util
 

@@ -77,17 +77,23 @@ class Element : public Node {
   explicit Element(std::string tag)
       : Node(Kind::kElement),
         tag_(std::move(tag)),
-        tag_id_(util::InternSymbol(tag_)) {}
+        tag_id_(util::InternSymbolBounded(tag_)) {}
 
   const std::string& tag() const { return tag_; }
   void set_tag(std::string tag) {
     tag_ = std::move(tag);
-    tag_id_ = util::InternSymbol(tag_);
+    tag_id_ = util::InternSymbolBounded(tag_);
   }
 
   /// Dense id of the tag in `util::GlobalSymbols()`, interned at
   /// construction — the similarity hot path compares these instead of
-  /// strings.
+  /// strings. Tags come from untrusted documents, so interning is
+  /// bounded: past the table's capacity this is
+  /// `util::SymbolTable::kNoSymbol`, which is shared by every overflow
+  /// tag and therefore never meaningful under `==` — consumers must fall
+  /// back to comparing `tag()` strings. A tag that matches any DTD label
+  /// always resolves to the label's real id, so an overflow id also
+  /// certifies the tag is undeclared in every loaded DTD.
   int32_t tag_id() const { return tag_id_; }
 
   const std::vector<Attribute>& attributes() const { return attributes_; }

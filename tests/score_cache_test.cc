@@ -14,6 +14,7 @@
 #include "dtd/dtd_parser.h"
 #include "similarity/score_cache.h"
 #include "similarity/similarity.h"
+#include "util/symbol_table.h"
 #include "workload/generator.h"
 #include "workload/mutator.h"
 #include "workload/scenarios.h"
@@ -51,6 +52,44 @@ Corpus MakeCorpus(uint64_t seed, uint64_t docs_per_phase) {
     corpus.dtds.push_back(scenario.InitialDtd());
     while (!scenario.Done()) corpus.docs.push_back(scenario.Next());
   }
+  return corpus;
+}
+
+/// DTDs sharing one root tag but diverging content models. The scenario
+/// corpus above has mutually distinct roots, so the root-tag gate zeroes
+/// almost every cross-DTD score and a mis-firing cutoff skips only DTDs
+/// that would have scored 0 anyway; here every DTD scores non-zero
+/// against every document, so pruning decisions discriminate between
+/// live scores.
+Corpus MakeSharedRootCorpus() {
+  Corpus corpus;
+  corpus.names = {"article-v1", "article-v2", "article-v3"};
+  corpus.dtds.push_back(MakeDtd(R"(
+      <!ELEMENT article (title, body)>
+      <!ELEMENT title (#PCDATA)> <!ELEMENT body (#PCDATA)>)"));
+  corpus.dtds.push_back(MakeDtd(R"(
+      <!ELEMENT article (title, author, body)>
+      <!ELEMENT title (#PCDATA)> <!ELEMENT author (#PCDATA)>
+      <!ELEMENT body (#PCDATA)>)"));
+  corpus.dtds.push_back(MakeDtd(R"(
+      <!ELEMENT article (title, author+, abstract?, body, ref*)>
+      <!ELEMENT title (#PCDATA)> <!ELEMENT author (#PCDATA)>
+      <!ELEMENT abstract (#PCDATA)> <!ELEMENT body (#PCDATA)>
+      <!ELEMENT ref (#PCDATA)>)"));
+  const char* docs[] = {
+      // Exact matches for each version.
+      "<article><title>t</title><body>b</body></article>",
+      "<article><title>t</title><author>a</author><body>b</body></article>",
+      "<article><title>t</title><author>a</author><author>c</author>"
+      "<abstract>s</abstract><body>b</body><ref>r</ref></article>",
+      // Partial / drifted documents: no version fits perfectly.
+      "<article><title>t</title><author>a</author></article>",
+      "<article><body>b</body><extra>x</extra></article>",
+      "<article><title>t</title><note>n</note><body>b</body></article>",
+      "<article><author>a</author><abstract>s</abstract><ref>r</ref>"
+      "</article>",
+  };
+  for (const char* text : docs) corpus.docs.push_back(MakeDoc(text));
   return corpus;
 }
 
@@ -127,6 +166,60 @@ TEST(FastPathTest, PruningAloneIsOutcomeIdentical) {
   // Distinct scenario roots: most cross-DTD evaluations must be pruned,
   // or the fast path is not actually fast.
   EXPECT_GT(pruned_entries, corpus.docs.size());
+}
+
+TEST(FastPathTest, PruningDisabledEvaluatesEveryDtd) {
+  // Regression: with pruning off every candidate bound is a meaningless
+  // 0.0; an unguarded cutoff skipped everything after the first exact
+  // score and returned the lexicographically-first DTD instead of the
+  // true match. Shared root tags make the wrong answer visible — with
+  // distinct roots the skipped DTDs would have scored 0 anyway.
+  Corpus corpus = MakeSharedRootCorpus();
+  classify::Classifier plain(0.5, {}, PlainOptions());
+  for (size_t i = 0; i < corpus.dtds.size(); ++i) {
+    plain.AddDtd(corpus.names[i], &corpus.dtds[i]);
+  }
+  // docs[1] matches article-v2 exactly; v1 and v3 score below 1.0.
+  classify::ClassificationOutcome outcome = plain.Classify(corpus.docs[1]);
+  EXPECT_EQ(outcome.dtd_name, "article-v2");
+  EXPECT_DOUBLE_EQ(outcome.similarity, 1.0);
+  EXPECT_TRUE(outcome.classified);
+  for (const classify::ScoreEntry& entry : outcome.scores) {
+    EXPECT_FALSE(entry.pruned) << entry.dtd_name;
+    EXPECT_GT(entry.similarity, 0.0) << entry.dtd_name;  // shared root
+  }
+}
+
+TEST(FastPathTest, SharedRootOutcomesMatchPlainEvaluation) {
+  // Every DTD scores non-zero against every document here, so the prune
+  // cutoff and the shared cache are exercised on scores that actually
+  // discriminate — not hidden behind the root-tag gate.
+  Corpus corpus = MakeSharedRootCorpus();
+  classify::Classifier fast(0.5);  // pruning + cache defaults
+  classify::ClassifierOptions prune_only = PlainOptions();
+  prune_only.enable_pruning = true;
+  classify::Classifier pruned(0.5, {}, prune_only);
+  classify::Classifier plain(0.5, {}, PlainOptions());
+  for (size_t i = 0; i < corpus.dtds.size(); ++i) {
+    fast.AddDtd(corpus.names[i], &corpus.dtds[i]);
+    pruned.AddDtd(corpus.names[i], &corpus.dtds[i]);
+    plain.AddDtd(corpus.names[i], &corpus.dtds[i]);
+  }
+  size_t pruned_entries = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const xml::Document& doc : corpus.docs) {
+      classify::ClassificationOutcome reference = plain.Classify(doc);
+      ExpectSameOutcome(fast.Classify(doc), reference, "shared-root fast");
+      classify::ClassificationOutcome prune_outcome = pruned.Classify(doc);
+      ExpectSameOutcome(prune_outcome, reference, "shared-root prune-only");
+      for (const classify::ScoreEntry& entry : prune_outcome.scores) {
+        if (entry.pruned) ++pruned_entries;
+      }
+    }
+  }
+  // docs[2] (an exact article-v3 match whose vocabulary overhangs v1/v2)
+  // must let the cutoff fire on non-zero bounds.
+  EXPECT_GT(pruned_entries, 0u);
 }
 
 // --- Score bound admissibility ----------------------------------------------
@@ -277,6 +370,98 @@ TEST(SubtreeFingerprintsTest, StructureDeterminesFingerprint) {
       other.Find(&b.root().children()[0]->AsElement());
   ASSERT_NE(s3, nullptr);
   EXPECT_FALSE(s3->fp_hi == s1->fp_hi && s3->fp_lo == s1->fp_lo);
+}
+
+// --- Symbol interning overflow -----------------------------------------------
+
+/// Freezes the global symbol table (no new bounded ids) for one test and
+/// restores the default capacity on scope exit, pass or fail.
+struct FrozenSymbolsGuard {
+  FrozenSymbolsGuard() { util::GlobalSymbols().set_capacity(0, 0); }
+  ~FrozenSymbolsGuard() {
+    util::GlobalSymbols().set_capacity(util::SymbolTable::kDefaultMaxEntries,
+                                       util::SymbolTable::kDefaultMaxBytes);
+  }
+};
+
+TEST(FastPathTest, OverflowTagsClassifyByStringFallback) {
+  // A hostile stream of endless distinct tags eventually fills the
+  // bounded table; from then on fresh tags share the kNoSymbol sentinel
+  // and classification must degrade to string comparison, not confuse
+  // distinct tags whose sentinel ids compare equal.
+  dtd::Dtd dtd = MakeDtd(R"(
+    <!ELEMENT mail (from, body)>
+    <!ELEMENT from (#PCDATA)> <!ELEMENT body (#PCDATA)>
+  )");
+  classify::Classifier fast(0.5);
+  classify::Classifier plain(0.5, {}, PlainOptions());
+  fast.AddDtd("mail", &dtd);
+  plain.AddDtd("mail", &dtd);
+
+  FrozenSymbolsGuard frozen;
+  // DTD labels were interned (unbounded) before the freeze: a conforming
+  // document still resolves every tag and scores exactly 1.0.
+  xml::Document conforming =
+      MakeDoc("<mail><from>a</from><body>b</body></mail>");
+  EXPECT_DOUBLE_EQ(fast.Classify(conforming).similarity, 1.0);
+
+  // Novel tags overflow to the sentinel…
+  xml::Document drifted = MakeDoc(
+      "<mail><from>a</from><ovfl-alpha/><body>b</body></mail>");
+  ASSERT_EQ(drifted.root().ChildElements()[1]->tag_id(),
+            util::SymbolTable::kNoSymbol);
+  // …and the fast path still agrees with the plain string-truth path,
+  // scoring the overflow child as undeclared drift.
+  for (int pass = 0; pass < 2; ++pass) {
+    classify::ClassificationOutcome outcome = fast.Classify(drifted);
+    ExpectSameOutcome(outcome, plain.Classify(drifted), "overflow drift");
+    EXPECT_LT(outcome.similarity, 1.0);
+    EXPECT_GT(outcome.similarity, 0.0);
+  }
+
+  // Two documents differing only in their overflow tag are distinct
+  // inputs; sentinel-id equality must not make one borrow the other's
+  // cached or compared identity.
+  xml::Document other = MakeDoc(
+      "<mail><from>a</from><ovfl-beta/><body>b</body></mail>");
+  ExpectSameOutcome(fast.Classify(other), plain.Classify(other),
+                    "overflow variant");
+
+  // An overflow *root* shares no tag with the DTD root: score 0.
+  xml::Document alien_root = MakeDoc("<ovfl-root><from>a</from></ovfl-root>");
+  ASSERT_EQ(alien_root.root().tag_id(), util::SymbolTable::kNoSymbol);
+  classify::ClassificationOutcome alien = fast.Classify(alien_root);
+  EXPECT_DOUBLE_EQ(alien.similarity, 0.0);
+  EXPECT_FALSE(alien.classified);
+}
+
+TEST(SubtreeFingerprintsTest, OverflowTagsKeepDistinctFingerprints) {
+  // Sentinel ids alone would fingerprint structurally different subtrees
+  // identically and alias their cached triples; overflow tags must hash
+  // by string instead.
+  FrozenSymbolsGuard frozen;
+  xml::Document a = MakeDoc("<r><ovfp-one/></r>");
+  xml::Document b = MakeDoc("<r><ovfp-two/></r>");
+  const xml::Element& child_a = a.root().children()[0]->AsElement();
+  const xml::Element& child_b = b.root().children()[0]->AsElement();
+  ASSERT_EQ(child_a.tag_id(), util::SymbolTable::kNoSymbol);
+  ASSERT_EQ(child_b.tag_id(), util::SymbolTable::kNoSymbol);
+  similarity::SubtreeFingerprints fps_a(a.root());
+  similarity::SubtreeFingerprints fps_b(b.root());
+  const similarity::SubtreeStats* sa = fps_a.Find(&child_a);
+  const similarity::SubtreeStats* sb = fps_b.Find(&child_b);
+  ASSERT_NE(sa, nullptr);
+  ASSERT_NE(sb, nullptr);
+  EXPECT_FALSE(sa->fp_hi == sb->fp_hi && sa->fp_lo == sb->fp_lo);
+  // Same overflow tag, same structure: fingerprints still agree, so the
+  // cross-document cache keeps working for overflow subtrees.
+  xml::Document c = MakeDoc("<r><ovfp-one/></r>");
+  similarity::SubtreeFingerprints fps_c(c.root());
+  const similarity::SubtreeStats* sc =
+      fps_c.Find(&c.root().children()[0]->AsElement());
+  ASSERT_NE(sc, nullptr);
+  EXPECT_EQ(sa->fp_hi, sc->fp_hi);
+  EXPECT_EQ(sa->fp_lo, sc->fp_lo);
 }
 
 // --- Concurrency -------------------------------------------------------------

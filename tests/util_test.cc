@@ -2,9 +2,36 @@
 
 #include "util/status.h"
 #include "util/string_util.h"
+#include "util/symbol_table.h"
 
 namespace dtdevolve {
 namespace {
+
+TEST(SymbolTableTest, BoundedInterningStopsAtCapacity) {
+  util::SymbolTable table;
+  table.set_capacity(/*max_entries=*/2, /*max_bytes=*/1024);
+  EXPECT_EQ(table.InternBounded("a"), 0);
+  EXPECT_EQ(table.InternBounded("b"), 1);
+  // At capacity: new names overflow to the sentinel without inserting.
+  EXPECT_EQ(table.InternBounded("c"), util::SymbolTable::kNoSymbol);
+  EXPECT_EQ(table.Find("c"), util::SymbolTable::kNoSymbol);
+  EXPECT_EQ(table.size(), 2u);
+  // Names interned before the cap was hit still resolve.
+  EXPECT_EQ(table.InternBounded("a"), 0);
+  // Trusted interning ignores the cap (DTD labels must always get ids)…
+  EXPECT_EQ(table.Intern("c"), 2);
+  // …and the bounded path then resolves the existing entry.
+  EXPECT_EQ(table.InternBounded("c"), 2);
+}
+
+TEST(SymbolTableTest, BoundedInterningRespectsByteBudget) {
+  util::SymbolTable table;
+  table.set_capacity(/*max_entries=*/100, /*max_bytes=*/8);
+  EXPECT_EQ(table.InternBounded("abcd"), 0);
+  EXPECT_EQ(table.InternBounded("efgh"), 1);  // budget now exhausted
+  EXPECT_EQ(table.InternBounded("x"), util::SymbolTable::kNoSymbol);
+  EXPECT_EQ(table.InternBounded("abcd"), 0);  // existing entries unaffected
+}
 
 TEST(StatusTest, OkByDefault) {
   Status status;
