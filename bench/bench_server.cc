@@ -5,7 +5,13 @@
 // from concurrent clients with drifted mail documents, and reports
 // end-to-end throughput and latency percentiles:
 //
-//   bench_server [--docs N] [--clients C] [--jobs J] [--drift D] [--out F]
+//   bench_server [--docs N] [--clients C] [--jobs J] [--drift D]
+//                [--tenants T] [--out F]
+//
+// `--tenants T` (default 1) boots T tenant shards (t0..t{T-1}) and
+// spreads the load round-robin over `/ingest/t{i}` — a mixed
+// multi-tenant workload over the shared thread pool, with evolutions
+// and repository sizes summed across shards in the report.
 //
 // Output: one JSON object on stdout, duplicated to --out (default
 // BENCH_server.json) — docs/sec, p50/p99 latency in ms, how many
@@ -40,6 +46,7 @@ struct LoadOptions {
   size_t clients = 8;
   size_t jobs = 4;
   double drift = 0.3;
+  size_t tenants = 1;
   std::string out = "BENCH_server.json";
 };
 
@@ -47,7 +54,8 @@ struct LoadOptions {
 /// code, or 0 on transport failure. When the response carries a
 /// Retry-After header (503 backpressure, WAL degraded mode),
 /// `*retry_after_ms` receives it in milliseconds; 0 otherwise.
-int PostIngest(uint16_t port, const std::string& body, long* retry_after_ms) {
+int PostIngest(uint16_t port, const std::string& target,
+               const std::string& body, long* retry_after_ms) {
   if (retry_after_ms != nullptr) *retry_after_ms = 0;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return 0;
@@ -60,7 +68,7 @@ int PostIngest(uint16_t port, const std::string& body, long* retry_after_ms) {
     return 0;
   }
   const std::string request =
-      "POST /ingest?wait=1 HTTP/1.1\r\nHost: bench\r\nContent-Length: " +
+      "POST " + target + " HTTP/1.1\r\nHost: bench\r\nContent-Length: " +
       std::to_string(body.size()) + "\r\n\r\n" + body;
   size_t sent = 0;
   while (sent < request.size()) {
@@ -122,6 +130,11 @@ int Run(const LoadOptions& options) {
   server_options.port = 0;
   server_options.jobs = options.jobs;
   server_options.queue_capacity = std::max<size_t>(64, options.clients * 8);
+  if (options.tenants > 1) {
+    for (size_t t = 0; t < options.tenants; ++t) {
+      server_options.tenants.push_back("t" + std::to_string(t));
+    }
+  }
   server::IngestServer server(source_options, server_options);
   {
     // Seed with the DTD text, not the parsed form: same path as the CLI.
@@ -159,9 +172,15 @@ int Run(const LoadOptions& options) {
       while (true) {
         const size_t i = next.fetch_add(1);
         if (i >= bodies.size()) break;
+        // Mixed multi-tenant load: document i goes to shard i mod T.
+        const std::string target =
+            options.tenants > 1
+                ? "/ingest/t" + std::to_string(i % options.tenants) + "?wait=1"
+                : "/ingest?wait=1";
         const auto t0 = std::chrono::steady_clock::now();
         long retry_after_ms = 0;
-        int status = PostIngest(server.port(), bodies[i], &retry_after_ms);
+        int status =
+            PostIngest(server.port(), target, bodies[i], &retry_after_ms);
         // Backpressure: retry the same document with exponential backoff,
         // never sleeping less than the server's advertised Retry-After.
         long backoff_ms = 2;
@@ -171,7 +190,8 @@ int Run(const LoadOptions& options) {
           backoff_ms_total.fetch_add(static_cast<uint64_t>(wait_ms));
           std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
           backoff_ms = std::min<long>(backoff_ms * 2, 1000);
-          status = PostIngest(server.port(), bodies[i], &retry_after_ms);
+          status =
+              PostIngest(server.port(), target, bodies[i], &retry_after_ms);
         }
         const auto t1 = std::chrono::steady_clock::now();
         if (status != 200) {
@@ -199,21 +219,27 @@ int Run(const LoadOptions& options) {
 
   const double docs_per_second =
       elapsed > 0 ? static_cast<double>(all.size()) / elapsed : 0.0;
-  char json[640];
+  uint64_t evolutions = 0;
+  size_t repository = 0;
+  for (const std::string& tenant : server.manager().TenantNames()) {
+    evolutions += server.source(tenant).evolutions_performed();
+    repository += server.source(tenant).repository().size();
+  }
+  char json[704];
   std::snprintf(
       json, sizeof(json),
       "{\"benchmark\":\"server_ingest\",\"docs\":%zu,\"clients\":%zu,"
-      "\"jobs\":%zu,\"drift\":%g,\"seconds\":%.3f,"
+      "\"jobs\":%zu,\"drift\":%g,\"tenants\":%zu,\"seconds\":%.3f,"
       "\"docs_per_second\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
       "\"rejected_503\":%llu,\"backoff_ms\":%llu,\"failed\":%llu,"
       "\"evolutions\":%llu,\"repository\":%zu}\n",
-      options.docs, options.clients, options.jobs, options.drift, elapsed,
-      docs_per_second, Percentile(all, 0.50), Percentile(all, 0.99),
+      options.docs, options.clients, options.jobs, options.drift,
+      options.tenants, elapsed, docs_per_second, Percentile(all, 0.50),
+      Percentile(all, 0.99),
       static_cast<unsigned long long>(rejected.load()),
       static_cast<unsigned long long>(backoff_ms_total.load()),
       static_cast<unsigned long long>(failed.load()),
-      static_cast<unsigned long long>(server.source().evolutions_performed()),
-      server.source().repository().size());
+      static_cast<unsigned long long>(evolutions), repository);
   std::fputs(json, stdout);
   if (!options.out.empty()) {
     if (std::FILE* f = std::fopen(options.out.c_str(), "w")) {
@@ -252,6 +278,10 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return 1;
       options.drift = std::atof(v);
+    } else if (arg == "--tenants") {
+      const char* v = value();
+      if (v == nullptr || std::atol(v) <= 0) return 1;
+      options.tenants = static_cast<size_t>(std::atol(v));
     } else if (arg == "--out") {
       const char* v = value();
       if (v == nullptr) return 1;
@@ -259,7 +289,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_server [--docs N] [--clients C] [--jobs J] "
-                   "[--drift D] [--out F]\n");
+                   "[--drift D] [--tenants T] [--out F]\n");
       return 1;
     }
   }

@@ -26,16 +26,22 @@ Classifier::Classifier(double sigma, similarity::SimilarityOptions options,
     : sigma_(sigma),
       options_(options),
       classifier_options_(classifier_options) {
-  if (classifier_options_.enable_score_cache &&
-      classifier_options_.score_cache_bytes > 0) {
-    similarity::SubtreeScoreCache::Config config;
-    config.capacity_bytes = classifier_options_.score_cache_bytes;
-    cache_ = std::make_unique<similarity::SubtreeScoreCache>(config);
+  if (classifier_options_.enable_score_cache) {
+    if (classifier_options_.shared_cache != nullptr) {
+      shared_cache_ = classifier_options_.shared_cache;
+    } else if (classifier_options_.score_cache_bytes > 0) {
+      similarity::SubtreeScoreCache::Config config;
+      config.capacity_bytes = classifier_options_.score_cache_bytes;
+      cache_ = std::make_unique<similarity::SubtreeScoreCache>(config);
+    }
   }
 }
 
 void Classifier::set_metrics(const ClassifierMetrics& metrics) {
   metrics_ = metrics;
+  // Cache traffic counters are installed only on an owned cache: a shared
+  // cache is wired once by its owner, and letting every sharing
+  // classifier re-install its own counters would clobber the others'.
   if (cache_ != nullptr) {
     cache_->set_metrics(metrics.cache_hits, metrics.cache_misses,
                         metrics.cache_evictions);
@@ -47,7 +53,7 @@ void Classifier::AddDtd(const std::string& name, const dtd::Dtd* dtd) {
   dtds_[name] = dtd;
   auto evaluator =
       std::make_unique<similarity::SimilarityEvaluator>(*dtd, options_);
-  evaluator->set_shared_cache(cache_.get());
+  evaluator->set_shared_cache(effective_cache());
   evaluators_[name] = std::move(evaluator);
 }
 
@@ -64,7 +70,7 @@ void Classifier::Invalidate(const std::string& name) {
   // the invalidation.
   auto evaluator = std::make_unique<similarity::SimilarityEvaluator>(
       *it->second, options_);
-  evaluator->set_shared_cache(cache_.get());
+  evaluator->set_shared_cache(effective_cache());
   evaluators_[name] = std::move(evaluator);
 }
 
@@ -72,7 +78,7 @@ void Classifier::InvalidateAll() {
   for (const auto& [name, dtd] : dtds_) {
     auto evaluator =
         std::make_unique<similarity::SimilarityEvaluator>(*dtd, options_);
-    evaluator->set_shared_cache(cache_.get());
+    evaluator->set_shared_cache(effective_cache());
     evaluators_[name] = std::move(evaluator);
   }
 }
@@ -108,7 +114,7 @@ ClassificationOutcome Classifier::Classify(const xml::Document& doc) const {
     root_symbol_ids = validate::ContentSymbolIds(doc.root());
   }
   std::optional<similarity::SubtreeFingerprints> fingerprints;
-  if (cache_ != nullptr && doc.has_root()) {
+  if (effective_cache() != nullptr && doc.has_root()) {
     fingerprints.emplace(doc.root());
   }
   const similarity::SubtreeFingerprints* fingerprints_ptr =

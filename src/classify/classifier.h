@@ -50,6 +50,16 @@ struct ClassifierOptions {
   bool enable_score_cache = true;
   /// Approximate capacity of the shared cache.
   size_t score_cache_bytes = 64ull << 20;
+  /// Optional process-wide cache to use instead of an owned one. Non-
+  /// owning: the pointee must outlive the classifier. Epoch keying makes
+  /// one cache safe to share across any number of classifiers (each
+  /// evaluator draws a globally unique epoch), which the multi-tenant
+  /// `SourceManager` relies on to share a single budget across shards.
+  /// Ignored when `enable_score_cache` is false. A classifier using a
+  /// shared cache never installs its own metrics on it (the cache owner
+  /// wires aggregate counters once); `score_cache_bytes` is likewise the
+  /// owner's concern.
+  similarity::SubtreeScoreCache* shared_cache = nullptr;
 };
 
 /// Similarity of one DTD in `ClassificationOutcome::scores`.
@@ -176,14 +186,21 @@ class Classifier {
   std::optional<double> ScoreBound(const xml::Document& doc,
                                    const std::string& name) const;
 
-  /// The shared subtree score cache, or nullptr when disabled.
+  /// The subtree score cache in use (owned or shared), or nullptr when
+  /// disabled.
   const similarity::SubtreeScoreCache* score_cache() const {
-    return cache_.get();
+    return effective_cache();
   }
 
  private:
   const similarity::SimilarityEvaluator& EvaluatorFor(
       const std::string& name) const;
+
+  /// The cache evaluators score through: the externally shared one when
+  /// configured, else the owned one, else nullptr (caching disabled).
+  similarity::SubtreeScoreCache* effective_cache() const {
+    return shared_cache_ != nullptr ? shared_cache_ : cache_.get();
+  }
 
   double sigma_;
   similarity::SimilarityOptions options_;
@@ -196,8 +213,12 @@ class Classifier {
   std::map<std::string, std::unique_ptr<similarity::SimilarityEvaluator>>
       evaluators_;
   /// Shared across every evaluator, every document and every batch
-  /// worker; null when `enable_score_cache` is off.
+  /// worker; null when `enable_score_cache` is off or an external cache
+  /// was supplied.
   std::unique_ptr<similarity::SubtreeScoreCache> cache_;
+  /// Externally owned process-wide cache (ClassifierOptions::shared_cache)
+  /// — takes precedence over `cache_`; null when not sharing.
+  similarity::SubtreeScoreCache* shared_cache_ = nullptr;
 };
 
 }  // namespace dtdevolve::classify

@@ -58,6 +58,21 @@ bool HttpRequest::QueryFlag(std::string_view key) const {
   return false;
 }
 
+std::string HttpRequest::QueryValue(std::string_view key) const {
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    std::string_view param(query.data() + pos, end - pos);
+    if (param.size() > key.size() && param.substr(0, key.size()) == key &&
+        param[key.size()] == '=') {
+      return std::string(param.substr(key.size() + 1));
+    }
+    pos = end + 1;
+  }
+  return "";
+}
+
 StatusOr<HttpRequest> ReadHttpRequest(int fd, size_t max_body) {
   std::string buffer;
   size_t header_end = std::string::npos;
@@ -120,15 +135,25 @@ StatusOr<HttpRequest> ReadHttpRequest(int fd, size_t max_body) {
   }
   if (first_line) return Status::InvalidArgument("empty HTTP request");
 
+  // Request-smuggling hygiene: every Content-Length occurrence must
+  // parse and agree. Silently honoring the first of two conflicting
+  // lengths is exactly the disagreement smuggling attacks exploit once a
+  // proxy (or a future keep-alive implementation) picks the other one.
   size_t content_length = 0;
-  if (const std::string* value = request.FindHeader("content-length")) {
+  bool have_content_length = false;
+  for (const auto& [key, value] : request.headers) {
+    if (key != "content-length") continue;
     char* end = nullptr;
     errno = 0;
-    const unsigned long long parsed = std::strtoull(value->c_str(), &end, 10);
-    if (errno != 0 || end == value->c_str() || *end != '\0') {
+    const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+    if (errno != 0 || end == value.c_str() || *end != '\0') {
       return Status::InvalidArgument("malformed Content-Length");
     }
+    if (have_content_length && static_cast<size_t>(parsed) != content_length) {
+      return Status::InvalidArgument("conflicting Content-Length headers");
+    }
     content_length = static_cast<size_t>(parsed);
+    have_content_length = true;
   }
   if (content_length > max_body) {
     return Status::InvalidArgument("request body exceeds limit");

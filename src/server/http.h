@@ -28,6 +28,10 @@ struct HttpRequest {
   /// True when the query string contains `key` as `key`, `key=1` or
   /// `key=true`.
   bool QueryFlag(std::string_view key) const;
+  /// Value of the first `key=value` pair in the query string, or empty
+  /// when absent or valueless. No percent-decoding (tenant names and the
+  /// other consumers are plain identifiers).
+  std::string QueryValue(std::string_view key) const;
 };
 
 struct HttpResponse {

@@ -11,9 +11,6 @@
 #include <cstring>
 #include <utility>
 
-#include "dtd/dtd_writer.h"
-#include "evolve/persist.h"
-#include "io/file.h"
 #include "xml/parser.h"
 
 namespace dtdevolve::server {
@@ -50,20 +47,6 @@ std::string FormatDouble(double value) {
   return buffer;
 }
 
-/// Snapshot file names come from user-supplied DTD names; anything that
-/// could traverse directories is flattened.
-std::string SanitizeFileComponent(const std::string& name) {
-  std::string out;
-  out.reserve(name.size());
-  for (char c : name) {
-    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                      (c >= '0' && c <= '9') || c == '-' || c == '_' ||
-                      c == '.';
-    out += safe ? c : '_';
-  }
-  return out.empty() ? "_" : out;
-}
-
 void SetSocketTimeouts(int fd, int recv_seconds, int send_seconds) {
   struct timeval tv;
   tv.tv_usec = 0;
@@ -77,14 +60,58 @@ void SetSocketTimeouts(int fd, int recv_seconds, int send_seconds) {
   }
 }
 
+SourceManagerOptions ManagerOptions(const ServerOptions& options) {
+  SourceManagerOptions manager_options;
+  manager_options.tenants = options.tenants;
+  manager_options.jobs = options.jobs;
+  manager_options.queue_capacity = options.queue_capacity;
+  manager_options.batch_max = options.batch_max;
+  manager_options.snapshot_dir = options.snapshot_dir;
+  manager_options.wal_dir = options.wal_dir;
+  manager_options.fsync_policy = options.fsync_policy;
+  manager_options.fsync_interval = options.fsync_interval;
+  manager_options.wal_segment_bytes = options.wal_segment_bytes;
+  manager_options.checkpoint_interval = options.checkpoint_interval;
+  manager_options.checkpoint_on_shutdown = options.checkpoint_on_shutdown;
+  return manager_options;
+}
+
+/// Serializes one tenant's stats as the flat JSON object `/stats` has
+/// always served (without the surrounding braces' final newline).
+std::string StatsJson(const SourceManager::TenantStats& stats,
+                      bool include_tenant) {
+  std::string body = "{";
+  if (include_tenant) {
+    body += "\"tenant\":\"" + JsonEscape(stats.tenant) + "\",";
+  }
+  body += "\"documents_processed\":" + std::to_string(stats.documents_processed);
+  body += ",\"documents_classified\":" +
+          std::to_string(stats.documents_classified);
+  body += ",\"repository_size\":" + std::to_string(stats.repository_size);
+  body += ",\"evolutions_performed\":" +
+          std::to_string(stats.evolutions_performed);
+  body += ",\"dtds\":{";
+  bool first = true;
+  for (const SourceManager::TenantDtdStats& dtd : stats.dtds) {
+    if (!first) body += ',';
+    first = false;
+    body += "\"" + JsonEscape(dtd.name) + "\":{";
+    body += "\"documents_recorded\":" + std::to_string(dtd.documents_recorded);
+    body += ",\"mean_divergence\":" + FormatDouble(dtd.mean_divergence);
+    body += ",\"documents_ingested\":" + std::to_string(dtd.documents_ingested);
+    body += ",\"evolutions\":" + std::to_string(dtd.evolutions);
+    body += "}";
+  }
+  body += "}}";
+  return body;
+}
+
 }  // namespace
 
 IngestServer::IngestServer(core::SourceOptions source_options,
                            ServerOptions options)
-    : source_(std::move(source_options)), options_(std::move(options)) {
-  if (options_.jobs == 0) options_.jobs = util::ThreadPool::DefaultJobs();
-  if (options_.batch_max == 0) options_.batch_max = 1;
-}
+    : options_(std::move(options)),
+      manager_(std::move(source_options), ManagerOptions(options_)) {}
 
 IngestServer::~IngestServer() {
   Shutdown();
@@ -93,94 +120,27 @@ IngestServer::~IngestServer() {
 
 Status IngestServer::AddDtdText(const std::string& name,
                                 std::string_view dtd_text) {
-  return source_.AddDtdText(name, dtd_text);
+  return manager_.AddDtdText(name, dtd_text);
 }
 
-std::string IngestServer::SnapshotPath(const std::string& name) const {
-  return options_.snapshot_dir + "/" + SanitizeFileComponent(name) +
-         ".dtdstate";
+Status IngestServer::AddTenantDtdText(const std::string& tenant,
+                                      const std::string& name,
+                                      std::string_view dtd_text) {
+  return manager_.AddTenantDtdText(tenant, name, dtd_text);
 }
 
-Status IngestServer::RestoreSnapshots() {
-  if (options_.snapshot_dir.empty()) return Status::Ok();
-  for (const std::string& name : source_.DtdNames()) {
-    const std::string path = SnapshotPath(name);
-    StatusOr<evolve::ExtendedDtd> restored =
-        evolve::LoadExtendedDtdFile(path);
-    if (!restored.ok()) {
-      // A missing snapshot is the normal first boot.
-      if (restored.status().code() == Status::Code::kNotFound) continue;
-      // A truncated or corrupt snapshot must not take the whole server
-      // down — one bad file would turn a partial failure into a total
-      // one. Quarantine it aside (preserving the evidence), count it,
-      // warn, and continue from the seed DTD.
-      Status moved = io::Rename(path, path + ".corrupt");
-      std::string warning = "quarantined corrupt snapshot " + path + " (" +
-                            restored.status().message() + ")";
-      if (!moved.ok()) warning += "; quarantine rename failed";
-      boot_warnings_.push_back(std::move(warning));
-      if (snapshots_quarantined_ != nullptr) {
-        snapshots_quarantined_->Increment();
-      }
-      continue;
-    }
-    DTDEVOLVE_RETURN_IF_ERROR(
-        source_.RestoreExtended(name, std::move(*restored)));
-  }
-  return Status::Ok();
+Status IngestServer::SnapshotNow() { return manager_.SnapshotNow(); }
+
+Status IngestServer::CheckpointNow(uint64_t* captured_lsn) {
+  return manager_.CheckpointAll(captured_lsn);
 }
 
-Status IngestServer::SnapshotNow() {
-  if (options_.snapshot_dir.empty()) return Status::Ok();
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  for (const std::string& name : source_.DtdNames()) {
-    DTDEVOLVE_RETURN_IF_ERROR(evolve::SaveExtendedDtdFile(
-        *source_.FindExtended(name), SnapshotPath(name)));
-  }
-  return Status::Ok();
-}
-
-Status IngestServer::CheckpointNow() {
-  if (wal_ == nullptr) return Status::Ok();
-  // Capture under the state mutex (a consistent cut at applied_lsn_),
-  // but do the disk writes outside it so ingest is not stalled for the
-  // duration of the snapshot I/O.
-  store::CheckpointData data;
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    data = store::CaptureCheckpoint(source_, applied_lsn_);
-  }
-  Status written = store::WriteCheckpoint(options_.wal_dir, data);
-  if (written.ok()) written = wal_->TruncateThrough(data.lsn);
-  if (!written.ok()) {
-    if (checkpoint_errors_ != nullptr) checkpoint_errors_->Increment();
-    return written;
-  }
-  if (checkpoints_ != nullptr) checkpoints_->Increment();
-  if (checkpoint_lsn_gauge_ != nullptr) {
-    checkpoint_lsn_gauge_->Set(static_cast<double>(data.lsn));
-  }
-  return Status::Ok();
-}
-
-void IngestServer::CheckpointLoop() {
-  std::unique_lock<std::mutex> lock(checkpoint_mutex_);
-  for (;;) {
-    checkpoint_cv_.wait_for(lock, options_.checkpoint_interval,
-                            [this] { return checkpoint_stop_; });
-    if (checkpoint_stop_) return;
-    lock.unlock();
-    uint64_t target = 0;
-    {
-      std::lock_guard<std::mutex> state(state_mutex_);
-      target = applied_lsn_;
-    }
-    // Checkpoints are only worth their I/O when the state moved; a
-    // failed attempt is counted and retried next round.
-    if (target > last_checkpoint_lsn_ && CheckpointNow().ok()) {
-      last_checkpoint_lsn_ = target;
-    }
-    lock.lock();
+void IngestServer::CloseSockets() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
   }
 }
 
@@ -189,142 +149,22 @@ Status IngestServer::Start() {
     return Status::FailedPrecondition("server already started");
   }
 
-  // Loop + hot-path instrumentation, all under the one registry that
-  // GET /metrics renders. Wired before recovery so boot-time events
-  // (quarantines, replays) land on registered series.
-  core::SourceMetrics metrics;
-  metrics.documents_processed = &registry_.GetCounter(
-      "dtdevolve_documents_processed_total", "Documents fed into the loop");
-  metrics.documents_classified = &registry_.GetCounter(
-      "dtdevolve_documents_classified_total",
-      "Documents classified into some DTD");
-  metrics.documents_unclassified = &registry_.GetCounter(
-      "dtdevolve_documents_unclassified_total",
-      "Documents left to the repository");
-  metrics.documents_reclassified = &registry_.GetCounter(
-      "dtdevolve_documents_reclassified_total",
-      "Repository documents recovered after evolutions");
-  metrics.trigger_checks = &registry_.GetCounter(
-      "dtdevolve_trigger_checks_total",
-      "Evolution trigger (tau or rule) evaluations");
-  metrics.evolutions = &registry_.GetCounter(
-      "dtdevolve_evolutions_total", "DTD evolutions fired");
-  metrics.documents_scored = &registry_.GetCounter(
-      "dtdevolve_documents_scored_total",
-      "Documents scored against the DTD set");
-  metrics.similarity_evaluations = &registry_.GetCounter(
-      "dtdevolve_similarity_evaluations_total",
-      "Document x DTD similarity evaluations");
-  metrics.evaluations_pruned = &registry_.GetCounter(
-      "dtdevolve_classify_pruned_total",
-      "Document x DTD evaluations skipped by the score upper bound");
-  metrics.score_cache_hits = &registry_.GetCounter(
-      "dtdevolve_score_cache_hits_total",
-      "Shared subtree score cache hits");
-  metrics.score_cache_misses = &registry_.GetCounter(
-      "dtdevolve_score_cache_misses_total",
-      "Shared subtree score cache misses");
-  metrics.score_cache_evictions = &registry_.GetCounter(
-      "dtdevolve_score_cache_evictions_total",
-      "Shared subtree score cache LRU evictions");
-  metrics.score_seconds = &registry_.GetHistogram(
-      "dtdevolve_score_seconds",
-      "Wall-clock seconds scoring one document against the full DTD set",
-      obs::Histogram::DefaultLatencyBounds());
-  metrics.documents_recorded = &registry_.GetCounter(
-      "dtdevolve_documents_recorded_total",
-      "Documents recorded into extended DTDs");
-  metrics.elements_recorded = &registry_.GetCounter(
-      "dtdevolve_elements_recorded_total",
-      "Element instances recorded into extended DTDs");
-  source_.set_metrics(metrics);
-
-  requests_rejected_ = &registry_.GetCounter(
-      "dtdevolve_ingest_rejected_total",
-      "Ingest requests rejected with 503 (queue full)");
-  queue_depth_ = &registry_.GetGauge("dtdevolve_ingest_queue_depth",
-                                     "Documents waiting in the ingest queue");
-  ingest_seconds_ = &registry_.GetHistogram(
-      "dtdevolve_ingest_seconds",
-      "Seconds from enqueue to applied, per document",
-      obs::Histogram::DefaultLatencyBounds());
-  batch_seconds_ = &registry_.GetHistogram(
-      "dtdevolve_ingest_batch_seconds",
-      "Seconds spent in one ProcessBatch round",
-      obs::Histogram::DefaultLatencyBounds());
-  registry_.GetGauge("dtdevolve_ingest_queue_capacity",
-                     "Configured ingest queue bound")
-      .Set(static_cast<double>(options_.queue_capacity));
-  degraded_ = &registry_.GetGauge(
-      "dtdevolve_degraded",
-      "1 while ingest is rejected because the write-ahead log cannot be "
-      "written (e.g. disk full), 0 otherwise");
-  checkpoints_ = &registry_.GetCounter("dtdevolve_checkpoints_total",
-                                       "Checkpoints written successfully");
-  checkpoint_errors_ = &registry_.GetCounter(
-      "dtdevolve_checkpoint_errors_total", "Checkpoint attempts that failed");
-  checkpoint_lsn_gauge_ = &registry_.GetGauge(
-      "dtdevolve_checkpoint_lsn", "LSN of the last durable checkpoint");
-  snapshots_quarantined_ = &registry_.GetCounter(
-      "dtdevolve_snapshots_quarantined_total",
-      "Corrupt snapshots renamed aside at boot");
-
-  if (!options_.snapshot_dir.empty()) {
-    // Snapshots are written lazily (shutdown / SnapshotNow); create the
-    // directory up front so a missing one fails the boot loudly instead
-    // of the final snapshot silently.
-    DTDEVOLVE_RETURN_IF_ERROR(io::CreateDir(options_.snapshot_dir));
-  }
-
-  if (!options_.wal_dir.empty()) {
-    store::WalOptions wal_options;
-    wal_options.dir = options_.wal_dir;
-    wal_options.fsync_policy = options_.fsync_policy;
-    wal_options.fsync_interval = options_.fsync_interval;
-    wal_options.segment_bytes = options_.wal_segment_bytes;
-    recovery_report_ = {};
-    StatusOr<std::unique_ptr<store::Wal>> wal =
-        store::RecoverSource(source_, wal_options, &recovery_report_);
-    if (!wal.ok()) return wal.status();
-    wal_ = std::move(*wal);
-    store::WalMetrics wal_metrics;
-    wal_metrics.appends = &registry_.GetCounter(
-        "dtdevolve_wal_appends_total", "WAL records appended");
-    wal_metrics.append_bytes = &registry_.GetCounter(
-        "dtdevolve_wal_append_bytes_total", "WAL bytes appended");
-    wal_metrics.append_errors = &registry_.GetCounter(
-        "dtdevolve_wal_append_errors_total", "WAL appends that failed");
-    wal_metrics.fsyncs = &registry_.GetCounter("dtdevolve_wal_fsyncs_total",
-                                               "WAL fsync calls");
-    wal_metrics.rotations = &registry_.GetCounter(
-        "dtdevolve_wal_rotations_total", "WAL segment rotations");
-    wal_metrics.truncated_segments = &registry_.GetCounter(
-        "dtdevolve_wal_truncated_segments_total",
-        "WAL segments dropped by checkpoint truncation");
-    wal_->set_metrics(wal_metrics);
-    registry_
-        .GetCounter("dtdevolve_wal_replayed_records_total",
-                    "WAL records replayed during boot recovery")
-        .Increment(recovery_report_.replayed_records);
-    applied_lsn_ = recovery_report_.last_applied_lsn;
-    last_checkpoint_lsn_ = recovery_report_.checkpoint_lsn;
-    checkpoint_lsn_gauge_->Set(
-        static_cast<double>(recovery_report_.checkpoint_lsn));
-    if (!recovery_report_.warning.empty()) {
-      boot_warnings_.push_back(recovery_report_.warning);
-    }
-  } else {
-    DTDEVOLVE_RETURN_IF_ERROR(RestoreSnapshots());
-  }
-
+  // Socket setup first: it is the step most likely to fail on
+  // operator error (port already bound), and failing before recovery
+  // keeps a failed Start trivially retryable. Every error path unwinds
+  // the fds acquired so far — a failed Start used to leak the wake pipe
+  // and the listener because Wait() early-returns when never started.
   if (::pipe(wake_pipe_) != 0) {
+    wake_pipe_[0] = wake_pipe_[1] = -1;
     return Status::Internal(std::string("pipe failed: ") +
                             std::strerror(errno));
   }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
+    const int saved_errno = errno;
+    CloseSockets();
     return Status::Internal(std::string("socket failed: ") +
-                            std::strerror(errno));
+                            std::strerror(saved_errno));
   }
   int enable = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
@@ -336,26 +176,37 @@ Status IngestServer::Start() {
   addr.sin_port = htons(options_.port);
   if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
              sizeof(addr)) != 0) {
+    const int saved_errno = errno;
+    CloseSockets();
     return Status::Internal(std::string("bind failed: ") +
-                            std::strerror(errno));
+                            std::strerror(saved_errno));
   }
   if (::listen(listen_fd_, 128) != 0) {
+    const int saved_errno = errno;
+    CloseSockets();
     return Status::Internal(std::string("listen failed: ") +
-                            std::strerror(errno));
+                            std::strerror(saved_errno));
   }
   socklen_t addr_len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
                 &addr_len);
   port_ = ntohs(addr.sin_port);
 
-  pool_.emplace(options_.jobs);
-  started_ = true;
-  checkpoint_stop_ = false;
-  worker_thread_ = std::thread([this] { IngestWorker(); });
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  if (wal_ != nullptr && options_.checkpoint_interval.count() > 0) {
-    checkpoint_thread_ = std::thread([this] { CheckpointLoop(); });
+  // Shard lifecycle — metrics wiring, storage directories, recovery,
+  // workers, checkpoint thread — lives in the manager. A shard that
+  // recovered during a failed Start is not replayed again on retry.
+  Status manager_started = manager_.Start(&registry_);
+  if (!manager_started.ok()) {
+    CloseSockets();
+    return manager_started;
   }
+
+  // A Shutdown raced against (or issued after) an earlier failed Start
+  // must not make the fresh run unstoppable: the flag guards the
+  // one-shot wake write, so it has to rearm with the new pipe.
+  shutdown_requested_.store(false);
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
 }
 
@@ -373,64 +224,23 @@ void IngestServer::Wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
 
   // Graceful order: (1) no new connections (listener is down), (2) the
-  // worker keeps running un-paused so in-flight wait=1 requests finish,
-  // (3) once connections are gone, drain the queue, (4) snapshot.
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    paused_ = false;
-  }
-  queue_cv_.notify_all();
+  // workers keep running un-paused so in-flight wait=1 requests finish,
+  // (3) once connections are gone, drain every queue, (4) final
+  // checkpoint/sync + snapshot (inside Drain).
+  manager_.ResumeIngest();
   {
     std::unique_lock<std::mutex> lock(conn_mutex_);
     conn_done_cv_.wait(lock, [this] { return active_connections_ == 0; });
   }
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    draining_ = true;
-  }
-  queue_cv_.notify_all();
-  if (worker_thread_.joinable()) worker_thread_.join();
+  manager_.Drain();
 
-  {
-    std::lock_guard<std::mutex> lock(checkpoint_mutex_);
-    checkpoint_stop_ = true;
-  }
-  checkpoint_cv_.notify_all();
-  if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
-
-  if (wal_ != nullptr) {
-    if (options_.checkpoint_on_shutdown) {
-      CheckpointNow();
-    } else {
-      // Crash-simulation mode: leave only the log behind, but make sure
-      // everything acked under a lazy fsync policy reaches the disk.
-      wal_->Sync();
-    }
-  }
-  SnapshotNow();
-
-  if (pool_) pool_->Shutdown();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  for (int& fd : wake_pipe_) {
-    if (fd >= 0) ::close(fd);
-    fd = -1;
-  }
-  listen_fd_ = -1;
+  CloseSockets();
   started_ = false;
 }
 
-void IngestServer::PauseIngest() {
-  std::lock_guard<std::mutex> lock(queue_mutex_);
-  paused_ = true;
-}
+void IngestServer::PauseIngest() { manager_.PauseIngest(); }
 
-void IngestServer::ResumeIngest() {
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    paused_ = false;
-  }
-  queue_cv_.notify_all();
-}
+void IngestServer::ResumeIngest() { manager_.ResumeIngest(); }
 
 void IngestServer::AcceptLoop() {
   for (;;) {
@@ -469,10 +279,13 @@ void IngestServer::HandleConnection(int fd) {
     // into "other".
     std::string path_label = "other";
     for (const char* known :
-         {"/ingest", "/dtds", "/stats", "/metrics", "/healthz"}) {
+         {"/ingest", "/dtds", "/stats", "/metrics", "/healthz", "/tenants"}) {
       if (request->path == known) path_label = known;
     }
     if (request->path.rfind("/dtds/", 0) == 0) path_label = "/dtds/{name}";
+    if (request->path.rfind("/ingest/", 0) == 0) {
+      path_label = "/ingest/{tenant}";
+    }
     registry_
         .GetCounter("dtdevolve_http_requests_total", "HTTP requests served",
                     {{"path", path_label},
@@ -505,9 +318,13 @@ HttpResponse IngestServer::Route(const HttpRequest& request) {
     return {200, "text/plain; version=0.0.4; charset=utf-8", {},
             registry_.RenderPrometheus()};
   }
-  if (request.path == "/ingest") {
+  if (request.path == "/ingest" || request.path.rfind("/ingest/", 0) == 0) {
     if (request.method != "POST") return {405, "text/plain", {}, ""};
     return HandleIngest(request);
+  }
+  if (request.path == "/tenants") {
+    if (request.method != "GET") return {405, "text/plain", {}, ""};
+    return HandleTenants();
   }
   if (request.path == "/dtds" || request.path.rfind("/dtds/", 0) == 0) {
     if (request.method != "GET") return {405, "text/plain", {}, ""};
@@ -515,7 +332,7 @@ HttpResponse IngestServer::Route(const HttpRequest& request) {
   }
   if (request.path == "/stats") {
     if (request.method != "GET") return {405, "text/plain", {}, ""};
-    return HandleStats();
+    return HandleStats(request);
   }
   return {404, "text/plain; charset=utf-8", {}, "not found\n"};
 }
@@ -527,60 +344,43 @@ HttpResponse IngestServer::HandleIngest(const HttpRequest& request) {
             "{\"error\":\"" + JsonEscape(doc.status().ToString()) + "\"}\n"};
   }
 
-  PendingDoc pending;
-  pending.doc = std::move(*doc);
-  pending.enqueued = std::chrono::steady_clock::now();
-  const bool wait = request.QueryFlag("wait");
-  if (wait) pending.waiter = std::make_shared<IngestWaiter>();
-  std::shared_ptr<IngestWaiter> waiter = pending.waiter;
-
-  {
-    // Spans capacity check → WAL append → enqueue: concurrent ingests
-    // serialize here, so the queue (and therefore the apply order) is
-    // exactly LSN order — the invariant WAL replay depends on.
-    std::lock_guard<std::mutex> order(ingest_order_mutex_);
-    {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
-      if (queue_.size() >= options_.queue_capacity) {
-        requests_rejected_->Increment();
-        return {503,
-                "application/json",
-                {{"Retry-After",
-                  std::to_string(options_.retry_after_seconds)}},
-                "{\"error\":\"ingest queue full\"}\n"};
-      }
-    }
-    if (wal_ != nullptr) {
-      // The ack contract: the record is in the log (fsynced under the
-      // `always` policy) before any 2xx leaves this function. When the
-      // disk says no, the document is NOT acked — 503 so the client
-      // retries once space returns, and the degraded gauge flags the
-      // condition until an append succeeds again.
-      StatusOr<uint64_t> lsn = wal_->Append(request.body);
-      if (!lsn.ok()) {
-        degraded_->Set(1);
-        requests_rejected_->Increment();
-        return {503,
-                "application/json",
-                {{"Retry-After",
-                  std::to_string(options_.retry_after_seconds)}},
-                "{\"error\":\"write-ahead log append failed: " +
-                    JsonEscape(lsn.status().message()) + "\"}\n"};
-      }
-      degraded_->Set(0);
-      pending.lsn = *lsn;
-    }
-    {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
-      queue_.push_back(std::move(pending));
-      queue_depth_->Set(static_cast<double>(queue_.size()));
-    }
+  // `/ingest/{tenant}` wins over `?tenant=`; both empty means anonymous
+  // traffic, which the manager routes (single shard / "default" shard /
+  // consistent hash of the root tag).
+  std::string tenant;
+  if (request.path.rfind("/ingest/", 0) == 0) {
+    tenant = request.path.substr(std::strlen("/ingest/"));
   }
-  queue_cv_.notify_all();
+  if (tenant.empty()) tenant = request.QueryValue("tenant");
+
+  const bool wait = request.QueryFlag("wait");
+  SourceManager::EnqueueResult enqueued =
+      manager_.Enqueue(tenant, std::move(*doc), request.body, wait);
+  switch (enqueued.code) {
+    case SourceManager::EnqueueCode::kUnknownTenant:
+      return {404, "application/json", {},
+              "{\"error\":\"unknown tenant '" + JsonEscape(tenant) + "'\"}\n"};
+    case SourceManager::EnqueueCode::kQueueFull:
+      return {503,
+              "application/json",
+              {{"Retry-After", std::to_string(options_.retry_after_seconds)}},
+              "{\"error\":\"ingest queue full\"}\n"};
+    case SourceManager::EnqueueCode::kWalError:
+      return {503,
+              "application/json",
+              {{"Retry-After", std::to_string(options_.retry_after_seconds)}},
+              "{\"error\":\"write-ahead log append failed: " +
+                  JsonEscape(enqueued.error) + "\"}\n"};
+    case SourceManager::EnqueueCode::kOk:
+      break;
+  }
 
   if (!wait) {
-    return {202, "application/json", {}, "{\"queued\":true}\n"};
+    return {202, "application/json", {},
+            "{\"queued\":true,\"tenant\":\"" + JsonEscape(enqueued.tenant) +
+                "\"}\n"};
   }
+  std::shared_ptr<SourceManager::IngestWaiter> waiter = enqueued.waiter;
   std::unique_lock<std::mutex> lock(waiter->mutex);
   waiter->cv.wait(lock, [&] { return waiter->done; });
   const core::XmlSource::ProcessOutcome& outcome = waiter->outcome;
@@ -591,16 +391,56 @@ HttpResponse IngestServer::HandleIngest(const HttpRequest& request) {
   body += ",\"evolved\":";
   body += outcome.evolved ? "true" : "false";
   body += ",\"reclassified\":" + std::to_string(outcome.reclassified);
+  body += ",\"tenant\":\"" + JsonEscape(enqueued.tenant) + "\"";
   body += "}\n";
   return {200, "application/json", {}, body};
 }
 
+HttpResponse IngestServer::HandleTenants() {
+  std::string body = "{\"tenants\":[";
+  bool first = true;
+  for (const std::string& name : manager_.TenantNames()) {
+    if (!first) body += ',';
+    first = false;
+    body += "\"" + JsonEscape(name) + "\"";
+  }
+  body += "]}\n";
+  return {200, "application/json", {}, body};
+}
+
 HttpResponse IngestServer::HandleDtds(const HttpRequest& request) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  const std::string tenant = request.QueryValue("tenant");
   if (request.path == "/dtds") {
+    if (tenant.empty() && !manager_.single_default()) {
+      // Aggregate rollup: every tenant's DTD list keyed by tenant name.
+      std::string body = "{\"tenants\":{";
+      bool first_tenant = true;
+      for (const std::string& name : manager_.TenantNames()) {
+        StatusOr<std::vector<std::string>> names = manager_.DtdNamesFor(name);
+        if (!names.ok()) continue;
+        if (!first_tenant) body += ',';
+        first_tenant = false;
+        body += "\"" + JsonEscape(name) + "\":[";
+        bool first = true;
+        for (const std::string& dtd : *names) {
+          if (!first) body += ',';
+          first = false;
+          body += "\"" + JsonEscape(dtd) + "\"";
+        }
+        body += "]";
+      }
+      body += "}}\n";
+      return {200, "application/json", {}, body};
+    }
+    StatusOr<std::vector<std::string>> names = manager_.DtdNamesFor(tenant);
+    if (!names.ok()) {
+      return {404, "application/json", {},
+              "{\"error\":\"" + JsonEscape(names.status().message()) +
+                  "\"}\n"};
+    }
     std::string body = "{\"dtds\":[";
     bool first = true;
-    for (const std::string& name : source_.DtdNames()) {
+    for (const std::string& name : *names) {
       if (!first) body += ',';
       first = false;
       body += "\"" + JsonEscape(name) + "\"";
@@ -608,104 +448,61 @@ HttpResponse IngestServer::HandleDtds(const HttpRequest& request) {
     body += "]}\n";
     return {200, "application/json", {}, body};
   }
+
   const std::string name = request.path.substr(std::strlen("/dtds/"));
-  const dtd::Dtd* dtd = source_.FindDtd(name);
-  if (dtd == nullptr) {
-    return {404, "application/json", {},
-            "{\"error\":\"unknown DTD '" + JsonEscape(name) + "'\"}\n"};
+  StatusOr<std::string> text = manager_.DtdTextFor(tenant, name);
+  if (!text.ok()) {
+    const int status =
+        text.status().code() == Status::Code::kInvalidArgument ? 400 : 404;
+    return {status, "application/json", {},
+            "{\"error\":\"" + JsonEscape(text.status().message()) + "\"}\n"};
   }
-  return {200, "application/xml-dtd; charset=utf-8", {}, dtd::WriteDtd(*dtd)};
+  return {200, "application/xml-dtd; charset=utf-8", {}, std::move(*text)};
 }
 
-HttpResponse IngestServer::HandleStats() {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+HttpResponse IngestServer::HandleStats(const HttpRequest& request) {
+  const std::string tenant = request.QueryValue("tenant");
+  if (!tenant.empty() || manager_.single_default()) {
+    StatusOr<SourceManager::TenantStats> stats = manager_.StatsFor(tenant);
+    if (!stats.ok()) {
+      return {404, "application/json", {},
+              "{\"error\":\"" + JsonEscape(stats.status().message()) +
+                  "\"}\n"};
+    }
+    // Single-"default" mode serves the exact historical shape (no
+    // tenant key); an explicit ?tenant= adds the tenant name.
+    return {200, "application/json", {},
+            StatsJson(*stats, /*include_tenant=*/!tenant.empty()) + "\n"};
+  }
+
+  // Multi-tenant aggregate: process-wide totals plus a per-tenant
+  // rollup.
+  std::vector<SourceManager::TenantStats> all = manager_.AllStats();
+  uint64_t processed = 0;
+  uint64_t classified = 0;
+  size_t repository = 0;
+  uint64_t evolutions = 0;
+  for (const SourceManager::TenantStats& stats : all) {
+    processed += stats.documents_processed;
+    classified += stats.documents_classified;
+    repository += stats.repository_size;
+    evolutions += stats.evolutions_performed;
+  }
   std::string body = "{";
-  body += "\"documents_processed\":" +
-          std::to_string(source_.documents_processed());
-  body += ",\"documents_classified\":" +
-          std::to_string(source_.documents_classified());
-  body += ",\"repository_size\":" + std::to_string(source_.repository().size());
-  body += ",\"evolutions_performed\":" +
-          std::to_string(source_.evolutions_performed());
-  body += ",\"dtds\":{";
+  body += "\"documents_processed\":" + std::to_string(processed);
+  body += ",\"documents_classified\":" + std::to_string(classified);
+  body += ",\"repository_size\":" + std::to_string(repository);
+  body += ",\"evolutions_performed\":" + std::to_string(evolutions);
+  body += ",\"tenants\":{";
   bool first = true;
-  for (const std::string& name : source_.DtdNames()) {
-    const evolve::ExtendedDtd* ext = source_.FindExtended(name);
+  for (const SourceManager::TenantStats& stats : all) {
     if (!first) body += ',';
     first = false;
-    body += "\"" + JsonEscape(name) + "\":{";
-    body += "\"documents_recorded\":" +
-            std::to_string(ext->documents_recorded());
-    body += ",\"mean_divergence\":" + FormatDouble(ext->MeanDivergence());
-    auto ingested = ingested_per_dtd_.find(name);
-    body += ",\"documents_ingested\":" +
-            std::to_string(ingested == ingested_per_dtd_.end()
-                               ? 0
-                               : ingested->second);
-    auto evolved = evolutions_per_dtd_.find(name);
-    body += ",\"evolutions\":" +
-            std::to_string(evolved == evolutions_per_dtd_.end()
-                               ? 0
-                               : evolved->second);
-    body += "}";
+    body += "\"" + JsonEscape(stats.tenant) +
+            "\":" + StatsJson(stats, /*include_tenant=*/false);
   }
   body += "}}\n";
   return {200, "application/json", {}, body};
-}
-
-void IngestServer::IngestWorker() {
-  for (;;) {
-    std::vector<PendingDoc> pending;
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] {
-        return draining_ || (!paused_ && !queue_.empty());
-      });
-      if (queue_.empty() && draining_) return;
-      const size_t take = std::min(queue_.size(), options_.batch_max);
-      pending.reserve(take);
-      for (size_t i = 0; i < take; ++i) {
-        pending.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
-      queue_depth_->Set(static_cast<double>(queue_.size()));
-    }
-    if (!pending.empty()) ProcessPending(std::move(pending));
-  }
-}
-
-void IngestServer::ProcessPending(std::vector<PendingDoc> pending) {
-  std::vector<xml::Document> docs;
-  docs.reserve(pending.size());
-  for (PendingDoc& item : pending) docs.push_back(std::move(item.doc));
-
-  const auto batch_start = std::chrono::steady_clock::now();
-  std::vector<core::XmlSource::ProcessOutcome> outcomes;
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    outcomes = source_.ProcessBatch(std::move(docs), pool_ ? &*pool_ : nullptr);
-    for (const core::XmlSource::ProcessOutcome& outcome : outcomes) {
-      if (outcome.classified) ++ingested_per_dtd_[outcome.dtd_name];
-      if (outcome.evolved) ++evolutions_per_dtd_[outcome.dtd_name];
-    }
-    for (const PendingDoc& item : pending) {
-      if (item.lsn > applied_lsn_) applied_lsn_ = item.lsn;
-    }
-  }
-  const auto now = std::chrono::steady_clock::now();
-  batch_seconds_->Observe(
-      std::chrono::duration<double>(now - batch_start).count());
-
-  for (size_t i = 0; i < pending.size(); ++i) {
-    ingest_seconds_->Observe(
-        std::chrono::duration<double>(now - pending[i].enqueued).count());
-    if (pending[i].waiter != nullptr) {
-      std::lock_guard<std::mutex> lock(pending[i].waiter->mutex);
-      pending[i].waiter->outcome = outcomes[i];
-      pending[i].waiter->done = true;
-      pending[i].waiter->cv.notify_all();
-    }
-  }
 }
 
 }  // namespace dtdevolve::server

@@ -5,8 +5,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -18,10 +16,10 @@
 #include "core/source.h"
 #include "obs/metrics.h"
 #include "server/http.h"
+#include "server/source_manager.h"
 #include "store/checkpoint.h"
 #include "store/wal.h"
 #include "util/status.h"
-#include "util/thread_pool.h"
 
 namespace dtdevolve::server {
 
@@ -29,46 +27,52 @@ struct ServerOptions {
   /// TCP port to listen on; 0 binds an ephemeral port (read it back with
   /// `port()` after `Start`).
   uint16_t port = 8080;
+  /// Tenant shard names (see SourceManagerOptions::tenants). Empty runs
+  /// a single backward-compatible "default" tenant.
+  std::vector<std::string> tenants;
   /// Scoring threads; one `util::ThreadPool` is shared across every
-  /// ingest batch for the server's lifetime.
+  /// tenant shard for the server's lifetime.
   size_t jobs = 1;
-  /// Pending ingest documents before `POST /ingest` answers 503 with a
-  /// `Retry-After` header — the backpressure bound.
+  /// Pending ingest documents per shard before `POST /ingest` answers
+  /// 503 with a `Retry-After` header — the backpressure bound.
   size_t queue_capacity = 256;
-  /// Most documents drained into one `ProcessBatch` round.
+  /// Most documents drained into one `ProcessBatch` round per shard.
   size_t batch_max = 64;
   /// Largest accepted request body.
   size_t max_body_bytes = 4 * 1024 * 1024;
   /// Advertised on 503 responses.
   int retry_after_seconds = 1;
   /// Directory for extended-DTD snapshots (one `<name>.dtdstate` per
-  /// DTD): written atomically on shutdown (and via `SnapshotNow`),
-  /// restored over the seed DTDs on `Start`. Empty disables persistence.
-  /// A snapshot that fails to parse at boot is quarantined (renamed to
+  /// DTD, under a per-tenant subdirectory unless single-"default"):
+  /// written atomically on shutdown (and via `SnapshotNow`), restored
+  /// over the seed DTDs on `Start`. Empty disables persistence. A
+  /// snapshot that fails to parse at boot is quarantined (renamed to
   /// `<name>.dtdstate.corrupt`, counted, reported in `boot_warnings`)
   /// and the server continues from the seed DTD.
   std::string snapshot_dir;
 
   // --- Crash durability (store/wal.h, store/checkpoint.h) -----------------
 
-  /// Directory for the write-ahead log and its checkpoints. Empty
-  /// disables the WAL. When set, every accepted `/ingest` body is
-  /// appended to the log — and, under `fsync_policy == kAlways`, fsynced
-  /// — *before* the 202/200 ack, so an acked document survives a crash;
-  /// `Start` then recovers the last checkpoint plus the WAL tail instead
-  /// of restoring `snapshot_dir`. An append failure (e.g. disk full)
-  /// answers 503 with `Retry-After` and raises the `dtdevolve_degraded`
-  /// gauge until an append succeeds again.
+  /// Directory for the write-ahead logs and their checkpoints — one
+  /// independent lineage per tenant shard (a subdirectory per tenant
+  /// unless single-"default"). Empty disables the WAL. When set, every
+  /// accepted `/ingest` body is appended to its shard's log — and,
+  /// under `fsync_policy == kAlways`, fsynced — *before* the 202/200
+  /// ack, so an acked document survives a crash; `Start` then recovers
+  /// each shard's checkpoint plus WAL tail instead of restoring
+  /// `snapshot_dir`. An append failure (e.g. disk full) answers 503
+  /// with `Retry-After` and raises the `dtdevolve_degraded` gauge until
+  /// an append succeeds again.
   std::string wal_dir;
   store::FsyncPolicy fsync_policy = store::FsyncPolicy::kAlways;
   /// Fsync cadence under `FsyncPolicy::kInterval`.
   std::chrono::milliseconds fsync_interval{100};
   /// WAL segment rotation threshold.
   uint64_t wal_segment_bytes = 8 * 1024 * 1024;
-  /// Cadence of the periodic checkpoint thread (snapshot the pipeline
-  /// state, then truncate the WAL through the checkpointed LSN). Zero
-  /// disables the thread; a final checkpoint still runs on graceful
-  /// stop unless `checkpoint_on_shutdown` is off.
+  /// Cadence of the periodic checkpoint thread (snapshot each shard's
+  /// pipeline state, then truncate its WAL through the checkpointed
+  /// LSN). Zero disables the thread; a final checkpoint still runs on
+  /// graceful stop unless `checkpoint_on_shutdown` is off.
   std::chrono::milliseconds checkpoint_interval{30000};
   /// Disable to make a graceful stop leave only WAL state behind —
   /// recovery then has to replay the log, which is how crash-recovery
@@ -83,37 +87,54 @@ struct ServerOptions {
 };
 
 /// The networked front of Fig. 1: a long-running HTTP/1.1 server (plain
-/// POSIX sockets, no external dependencies) wrapping one `XmlSource` and
-/// driving the classify → record → check → evolve loop over documents
-/// that arrive on the wire.
+/// POSIX sockets, no external dependencies) over a `SourceManager` of
+/// per-tenant `XmlSource` shards, driving the classify → record → check
+/// → evolve loop over documents that arrive on the wire.
 ///
 /// Endpoints:
-///   POST /ingest          body = one XML document. Parsed on the
-///                         connection thread, then queued; a single
-///                         ingest worker drains the queue in batches
-///                         through `ProcessBatch` on the shared pool.
-///                         Replies 202 once queued, or — with `?wait=1` —
-///                         200 with the JSON outcome after the document
-///                         was applied. 400 on parse errors, 503 +
-///                         Retry-After when the queue is full.
-///   GET /dtds             JSON list of registered DTD names.
-///   GET /dtds/{name}      the current (possibly evolved) declarations,
-///                         as DTD text.
-///   GET /stats            JSON: per-DTD document counts and divergence,
-///                         repository size, evolution count.
-///   GET /metrics          Prometheus text exposition.
-///   GET /healthz          200 "ok".
+///   POST /ingest            body = one XML document. Parsed on the
+///                           connection thread, routed to a shard, then
+///                           queued; that shard's ingest worker drains
+///                           its queue in batches through `ProcessBatch`
+///                           on the shared pool. Replies 202 once
+///                           queued, or — with `?wait=1` — 200 with the
+///                           JSON outcome after the document was
+///                           applied. 400 on parse errors, 404 for
+///                           unknown tenants, 503 + Retry-After when
+///                           the shard's queue is full.
+///   POST /ingest/{tenant}   same, routed to the named tenant. The
+///                           `?tenant=` query is an equivalent spelling
+///                           on the bare path. Anonymous traffic goes
+///                           to the single shard, the shard named
+///                           "default", or (multi-tenant, no default) a
+///                           consistent-hash shard of the root tag.
+///   GET /tenants            JSON list of tenant shard names.
+///   GET /dtds[?tenant=]     JSON list of registered DTD names — one
+///                           tenant's, or every tenant's keyed by name.
+///   GET /dtds/{name}        the current (possibly evolved)
+///                           declarations, as DTD text (`?tenant=`
+///                           selects the shard).
+///   GET /stats[?tenant=]    JSON: per-DTD document counts and
+///                           divergence, repository size, evolution
+///                           count — per tenant, plus aggregate totals
+///                           and a per-tenant rollup when multi-tenant.
+///   GET /metrics            Prometheus text exposition (per-shard
+///                           series carry a {tenant="..."} label unless
+///                           single-"default").
+///   GET /healthz            200 "ok".
 ///
-/// Lifecycle: `AddDtdText` seeds the set, `Start` binds/restores/spawns,
-/// `Shutdown` (async-signal-safe — wire it to SIGINT/SIGTERM) requests a
-/// graceful stop, `Wait` blocks until the stop completed: the listener
-/// closes, in-flight connections finish, the queue drains through the
-/// loop, and the extended-DTD state is snapshotted.
+/// Lifecycle: `AddDtdText` seeds every shard (`AddTenantDtdText` one),
+/// `Start` binds/recovers/spawns, `Shutdown` (async-signal-safe — wire
+/// it to SIGINT/SIGTERM) requests a graceful stop, `Wait` blocks until
+/// the stop completed: the listener closes, in-flight connections
+/// finish, every queue drains through the loop, and the extended-DTD
+/// state is snapshotted. A failed `Start` cleans up after itself fully
+/// (no leaked fds, no half-recovered shards) and may be retried.
 ///
-/// Threading: connection threads only parse and enqueue; the single
-/// ingest worker is the only `XmlSource` writer. Read endpoints take the
-/// same state mutex the worker holds while applying a batch, so scrapes
-/// see consistent state.
+/// Threading: connection threads only parse and enqueue; each shard's
+/// single ingest worker is the only writer of that shard's `XmlSource`.
+/// Read endpoints take the same per-shard state mutex the worker holds
+/// while applying a batch, so scrapes see consistent state.
 class IngestServer {
  public:
   IngestServer(core::SourceOptions source_options, ServerOptions options);
@@ -122,11 +143,16 @@ class IngestServer {
   IngestServer(const IngestServer&) = delete;
   IngestServer& operator=(const IngestServer&) = delete;
 
-  /// Registers a seed DTD. Call before `Start`.
+  /// Registers a seed DTD on every tenant shard. Call before `Start`.
   Status AddDtdText(const std::string& name, std::string_view dtd_text);
+  /// Registers a seed DTD on one tenant shard only.
+  Status AddTenantDtdText(const std::string& tenant, const std::string& name,
+                          std::string_view dtd_text);
 
-  /// Binds and listens, restores snapshots (when configured), wires the
-  /// metrics, and spawns the accept loop and the ingest worker.
+  /// Binds and listens, then recovers/restores every shard (wiring the
+  /// metrics), and spawns the accept loop and the shard workers. On any
+  /// failure every fd and thread acquired so far is released, so a
+  /// failed `Start` can simply be retried.
   Status Start();
 
   /// The bound port (useful with `options.port == 0`).
@@ -140,72 +166,68 @@ class IngestServer {
   /// `Start` never ran.
   void Wait();
 
-  /// Pauses / resumes the ingest worker between batches (documents keep
-  /// queueing until the queue is full — useful for maintenance and for
-  /// exercising backpressure deterministically). A shutdown overrides a
-  /// pause so draining always completes.
+  /// Pauses / resumes every shard's ingest worker between batches
+  /// (documents keep queueing until a queue is full — useful for
+  /// maintenance and for exercising backpressure deterministically). A
+  /// shutdown overrides a pause so draining always completes.
   void PauseIngest();
   void ResumeIngest();
 
-  /// Writes one atomic snapshot per DTD into `snapshot_dir`. No-op
-  /// without a snapshot dir. Also called by the graceful stop.
+  /// Writes one atomic snapshot per DTD per shard into `snapshot_dir`.
+  /// No-op without a snapshot dir. Also called by the graceful stop.
   Status SnapshotNow();
 
-  /// Checkpoints the pipeline state at the last applied LSN and
-  /// truncates the WAL through it. No-op without a WAL. Called by the
-  /// periodic checkpoint thread and by the graceful stop.
-  Status CheckpointNow();
+  /// Checkpoints every shard at its last applied LSN and truncates its
+  /// WAL through it. No-op without a WAL. `captured_lsn` (optional)
+  /// receives the LSN the checkpoint actually captured — meaningful in
+  /// single-tenant mode. Called by the periodic checkpoint thread and
+  /// by the graceful stop.
+  Status CheckpointNow(uint64_t* captured_lsn = nullptr);
 
   /// What boot-time recovery found (checkpoint LSN, records replayed,
-  /// torn-tail warning). Meaningful after `Start` with a `wal_dir`.
-  const store::RecoveryReport& recovery_report() const {
-    return recovery_report_;
+  /// torn-tail warning) for one tenant; empty = the first shard.
+  /// Meaningful after `Start` with a `wal_dir`.
+  const store::RecoveryReport& recovery_report(
+      const std::string& tenant = "") const {
+    return manager_.recovery_report(tenant);
   }
 
-  /// Non-fatal boot findings (quarantined snapshots, torn WAL tails) —
-  /// the operator-visible "warn" half of warn-and-continue.
+  /// Non-fatal boot findings (quarantined snapshots, torn WAL tails)
+  /// across every shard — the operator-visible "warn" half of
+  /// warn-and-continue.
   const std::vector<std::string>& boot_warnings() const {
-    return boot_warnings_;
+    return manager_.boot_warnings();
   }
 
   obs::Registry& metrics() { return registry_; }
 
-  /// The wrapped source. Only safe while the server is not running
-  /// (before `Start` or after `Wait`); running servers serve state over
-  /// HTTP instead.
-  const core::XmlSource& source() const { return source_; }
+  /// The shard manager, for tests and tools that inspect per-tenant
+  /// state directly.
+  SourceManager& manager() { return manager_; }
+  const SourceManager& manager() const { return manager_; }
+
+  /// A shard's source (empty = the first shard). Only safe while the
+  /// server is not running (before `Start` or after `Wait`); running
+  /// servers serve state over HTTP instead.
+  const core::XmlSource& source(const std::string& tenant = "") const {
+    return *manager_.source(tenant);
+  }
 
  private:
-  struct IngestWaiter {
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
-    core::XmlSource::ProcessOutcome outcome;
-  };
-
-  struct PendingDoc {
-    xml::Document doc;
-    std::chrono::steady_clock::time_point enqueued;
-    std::shared_ptr<IngestWaiter> waiter;  // null for fire-and-forget
-    uint64_t lsn = 0;                      // 0 when the WAL is disabled
-  };
-
   void AcceptLoop();
   void HandleConnection(int fd);
   HttpResponse Route(const HttpRequest& request);
   HttpResponse HandleIngest(const HttpRequest& request);
+  HttpResponse HandleTenants();
   HttpResponse HandleDtds(const HttpRequest& request);
-  HttpResponse HandleStats();
-  void IngestWorker();
-  void ProcessPending(std::vector<PendingDoc> pending);
-  void CheckpointLoop();
-  Status RestoreSnapshots();
-  std::string SnapshotPath(const std::string& name) const;
+  HttpResponse HandleStats(const HttpRequest& request);
+  /// Closes the listener and wake-pipe fds (if open) — the error-path
+  /// unwind of `Start` and the tail of `Wait`.
+  void CloseSockets();
 
-  core::XmlSource source_;
   ServerOptions options_;
   obs::Registry registry_;
-  std::optional<util::ThreadPool> pool_;
+  SourceManager manager_;
 
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
@@ -214,50 +236,12 @@ class IngestServer {
   std::atomic<bool> shutdown_requested_{false};
 
   std::thread accept_thread_;
-  std::thread worker_thread_;
-
-  // Durability. `wal_` is created during Start (recovery) and outlives
-  // every ingest; `ingest_order_mutex_` spans capacity check → WAL
-  // append → enqueue so LSN order is exactly apply order.
-  std::unique_ptr<store::Wal> wal_;
-  std::mutex ingest_order_mutex_;
-  store::RecoveryReport recovery_report_;
-  std::vector<std::string> boot_warnings_;
-  std::thread checkpoint_thread_;
-  std::mutex checkpoint_mutex_;
-  std::condition_variable checkpoint_cv_;
-  bool checkpoint_stop_ = false;
-  uint64_t last_checkpoint_lsn_ = 0;  // checkpoint thread only
 
   // Connection bookkeeping: threads are detached; Wait() blocks until
   // the count returns to zero.
   std::mutex conn_mutex_;
   std::condition_variable conn_done_cv_;
   size_t active_connections_ = 0;
-
-  // The bounded ingest queue.
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<PendingDoc> queue_;
-  bool paused_ = false;
-  bool draining_ = false;  // set by Wait(): drain fully, then exit
-
-  // Guards source_ and the per-DTD tallies below.
-  mutable std::mutex state_mutex_;
-  std::map<std::string, uint64_t> ingested_per_dtd_;
-  std::map<std::string, uint64_t> evolutions_per_dtd_;
-  uint64_t applied_lsn_ = 0;  // highest LSN folded into source_
-
-  // Wired in Start(); hot-path handles into registry_.
-  obs::Counter* requests_rejected_ = nullptr;
-  obs::Gauge* queue_depth_ = nullptr;
-  obs::Histogram* ingest_seconds_ = nullptr;
-  obs::Histogram* batch_seconds_ = nullptr;
-  obs::Gauge* degraded_ = nullptr;
-  obs::Counter* checkpoints_ = nullptr;
-  obs::Counter* checkpoint_errors_ = nullptr;
-  obs::Gauge* checkpoint_lsn_gauge_ = nullptr;
-  obs::Counter* snapshots_quarantined_ = nullptr;
 };
 
 }  // namespace dtdevolve::server

@@ -1,0 +1,786 @@
+#include "server/source_manager.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "dtd/dtd_writer.h"
+#include "evolve/persist.h"
+#include "io/file.h"
+#include "util/crc32.h"
+
+namespace dtdevolve::server {
+
+namespace {
+
+/// Virtual points per shard on the consistent-hash ring: enough that
+/// adding or removing a tenant moves only ~1/N of the anonymous key
+/// space, small enough that ring construction stays trivial.
+constexpr int kRingPointsPerShard = 64;
+
+bool IsSafeComponentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+}
+
+}  // namespace
+
+std::string SafeFileComponent(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  bool changed = name.empty();
+  for (char c : name) {
+    if (IsSafeComponentChar(c)) {
+      out += c;
+    } else {
+      out += '_';
+      changed = true;
+    }
+  }
+  if (out.empty()) out = "_";
+  if (changed) {
+    // Flattening is lossy ("a/b" and "a_b" both read "a_b"), so any
+    // changed name carries a fingerprint of the original to keep
+    // distinct names distinct on disk.
+    char suffix[16];
+    std::snprintf(suffix, sizeof(suffix), "-%08x",
+                  util::Crc32(name.data(), name.size()));
+    out += suffix;
+  }
+  return out;
+}
+
+SourceManager::SourceManager(core::SourceOptions source_options,
+                             SourceManagerOptions options)
+    : source_options_(std::move(source_options)),
+      options_(std::move(options)) {
+  if (options_.jobs == 0) options_.jobs = util::ThreadPool::DefaultJobs();
+  if (options_.batch_max == 0) options_.batch_max = 1;
+  if (options_.tenants.empty()) options_.tenants = {"default"};
+  backcompat_ =
+      options_.tenants.size() == 1 && options_.tenants[0] == "default";
+
+  // One score cache for the whole process: entries are keyed by
+  // evaluator epoch (globally unique), so shards can never read each
+  // other's scores, while the memory budget is shared instead of
+  // multiplied by the tenant count.
+  if (source_options_.classifier.enable_score_cache &&
+      source_options_.classifier.shared_cache == nullptr &&
+      source_options_.classifier.score_cache_bytes > 0) {
+    similarity::SubtreeScoreCache::Config config;
+    config.capacity_bytes = source_options_.classifier.score_cache_bytes;
+    shared_cache_ = std::make_unique<similarity::SubtreeScoreCache>(config);
+    source_options_.classifier.shared_cache = shared_cache_.get();
+  }
+
+  for (const std::string& tenant : options_.tenants) {
+    if (tenant.empty() || by_name_.count(tenant) != 0) continue;
+    auto shard = std::make_unique<Shard>(source_options_);
+    shard->name = tenant;
+    shard->dir_component = SafeFileComponent(tenant);
+    by_name_[tenant] = shard.get();
+    if (tenant == "default") default_shard_ = shard.get();
+    shards_.push_back(std::move(shard));
+  }
+
+  for (const auto& shard : shards_) {
+    for (int i = 0; i < kRingPointsPerShard; ++i) {
+      const std::string point = shard->name + "#" + std::to_string(i);
+      ring_.emplace_back(util::Crc32(point.data(), point.size()),
+                         shard.get());
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second->name < b.second->name;
+            });
+}
+
+SourceManager::~SourceManager() { Drain(); }
+
+Status SourceManager::AddDtdText(const std::string& name,
+                                 std::string_view dtd_text) {
+  for (const auto& shard : shards_) {
+    DTDEVOLVE_RETURN_IF_ERROR(shard->source.AddDtdText(name, dtd_text));
+  }
+  return Status::Ok();
+}
+
+Status SourceManager::AddTenantDtdText(const std::string& tenant,
+                                       const std::string& name,
+                                       std::string_view dtd_text) {
+  Shard* shard = FindShard(tenant);
+  if (shard == nullptr) {
+    return Status::NotFound("unknown tenant '" + tenant + "'");
+  }
+  return shard->source.AddDtdText(name, dtd_text);
+}
+
+SourceManager::Shard* SourceManager::FindShard(const std::string& tenant) {
+  auto it = by_name_.find(tenant);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+const SourceManager::Shard* SourceManager::FindShard(
+    const std::string& tenant) const {
+  auto it = by_name_.find(tenant);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+const SourceManager::Shard* SourceManager::ResolveReadShard(
+    const std::string& tenant) const {
+  if (!tenant.empty()) return FindShard(tenant);
+  if (shards_.size() == 1) return shards_[0].get();
+  return default_shard_;
+}
+
+SourceManager::Shard* SourceManager::RouteIngest(const std::string& tenant,
+                                                 const xml::Document& doc) {
+  if (!tenant.empty()) return FindShard(tenant);
+  if (shards_.size() == 1) return shards_[0].get();
+  if (default_shard_ != nullptr) return default_shard_;
+  // Anonymous traffic across tenants with no "default": consistent-hash
+  // the root element tag, so one document population keeps landing on
+  // one shard even as the tenant set changes.
+  const std::string& key = doc.has_root() ? doc.root().tag() : std::string();
+  const uint32_t hash = util::Crc32(key.data(), key.size());
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), hash,
+      [](const auto& entry, uint32_t value) { return entry.first < value; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+std::string SourceManager::WalDirFor(const std::string& tenant) const {
+  if (options_.wal_dir.empty()) return "";
+  const Shard* shard = ResolveReadShard(tenant);
+  if (shard == nullptr) return "";
+  if (backcompat_) return options_.wal_dir;
+  return options_.wal_dir + "/" + shard->dir_component;
+}
+
+std::string SourceManager::SnapshotDirFor(const std::string& tenant) const {
+  if (options_.snapshot_dir.empty()) return "";
+  const Shard* shard = ResolveReadShard(tenant);
+  if (shard == nullptr) return "";
+  if (backcompat_) return options_.snapshot_dir;
+  return options_.snapshot_dir + "/" + shard->dir_component;
+}
+
+std::string SourceManager::SnapshotPathFor(const Shard& shard,
+                                           const std::string& name) const {
+  std::string dir = options_.snapshot_dir;
+  if (!backcompat_) dir += "/" + shard.dir_component;
+  return dir + "/" + SafeFileComponent(name) + ".dtdstate";
+}
+
+void SourceManager::WireShardMetrics(Shard& shard, obs::Registry* registry) {
+  if (shard.metrics_wired) return;
+  shard.metrics_wired = true;
+  // Backward-compatible single-"default" mode keeps the original
+  // unlabeled series; every other configuration gets one series per
+  // tenant plus the usual Prometheus sum() rollup on the scrape side.
+  const obs::Labels labels =
+      backcompat_ ? obs::Labels{} : obs::Labels{{"tenant", shard.name}};
+
+  core::SourceMetrics metrics;
+  metrics.documents_processed = &registry->GetCounter(
+      "dtdevolve_documents_processed_total", "Documents fed into the loop",
+      labels);
+  metrics.documents_classified = &registry->GetCounter(
+      "dtdevolve_documents_classified_total",
+      "Documents classified into some DTD", labels);
+  metrics.documents_unclassified = &registry->GetCounter(
+      "dtdevolve_documents_unclassified_total",
+      "Documents left to the repository", labels);
+  metrics.documents_reclassified = &registry->GetCounter(
+      "dtdevolve_documents_reclassified_total",
+      "Repository documents recovered after evolutions", labels);
+  metrics.trigger_checks = &registry->GetCounter(
+      "dtdevolve_trigger_checks_total",
+      "Evolution trigger (tau or rule) evaluations", labels);
+  metrics.evolutions = &registry->GetCounter(
+      "dtdevolve_evolutions_total", "DTD evolutions fired", labels);
+  metrics.documents_scored = &registry->GetCounter(
+      "dtdevolve_documents_scored_total",
+      "Documents scored against the DTD set", labels);
+  metrics.similarity_evaluations = &registry->GetCounter(
+      "dtdevolve_similarity_evaluations_total",
+      "Document x DTD similarity evaluations", labels);
+  metrics.evaluations_pruned = &registry->GetCounter(
+      "dtdevolve_classify_pruned_total",
+      "Document x DTD evaluations skipped by the score upper bound", labels);
+  metrics.score_seconds = &registry->GetHistogram(
+      "dtdevolve_score_seconds",
+      "Wall-clock seconds scoring one document against the full DTD set",
+      obs::Histogram::DefaultLatencyBounds(), labels);
+  metrics.documents_recorded = &registry->GetCounter(
+      "dtdevolve_documents_recorded_total",
+      "Documents recorded into extended DTDs", labels);
+  metrics.elements_recorded = &registry->GetCounter(
+      "dtdevolve_elements_recorded_total",
+      "Element instances recorded into extended DTDs", labels);
+  shard.source.set_metrics(metrics);
+
+  shard.requests_rejected = &registry->GetCounter(
+      "dtdevolve_ingest_rejected_total",
+      "Ingest requests rejected with 503 (queue full)", labels);
+  shard.queue_depth = &registry->GetGauge(
+      "dtdevolve_ingest_queue_depth",
+      "Documents waiting in the ingest queue", labels);
+  shard.ingest_seconds = &registry->GetHistogram(
+      "dtdevolve_ingest_seconds",
+      "Seconds from enqueue to applied, per document",
+      obs::Histogram::DefaultLatencyBounds(), labels);
+  shard.batch_seconds = &registry->GetHistogram(
+      "dtdevolve_ingest_batch_seconds",
+      "Seconds spent in one ProcessBatch round",
+      obs::Histogram::DefaultLatencyBounds(), labels);
+  shard.degraded = &registry->GetGauge(
+      "dtdevolve_degraded",
+      "1 while ingest is rejected because the write-ahead log cannot be "
+      "written (e.g. disk full), 0 otherwise",
+      labels);
+  shard.checkpoints = &registry->GetCounter(
+      "dtdevolve_checkpoints_total", "Checkpoints written successfully",
+      labels);
+  shard.checkpoint_errors = &registry->GetCounter(
+      "dtdevolve_checkpoint_errors_total", "Checkpoint attempts that failed",
+      labels);
+  shard.checkpoint_lsn_gauge = &registry->GetGauge(
+      "dtdevolve_checkpoint_lsn", "LSN of the last durable checkpoint",
+      labels);
+  shard.snapshots_quarantined = &registry->GetCounter(
+      "dtdevolve_snapshots_quarantined_total",
+      "Corrupt snapshots renamed aside at boot", labels);
+}
+
+Status SourceManager::RestoreShardSnapshots(Shard& shard) {
+  if (options_.snapshot_dir.empty() || shard.snapshots_restored) {
+    return Status::Ok();
+  }
+  shard.snapshots_restored = true;
+  for (const std::string& name : shard.source.DtdNames()) {
+    const std::string path = SnapshotPathFor(shard, name);
+    StatusOr<evolve::ExtendedDtd> restored = evolve::LoadExtendedDtdFile(path);
+    if (!restored.ok()) {
+      // A missing snapshot is the normal first boot.
+      if (restored.status().code() == Status::Code::kNotFound) continue;
+      // A truncated or corrupt snapshot must not take the whole server
+      // down — quarantine it aside (preserving the evidence), count it,
+      // warn, and continue from the seed DTD.
+      Status moved = io::Rename(path, path + ".corrupt");
+      std::string warning = "quarantined corrupt snapshot " + path + " (" +
+                            restored.status().message() + ")";
+      if (!moved.ok()) warning += "; quarantine rename failed";
+      if (!backcompat_) warning = "tenant " + shard.name + ": " + warning;
+      boot_warnings_.push_back(std::move(warning));
+      if (shard.snapshots_quarantined != nullptr) {
+        shard.snapshots_quarantined->Increment();
+      }
+      continue;
+    }
+    DTDEVOLVE_RETURN_IF_ERROR(
+        shard.source.RestoreExtended(name, std::move(*restored)));
+  }
+  return Status::Ok();
+}
+
+Status SourceManager::StartShard(Shard& shard, obs::Registry* registry) {
+  WireShardMetrics(shard, registry);
+
+  if (!options_.snapshot_dir.empty() && !backcompat_) {
+    DTDEVOLVE_RETURN_IF_ERROR(
+        io::CreateDir(options_.snapshot_dir + "/" + shard.dir_component));
+  }
+
+  if (!options_.wal_dir.empty()) {
+    if (!shard.recovered) {
+      store::WalOptions wal_options;
+      wal_options.dir = backcompat_
+                            ? options_.wal_dir
+                            : options_.wal_dir + "/" + shard.dir_component;
+      wal_options.fsync_policy = options_.fsync_policy;
+      wal_options.fsync_interval = options_.fsync_interval;
+      wal_options.segment_bytes = options_.wal_segment_bytes;
+      shard.recovery_report = {};
+      StatusOr<std::unique_ptr<store::Wal>> wal = store::RecoverSource(
+          shard.source, wal_options, &shard.recovery_report);
+      if (!wal.ok()) return wal.status();
+      shard.wal = std::move(*wal);
+      // Recovery ran exactly once for this shard — a retried Start must
+      // not replay the WAL tail onto the already-recovered source.
+      shard.recovered = true;
+
+      const obs::Labels labels =
+          backcompat_ ? obs::Labels{} : obs::Labels{{"tenant", shard.name}};
+      store::WalMetrics wal_metrics;
+      wal_metrics.appends = &registry->GetCounter(
+          "dtdevolve_wal_appends_total", "WAL records appended", labels);
+      wal_metrics.append_bytes = &registry->GetCounter(
+          "dtdevolve_wal_append_bytes_total", "WAL bytes appended", labels);
+      wal_metrics.append_errors = &registry->GetCounter(
+          "dtdevolve_wal_append_errors_total", "WAL appends that failed",
+          labels);
+      wal_metrics.fsyncs = &registry->GetCounter(
+          "dtdevolve_wal_fsyncs_total", "WAL fsync calls", labels);
+      wal_metrics.rotations = &registry->GetCounter(
+          "dtdevolve_wal_rotations_total", "WAL segment rotations", labels);
+      wal_metrics.truncated_segments = &registry->GetCounter(
+          "dtdevolve_wal_truncated_segments_total",
+          "WAL segments dropped by checkpoint truncation", labels);
+      shard.wal->set_metrics(wal_metrics);
+      registry
+          ->GetCounter("dtdevolve_wal_replayed_records_total",
+                       "WAL records replayed during boot recovery", labels)
+          .Increment(shard.recovery_report.replayed_records);
+      shard.applied_lsn = shard.recovery_report.last_applied_lsn;
+      shard.last_checkpoint_lsn = shard.recovery_report.checkpoint_lsn;
+      shard.checkpoint_lsn_gauge->Set(
+          static_cast<double>(shard.recovery_report.checkpoint_lsn));
+      if (!shard.recovery_report.warning.empty()) {
+        std::string warning = shard.recovery_report.warning;
+        if (!backcompat_) warning = "tenant " + shard.name + ": " + warning;
+        boot_warnings_.push_back(std::move(warning));
+      }
+    }
+  } else {
+    DTDEVOLVE_RETURN_IF_ERROR(RestoreShardSnapshots(shard));
+  }
+  return Status::Ok();
+}
+
+Status SourceManager::Start(obs::Registry* registry) {
+  if (started_) {
+    return Status::FailedPrecondition("source manager already started");
+  }
+
+  if (!options_.snapshot_dir.empty()) {
+    // Snapshots are written lazily (shutdown / SnapshotNow); create the
+    // directories up front so a missing one fails the boot loudly
+    // instead of the final snapshot silently.
+    DTDEVOLVE_RETURN_IF_ERROR(io::CreateDir(options_.snapshot_dir));
+  }
+  if (!options_.wal_dir.empty() && !backcompat_) {
+    // Per-shard WAL subdirectories hang off the root; Wal::Open creates
+    // the leaf itself.
+    DTDEVOLVE_RETURN_IF_ERROR(io::CreateDir(options_.wal_dir));
+  }
+
+  registry
+      ->GetGauge("dtdevolve_ingest_queue_capacity",
+                 "Configured ingest queue bound")
+      .Set(static_cast<double>(options_.queue_capacity));
+  registry
+      ->GetGauge("dtdevolve_tenants", "Number of tenant shards")
+      .Set(static_cast<double>(shards_.size()));
+  if (shared_cache_ != nullptr) {
+    // The cache is process-wide, so its traffic counters are global —
+    // wired once here, never per shard (see Classifier::set_metrics).
+    shared_cache_->set_metrics(
+        &registry->GetCounter("dtdevolve_score_cache_hits_total",
+                              "Shared subtree score cache hits"),
+        &registry->GetCounter("dtdevolve_score_cache_misses_total",
+                              "Shared subtree score cache misses"),
+        &registry->GetCounter("dtdevolve_score_cache_evictions_total",
+                              "Shared subtree score cache LRU evictions"));
+  }
+
+  for (const auto& shard : shards_) {
+    DTDEVOLVE_RETURN_IF_ERROR(StartShard(*shard, registry));
+  }
+
+  pool_.emplace(options_.jobs);
+  checkpoint_stop_ = false;
+  for (const auto& shard : shards_) {
+    shard->draining = false;
+    shard->worker = std::thread([this, s = shard.get()] { IngestWorker(*s); });
+  }
+  if (!options_.wal_dir.empty() && options_.checkpoint_interval.count() > 0) {
+    checkpoint_thread_ = std::thread([this] { CheckpointLoop(); });
+  }
+  started_ = true;
+  return Status::Ok();
+}
+
+void SourceManager::PauseIngest() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->queue_mutex);
+    shard->paused = true;
+  }
+}
+
+void SourceManager::ResumeIngest() {
+  for (const auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->queue_mutex);
+      shard->paused = false;
+    }
+    shard->queue_cv.notify_all();
+  }
+}
+
+SourceManager::EnqueueResult SourceManager::Enqueue(
+    const std::string& tenant, xml::Document doc, const std::string& raw_body,
+    bool wait) {
+  EnqueueResult result;
+  Shard* shard = RouteIngest(tenant, doc);
+  if (shard == nullptr) {
+    result.code = EnqueueCode::kUnknownTenant;
+    result.tenant = tenant;
+    return result;
+  }
+  result.tenant = shard->name;
+
+  PendingDoc pending;
+  pending.doc = std::move(doc);
+  pending.enqueued = std::chrono::steady_clock::now();
+  if (wait) pending.waiter = std::make_shared<IngestWaiter>();
+  result.waiter = pending.waiter;
+
+  {
+    // Spans capacity check → WAL append → enqueue: concurrent ingests
+    // into THIS shard serialize here, so its queue (and therefore its
+    // apply order) is exactly its LSN order — the invariant WAL replay
+    // depends on. Other shards' ingests proceed in parallel.
+    std::lock_guard<std::mutex> order(shard->ingest_order_mutex);
+    {
+      std::lock_guard<std::mutex> lock(shard->queue_mutex);
+      if (shard->queue.size() >= options_.queue_capacity) {
+        shard->requests_rejected->Increment();
+        result.code = EnqueueCode::kQueueFull;
+        result.waiter = nullptr;
+        return result;
+      }
+    }
+    if (shard->wal != nullptr) {
+      // The ack contract: the record is in the log (fsynced under the
+      // `always` policy) before any 2xx leaves the server. When the
+      // disk says no, the document is NOT acked — the caller answers
+      // 503 so the client retries, and the degraded gauge flags the
+      // condition until an append succeeds again.
+      StatusOr<uint64_t> lsn = shard->wal->Append(raw_body);
+      if (!lsn.ok()) {
+        shard->degraded->Set(1);
+        shard->requests_rejected->Increment();
+        result.code = EnqueueCode::kWalError;
+        result.error = lsn.status().message();
+        result.waiter = nullptr;
+        return result;
+      }
+      shard->degraded->Set(0);
+      pending.lsn = *lsn;
+    }
+    {
+      std::lock_guard<std::mutex> lock(shard->queue_mutex);
+      shard->queue.push_back(std::move(pending));
+      shard->queue_depth->Set(static_cast<double>(shard->queue.size()));
+    }
+  }
+  shard->queue_cv.notify_all();
+  return result;
+}
+
+void SourceManager::IngestWorker(Shard& shard) {
+  for (;;) {
+    std::vector<PendingDoc> pending;
+    {
+      std::unique_lock<std::mutex> lock(shard.queue_mutex);
+      shard.queue_cv.wait(lock, [&shard] {
+        return shard.draining || (!shard.paused && !shard.queue.empty());
+      });
+      if (shard.queue.empty() && shard.draining) return;
+      const size_t take = std::min(shard.queue.size(), options_.batch_max);
+      pending.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        pending.push_back(std::move(shard.queue.front()));
+        shard.queue.pop_front();
+      }
+      shard.queue_depth->Set(static_cast<double>(shard.queue.size()));
+    }
+    if (!pending.empty()) ProcessPending(shard, std::move(pending));
+  }
+}
+
+void SourceManager::ProcessPending(Shard& shard,
+                                   std::vector<PendingDoc> pending) {
+  std::vector<xml::Document> docs;
+  docs.reserve(pending.size());
+  for (PendingDoc& item : pending) docs.push_back(std::move(item.doc));
+
+  const auto batch_start = std::chrono::steady_clock::now();
+  std::vector<core::XmlSource::ProcessOutcome> outcomes;
+  {
+    std::lock_guard<std::mutex> lock(shard.state_mutex);
+    outcomes =
+        shard.source.ProcessBatch(std::move(docs), pool_ ? &*pool_ : nullptr);
+    for (const core::XmlSource::ProcessOutcome& outcome : outcomes) {
+      if (outcome.classified) ++shard.ingested_per_dtd[outcome.dtd_name];
+      if (outcome.evolved) ++shard.evolutions_per_dtd[outcome.dtd_name];
+    }
+    for (const PendingDoc& item : pending) {
+      if (item.lsn > shard.applied_lsn) shard.applied_lsn = item.lsn;
+    }
+  }
+  const auto now = std::chrono::steady_clock::now();
+  shard.batch_seconds->Observe(
+      std::chrono::duration<double>(now - batch_start).count());
+
+  for (size_t i = 0; i < pending.size(); ++i) {
+    shard.ingest_seconds->Observe(
+        std::chrono::duration<double>(now - pending[i].enqueued).count());
+    if (pending[i].waiter != nullptr) {
+      std::lock_guard<std::mutex> lock(pending[i].waiter->mutex);
+      pending[i].waiter->outcome = outcomes[i];
+      pending[i].waiter->done = true;
+      pending[i].waiter->cv.notify_all();
+    }
+  }
+}
+
+Status SourceManager::CheckpointShard(Shard& shard, uint64_t* captured_lsn) {
+  if (shard.wal == nullptr) return Status::Ok();
+  // One checkpoint of this shard at a time (periodic thread vs explicit
+  // CheckpointTenant calls); the state mutex is still taken only for
+  // the in-memory capture, so ingest is not stalled for the I/O.
+  std::lock_guard<std::mutex> io(shard.checkpoint_mutex);
+  store::CheckpointData data;
+  {
+    std::lock_guard<std::mutex> lock(shard.state_mutex);
+    data = store::CaptureCheckpoint(shard.source, shard.applied_lsn);
+  }
+  const std::string dir = backcompat_
+                              ? options_.wal_dir
+                              : options_.wal_dir + "/" + shard.dir_component;
+  Status written = store::WriteCheckpoint(dir, data);
+  if (written.ok()) written = shard.wal->TruncateThrough(data.lsn);
+  if (!written.ok()) {
+    if (shard.checkpoint_errors != nullptr) {
+      shard.checkpoint_errors->Increment();
+    }
+    return written;
+  }
+  if (shard.checkpoints != nullptr) shard.checkpoints->Increment();
+  if (shard.checkpoint_lsn_gauge != nullptr) {
+    shard.checkpoint_lsn_gauge->Set(static_cast<double>(data.lsn));
+  }
+  if (data.lsn > shard.last_checkpoint_lsn) {
+    shard.last_checkpoint_lsn = data.lsn;
+  }
+  // Report the LSN the checkpoint *captured* — not whatever the caller
+  // sampled before calling. Ingest racing the capture can move
+  // applied_lsn past the sample, and tracking the sample would make the
+  // next periodic round re-checkpoint state that never moved.
+  if (captured_lsn != nullptr) *captured_lsn = data.lsn;
+  return Status::Ok();
+}
+
+void SourceManager::CheckpointLoop() {
+  std::unique_lock<std::mutex> lock(checkpoint_wake_mutex_);
+  for (;;) {
+    checkpoint_wake_cv_.wait_for(lock, options_.checkpoint_interval,
+                                 [this] { return checkpoint_stop_; });
+    if (checkpoint_stop_) return;
+    lock.unlock();
+    for (const auto& shard : shards_) {
+      if (shard->wal == nullptr) continue;
+      uint64_t applied = 0;
+      {
+        std::lock_guard<std::mutex> state(shard->state_mutex);
+        applied = shard->applied_lsn;
+      }
+      uint64_t last = 0;
+      {
+        std::lock_guard<std::mutex> io(shard->checkpoint_mutex);
+        last = shard->last_checkpoint_lsn;
+      }
+      // Checkpoints are only worth their I/O when the state moved; a
+      // failed attempt is counted and retried next round.
+      // CheckpointShard advances last_checkpoint_lsn to the LSN it
+      // actually captured, so an ingest racing the capture never causes
+      // a redundant extra checkpoint next interval.
+      if (applied > last) CheckpointShard(*shard, nullptr);
+    }
+    lock.lock();
+  }
+}
+
+Status SourceManager::CheckpointTenant(const std::string& tenant,
+                                       uint64_t* captured_lsn) {
+  Shard* shard = FindShard(tenant.empty() && !shards_.empty()
+                               ? shards_[0]->name
+                               : tenant);
+  if (shard == nullptr) {
+    return Status::NotFound("unknown tenant '" + tenant + "'");
+  }
+  return CheckpointShard(*shard, captured_lsn);
+}
+
+Status SourceManager::CheckpointAll(uint64_t* captured_lsn) {
+  Status first_error;
+  for (const auto& shard : shards_) {
+    Status status = CheckpointShard(*shard, captured_lsn);
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+Status SourceManager::SnapshotShard(Shard& shard) {
+  std::lock_guard<std::mutex> lock(shard.state_mutex);
+  for (const std::string& name : shard.source.DtdNames()) {
+    DTDEVOLVE_RETURN_IF_ERROR(evolve::SaveExtendedDtdFile(
+        *shard.source.FindExtended(name), SnapshotPathFor(shard, name)));
+  }
+  return Status::Ok();
+}
+
+Status SourceManager::SnapshotNow() {
+  if (options_.snapshot_dir.empty()) return Status::Ok();
+  Status first_error;
+  for (const auto& shard : shards_) {
+    Status status = SnapshotShard(*shard);
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+void SourceManager::Drain() {
+  if (started_) {
+    for (const auto& shard : shards_) {
+      {
+        std::lock_guard<std::mutex> lock(shard->queue_mutex);
+        shard->paused = false;
+        shard->draining = true;
+      }
+      shard->queue_cv.notify_all();
+    }
+    for (const auto& shard : shards_) {
+      if (shard->worker.joinable()) shard->worker.join();
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(checkpoint_wake_mutex_);
+      checkpoint_stop_ = true;
+    }
+    checkpoint_wake_cv_.notify_all();
+    if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
+
+    for (const auto& shard : shards_) {
+      if (shard->wal == nullptr) continue;
+      if (options_.checkpoint_on_shutdown) {
+        CheckpointShard(*shard, nullptr);
+      } else {
+        // Crash-simulation mode: leave only the log behind, but make
+        // sure everything acked under a lazy fsync policy reaches the
+        // disk.
+        shard->wal->Sync();
+      }
+    }
+    SnapshotNow();
+
+    if (pool_) pool_->Shutdown();
+    started_ = false;
+  }
+}
+
+std::vector<std::string> SourceManager::TenantNames() const {
+  std::vector<std::string> names;
+  names.reserve(shards_.size());
+  for (const auto& shard : shards_) names.push_back(shard->name);
+  return names;
+}
+
+bool SourceManager::HasTenant(const std::string& tenant) const {
+  return by_name_.count(tenant) != 0;
+}
+
+StatusOr<std::vector<std::string>> SourceManager::DtdNamesFor(
+    const std::string& tenant) const {
+  const Shard* shard = ResolveReadShard(tenant);
+  if (shard == nullptr) {
+    if (tenant.empty()) {
+      return Status::InvalidArgument("tenant required (multi-tenant server)");
+    }
+    return Status::NotFound("unknown tenant '" + tenant + "'");
+  }
+  std::lock_guard<std::mutex> lock(shard->state_mutex);
+  return shard->source.DtdNames();
+}
+
+StatusOr<std::string> SourceManager::DtdTextFor(const std::string& tenant,
+                                                const std::string& name) const {
+  const Shard* shard = ResolveReadShard(tenant);
+  if (shard == nullptr) {
+    if (tenant.empty()) {
+      return Status::InvalidArgument("tenant required (multi-tenant server)");
+    }
+    return Status::NotFound("unknown tenant '" + tenant + "'");
+  }
+  std::lock_guard<std::mutex> lock(shard->state_mutex);
+  const dtd::Dtd* dtd = shard->source.FindDtd(name);
+  if (dtd == nullptr) {
+    return Status::NotFound("unknown DTD '" + name + "'");
+  }
+  return dtd::WriteDtd(*dtd);
+}
+
+StatusOr<SourceManager::TenantStats> SourceManager::StatsFor(
+    const std::string& tenant) const {
+  const Shard* shard = ResolveReadShard(tenant);
+  if (shard == nullptr) {
+    if (tenant.empty()) {
+      return Status::InvalidArgument("tenant required (multi-tenant server)");
+    }
+    return Status::NotFound("unknown tenant '" + tenant + "'");
+  }
+  TenantStats stats;
+  stats.tenant = shard->name;
+  std::lock_guard<std::mutex> lock(shard->state_mutex);
+  stats.documents_processed = shard->source.documents_processed();
+  stats.documents_classified = shard->source.documents_classified();
+  stats.repository_size = shard->source.repository().size();
+  stats.evolutions_performed = shard->source.evolutions_performed();
+  for (const std::string& name : shard->source.DtdNames()) {
+    const evolve::ExtendedDtd* ext = shard->source.FindExtended(name);
+    TenantDtdStats dtd_stats;
+    dtd_stats.name = name;
+    dtd_stats.documents_recorded = ext->documents_recorded();
+    dtd_stats.mean_divergence = ext->MeanDivergence();
+    auto ingested = shard->ingested_per_dtd.find(name);
+    if (ingested != shard->ingested_per_dtd.end()) {
+      dtd_stats.documents_ingested = ingested->second;
+    }
+    auto evolved = shard->evolutions_per_dtd.find(name);
+    if (evolved != shard->evolutions_per_dtd.end()) {
+      dtd_stats.evolutions = evolved->second;
+    }
+    stats.dtds.push_back(std::move(dtd_stats));
+  }
+  return stats;
+}
+
+std::vector<SourceManager::TenantStats> SourceManager::AllStats() const {
+  std::vector<TenantStats> all;
+  all.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    StatusOr<TenantStats> stats = StatsFor(shard->name);
+    if (stats.ok()) all.push_back(std::move(*stats));
+  }
+  return all;
+}
+
+const store::RecoveryReport& SourceManager::recovery_report(
+    const std::string& tenant) const {
+  static const store::RecoveryReport kEmpty;
+  const Shard* shard =
+      tenant.empty() && !shards_.empty() ? shards_[0].get() : FindShard(tenant);
+  return shard == nullptr ? kEmpty : shard->recovery_report;
+}
+
+const core::XmlSource* SourceManager::source(const std::string& tenant) const {
+  const Shard* shard =
+      tenant.empty() && !shards_.empty() ? shards_[0].get() : FindShard(tenant);
+  return shard == nullptr ? nullptr : &shard->source;
+}
+
+}  // namespace dtdevolve::server

@@ -1,0 +1,332 @@
+#ifndef DTDEVOLVE_SERVER_SOURCE_MANAGER_H_
+#define DTDEVOLVE_SERVER_SOURCE_MANAGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/source.h"
+#include "obs/metrics.h"
+#include "similarity/score_cache.h"
+#include "store/checkpoint.h"
+#include "store/wal.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "xml/document.h"
+
+namespace dtdevolve::server {
+
+/// Turns an arbitrary name (DTD or tenant, user-supplied) into a safe
+/// single path component. Unsafe characters are flattened to '_', and —
+/// because flattening is lossy — any name the sanitizer had to change
+/// gets an 8-hex-digit CRC32 of the *original* name appended, so
+/// distinct names can never collide on disk ("a/b" and "a_b" used to
+/// map to the same snapshot file, silently overwriting each other).
+/// Names that are already safe come back verbatim, which keeps every
+/// pre-existing on-disk layout valid.
+std::string SafeFileComponent(const std::string& name);
+
+/// Configuration of a `SourceManager`. Mirrors the durability half of
+/// `ServerOptions`; the HTTP half stays with `IngestServer`.
+struct SourceManagerOptions {
+  /// Tenant (shard) names. Empty means the single tenant "default",
+  /// which runs in backward-compatible mode: unlabeled metrics and
+  /// snapshots/WAL directly in `snapshot_dir` / `wal_dir`. Any other
+  /// configuration labels every per-shard metric with {tenant="<name>"}
+  /// and gives each shard its own `<dir>/<tenant>/` subdirectory, i.e.
+  /// its own WAL + checkpoint lineage.
+  std::vector<std::string> tenants;
+  /// Scoring threads of the process-wide pool shared by every shard.
+  size_t jobs = 1;
+  /// Per-shard pending-document bound (backpressure).
+  size_t queue_capacity = 256;
+  /// Most documents drained into one `ProcessBatch` round per shard.
+  size_t batch_max = 64;
+  std::string snapshot_dir;
+  std::string wal_dir;
+  store::FsyncPolicy fsync_policy = store::FsyncPolicy::kAlways;
+  std::chrono::milliseconds fsync_interval{100};
+  uint64_t wal_segment_bytes = 8 * 1024 * 1024;
+  /// Cadence of the (single, manager-wide) periodic checkpoint thread;
+  /// zero disables it.
+  std::chrono::milliseconds checkpoint_interval{30000};
+  bool checkpoint_on_shutdown = true;
+};
+
+/// Owns N independent `XmlSource` shards — one per tenant — and runs
+/// the full per-shard pipeline lifecycle that used to live inside
+/// `IngestServer`: recovery on `Start`, a bounded ingest queue drained
+/// by a dedicated worker per shard, periodic checkpointing, graceful
+/// drain, and snapshot/checkpoint on shutdown.
+///
+/// What is per shard (fully independent between tenants):
+///   * the `XmlSource` (DTD set, repository, counters),
+///   * the WAL + checkpoint lineage (`wal_dir/<tenant>/`),
+///   * the ingest queue, its worker thread, and the `ingest_order_mutex`
+///     that makes LSN order equal apply order — so two tenants' writes
+///     never serialize against each other,
+///   * the per-DTD ingest/evolution tallies and recovery report.
+///
+/// What is shared process-wide:
+///   * the scoring `ThreadPool` (`ParallelFor` tracks completion per
+///     call, so concurrent shard batches don't starve each other),
+///   * the `SymbolTable` label interner (process-global by design),
+///   * one `SubtreeScoreCache` — safe across shards because entries are
+///     keyed by evaluator epoch, and epochs are globally unique.
+///
+/// Thread-safety: `AddDtdText` / `AddTenantDtdText` before `Start`;
+/// `Enqueue` and every read accessor afterwards from any thread;
+/// `Drain` once, after the caller has stopped producing documents.
+class SourceManager {
+ public:
+  /// Completion channel of a `wait`-mode enqueue.
+  struct IngestWaiter {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    core::XmlSource::ProcessOutcome outcome;
+  };
+
+  enum class EnqueueCode {
+    kOk,
+    kUnknownTenant,  // explicit tenant that no shard matches
+    kQueueFull,      // shard at queue_capacity — back off and retry
+    kWalError,       // WAL append failed — NOT acked, shard degraded
+  };
+
+  struct EnqueueResult {
+    EnqueueCode code = EnqueueCode::kOk;
+    /// The shard that accepted (or rejected) the document — for
+    /// anonymous traffic, the routing decision.
+    std::string tenant;
+    /// Failure detail for `kWalError`.
+    std::string error;
+    /// Non-null iff `wait` was requested and the enqueue succeeded.
+    std::shared_ptr<IngestWaiter> waiter;
+  };
+
+  struct TenantDtdStats {
+    std::string name;
+    uint64_t documents_recorded = 0;
+    double mean_divergence = 0.0;
+    uint64_t documents_ingested = 0;
+    uint64_t evolutions = 0;
+  };
+
+  struct TenantStats {
+    std::string tenant;
+    uint64_t documents_processed = 0;
+    uint64_t documents_classified = 0;
+    size_t repository_size = 0;
+    uint64_t evolutions_performed = 0;
+    std::vector<TenantDtdStats> dtds;
+  };
+
+  SourceManager(core::SourceOptions source_options,
+                SourceManagerOptions options);
+  ~SourceManager();
+
+  SourceManager(const SourceManager&) = delete;
+  SourceManager& operator=(const SourceManager&) = delete;
+
+  /// Registers a seed DTD on *every* shard. Call before `Start`.
+  Status AddDtdText(const std::string& name, std::string_view dtd_text);
+  /// Registers a seed DTD on one shard only.
+  Status AddTenantDtdText(const std::string& tenant, const std::string& name,
+                          std::string_view dtd_text);
+
+  /// Wires metrics into `registry`, creates the storage directories,
+  /// recovers every shard (checkpoint + WAL tail, or snapshot restore),
+  /// and spawns the per-shard workers plus the checkpoint thread.
+  /// Idempotent per shard across a failed-then-retried `Start`: a shard
+  /// that already recovered is never replayed a second time.
+  Status Start(obs::Registry* registry);
+
+  /// Graceful stop: drains every queue through the loop, joins the
+  /// workers and the checkpoint thread, takes the final checkpoint (or
+  /// WAL sync) and snapshots, and shuts the pool down. Safe to call
+  /// when `Start` never ran or already failed.
+  void Drain();
+
+  bool started() const { return started_; }
+
+  /// Pauses / resumes every shard worker between batches.
+  void PauseIngest();
+  void ResumeIngest();
+
+  /// Routes and enqueues one parsed document. `tenant` empty means
+  /// anonymous traffic: with a single shard it goes there; with a shard
+  /// literally named "default" it goes there; otherwise the root
+  /// element tag picks a shard on a consistent-hash ring (stable under
+  /// tenant-set growth for most keys). `raw_body` is what the WAL
+  /// records (replay re-parses it).
+  EnqueueResult Enqueue(const std::string& tenant, xml::Document doc,
+                        const std::string& raw_body, bool wait);
+
+  /// True when running in backward-compatible single-"default" mode
+  /// (unlabeled metrics, root-level storage directories).
+  bool single_default() const { return backcompat_; }
+
+  std::vector<std::string> TenantNames() const;
+  bool HasTenant(const std::string& tenant) const;
+
+  /// DTD names of one tenant. Empty `tenant` resolves like anonymous
+  /// reads: the single shard, else the shard named "default", else
+  /// `kInvalidArgument` ("tenant required"). Unknown tenants are
+  /// `kNotFound`.
+  StatusOr<std::vector<std::string>> DtdNamesFor(
+      const std::string& tenant) const;
+  /// Current (possibly evolved) declarations of one DTD, as DTD text.
+  StatusOr<std::string> DtdTextFor(const std::string& tenant,
+                                   const std::string& name) const;
+  /// Stats of one tenant (same resolution rules as `DtdNamesFor`).
+  StatusOr<TenantStats> StatsFor(const std::string& tenant) const;
+  /// Stats of every tenant, in tenant order.
+  std::vector<TenantStats> AllStats() const;
+
+  /// Writes one atomic snapshot per DTD per shard. No-op without a
+  /// snapshot dir.
+  Status SnapshotNow();
+
+  /// Checkpoints one tenant and truncates its WAL through the captured
+  /// LSN. `captured_lsn` (optional) receives the LSN the checkpoint
+  /// actually captured — the caller must track *that*, not the LSN it
+  /// sampled before calling, because ingest can race the capture.
+  Status CheckpointTenant(const std::string& tenant,
+                          uint64_t* captured_lsn = nullptr);
+  /// Checkpoints every shard; returns the first error. With several
+  /// shards `captured_lsn` is the last shard's (it is only meaningful
+  /// in single-tenant mode).
+  Status CheckpointAll(uint64_t* captured_lsn = nullptr);
+
+  /// Boot recovery findings of one tenant (empty = first shard).
+  const store::RecoveryReport& recovery_report(
+      const std::string& tenant = "") const;
+  /// Aggregated non-fatal boot findings across every shard.
+  const std::vector<std::string>& boot_warnings() const {
+    return boot_warnings_;
+  }
+
+  /// A shard's source, for quiesced inspection (before `Start` or after
+  /// `Drain`); nullptr for unknown tenants. Empty = first shard.
+  const core::XmlSource* source(const std::string& tenant = "") const;
+
+  /// Storage locations, mainly for tests asserting the on-disk layout.
+  std::string WalDirFor(const std::string& tenant) const;
+  std::string SnapshotDirFor(const std::string& tenant) const;
+
+ private:
+  struct PendingDoc {
+    xml::Document doc;
+    std::chrono::steady_clock::time_point enqueued;
+    std::shared_ptr<IngestWaiter> waiter;  // null for fire-and-forget
+    uint64_t lsn = 0;                      // 0 when the WAL is disabled
+  };
+
+  /// One tenant: a full, independent ingest pipeline.
+  struct Shard {
+    explicit Shard(const core::SourceOptions& source_options)
+        : source(source_options) {}
+
+    std::string name;
+    std::string dir_component;  // SafeFileComponent(name)
+
+    core::XmlSource source;
+    std::unique_ptr<store::Wal> wal;
+    store::RecoveryReport recovery_report;
+    bool recovered = false;           // WAL recovery already ran
+    bool snapshots_restored = false;  // snapshot restore already ran
+    bool metrics_wired = false;
+
+    /// Spans capacity check → WAL append → enqueue, so this shard's
+    /// apply order is exactly its LSN order. Never held while another
+    /// shard's is — tenants don't serialize against each other.
+    std::mutex ingest_order_mutex;
+
+    /// Guards `source` and the tallies below.
+    mutable std::mutex state_mutex;
+    std::map<std::string, uint64_t> ingested_per_dtd;
+    std::map<std::string, uint64_t> evolutions_per_dtd;
+    uint64_t applied_lsn = 0;  // highest LSN folded into `source`
+
+    /// Serializes checkpoint I/O (periodic thread vs explicit calls)
+    /// and guards `last_checkpoint_lsn`.
+    std::mutex checkpoint_mutex;
+    uint64_t last_checkpoint_lsn = 0;
+
+    std::mutex queue_mutex;
+    std::condition_variable queue_cv;
+    std::deque<PendingDoc> queue;
+    bool paused = false;
+    bool draining = false;
+    std::thread worker;
+
+    // Hot-path metric handles (tenant-labeled unless backcompat).
+    obs::Counter* requests_rejected = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* ingest_seconds = nullptr;
+    obs::Histogram* batch_seconds = nullptr;
+    obs::Gauge* degraded = nullptr;
+    obs::Counter* checkpoints = nullptr;
+    obs::Counter* checkpoint_errors = nullptr;
+    obs::Gauge* checkpoint_lsn_gauge = nullptr;
+    obs::Counter* snapshots_quarantined = nullptr;
+  };
+
+  Shard* FindShard(const std::string& tenant);
+  const Shard* FindShard(const std::string& tenant) const;
+  /// Read-path resolution: explicit name, else the single shard, else
+  /// the shard named "default", else nullptr (ambiguous).
+  const Shard* ResolveReadShard(const std::string& tenant) const;
+  /// Ingest routing: like ResolveReadShard but anonymous traffic with
+  /// no "default" shard falls through to the consistent-hash ring.
+  Shard* RouteIngest(const std::string& tenant, const xml::Document& doc);
+
+  Status StartShard(Shard& shard, obs::Registry* registry);
+  void WireShardMetrics(Shard& shard, obs::Registry* registry);
+  Status RestoreShardSnapshots(Shard& shard);
+  Status SnapshotShard(Shard& shard);
+  Status CheckpointShard(Shard& shard, uint64_t* captured_lsn);
+  void IngestWorker(Shard& shard);
+  void ProcessPending(Shard& shard, std::vector<PendingDoc> pending);
+  void CheckpointLoop();
+  std::string SnapshotPathFor(const Shard& shard,
+                              const std::string& name) const;
+
+  core::SourceOptions source_options_;
+  SourceManagerOptions options_;
+  bool backcompat_ = false;
+
+  /// Process-wide shared scoring infrastructure.
+  std::unique_ptr<similarity::SubtreeScoreCache> shared_cache_;
+  std::optional<util::ThreadPool> pool_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<std::string, Shard*> by_name_;
+  Shard* default_shard_ = nullptr;  // the shard named "default", if any
+  /// Consistent-hash ring: 64 virtual points per shard, keyed by the
+  /// document's root element tag for anonymous multi-tenant traffic.
+  std::vector<std::pair<uint32_t, Shard*>> ring_;
+
+  bool started_ = false;
+  std::vector<std::string> boot_warnings_;
+
+  std::thread checkpoint_thread_;
+  std::mutex checkpoint_wake_mutex_;
+  std::condition_variable checkpoint_wake_cv_;
+  bool checkpoint_stop_ = false;
+};
+
+}  // namespace dtdevolve::server
+
+#endif  // DTDEVOLVE_SERVER_SOURCE_MANAGER_H_

@@ -81,16 +81,25 @@ void ThreadPool::ParallelFor(size_t n,
     for (size_t i = 0; i < n; ++i) body(i);
     return;
   }
+  // Per-call completion tracking instead of the pool-wide Wait():
+  // several callers (one per tenant shard) share one pool, and a global
+  // drain barrier would let one caller's batch block on another's.
   std::atomic<size_t> next{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  size_t remaining = workers;
   for (size_t w = 0; w < workers; ++w) {
-    Submit([&next, &body, n] {
+    Submit([&next, &body, n, &done_mutex, &done_cv, &remaining] {
       for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
            i = next.fetch_add(1, std::memory_order_relaxed)) {
         body(i);
       }
+      std::unique_lock<std::mutex> lock(done_mutex);
+      if (--remaining == 0) done_cv.notify_all();
     });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
 }
 
 void ParallelFor(size_t n, size_t jobs,

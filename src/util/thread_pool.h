@@ -51,10 +51,12 @@ class ThreadPool {
   void Shutdown();
 
   /// Runs `body(i)` for every i in [0, n) on this pool's workers and
-  /// blocks until all iterations finished (it waits for the pool to
-  /// drain, so don't interleave with unrelated `Submit`s). Iterations
-  /// are claimed dynamically from a shared counter; `body` must be safe
-  /// to call concurrently for distinct `i`.
+  /// blocks until all iterations finished. Completion is tracked per
+  /// call (not via the pool-wide `Wait`), so several threads may run
+  /// independent `ParallelFor`s on one shared pool concurrently without
+  /// blocking on each other's work. Iterations are claimed dynamically
+  /// from a shared counter; `body` must be safe to call concurrently
+  /// for distinct `i`.
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
 
   /// A sensible default worker count: the hardware concurrency, with a

@@ -15,11 +15,13 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "evolve/persist.h"
 #include "io/fault.h"
@@ -332,6 +334,80 @@ TEST(DurabilityTest, RecvTimeoutReleasesAStalledConnection) {
   ::close(fd);
   EXPECT_LT(waited, std::chrono::seconds(8))
       << "server did not time the stalled connection out";
+
+  server.Shutdown();
+  server.Wait();
+}
+
+/// The current value of an unlabeled counter in a /metrics scrape, or
+/// -1 when the series is absent.
+long MetricValue(const std::string& metrics, const std::string& name) {
+  const std::string needle = name + " ";
+  size_t pos = metrics.find(needle);
+  while (pos != std::string::npos) {
+    // Skip HELP/TYPE lines and labeled series; match the sample line.
+    if ((pos == 0 || metrics[pos - 1] == '\n')) {
+      return std::atol(metrics.c_str() + pos + needle.size());
+    }
+    pos = metrics.find(needle, pos + 1);
+  }
+  return -1;
+}
+
+TEST(DurabilityTest, CheckpointNowReportsTheCapturedLsn) {
+  const std::string wal_dir = FreshDir("captured_lsn");
+  IngestServer server(EvolvingOptions(), CrashSimOptions(wal_dir));
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(Post(server.port(), "/ingest?wait=1", kConformingDoc).status,
+              200);
+  }
+  // The checkpoint must report the LSN it actually captured, not an
+  // LSN the caller sampled earlier — the bug that made the periodic
+  // thread re-checkpoint unchanged state whenever ingest raced the
+  // capture.
+  uint64_t captured = 0;
+  ASSERT_TRUE(server.CheckpointNow(&captured).ok());
+  EXPECT_EQ(captured, 3u);
+
+  ASSERT_EQ(Post(server.port(), "/ingest?wait=1", kDriftedDoc).status, 200);
+  ASSERT_TRUE(server.CheckpointNow(&captured).ok());
+  EXPECT_EQ(captured, 4u);
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(DurabilityTest, IdlePeriodsDoNotRewriteCheckpoints) {
+  const std::string wal_dir = FreshDir("idle_checkpoints");
+  ServerOptions options = CrashSimOptions(wal_dir);
+  options.checkpoint_interval = std::chrono::milliseconds(20);
+  IngestServer server(EvolvingOptions(), options);
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(Post(server.port(), "/ingest?wait=1", kConformingDoc).status,
+              200);
+  }
+
+  // Wait for the periodic thread to take the post-ingest checkpoint.
+  long count = -1;
+  for (int i = 0; i < 200 && count < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    count = MetricValue(Get(server.port(), "/metrics").body,
+                        "dtdevolve_checkpoints_total");
+  }
+  ASSERT_GE(count, 1);
+
+  // Idle now: many intervals pass, and with nothing applied since the
+  // captured LSN the thread must not write another checkpoint.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const long after_idle = MetricValue(Get(server.port(), "/metrics").body,
+                                      "dtdevolve_checkpoints_total");
+  EXPECT_EQ(after_idle, count);
 
   server.Shutdown();
   server.Wait();

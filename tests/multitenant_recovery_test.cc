@@ -1,0 +1,323 @@
+// Multi-tenant crash-recovery suite: every tenant shard keeps its own
+// WAL + checkpoint lineage, and a reboot must restore each shard to the
+// fingerprint of replaying its acked documents sequentially through a
+// fresh XmlSource — the same oracle the single-tenant durability suite
+// uses, applied per shard. A fault-injected crash-point sweep
+// (`io/fault.h`) covers deaths mid-append. Multi-threaded end to end,
+// so the suite runs under both the `durability` and `concurrency`
+// ctest labels.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/source.h"
+#include "evolve/persist.h"
+#include "io/fault.h"
+#include "server/server.h"
+
+namespace dtdevolve::server {
+namespace {
+
+const char* kMailDtd = R"(
+  <!ELEMENT mail (envelope, body)>
+  <!ELEMENT envelope (from, to, subject)>
+  <!ELEMENT from (#PCDATA)>
+  <!ELEMENT to (#PCDATA)>
+  <!ELEMENT subject (#PCDATA)>
+  <!ELEMENT body (#PCDATA)>
+)";
+
+const char* kConformingDoc =
+    "<mail><envelope><from>a</from><to>b</to><subject>s</subject>"
+    "</envelope><body>hello</body></mail>";
+
+const char* kDriftedDoc =
+    "<mail><envelope><from>a</from><to>b</to><subject>s</subject>"
+    "<cc>c</cc></envelope><body>hello</body>"
+    "<attachment>x</attachment></mail>";
+
+struct ClientResponse {
+  int status = 0;
+  std::string head;
+  std::string body;
+};
+
+void HttpRoundTrip(uint16_t port, const std::string& request,
+                   ClientResponse* out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ADD_FAILURE() << "connect: " << std::strerror(errno);
+    ::close(fd);
+    return;
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ADD_FAILURE() << "send: " << std::strerror(errno);
+      ::close(fd);
+      return;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char chunk[4096];
+  while (true) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t split = raw.find("\r\n\r\n");
+  if (split == std::string::npos || raw.rfind("HTTP/1.1 ", 0) != 0) {
+    ADD_FAILURE() << "unframed response: " << raw;
+    return;
+  }
+  out->head = raw.substr(0, split);
+  out->body = raw.substr(split + 4);
+  out->status = std::atoi(out->head.c_str() + 9);
+}
+
+ClientResponse Post(uint16_t port, const std::string& target,
+                    const std::string& body) {
+  ClientResponse response;
+  HttpRoundTrip(port,
+                "POST " + target + " HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+                    std::to_string(body.size()) + "\r\n\r\n" + body,
+                &response);
+  return response;
+}
+
+core::SourceOptions EvolvingOptions() {
+  core::SourceOptions options;
+  options.sigma = 0.3;
+  options.tau = 0.15;
+  options.min_documents_before_check = 1;
+  return options;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      testing::TempDir() + "multitenant_recovery_test_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Two tenant shards over independent WAL lineages; stops simulate a
+/// crash (no shutdown checkpoint), so the next boot must replay.
+ServerOptions CrashSimOptions(const std::string& wal_dir) {
+  ServerOptions options;
+  options.port = 0;
+  options.jobs = 2;
+  options.tenants = {"alpha", "beta"};
+  options.wal_dir = wal_dir;
+  options.checkpoint_interval = std::chrono::milliseconds(0);
+  options.checkpoint_on_shutdown = false;
+  return options;
+}
+
+struct ShardDigest {
+  uint64_t processed = 0;
+  uint64_t classified = 0;
+  uint64_t evolutions = 0;
+  size_t repository = 0;
+  std::string mail_dtd;
+};
+
+ShardDigest DigestOf(const core::XmlSource& source) {
+  ShardDigest digest;
+  digest.processed = source.documents_processed();
+  digest.classified = source.documents_classified();
+  digest.evolutions = source.evolutions_performed();
+  digest.repository = source.repository().size();
+  const evolve::ExtendedDtd* ext = source.FindExtended("mail");
+  if (ext != nullptr) digest.mail_dtd = evolve::SerializeExtendedDtd(*ext);
+  return digest;
+}
+
+/// The recovery oracle: a fresh single-threaded XmlSource fed the same
+/// documents in ack order. Whatever it computes is, by definition, the
+/// state an acked history must restore to.
+ShardDigest SequentialReplay(const std::vector<std::string>& docs) {
+  core::XmlSource source(EvolvingOptions());
+  EXPECT_TRUE(source.AddDtdText("mail", kMailDtd).ok());
+  for (const std::string& doc : docs) {
+    EXPECT_TRUE(source.ProcessText(doc).ok());
+  }
+  return DigestOf(source);
+}
+
+void ExpectDigestEq(const ShardDigest& got, const ShardDigest& want,
+                    const std::string& label) {
+  EXPECT_EQ(got.processed, want.processed) << label;
+  EXPECT_EQ(got.classified, want.classified) << label;
+  EXPECT_EQ(got.evolutions, want.evolutions) << label;
+  EXPECT_EQ(got.repository, want.repository) << label;
+  EXPECT_EQ(got.mail_dtd, want.mail_dtd) << label;
+}
+
+size_t WalSegmentCount(const std::string& dir) {
+  size_t count = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) == 0) ++count;
+  }
+  return count;
+}
+
+TEST(MultitenantRecoveryTest, EveryShardRecoversToItsSequentialReplay) {
+  const std::string wal_dir = FreshDir("replay");
+  const std::vector<std::pair<std::string, std::string>> workload = {
+      {"alpha", kConformingDoc}, {"beta", kConformingDoc},
+      {"alpha", kDriftedDoc},    {"alpha", kDriftedDoc},
+      {"beta", kConformingDoc},  {"alpha", kConformingDoc},
+  };
+  std::map<std::string, std::vector<std::string>> acked;
+  {
+    IngestServer server(EvolvingOptions(), CrashSimOptions(wal_dir));
+    ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+    ASSERT_TRUE(server.Start().ok());
+    for (const auto& [tenant, doc] : workload) {
+      ASSERT_EQ(
+          Post(server.port(), "/ingest/" + tenant + "?wait=1", doc).status,
+          200);
+      acked[tenant].push_back(doc);
+    }
+    server.Shutdown();
+    server.Wait();
+  }
+
+  // Independent lineages on disk: one WAL subdirectory per tenant.
+  EXPECT_GE(WalSegmentCount(wal_dir + "/alpha"), 1u);
+  EXPECT_GE(WalSegmentCount(wal_dir + "/beta"), 1u);
+
+  IngestServer server(EvolvingOptions(), CrashSimOptions(wal_dir));
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.recovery_report("alpha").replayed_records, 4u);
+  EXPECT_EQ(server.recovery_report("beta").replayed_records, 2u);
+  server.Shutdown();
+  server.Wait();
+
+  for (const auto& [tenant, docs] : acked) {
+    ExpectDigestEq(DigestOf(server.source(tenant)), SequentialReplay(docs),
+                   tenant);
+  }
+}
+
+TEST(MultitenantRecoveryTest, CheckpointingOneTenantLeavesTheOtherReplaying) {
+  const std::string wal_dir = FreshDir("per_tenant_checkpoint");
+  {
+    IngestServer server(EvolvingOptions(), CrashSimOptions(wal_dir));
+    ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+    ASSERT_TRUE(server.Start().ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(
+          Post(server.port(), "/ingest/alpha?wait=1", kConformingDoc).status,
+          200);
+    }
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_EQ(
+          Post(server.port(), "/ingest/beta?wait=1", kConformingDoc).status,
+          200);
+    }
+    uint64_t captured = 0;
+    ASSERT_TRUE(server.manager().CheckpointTenant("alpha", &captured).ok());
+    EXPECT_EQ(captured, 3u);
+    server.Shutdown();
+    server.Wait();
+  }
+
+  IngestServer server(EvolvingOptions(), CrashSimOptions(wal_dir));
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+  // alpha boots from its checkpoint; beta — never checkpointed — must
+  // replay its whole log. Shard lineages do not bleed into each other.
+  EXPECT_EQ(server.recovery_report("alpha").checkpoint_lsn, 3u);
+  EXPECT_EQ(server.recovery_report("alpha").replayed_records, 0u);
+  EXPECT_EQ(server.recovery_report("beta").checkpoint_lsn, 0u);
+  EXPECT_EQ(server.recovery_report("beta").replayed_records, 2u);
+  server.Shutdown();
+  server.Wait();
+  EXPECT_EQ(server.source("alpha").documents_processed(), 3u);
+  EXPECT_EQ(server.source("beta").documents_processed(), 2u);
+}
+
+TEST(MultitenantRecoveryTest, CrashPointSweepRestoresEveryAckedDocument) {
+  // Kill the disk at the k-th WAL write, mid-record (torn tail), with
+  // every later write failing too — then reboot and require each shard
+  // to equal the sequential replay of exactly its acked documents.
+  const std::vector<std::pair<std::string, std::string>> workload = {
+      {"alpha", kConformingDoc}, {"beta", kConformingDoc},
+      {"alpha", kDriftedDoc},    {"beta", kDriftedDoc},
+      {"alpha", kDriftedDoc},    {"beta", kConformingDoc},
+  };
+  for (const uint64_t crash_at : {1u, 2u, 3u, 5u, 8u}) {
+    const std::string wal_dir =
+        FreshDir("sweep_" + std::to_string(crash_at));
+    std::map<std::string, std::vector<std::string>> acked;
+    {
+      IngestServer server(EvolvingOptions(), CrashSimOptions(wal_dir));
+      ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+      ASSERT_TRUE(server.Start().ok());
+
+      io::FaultPlan plan;
+      plan.fail_at = crash_at;
+      plan.op_mask = static_cast<uint32_t>(io::FaultOp::kWrite);
+      plan.error_code = EIO;
+      plan.torn_fraction = 0.5;
+      plan.crash = true;
+      io::ScopedFaultPlan armed(plan);
+
+      for (const auto& [tenant, doc] : workload) {
+        ClientResponse response =
+            Post(server.port(), "/ingest/" + tenant + "?wait=1", doc);
+        if (response.status == 200) {
+          acked[tenant].push_back(doc);
+        } else {
+          // The dead disk answers 503 — degraded, never a false ack.
+          EXPECT_EQ(response.status, 503) << "crash_at=" << crash_at;
+        }
+      }
+      server.Shutdown();
+      server.Wait();
+    }
+    io::FaultInjector::Instance().Disarm();
+
+    IngestServer server(EvolvingOptions(), CrashSimOptions(wal_dir));
+    ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+    ASSERT_TRUE(server.Start().ok());
+    server.Shutdown();
+    server.Wait();
+
+    for (const std::string tenant : {"alpha", "beta"}) {
+      ExpectDigestEq(
+          DigestOf(server.source(tenant)), SequentialReplay(acked[tenant]),
+          "crash_at=" + std::to_string(crash_at) + " tenant=" + tenant);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtdevolve::server

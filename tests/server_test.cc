@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
@@ -338,6 +339,163 @@ TEST(ServerTest, ShutdownDrainsQueuedDocumentsBeforeStopping) {
   server.Shutdown();
   server.Wait();
   EXPECT_EQ(server.source().documents_processed(), 5u);
+}
+
+/// Open descriptors of this process, via /proc. The opendir handle
+/// itself is one of them, but it is one of them on every call, so
+/// equality comparisons between two counts are exact.
+size_t OpenFdCount() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  size_t count = 0;
+  while (dirent* entry = ::readdir(dir)) {
+    if (std::strcmp(entry->d_name, ".") == 0 ||
+        std::strcmp(entry->d_name, "..") == 0) {
+      continue;
+    }
+    ++count;
+  }
+  ::closedir(dir);
+  return count;
+}
+
+TEST(ServerTest, FailedStartReleasesFdsAndCanRetry) {
+  // Occupy a concrete port so a second server's bind deterministically
+  // fails *after* its wake pipe and listen socket were created.
+  IngestServer occupant(EvolvingOptions(), EphemeralOptions());
+  ASSERT_TRUE(occupant.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(occupant.Start().ok());
+
+  ServerOptions conflicting = EphemeralOptions();
+  conflicting.port = occupant.port();
+  IngestServer server(EvolvingOptions(), conflicting);
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+
+  ASSERT_FALSE(server.Start().ok());
+  const size_t baseline = OpenFdCount();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_FALSE(server.Start().ok());
+  }
+  // Before the fix each failed Start leaked the wake pipe (and, on the
+  // listen-failure path, the socket): 8 retries grew the fd table.
+  EXPECT_EQ(OpenFdCount(), baseline);
+
+  occupant.Shutdown();
+  occupant.Wait();
+
+  // The port is free now; the very same server object starts cleanly
+  // and serves — a failed Start left no half-initialized state behind.
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(Post(server.port(), "/ingest?wait=1", kConformingDoc).status, 200);
+  server.Shutdown();
+  server.Wait();
+  EXPECT_EQ(server.source().documents_processed(), 1u);
+}
+
+TEST(ServerTest, ConflictingContentLengthHeadersAreRejected) {
+  IngestServer server(EvolvingOptions(), EphemeralOptions());
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string body = kConformingDoc;
+  const std::string length = std::to_string(body.size());
+
+  // Two Content-Length headers that disagree is the classic
+  // request-smuggling shape: reject, never pick one.
+  ClientResponse conflicting;
+  HttpRoundTrip(server.port(),
+                "POST /ingest?wait=1 HTTP/1.1\r\nHost: t\r\n"
+                "Content-Length: " + length + "\r\n"
+                "Content-Length: 5\r\n\r\n" + body,
+                &conflicting);
+  EXPECT_EQ(conflicting.status, 400);
+
+  // Duplicates that agree are harmless; the request is served.
+  ClientResponse agreeing;
+  HttpRoundTrip(server.port(),
+                "POST /ingest?wait=1 HTTP/1.1\r\nHost: t\r\n"
+                "Content-Length: " + length + "\r\n"
+                "Content-Length: " + length + "\r\n\r\n" + body,
+                &agreeing);
+  EXPECT_EQ(agreeing.status, 200);
+
+  server.Shutdown();
+  server.Wait();
+  EXPECT_EQ(server.source().documents_processed(), 1u);
+}
+
+TEST(ServerTest, CollidingDtdNamesKeepDistinctSnapshots) {
+  const char* kNoteDtd = R"(
+    <!ELEMENT note (heading, text)>
+    <!ELEMENT heading (#PCDATA)>
+    <!ELEMENT text (#PCDATA)>
+  )";
+  std::string dir = ::testing::TempDir() + "server_test_colliding_names";
+  ::mkdir(dir.c_str(), 0755);
+
+  // "a/b" and "a_b" sanitize to the same file stem; before the fix the
+  // second snapshot overwrote the first and a restart restored the
+  // wrong DTD's state under both names.
+  {
+    ServerOptions options = EphemeralOptions();
+    options.snapshot_dir = dir;
+    IngestServer server(EvolvingOptions(), options);
+    ASSERT_TRUE(server.AddDtdText("a/b", kMailDtd).ok());
+    ASSERT_TRUE(server.AddDtdText("a_b", kNoteDtd).ok());
+    ASSERT_TRUE(server.Start().ok());
+    // Evolve "a/b" so its state is unmistakably the mail lineage.
+    ASSERT_EQ(Post(server.port(), "/ingest?wait=1", kConformingDoc).status,
+              200);
+    ASSERT_EQ(Post(server.port(), "/ingest?wait=1", kDriftedDoc).status, 200);
+    server.Shutdown();
+    server.Wait();
+  }
+
+  size_t snapshots = 0;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name.size() > 9 && name.rfind(".dtdstate") == name.size() - 9) {
+        ++snapshots;
+      }
+    }
+    ::closedir(d);
+  }
+  EXPECT_EQ(snapshots, 2u);
+
+  {
+    ServerOptions options = EphemeralOptions();
+    options.snapshot_dir = dir;
+    IngestServer restarted(EvolvingOptions(), options);
+    ASSERT_TRUE(restarted.AddDtdText("a/b", kMailDtd).ok());
+    ASSERT_TRUE(restarted.AddDtdText("a_b", kNoteDtd).ok());
+    ASSERT_TRUE(restarted.Start().ok());
+
+    ClientResponse mail = Get(restarted.port(), "/dtds/a/b");
+    EXPECT_EQ(mail.status, 200);
+    EXPECT_NE(mail.body.find("<!ELEMENT mail"), std::string::npos);
+    EXPECT_NE(mail.body.find("attachment"), std::string::npos)
+        << "evolved mail state lost: " << mail.body;
+
+    ClientResponse note = Get(restarted.port(), "/dtds/a_b");
+    EXPECT_EQ(note.status, 200);
+    EXPECT_NE(note.body.find("<!ELEMENT note"), std::string::npos)
+        << "note state clobbered by the colliding name: " << note.body;
+
+    restarted.Shutdown();
+    restarted.Wait();
+  }
+
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") {
+        std::remove((dir + "/" + name).c_str());
+      }
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
 }
 
 }  // namespace

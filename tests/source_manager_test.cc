@@ -1,0 +1,319 @@
+// Multi-tenant suite: the SourceManager shard fabric behind the ingest
+// server — tenant routing over the HTTP surface, shard isolation,
+// consistent anonymous routing, per-tenant metrics labels, and
+// concurrent cross-tenant ingest over a shared thread pool. Heavily
+// multi-threaded, so the suite runs under the `concurrency` ctest
+// label for TSan runs.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.h"
+#include "server/source_manager.h"
+
+namespace dtdevolve::server {
+namespace {
+
+const char* kMailDtd = R"(
+  <!ELEMENT mail (envelope, body)>
+  <!ELEMENT envelope (from, to, subject)>
+  <!ELEMENT from (#PCDATA)>
+  <!ELEMENT to (#PCDATA)>
+  <!ELEMENT subject (#PCDATA)>
+  <!ELEMENT body (#PCDATA)>
+)";
+
+const char* kConformingDoc =
+    "<mail><envelope><from>a</from><to>b</to><subject>s</subject>"
+    "</envelope><body>hello</body></mail>";
+
+const char* kDriftedDoc =
+    "<mail><envelope><from>a</from><to>b</to><subject>s</subject>"
+    "<cc>c</cc></envelope><body>hello</body>"
+    "<attachment>x</attachment></mail>";
+
+struct ClientResponse {
+  int status = 0;
+  std::string head;
+  std::string body;
+};
+
+/// One blocking HTTP exchange; `out->status` stays 0 on transport
+/// failure (same framing as server_test.cc).
+void HttpRoundTrip(uint16_t port, const std::string& request,
+                   ClientResponse* out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ADD_FAILURE() << "connect: " << std::strerror(errno);
+    ::close(fd);
+    return;
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ADD_FAILURE() << "send: " << std::strerror(errno);
+      ::close(fd);
+      return;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char chunk[4096];
+  while (true) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t split = raw.find("\r\n\r\n");
+  if (split == std::string::npos || raw.rfind("HTTP/1.1 ", 0) != 0) {
+    ADD_FAILURE() << "unframed response: " << raw;
+    return;
+  }
+  out->head = raw.substr(0, split);
+  out->body = raw.substr(split + 4);
+  out->status = std::atoi(out->head.c_str() + 9);
+}
+
+ClientResponse Get(uint16_t port, const std::string& target) {
+  ClientResponse response;
+  HttpRoundTrip(port, "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n",
+                &response);
+  return response;
+}
+
+ClientResponse Post(uint16_t port, const std::string& target,
+                    const std::string& body) {
+  ClientResponse response;
+  HttpRoundTrip(port,
+                "POST " + target + " HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+                    std::to_string(body.size()) + "\r\n\r\n" + body,
+                &response);
+  return response;
+}
+
+core::SourceOptions EvolvingOptions() {
+  core::SourceOptions options;
+  options.sigma = 0.3;
+  options.tau = 0.15;
+  options.min_documents_before_check = 1;
+  return options;
+}
+
+ServerOptions TenantOptions(std::vector<std::string> tenants) {
+  ServerOptions options;
+  options.port = 0;
+  options.jobs = 2;
+  options.tenants = std::move(tenants);
+  return options;
+}
+
+/// The `"tenant":"..."` value of an ingest response body.
+std::string TenantOf(const ClientResponse& response) {
+  const std::string key = "\"tenant\":\"";
+  const size_t start = response.body.find(key);
+  if (start == std::string::npos) return "";
+  const size_t from = start + key.size();
+  return response.body.substr(from, response.body.find('"', from) - from);
+}
+
+TEST(SourceManagerTest, SafeFileComponentKeepsCollidingNamesDistinct) {
+  // Clean names pass through untouched — the single-tenant snapshot
+  // layout (`mail.dtdstate`) must not change.
+  EXPECT_EQ(SafeFileComponent("mail"), "mail");
+  EXPECT_EQ(SafeFileComponent("invoice-v2"), "invoice-v2");
+  // Names that sanitize to the same stem must stay distinct files.
+  EXPECT_NE(SafeFileComponent("a/b"), SafeFileComponent("a_b"));
+  EXPECT_NE(SafeFileComponent("a/b"), SafeFileComponent("a\\b"));
+  EXPECT_NE(SafeFileComponent("../x"), SafeFileComponent("__/x"));
+  // Sanitized output never re-introduces path separators.
+  EXPECT_EQ(SafeFileComponent("a/b").find('/'), std::string::npos);
+}
+
+TEST(SourceManagerTest, TenantRoutingAndEndpointSurface) {
+  IngestServer server(EvolvingOptions(), TenantOptions({"alpha", "beta"}));
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientResponse tenants = Get(server.port(), "/tenants");
+  EXPECT_EQ(tenants.status, 200);
+  EXPECT_NE(tenants.body.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(tenants.body.find("\"beta\""), std::string::npos);
+
+  // Path routing: evolve alpha's DTD only.
+  ASSERT_EQ(Post(server.port(), "/ingest/alpha?wait=1", kConformingDoc).status,
+            200);
+  ClientResponse drifted =
+      Post(server.port(), "/ingest/alpha?wait=1", kDriftedDoc);
+  ASSERT_EQ(drifted.status, 200);
+  EXPECT_EQ(TenantOf(drifted), "alpha");
+  EXPECT_NE(drifted.body.find("\"evolved\":true"), std::string::npos);
+
+  // Query routing is the equivalent spelling.
+  ClientResponse beta_post =
+      Post(server.port(), "/ingest?tenant=beta&wait=1", kConformingDoc);
+  ASSERT_EQ(beta_post.status, 200);
+  EXPECT_EQ(TenantOf(beta_post), "beta");
+
+  // Unknown tenants are a routing 404, not a silent default.
+  EXPECT_EQ(Post(server.port(), "/ingest/nope", kConformingDoc).status, 404);
+  EXPECT_EQ(Get(server.port(), "/stats?tenant=nope").status, 404);
+
+  // Shard isolation: alpha evolved, beta's DTD is still the seed.
+  ClientResponse alpha_dtd = Get(server.port(), "/dtds/mail?tenant=alpha");
+  EXPECT_EQ(alpha_dtd.status, 200);
+  EXPECT_NE(alpha_dtd.body.find("attachment"), std::string::npos);
+  ClientResponse beta_dtd = Get(server.port(), "/dtds/mail?tenant=beta");
+  EXPECT_EQ(beta_dtd.status, 200);
+  EXPECT_EQ(beta_dtd.body.find("attachment"), std::string::npos);
+
+  // Per-tenant stats, and the multi-tenant aggregate with rollup.
+  ClientResponse alpha_stats = Get(server.port(), "/stats?tenant=alpha");
+  EXPECT_NE(alpha_stats.body.find("\"tenant\":\"alpha\""), std::string::npos);
+  EXPECT_NE(alpha_stats.body.find("\"documents_processed\":2"),
+            std::string::npos);
+  ClientResponse aggregate = Get(server.port(), "/stats");
+  EXPECT_NE(aggregate.body.find("\"documents_processed\":3"),
+            std::string::npos);
+  EXPECT_NE(aggregate.body.find("\"tenants\":{"), std::string::npos);
+  EXPECT_NE(aggregate.body.find("\"beta\":{"), std::string::npos);
+
+  // /dtds with no tenant rolls up every shard's list.
+  ClientResponse dtds = Get(server.port(), "/dtds");
+  EXPECT_NE(dtds.body.find("\"alpha\":[\"mail\"]"), std::string::npos);
+  EXPECT_NE(dtds.body.find("\"beta\":[\"mail\"]"), std::string::npos);
+
+  // Shard series carry the tenant label; the shard-count gauge is
+  // process-wide.
+  ClientResponse metrics = Get(server.port(), "/metrics");
+  EXPECT_NE(metrics.body.find(
+                "dtdevolve_documents_processed_total{tenant=\"alpha\"} 2"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find(
+                "dtdevolve_documents_processed_total{tenant=\"beta\"} 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("dtdevolve_tenants 2"), std::string::npos);
+
+  server.Shutdown();
+  server.Wait();
+  EXPECT_EQ(server.source("alpha").evolutions_performed(), 1u);
+  EXPECT_EQ(server.source("beta").evolutions_performed(), 0u);
+}
+
+TEST(SourceManagerTest, AnonymousTrafficRoutesConsistently) {
+  // Without a "default" shard, anonymous documents ride the consistent
+  // hash of their root tag: the same document class always lands on the
+  // same shard.
+  {
+    IngestServer server(EvolvingOptions(), TenantOptions({"a", "b", "c"}));
+    ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+    ASSERT_TRUE(server.Start().ok());
+    ClientResponse first = Post(server.port(), "/ingest?wait=1",
+                                kConformingDoc);
+    ClientResponse second = Post(server.port(), "/ingest?wait=1",
+                                 kConformingDoc);
+    ASSERT_EQ(first.status, 200);
+    ASSERT_EQ(second.status, 200);
+    EXPECT_FALSE(TenantOf(first).empty());
+    EXPECT_EQ(TenantOf(first), TenantOf(second));
+    server.Shutdown();
+    server.Wait();
+  }
+  // With a "default" shard, anonymous traffic goes there — the
+  // backward-compatible contract.
+  {
+    IngestServer server(EvolvingOptions(),
+                        TenantOptions({"default", "other"}));
+    ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+    ASSERT_TRUE(server.Start().ok());
+    ClientResponse anonymous =
+        Post(server.port(), "/ingest?wait=1", kConformingDoc);
+    ASSERT_EQ(anonymous.status, 200);
+    EXPECT_EQ(TenantOf(anonymous), "default");
+    server.Shutdown();
+    server.Wait();
+  }
+}
+
+TEST(SourceManagerTest, ConcurrentCrossTenantIngestIsolatesShards) {
+  const std::vector<std::string> tenants = {"t0", "t1", "t2", "t3"};
+  IngestServer server(EvolvingOptions(), TenantOptions(tenants));
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // One client per tenant, hammering its own shard; t0's client sends
+  // drifted documents so exactly one shard evolves under contention.
+  constexpr int kDocsPerTenant = 6;
+  std::vector<std::thread> clients;
+  clients.reserve(tenants.size());
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    clients.emplace_back([&, t] {
+      const std::string target = "/ingest/" + tenants[t] + "?wait=1";
+      const char* doc = (t == 0) ? kDriftedDoc : kConformingDoc;
+      for (int i = 0; i < kDocsPerTenant; ++i) {
+        ClientResponse response = Post(server.port(), target, doc);
+        EXPECT_EQ(response.status, 200) << tenants[t] << " doc " << i;
+        EXPECT_EQ(TenantOf(response), tenants[t]);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  server.Shutdown();
+  server.Wait();
+
+  uint64_t total = 0;
+  for (const std::string& tenant : tenants) {
+    EXPECT_EQ(server.source(tenant).documents_processed(),
+              static_cast<uint64_t>(kDocsPerTenant))
+        << tenant;
+    total += server.source(tenant).documents_processed();
+  }
+  EXPECT_EQ(total, tenants.size() * kDocsPerTenant);
+  // Drift stayed inside t0: the other shards never evolved.
+  EXPECT_GE(server.source("t0").evolutions_performed(), 1u);
+  for (size_t t = 1; t < tenants.size(); ++t) {
+    EXPECT_EQ(server.source(tenants[t]).evolutions_performed(), 0u)
+        << tenants[t];
+  }
+}
+
+TEST(SourceManagerTest, PerTenantSeedsStayPerTenant) {
+  const char* kNoteDtd = R"(
+    <!ELEMENT note (heading, text)>
+    <!ELEMENT heading (#PCDATA)>
+    <!ELEMENT text (#PCDATA)>
+  )";
+  IngestServer server(EvolvingOptions(), TenantOptions({"alpha", "beta"}));
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.AddTenantDtdText("beta", "note", kNoteDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  EXPECT_EQ(Get(server.port(), "/dtds/note?tenant=beta").status, 200);
+  EXPECT_EQ(Get(server.port(), "/dtds/note?tenant=alpha").status, 404);
+
+  server.Shutdown();
+  server.Wait();
+}
+
+}  // namespace
+}  // namespace dtdevolve::server

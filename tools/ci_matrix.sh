@@ -48,7 +48,7 @@ run_leg tsan
 echo "=== leg: perf-smoke ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build build -j "$JOBS" --target bench_classification \
-  bench_similarity bench_mining
+  bench_similarity bench_mining bench_server
 tools/perf_smoke.sh build
 
 echo "sanitizer matrix clean (asan-ubsan, tsan) + perf smoke"

@@ -8,7 +8,8 @@
 //   dtdevolve adapt      <dtd-file> <xml-file>
 //   dtdevolve serve      <dtd-file>... [--port P] [--jobs N]
 //                        [--snapshot-dir D] [--sigma S] [--tau T]
-//                        [--psi P] [--mu M]
+//                        [--psi P] [--mu M] [--tenants LIST|N]
+//                        [--tenant-config FILE]
 //   dtdevolve check      [--scenarios N] [--seed S] [--max-documents N]
 //                        [--max-failures K] [--no-persistence]
 //                        [--no-minimize]
@@ -95,6 +96,8 @@ int Usage() {
                "S]\n"
                "                       [--score-cache-mb N] "
                "[--no-score-cache]\n"
+               "                       [--tenants LIST|N] "
+               "[--tenant-config FILE]\n"
                "  dtdevolve check      [--scenarios N] [--seed S] "
                "[--max-documents N]\n"
                "                       [--max-failures K] [--no-persistence] "
@@ -397,6 +400,61 @@ std::string DtdNameFromPath(const std::string& path) {
   return name.empty() ? path : name;
 }
 
+/// `--tenants` value: either a count ("4" → shard-0..shard-3) or a
+/// comma-separated name list ("acme,globex"). Returns false on an empty
+/// value, an empty name, or a duplicate.
+bool ParseTenantsFlag(const std::string& value,
+                      std::vector<std::string>* tenants) {
+  long count = 0;
+  if (ParseLong(value, &count)) {
+    if (count <= 0) return false;
+    for (long t = 0; t < count; ++t) {
+      tenants->push_back("shard-" + std::to_string(t));
+    }
+    return true;
+  }
+  size_t start = 0;
+  while (start <= value.size()) {
+    const size_t comma = value.find(',', start);
+    const std::string name =
+        value.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+    if (name.empty()) return false;
+    for (const std::string& existing : *tenants) {
+      if (existing == name) return false;
+    }
+    tenants->push_back(name);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return !tenants->empty();
+}
+
+/// A `--tenant-config` file: one tenant per line, `<tenant> <dtd-file>...`
+/// (blank lines and `#` comments skipped). Every named tenant becomes a
+/// shard; its DTD files seed only that shard.
+struct TenantSeed {
+  std::string tenant;
+  std::vector<std::string> dtd_files;
+};
+
+bool ParseTenantConfig(const std::string& text,
+                       std::vector<TenantSeed>* seeds) {
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream fields(line);
+    std::string tenant;
+    if (!(fields >> tenant) || tenant[0] == '#') continue;
+    TenantSeed seed;
+    seed.tenant = tenant;
+    std::string file;
+    while (fields >> file) seed.dtd_files.push_back(file);
+    seeds->push_back(std::move(seed));
+  }
+  return !seeds->empty();
+}
+
 int CmdServe(std::vector<std::string> args) {
   dtdevolve::core::SourceOptions source_options;
   source_options.sigma = 0.3;
@@ -404,6 +462,7 @@ int CmdServe(std::vector<std::string> args) {
   source_options.min_documents_before_check = 1;
   dtdevolve::server::ServerOptions server_options;
   std::vector<std::string> dtd_files;
+  std::vector<TenantSeed> tenant_seeds;
   for (size_t i = 0; i < args.size(); ++i) {
     bool bad_value = false;
     auto flag_value = [&](const char* name, double* out) {
@@ -503,12 +562,44 @@ int CmdServe(std::vector<std::string> args) {
       source_options.classifier.enable_score_cache = false;
       continue;
     }
+    if (args[i] == "--tenants") {
+      if (i + 1 >= args.size() ||
+          !ParseTenantsFlag(args[i + 1], &server_options.tenants)) {
+        return Usage();
+      }
+      ++i;
+      continue;
+    }
+    if (args[i] == "--tenant-config") {
+      if (i + 1 >= args.size()) return Usage();
+      StatusOr<std::string> config = ReadFile(args[++i]);
+      if (!config.ok()) {
+        std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+        return 1;
+      }
+      if (!ParseTenantConfig(*config, &tenant_seeds)) {
+        std::fprintf(stderr, "dtdevolve serve: empty tenant config\n");
+        return 1;
+      }
+      continue;
+    }
     if (IsFlag(args[i])) return UnknownFlag(args[i]);
     dtd_files.push_back(args[i]);
   }
-  if (dtd_files.empty()) return Usage();
+  if (dtd_files.empty() && tenant_seeds.empty()) return Usage();
+
+  // Shards exist from construction on, so the tenant set — flags plus
+  // every tenant the config file names — must be final here.
+  for (const TenantSeed& seed : tenant_seeds) {
+    bool known = false;
+    for (const std::string& tenant : server_options.tenants) {
+      known = known || tenant == seed.tenant;
+    }
+    if (!known) server_options.tenants.push_back(seed.tenant);
+  }
 
   dtdevolve::server::IngestServer server(source_options, server_options);
+  // Positional DTD files seed every shard; config entries one shard.
   for (const std::string& file : dtd_files) {
     StatusOr<std::string> text = ReadFile(file);
     if (!text.ok()) {
@@ -522,6 +613,22 @@ int CmdServe(std::vector<std::string> args) {
       return 1;
     }
   }
+  for (const TenantSeed& seed : tenant_seeds) {
+    for (const std::string& file : seed.dtd_files) {
+      StatusOr<std::string> text = ReadFile(file);
+      if (!text.ok()) {
+        std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+        return 1;
+      }
+      Status added = server.AddTenantDtdText(seed.tenant,
+                                             DtdNameFromPath(file), *text);
+      if (!added.ok()) {
+        std::fprintf(stderr, "%s (tenant %s): %s\n", file.c_str(),
+                     seed.tenant.c_str(), added.ToString().c_str());
+        return 1;
+      }
+    }
+  }
 
   Status started = server.Start();
   if (!started.ok()) {
@@ -532,13 +639,17 @@ int CmdServe(std::vector<std::string> args) {
     std::fprintf(stderr, "dtdevolve serve: warning: %s\n", warning.c_str());
   }
   if (!server_options.wal_dir.empty()) {
-    const dtdevolve::store::RecoveryReport& recovery =
-        server.recovery_report();
-    std::fprintf(stderr,
-                 "dtdevolve serve: recovered checkpoint lsn %llu, replayed "
-                 "%zu WAL record(s)\n",
-                 static_cast<unsigned long long>(recovery.checkpoint_lsn),
-                 recovery.replayed_records);
+    for (const std::string& tenant : server.manager().TenantNames()) {
+      const dtdevolve::store::RecoveryReport& recovery =
+          server.recovery_report(tenant);
+      std::fprintf(stderr,
+                   "dtdevolve serve: %s%srecovered checkpoint lsn %llu, "
+                   "replayed %zu WAL record(s)\n",
+                   server.manager().single_default() ? "" : tenant.c_str(),
+                   server.manager().single_default() ? "" : ": ",
+                   static_cast<unsigned long long>(recovery.checkpoint_lsn),
+                   recovery.replayed_records);
+    }
   }
 
   g_server = &server;
@@ -548,8 +659,11 @@ int CmdServe(std::vector<std::string> args) {
   sigaction(SIGINT, &action, nullptr);
   sigaction(SIGTERM, &action, nullptr);
 
-  std::fprintf(stderr, "dtdevolve serve: listening on port %u (%zu dtd(s))\n",
-               static_cast<unsigned>(server.port()), dtd_files.size());
+  std::fprintf(stderr,
+               "dtdevolve serve: listening on port %u (%zu tenant(s), "
+               "%zu shared dtd(s))\n",
+               static_cast<unsigned>(server.port()),
+               server.manager().TenantNames().size(), dtd_files.size());
   server.Wait();
   g_server = nullptr;
   std::fprintf(stderr, "dtdevolve serve: drained and stopped\n");

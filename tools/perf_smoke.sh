@@ -10,11 +10,17 @@
 #     machines; a >2x drop on the same fixed workload is a real
 #     regression, not noise).
 #
+# A second leg drives bench_server's mixed multi-tenant load (4 shards,
+# fixed seed) against the committed BENCH_server.json: every request
+# must be served (failed == 0) and end-to-end throughput must stay
+# within the same 2x band.
+#
 # Usage:
 #   tools/perf_smoke.sh [build-dir]     # default: build
 #
 # The fresh measurement is left in <build-dir>/BENCH_classification.json
-# (plus BENCH_similarity.json / BENCH_mining.json for trend tracking).
+# and <build-dir>/BENCH_server.json (plus BENCH_similarity.json /
+# BENCH_mining.json for trend tracking).
 
 set -euo pipefail
 
@@ -64,5 +70,35 @@ awk -v cur="$current" -v base="$baseline" 'BEGIN {
     exit 2
   }
 }'
+
+# --- Server leg: mixed multi-tenant ingest over loopback ----------------
+
+SERVER_BENCH=./bench/bench_server
+SERVER_BASELINE="$SRC/BENCH_server.json"
+if [ -x "$SERVER_BENCH" ] && [ -f "$SERVER_BASELINE" ]; then
+  # Same fixed workload as the committed baseline.
+  "$SERVER_BENCH" --docs 400 --clients 4 --jobs 2 --tenants 4 \
+      --out BENCH_server.json > /dev/null
+  server_current=$(json_field BENCH_server.json docs_per_second)
+  server_failed=$(json_field BENCH_server.json failed)
+  server_baseline=$(json_field "$SERVER_BASELINE" docs_per_second)
+
+  echo "perf_smoke: server docs/sec current=$server_current" \
+       "baseline=$server_baseline failed=$server_failed"
+
+  if [ "$server_failed" != "0" ]; then
+    echo "perf_smoke: FAIL — bench_server dropped requests" >&2
+    exit 2
+  fi
+  awk -v cur="$server_current" -v base="$server_baseline" 'BEGIN {
+    if (cur * 2 < base) {
+      printf "perf_smoke: FAIL — server throughput regressed >2x (%.0f vs %.0f)\n",
+             cur, base > "/dev/stderr"
+      exit 2
+    }
+  }'
+else
+  echo "perf_smoke: skipping server leg (bench_server or baseline missing)"
+fi
 
 echo "perf_smoke: OK"
