@@ -1,0 +1,231 @@
+// Induction loadgen: repository clustering → candidate-DTD induction →
+// accept, end to end, on a mixed-population repository of known ground
+// truth (k structurally disjoint families ⇒ k clusters ⇒ k candidates).
+//
+//   bench_induce [--families K] [--docs-per-family N] [--jobs J] [--out F]
+//
+// Measures the wall time of filling the repository (which includes the
+// incremental clustering work), of `InduceCandidates`, and of the accept
+// loop that promotes every candidate; reports candidates/sec and the
+// repository drain rate. Every candidate is also checked against the
+// induction invariants inline — `invariant_failures` must stay 0, and
+// tools/perf_smoke.sh gates on it:
+//
+//   * the sweep recovers exactly `families` clusters and candidates,
+//   * each candidate validates >= 95% of its cluster members
+//     (independently recounted, not the inducer's own claim),
+//   * every accept drains its members from the repository.
+//
+// Output: one JSON object on stdout, duplicated to --out when given.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/source.h"
+#include "validate/validator.h"
+#include "workload/scenarios.h"
+#include "xml/writer.h"
+
+namespace dtdevolve::bench {
+namespace {
+
+struct InduceOptions {
+  size_t families = 4;
+  size_t docs_per_family = 250;
+  size_t jobs = 2;
+  std::string out;
+};
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+int Run(InduceOptions options) {
+  // The scenario caps the family count; clamp so the k-cluster invariant
+  // compares against what the stream actually contains.
+  if (options.families > workload::kMixedPopulationFamilies) {
+    options.families = workload::kMixedPopulationFamilies;
+  }
+  core::SourceOptions source_options;
+  source_options.sigma = 0.5;
+  source_options.auto_evolve = false;
+  source_options.keep_documents = false;
+  core::XmlSource source(source_options);
+
+  // Seed a DTD none of the mixed families match, so the whole stream
+  // drains into the repository.
+  const char* kSeedDtd =
+      "<!ELEMENT mail (from, to, body)>\n"
+      "<!ELEMENT from (#PCDATA)>\n"
+      "<!ELEMENT to (#PCDATA)>\n"
+      "<!ELEMENT body (#PCDATA)>\n";
+  if (!source.AddDtdText("mail", kSeedDtd).ok()) {
+    std::fprintf(stderr, "bench_induce: seed DTD rejected\n");
+    return 1;
+  }
+
+  workload::ScenarioStream stream = workload::MakeMixedPopulationScenario(
+      /*seed=*/17, options.families, options.docs_per_family);
+  std::vector<xml::Document> docs;
+  while (!stream.Done()) docs.push_back(stream.Next());
+  const size_t total_docs = docs.size();
+
+  // Phase 1: fill the repository. Incremental clustering rides along
+  // with every unclassified arrival, so this is the "online" cost.
+  auto ingest_start = std::chrono::steady_clock::now();
+  for (xml::Document& doc : docs) {
+    (void)source.Process(std::move(doc));
+  }
+  const double ingest_seconds = SecondsSince(ingest_start);
+
+  // Phase 2: consolidate clusters and induce one candidate per cluster.
+  auto induce_start = std::chrono::steady_clock::now();
+  const size_t induced = source.InduceCandidates();
+  const double induce_seconds = SecondsSince(induce_start);
+
+  uint64_t invariant_failures = 0;
+  const induce::ClusterStats cluster_stats = source.cluster_stats();
+  if (cluster_stats.clusters != options.families) {
+    std::fprintf(stderr,
+                 "bench_induce: invariant: %zu clusters for %zu families\n",
+                 cluster_stats.clusters, options.families);
+    ++invariant_failures;
+  }
+  if (induced != options.families) {
+    std::fprintf(stderr,
+                 "bench_induce: invariant: %zu candidates for %zu families\n",
+                 induced, options.families);
+    ++invariant_failures;
+  }
+  for (const induce::Candidate& candidate : source.candidates()) {
+    validate::Validator validator(candidate.ext.dtd());
+    size_t valid = 0;
+    for (int id : candidate.members) {
+      const xml::Document& doc = source.repository().Get(id);
+      if (doc.has_root() && validator.Validate(doc).valid) ++valid;
+    }
+    if (valid * 100 < candidate.members.size() * 95) {
+      std::fprintf(stderr,
+                   "bench_induce: invariant: %s validates %zu of %zu "
+                   "members (< 95%%)\n",
+                   candidate.name.c_str(), valid, candidate.members.size());
+      ++invariant_failures;
+    }
+  }
+
+  // Phase 3: promote every candidate; each accept re-classifies the
+  // repository against the grown set.
+  const size_t repository_before = source.repository().size();
+  auto accept_start = std::chrono::steady_clock::now();
+  size_t accepted = 0;
+  size_t reclassified = 0;
+  while (!source.candidates().empty()) {
+    const induce::Candidate* best = &source.candidates().front();
+    StatusOr<core::XmlSource::AcceptOutcome> outcome =
+        source.AcceptCandidate(best->id, options.jobs);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "bench_induce: accept failed: %s\n",
+                   outcome.status().ToString().c_str());
+      ++invariant_failures;
+      break;
+    }
+    ++accepted;
+    reclassified += outcome->reclassified;
+    if (outcome->reclassified == 0) break;
+    source.InduceCandidates();
+  }
+  const double accept_seconds = SecondsSince(accept_start);
+  const size_t repository_after = source.repository().size();
+  if (repository_after != 0) {
+    std::fprintf(stderr,
+                 "bench_induce: invariant: %zu document(s) stranded in the "
+                 "repository after accepting every candidate\n",
+                 repository_after);
+    ++invariant_failures;
+  }
+
+  const double drain_rate =
+      repository_before == 0
+          ? 1.0
+          : static_cast<double>(repository_before - repository_after) /
+                static_cast<double>(repository_before);
+  JsonObject json;
+  json.Add("benchmark", std::string("induce"))
+      .Add("families", static_cast<uint64_t>(options.families))
+      .Add("docs_per_family", static_cast<uint64_t>(options.docs_per_family))
+      .Add("docs", static_cast<uint64_t>(total_docs))
+      .Add("jobs", static_cast<uint64_t>(options.jobs))
+      .Add("repository", static_cast<uint64_t>(repository_before))
+      .Add("clusters", static_cast<uint64_t>(cluster_stats.clusters))
+      .Add("candidates", static_cast<uint64_t>(induced))
+      .Add("accepted", static_cast<uint64_t>(accepted))
+      .Add("reclassified", static_cast<uint64_t>(reclassified))
+      .Add("ingest_seconds", ingest_seconds)
+      .Add("induce_seconds", induce_seconds)
+      .Add("accept_seconds", accept_seconds)
+      .Add("docs_per_second",
+           ingest_seconds > 0.0
+               ? static_cast<double>(total_docs) / ingest_seconds
+               : 0.0)
+      .Add("candidates_per_second",
+           induce_seconds > 0.0
+               ? static_cast<double>(induced) / induce_seconds
+               : 0.0)
+      .Add("repository_drain_rate", drain_rate)
+      .Add("invariant_failures", invariant_failures);
+  const std::string rendered = json.Render();
+  std::fputs(rendered.c_str(), stdout);
+  if (!options.out.empty()) {
+    std::FILE* f = std::fopen(options.out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_induce: cannot write %s\n",
+                   options.out.c_str());
+      return 1;
+    }
+    std::fputs(rendered.c_str(), f);
+    std::fclose(f);
+  }
+  return invariant_failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dtdevolve::bench
+
+int main(int argc, char** argv) {
+  dtdevolve::bench::InduceOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--families") {
+      const char* v = value();
+      if (v == nullptr || std::atol(v) <= 0) return 1;
+      options.families = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--docs-per-family") {
+      const char* v = value();
+      if (v == nullptr || std::atol(v) <= 0) return 1;
+      options.docs_per_family = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--jobs") {
+      const char* v = value();
+      if (v == nullptr || std::atol(v) <= 0) return 1;
+      options.jobs = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) return 1;
+      options.out = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_induce [--families K] [--docs-per-family N] "
+                   "[--jobs J] [--out F]\n");
+      return 1;
+    }
+  }
+  return dtdevolve::bench::Run(options);
+}

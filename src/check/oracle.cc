@@ -18,8 +18,10 @@
 
 #include "core/report.h"
 #include "core/source.h"
+#include "dtd/dtd_parser.h"
 #include "dtd/dtd_writer.h"
 #include "dtd/glushkov.h"
+#include "store/induce_record.h"
 #include "evolve/persist.h"
 #include "evolve/windows.h"
 #include "io/fault.h"
@@ -250,6 +252,71 @@ Scenario MakeScenario(uint64_t seed, uint64_t max_documents) {
   }
   return scenario;
 }
+
+/// Derives an induction scenario from one seed: one drift family's
+/// initial DTD as the only seed, its stream interleaved with a
+/// mixed-population stream whose root tags the seed set never matches —
+/// the mixed documents drain into the repository and feed clustering.
+/// Like `MakeScenario`, generation never depends on `max_documents`.
+Scenario MakeInductionScenario(uint64_t seed, uint64_t max_documents) {
+  workload::Rng rng(seed * 0xBF58476D1CE4E5B9ull + 0x94D049BB133111EBull);
+  Scenario scenario;
+
+  const size_t families = 2 + rng.Uniform(3);          // 2..4
+  const uint64_t docs_per_family = 6 + rng.Uniform(8);  // 6..13
+  const size_t seed_kind = rng.Uniform(4);
+
+  std::vector<workload::ScenarioStream> streams;
+  streams.push_back(MakeStream(seed_kind, rng.Next(), 6 + rng.Uniform(8)));
+  streams.push_back(workload::MakeMixedPopulationScenario(
+      rng.Next(), families, docs_per_family));
+
+  // σ high enough that the mixed families stay unclassified, low enough
+  // that the seed family's own documents keep classifying.
+  scenario.options.sigma = 0.4 + 0.2 * rng.NextDouble();
+  scenario.options.tau = 0.08 + 0.15 * rng.NextDouble();
+  scenario.options.min_documents_before_check = 4 + rng.Uniform(8);
+  scenario.options.auto_evolve = rng.Chance(0.5);
+  scenario.options.keep_documents = false;
+  scenario.options.induce.cluster.min_cluster_size = 2;
+
+  scenario.label = "induction " + streams[0].name() + "+" +
+                   streams[1].name();
+  scenario.dtds.emplace_back(streams[0].name(), streams[0].InitialDtd());
+
+  std::vector<size_t> alive;
+  while (true) {
+    alive.clear();
+    for (size_t s = 0; s < streams.size(); ++s) {
+      if (!streams[s].Done()) alive.push_back(s);
+    }
+    if (alive.empty()) break;
+    size_t pick = alive[rng.Uniform(static_cast<uint32_t>(alive.size()))];
+    scenario.documents.push_back(streams[pick].Next());
+  }
+  if (max_documents != 0 && scenario.documents.size() > max_documents) {
+    scenario.documents.resize(max_documents);
+  }
+  return scenario;
+}
+
+/// Best pending candidate: highest coverage, ties to the lowest id.
+/// The reference run, the batch replicas and the durable crash pipeline
+/// all promote with this rule, so their op sequences stay in lockstep.
+const induce::Candidate* BestCandidate(const core::XmlSource& src) {
+  const induce::Candidate* best = nullptr;
+  for (const induce::Candidate& candidate : src.candidates()) {
+    if (best == nullptr || candidate.coverage > best->coverage ||
+        (candidate.coverage == best->coverage && candidate.id < best->id)) {
+      best = &candidate;
+    }
+  }
+  return best;
+}
+
+/// Accept rounds are capped: a cluster whose members never re-classify
+/// would otherwise re-induce under a fresh name forever.
+constexpr size_t kMaxAcceptRounds = 6;
 
 // --- Fingerprints (invariant 3) ---------------------------------------------
 
@@ -802,11 +869,14 @@ struct DurableRun {
 /// — from the crash point on the simulated process is dead to the disk,
 /// so continuing would be fiction. Mirrors the ingest server's ordering
 /// exactly; the server itself cannot be swept this densely because a
-/// real crash point would have to kill real threads.
+/// real crash point would have to kill real threads. With `induction`
+/// the run ends with the candidate lifecycle — induce, then WAL-append
+/// an induce-accept record before each apply, the server's accept
+/// ordering — so the sweep's crash points land on that record type too.
 DurableRun RunDurablePipeline(const Scenario& scenario,
                               const std::vector<std::string>& texts,
                               const std::string& dir,
-                              uint64_t checkpoint_every) {
+                              uint64_t checkpoint_every, bool induction) {
   DurableRun run;
   core::XmlSource src(scenario.options);
   for (const auto& [name, dtd] : scenario.dtds) {
@@ -818,17 +888,37 @@ DurableRun RunDurablePipeline(const Scenario& scenario,
       store::RecoverSource(src, wal_options, nullptr);
   if (!wal.ok()) return run;  // the crash hit a boot-time I/O op
   uint64_t since_checkpoint = 0;
+  auto maybe_checkpoint = [&](uint64_t lsn) {
+    if (checkpoint_every == 0 || ++since_checkpoint < checkpoint_every) return;
+    since_checkpoint = 0;
+    store::CheckpointData data = store::CaptureCheckpoint(src, lsn);
+    if (store::WriteCheckpoint(dir, data).ok()) {
+      (void)(*wal)->TruncateThrough(lsn);
+    }
+  };
   for (const std::string& text : texts) {
     StatusOr<uint64_t> lsn = (*wal)->Append(text);
     if (!lsn.ok()) return run;
     (void)src.ProcessText(text);
     ++run.acked;
-    if (checkpoint_every != 0 && ++since_checkpoint >= checkpoint_every) {
-      since_checkpoint = 0;
-      store::CheckpointData data = store::CaptureCheckpoint(src, *lsn);
-      if (store::WriteCheckpoint(dir, data).ok()) {
-        (void)(*wal)->TruncateThrough(*lsn);
-      }
+    maybe_checkpoint(*lsn);
+  }
+  if (induction) {
+    src.InduceCandidates();
+    for (size_t round = 0; round < kMaxAcceptRounds; ++round) {
+      const induce::Candidate* best = BestCandidate(src);
+      if (best == nullptr) break;
+      const std::string record =
+          store::EncodeInduceAcceptRecord(best->name, best->ext);
+      StatusOr<uint64_t> lsn = (*wal)->Append(record);
+      if (!lsn.ok()) return run;
+      StatusOr<core::XmlSource::AcceptOutcome> outcome =
+          src.AcceptCandidate(best->id, 1);
+      if (!outcome.ok()) return run;
+      ++run.acked;
+      maybe_checkpoint(*lsn);
+      if (outcome->reclassified == 0) break;
+      src.InduceCandidates();
     }
   }
   run.completed = true;
@@ -866,7 +956,10 @@ std::string CrashTempDir(uint64_t seed, uint64_t point) {
 ScenarioResult RunCrashScenario(uint64_t scenario_seed,
                                 const CrashOracleOptions& options,
                                 uint64_t* crash_points) {
-  Scenario scenario = MakeScenario(scenario_seed, options.max_documents);
+  Scenario scenario =
+      options.induction
+          ? MakeInductionScenario(scenario_seed, options.max_documents)
+          : MakeScenario(scenario_seed, options.max_documents);
   ScenarioResult result;
   result.seed = scenario_seed;
   result.scenario = scenario.label;
@@ -891,7 +984,8 @@ ScenarioResult RunCrashScenario(uint64_t scenario_seed,
   }
 
   // prefix_fps[j] = the pipeline state after sequentially applying the
-  // first j documents — what recovery from any crash point must match.
+  // first j operations (documents, then — under `induction` — the
+  // accepted candidates) — what recovery from any crash point must match.
   std::vector<Fingerprint> prefix_fps;
   prefix_fps.reserve(texts.size() + 1);
   {
@@ -904,8 +998,25 @@ ScenarioResult RunCrashScenario(uint64_t scenario_seed,
       (void)reference.ProcessText(text);
       prefix_fps.push_back(CrashFingerprintOf(reference));
     }
+    if (options.induction) {
+      // Mirror the durable pipeline's accept loop exactly; recovery
+      // replays each record through AdoptInducedDtd and must land on
+      // the same state as these live accepts.
+      reference.InduceCandidates();
+      for (size_t round = 0; round < kMaxAcceptRounds; ++round) {
+        const induce::Candidate* best = BestCandidate(reference);
+        if (best == nullptr) break;
+        StatusOr<core::XmlSource::AcceptOutcome> outcome =
+            reference.AcceptCandidate(best->id, 1);
+        if (!outcome.ok()) break;
+        prefix_fps.push_back(CrashFingerprintOf(reference));
+        if (outcome->reclassified == 0) break;
+        reference.InduceCandidates();
+      }
+    }
     result.evolutions = reference.evolutions_performed();
   }
+  const uint64_t total_applies = prefix_fps.size() - 1;
 
   io::FaultInjector& injector = io::FaultInjector::Instance();
 
@@ -917,8 +1028,9 @@ ScenarioResult RunCrashScenario(uint64_t scenario_seed,
     const std::string dir = CrashTempDir(scenario_seed, 0);
     std::filesystem::remove_all(dir);
     injector.Arm(io::FaultPlan{});
-    DurableRun clean =
-        RunDurablePipeline(scenario, texts, dir, options.checkpoint_every);
+    DurableRun clean = RunDurablePipeline(scenario, texts, dir,
+                                          options.checkpoint_every,
+                                          options.induction);
     total_ops = injector.ops_seen();
     injector.Disarm();
     if (!clean.completed) {
@@ -961,8 +1073,9 @@ ScenarioResult RunCrashScenario(uint64_t scenario_seed,
     plan.error_code = (op % 2 == 0) ? ENOSPC : EIO;
     plan.torn_fraction = static_cast<double>(op % 4) / 3.0;
     injector.Arm(plan);
-    DurableRun run =
-        RunDurablePipeline(scenario, texts, dir, options.checkpoint_every);
+    DurableRun run = RunDurablePipeline(scenario, texts, dir,
+                                        options.checkpoint_every,
+                                        options.induction);
     injector.Disarm();
 
     StatusOr<Fingerprint> recovered = RecoverFingerprint(scenario, dir);
@@ -978,7 +1091,7 @@ ScenarioResult RunCrashScenario(uint64_t scenario_seed,
     // returning — the acked prefix plus that single durable-but-unacked
     // document.
     const bool exact = *recovered == prefix_fps[run.acked];
-    const bool in_flight = run.acked < texts.size() &&
+    const bool in_flight = run.acked < total_applies &&
                            *recovered == prefix_fps[run.acked + 1];
     if (!exact && !in_flight) {
       add_violation(op, "crash at op " + std::to_string(op) + " (acked " +
@@ -1032,6 +1145,307 @@ std::string FormatCrashReport(const CrashOracleReport& report) {
     out << FormatScenario(failure);
     out << "  replay: dtdevolve check --crash-recovery --seed "
         << failure.seed << " --scenarios 1\n";
+  }
+  return out.str();
+}
+
+// --- Induction oracle -------------------------------------------------------
+
+namespace {
+
+/// Everything the candidate lifecycle could diverge on across jobs
+/// levels, appended to the regular pipeline fingerprint: the pending
+/// candidates and the lifecycle counters.
+void AppendInductionFingerprint(const core::XmlSource& src, Fingerprint* fp) {
+  std::string c;
+  for (const induce::Candidate& candidate : src.candidates()) {
+    c += std::to_string(candidate.id) + " " + candidate.name + " m" +
+         std::to_string(candidate.members.size()) + " v" +
+         std::to_string(candidate.validated.size()) + " " +
+         FormatDouble(candidate.coverage) + " " +
+         FormatDouble(candidate.margin) + "\n";
+  }
+  fp->emplace_back("candidates", std::move(c));
+  fp->emplace_back("candidate-counters",
+                   std::to_string(src.candidates_proposed()) + " " +
+                       std::to_string(src.candidates_accepted()) + " " +
+                       std::to_string(src.candidates_rejected()) + "\n");
+}
+
+void AddInductionViolation(ScenarioResult& result, std::string invariant,
+                           std::string dtd_name, uint64_t index,
+                           std::string detail) {
+  if (result.violations.size() >= kMaxViolationsPerScenario) return;
+  result.violations.push_back({std::move(invariant), std::move(dtd_name),
+                               index, std::move(detail)});
+}
+
+/// Invariants of one *pending* candidate: the DTD round-trips, and the
+/// validated set / coverage match an independent recount of the members
+/// still sitting in the repository.
+void CheckCandidateInvariants(const core::XmlSource& src,
+                              const induce::Candidate& candidate,
+                              uint64_t round, ScenarioResult& result) {
+  const dtd::Dtd& dtd = candidate.ext.dtd();
+  Status checked = dtd.Check();
+  if (!checked.ok()) {
+    AddInductionViolation(result, "induced-dtd-roundtrip", candidate.name,
+                          round, "candidate DTD fails Check: " +
+                                     checked.message());
+  } else {
+    const std::string text = dtd::WriteDtd(dtd);
+    StatusOr<dtd::Dtd> reparsed = dtd::ParseDtd(text, dtd.root_name());
+    if (!reparsed.ok()) {
+      AddInductionViolation(result, "induced-dtd-roundtrip", candidate.name,
+                            round, "candidate DTD fails to re-parse: " +
+                                       reparsed.status().message());
+    } else if (Status recheck = reparsed->Check(); !recheck.ok()) {
+      AddInductionViolation(result, "induced-dtd-roundtrip", candidate.name,
+                            round, "re-parsed candidate fails Check: " +
+                                       recheck.message());
+    } else if (dtd::WriteDtd(*reparsed) != text) {
+      AddInductionViolation(result, "induced-dtd-roundtrip", candidate.name,
+                            round,
+                            "WriteDtd → ParseDtd → WriteDtd is not a fixed "
+                            "point");
+    }
+  }
+
+  validate::Validator validator(dtd);
+  std::set<int> recount;
+  for (int id : candidate.members) {
+    const xml::Document& doc = src.repository().Get(id);
+    if (doc.has_root() && validator.Validate(doc).valid) recount.insert(id);
+  }
+  std::set<int> claimed(candidate.validated.begin(),
+                        candidate.validated.end());
+  if (claimed != recount) {
+    AddInductionViolation(
+        result, "candidate-coverage-accounting", candidate.name, round,
+        "claims " + std::to_string(claimed.size()) +
+            " validated member(s), independent recount finds " +
+            std::to_string(recount.size()));
+    return;
+  }
+  const double expected =
+      candidate.members.empty()
+          ? 0.0
+          : static_cast<double>(candidate.validated.size()) /
+                static_cast<double>(candidate.members.size());
+  if (std::fabs(candidate.coverage - expected) > 1e-12) {
+    AddInductionViolation(result, "candidate-coverage-accounting",
+                          candidate.name, round,
+                          "coverage " + FormatDouble(candidate.coverage) +
+                              " != validated/members " +
+                              FormatDouble(expected));
+  }
+  if (candidate.coverage + 1e-12 < src.options().induce.min_coverage) {
+    AddInductionViolation(result, "candidate-coverage-accounting",
+                          candidate.name, round,
+                          "coverage " + FormatDouble(candidate.coverage) +
+                              " below the configured floor " +
+                              FormatDouble(src.options().induce.min_coverage));
+  }
+}
+
+}  // namespace
+
+ScenarioResult RunInductionScenario(uint64_t scenario_seed,
+                                    const InductionOracleOptions& options,
+                                    uint64_t* candidates, uint64_t* accepts) {
+  Scenario scenario =
+      MakeInductionScenario(scenario_seed, options.max_documents);
+  ScenarioResult result;
+  result.seed = scenario_seed;
+  result.scenario = scenario.label;
+  result.documents = scenario.documents.size();
+
+  core::XmlSource reference(scenario.options);
+  for (const auto& [name, dtd] : scenario.dtds) {
+    Status st = reference.AddDtd(name, dtd.Clone());
+    if (!st.ok()) {
+      AddInductionViolation(result, "setup", name, 0, st.message());
+    }
+  }
+  std::vector<core::XmlSource::ProcessOutcome> outcomes;
+  outcomes.reserve(scenario.documents.size());
+  for (const xml::Document& doc : scenario.documents) {
+    outcomes.push_back(reference.Process(doc.Clone()));
+  }
+  result.evolutions = reference.evolutions_performed();
+
+  // The induce/accept op sequence the reference decides ("" = induce,
+  // otherwise accept-by-name); the batch replicas replay it verbatim.
+  std::vector<std::string> ops;
+  std::set<uint64_t> seen_ids;
+  for (size_t round = 0; round < kMaxAcceptRounds; ++round) {
+    ops.push_back("");
+    size_t induced = reference.InduceCandidates();
+    if (candidates != nullptr) *candidates += induced;
+    for (const induce::Candidate& candidate : reference.candidates()) {
+      if (!seen_ids.insert(candidate.id).second) {
+        AddInductionViolation(result, "accept-reclassify-accounting",
+                              candidate.name, round,
+                              "candidate id " + std::to_string(candidate.id) +
+                                  " reissued");
+      }
+      CheckCandidateInvariants(reference, candidate, round, result);
+    }
+    const induce::Candidate* best = BestCandidate(reference);
+    if (best == nullptr) break;
+
+    // Accept consumes repository documents — clone the claimed set first
+    // so accept-member-validity can recount against the *live* DTD.
+    const std::string accept_name = best->name;
+    const uint64_t best_id = best->id;
+    std::vector<xml::Document> claimed_docs;
+    for (int id : best->validated) {
+      claimed_docs.push_back(reference.repository().Get(id).Clone());
+    }
+    const size_t repo_before = reference.repository().size();
+
+    StatusOr<core::XmlSource::AcceptOutcome> outcome =
+        reference.AcceptCandidate(best_id, 1);
+    if (!outcome.ok()) {
+      AddInductionViolation(result, "accept-member-validity", accept_name,
+                            round,
+                            "accept failed: " + outcome.status().message());
+      break;
+    }
+    ops.push_back(accept_name);
+    if (accepts != nullptr) ++*accepts;
+
+    const dtd::Dtd* live = reference.FindDtd(outcome->dtd_name);
+    if (live == nullptr) {
+      AddInductionViolation(result, "accept-member-validity",
+                            outcome->dtd_name, round,
+                            "accepted DTD missing from the live set");
+    } else {
+      validate::Validator live_validator(*live);
+      size_t invalid = 0;
+      for (const xml::Document& doc : claimed_docs) {
+        if (!doc.has_root() || !live_validator.Validate(doc).valid) {
+          ++invalid;
+        }
+      }
+      if (invalid != 0) {
+        AddInductionViolation(
+            result, "accept-member-validity", outcome->dtd_name, round,
+            std::to_string(invalid) + " of " +
+                std::to_string(claimed_docs.size()) +
+                " claimed-validated member(s) invalid under the live DTD");
+      }
+    }
+    const size_t removed = repo_before - reference.repository().size();
+    if (removed != outcome->reclassified) {
+      AddInductionViolation(
+          result, "accept-reclassify-accounting", outcome->dtd_name, round,
+          "outcome reports " + std::to_string(outcome->reclassified) +
+              " reclassified but " + std::to_string(removed) +
+              " document(s) left the repository");
+    }
+    if (outcome->reclassified == 0) break;
+  }
+
+  Fingerprint reference_fp = FingerprintOf(reference, outcomes);
+  AppendInductionFingerprint(reference, &reference_fp);
+  for (size_t jobs : options.jobs) {
+    core::XmlSource replica(scenario.options);
+    for (const auto& [name, dtd] : scenario.dtds) {
+      (void)replica.AddDtd(name, dtd.Clone());
+    }
+    std::vector<xml::Document> docs;
+    docs.reserve(scenario.documents.size());
+    for (const xml::Document& doc : scenario.documents) {
+      docs.push_back(doc.Clone());
+    }
+    std::vector<core::XmlSource::ProcessOutcome> replica_outcomes =
+        replica.ProcessBatch(std::move(docs), jobs);
+
+    bool replay_ok = true;
+    for (const std::string& op : ops) {
+      if (op.empty()) {
+        replica.InduceCandidates();
+        continue;
+      }
+      const induce::Candidate* target = nullptr;
+      for (const induce::Candidate& candidate : replica.candidates()) {
+        if (candidate.name == op) target = &candidate;
+      }
+      if (target == nullptr) {
+        AddInductionViolation(result, "induction-batch-divergence", op, 0,
+                              "jobs=" + std::to_string(jobs) +
+                                  ": candidate " + op +
+                                  " missing in the batch replica");
+        replay_ok = false;
+        break;
+      }
+      if (StatusOr<core::XmlSource::AcceptOutcome> accepted =
+              replica.AcceptCandidate(target->id, jobs);
+          !accepted.ok()) {
+        AddInductionViolation(result, "induction-batch-divergence", op, 0,
+                              "jobs=" + std::to_string(jobs) +
+                                  ": accept failed in the batch replica: " +
+                                  accepted.status().message());
+        replay_ok = false;
+        break;
+      }
+    }
+    if (!replay_ok) continue;
+
+    Fingerprint replica_fp = FingerprintOf(replica, replica_outcomes);
+    AppendInductionFingerprint(replica, &replica_fp);
+    if (replica_fp.size() != reference_fp.size()) {
+      AddInductionViolation(result, "induction-batch-divergence", "", 0,
+                            "jobs=" + std::to_string(jobs) +
+                                ": fingerprint section counts differ");
+      continue;
+    }
+    for (size_t i = 0; i < reference_fp.size(); ++i) {
+      if (reference_fp[i].first != replica_fp[i].first ||
+          reference_fp[i].second != replica_fp[i].second) {
+        AddInductionViolation(
+            result, "induction-batch-divergence", "", 0,
+            "jobs=" + std::to_string(jobs) + ": section " +
+                reference_fp[i].first + " differs — " +
+                FirstDifference(reference_fp[i].second, replica_fp[i].second));
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+InductionOracleReport RunInductionOracle(
+    const InductionOracleOptions& options) {
+  InductionOracleReport report;
+  for (uint64_t i = 0; i < options.scenarios; ++i) {
+    ScenarioResult result = RunInductionScenario(
+        options.seed + i, options, &report.candidates, &report.accepts);
+    ++report.scenarios_run;
+    report.documents += result.documents;
+    if (!result.ok()) {
+      report.failures.push_back(std::move(result));
+      if (report.failures.size() >= options.max_failures) break;
+    }
+  }
+  return report;
+}
+
+std::string FormatInductionReport(const InductionOracleReport& report) {
+  std::ostringstream out;
+  out << "induction oracle: " << report.scenarios_run << " scenario"
+      << (report.scenarios_run == 1 ? "" : "s") << ", " << report.documents
+      << " documents, " << report.candidates << " candidates, "
+      << report.accepts << " accepts — "
+      << (report.ok() ? "all invariants held"
+                      : std::to_string(report.failures.size()) +
+                            " failing scenario(s)")
+      << "\n";
+  for (const ScenarioResult& failure : report.failures) {
+    out << FormatScenario(failure);
+    out << "  replay: dtdevolve check --induction --seed " << failure.seed
+        << " --scenarios 1\n";
   }
   return out.str();
 }

@@ -119,6 +119,11 @@ struct CrashOracleOptions {
   uint64_t checkpoint_every = 16;
   /// Stop after this many failing scenarios.
   uint64_t max_failures = 1;
+  /// Sweep induction scenarios instead of drift scenarios: the durable
+  /// run ends with candidate induction and WAL-logged accepts, so the
+  /// crash points cover the induce-accept record type (append, torn
+  /// tail, checkpoint, replay through `AdoptInducedDtd`).
+  bool induction = false;
 };
 
 struct CrashOracleReport {
@@ -139,6 +144,65 @@ ScenarioResult RunCrashScenario(uint64_t scenario_seed,
 CrashOracleReport RunCrashOracle(const CrashOracleOptions& options = {});
 
 std::string FormatCrashReport(const CrashOracleReport& report);
+
+// --- Induction oracle -------------------------------------------------------
+
+/// Options of the induction oracle (`RunInductionOracle`). Each scenario
+/// seeds one drift family's DTD and interleaves its stream with a
+/// mixed-population stream (disjoint root tags) that drains into the
+/// repository, then drives the full candidate lifecycle — induce →
+/// accept best-coverage-first → re-induce — and asserts:
+///
+///   candidate-coverage-accounting — a candidate's `validated` set and
+///     `coverage` equal an independent recount of its members with a
+///     fresh Validator over the candidate DTD, and meet the configured
+///     coverage floor;
+///   induced-dtd-roundtrip — every candidate DTD passes `Check` and
+///     survives WriteDtd → ParseDtd byte-compatibly re-checked;
+///   accept-member-validity — after an accept, the *live* DTD the
+///     candidate became validates every member the candidate claimed as
+///     validated;
+///   accept-reclassify-accounting — exactly `reclassified` documents
+///     left the repository, and the accepted candidate's id is never
+///     reissued;
+///   induction-batch-divergence — replaying the stream through
+///     `ProcessBatch` at every jobs level plus the identical
+///     induce/accept op sequence lands on byte-identical state
+///     (including the pending-candidate list).
+struct InductionOracleOptions {
+  uint64_t scenarios = 20;
+  uint64_t seed = 1;
+  /// Jobs levels of the batch replicas.
+  std::vector<size_t> jobs = {1, 2, 8};
+  /// Feed only the first `max_documents` documents (0 = full scenario).
+  uint64_t max_documents = 0;
+  /// `RunInductionOracle` stops collecting after this many failures.
+  uint64_t max_failures = 1;
+};
+
+struct InductionOracleReport {
+  uint64_t scenarios_run = 0;
+  uint64_t documents = 0;
+  uint64_t candidates = 0;  // candidates proposed across all rounds
+  uint64_t accepts = 0;     // candidates promoted into the live set
+  std::vector<ScenarioResult> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Replays the induction scenario derived from `scenario_seed` and
+/// checks every induction invariant. Deterministic.
+ScenarioResult RunInductionScenario(uint64_t scenario_seed,
+                                    const InductionOracleOptions& options = {},
+                                    uint64_t* candidates = nullptr,
+                                    uint64_t* accepts = nullptr);
+
+/// Runs `options.scenarios` induction scenarios starting at
+/// `options.seed`.
+InductionOracleReport RunInductionOracle(
+    const InductionOracleOptions& options = {});
+
+std::string FormatInductionReport(const InductionOracleReport& report);
 
 /// Shrinks a failing scenario to the shortest document prefix that still
 /// fails (binary search over `max_documents`). Returns the full run when

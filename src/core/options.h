@@ -5,6 +5,7 @@
 
 #include "classify/classifier.h"
 #include "evolve/evolver.h"
+#include "induce/inducer.h"
 #include "similarity/similarity.h"
 
 namespace dtdevolve::core {
@@ -33,8 +34,16 @@ struct SourceOptions {
   bool keep_documents = true;
   /// Re-classify repository documents automatically after an evolution.
   bool reclassify_after_evolution = true;
+  /// Keep the incremental repository clusterer in sync with every
+  /// repository mutation, so `InduceCandidates` (and the `/stats`
+  /// cluster section) is always ready. Costs one similarity pass per
+  /// *new structural fingerprint* entering the repository; identical
+  /// structures join in O(1).
+  bool cluster_repository = true;
 
   evolve::EvolutionOptions evolution;
+  /// Repository clustering → candidate-DTD induction knobs.
+  induce::InduceOptions induce;
   similarity::SimilarityOptions similarity;
   /// Classification fast-path knobs (score-bound pruning, shared subtree
   /// score cache). Both layers are score-equivalent; the knobs only trade

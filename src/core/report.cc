@@ -50,6 +50,8 @@ std::string EventKindName(SourceEvent::Kind kind) {
       return "evolved";
     case SourceEvent::Kind::kReclassified:
       return "reclassified";
+    case SourceEvent::Kind::kDtdInduced:
+      return "induced";
   }
   return "?";
 }

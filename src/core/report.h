@@ -16,6 +16,7 @@ struct SourceEvent {
     kUnclassified,  // document went to the repository
     kEvolved,       // `dtd_name` was evolved; detail has the summary
     kReclassified,  // a repository document was classified after evolution
+    kDtdInduced,    // an accepted candidate DTD joined the set as `dtd_name`
   };
 
   Kind kind = Kind::kClassified;

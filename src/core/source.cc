@@ -9,10 +9,21 @@
 
 namespace dtdevolve::core {
 
+namespace {
+
+/// The clusterer scores with the same similarity knobs as the
+/// classifier, so cluster geometry matches classification geometry.
+SourceOptions SyncInduceOptions(SourceOptions options) {
+  options.induce.cluster.similarity = options.similarity;
+  return options;
+}
+
+}  // namespace
+
 XmlSource::XmlSource(SourceOptions options)
-    : options_(std::move(options)),
-      classifier_(options_.sigma, options_.similarity,
-                  options_.classifier) {}
+    : options_(SyncInduceOptions(std::move(options))),
+      classifier_(options_.sigma, options_.similarity, options_.classifier),
+      clusterer_(options_.induce.cluster) {}
 
 Status XmlSource::AddDtd(const std::string& name, dtd::Dtd dtd) {
   if (dtds_.find(name) != dtds_.end()) {
@@ -57,6 +68,9 @@ void XmlSource::RestoreCounters(uint64_t processed, uint64_t classified,
 
 void XmlSource::RestoreRepositoryDoc(int id, xml::Document doc) {
   repository_.Restore(id, std::move(doc));
+  if (options_.cluster_repository) {
+    clusterer_.Add(id, repository_.Get(id));
+  }
 }
 
 void XmlSource::set_metrics(const SourceMetrics& metrics) {
@@ -101,7 +115,10 @@ XmlSource::ProcessOutcome XmlSource::ApplyClassification(
   outcome.similarity = classification.similarity;
 
   if (!classification.classified) {
-    repository_.Add(std::move(doc));
+    const int repo_id = repository_.Add(std::move(doc));
+    if (options_.cluster_repository) {
+      clusterer_.Add(repo_id, repository_.Get(repo_id));
+    }
     if (metrics_.documents_unclassified != nullptr) {
       metrics_.documents_unclassified->Increment();
     }
@@ -298,6 +315,104 @@ std::optional<evolve::EvolutionResult> XmlSource::ForceEvolve(
   return result;
 }
 
+size_t XmlSource::InduceCandidates() {
+  if (options_.cluster_repository) clusterer_.Consolidate();
+  candidates_.clear();
+  std::vector<induce::Candidate> induced = induce::InduceClusterCandidates(
+      clusterer_.Clusters(), repository_, &classifier_, DtdNames(),
+      options_.induce);
+  for (induce::Candidate& candidate : induced) {
+    candidate.id = next_candidate_id_++;
+    ++candidates_proposed_;
+    if (metrics_.candidates_proposed != nullptr) {
+      metrics_.candidates_proposed->Increment();
+    }
+    candidates_.push_back(std::move(candidate));
+  }
+  return candidates_.size();
+}
+
+const induce::Candidate* XmlSource::FindCandidate(uint64_t id) const {
+  for (const induce::Candidate& candidate : candidates_) {
+    if (candidate.id == id) return &candidate;
+  }
+  return nullptr;
+}
+
+StatusOr<XmlSource::AcceptOutcome> XmlSource::AcceptCandidate(uint64_t id,
+                                                              size_t jobs) {
+  auto it = std::find_if(candidates_.begin(), candidates_.end(),
+                         [id](const induce::Candidate& candidate) {
+                           return candidate.id == id;
+                         });
+  if (it == candidates_.end()) {
+    return Status::NotFound("no pending candidate with id " +
+                            std::to_string(id));
+  }
+  AcceptOutcome outcome;
+  outcome.dtd_name = it->name;
+  outcome.members = it->members.size();
+  outcome.validated = it->validated.size();
+  evolve::ExtendedDtd ext = std::move(it->ext);
+  // The accepted candidate changes the DTD set under every other pending
+  // candidate (memberships and margins go stale), so the whole list is
+  // retired; ids are never reused.
+  candidates_.clear();
+  DTDEVOLVE_RETURN_IF_ERROR(
+      AdoptInducedDtd(outcome.dtd_name, std::move(ext), jobs,
+                      &outcome.reclassified));
+  return outcome;
+}
+
+Status XmlSource::RejectCandidate(uint64_t id) {
+  auto it = std::find_if(candidates_.begin(), candidates_.end(),
+                         [id](const induce::Candidate& candidate) {
+                           return candidate.id == id;
+                         });
+  if (it == candidates_.end()) {
+    return Status::NotFound("no pending candidate with id " +
+                            std::to_string(id));
+  }
+  candidates_.erase(it);
+  ++candidates_rejected_;
+  if (metrics_.candidates_rejected != nullptr) {
+    metrics_.candidates_rejected->Increment();
+  }
+  return Status::Ok();
+}
+
+Status XmlSource::AdoptInducedDtd(const std::string& name,
+                                  evolve::ExtendedDtd ext, size_t jobs,
+                                  size_t* reclassified) {
+  DTDEVOLVE_RETURN_IF_ERROR(RegisterInducedDtd(name, std::move(ext)));
+  ++candidates_accepted_;
+  if (metrics_.candidates_accepted != nullptr) {
+    metrics_.candidates_accepted->Increment();
+  }
+  events_.push_back({SourceEvent::Kind::kDtdInduced, name, 0.0,
+                     documents_processed_ == 0 ? 0 : documents_processed_ - 1,
+                     ""});
+  const size_t recovered = ReclassifyRepository(jobs);
+  if (reclassified != nullptr) *reclassified = recovered;
+  return Status::Ok();
+}
+
+Status XmlSource::RegisterInducedDtd(const std::string& name,
+                                     evolve::ExtendedDtd ext) {
+  if (dtds_.find(name) != dtds_.end()) {
+    return Status::AlreadyExists("DTD '" + name + "' already registered");
+  }
+  DTDEVOLVE_RETURN_IF_ERROR(ext.dtd().Check());
+  auto [it, inserted] = dtds_.emplace(name, std::move(ext));
+  classifier_.AddDtd(name, &it->second.dtd());
+  auto recorder = std::make_unique<evolve::Recorder>(it->second);
+  recorder->set_metrics(metrics_.documents_recorded,
+                        metrics_.elements_recorded);
+  recorders_.emplace(name, std::move(recorder));
+  instances_.emplace(name, std::vector<xml::Document>());
+  return Status::Ok();
+}
+
 size_t XmlSource::ReclassifyRepository(size_t jobs) {
   // The classifier does not change while we record, so all repository
   // documents can be scored up front — in parallel when jobs > 1 — and
@@ -314,6 +429,7 @@ size_t XmlSource::ReclassifyRepository(size_t jobs) {
     const classify::ClassificationOutcome& classification = classifications[k];
     if (!classification.classified) continue;
     xml::Document doc = repository_.Take(ids[k]);
+    clusterer_.Remove(ids[k]);
     const std::string& name = classification.dtd_name;
     recorders_.at(name)->RecordDocument(doc);
     ++documents_classified_;

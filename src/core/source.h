@@ -16,6 +16,8 @@
 #include "evolve/extended_dtd.h"
 #include "evolve/recorder.h"
 #include "evolve/trigger.h"
+#include "induce/cluster.h"
+#include "induce/inducer.h"
 #include "obs/metrics.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -46,6 +48,10 @@ struct SourceMetrics {
   // Recording hot path (forwarded to every Recorder).
   obs::Counter* documents_recorded = nullptr;
   obs::Counter* elements_recorded = nullptr;
+  // Candidate-DTD induction lifecycle.
+  obs::Counter* candidates_proposed = nullptr;
+  obs::Counter* candidates_accepted = nullptr;
+  obs::Counter* candidates_rejected = nullptr;
 };
 
 /// The source of XML documents of Fig. 1 — the library's main entry
@@ -178,6 +184,62 @@ class XmlSource {
   /// Metric snapshot for `name`, as the trigger rules see it.
   TriggerMetrics MetricsFor(const std::string& name) const;
 
+  // --- Candidate-DTD induction (repository clustering) ---------------------
+
+  /// Consolidates the repository clusters and rebuilds the candidate
+  /// list: one candidate DTD per cluster meeting the size floor and the
+  /// coverage floor (options().induce). Replaces any previous candidates
+  /// (their ids are retired, never reused). Returns how many candidates
+  /// are now pending. Deterministic in the repository contents.
+  size_t InduceCandidates();
+
+  /// Candidates pending an accept/reject decision, ascending id.
+  const std::vector<induce::Candidate>& candidates() const {
+    return candidates_;
+  }
+  const induce::Candidate* FindCandidate(uint64_t id) const;
+
+  struct AcceptOutcome {
+    std::string dtd_name;
+    size_t members = 0;
+    size_t validated = 0;
+    /// Repository documents recovered by the re-classification pass that
+    /// follows the promotion.
+    size_t reclassified = 0;
+  };
+
+  /// Promotes candidate `id` into the live DTD set and re-classifies the
+  /// repository against the grown set (`jobs` threads for scoring; the
+  /// outcome is jobs-independent). Every other pending candidate is
+  /// discarded — the set changed under them, so their membership and
+  /// margins are stale; run `InduceCandidates` again for fresh ones.
+  /// Fails with `kNotFound` for an unknown id.
+  StatusOr<AcceptOutcome> AcceptCandidate(uint64_t id, size_t jobs = 1);
+
+  /// Drops candidate `id`; `kNotFound` when unknown.
+  Status RejectCandidate(uint64_t id);
+
+  /// Registers an induced DTD (name must be free) and re-classifies the
+  /// repository — the state transition of an accept, factored out so WAL
+  /// replay (store/checkpoint.cc) reproduces an accept record exactly:
+  /// same event, same counters, same repository drain.
+  Status AdoptInducedDtd(const std::string& name, evolve::ExtendedDtd ext,
+                         size_t jobs = 1, size_t* reclassified = nullptr);
+
+  /// Registration half of `AdoptInducedDtd` only — no event, no
+  /// re-classification. Checkpoint recovery uses this to reinstate an
+  /// induced DTD whose name the seed set does not know (the repository
+  /// and counters are restored separately from the same checkpoint).
+  Status RegisterInducedDtd(const std::string& name, evolve::ExtendedDtd ext);
+
+  /// Live view of the incremental repository clustering (zeros when
+  /// options().cluster_repository is off).
+  induce::ClusterStats cluster_stats() const { return clusterer_.GetStats(); }
+
+  uint64_t candidates_proposed() const { return candidates_proposed_; }
+  uint64_t candidates_accepted() const { return candidates_accepted_; }
+  uint64_t candidates_rejected() const { return candidates_rejected_; }
+
   // --- Manual control (used by experiments) --------------------------------
 
   /// The check phase for one DTD (τ from the options).
@@ -209,6 +271,12 @@ class XmlSource {
   std::map<std::string, std::vector<xml::Document>> instances_;
   classify::Classifier classifier_;
   classify::Repository repository_;
+  induce::RepositoryClusterer clusterer_;
+  std::vector<induce::Candidate> candidates_;
+  uint64_t next_candidate_id_ = 1;
+  uint64_t candidates_proposed_ = 0;
+  uint64_t candidates_accepted_ = 0;
+  uint64_t candidates_rejected_ = 0;
   std::vector<TriggerRule> trigger_rules_;
   std::vector<SourceEvent> events_;
   uint64_t documents_processed_ = 0;

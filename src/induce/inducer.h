@@ -1,0 +1,74 @@
+#ifndef DTDEVOLVE_INDUCE_INDUCER_H_
+#define DTDEVOLVE_INDUCE_INDUCER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baseline/xtract.h"
+#include "classify/classifier.h"
+#include "classify/repository.h"
+#include "evolve/evolver.h"
+#include "evolve/extended_dtd.h"
+#include "induce/cluster.h"
+
+namespace dtdevolve::induce {
+
+/// Knobs of the candidate-DTD induction step.
+struct InduceOptions {
+  ClusterOptions cluster;
+  /// MDL weighting of the XTRACT skeleton inference.
+  baseline::XtractOptions xtract;
+  /// When the XTRACT skeleton leaves cluster members invalid, refine it
+  /// with one round of the evolution machinery (recording + structure
+  /// builder) over the members.
+  bool refine = true;
+  /// Options of that refinement round.
+  evolve::EvolutionOptions evolution;
+  /// Clusters whose candidate validates a smaller fraction of the
+  /// members are dropped instead of proposed.
+  double min_coverage = 0.5;
+  /// Proposed DTD names are `prefix + root tag` (suffixed `-2`, `-3`, …
+  /// against collisions).
+  std::string name_prefix = "induced-";
+};
+
+/// A candidate DTD induced from one repository cluster, waiting for an
+/// accept/reject decision.
+struct Candidate {
+  /// Lifecycle id, assigned by the owning `XmlSource` from a monotonic
+  /// counter (never reused, like repository ids).
+  uint64_t id = 0;
+  /// Proposed DTD name, collision-free against the live set and the
+  /// other candidates of the same induction round.
+  std::string name;
+  /// The candidate extended DTD, with clean recording state (an accepted
+  /// candidate starts a fresh DOC_cur).
+  evolve::ExtendedDtd ext = evolve::ExtendedDtd(dtd::Dtd());
+  /// Repository ids of the cluster members, ascending.
+  std::vector<int> members;
+  /// The subset of `members` the candidate validates — the inducer's
+  /// claim, which the oracle's induction invariant re-checks at accept.
+  std::vector<int> validated;
+  /// validated.size() / members.size().
+  double coverage = 0.0;
+  /// Mean over members of (similarity to the candidate − best similarity
+  /// over every existing DTD): how much better the candidate explains
+  /// the cluster than the live set does.
+  double margin = 0.0;
+};
+
+/// Induces one candidate per cluster. `classifier` (nullable) supplies
+/// the existing-set similarity for the margin; `taken_names` seeds the
+/// collision set for proposed names. Candidates come back in cluster
+/// order with `id` unset; clusters whose inference fails its consistency
+/// check or the coverage floor are skipped. Deterministic.
+std::vector<Candidate> InduceClusterCandidates(
+    const std::vector<Cluster>& clusters,
+    const classify::Repository& repository,
+    const classify::Classifier* classifier,
+    std::vector<std::string> taken_names, const InduceOptions& options);
+
+}  // namespace dtdevolve::induce
+
+#endif  // DTDEVOLVE_INDUCE_INDUCER_H_

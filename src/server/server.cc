@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -73,6 +74,7 @@ SourceManagerOptions ManagerOptions(const ServerOptions& options) {
   manager_options.wal_segment_bytes = options.wal_segment_bytes;
   manager_options.checkpoint_interval = options.checkpoint_interval;
   manager_options.checkpoint_on_shutdown = options.checkpoint_on_shutdown;
+  manager_options.auto_induce_threshold = options.auto_induce_threshold;
   return manager_options;
 }
 
@@ -90,6 +92,20 @@ std::string StatsJson(const SourceManager::TenantStats& stats,
   body += ",\"repository_size\":" + std::to_string(stats.repository_size);
   body += ",\"evolutions_performed\":" +
           std::to_string(stats.evolutions_performed);
+  // Added after the historical fields, so the original shape (PR 6
+  // contract) survives prefix-wise and existing consumers keep parsing.
+  body += ",\"repository\":{";
+  body += "\"size\":" + std::to_string(stats.repository_size);
+  body += ",\"clusters\":" + std::to_string(stats.cluster_count);
+  body += ",\"largest_cluster\":" + std::to_string(stats.largest_cluster);
+  body += ",\"candidates_pending\":" + std::to_string(stats.candidates_pending);
+  body += ",\"candidates_proposed\":" +
+          std::to_string(stats.candidates_proposed);
+  body += ",\"candidates_accepted\":" +
+          std::to_string(stats.candidates_accepted);
+  body += ",\"candidates_rejected\":" +
+          std::to_string(stats.candidates_rejected);
+  body += "}";
   body += ",\"dtds\":{";
   bool first = true;
   for (const SourceManager::TenantDtdStats& dtd : stats.dtds) {
@@ -279,10 +295,16 @@ void IngestServer::HandleConnection(int fd) {
     // into "other".
     std::string path_label = "other";
     for (const char* known :
-         {"/ingest", "/dtds", "/stats", "/metrics", "/healthz", "/tenants"}) {
+         {"/ingest", "/dtds", "/stats", "/metrics", "/healthz", "/tenants",
+          "/dtds/induce", "/dtds/candidates"}) {
       if (request->path == known) path_label = known;
     }
     if (request->path.rfind("/dtds/", 0) == 0) path_label = "/dtds/{name}";
+    if (request->path == "/dtds/induce") path_label = "/dtds/induce";
+    if (request->path == "/dtds/candidates") path_label = "/dtds/candidates";
+    if (request->path.rfind("/dtds/candidates/", 0) == 0) {
+      path_label = "/dtds/candidates/{id}";
+    }
     if (request->path.rfind("/ingest/", 0) == 0) {
       path_label = "/ingest/{tenant}";
     }
@@ -325,6 +347,14 @@ HttpResponse IngestServer::Route(const HttpRequest& request) {
   if (request.path == "/tenants") {
     if (request.method != "GET") return {405, "text/plain", {}, ""};
     return HandleTenants();
+  }
+  if (request.path == "/dtds/induce") {
+    if (request.method != "POST") return {405, "text/plain", {}, ""};
+    return HandleInduce(request);
+  }
+  if (request.path == "/dtds/candidates" ||
+      request.path.rfind("/dtds/candidates/", 0) == 0) {
+    return HandleCandidates(request);
   }
   if (request.path == "/dtds" || request.path.rfind("/dtds/", 0) == 0) {
     if (request.method != "GET") return {405, "text/plain", {}, ""};
@@ -458,6 +488,97 @@ HttpResponse IngestServer::HandleDtds(const HttpRequest& request) {
             "{\"error\":\"" + JsonEscape(text.status().message()) + "\"}\n"};
   }
   return {200, "application/xml-dtd; charset=utf-8", {}, std::move(*text)};
+}
+
+namespace {
+
+/// HTTP status for the shared tenant/candidate error statuses.
+int ErrorStatusCode(const Status& status) {
+  switch (status.code()) {
+    case Status::Code::kInvalidArgument:
+      return 400;
+    case Status::Code::kNotFound:
+      return 404;
+    default:
+      return 500;
+  }
+}
+
+HttpResponse JsonError(const Status& status) {
+  return {ErrorStatusCode(status), "application/json", {},
+          "{\"error\":\"" + JsonEscape(status.message()) + "\"}\n"};
+}
+
+}  // namespace
+
+HttpResponse IngestServer::HandleInduce(const HttpRequest& request) {
+  const std::string tenant = request.QueryValue("tenant");
+  StatusOr<size_t> pending = manager_.InduceTenant(tenant);
+  if (!pending.ok()) return JsonError(pending.status());
+  return {200, "application/json", {},
+          "{\"candidates\":" + std::to_string(*pending) + "}\n"};
+}
+
+HttpResponse IngestServer::HandleCandidates(const HttpRequest& request) {
+  const std::string tenant = request.QueryValue("tenant");
+
+  if (request.path == "/dtds/candidates") {
+    if (request.method != "GET") return {405, "text/plain", {}, ""};
+    StatusOr<std::vector<SourceManager::CandidateInfo>> candidates =
+        manager_.CandidatesFor(tenant);
+    if (!candidates.ok()) return JsonError(candidates.status());
+    std::string body = "{\"candidates\":[";
+    bool first = true;
+    for (const SourceManager::CandidateInfo& info : *candidates) {
+      if (!first) body += ',';
+      first = false;
+      body += "{\"id\":" + std::to_string(info.id);
+      body += ",\"name\":\"" + JsonEscape(info.name) + "\"";
+      body += ",\"members\":" + std::to_string(info.members);
+      body += ",\"validated\":" + std::to_string(info.validated);
+      body += ",\"coverage\":" + FormatDouble(info.coverage);
+      body += ",\"margin\":" + FormatDouble(info.margin);
+      body += ",\"dtd\":\"" + JsonEscape(info.dtd_text) + "\"}";
+    }
+    body += "]}\n";
+    return {200, "application/json", {}, body};
+  }
+
+  // /dtds/candidates/{id}/accept | /dtds/candidates/{id}/reject
+  if (request.method != "POST") return {405, "text/plain", {}, ""};
+  std::string rest = request.path.substr(std::strlen("/dtds/candidates/"));
+  const size_t slash = rest.find('/');
+  if (slash == std::string::npos) {
+    return {404, "text/plain; charset=utf-8", {}, "not found\n"};
+  }
+  const std::string id_text = rest.substr(0, slash);
+  const std::string verb = rest.substr(slash + 1);
+  char* end = nullptr;
+  const uint64_t id = std::strtoull(id_text.c_str(), &end, 10);
+  if (id_text.empty() || end == nullptr || *end != '\0') {
+    return {400, "application/json", {},
+            "{\"error\":\"candidate id must be a number\"}\n"};
+  }
+
+  if (verb == "accept") {
+    StatusOr<core::XmlSource::AcceptOutcome> outcome =
+        manager_.AcceptCandidate(tenant, id);
+    if (!outcome.ok()) return JsonError(outcome.status());
+    std::string body = "{\"accepted\":true";
+    body += ",\"dtd\":\"" + JsonEscape(outcome->dtd_name) + "\"";
+    body += ",\"members\":" + std::to_string(outcome->members);
+    body += ",\"validated\":" + std::to_string(outcome->validated);
+    body += ",\"reclassified\":" + std::to_string(outcome->reclassified);
+    body += "}\n";
+    return {200, "application/json", {}, body};
+  }
+  if (verb == "reject") {
+    Status rejected = manager_.RejectCandidate(tenant, id);
+    if (!rejected.ok()) return JsonError(rejected);
+    return {200, "application/json", {},
+            "{\"rejected\":true,\"id\":" + std::to_string(id) + "}\n"};
+  }
+  return {404, "text/plain; charset=utf-8", {}, "not found\n"};
 }
 
 HttpResponse IngestServer::HandleStats(const HttpRequest& request) {

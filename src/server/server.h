@@ -79,6 +79,13 @@ struct ServerOptions {
   /// tests exercise the replay path deterministically.
   bool checkpoint_on_shutdown = true;
 
+  /// When > 0, a shard whose repository reaches this many unclassified
+  /// documents automatically runs candidate induction after the batch
+  /// that crossed the threshold (proposals only — accepting a candidate
+  /// stays an explicit `POST /dtds/candidates/{id}/accept`). Zero
+  /// disables auto-induction.
+  size_t auto_induce_threshold = 0;
+
   /// Per-connection socket timeouts (SO_RCVTIMEO / SO_SNDTIMEO): a
   /// client that stalls mid-request or stops reading its response frees
   /// the connection thread after this long. Zero disables the guard.
@@ -114,6 +121,18 @@ struct ServerOptions {
 ///   GET /dtds/{name}        the current (possibly evolved)
 ///                           declarations, as DTD text (`?tenant=`
 ///                           selects the shard).
+///   POST /dtds/induce       clusters the tenant's repository and
+///                           induces one candidate DTD per cluster;
+///                           answers the number of pending candidates.
+///   GET /dtds/candidates    JSON list of pending candidates (id, name,
+///                           membership, coverage, margin, DTD text).
+///   POST /dtds/candidates/{id}/accept
+///                           promotes the candidate into the live set
+///                           (WAL-logged in LSN order), re-classifies
+///                           the repository against it, and retires the
+///                           other pending candidates.
+///   POST /dtds/candidates/{id}/reject
+///                           drops one pending candidate.
 ///   GET /stats[?tenant=]    JSON: per-DTD document counts and
 ///                           divergence, repository size, evolution
 ///                           count — per tenant, plus aggregate totals
@@ -220,6 +239,8 @@ class IngestServer {
   HttpResponse HandleIngest(const HttpRequest& request);
   HttpResponse HandleTenants();
   HttpResponse HandleDtds(const HttpRequest& request);
+  HttpResponse HandleInduce(const HttpRequest& request);
+  HttpResponse HandleCandidates(const HttpRequest& request);
   HttpResponse HandleStats(const HttpRequest& request);
   /// Closes the listener and wake-pipe fds (if open) — the error-path
   /// unwind of `Start` and the tail of `Wait`.

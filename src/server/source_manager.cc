@@ -6,6 +6,7 @@
 #include "dtd/dtd_writer.h"
 #include "evolve/persist.h"
 #include "io/file.h"
+#include "store/induce_record.h"
 #include "util/crc32.h"
 
 namespace dtdevolve::server {
@@ -134,6 +135,20 @@ const SourceManager::Shard* SourceManager::ResolveReadShard(
   return default_shard_;
 }
 
+SourceManager::Shard* SourceManager::ResolveWriteShard(
+    const std::string& tenant) {
+  if (!tenant.empty()) return FindShard(tenant);
+  if (shards_.size() == 1) return shards_[0].get();
+  return default_shard_;
+}
+
+Status SourceManager::UnresolvedTenantError(const std::string& tenant) {
+  if (tenant.empty()) {
+    return Status::InvalidArgument("tenant required (multi-tenant server)");
+  }
+  return Status::NotFound("unknown tenant '" + tenant + "'");
+}
+
 SourceManager::Shard* SourceManager::RouteIngest(const std::string& tenant,
                                                  const xml::Document& doc) {
   if (!tenant.empty()) return FindShard(tenant);
@@ -220,6 +235,15 @@ void SourceManager::WireShardMetrics(Shard& shard, obs::Registry* registry) {
   metrics.elements_recorded = &registry->GetCounter(
       "dtdevolve_elements_recorded_total",
       "Element instances recorded into extended DTDs", labels);
+  metrics.candidates_proposed = &registry->GetCounter(
+      "dtdevolve_candidates_proposed_total",
+      "Candidate DTDs induced from repository clusters", labels);
+  metrics.candidates_accepted = &registry->GetCounter(
+      "dtdevolve_candidates_accepted_total",
+      "Candidate DTDs promoted into the live set", labels);
+  metrics.candidates_rejected = &registry->GetCounter(
+      "dtdevolve_candidates_rejected_total",
+      "Candidate DTDs rejected by the operator", labels);
   shard.source.set_metrics(metrics);
 
   shard.requests_rejected = &registry->GetCounter(
@@ -521,6 +545,14 @@ void SourceManager::ProcessPending(Shard& shard,
     for (const PendingDoc& item : pending) {
       if (item.lsn > shard.applied_lsn) shard.applied_lsn = item.lsn;
     }
+    // Auto-induction proposes — it never accepts. Gated on "no pending
+    // candidates" so a threshold-sized repository doesn't re-cluster on
+    // every batch while the operator deliberates.
+    if (options_.auto_induce_threshold > 0 &&
+        shard.source.repository().size() >= options_.auto_induce_threshold &&
+        shard.source.candidates().empty()) {
+      shard.source.InduceCandidates();
+    }
   }
   const auto now = std::chrono::steady_clock::now();
   shard.batch_seconds->Observe(
@@ -623,6 +655,83 @@ Status SourceManager::CheckpointAll(uint64_t* captured_lsn) {
     if (!status.ok() && first_error.ok()) first_error = status;
   }
   return first_error;
+}
+
+StatusOr<size_t> SourceManager::InduceTenant(const std::string& tenant) {
+  Shard* shard = ResolveWriteShard(tenant);
+  if (shard == nullptr) return UnresolvedTenantError(tenant);
+  std::lock_guard<std::mutex> lock(shard->state_mutex);
+  return shard->source.InduceCandidates();
+}
+
+StatusOr<std::vector<SourceManager::CandidateInfo>>
+SourceManager::CandidatesFor(const std::string& tenant) const {
+  const Shard* shard = ResolveReadShard(tenant);
+  if (shard == nullptr) return UnresolvedTenantError(tenant);
+  std::lock_guard<std::mutex> lock(shard->state_mutex);
+  std::vector<CandidateInfo> out;
+  out.reserve(shard->source.candidates().size());
+  for (const induce::Candidate& candidate : shard->source.candidates()) {
+    CandidateInfo info;
+    info.id = candidate.id;
+    info.name = candidate.name;
+    info.members = candidate.members.size();
+    info.validated = candidate.validated.size();
+    info.coverage = candidate.coverage;
+    info.margin = candidate.margin;
+    info.dtd_text = dtd::WriteDtd(candidate.ext.dtd());
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+StatusOr<core::XmlSource::AcceptOutcome> SourceManager::AcceptCandidate(
+    const std::string& tenant, uint64_t id) {
+  Shard* shard = ResolveWriteShard(tenant);
+  if (shard == nullptr) return UnresolvedTenantError(tenant);
+
+  // The accept must land in the WAL *and* in the source at the same
+  // position relative to ingested documents, or replay diverges from
+  // the live run. Holding the ingest-order mutex stops new appends;
+  // waiting for applied_lsn to catch up with the log flushes everything
+  // already acked through the worker. Only then is "append the record,
+  // apply the accept" the same sequence replay will see.
+  std::lock_guard<std::mutex> order(shard->ingest_order_mutex);
+  if (shard->wal != nullptr) {
+    const uint64_t last_acked = shard->wal->next_lsn() - 1;
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> state(shard->state_mutex);
+        if (shard->applied_lsn >= last_acked) break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  std::lock_guard<std::mutex> state(shard->state_mutex);
+  const induce::Candidate* candidate = shard->source.FindCandidate(id);
+  if (candidate == nullptr) {
+    return Status::NotFound("unknown candidate id " + std::to_string(id));
+  }
+  if (shard->wal != nullptr) {
+    const std::string record =
+        store::EncodeInduceAcceptRecord(candidate->name, candidate->ext);
+    StatusOr<uint64_t> lsn = shard->wal->Append(record);
+    if (!lsn.ok()) {
+      shard->degraded->Set(1);
+      return lsn.status();
+    }
+    shard->degraded->Set(0);
+    shard->applied_lsn = *lsn;
+  }
+  return shard->source.AcceptCandidate(id, options_.jobs);
+}
+
+Status SourceManager::RejectCandidate(const std::string& tenant, uint64_t id) {
+  Shard* shard = ResolveWriteShard(tenant);
+  if (shard == nullptr) return UnresolvedTenantError(tenant);
+  std::lock_guard<std::mutex> lock(shard->state_mutex);
+  return shard->source.RejectCandidate(id);
 }
 
 Status SourceManager::SnapshotShard(Shard& shard) {
@@ -740,6 +849,13 @@ StatusOr<SourceManager::TenantStats> SourceManager::StatsFor(
   stats.documents_classified = shard->source.documents_classified();
   stats.repository_size = shard->source.repository().size();
   stats.evolutions_performed = shard->source.evolutions_performed();
+  const induce::ClusterStats clusters = shard->source.cluster_stats();
+  stats.cluster_count = clusters.clusters;
+  stats.largest_cluster = clusters.largest_cluster;
+  stats.candidates_pending = shard->source.candidates().size();
+  stats.candidates_proposed = shard->source.candidates_proposed();
+  stats.candidates_accepted = shard->source.candidates_accepted();
+  stats.candidates_rejected = shard->source.candidates_rejected();
   for (const std::string& name : shard->source.DtdNames()) {
     const evolve::ExtendedDtd* ext = shard->source.FindExtended(name);
     TenantDtdStats dtd_stats;

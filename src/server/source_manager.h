@@ -61,6 +61,11 @@ struct SourceManagerOptions {
   /// zero disables it.
   std::chrono::milliseconds checkpoint_interval{30000};
   bool checkpoint_on_shutdown = true;
+  /// When > 0, a shard whose repository reaches this many documents
+  /// (and has no candidates pending) runs `InduceCandidates` after the
+  /// batch that crossed the threshold — proposals only; accepting stays
+  /// an explicit admin decision.
+  size_t auto_induce_threshold = 0;
 };
 
 /// Owns N independent `XmlSource` shards — one per tenant — and runs
@@ -129,7 +134,26 @@ class SourceManager {
     uint64_t documents_classified = 0;
     size_t repository_size = 0;
     uint64_t evolutions_performed = 0;
+    // Repository clustering / induction (zeros when clustering is off).
+    size_t cluster_count = 0;
+    size_t largest_cluster = 0;
+    size_t candidates_pending = 0;
+    uint64_t candidates_proposed = 0;
+    uint64_t candidates_accepted = 0;
+    uint64_t candidates_rejected = 0;
     std::vector<TenantDtdStats> dtds;
+  };
+
+  /// One pending candidate, as served by `GET /dtds/candidates`.
+  struct CandidateInfo {
+    uint64_t id = 0;
+    std::string name;
+    size_t members = 0;
+    size_t validated = 0;
+    double coverage = 0.0;
+    double margin = 0.0;
+    /// The proposed declarations, as DTD text.
+    std::string dtd_text;
   };
 
   SourceManager(core::SourceOptions source_options,
@@ -193,6 +217,31 @@ class SourceManager {
   StatusOr<TenantStats> StatsFor(const std::string& tenant) const;
   /// Stats of every tenant, in tenant order.
   std::vector<TenantStats> AllStats() const;
+
+  // --- Candidate-DTD induction (admin lifecycle) ---------------------------
+
+  /// Runs `XmlSource::InduceCandidates` on one tenant (same resolution
+  /// rules as `DtdNamesFor`); returns how many candidates are pending.
+  StatusOr<size_t> InduceTenant(const std::string& tenant);
+
+  /// The pending candidates of one tenant, ascending id.
+  StatusOr<std::vector<CandidateInfo>> CandidatesFor(
+      const std::string& tenant) const;
+
+  /// Promotes a pending candidate into the tenant's live DTD set. The
+  /// accept is WAL-logged (store/induce_record.h) *in LSN order*: new
+  /// ingest into the shard is held off while every already-acked
+  /// document is applied, then the record is appended and applied — so
+  /// crash replay reproduces exactly the live sequence. Every other
+  /// pending candidate of the tenant is retired (the set changed under
+  /// them); re-run `InduceTenant` for fresh proposals.
+  StatusOr<core::XmlSource::AcceptOutcome> AcceptCandidate(
+      const std::string& tenant, uint64_t id);
+
+  /// Drops one pending candidate. Not WAL-logged — candidates are
+  /// in-memory proposals, recomputable from the repository; only
+  /// accepts are durable.
+  Status RejectCandidate(const std::string& tenant, uint64_t id);
 
   /// Writes one atomic snapshot per DTD per shard. No-op without a
   /// snapshot dir.
@@ -288,6 +337,11 @@ class SourceManager {
   /// Read-path resolution: explicit name, else the single shard, else
   /// the shard named "default", else nullptr (ambiguous).
   const Shard* ResolveReadShard(const std::string& tenant) const;
+  /// Same resolution, mutable — the admin (induce/accept/reject) paths.
+  Shard* ResolveWriteShard(const std::string& tenant);
+  /// Maps the shared nullptr-shard outcome of the resolvers to the
+  /// status `DtdNamesFor` documents.
+  static Status UnresolvedTenantError(const std::string& tenant);
   /// Ingest routing: like ResolveReadShard but anonymous traffic with
   /// no "default" shard falls through to the consistent-hash ring.
   Shard* RouteIngest(const std::string& tenant, const xml::Document& doc);

@@ -8,6 +8,7 @@
 
 #include "evolve/persist.h"
 #include "io/file.h"
+#include "store/induce_record.h"
 #include "xml/parser.h"
 #include "xml/writer.h"
 
@@ -279,8 +280,19 @@ StatusOr<std::unique_ptr<Wal>> RecoverSource(core::XmlSource& source,
       return Status::Internal("checkpoint snapshot for '" + name +
                               "' is corrupt: " + ext.status().message());
     }
-    DTDEVOLVE_RETURN_IF_ERROR(
-        source.RestoreExtended(name, std::move(*ext)));
+    Status restored = source.RestoreExtended(name, std::move(*ext));
+    if (restored.code() == Status::Code::kNotFound) {
+      // A DTD the seed set does not know — an induced candidate accepted
+      // before the checkpoint. Register it fresh; the repository and
+      // counters of the same checkpoint already reflect its adoption.
+      // The first deserialization was moved into the failed call, so
+      // deserialize again.
+      StatusOr<evolve::ExtendedDtd> again =
+          evolve::DeserializeExtendedDtd(serialized);
+      if (!again.ok()) return again.status();
+      restored = source.RegisterInducedDtd(name, std::move(*again));
+    }
+    DTDEVOLVE_RETURN_IF_ERROR(restored);
   }
   if (checkpoint->lsn > 0) {
     DTDEVOLVE_RETURN_IF_ERROR(
@@ -305,12 +317,28 @@ StatusOr<std::unique_ptr<Wal>> RecoverSource(core::XmlSource& source,
     // second recovery over the same files (crash before the next
     // checkpoint) a no-op for this prefix.
     if (record.lsn <= checkpoint->lsn) continue;
-    StatusOr<core::XmlSource::ProcessOutcome> outcome =
-        source.ProcessText(record.payload);
-    if (!outcome.ok()) {
-      return Status::Internal(
-          "WAL record " + std::to_string(record.lsn) +
-          " no longer applies: " + outcome.status().message());
+    if (IsInduceAcceptRecord(record.payload)) {
+      StatusOr<InduceAcceptRecord> accept =
+          DecodeInduceAcceptRecord(record.payload);
+      if (!accept.ok()) {
+        return Status::Internal("WAL record " + std::to_string(record.lsn) +
+                                " no longer applies: " +
+                                accept.status().message());
+      }
+      Status adopted =
+          source.AdoptInducedDtd(accept->name, std::move(accept->ext));
+      if (!adopted.ok()) {
+        return Status::Internal("WAL record " + std::to_string(record.lsn) +
+                                " no longer applies: " + adopted.message());
+      }
+    } else {
+      StatusOr<core::XmlSource::ProcessOutcome> outcome =
+          source.ProcessText(record.payload);
+      if (!outcome.ok()) {
+        return Status::Internal(
+            "WAL record " + std::to_string(record.lsn) +
+            " no longer applies: " + outcome.status().message());
+      }
     }
     if (report != nullptr) {
       ++report->replayed_records;

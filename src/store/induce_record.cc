@@ -1,0 +1,94 @@
+#include "store/induce_record.h"
+
+#include <utility>
+
+#include "evolve/persist.h"
+
+namespace dtdevolve::store {
+
+namespace {
+
+bool NextLine(std::string_view data, size_t* offset, std::string_view* line) {
+  if (*offset >= data.size()) return false;
+  const size_t end = data.find('\n', *offset);
+  if (end == std::string_view::npos) {
+    *line = data.substr(*offset);
+    *offset = data.size();
+  } else {
+    *line = data.substr(*offset, end - *offset);
+    *offset = end + 1;
+  }
+  return true;
+}
+
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool TakeKeyword(std::string_view line, std::string_view keyword,
+                 std::string_view* rest) {
+  if (line.substr(0, keyword.size()) != keyword) return false;
+  if (line.size() <= keyword.size() || line[keyword.size()] != ' ') {
+    return false;
+  }
+  *rest = line.substr(keyword.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+bool IsInduceAcceptRecord(std::string_view payload) {
+  return payload.substr(0, kInduceAcceptHeader.size()) == kInduceAcceptHeader;
+}
+
+std::string EncodeInduceAcceptRecord(const std::string& name,
+                                     const evolve::ExtendedDtd& ext) {
+  std::string serialized = evolve::SerializeExtendedDtd(ext);
+  std::string out(kInduceAcceptHeader);
+  out.push_back('\n');
+  out += "name " + name + "\n";
+  out += "dtd " + std::to_string(serialized.size()) + "\n";
+  out += serialized;
+  return out;
+}
+
+StatusOr<InduceAcceptRecord> DecodeInduceAcceptRecord(
+    std::string_view payload) {
+  size_t offset = 0;
+  std::string_view line;
+  std::string_view rest;
+  if (!NextLine(payload, &offset, &line) || line != kInduceAcceptHeader) {
+    return Status::ParseError("induce-accept record: bad header");
+  }
+  if (!NextLine(payload, &offset, &line) ||
+      !TakeKeyword(line, "name", &rest) || rest.empty()) {
+    return Status::ParseError("induce-accept record: bad name line");
+  }
+  InduceAcceptRecord record;
+  record.name = std::string(rest);
+  uint64_t nbytes = 0;
+  if (!NextLine(payload, &offset, &line) || !TakeKeyword(line, "dtd", &rest) ||
+      !ParseU64(rest, &nbytes)) {
+    return Status::ParseError("induce-accept record: bad dtd line");
+  }
+  if (offset + nbytes > payload.size()) {
+    return Status::ParseError("induce-accept record: dtd payload truncated");
+  }
+  StatusOr<evolve::ExtendedDtd> ext =
+      evolve::DeserializeExtendedDtd(payload.substr(offset, nbytes));
+  if (!ext.ok()) {
+    return Status::ParseError("induce-accept record: " +
+                              ext.status().message());
+  }
+  record.ext = std::move(*ext);
+  return record;
+}
+
+}  // namespace dtdevolve::store

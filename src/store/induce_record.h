@@ -1,0 +1,46 @@
+#ifndef DTDEVOLVE_STORE_INDUCE_RECORD_H_
+#define DTDEVOLVE_STORE_INDUCE_RECORD_H_
+
+#include <string>
+#include <string_view>
+
+#include "evolve/extended_dtd.h"
+#include "util/status.h"
+
+namespace dtdevolve::store {
+
+/// The induce-accept WAL record: a candidate DTD promoted into the live
+/// set. Every other WAL payload is the raw XML of an ingested document —
+/// which always starts with '<' — so the header line doubles as the
+/// record-type tag and old logs remain readable unchanged. Replay
+/// (`RecoverSource`) dispatches on it and calls
+/// `XmlSource::AdoptInducedDtd`, reproducing exactly what the live
+/// accept did: registration, the `induced` event, and the repository
+/// re-classification that drains recovered members.
+///
+/// Layout (line-oriented, like the checkpoint source state):
+///   dtdevolve-induce-accept 1
+///   name <dtd name>
+///   dtd <byte count>
+///   <SerializeExtendedDtd payload>
+inline constexpr std::string_view kInduceAcceptHeader =
+    "dtdevolve-induce-accept 1";
+
+/// True when `payload` is an induce-accept record (header match only;
+/// a corrupt body still decodes to an error).
+bool IsInduceAcceptRecord(std::string_view payload);
+
+std::string EncodeInduceAcceptRecord(const std::string& name,
+                                     const evolve::ExtendedDtd& ext);
+
+struct InduceAcceptRecord {
+  std::string name;
+  evolve::ExtendedDtd ext = evolve::ExtendedDtd(dtd::Dtd());
+};
+
+StatusOr<InduceAcceptRecord> DecodeInduceAcceptRecord(
+    std::string_view payload);
+
+}  // namespace dtdevolve::store
+
+#endif  // DTDEVOLVE_STORE_INDUCE_RECORD_H_

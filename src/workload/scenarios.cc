@@ -176,6 +176,90 @@ ScenarioStream MakeForumScenario(uint64_t seed, uint64_t docs_per_phase) {
   return ScenarioStream("forum", std::move(phases), options, seed);
 }
 
+dtd::Dtd MixedPopulationFamilyDtd(size_t index) {
+  switch (index % kMixedPopulationFamilies) {
+    case 0:
+      return MustParseDtd(R"(
+        <!ELEMENT invoice (customer, lineitem+, total)>
+        <!ELEMENT customer (#PCDATA)>
+        <!ELEMENT lineitem (sku, qty, unitcost)>
+        <!ELEMENT sku (#PCDATA)>
+        <!ELEMENT qty (#PCDATA)>
+        <!ELEMENT unitcost (#PCDATA)>
+        <!ELEMENT total (#PCDATA)>
+      )",
+                          "invoice");
+    case 1:
+      return MustParseDtd(R"(
+        <!ELEMENT playlist (owner, track+)>
+        <!ELEMENT owner (#PCDATA)>
+        <!ELEMENT track (artist, song, duration?)>
+        <!ELEMENT artist (#PCDATA)>
+        <!ELEMENT song (#PCDATA)>
+        <!ELEMENT duration (#PCDATA)>
+      )",
+                          "playlist");
+    case 2:
+      return MustParseDtd(R"(
+        <!ELEMENT recipe (dish, ingredient+, step+, serves?)>
+        <!ELEMENT dish (#PCDATA)>
+        <!ELEMENT ingredient (#PCDATA)>
+        <!ELEMENT step (#PCDATA)>
+        <!ELEMENT serves (#PCDATA)>
+      )",
+                          "recipe");
+    case 3:
+      return MustParseDtd(R"(
+        <!ELEMENT itinerary (traveler, leg+, fare)>
+        <!ELEMENT traveler (#PCDATA)>
+        <!ELEMENT leg (carrier, origin, destination, depart?)>
+        <!ELEMENT carrier (#PCDATA)>
+        <!ELEMENT origin (#PCDATA)>
+        <!ELEMENT destination (#PCDATA)>
+        <!ELEMENT depart (#PCDATA)>
+        <!ELEMENT fare (#PCDATA)>
+      )",
+                          "itinerary");
+    case 4:
+      return MustParseDtd(R"(
+        <!ELEMENT chart (pid, visit+)>
+        <!ELEMENT pid (#PCDATA)>
+        <!ELEMENT visit (vdate, diagnosis, rx*)>
+        <!ELEMENT vdate (#PCDATA)>
+        <!ELEMENT diagnosis (#PCDATA)>
+        <!ELEMENT rx (#PCDATA)>
+      )",
+                          "chart");
+    default:
+      return MustParseDtd(R"(
+        <!ELEMENT sensorlog (device, reading+)>
+        <!ELEMENT device (#PCDATA)>
+        <!ELEMENT reading (ts, value, unit?)>
+        <!ELEMENT ts (#PCDATA)>
+        <!ELEMENT value (#PCDATA)>
+        <!ELEMENT unit (#PCDATA)>
+      )",
+                          "sensorlog");
+  }
+}
+
+ScenarioStream MakeMixedPopulationScenario(uint64_t seed, size_t families,
+                                           uint64_t docs_per_family) {
+  if (families == 0) families = 1;
+  if (families > kMixedPopulationFamilies) families = kMixedPopulationFamilies;
+  // Round-robin interleaving as single-document phases: round r emits one
+  // document of every family before round r+1 starts.
+  std::vector<DriftPhase> phases;
+  phases.reserve(families * docs_per_family);
+  for (uint64_t round = 0; round < docs_per_family; ++round) {
+    for (size_t family = 0; family < families; ++family) {
+      phases.push_back({MixedPopulationFamilyDtd(family), 1});
+    }
+  }
+  return ScenarioStream("mixed-population", std::move(phases),
+                        GeneratorOptions(), seed);
+}
+
 std::vector<ScenarioStream> MakeAllScenarios(uint64_t seed,
                                              uint64_t docs_per_phase) {
   std::vector<ScenarioStream> scenarios;

@@ -73,6 +73,25 @@ ScenarioStream MakeForumScenario(uint64_t seed, uint64_t docs_per_phase = 100);
 std::vector<ScenarioStream> MakeAllScenarios(uint64_t seed,
                                              uint64_t docs_per_phase = 100);
 
+/// Number of built-in mixed-population families.
+inline constexpr size_t kMixedPopulationFamilies = 6;
+
+/// The true (hidden) DTD of mixed-population family `index`
+/// (0 ≤ index < kMixedPopulationFamilies) — exposed so induction tests
+/// and the bench can check induced candidates against ground truth.
+dtd::Dtd MixedPopulationFamilyDtd(size_t index);
+
+/// Mixed population: `families` structurally distinct document families
+/// with disjoint root tags and child vocabularies, interleaved
+/// round-robin (one document per family per round). None of them match
+/// the DTDs of the other scenarios, so against any such seed set the
+/// whole stream lands in the repository of unclassified documents —
+/// the end-to-end exercise for repository clustering → candidate-DTD
+/// induction: k families ⇒ k clusters ⇒ k induced candidates.
+/// `families` is capped at kMixedPopulationFamilies.
+ScenarioStream MakeMixedPopulationScenario(uint64_t seed, size_t families = 3,
+                                           uint64_t docs_per_family = 40);
+
 }  // namespace dtdevolve::workload
 
 #endif  // DTDEVOLVE_WORKLOAD_SCENARIOS_H_

@@ -63,6 +63,49 @@ TEST(CheckerTest, CustomJobsLevelsAreCompared) {
   EXPECT_TRUE(report.ok()) << FormatReport(report);
 }
 
+TEST(CheckerTest, InductionInvariantsHoldOnSeededScenarios) {
+  InductionOracleOptions options;
+  options.scenarios = 25;
+  options.seed = 1;
+  InductionOracleReport report = RunInductionOracle(options);
+  EXPECT_TRUE(report.ok()) << FormatInductionReport(report);
+  EXPECT_EQ(report.scenarios_run, 25u);
+  // The sweep must drive the whole candidate lifecycle, not vacuously
+  // pass: candidates get induced and some get promoted.
+  EXPECT_GT(report.candidates, 25u);
+  EXPECT_GT(report.accepts, 10u);
+}
+
+TEST(CheckerTest, InductionScenarioRunsAreDeterministic) {
+  ScenarioResult first = RunInductionScenario(11);
+  ScenarioResult second = RunInductionScenario(11);
+  EXPECT_EQ(first.scenario, second.scenario);
+  EXPECT_EQ(first.documents, second.documents);
+  EXPECT_EQ(first.evolutions, second.evolutions);
+  EXPECT_EQ(first.violations.size(), second.violations.size());
+}
+
+TEST(CheckerTest, InductionReportFormattingCarriesReplaySeed) {
+  InductionOracleReport report;
+  report.scenarios_run = 1;
+  report.documents = 30;
+  ScenarioResult failing;
+  failing.seed = 77;
+  failing.scenario = "induction synthetic";
+  failing.violations.push_back(
+      {"accept-member-validity", "induced-invoice", 2, "member invalid"});
+  report.failures.push_back(failing);
+
+  std::string text = FormatInductionReport(report);
+  EXPECT_NE(text.find("--induction --seed 77"), std::string::npos);
+  EXPECT_NE(text.find("accept-member-validity"), std::string::npos);
+
+  InductionOracleReport clean;
+  clean.scenarios_run = 2;
+  EXPECT_NE(FormatInductionReport(clean).find("all invariants held"),
+            std::string::npos);
+}
+
 TEST(CheckerTest, ReportFormattingCarriesReplaySeed) {
   ScenarioResult failing;
   failing.seed = 99;

@@ -29,6 +29,20 @@ TEST(CrashOracleTest, RecoveryMatchesAckedPrefixAcrossCrashPoints) {
   EXPECT_GT(report.documents, 0u);
 }
 
+TEST(CrashOracleTest, InductionSweepCoversInduceAcceptRecords) {
+  CrashOracleOptions options;
+  options.induction = true;
+  options.scenarios = 2;
+  options.seed = 1;
+  options.max_documents = 16;
+  options.max_crash_points = 20;
+  options.checkpoint_every = 7;  // checkpoints land between accepts too
+  CrashOracleReport report = RunCrashOracle(options);
+  EXPECT_TRUE(report.ok()) << FormatCrashReport(report);
+  EXPECT_EQ(report.scenarios_run, 2u);
+  EXPECT_GE(report.crash_points, 20u);
+}
+
 TEST(CrashOracleTest, SweepIsDeterministic) {
   CrashOracleOptions options;
   options.scenarios = 1;

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "classify/repository.h"
+#include "core/source.h"
+#include "workload/scenarios.h"
+#include "xml/parser.h"
+
+namespace dtdevolve {
+namespace {
+
+xml::Document Doc(const std::string& text) {
+  StatusOr<xml::Document> doc = xml::ParseDocument(text);
+  EXPECT_TRUE(doc.ok());
+  return std::move(doc).value();
+}
+
+// Repository ids are handed to the clustering engine and exposed through
+// `/dtds/candidates` membership lists, so an id must never be reassigned
+// to a different document — not after Take, not after Clear.
+
+TEST(RepositoryIdStabilityTest, AddNeverReusesTakenIds) {
+  classify::Repository repo;
+  const int a = repo.Add(Doc("<a/>"));
+  const int b = repo.Add(Doc("<b/>"));
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  (void)repo.Take(a);
+  (void)repo.Take(b);
+  EXPECT_TRUE(repo.empty());
+  // The counter is monotonic: freed ids stay retired.
+  EXPECT_EQ(repo.Add(Doc("<c/>")), 2);
+}
+
+TEST(RepositoryIdStabilityTest, ClearRetiresAllHandedOutIds) {
+  classify::Repository repo;
+  repo.Add(Doc("<a/>"));
+  repo.Add(Doc("<b/>"));
+  repo.Clear();
+  EXPECT_TRUE(repo.empty());
+  EXPECT_EQ(repo.Add(Doc("<c/>")), 2);
+}
+
+TEST(RepositoryIdStabilityTest, RestoreBumpsTheCounterPastRestoredIds) {
+  classify::Repository repo;
+  repo.Restore(7, Doc("<a/>"));
+  EXPECT_EQ(repo.Add(Doc("<b/>")), 8);
+  // Restoring below the watermark never lowers it.
+  repo.Restore(3, Doc("<c/>"));
+  EXPECT_EQ(repo.Add(Doc("<d/>")), 9);
+}
+
+TEST(RepositoryIdStabilityTest, IdsSurviveReclassificationRounds) {
+  // End-to-end regression: ids recorded before a reclassification round
+  // still name the same documents afterwards, and new arrivals continue
+  // above every id ever handed out.
+  core::SourceOptions options;
+  options.sigma = 0.5;
+  options.auto_evolve = false;
+  core::XmlSource source(options);
+  ASSERT_TRUE(source
+                  .AddDtd("bibliography",
+                          workload::MakeBibliographyScenario(1).InitialDtd())
+                  .ok());
+  workload::ScenarioStream stream =
+      workload::MakeMixedPopulationScenario(3, 2, 10);
+  while (!stream.Done()) source.Process(stream.Next());
+
+  const std::vector<int> before = source.repository().Ids();
+  ASSERT_FALSE(before.empty());
+  std::vector<std::string> tags;
+  for (int id : before) {
+    tags.push_back(source.repository().Get(id).root().tag());
+  }
+
+  // Induce + accept drains one family out of the repository.
+  ASSERT_GT(source.InduceCandidates(), 0u);
+  const uint64_t candidate = source.candidates().front().id;
+  ASSERT_TRUE(source.AcceptCandidate(candidate).ok());
+
+  // Survivors keep their id → document binding.
+  for (int id : source.repository().Ids()) {
+    size_t index =
+        std::find(before.begin(), before.end(), id) - before.begin();
+    ASSERT_LT(index, before.size());
+    EXPECT_EQ(source.repository().Get(id).root().tag(), tags[index]);
+  }
+  // And the next unclassified arrival gets a brand-new id.
+  workload::ScenarioStream more =
+      workload::MakeMixedPopulationScenario(4, 3, 1);
+  more.Next();
+  more.Next();
+  core::XmlSource::ProcessOutcome outcome = source.Process(more.Next());
+  if (!outcome.classified) {
+    const std::vector<int> after = source.repository().Ids();
+    EXPECT_GT(after.back(), before.back());
+  }
+}
+
+}  // namespace
+}  // namespace dtdevolve

@@ -498,5 +498,134 @@ TEST(ServerTest, CollidingDtdNamesKeepDistinctSnapshots) {
   ::rmdir(dir.c_str());
 }
 
+// Two foreign families that can never classify against the mail DTD —
+// repeated verbatim so each family clusters into one structural group.
+const char* kInvoiceDoc =
+    "<invoice><customer>c</customer><item><sku>s</sku><qty>1</qty></item>"
+    "<total>9</total></invoice>";
+const char* kPlaylistDoc =
+    "<playlist><owner>o</owner><track><artist>a</artist><song>t</song>"
+    "</track></playlist>";
+
+TEST(ServerTest, InductionLifecycleOverHttp) {
+  core::SourceOptions source_options = EvolvingOptions();
+  source_options.sigma = 0.5;
+  source_options.auto_evolve = false;
+  IngestServer server(source_options, EphemeralOptions());
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Two unclassifiable families pile up in the repository.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(Post(server.port(), "/ingest?wait=1", kInvoiceDoc).status, 200);
+    ASSERT_EQ(Post(server.port(), "/ingest?wait=1", kPlaylistDoc).status, 200);
+  }
+
+  // /stats now shows the repository section with two clusters.
+  ClientResponse stats = Get(server.port(), "/stats");
+  ASSERT_EQ(stats.status, 200);
+  EXPECT_NE(stats.body.find("\"repository\":{\"size\":8,\"clusters\":2"),
+            std::string::npos)
+      << stats.body;
+
+  // Induce: one candidate per family.
+  ClientResponse induced = Post(server.port(), "/dtds/induce", "");
+  ASSERT_EQ(induced.status, 200);
+  EXPECT_NE(induced.body.find("\"candidates\":2"), std::string::npos)
+      << induced.body;
+
+  ClientResponse candidates = Get(server.port(), "/dtds/candidates");
+  ASSERT_EQ(candidates.status, 200);
+  EXPECT_NE(candidates.body.find("\"name\":\"induced-invoice\""),
+            std::string::npos)
+      << candidates.body;
+  EXPECT_NE(candidates.body.find("\"name\":\"induced-playlist\""),
+            std::string::npos);
+  EXPECT_NE(candidates.body.find("\"coverage\":1"), std::string::npos);
+
+  // Parse the first candidate id out of the listing.
+  const size_t id_pos = candidates.body.find("\"id\":");
+  ASSERT_NE(id_pos, std::string::npos);
+  const uint64_t id = std::strtoull(candidates.body.c_str() + id_pos + 5,
+                                    nullptr, 10);
+
+  // Accept it: the DTD joins the live set and its members drain.
+  ClientResponse accepted = Post(
+      server.port(), "/dtds/candidates/" + std::to_string(id) + "/accept", "");
+  ASSERT_EQ(accepted.status, 200) << accepted.body;
+  EXPECT_NE(accepted.body.find("\"accepted\":true"), std::string::npos);
+  EXPECT_NE(accepted.body.find("\"reclassified\":4"), std::string::npos)
+      << accepted.body;
+
+  ClientResponse dtds = Get(server.port(), "/dtds");
+  EXPECT_NE(dtds.body.find("induced-"), std::string::npos) << dtds.body;
+
+  // The other candidate was retired with the set change; re-induce and
+  // reject the remaining family's proposal.
+  ClientResponse re_induced = Post(server.port(), "/dtds/induce", "");
+  ASSERT_EQ(re_induced.status, 200);
+  EXPECT_NE(re_induced.body.find("\"candidates\":1"), std::string::npos);
+  ClientResponse listing = Get(server.port(), "/dtds/candidates");
+  const size_t pos2 = listing.body.find("\"id\":");
+  ASSERT_NE(pos2, std::string::npos);
+  const uint64_t id2 =
+      std::strtoull(listing.body.c_str() + pos2 + 5, nullptr, 10);
+  EXPECT_GT(id2, id);  // candidate ids are never reused
+  ClientResponse rejected = Post(
+      server.port(), "/dtds/candidates/" + std::to_string(id2) + "/reject",
+      "");
+  EXPECT_EQ(rejected.status, 200);
+  EXPECT_NE(rejected.body.find("\"rejected\":true"), std::string::npos);
+
+  // Unknown ids and bad verbs answer with clean errors.
+  EXPECT_EQ(Post(server.port(), "/dtds/candidates/99999/accept", "").status,
+            404);
+  EXPECT_EQ(Post(server.port(), "/dtds/candidates/x/accept", "").status, 400);
+  EXPECT_EQ(Post(server.port(), "/dtds/candidates/1/promote", "").status, 404);
+  EXPECT_EQ(Get(server.port(), "/dtds/induce").status, 405);
+
+  // Lifecycle counters reached /metrics.
+  ClientResponse metrics = Get(server.port(), "/metrics");
+  EXPECT_NE(metrics.body.find("dtdevolve_candidates_accepted_total 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("dtdevolve_candidates_rejected_total 1"),
+            std::string::npos);
+
+  // New arrivals of the accepted family now classify instead of queueing
+  // in the repository.
+  ClientResponse fresh = Post(server.port(), "/ingest?wait=1", kInvoiceDoc);
+  ASSERT_EQ(fresh.status, 200);
+  EXPECT_NE(fresh.body.find("\"classified\":true"), std::string::npos)
+      << fresh.body;
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(ServerTest, AutoInduceThresholdProposesCandidates) {
+  core::SourceOptions source_options = EvolvingOptions();
+  source_options.sigma = 0.5;
+  source_options.auto_evolve = false;
+  ServerOptions options = EphemeralOptions();
+  options.auto_induce_threshold = 3;
+  IngestServer server(source_options, options);
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(Post(server.port(), "/ingest?wait=1", kInvoiceDoc).status, 200);
+  }
+  // The threshold batch already ran induction — candidates are pending
+  // without any POST /dtds/induce.
+  ClientResponse candidates = Get(server.port(), "/dtds/candidates");
+  ASSERT_EQ(candidates.status, 200);
+  EXPECT_NE(candidates.body.find("\"name\":\"induced-invoice\""),
+            std::string::npos)
+      << candidates.body;
+
+  server.Shutdown();
+  server.Wait();
+}
+
 }  // namespace
 }  // namespace dtdevolve::server

@@ -315,5 +315,83 @@ TEST(SourceManagerTest, PerTenantSeedsStayPerTenant) {
   server.Wait();
 }
 
+TEST(SourceManagerTest, TenantInductionIsIsolatedAndSurvivesRestart) {
+  const char* kInvoiceDoc =
+      "<invoice><customer>c</customer><item><sku>s</sku><qty>1</qty></item>"
+      "<total>9</total></invoice>";
+  const std::string wal_root =
+      ::testing::TempDir() + "source_manager_induction_wal";
+  std::system(("rm -rf '" + wal_root + "'").c_str());
+
+  core::SourceOptions source_options = EvolvingOptions();
+  source_options.sigma = 0.5;
+  source_options.auto_evolve = false;
+
+  std::string candidate_id;
+  {
+    ServerOptions options = TenantOptions({"alpha", "beta"});
+    options.wal_dir = wal_root;
+    options.checkpoint_on_shutdown = false;  // leave only the WAL behind
+    IngestServer server(source_options, options);
+    ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+    ASSERT_TRUE(server.Start().ok());
+
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(
+          Post(server.port(), "/ingest/alpha?wait=1", kInvoiceDoc).status,
+          200);
+    }
+    // Induction is per tenant: alpha proposes, beta has nothing.
+    ClientResponse induced =
+        Post(server.port(), "/dtds/induce?tenant=alpha", "");
+    ASSERT_EQ(induced.status, 200);
+    EXPECT_NE(induced.body.find("\"candidates\":1"), std::string::npos);
+    ClientResponse beta = Post(server.port(), "/dtds/induce?tenant=beta", "");
+    ASSERT_EQ(beta.status, 200);
+    EXPECT_NE(beta.body.find("\"candidates\":0"), std::string::npos);
+    // Multi-tenant mode requires the tenant on admin calls.
+    EXPECT_EQ(Post(server.port(), "/dtds/induce", "").status, 400);
+
+    ClientResponse listing =
+        Get(server.port(), "/dtds/candidates?tenant=alpha");
+    const size_t pos = listing.body.find("\"id\":");
+    ASSERT_NE(pos, std::string::npos) << listing.body;
+    candidate_id = std::to_string(
+        std::strtoull(listing.body.c_str() + pos + 5, nullptr, 10));
+
+    ClientResponse accepted =
+        Post(server.port(),
+             "/dtds/candidates/" + candidate_id + "/accept?tenant=alpha", "");
+    ASSERT_EQ(accepted.status, 200) << accepted.body;
+    server.Shutdown();
+    server.Wait();
+  }
+
+  // Restart: the accept lives in alpha's WAL lineage only.
+  {
+    ServerOptions options = TenantOptions({"alpha", "beta"});
+    options.wal_dir = wal_root;
+    IngestServer restarted(source_options, options);
+    ASSERT_TRUE(restarted.AddDtdText("mail", kMailDtd).ok());
+    ASSERT_TRUE(restarted.Start().ok());
+
+    EXPECT_EQ(
+        Get(restarted.port(), "/dtds/induced-invoice?tenant=alpha").status,
+        200);
+    EXPECT_EQ(
+        Get(restarted.port(), "/dtds/induced-invoice?tenant=beta").status,
+        404);
+    // Alpha's repository drained through the replayed accept.
+    ClientResponse stats = Get(restarted.port(), "/stats?tenant=alpha");
+    EXPECT_NE(stats.body.find("\"repository\":{\"size\":0"),
+              std::string::npos)
+        << stats.body;
+
+    restarted.Shutdown();
+    restarted.Wait();
+  }
+  std::system(("rm -rf '" + wal_root + "'").c_str());
+}
+
 }  // namespace
 }  // namespace dtdevolve::server

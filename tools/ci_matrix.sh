@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Sanitizer CI matrix: builds the tree under ASan+UBSan and TSan and runs
-# the `oracle`, `concurrency` and `durability` ctest labels — the suites
+# the `oracle`, `concurrency`, `durability` and `induction` ctest labels — the suites
 # that replay the differential and crash-recovery oracles and fan out
 # threads, where sanitizer findings actually live. Every configuration is
 # a CMake preset (CMakePresets.json), so a single leg is reproducible by
@@ -9,7 +9,7 @@
 #   cmake --preset tsan && cmake --build --preset tsan && ctest --preset tsan
 #
 # Usage:
-#   tools/ci_matrix.sh           # legs over oracle+concurrency+durability
+#   tools/ci_matrix.sh           # legs over oracle+concurrency+durability+induction
 #   tools/ci_matrix.sh --full    # sanitizer legs over the full suite
 #
 # Environment: JOBS (parallel build/test jobs, default nproc).
@@ -48,7 +48,7 @@ run_leg tsan
 echo "=== leg: perf-smoke ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build build -j "$JOBS" --target bench_classification \
-  bench_similarity bench_mining bench_server
+  bench_similarity bench_mining bench_server bench_induce
 tools/perf_smoke.sh build
 
 echo "sanitizer matrix clean (asan-ubsan, tsan) + perf smoke"

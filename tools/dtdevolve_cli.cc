@@ -6,17 +6,22 @@
 //   dtdevolve evolve     <dtd-file> [--sigma S] [--tau T] [--psi P]
 //                        [--mu M] [--jobs N] <xml-file>...
 //   dtdevolve adapt      <dtd-file> <xml-file>
+//   dtdevolve induce     <dtd-file> [--sigma S] [--jobs N]
+//                        [--merge-threshold M] [--min-cluster-size N]
+//                        [--min-coverage C] [--accept] <xml-file>...
 //   dtdevolve serve      <dtd-file>... [--port P] [--jobs N]
 //                        [--snapshot-dir D] [--sigma S] [--tau T]
 //                        [--psi P] [--mu M] [--tenants LIST|N]
 //                        [--tenant-config FILE]
+//                        [--auto-induce-threshold N]
 //   dtdevolve check      [--scenarios N] [--seed S] [--max-documents N]
 //                        [--max-failures K] [--no-persistence]
-//                        [--no-minimize]
+//                        [--no-minimize] [--induction]
 //
 // Exit code 0 on success; 1 on usage/IO/parse errors; for `validate`,
-// 2 when at least one document is invalid; for `check`, 2 when an
-// invariant was violated.
+// 2 when at least one document is invalid; for `induce`, 2 when the
+// repository yields no candidate; for `check`, 2 when an invariant was
+// violated.
 //
 // Unknown `--flags` are usage errors everywhere; `serve` additionally
 // rejects non-positive --port/--jobs.
@@ -82,6 +87,10 @@ int Usage() {
                "                       [--score-cache-mb N] "
                "[--no-score-cache] <xml>...\n"
                "  dtdevolve adapt      <dtd> <xml>\n"
+               "  dtdevolve induce     <dtd> [--sigma S] [--jobs N] "
+               "[--merge-threshold M]\n"
+               "                       [--min-cluster-size N] "
+               "[--min-coverage C] [--accept] <xml>...\n"
                "  dtdevolve xsd        <dtd>\n"
                "  dtdevolve diff       <old-dtd> <new-dtd>\n"
                "  dtdevolve serve      <dtd>... [--port P] [--jobs N] "
@@ -98,12 +107,14 @@ int Usage() {
                "[--no-score-cache]\n"
                "                       [--tenants LIST|N] "
                "[--tenant-config FILE]\n"
+               "                       [--auto-induce-threshold N]\n"
                "  dtdevolve check      [--scenarios N] [--seed S] "
                "[--max-documents N]\n"
                "                       [--max-failures K] [--no-persistence] "
                "[--no-minimize]\n"
                "                       [--crash-recovery] [--crash-points N] "
-               "[--checkpoint-every K]\n");
+               "[--checkpoint-every K]\n"
+               "                       [--induction]\n");
   return 1;
 }
 
@@ -381,16 +392,8 @@ int CmdAdapt(const std::vector<std::string>& args) {
   return 0;
 }
 
-// `serve` wires SIGINT/SIGTERM to a graceful stop; IngestServer::Shutdown
-// is async-signal-safe, so the handler may call it directly.
-dtdevolve::server::IngestServer* g_server = nullptr;
-
-void HandleStopSignal(int) {
-  if (g_server != nullptr) g_server->Shutdown();
-}
-
-/// "schemas/mail.dtd" → "mail": the served DTD name is the file's
-/// basename without its extension.
+/// "schemas/mail.dtd" → "mail": the served (or induced-over) DTD name is
+/// the file's basename without its extension.
 std::string DtdNameFromPath(const std::string& path) {
   const size_t slash = path.find_last_of('/');
   std::string name =
@@ -398,6 +401,149 @@ std::string DtdNameFromPath(const std::string& path) {
   const size_t dot = name.find_last_of('.');
   if (dot != std::string::npos && dot > 0) name = name.substr(0, dot);
   return name.empty() ? path : name;
+}
+
+/// Offline induction: feed the documents through the pipeline with the
+/// seed DTD, cluster whatever lands in the repository, and print one
+/// candidate DTD per cluster. `--accept` additionally promotes the
+/// candidates (best coverage first, re-inducing between accepts because
+/// an accept re-classifies the repository) and prints the final DTD set.
+int CmdInduce(std::vector<std::string> args) {
+  if (args.empty()) return Usage();
+  const std::string dtd_path = args[0];
+  args.erase(args.begin());
+
+  dtdevolve::core::SourceOptions options;
+  options.sigma = 0.5;
+  options.auto_evolve = false;
+  long jobs = 1;
+  bool accept = false;
+  std::vector<std::string> files;
+  for (size_t i = 0; i < args.size(); ++i) {
+    bool bad_value = false;
+    auto flag_value = [&](const char* name, double* out) {
+      if (args[i] != name) return false;
+      if (i + 1 >= args.size() || !ParseDouble(args[i + 1], out)) {
+        bad_value = true;
+        return true;
+      }
+      ++i;
+      return true;
+    };
+    if (flag_value("--sigma", &options.sigma) ||
+        flag_value("--merge-threshold",
+                   &options.induce.cluster.merge_threshold) ||
+        flag_value("--min-coverage", &options.induce.min_coverage)) {
+      if (bad_value) return Usage();
+      continue;
+    }
+    if (args[i] == "--min-cluster-size" || args[i] == "--jobs") {
+      long value = 0;
+      const bool is_jobs = args[i] == "--jobs";
+      if (i + 1 >= args.size() || !ParseLong(args[i + 1], &value) ||
+          value < (is_jobs ? 0 : 1)) {
+        return Usage();
+      }
+      ++i;
+      if (is_jobs) {
+        jobs = value;
+      } else {
+        options.induce.cluster.min_cluster_size = static_cast<size_t>(value);
+      }
+      continue;
+    }
+    if (args[i] == "--accept") {
+      accept = true;
+      continue;
+    }
+    if (IsFlag(args[i])) return UnknownFlag(args[i]);
+    files.push_back(args[i]);
+  }
+  if (files.empty()) return Usage();
+
+  StatusOr<std::string> dtd_text = ReadFile(dtd_path);
+  if (!dtd_text.ok()) {
+    std::fprintf(stderr, "%s\n", dtd_text.status().ToString().c_str());
+    return 1;
+  }
+  dtdevolve::core::XmlSource source(options);
+  Status added = source.AddDtdText(DtdNameFromPath(dtd_path), *dtd_text);
+  if (!added.ok()) {
+    std::fprintf(stderr, "%s\n", added.ToString().c_str());
+    return 1;
+  }
+  for (const std::string& file : files) {
+    StatusOr<std::string> text = ReadFile(file);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    auto outcome = source.ProcessText(*text);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  size_t induced = source.InduceCandidates();
+  std::fprintf(stderr,
+               "repository %zu document(s), %zu cluster(s), "
+               "%zu candidate(s)\n",
+               source.repository().size(), source.cluster_stats().clusters,
+               induced);
+  for (const auto& candidate : source.candidates()) {
+    std::printf("# candidate %llu: %s (members %zu, validated %zu, "
+                "coverage %.2f, margin %.2f)\n%s",
+                static_cast<unsigned long long>(candidate.id),
+                candidate.name.c_str(), candidate.members.size(),
+                candidate.validated.size(), candidate.coverage,
+                candidate.margin,
+                dtdevolve::dtd::WriteDtd(candidate.ext.dtd()).c_str());
+  }
+  if (induced == 0) return 2;
+  if (!accept) return 0;
+
+  // Promote best-coverage-first; each accept re-classifies the
+  // repository, so re-induce between rounds. A cluster whose members
+  // never re-classify would re-induce forever, so stop as soon as a
+  // round fails to shrink the repository.
+  while (!source.candidates().empty()) {
+    const dtdevolve::induce::Candidate* best = nullptr;
+    for (const auto& candidate : source.candidates()) {
+      if (best == nullptr || candidate.coverage > best->coverage) {
+        best = &candidate;
+      }
+    }
+    StatusOr<dtdevolve::core::XmlSource::AcceptOutcome> outcome =
+        source.AcceptCandidate(best->id, static_cast<size_t>(jobs));
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "accepted %s: %zu member(s), %zu re-classified, "
+                 "repository now %zu\n",
+                 outcome->dtd_name.c_str(), outcome->members,
+                 outcome->reclassified, source.repository().size());
+    if (outcome->reclassified == 0) break;
+    source.InduceCandidates();
+  }
+  std::fprintf(stderr, "final dtd set:");
+  for (const std::string& name : source.DtdNames()) {
+    std::fprintf(stderr, " %s", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return 0;
+}
+
+// `serve` wires SIGINT/SIGTERM to a graceful stop; IngestServer::Shutdown
+// is async-signal-safe, so the handler may call it directly.
+dtdevolve::server::IngestServer* g_server = nullptr;
+
+void HandleStopSignal(int) {
+  if (g_server != nullptr) g_server->Shutdown();
 }
 
 /// `--tenants` value: either a count ("4" → shard-0..shard-3) or a
@@ -562,6 +708,11 @@ int CmdServe(std::vector<std::string> args) {
       source_options.classifier.enable_score_cache = false;
       continue;
     }
+    if (nonnegative_long("--auto-induce-threshold", &value)) {
+      if (bad_value) return Usage();
+      server_options.auto_induce_threshold = static_cast<size_t>(value);
+      continue;
+    }
     if (args[i] == "--tenants") {
       if (i + 1 >= args.size() ||
           !ParseTenantsFlag(args[i + 1], &server_options.tenants)) {
@@ -678,7 +829,9 @@ int CmdServe(std::vector<std::string> args) {
 int CmdCheck(std::vector<std::string> args) {
   dtdevolve::check::OracleOptions options;
   dtdevolve::check::CrashOracleOptions crash_options;
+  dtdevolve::check::InductionOracleOptions induction_options;
   bool crash_recovery = false;
+  bool induction = false;
   bool minimize = true;
   for (size_t i = 0; i < args.size(); ++i) {
     bool bad_value = false;
@@ -696,24 +849,28 @@ int CmdCheck(std::vector<std::string> args) {
       if (bad_value) return Usage();
       options.scenarios = static_cast<uint64_t>(value);
       crash_options.scenarios = static_cast<uint64_t>(value);
+      induction_options.scenarios = static_cast<uint64_t>(value);
       continue;
     }
     if (long_value("--seed", 0, &value)) {
       if (bad_value) return Usage();
       options.seed = static_cast<uint64_t>(value);
       crash_options.seed = static_cast<uint64_t>(value);
+      induction_options.seed = static_cast<uint64_t>(value);
       continue;
     }
     if (long_value("--max-documents", 0, &value)) {
       if (bad_value) return Usage();
       options.max_documents = static_cast<uint64_t>(value);
       crash_options.max_documents = static_cast<uint64_t>(value);
+      induction_options.max_documents = static_cast<uint64_t>(value);
       continue;
     }
     if (long_value("--max-failures", 1, &value)) {
       if (bad_value) return Usage();
       options.max_failures = static_cast<uint64_t>(value);
       crash_options.max_failures = static_cast<uint64_t>(value);
+      induction_options.max_failures = static_cast<uint64_t>(value);
       continue;
     }
     if (long_value("--crash-points", 0, &value)) {
@@ -730,6 +887,10 @@ int CmdCheck(std::vector<std::string> args) {
       crash_recovery = true;
       continue;
     }
+    if (args[i] == "--induction") {
+      induction = true;
+      continue;
+    }
     if (args[i] == "--no-persistence") {
       options.check_persistence = false;
       continue;
@@ -743,11 +904,23 @@ int CmdCheck(std::vector<std::string> args) {
   }
 
   if (crash_recovery) {
+    // --induction switches the sweep to induction scenarios, covering
+    // the induce-accept WAL record type.
+    crash_options.induction = induction;
     dtdevolve::check::CrashOracleReport crash_report =
         dtdevolve::check::RunCrashOracle(crash_options);
     std::printf("%s",
                 dtdevolve::check::FormatCrashReport(crash_report).c_str());
     return crash_report.ok() ? 0 : 2;
+  }
+
+  if (induction) {
+    dtdevolve::check::InductionOracleReport induction_report =
+        dtdevolve::check::RunInductionOracle(induction_options);
+    std::printf(
+        "%s",
+        dtdevolve::check::FormatInductionReport(induction_report).c_str());
+    return induction_report.ok() ? 0 : 2;
   }
 
   dtdevolve::check::OracleReport report = dtdevolve::check::RunOracle(options);
@@ -779,6 +952,7 @@ int main(int argc, char** argv) {
   if (command == "infer") return CmdInfer(std::move(args));
   if (command == "evolve") return CmdEvolve(std::move(args));
   if (command == "adapt") return CmdAdapt(args);
+  if (command == "induce") return CmdInduce(std::move(args));
   if (command == "xsd") return CmdXsd(args);
   if (command == "diff") return CmdDiff(args);
   if (command == "serve") return CmdServe(std::move(args));

@@ -15,6 +15,12 @@
 # must be served (failed == 0) and end-to-end throughput must stay
 # within the same 2x band.
 #
+# A third leg runs bench_induce's candidate-lifecycle workload (4
+# mixed-population families, fixed seed) against the committed
+# BENCH_induce.json: the induction invariants must hold
+# (invariant_failures == 0 — k clusters, >= 95% member validity, full
+# repository drain) and candidates/sec must stay within the 2x band.
+#
 # Usage:
 #   tools/perf_smoke.sh [build-dir]     # default: build
 #
@@ -99,6 +105,36 @@ if [ -x "$SERVER_BENCH" ] && [ -f "$SERVER_BASELINE" ]; then
   }'
 else
   echo "perf_smoke: skipping server leg (bench_server or baseline missing)"
+fi
+
+# --- Induction leg: repository clustering → candidate lifecycle ---------
+
+INDUCE_BENCH=./bench/bench_induce
+INDUCE_BASELINE="$SRC/BENCH_induce.json"
+if [ -x "$INDUCE_BENCH" ] && [ -f "$INDUCE_BASELINE" ]; then
+  # Same fixed workload as the committed baseline.
+  "$INDUCE_BENCH" --families 4 --docs-per-family 250 --jobs 2 \
+      --out BENCH_induce.json > /dev/null
+  induce_current=$(json_field BENCH_induce.json candidates_per_second)
+  induce_failures=$(json_field BENCH_induce.json invariant_failures)
+  induce_baseline=$(json_field "$INDUCE_BASELINE" candidates_per_second)
+
+  echo "perf_smoke: induce candidates/sec current=$induce_current" \
+       "baseline=$induce_baseline invariant_failures=$induce_failures"
+
+  if [ "$induce_failures" != "0" ]; then
+    echo "perf_smoke: FAIL — bench_induce induction invariants violated" >&2
+    exit 2
+  fi
+  awk -v cur="$induce_current" -v base="$induce_baseline" 'BEGIN {
+    if (cur * 2 < base) {
+      printf "perf_smoke: FAIL — induction throughput regressed >2x (%.0f vs %.0f)\n",
+             cur, base > "/dev/stderr"
+      exit 2
+    }
+  }'
+else
+  echo "perf_smoke: skipping induction leg (bench_induce or baseline missing)"
 fi
 
 echo "perf_smoke: OK"
