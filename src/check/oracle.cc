@@ -1450,6 +1450,401 @@ std::string FormatInductionReport(const InductionOracleReport& report) {
   return out.str();
 }
 
+// --- Replication oracle -----------------------------------------------------
+
+namespace {
+
+/// A fresh follower-side source: exactly the scenario's seed DTDs, as a
+/// replica boots before its first checkpoint lands.
+std::unique_ptr<core::XmlSource> MakeFollowerSource(const Scenario& scenario) {
+  auto src = std::make_unique<core::XmlSource>(scenario.options);
+  for (const auto& [name, dtd] : scenario.dtds) {
+    (void)src->AddDtd(name, dtd.Clone());
+  }
+  return src;
+}
+
+/// The simulated read replica: the same state machine `server::Follower`
+/// runs, minus the sockets — bootstrapped-or-not, an applied LSN, and a
+/// source fed only through the shared replay dispatch.
+struct SimFollower {
+  std::unique_ptr<core::XmlSource> src;
+  bool bootstrapped = false;
+  uint64_t applied = 0;
+};
+
+std::string ReplTempDir(uint64_t seed) {
+  static std::atomic<uint64_t> counter{0};
+  return (std::filesystem::temp_directory_path() /
+          ("dtdevolve-repl-" + std::to_string(::getpid()) + "-" +
+           std::to_string(seed) + "-" +
+           std::to_string(counter.fetch_add(1))))
+      .string();
+}
+
+/// One follower poll against the primary's WAL directory. Mirrors
+/// `Follower::SyncTenant` step for step: bootstrap from the checkpoint
+/// (through the wire-blob encode/decode), export a page from
+/// `applied + 1`, detect checkpoint-truncation gaps (the 410 answer on
+/// the wire), decode what survives the injected truncation, apply with
+/// idempotent skip, and assert prefix consistency. Returns false when a
+/// violation was recorded (the caller stops polling — a state divergence
+/// cascades into every later check).
+bool PollFollower(const Scenario& scenario, const std::string& dir,
+                  uint64_t wal_next_lsn,
+                  const std::vector<Fingerprint>& prefix_fps,
+                  SimFollower& follower, workload::Rng& rng, bool allow_fault,
+                  ReplicationOracleReport* tally, ScenarioResult& result) {
+  auto add_violation = [&result](const char* invariant, uint64_t op,
+                                 std::string detail) {
+    if (result.violations.size() >= kMaxViolationsPerScenario) return;
+    result.violations.push_back({invariant, "", op, std::move(detail)});
+  };
+  if (tally != nullptr) ++tally->polls;
+
+  if (!follower.bootstrapped) {
+    StatusOr<store::CheckpointData> checkpoint = store::ReadCheckpoint(dir);
+    if (!checkpoint.ok()) {
+      add_violation("replication-bootstrap", follower.applied,
+                    "checkpoint read failed: " +
+                        checkpoint.status().message());
+      return false;
+    }
+    // Round-trip through the transfer blob — the bytes a real follower
+    // receives from GET /replication/checkpoint.
+    StatusOr<store::CheckpointData> wire =
+        store::DecodeCheckpointBlob(store::EncodeCheckpointBlob(*checkpoint));
+    if (!wire.ok()) {
+      add_violation("replication-bootstrap", follower.applied,
+                    "checkpoint blob round-trip failed: " +
+                        wire.status().message());
+      return false;
+    }
+    std::unique_ptr<core::XmlSource> fresh = MakeFollowerSource(scenario);
+    Status applied = store::ApplyCheckpointToSource(*wire, *fresh);
+    if (!applied.ok()) {
+      add_violation("replication-bootstrap", follower.applied,
+                    "checkpoint apply failed: " + applied.message());
+      return false;
+    }
+    follower.src = std::move(fresh);
+    follower.applied = wire->lsn;
+    follower.bootstrapped = true;
+    if (tally != nullptr) ++tally->bootstraps;
+    if (CrashFingerprintOf(*follower.src) != prefix_fps[follower.applied]) {
+      add_violation(
+          "replication-bootstrap", follower.applied,
+          "bootstrapped state diverges from the sequential replay of " +
+              std::to_string(follower.applied) + " ops: " +
+              FingerprintDiff(prefix_fps[follower.applied],
+                              CrashFingerprintOf(*follower.src)));
+      return false;
+    }
+  }
+
+  // At-least-once delivery: occasionally re-request from one LSN back —
+  // the already-applied record comes again and must be skipped.
+  uint64_t from = follower.applied + 1;
+  if (allow_fault && follower.applied > 0 && rng.Chance(0.15)) {
+    from = follower.applied;
+    if (tally != nullptr) ++tally->faults;
+  }
+  // Small, jittered pages force frame-boundary cuts mid-catch-up.
+  const uint64_t max_bytes = 256 + rng.Uniform(4096);
+  StatusOr<store::WalExport> page =
+      store::ExportWalRecords(dir, from, max_bytes);
+  if (!page.ok()) {
+    add_violation("replication-prefix-consistency", follower.applied,
+                  "WAL export from lsn " + std::to_string(from) +
+                      " failed: " + page.status().message());
+    return false;
+  }
+
+  // The primary's gap answer (410 on the wire): records below `from`
+  // were checkpoint-truncated, so this lineage cannot be extended.
+  const bool gone =
+      (page->oldest_lsn != 0 && page->oldest_lsn > from) ||
+      (page->oldest_lsn == 0 && wal_next_lsn > 0 && from < wal_next_lsn);
+  if (gone) {
+    follower.bootstrapped = false;
+    if (tally != nullptr) ++tally->faults;
+    return true;  // re-bootstraps on the next poll
+  }
+
+  // A disconnect can cut the stream at any byte; the decoder must stop
+  // cleanly at the torn frame and the next poll resumes.
+  std::string bytes = std::move(page->bytes);
+  if (allow_fault && !bytes.empty() && rng.Chance(0.35)) {
+    bytes.resize(rng.Uniform(static_cast<uint32_t>(bytes.size())));
+    if (tally != nullptr) ++tally->faults;
+  }
+  size_t consumed = 0;
+  const std::vector<store::WalRecord> records =
+      store::DecodeWalStream(bytes, &consumed);
+  for (const store::WalRecord& record : records) {
+    if (record.lsn <= follower.applied) continue;  // idempotent re-delivery
+    if (record.lsn != follower.applied + 1) {
+      add_violation("replication-prefix-consistency", follower.applied,
+                    "export produced an LSN gap: applied " +
+                        std::to_string(follower.applied) + ", received " +
+                        std::to_string(record.lsn));
+      return false;
+    }
+    Status applied_record =
+        store::ApplyWalRecordToSource(record.lsn, record.payload,
+                                      *follower.src);
+    if (!applied_record.ok()) {
+      add_violation("replication-prefix-consistency", record.lsn,
+                    "replicated record does not apply: " +
+                        applied_record.message());
+      return false;
+    }
+    follower.applied = record.lsn;
+  }
+
+  if (CrashFingerprintOf(*follower.src) != prefix_fps[follower.applied]) {
+    add_violation(
+        "replication-prefix-consistency", follower.applied,
+        "follower at lsn " + std::to_string(follower.applied) +
+            " diverges from the sequential replay: " +
+            FingerprintDiff(prefix_fps[follower.applied],
+                            CrashFingerprintOf(*follower.src)));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ScenarioResult RunReplicationScenario(uint64_t scenario_seed,
+                                      const ReplicationOracleOptions& options,
+                                      ReplicationOracleReport* tally) {
+  // Alternate drift and induction scenarios so the replicated stream
+  // carries both WAL record types.
+  const bool induction = options.induction && (scenario_seed % 2 == 1);
+  Scenario scenario =
+      induction ? MakeInductionScenario(scenario_seed, options.max_documents)
+                : MakeScenario(scenario_seed, options.max_documents);
+  ScenarioResult result;
+  result.seed = scenario_seed;
+  result.scenario = "replication " + scenario.label;
+  result.documents = scenario.documents.size();
+
+  auto add_violation = [&result](const char* invariant, uint64_t op,
+                                 std::string detail) {
+    if (result.violations.size() >= kMaxViolationsPerScenario) return;
+    result.violations.push_back({invariant, "", op, std::move(detail)});
+  };
+
+  // The acked-op sequence, as WAL payloads in LSN order (lsn = index+1):
+  // document texts, then — for induction scenarios — the induce-accept
+  // records a planning run chooses with the canonical best-first rule.
+  std::vector<std::string> ops;
+  ops.reserve(scenario.documents.size());
+  xml::WriteOptions compact;
+  compact.indent = false;
+  for (const xml::Document& doc : scenario.documents) {
+    ops.push_back(xml::WriteDocument(doc, compact));
+  }
+  if (induction) {
+    core::XmlSource planner(scenario.options);
+    for (const auto& [name, dtd] : scenario.dtds) {
+      (void)planner.AddDtd(name, dtd.Clone());
+    }
+    for (const std::string& text : ops) (void)planner.ProcessText(text);
+    planner.InduceCandidates();
+    for (size_t round = 0; round < kMaxAcceptRounds; ++round) {
+      const induce::Candidate* best = BestCandidate(planner);
+      if (best == nullptr) break;
+      ops.push_back(store::EncodeInduceAcceptRecord(best->name, best->ext));
+      StatusOr<core::XmlSource::AcceptOutcome> outcome =
+          planner.AcceptCandidate(best->id, 1);
+      if (!outcome.ok()) {
+        ops.pop_back();
+        break;
+      }
+      if (outcome->reclassified == 0) break;
+      planner.InduceCandidates();
+    }
+  }
+
+  // prefix_fps[j] = the state after replaying the first j ops through
+  // the shared dispatch — what the follower must match at every cut.
+  std::vector<Fingerprint> prefix_fps;
+  prefix_fps.reserve(ops.size() + 1);
+  {
+    core::XmlSource reference(scenario.options);
+    for (const auto& [name, dtd] : scenario.dtds) {
+      (void)reference.AddDtd(name, dtd.Clone());
+    }
+    prefix_fps.push_back(CrashFingerprintOf(reference));
+    for (size_t i = 0; i < ops.size(); ++i) {
+      Status applied = store::ApplyWalRecordToSource(i + 1, ops[i], reference);
+      if (!applied.ok()) {
+        add_violation("replication-prefix-consistency", i + 1,
+                      "reference replay failed: " + applied.message());
+        return result;
+      }
+      prefix_fps.push_back(CrashFingerprintOf(reference));
+    }
+    result.evolutions = reference.evolutions_performed();
+  }
+
+  const std::string dir = ReplTempDir(scenario_seed);
+  std::filesystem::remove_all(dir);
+
+  // The step-wise primary: append + apply per op, checkpoint (and
+  // truncate — the follower-visible gap source) on the configured
+  // cadence, with seeded fault-injected follower polls interleaved at
+  // arbitrary cut points.
+  core::XmlSource primary(scenario.options);
+  for (const auto& [name, dtd] : scenario.dtds) {
+    (void)primary.AddDtd(name, dtd.Clone());
+  }
+  store::WalOptions wal_options;
+  wal_options.dir = dir;
+  store::WalReplay replay;
+  StatusOr<std::unique_ptr<store::Wal>> wal =
+      store::Wal::Open(wal_options, 0, &replay);
+  if (!wal.ok()) {
+    add_violation("replication-prefix-consistency", 0,
+                  "primary WAL open failed: " + wal.status().message());
+    std::filesystem::remove_all(dir);
+    return result;
+  }
+
+  // Decorrelated poll/fault schedule (distinct from the scenario's own
+  // stream randomness).
+  workload::Rng rng(scenario_seed * 0xD1342543DE82EF95ull +
+                    0x9E3779B97F4A7C15ull);
+  SimFollower follower;
+  follower.src = MakeFollowerSource(scenario);
+
+  uint64_t since_checkpoint = 0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    StatusOr<uint64_t> lsn = (*wal)->Append(ops[i]);
+    if (!lsn.ok() || *lsn != i + 1) {
+      add_violation("replication-prefix-consistency", i + 1,
+                    "primary append failed: " +
+                        (lsn.ok() ? "unexpected lsn" :
+                                    lsn.status().message()));
+      break;
+    }
+    Status applied = store::ApplyWalRecordToSource(*lsn, ops[i], primary);
+    if (!applied.ok()) {
+      add_violation("replication-prefix-consistency", *lsn,
+                    "primary apply failed: " + applied.message());
+      break;
+    }
+    if (options.checkpoint_every != 0 &&
+        ++since_checkpoint >= options.checkpoint_every) {
+      since_checkpoint = 0;
+      store::CheckpointData data = store::CaptureCheckpoint(primary, *lsn);
+      if (store::WriteCheckpoint(dir, data).ok()) {
+        (void)(*wal)->TruncateThrough(*lsn);
+      }
+    }
+    if (rng.Chance(0.4)) {
+      if (!PollFollower(scenario, dir, (*wal)->next_lsn(), prefix_fps,
+                        follower, rng, /*allow_fault=*/true, tally, result)) {
+        break;
+      }
+    }
+  }
+
+  // Convergence: faults off, the follower must fully catch up. The
+  // bound is generous — every fault-free poll either advances the
+  // applied LSN (a page with at least one frame is always served, even
+  // past max_bytes) or flips to a re-bootstrap that lands ahead.
+  if (result.violations.empty()) {
+    const uint64_t total = ops.size();
+    for (int i = 0; i < 2000 && follower.applied < total; ++i) {
+      if (!PollFollower(scenario, dir, (*wal)->next_lsn(), prefix_fps,
+                        follower, rng, /*allow_fault=*/false, tally,
+                        result)) {
+        break;
+      }
+    }
+    if (result.violations.empty() && follower.applied != total) {
+      add_violation("replication-convergence", follower.applied,
+                    "follower stalled at lsn " +
+                        std::to_string(follower.applied) + " of " +
+                        std::to_string(total));
+    }
+    if (result.violations.empty() &&
+        CrashFingerprintOf(*follower.src) != prefix_fps.back()) {
+      add_violation("replication-convergence", total,
+                    "caught-up follower diverges from the primary: " +
+                        FingerprintDiff(prefix_fps.back(),
+                                        CrashFingerprintOf(*follower.src)));
+    }
+  }
+
+  // Follower restart: a fresh replica bootstrapping from whatever
+  // checkpoint the primary holds now must converge to the same bytes.
+  if (result.violations.empty()) {
+    SimFollower restarted;
+    restarted.src = MakeFollowerSource(scenario);
+    const uint64_t total = ops.size();
+    for (int i = 0; i < 2000 && restarted.applied < total; ++i) {
+      if (!PollFollower(scenario, dir, (*wal)->next_lsn(), prefix_fps,
+                        restarted, rng, /*allow_fault=*/false, tally,
+                        result)) {
+        break;
+      }
+    }
+    if (result.violations.empty() && restarted.applied != total) {
+      add_violation("replication-restart", restarted.applied,
+                    "restarted follower stalled at lsn " +
+                        std::to_string(restarted.applied) + " of " +
+                        std::to_string(total));
+    } else if (result.violations.empty() &&
+               CrashFingerprintOf(*restarted.src) != prefix_fps.back()) {
+      add_violation("replication-restart", total,
+                    "restarted follower diverges: " +
+                        FingerprintDiff(prefix_fps.back(),
+                                        CrashFingerprintOf(*restarted.src)));
+    }
+  }
+
+  std::filesystem::remove_all(dir);
+  return result;
+}
+
+ReplicationOracleReport RunReplicationOracle(
+    const ReplicationOracleOptions& options) {
+  ReplicationOracleReport report;
+  for (uint64_t i = 0; i < options.scenarios; ++i) {
+    ScenarioResult result =
+        RunReplicationScenario(options.seed + i, options, &report);
+    ++report.scenarios_run;
+    report.documents += result.documents;
+    if (!result.ok()) {
+      report.failures.push_back(std::move(result));
+      if (report.failures.size() >= options.max_failures) break;
+    }
+  }
+  return report;
+}
+
+std::string FormatReplicationReport(const ReplicationOracleReport& report) {
+  std::ostringstream out;
+  out << "replication oracle: " << report.scenarios_run << " scenario"
+      << (report.scenarios_run == 1 ? "" : "s") << ", " << report.documents
+      << " documents, " << report.polls << " polls, " << report.faults
+      << " faults, " << report.bootstraps << " bootstraps — "
+      << (report.ok() ? "every follower state matched the acked prefix"
+                      : std::to_string(report.failures.size()) +
+                            " failing scenario(s)")
+      << "\n";
+  for (const ScenarioResult& failure : report.failures) {
+    out << FormatScenario(failure);
+    out << "  replay: dtdevolve check --replication --seed " << failure.seed
+        << " --scenarios 1\n";
+  }
+  return out.str();
+}
+
 std::string FormatReport(const OracleReport& report) {
   std::ostringstream out;
   out << "oracle: " << report.scenarios_run << " scenario"

@@ -204,6 +204,76 @@ InductionOracleReport RunInductionOracle(
 
 std::string FormatInductionReport(const InductionOracleReport& report);
 
+// --- Replication oracle -----------------------------------------------------
+
+/// Options of the replication-correctness sweep (`RunReplicationOracle`).
+/// Each scenario runs a step-wise primary — WAL append + apply per
+/// operation, a checkpoint (plus WAL truncation) every
+/// `checkpoint_every` acked operations — and interleaves seeded polls of
+/// a simulated follower that speaks the replication protocol in-process:
+/// bootstrap from the primary's checkpoint blob
+/// (`EncodeCheckpointBlob` → `DecodeCheckpointBlob` →
+/// `ApplyCheckpointToSource`, the wire path), then stream WAL pages
+/// (`ExportWalRecords` from the follower's applied LSN) and apply each
+/// record through the shared replay dispatch (`ApplyWalRecordToSource`).
+///
+/// Fault injection is positional, mirroring what a network can actually
+/// do to the stream: pages truncated at arbitrary byte offsets (a
+/// disconnect mid-frame — the decoder must stop cleanly at the torn
+/// frame and the next poll resume), pages re-delivered from one LSN back
+/// (at-least-once delivery — re-applied records must be skipped
+/// idempotently), and primary checkpoint truncation racing a lagging
+/// follower (the gap answer — HTTP 410 on the wire — must force a
+/// re-bootstrap that lands on consistent state). Invariants:
+///
+///   replication-prefix-consistency — after *every* poll, the follower's
+///     state fingerprint is byte-identical to the sequential replay of
+///     exactly the primary's first `applied` acked operations;
+///   replication-convergence — once faults stop, the follower reaches
+///     the primary's final state, byte-identically;
+///   replication-restart — a fresh follower bootstrapping from the final
+///     checkpoint (a follower restart) converges to the same bytes.
+struct ReplicationOracleOptions {
+  uint64_t scenarios = 20;
+  uint64_t seed = 1;
+  /// Documents per scenario (every op is fingerprinted, so this stays
+  /// moderate).
+  uint64_t max_documents = 40;
+  /// Primary checkpoint cadence, in acked operations (0 = never — the
+  /// truncation/re-bootstrap path is then never exercised).
+  uint64_t checkpoint_every = 16;
+  /// Stop after this many failing scenarios.
+  uint64_t max_failures = 1;
+  /// Mix induction scenarios in (alternating seeds), so the replicated
+  /// stream covers the induce-accept WAL record type too.
+  bool induction = true;
+};
+
+struct ReplicationOracleReport {
+  uint64_t scenarios_run = 0;
+  uint64_t documents = 0;
+  uint64_t polls = 0;       // follower polls simulated
+  uint64_t faults = 0;      // torn pages, re-deliveries, forced gaps
+  uint64_t bootstraps = 0;  // checkpoint bootstraps (initial + post-gap)
+  std::vector<ScenarioResult> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Replays the replication scenario derived from `scenario_seed`,
+/// accumulating poll/fault/bootstrap counts into `*tally` when given.
+/// Deterministic.
+ScenarioResult RunReplicationScenario(
+    uint64_t scenario_seed, const ReplicationOracleOptions& options = {},
+    ReplicationOracleReport* tally = nullptr);
+
+/// Runs `options.scenarios` replication scenarios starting at
+/// `options.seed`.
+ReplicationOracleReport RunReplicationOracle(
+    const ReplicationOracleOptions& options = {});
+
+std::string FormatReplicationReport(const ReplicationOracleReport& report);
+
 /// Shrinks a failing scenario to the shortest document prefix that still
 /// fails (binary search over `max_documents`). Returns the full run when
 /// the scenario does not fail at all.

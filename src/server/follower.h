@@ -1,0 +1,102 @@
+#ifndef DTDEVOLVE_SERVER_FOLLOWER_H_
+#define DTDEVOLVE_SERVER_FOLLOWER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "server/http.h"
+#include "server/source_manager.h"
+#include "util/status.h"
+
+namespace dtdevolve::server {
+
+struct FollowerConfig {
+  /// Primary base URL: "http://host:port" or "host:port".
+  std::string url;
+  /// Tenant shards to replicate — must match the primary's tenant set
+  /// (both sides are started from the same configuration).
+  std::vector<std::string> tenants;
+  /// Poll cadence when caught up; a follower holding a full page polls
+  /// again immediately.
+  std::chrono::milliseconds poll_interval{500};
+  /// Requested WAL page size per poll.
+  uint64_t page_bytes = 1 << 20;
+};
+
+/// The replication client of a read replica: one background thread that,
+/// per tenant, bootstraps from the primary's latest checkpoint
+/// (`GET /replication/checkpoint`, applied through the same
+/// `ApplyCheckpointToSource` boot recovery uses) and then tails the
+/// primary's WAL (`GET /replication/wal?from_lsn=`), applying each
+/// record through `SourceManager::ApplyReplicated` — the same replay
+/// dispatch crash recovery runs, which is what makes replica state a
+/// pure function of the primary's acked history.
+///
+/// Fault handling is positional, not transactional: a disconnect or a
+/// torn page simply ends the batch, and the next poll resumes from the
+/// replica's own applied LSN (re-delivered records are skipped
+/// idempotently). A 410 from the primary means the requested LSN was
+/// checkpoint-truncated — the tenant re-bootstraps from the newer
+/// checkpoint.
+///
+/// Metrics: `dtdevolve_replication_lag_lsn` (primary head minus applied,
+/// per tenant), plus applied/bootstrap/error counters.
+class Follower {
+ public:
+  Follower(FollowerConfig config, SourceManager* manager,
+           obs::Registry* registry);
+  ~Follower();
+
+  Follower(const Follower&) = delete;
+  Follower& operator=(const Follower&) = delete;
+
+  /// Parses the URL and spawns the replication thread. Fails fast on an
+  /// unparseable URL; an unreachable primary is a soft error the loop
+  /// keeps retrying.
+  Status Start();
+
+  /// Signals the loop and joins the thread. Idempotent.
+  void Stop();
+
+ private:
+  struct TenantState {
+    bool bootstrapped = false;
+    obs::Gauge* lag = nullptr;
+    obs::Counter* applied = nullptr;
+    obs::Counter* bootstraps = nullptr;
+    obs::Counter* errors = nullptr;
+  };
+
+  void Loop();
+  /// One poll round for one tenant; true when a full page suggests more
+  /// data is immediately available (catch-up mode skips the sleep).
+  bool SyncTenant(const std::string& tenant, TenantState& state);
+  StatusOr<HttpClientResponse> Get(const std::string& target);
+  void Disconnect();
+
+  FollowerConfig config_;
+  SourceManager* manager_;
+  obs::Registry* registry_;
+
+  std::string host_;
+  uint16_t port_ = 0;
+  int fd_ = -1;  // keep-alive connection to the primary (loop thread only)
+
+  std::map<std::string, TenantState> tenants_;
+
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace dtdevolve::server
+
+#endif  // DTDEVOLVE_SERVER_FOLLOWER_H_

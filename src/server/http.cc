@@ -32,14 +32,46 @@ std::string_view Trim(std::string_view text) {
   return text;
 }
 
-}  // namespace
+HttpParse ParseError(int status, std::string message) {
+  HttpParse parse;
+  parse.result = HttpParseResult::kError;
+  parse.error_status = status;
+  parse.error = std::move(message);
+  return parse;
+}
 
-const std::string* HttpRequest::FindHeader(std::string_view name) const {
+/// Does a (lower-cased) Connection header value contain `token` as a
+/// comma-separated element?
+bool ConnectionHas(std::string_view value, std::string_view token) {
+  size_t pos = 0;
+  while (pos <= value.size()) {
+    size_t end = value.find(',', pos);
+    if (end == std::string_view::npos) end = value.size();
+    if (Trim(value.substr(pos, end - pos)) == token) return true;
+    pos = end + 1;
+  }
+  return false;
+}
+
+const std::string* FindInHeaders(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::string_view name) {
   const std::string lowered = ToLower(name);
   for (const auto& [key, value] : headers) {
     if (key == lowered) return &value;
   }
   return nullptr;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  return FindInHeaders(headers, name);
+}
+
+const std::string* HttpClientResponse::FindHeader(
+    std::string_view name) const {
+  return FindInHeaders(headers, name);
 }
 
 bool HttpRequest::QueryFlag(std::string_view key) const {
@@ -73,34 +105,32 @@ std::string HttpRequest::QueryValue(std::string_view key) const {
   return "";
 }
 
-StatusOr<HttpRequest> ReadHttpRequest(int fd, size_t max_body) {
-  std::string buffer;
-  size_t header_end = std::string::npos;
-  // Read until the blank line terminating the header block.
-  while (header_end == std::string::npos) {
+HttpParse ParseHttpRequest(std::string_view buffer, size_t max_body,
+                           HttpRequest* out) {
+  const size_t header_end = buffer.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
     if (buffer.size() > kMaxHeaderBytes) {
-      return Status::InvalidArgument("HTTP header block too large");
+      // 431 and not 400: the framing may be perfectly valid, the client
+      // just sent more header than this server will buffer (an oversized
+      // request line lands here too — it is part of the header block).
+      return ParseError(431, "HTTP header block too large");
     }
-    char chunk[4096];
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      return Status::InvalidArgument(
-          buffer.empty() ? "connection closed before request"
-                         : "connection closed mid-header");
-    }
-    buffer.append(chunk, static_cast<size_t>(n));
-    header_end = buffer.find("\r\n\r\n");
+    return HttpParse{};  // kNeedMore
+  }
+  if (header_end > kMaxHeaderBytes) {
+    return ParseError(431, "HTTP header block too large");
   }
 
   HttpRequest request;
-  const std::string_view head(buffer.data(), header_end);
+  const std::string_view head = buffer.substr(0, header_end);
   size_t line_start = 0;
   bool first_line = true;
+  bool http10 = false;
   while (line_start <= head.size()) {
     size_t line_end = head.find("\r\n", line_start);
     if (line_end == std::string_view::npos) line_end = head.size();
-    const std::string_view line = head.substr(line_start, line_end - line_start);
+    const std::string_view line =
+        head.substr(line_start, line_end - line_start);
     if (first_line) {
       // METHOD SP TARGET SP VERSION
       const size_t sp1 = line.find(' ');
@@ -108,14 +138,15 @@ StatusOr<HttpRequest> ReadHttpRequest(int fd, size_t max_body) {
                              ? std::string_view::npos
                              : line.find(' ', sp1 + 1);
       if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
-        return Status::InvalidArgument("malformed HTTP request line");
+        return ParseError(400, "malformed HTTP request line");
       }
       request.method = std::string(line.substr(0, sp1));
       request.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
       const std::string_view version = line.substr(sp2 + 1);
       if (version.rfind("HTTP/1.", 0) != 0) {
-        return Status::InvalidArgument("unsupported HTTP version");
+        return ParseError(400, "unsupported HTTP version");
       }
+      http10 = version == "HTTP/1.0";
       const size_t question = request.target.find('?');
       request.path = request.target.substr(0, question);
       request.query = question == std::string::npos
@@ -125,7 +156,7 @@ StatusOr<HttpRequest> ReadHttpRequest(int fd, size_t max_body) {
     } else if (!line.empty()) {
       const size_t colon = line.find(':');
       if (colon == std::string_view::npos) {
-        return Status::InvalidArgument("malformed HTTP header line");
+        return ParseError(400, "malformed HTTP header line");
       }
       request.headers.emplace_back(ToLower(Trim(line.substr(0, colon))),
                                    std::string(Trim(line.substr(colon + 1))));
@@ -133,12 +164,12 @@ StatusOr<HttpRequest> ReadHttpRequest(int fd, size_t max_body) {
     if (line_end == head.size()) break;
     line_start = line_end + 2;
   }
-  if (first_line) return Status::InvalidArgument("empty HTTP request");
+  if (first_line) return ParseError(400, "empty HTTP request");
 
   // Request-smuggling hygiene: every Content-Length occurrence must
   // parse and agree. Silently honoring the first of two conflicting
-  // lengths is exactly the disagreement smuggling attacks exploit once a
-  // proxy (or a future keep-alive implementation) picks the other one.
+  // lengths is exactly the disagreement smuggling attacks exploit once
+  // a proxy and this keep-alive parser pick different ones.
   size_t content_length = 0;
   bool have_content_length = false;
   for (const auto& [key, value] : request.headers) {
@@ -147,33 +178,43 @@ StatusOr<HttpRequest> ReadHttpRequest(int fd, size_t max_body) {
     errno = 0;
     const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
     if (errno != 0 || end == value.c_str() || *end != '\0') {
-      return Status::InvalidArgument("malformed Content-Length");
+      return ParseError(400, "malformed Content-Length");
     }
     if (have_content_length && static_cast<size_t>(parsed) != content_length) {
-      return Status::InvalidArgument("conflicting Content-Length headers");
+      return ParseError(400, "conflicting Content-Length headers");
     }
     content_length = static_cast<size_t>(parsed);
     have_content_length = true;
   }
+  if (request.FindHeader("transfer-encoding") != nullptr) {
+    return ParseError(400, "Transfer-Encoding is not supported");
+  }
   if (content_length > max_body) {
-    return Status::InvalidArgument("request body exceeds limit");
+    return ParseError(413, "request body exceeds limit");
   }
+  const size_t total = header_end + 4 + content_length;
+  if (buffer.size() < total) return HttpParse{};  // body still arriving
 
-  request.body = buffer.substr(header_end + 4);
-  while (request.body.size() < content_length) {
-    char chunk[4096];
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      return Status::InvalidArgument("connection closed mid-body");
+  request.body = std::string(buffer.substr(header_end + 4, content_length));
+
+  HttpParse parse;
+  parse.result = HttpParseResult::kDone;
+  parse.consumed = total;
+  parse.keep_alive = !http10;
+  if (const std::string* connection = request.FindHeader("connection")) {
+    const std::string value = ToLower(*connection);
+    if (ConnectionHas(value, "close")) {
+      parse.keep_alive = false;
+    } else if (http10 && ConnectionHas(value, "keep-alive")) {
+      parse.keep_alive = true;
     }
-    request.body.append(chunk, static_cast<size_t>(n));
   }
-  request.body.resize(content_length);  // ignore pipelined extra bytes
-  return request;
+  *out = std::move(request);
+  return parse;
 }
 
-Status WriteHttpResponse(int fd, const HttpResponse& response) {
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive) {
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
                     HttpReason(response.status) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
@@ -181,21 +222,85 @@ Status WriteHttpResponse(int fd, const HttpResponse& response) {
   for (const auto& [name, value] : response.headers) {
     out += name + ": " + value + "\r\n";
   }
-  out += "Connection: close\r\n\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                    : "Connection: close\r\n\r\n";
   out += response.body;
+  return out;
+}
 
-  size_t written = 0;
-  while (written < out.size()) {
-    ssize_t n = ::send(fd, out.data() + written, out.size() - written,
-                       MSG_NOSIGNAL);
+StatusOr<HttpClientResponse> ReadHttpResponse(int fd) {
+  std::string buffer;
+  size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    if (buffer.size() > kMaxHeaderBytes) {
+      return Status::InvalidArgument("HTTP response header block too large");
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) {
-      return Status::Internal(std::string("send failed: ") +
-                              std::strerror(errno));
+      return Status::Unavailable(
+          buffer.empty() ? "connection closed before response"
+                         : "connection closed mid-response");
     }
-    written += static_cast<size_t>(n);
+    buffer.append(chunk, static_cast<size_t>(n));
+    header_end = buffer.find("\r\n\r\n");
   }
-  return Status::Ok();
+
+  HttpClientResponse response;
+  const std::string_view head(buffer.data(), header_end);
+  size_t line_start = 0;
+  bool first_line = true;
+  while (line_start <= head.size()) {
+    size_t line_end = head.find("\r\n", line_start);
+    if (line_end == std::string_view::npos) line_end = head.size();
+    const std::string_view line =
+        head.substr(line_start, line_end - line_start);
+    if (first_line) {
+      // HTTP/1.x SP STATUS SP REASON
+      if (line.rfind("HTTP/1.", 0) != 0 || line.size() < 12) {
+        return Status::InvalidArgument("malformed HTTP status line");
+      }
+      response.status = std::atoi(std::string(line.substr(9, 3)).c_str());
+      if (response.status < 100 || response.status > 599) {
+        return Status::InvalidArgument("malformed HTTP status code");
+      }
+      first_line = false;
+    } else if (!line.empty()) {
+      const size_t colon = line.find(':');
+      if (colon == std::string_view::npos) {
+        return Status::InvalidArgument("malformed HTTP response header");
+      }
+      response.headers.emplace_back(ToLower(Trim(line.substr(0, colon))),
+                                    std::string(Trim(line.substr(colon + 1))));
+    }
+    if (line_end == head.size()) break;
+    line_start = line_end + 2;
+  }
+
+  size_t content_length = 0;
+  if (const std::string* value = response.FindHeader("content-length")) {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(value->c_str(), &end, 10);
+    if (errno != 0 || end == value->c_str() || *end != '\0') {
+      return Status::InvalidArgument("malformed response Content-Length");
+    }
+    content_length = static_cast<size_t>(parsed);
+  }
+
+  response.body = buffer.substr(header_end + 4);
+  while (response.body.size() < content_length) {
+    char chunk[4096];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return Status::Unavailable("connection closed mid-response body");
+    }
+    response.body.append(chunk, static_cast<size_t>(n));
+  }
+  response.body.resize(content_length);
+  return response;
 }
 
 const char* HttpReason(int status) {
@@ -203,9 +308,12 @@ const char* HttpReason(int status) {
     case 200: return "OK";
     case 202: return "Accepted";
     case 400: return "Bad Request";
+    case 403: return "Forbidden";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 410: return "Gone";
     case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default:  return "Unknown";

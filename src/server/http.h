@@ -10,10 +10,11 @@
 
 namespace dtdevolve::server {
 
-/// Minimal HTTP/1.1 framing over a connected POSIX socket — just enough
-/// for the ingest server and its scrapers (curl, Prometheus): request
-/// line, headers, Content-Length bodies. No chunked encoding, no
-/// keep-alive (every response carries `Connection: close`), no TLS.
+/// Minimal HTTP/1.1 framing — request line, headers, Content-Length
+/// bodies, persistent connections. No chunked encoding, no TLS. The
+/// parser is incremental (a pure function of a byte buffer) so the
+/// epoll event loop can cut pipelined requests out of one connection
+/// buffer without ever blocking in recv().
 
 struct HttpRequest {
   std::string method;   // e.g. "POST", upper-case as sent
@@ -42,13 +43,50 @@ struct HttpResponse {
   std::string body;
 };
 
-/// Reads one request from `fd` (blocking; honors the socket's receive
-/// timeout). Fails with `kInvalidArgument` on malformed framing, a body
-/// beyond `max_body` bytes, or headers beyond an internal cap.
-StatusOr<HttpRequest> ReadHttpRequest(int fd, size_t max_body);
+enum class HttpParseResult {
+  kNeedMore,  // the buffer holds only a prefix of a request
+  kDone,      // one complete request parsed; `consumed` bytes used
+  kError,     // irrecoverable framing error; answer and close
+};
 
-/// Serializes and writes `response`, handling partial writes.
-Status WriteHttpResponse(int fd, const HttpResponse& response);
+struct HttpParse {
+  HttpParseResult result = HttpParseResult::kNeedMore;
+  /// Bytes of the buffer belonging to the parsed request (kDone only);
+  /// anything after them is the next pipelined request.
+  size_t consumed = 0;
+  /// Whether the connection may serve another request afterwards:
+  /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close, and an explicit
+  /// `Connection: close` / `Connection: keep-alive` overrides either.
+  bool keep_alive = true;
+  int error_status = 400;  // kError only: 400, 413 or 431
+  std::string error;       // kError only
+};
+
+/// Parses at most one request from the front of `buffer`. Never blocks
+/// and never consumes bytes on kNeedMore/kError, so the caller can
+/// accumulate more input and retry, or report `error_status` and close.
+HttpParse ParseHttpRequest(std::string_view buffer, size_t max_body,
+                           HttpRequest* out);
+
+/// Serializes a response. `keep_alive` picks the Connection header; the
+/// body is always Content-Length framed so pipelined responses
+/// concatenate unambiguously.
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive);
+
+/// One response as a client (the replication follower, benchmarks) sees
+/// it: status code, lower-cased headers, Content-Length body.
+struct HttpClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// Reads exactly one Content-Length framed response from `fd`
+/// (blocking), leaving the connection reusable for the next request.
+StatusOr<HttpClientResponse> ReadHttpResponse(int fd);
 
 /// The canonical reason phrase ("OK", "Not Found", …; "Unknown" when
 /// unmapped).

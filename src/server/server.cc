@@ -3,7 +3,7 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -48,18 +48,13 @@ std::string FormatDouble(double value) {
   return buffer;
 }
 
-void SetSocketTimeouts(int fd, int recv_seconds, int send_seconds) {
-  struct timeval tv;
-  tv.tv_usec = 0;
-  if (recv_seconds > 0) {
-    tv.tv_sec = recv_seconds;
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  }
-  if (send_seconds > 0) {
-    tv.tv_sec = send_seconds;
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  }
-}
+/// Response bytes buffered per connection before the loop stops reading
+/// new requests from it (re-armed once the client drains its side) —
+/// a pipelining client cannot balloon the server.
+constexpr size_t kMaxBufferedOut = 1 << 20;
+/// Unparsed request bytes buffered before reads pause for the same
+/// reason (pipelined requests parked behind a `?wait=1` head).
+constexpr size_t kMaxBufferedIn = 1 << 20;
 
 SourceManagerOptions ManagerOptions(const ServerOptions& options) {
   SourceManagerOptions manager_options;
@@ -75,6 +70,12 @@ SourceManagerOptions ManagerOptions(const ServerOptions& options) {
   manager_options.checkpoint_interval = options.checkpoint_interval;
   manager_options.checkpoint_on_shutdown = options.checkpoint_on_shutdown;
   manager_options.auto_induce_threshold = options.auto_induce_threshold;
+  if (!options.follow_url.empty()) {
+    // A replica owns no durable state — the primary does. Its shards
+    // run WAL-less and snapshot-less, fed only by replicated records.
+    manager_options.wal_dir.clear();
+    manager_options.snapshot_dir.clear();
+  }
   return manager_options;
 }
 
@@ -122,6 +123,58 @@ std::string StatsJson(const SourceManager::TenantStats& stats,
   return body;
 }
 
+/// HTTP status for the shared tenant/candidate error statuses.
+int ErrorStatusCode(const Status& status) {
+  switch (status.code()) {
+    case Status::Code::kInvalidArgument:
+      return 400;
+    case Status::Code::kNotFound:
+      return 404;
+    case Status::Code::kFailedPrecondition:
+      return 503;
+    default:
+      return 500;
+  }
+}
+
+HttpResponse JsonError(const Status& status) {
+  return {ErrorStatusCode(status), "application/json", {},
+          "{\"error\":\"" + JsonEscape(status.message()) + "\"}\n"};
+}
+
+/// Bounded-cardinality path label: arbitrary 404 targets fold into
+/// "other".
+std::string PathLabel(const std::string& path) {
+  for (const char* known :
+       {"/ingest", "/dtds", "/stats", "/metrics", "/healthz", "/tenants",
+        "/dtds/induce", "/dtds/candidates", "/replication/checkpoint",
+        "/replication/wal"}) {
+    if (path == known) return known;
+  }
+  if (path.rfind("/dtds/candidates/", 0) == 0) {
+    return "/dtds/candidates/{id}";
+  }
+  if (path.rfind("/dtds/", 0) == 0) return "/dtds/{name}";
+  if (path.rfind("/ingest/", 0) == 0) return "/ingest/{tenant}";
+  return "other";
+}
+
+/// The JSON body of a completed `?wait=1` ingest — shared by the
+/// synchronous fallback and the worker-side completion callback.
+HttpResponse WaitOutcomeResponse(const core::XmlSource::ProcessOutcome& outcome,
+                                 const std::string& tenant) {
+  std::string body = "{\"classified\":";
+  body += outcome.classified ? "true" : "false";
+  body += ",\"dtd\":\"" + JsonEscape(outcome.dtd_name) + "\"";
+  body += ",\"similarity\":" + FormatDouble(outcome.similarity);
+  body += ",\"evolved\":";
+  body += outcome.evolved ? "true" : "false";
+  body += ",\"reclassified\":" + std::to_string(outcome.reclassified);
+  body += ",\"tenant\":\"" + JsonEscape(tenant) + "\"";
+  body += "}\n";
+  return {200, "application/json", {}, body};
+}
+
 }  // namespace
 
 IngestServer::IngestServer(core::SourceOptions source_options,
@@ -154,6 +207,8 @@ Status IngestServer::CheckpointNow(uint64_t* captured_lsn) {
 void IngestServer::CloseSockets() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  epoll_fd_ = -1;
   for (int& fd : wake_pipe_) {
     if (fd >= 0) ::close(fd);
     fd = -1;
@@ -175,7 +230,9 @@ Status IngestServer::Start() {
     return Status::Internal(std::string("pipe failed: ") +
                             std::strerror(errno));
   }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  // The event thread must never block on the wake pipe's read side.
+  ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (listen_fd_ < 0) {
     const int saved_errno = errno;
     CloseSockets();
@@ -208,6 +265,26 @@ Status IngestServer::Start() {
                 &addr_len);
   port_ = ntohs(addr.sin_port);
 
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    const int saved_errno = errno;
+    CloseSockets();
+    return Status::Internal(std::string("epoll_create1 failed: ") +
+                            std::strerror(saved_errno));
+  }
+  struct epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = EPOLLIN;
+  event.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &event) != 0 ||
+      (event.data.fd = wake_pipe_[0],
+       ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_pipe_[0], &event) != 0)) {
+    const int saved_errno = errno;
+    CloseSockets();
+    return Status::Internal(std::string("epoll_ctl failed: ") +
+                            std::strerror(saved_errno));
+  }
+
   // Shard lifecycle — metrics wiring, storage directories, recovery,
   // workers, checkpoint thread — lives in the manager. A shard that
   // recovered during a failed Start is not replayed again on retry.
@@ -217,12 +294,38 @@ Status IngestServer::Start() {
     return manager_started;
   }
 
+  if (!options_.follow_url.empty()) {
+    FollowerConfig config;
+    config.url = options_.follow_url;
+    config.tenants = manager_.TenantNames();
+    config.poll_interval = options_.follow_poll_interval;
+    follower_ = std::make_unique<Follower>(config, &manager_, &registry_);
+    Status follower_started = follower_->Start();
+    if (!follower_started.ok()) {
+      follower_.reset();
+      manager_.Drain();
+      CloseSockets();
+      return follower_started;
+    }
+  }
+
+  conns_accepted_ = &registry_.GetCounter("dtdevolve_http_connections_total",
+                                          "Connections accepted");
+  conns_timed_out_ = &registry_.GetCounter(
+      "dtdevolve_http_connection_timeouts_total",
+      "Connections closed on an idle, read-stall or write-stall deadline");
+  conns_open_ = &registry_.GetGauge("dtdevolve_http_connections_open",
+                                    "Connections currently multiplexed");
+
   // A Shutdown raced against (or issued after) an earlier failed Start
   // must not make the fresh run unstoppable: the flag guards the
   // one-shot wake write, so it has to rearm with the new pipe.
   shutdown_requested_.store(false);
+  draining_ = false;
+  conns_.clear();
+  completions_.clear();
+  event_thread_ = std::thread([this] { EventLoop(); });
   started_ = true;
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
 }
 
@@ -237,19 +340,21 @@ void IngestServer::Shutdown() {
 
 void IngestServer::Wait() {
   if (!started_) return;
-  if (accept_thread_.joinable()) accept_thread_.join();
-
-  // Graceful order: (1) no new connections (listener is down), (2) the
-  // workers keep running un-paused so in-flight wait=1 requests finish,
-  // (3) once connections are gone, drain every queue, (4) final
-  // checkpoint/sync + snapshot (inside Drain).
+  // Graceful order: (1) make sure the workers run un-paused, so parked
+  // `?wait=1` requests complete and their callbacks land; (2) the event
+  // thread drains — listener down, idle connections dropped, in-flight
+  // responses (keep-alive included) flushed; (3) the replication thread
+  // stops; (4) the workers drain and join — after this no completion
+  // callback can fire — then the final checkpoint/sync + snapshot;
+  // (5) the fds close, which is safe exactly because nothing above can
+  // touch the wake pipe anymore.
   manager_.ResumeIngest();
-  {
-    std::unique_lock<std::mutex> lock(conn_mutex_);
-    conn_done_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  if (event_thread_.joinable()) event_thread_.join();
+  if (follower_ != nullptr) {
+    follower_->Stop();
+    follower_.reset();
   }
   manager_.Drain();
-
   CloseSockets();
   started_ = false;
 }
@@ -258,120 +363,402 @@ void IngestServer::PauseIngest() { manager_.PauseIngest(); }
 
 void IngestServer::ResumeIngest() { manager_.ResumeIngest(); }
 
-void IngestServer::AcceptLoop() {
+// --- Event loop -----------------------------------------------------------
+
+void IngestServer::EventLoop() {
+  struct epoll_event events[64];
   for (;;) {
-    struct pollfd fds[2];
-    fds[0] = {listen_fd_, POLLIN, 0};
-    fds[1] = {wake_pipe_[0], POLLIN, 0};
-    const int ready = ::poll(fds, 2, -1);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
+    const int budget = TimeoutBudgetMs();
+    const int ready =
+        ::epoll_wait(epoll_fd_, events, 64, budget);
+    if (ready < 0 && errno != EINTR) break;
+    const int count = ready < 0 ? 0 : ready;
+
+    // Connection I/O first, accepts last: a connection closed in this
+    // batch frees its fd, and accepting first could re-issue that fd
+    // while a stale event for the old connection is still in `events`.
+    bool accept_ready = false;
+    for (int i = 0; i < count; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_pipe_[0]) {
+        char drain[256];
+        while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      if (fd == listen_fd_) {
+        accept_ready = true;
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed earlier in this batch
+      Connection* conn = it->second.get();
+      if ((events[i].events & EPOLLOUT) != 0) {
+        if (!FlushOut(conn)) continue;
+        UpdateInterest(conn);
+      }
+      if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+        HandleReadable(conn);
+      }
     }
-    if (fds[1].revents != 0) break;  // shutdown requested
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+
+    DrainCompletions();
+
+    if (shutdown_requested_.load() && !draining_) StartDrain();
+    if (accept_ready && !draining_) AcceptReady();
+
+    CloseExpiredConns();
+
+    if (draining_ && conns_.empty()) return;
+  }
+}
+
+void IngestServer::AcceptReady() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;
     }
-    SetSocketTimeouts(fd, options_.recv_timeout_seconds,
-                      options_.send_timeout_seconds);
-    {
-      std::lock_guard<std::mutex> lock(conn_mutex_);
-      ++active_connections_;
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = ++next_conn_id_;
+    conn->events = EPOLLIN;
+    conn->last_activity = std::chrono::steady_clock::now();
+    struct epoll_event event;
+    std::memset(&event, 0, sizeof(event));
+    event.events = EPOLLIN;
+    event.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+      ::close(fd);
+      continue;
     }
-    // Detached: Wait() blocks on active_connections_ reaching zero, and
-    // the decrement is the thread's final touch of server state.
-    std::thread([this, fd] { HandleConnection(fd); }).detach();
+    conns_[fd] = std::move(conn);
+    conns_accepted_->Increment();
+    conns_open_->Set(static_cast<double>(conns_.size()));
   }
 }
 
-void IngestServer::HandleConnection(int fd) {
-  StatusOr<HttpRequest> request = ReadHttpRequest(fd, options_.max_body_bytes);
-  if (request.ok()) {
-    HttpResponse response = Route(*request);
-    // Label cardinality stays bounded: arbitrary 404 targets all fold
-    // into "other".
-    std::string path_label = "other";
-    for (const char* known :
-         {"/ingest", "/dtds", "/stats", "/metrics", "/healthz", "/tenants",
-          "/dtds/induce", "/dtds/candidates"}) {
-      if (request->path == known) path_label = known;
-    }
-    if (request->path.rfind("/dtds/", 0) == 0) path_label = "/dtds/{name}";
-    if (request->path == "/dtds/induce") path_label = "/dtds/induce";
-    if (request->path == "/dtds/candidates") path_label = "/dtds/candidates";
-    if (request->path.rfind("/dtds/candidates/", 0) == 0) {
-      path_label = "/dtds/candidates/{id}";
-    }
-    if (request->path.rfind("/ingest/", 0) == 0) {
-      path_label = "/ingest/{tenant}";
-    }
-    registry_
-        .GetCounter("dtdevolve_http_requests_total", "HTTP requests served",
-                    {{"path", path_label},
-                     {"code", std::to_string(response.status)}})
-        .Increment();
-    WriteHttpResponse(fd, response);
-  } else {
-    HttpResponse response;
-    response.status = 400;
-    response.body = request.status().ToString() + "\n";
-    WriteHttpResponse(fd, response);
+void IngestServer::StartDrain() {
+  draining_ = true;
+  // No new connections: the listener goes down first, so clients fail
+  // fast to another replica instead of queueing behind a dying server.
+  if (listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
-  ::close(fd);
+  std::vector<Connection*> idle;
+  for (auto& entry : conns_) {
+    Connection* conn = entry.second.get();
+    if (conn->waiting_apply) {
+      // A parked `?wait=1` request — plus whatever is pipelined behind
+      // it — finishes before the close; only new reads stop.
+      UpdateInterest(conn);
+      continue;
+    }
+    if (!conn->out.empty()) {
+      // In-flight response: flush, then close (the keep-alive drain
+      // guarantee).
+      conn->close_after_flush = true;
+      UpdateInterest(conn);
+      continue;
+    }
+    // Idle keep-alive connections (and half-sent requests that can now
+    // never complete) close immediately.
+    idle.push_back(conn);
+  }
+  for (Connection* conn : idle) CloseConn(conn);
+}
+
+void IngestServer::HandleReadable(Connection* conn) {
+  char buffer[16384];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      conn->in.append(buffer, static_cast<size_t>(n));
+      conn->last_activity = std::chrono::steady_clock::now();
+      if (conn->in.size() >= kMaxBufferedIn) break;
+      continue;
+    }
+    if (n == 0) {
+      // Half-close: nothing more arrives, but responses already earned
+      // (parsed requests, parked waits) still go out before the close.
+      conn->saw_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConn(conn);
+    return;
+  }
+  if (!conn->waiting_apply) ProcessInput(conn);
+  if (!FlushOut(conn)) return;
+  UpdateInterest(conn);
+}
+
+void IngestServer::ProcessInput(Connection* conn) {
+  while (!conn->close_after_flush && !conn->waiting_apply) {
+    if (conn->in.empty()) break;
+    HttpRequest request;
+    const HttpParse parsed =
+        ParseHttpRequest(conn->in, options_.max_body_bytes, &request);
+    if (parsed.result == HttpParseResult::kNeedMore) break;
+    if (parsed.result == HttpParseResult::kError) {
+      // Malformed framing: answer, then close — the byte stream can no
+      // longer be trusted to find the next request boundary.
+      HttpResponse response;
+      response.status = parsed.error_status;
+      response.content_type = "text/plain; charset=utf-8";
+      response.body = parsed.error + "\n";
+      CountRequest("other", response.status);
+      conn->out += SerializeHttpResponse(response, /*keep_alive=*/false);
+      conn->last_activity = std::chrono::steady_clock::now();
+      conn->close_after_flush = true;
+      break;
+    }
+    conn->in.erase(0, parsed.consumed);
+    const bool keep_alive = parsed.keep_alive && !draining_ && !conn->saw_eof;
+
+    RouteResult routed = Route(request, conn->fd, conn->id, keep_alive);
+    if (routed.async) {
+      // The response arrives via the completion queue; stop parsing so
+      // pipelined successors are answered in order behind it.
+      conn->waiting_apply = true;
+      break;
+    }
+    CountRequest(PathLabel(request.path), routed.response.status);
+    conn->out += SerializeHttpResponse(routed.response, keep_alive);
+    conn->last_activity = std::chrono::steady_clock::now();
+    if (!keep_alive) {
+      conn->close_after_flush = true;
+      break;
+    }
+  }
+  if (draining_ && !conn->waiting_apply) conn->close_after_flush = true;
+}
+
+bool IngestServer::FlushOut(Connection* conn) {
+  while (!conn->out.empty()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data(), conn->out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out.erase(0, static_cast<size_t>(n));
+      conn->last_activity = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn(conn);
+    return false;
+  }
+  if (conn->out.empty() &&
+      (conn->close_after_flush || (conn->saw_eof && !conn->waiting_apply))) {
+    CloseConn(conn);
+    return false;
+  }
+  return true;
+}
+
+void IngestServer::UpdateInterest(Connection* conn) {
+  uint32_t want = 0;
+  // Reads stay armed while the connection can make progress: not during
+  // drain, not after EOF, and not while either buffer is at its
+  // backpressure cap.
+  if (!draining_ && !conn->saw_eof && conn->out.size() < kMaxBufferedOut &&
+      conn->in.size() < kMaxBufferedIn) {
+    want |= EPOLLIN;
+  }
+  if (!conn->out.empty()) want |= EPOLLOUT;
+  if (want == conn->events) return;
+  struct epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = want;
+  event.data.fd = conn->fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &event) == 0) {
+    conn->events = want;
+  }
+}
+
+void IngestServer::CloseConn(Connection* conn) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conns_.erase(conn->fd);
+  conns_open_->Set(static_cast<double>(conns_.size()));
+}
+
+void IngestServer::PushCompletion(WaitCompletion completion) {
   {
-    // Notify under the lock: these threads are detached, so a notify
-    // after unlocking would race with `Wait` returning and the server
-    // (and this condition variable) being destroyed.
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    --active_connections_;
-    conn_done_cv_.notify_all();
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    completions_.push_back(std::move(completion));
+  }
+  // Wake the event loop; one byte per completion is fine — the reader
+  // drains the pipe wholesale.
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'c';
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
   }
 }
 
-HttpResponse IngestServer::Route(const HttpRequest& request) {
+void IngestServer::DrainCompletions() {
+  std::vector<WaitCompletion> ready;
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    ready.swap(completions_);
+  }
+  for (WaitCompletion& completion : ready) {
+    auto it = conns_.find(completion.fd);
+    if (it == conns_.end() || it->second->id != completion.conn_id) {
+      // The connection died while its document was applied (the apply
+      // itself is durable and acked by the WAL, not by this socket).
+      continue;
+    }
+    Connection* conn = it->second.get();
+    conn->waiting_apply = false;
+    const bool keep_alive =
+        completion.keep_alive && !draining_ && !conn->saw_eof;
+    conn->out += SerializeHttpResponse(completion.response, keep_alive);
+    conn->last_activity = std::chrono::steady_clock::now();
+    if (!keep_alive) {
+      conn->close_after_flush = true;
+    } else {
+      // Requests pipelined behind the parked one resume, still in
+      // order.
+      ProcessInput(conn);
+    }
+    if (!FlushOut(conn)) continue;
+    UpdateInterest(conn);
+  }
+}
+
+int IngestServer::TimeoutBudgetMs() const {
+  using std::chrono::steady_clock;
+  using std::chrono::milliseconds;
+  const steady_clock::time_point now = steady_clock::now();
+  long best = 1000;  // periodic tick: cheap, bounds every deadline check
+  for (const auto& entry : conns_) {
+    const Connection* conn = entry.second.get();
+    int seconds = 0;
+    if (conn->waiting_apply) {
+      continue;  // the server's own latency; never a client deadline
+    } else if (!conn->out.empty()) {
+      seconds = options_.send_timeout_seconds;
+    } else if (!conn->in.empty()) {
+      seconds = options_.recv_timeout_seconds;
+    } else {
+      seconds = options_.idle_timeout_seconds;
+    }
+    if (seconds <= 0) continue;
+    const auto deadline = conn->last_activity + std::chrono::seconds(seconds);
+    const long remaining =
+        std::chrono::duration_cast<milliseconds>(deadline - now).count();
+    if (remaining < best) best = remaining;
+  }
+  if (best < 10) best = 10;
+  return static_cast<int>(best);
+}
+
+void IngestServer::CloseExpiredConns() {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<Connection*> expired;
+  for (const auto& entry : conns_) {
+    Connection* conn = entry.second.get();
+    int seconds = 0;
+    if (conn->waiting_apply) {
+      continue;
+    } else if (!conn->out.empty()) {
+      // Write stall: the peer stopped reading its response.
+      seconds = options_.send_timeout_seconds;
+    } else if (!conn->in.empty()) {
+      // Read stall mid-request — the slow-loris guard.
+      seconds = options_.recv_timeout_seconds;
+    } else {
+      seconds = options_.idle_timeout_seconds;
+    }
+    if (seconds <= 0) continue;
+    if (now - conn->last_activity >= std::chrono::seconds(seconds)) {
+      expired.push_back(conn);
+    }
+  }
+  for (Connection* conn : expired) {
+    conns_timed_out_->Increment();
+    CloseConn(conn);
+  }
+}
+
+void IngestServer::CountRequest(const std::string& path, int status) {
+  registry_
+      .GetCounter("dtdevolve_http_requests_total", "HTTP requests served",
+                  {{"path", path}, {"code", std::to_string(status)}})
+      .Increment();
+}
+
+// --- Routing --------------------------------------------------------------
+
+IngestServer::RouteResult IngestServer::Route(const HttpRequest& request,
+                                              int fd, uint64_t conn_id,
+                                              bool keep_alive) {
   if (request.path == "/healthz") {
-    return {200, "text/plain; charset=utf-8", {}, "ok\n"};
+    return {false, {200, "text/plain; charset=utf-8", {}, "ok\n"}};
+  }
+  if (follower_ != nullptr && request.method == "POST") {
+    // A replica's state is a function of the primary's WAL; local
+    // writes would fork it.
+    return {false,
+            {403, "application/json", {},
+             "{\"error\":\"read-only replica (following " +
+                 JsonEscape(options_.follow_url) + ")\"}\n"}};
   }
   if (request.path == "/metrics") {
-    if (request.method != "GET") return {405, "text/plain", {}, ""};
-    return {200, "text/plain; version=0.0.4; charset=utf-8", {},
-            registry_.RenderPrometheus()};
+    if (request.method != "GET") return {false, {405, "text/plain", {}, ""}};
+    return {false,
+            {200, "text/plain; version=0.0.4; charset=utf-8", {},
+             registry_.RenderPrometheus()}};
   }
   if (request.path == "/ingest" || request.path.rfind("/ingest/", 0) == 0) {
-    if (request.method != "POST") return {405, "text/plain", {}, ""};
-    return HandleIngest(request);
+    if (request.method != "POST") return {false, {405, "text/plain", {}, ""}};
+    return HandleIngest(request, fd, conn_id, keep_alive);
   }
   if (request.path == "/tenants") {
-    if (request.method != "GET") return {405, "text/plain", {}, ""};
-    return HandleTenants();
+    if (request.method != "GET") return {false, {405, "text/plain", {}, ""}};
+    return {false, HandleTenants()};
   }
   if (request.path == "/dtds/induce") {
-    if (request.method != "POST") return {405, "text/plain", {}, ""};
-    return HandleInduce(request);
+    if (request.method != "POST") return {false, {405, "text/plain", {}, ""}};
+    return {false, HandleInduce(request)};
   }
   if (request.path == "/dtds/candidates" ||
       request.path.rfind("/dtds/candidates/", 0) == 0) {
-    return HandleCandidates(request);
+    return {false, HandleCandidates(request)};
   }
   if (request.path == "/dtds" || request.path.rfind("/dtds/", 0) == 0) {
-    if (request.method != "GET") return {405, "text/plain", {}, ""};
-    return HandleDtds(request);
+    if (request.method != "GET") return {false, {405, "text/plain", {}, ""}};
+    return {false, HandleDtds(request)};
   }
   if (request.path == "/stats") {
-    if (request.method != "GET") return {405, "text/plain", {}, ""};
-    return HandleStats(request);
+    if (request.method != "GET") return {false, {405, "text/plain", {}, ""}};
+    return {false, HandleStats(request)};
   }
-  return {404, "text/plain; charset=utf-8", {}, "not found\n"};
+  if (request.path == "/replication/checkpoint") {
+    if (request.method != "GET") return {false, {405, "text/plain", {}, ""}};
+    return {false, HandleReplicationCheckpoint(request)};
+  }
+  if (request.path == "/replication/wal") {
+    if (request.method != "GET") return {false, {405, "text/plain", {}, ""}};
+    return {false, HandleReplicationWal(request)};
+  }
+  return {false, {404, "text/plain; charset=utf-8", {}, "not found\n"}};
 }
 
-HttpResponse IngestServer::HandleIngest(const HttpRequest& request) {
+IngestServer::RouteResult IngestServer::HandleIngest(
+    const HttpRequest& request, int fd, uint64_t conn_id, bool keep_alive) {
   StatusOr<xml::Document> doc = xml::ParseDocument(request.body);
   if (!doc.ok()) {
-    return {400, "application/json", {},
-            "{\"error\":\"" + JsonEscape(doc.status().ToString()) + "\"}\n"};
+    return {false,
+            {400, "application/json", {},
+             "{\"error\":\"" + JsonEscape(doc.status().ToString()) + "\"}\n"}};
   }
 
   // `/ingest/{tenant}` wins over `?tenant=`; both empty means anonymous
@@ -388,42 +775,58 @@ HttpResponse IngestServer::HandleIngest(const HttpRequest& request) {
       manager_.Enqueue(tenant, std::move(*doc), request.body, wait);
   switch (enqueued.code) {
     case SourceManager::EnqueueCode::kUnknownTenant:
-      return {404, "application/json", {},
-              "{\"error\":\"unknown tenant '" + JsonEscape(tenant) + "'\"}\n"};
+      return {false,
+              {404, "application/json", {},
+               "{\"error\":\"unknown tenant '" + JsonEscape(tenant) +
+                   "'\"}\n"}};
     case SourceManager::EnqueueCode::kQueueFull:
-      return {503,
-              "application/json",
-              {{"Retry-After", std::to_string(options_.retry_after_seconds)}},
-              "{\"error\":\"ingest queue full\"}\n"};
+      return {false,
+              {503,
+               "application/json",
+               {{"Retry-After", std::to_string(options_.retry_after_seconds)}},
+               "{\"error\":\"ingest queue full\"}\n"}};
     case SourceManager::EnqueueCode::kWalError:
-      return {503,
-              "application/json",
-              {{"Retry-After", std::to_string(options_.retry_after_seconds)}},
-              "{\"error\":\"write-ahead log append failed: " +
-                  JsonEscape(enqueued.error) + "\"}\n"};
+      return {false,
+              {503,
+               "application/json",
+               {{"Retry-After", std::to_string(options_.retry_after_seconds)}},
+               "{\"error\":\"write-ahead log append failed: " +
+                   JsonEscape(enqueued.error) + "\"}\n"}};
     case SourceManager::EnqueueCode::kOk:
       break;
   }
 
   if (!wait) {
-    return {202, "application/json", {},
-            "{\"queued\":true,\"tenant\":\"" + JsonEscape(enqueued.tenant) +
-                "\"}\n"};
+    return {false,
+            {202, "application/json", {},
+             "{\"queued\":true,\"tenant\":\"" + JsonEscape(enqueued.tenant) +
+                 "\"}\n"}};
   }
+
+  // `?wait=1` without blocking the event thread: register a completion
+  // callback under the waiter's mutex. If the worker already finished
+  // (it can outrun us), answer synchronously instead.
   std::shared_ptr<SourceManager::IngestWaiter> waiter = enqueued.waiter;
-  std::unique_lock<std::mutex> lock(waiter->mutex);
-  waiter->cv.wait(lock, [&] { return waiter->done; });
-  const core::XmlSource::ProcessOutcome& outcome = waiter->outcome;
-  std::string body = "{\"classified\":";
-  body += outcome.classified ? "true" : "false";
-  body += ",\"dtd\":\"" + JsonEscape(outcome.dtd_name) + "\"";
-  body += ",\"similarity\":" + FormatDouble(outcome.similarity);
-  body += ",\"evolved\":";
-  body += outcome.evolved ? "true" : "false";
-  body += ",\"reclassified\":" + std::to_string(outcome.reclassified);
-  body += ",\"tenant\":\"" + JsonEscape(enqueued.tenant) + "\"";
-  body += "}\n";
-  return {200, "application/json", {}, body};
+  const std::string path_label = PathLabel(request.path);
+  {
+    std::lock_guard<std::mutex> lock(waiter->mutex);
+    if (!waiter->done) {
+      waiter->on_done = [this, fd, conn_id, keep_alive, waiter,
+                         tenant_name = enqueued.tenant, path_label] {
+        HttpResponse response =
+            WaitOutcomeResponse(waiter->outcome, tenant_name);
+        CountRequest(path_label, response.status);
+        WaitCompletion completion;
+        completion.fd = fd;
+        completion.conn_id = conn_id;
+        completion.keep_alive = keep_alive;
+        completion.response = std::move(response);
+        PushCompletion(std::move(completion));
+      };
+      return {true, {}};
+    }
+  }
+  return {false, WaitOutcomeResponse(waiter->outcome, enqueued.tenant)};
 }
 
 HttpResponse IngestServer::HandleTenants() {
@@ -489,27 +892,6 @@ HttpResponse IngestServer::HandleDtds(const HttpRequest& request) {
   }
   return {200, "application/xml-dtd; charset=utf-8", {}, std::move(*text)};
 }
-
-namespace {
-
-/// HTTP status for the shared tenant/candidate error statuses.
-int ErrorStatusCode(const Status& status) {
-  switch (status.code()) {
-    case Status::Code::kInvalidArgument:
-      return 400;
-    case Status::Code::kNotFound:
-      return 404;
-    default:
-      return 500;
-  }
-}
-
-HttpResponse JsonError(const Status& status) {
-  return {ErrorStatusCode(status), "application/json", {},
-          "{\"error\":\"" + JsonEscape(status.message()) + "\"}\n"};
-}
-
-}  // namespace
 
 HttpResponse IngestServer::HandleInduce(const HttpRequest& request) {
   const std::string tenant = request.QueryValue("tenant");
@@ -624,6 +1006,76 @@ HttpResponse IngestServer::HandleStats(const HttpRequest& request) {
   }
   body += "}}\n";
   return {200, "application/json", {}, body};
+}
+
+// --- Replication endpoints ------------------------------------------------
+
+namespace {
+
+/// `?tenant=` resolution for the replication endpoints: explicit name,
+/// or the single shard when there is exactly one.
+StatusOr<std::string> ReplicationTenant(const SourceManager& manager,
+                                        const HttpRequest& request) {
+  std::string tenant = request.QueryValue("tenant");
+  if (tenant.empty()) {
+    std::vector<std::string> names = manager.TenantNames();
+    if (names.size() != 1) {
+      return Status::InvalidArgument("tenant required (multi-tenant server)");
+    }
+    tenant = names[0];
+  }
+  return tenant;
+}
+
+}  // namespace
+
+HttpResponse IngestServer::HandleReplicationCheckpoint(
+    const HttpRequest& request) {
+  StatusOr<std::string> tenant = ReplicationTenant(manager_, request);
+  if (!tenant.ok()) return JsonError(tenant.status());
+  StatusOr<std::string> blob = manager_.ExportCheckpointFor(*tenant);
+  if (!blob.ok()) return JsonError(blob.status());
+  return {200, "application/octet-stream", {}, std::move(*blob)};
+}
+
+HttpResponse IngestServer::HandleReplicationWal(const HttpRequest& request) {
+  StatusOr<std::string> tenant = ReplicationTenant(manager_, request);
+  if (!tenant.ok()) return JsonError(tenant.status());
+
+  const std::string from_text = request.QueryValue("from_lsn");
+  const uint64_t from_lsn =
+      from_text.empty() ? 1 : std::strtoull(from_text.c_str(), nullptr, 10);
+  const std::string max_text = request.QueryValue("max_bytes");
+  uint64_t max_bytes =
+      max_text.empty() ? (1 << 20)
+                       : std::strtoull(max_text.c_str(), nullptr, 10);
+  if (max_bytes == 0 || max_bytes > (4u << 20)) max_bytes = 4u << 20;
+
+  uint64_t wal_next_lsn = 0;
+  StatusOr<store::WalExport> page =
+      manager_.ExportWalFor(*tenant, from_lsn, max_bytes, &wal_next_lsn);
+  if (!page.ok()) return JsonError(page.status());
+
+  // Gap detection: records below `from_lsn` may have been checkpoint-
+  // truncated. Either the log's oldest surviving LSN is already above
+  // the request, or the log is empty while the live head says records
+  // existed — both mean this follower can only restart from the
+  // checkpoint.
+  const bool truncated_gap =
+      (page->oldest_lsn != 0 && page->oldest_lsn > from_lsn) ||
+      (page->oldest_lsn == 0 && wal_next_lsn > 0 && from_lsn < wal_next_lsn);
+  if (truncated_gap) {
+    return {410, "application/json", {},
+            "{\"error\":\"LSN " + std::to_string(from_lsn) +
+                " was checkpoint-truncated; re-bootstrap from "
+                "/replication/checkpoint\"}\n"};
+  }
+
+  return {200,
+          "application/octet-stream",
+          {{"X-Dtdevolve-Next-Lsn", std::to_string(wal_next_lsn)},
+           {"X-Dtdevolve-Page-Next-Lsn", std::to_string(page->next_lsn)}},
+          std::move(page->bytes)};
 }
 
 }  // namespace dtdevolve::server

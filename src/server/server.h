@@ -3,11 +3,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -15,6 +14,7 @@
 
 #include "core/source.h"
 #include "obs/metrics.h"
+#include "server/follower.h"
 #include "server/http.h"
 #include "server/source_manager.h"
 #include "store/checkpoint.h"
@@ -86,11 +86,30 @@ struct ServerOptions {
   /// disables auto-induction.
   size_t auto_induce_threshold = 0;
 
-  /// Per-connection socket timeouts (SO_RCVTIMEO / SO_SNDTIMEO): a
-  /// client that stalls mid-request or stops reading its response frees
-  /// the connection thread after this long. Zero disables the guard.
+  // --- Connection timeouts (event loop deadlines; 0 disables each) --------
+
+  /// A connection that started a request (partial header or body bytes
+  /// received) but stalls this long is closed — the slow-loris guard.
   int recv_timeout_seconds = 10;
+  /// A connection with unflushed response bytes that accepts none of
+  /// them for this long is closed.
   int send_timeout_seconds = 10;
+  /// A keep-alive connection sitting idle between requests this long is
+  /// closed.
+  int idle_timeout_seconds = 60;
+
+  // --- Replication (read replicas) ----------------------------------------
+
+  /// Non-empty runs this server as a read-only follower of the primary
+  /// at this URL ("http://host:port" or "host:port"): it bootstraps
+  /// every tenant from the primary's latest checkpoint, then streams
+  /// and applies WAL records. Writes answer 403; `wal_dir` and
+  /// `snapshot_dir` are ignored (the replica owns no durable state —
+  /// the primary does).
+  std::string follow_url;
+  /// Poll cadence of the follower when it is caught up (a follower with
+  /// a full page in hand polls again immediately).
+  std::chrono::milliseconds follow_poll_interval{500};
 };
 
 /// The networked front of Fig. 1: a long-running HTTP/1.1 server (plain
@@ -100,13 +119,14 @@ struct ServerOptions {
 ///
 /// Endpoints:
 ///   POST /ingest            body = one XML document. Parsed on the
-///                           connection thread, routed to a shard, then
+///                           event thread, routed to a shard, then
 ///                           queued; that shard's ingest worker drains
 ///                           its queue in batches through `ProcessBatch`
 ///                           on the shared pool. Replies 202 once
 ///                           queued, or — with `?wait=1` — 200 with the
 ///                           JSON outcome after the document was
-///                           applied. 400 on parse errors, 404 for
+///                           applied (the connection is parked, never a
+///                           thread). 400 on parse errors, 404 for
 ///                           unknown tenants, 503 + Retry-After when
 ///                           the shard's queue is full.
 ///   POST /ingest/{tenant}   same, routed to the named tenant. The
@@ -141,19 +161,42 @@ struct ServerOptions {
 ///                           series carry a {tenant="..."} label unless
 ///                           single-"default").
 ///   GET /healthz            200 "ok".
+///   GET /replication/checkpoint?tenant=
+///                           the tenant's latest durable checkpoint as
+///                           one blob (follower bootstrap). Primary
+///                           only.
+///   GET /replication/wal?tenant=&from_lsn=N[&max_bytes=M]
+///                           raw WAL frames with `lsn >= N`, cut at a
+///                           frame boundary; `X-Dtdevolve-Next-Lsn`
+///                           carries the live log head. 410 Gone when
+///                           `N` was checkpoint-truncated — the
+///                           follower re-bootstraps. Primary only.
+///
+/// Connection model: ONE event thread multiplexes every connection over
+/// epoll — non-blocking sockets, per-connection input/output buffers,
+/// HTTP/1.1 keep-alive with pipelining (requests are parsed back to
+/// back out of the input buffer and answered strictly in order).
+/// `?wait=1` ingests never block the loop: the connection parks on the
+/// shard's `IngestWaiter` callback and the worker's completion is
+/// ferried back over a wake pipe. Slow or idle peers are closed on the
+/// `*_timeout_seconds` deadlines.
 ///
 /// Lifecycle: `AddDtdText` seeds every shard (`AddTenantDtdText` one),
 /// `Start` binds/recovers/spawns, `Shutdown` (async-signal-safe — wire
 /// it to SIGINT/SIGTERM) requests a graceful stop, `Wait` blocks until
-/// the stop completed: the listener closes, in-flight connections
-/// finish, every queue drains through the loop, and the extended-DTD
-/// state is snapshotted. A failed `Start` cleans up after itself fully
-/// (no leaked fds, no half-recovered shards) and may be retried.
+/// the stop completed: the listener closes, idle keep-alive connections
+/// are dropped, connections with a response in flight (including parked
+/// `?wait=1` requests and already-pipelined requests) are served to
+/// completion, every queue drains through the loop, and the
+/// extended-DTD state is snapshotted. A failed `Start` cleans up after
+/// itself fully (no leaked fds, no half-recovered shards) and may be
+/// retried.
 ///
-/// Threading: connection threads only parse and enqueue; each shard's
-/// single ingest worker is the only writer of that shard's `XmlSource`.
-/// Read endpoints take the same per-shard state mutex the worker holds
-/// while applying a batch, so scrapes see consistent state.
+/// Threading: the event thread only parses, enqueues and serializes;
+/// each shard's single ingest worker is the only writer of that shard's
+/// `XmlSource`. Read endpoints take the same per-shard state mutex the
+/// worker holds while applying a batch, so scrapes see consistent
+/// state.
 class IngestServer {
  public:
   IngestServer(core::SourceOptions source_options, ServerOptions options);
@@ -169,9 +212,10 @@ class IngestServer {
                           std::string_view dtd_text);
 
   /// Binds and listens, then recovers/restores every shard (wiring the
-  /// metrics), and spawns the accept loop and the shard workers. On any
-  /// failure every fd and thread acquired so far is released, so a
-  /// failed `Start` can simply be retried.
+  /// metrics), and spawns the event loop, the shard workers and — in
+  /// follower mode — the replication thread. On any failure every fd
+  /// and thread acquired so far is released, so a failed `Start` can
+  /// simply be retried.
   Status Start();
 
   /// The bound port (useful with `options.port == 0`).
@@ -233,17 +277,77 @@ class IngestServer {
   }
 
  private:
-  void AcceptLoop();
-  void HandleConnection(int fd);
-  HttpResponse Route(const HttpRequest& request);
-  HttpResponse HandleIngest(const HttpRequest& request);
+  /// One multiplexed connection. Owned (and touched) exclusively by the
+  /// event thread; worker threads reach a connection only through the
+  /// completion queue.
+  struct Connection {
+    int fd = -1;
+    /// Generation id — completions carry (fd, id) so one landing after
+    /// this connection closed and the fd was reused is dropped instead
+    /// of answering a stranger.
+    uint64_t id = 0;
+    std::string in;   // unparsed request bytes
+    std::string out;  // serialized, unflushed response bytes
+    /// Head request is parked on an `IngestWaiter` (`?wait=1`); parsing
+    /// stops so later pipelined requests are answered in order.
+    bool waiting_apply = false;
+    bool close_after_flush = false;
+    bool saw_eof = false;    // client half-closed; flush then close
+    uint32_t events = 0;     // current epoll interest mask
+    std::chrono::steady_clock::time_point last_activity;
+  };
+
+  /// A finished `?wait=1` outcome, ferried worker → event thread.
+  struct WaitCompletion {
+    int fd = -1;
+    uint64_t conn_id = 0;
+    bool keep_alive = false;
+    HttpResponse response;
+  };
+
+  /// Either a ready response or "parked on an ingest waiter".
+  struct RouteResult {
+    bool async = false;
+    HttpResponse response;
+  };
+
+  void EventLoop();
+  void AcceptReady();
+  void StartDrain();
+  /// Read until EAGAIN, then parse/dispatch/flush. Every return path
+  /// except "connection closed" leaves the epoll mask in sync.
+  void HandleReadable(Connection* conn);
+  /// Parses every complete request out of `in` (stopping at a parked
+  /// `?wait=1`), appends responses in order.
+  void ProcessInput(Connection* conn);
+  /// Writes `out` until EAGAIN; returns false when the connection was
+  /// closed (error, `close_after_flush` done, or half-closed and idle).
+  bool FlushOut(Connection* conn);
+  void UpdateInterest(Connection* conn);
+  void CloseConn(Connection* conn);
+  void DrainCompletions();
+  void PushCompletion(WaitCompletion completion);
+  /// Epoll wait budget: min remaining connection deadline, clamped.
+  int TimeoutBudgetMs() const;
+  void CloseExpiredConns();
+
+  /// `keep_alive` is the parsed request's verdict — an async completion
+  /// must echo it (a `Connection: close` `?wait=1` still closes).
+  RouteResult Route(const HttpRequest& request, int fd, uint64_t conn_id,
+                    bool keep_alive);
+  RouteResult HandleIngest(const HttpRequest& request, int fd,
+                           uint64_t conn_id, bool keep_alive);
   HttpResponse HandleTenants();
   HttpResponse HandleDtds(const HttpRequest& request);
   HttpResponse HandleInduce(const HttpRequest& request);
   HttpResponse HandleCandidates(const HttpRequest& request);
   HttpResponse HandleStats(const HttpRequest& request);
-  /// Closes the listener and wake-pipe fds (if open) — the error-path
-  /// unwind of `Start` and the tail of `Wait`.
+  HttpResponse HandleReplicationCheckpoint(const HttpRequest& request);
+  HttpResponse HandleReplicationWal(const HttpRequest& request);
+  void CountRequest(const std::string& path, int status);
+
+  /// Closes the listener, epoll and wake-pipe fds (if open) — the
+  /// error-path unwind of `Start` and the tail of `Wait`.
   void CloseSockets();
 
   ServerOptions options_;
@@ -251,18 +355,27 @@ class IngestServer {
   SourceManager manager_;
 
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
   uint16_t port_ = 0;
   bool started_ = false;
   std::atomic<bool> shutdown_requested_{false};
 
-  std::thread accept_thread_;
+  std::thread event_thread_;
+  /// Event-thread state (no locks — single owner).
+  std::map<int, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 0;
+  bool draining_ = false;
 
-  // Connection bookkeeping: threads are detached; Wait() blocks until
-  // the count returns to zero.
-  std::mutex conn_mutex_;
-  std::condition_variable conn_done_cv_;
-  size_t active_connections_ = 0;
+  std::mutex completion_mutex_;
+  std::vector<WaitCompletion> completions_;
+
+  std::unique_ptr<Follower> follower_;
+
+  // Connection metric handles (wired in Start).
+  obs::Counter* conns_accepted_ = nullptr;
+  obs::Counter* conns_timed_out_ = nullptr;
+  obs::Gauge* conns_open_ = nullptr;
 };
 
 }  // namespace dtdevolve::server

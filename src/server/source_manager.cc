@@ -102,7 +102,8 @@ SourceManager::~SourceManager() { Drain(); }
 Status SourceManager::AddDtdText(const std::string& name,
                                  std::string_view dtd_text) {
   for (const auto& shard : shards_) {
-    DTDEVOLVE_RETURN_IF_ERROR(shard->source.AddDtdText(name, dtd_text));
+    DTDEVOLVE_RETURN_IF_ERROR(shard->source->AddDtdText(name, dtd_text));
+    shard->seed_dtds.emplace_back(name, std::string(dtd_text));
   }
   return Status::Ok();
 }
@@ -114,7 +115,9 @@ Status SourceManager::AddTenantDtdText(const std::string& tenant,
   if (shard == nullptr) {
     return Status::NotFound("unknown tenant '" + tenant + "'");
   }
-  return shard->source.AddDtdText(name, dtd_text);
+  DTDEVOLVE_RETURN_IF_ERROR(shard->source->AddDtdText(name, dtd_text));
+  shard->seed_dtds.emplace_back(name, std::string(dtd_text));
+  return Status::Ok();
 }
 
 SourceManager::Shard* SourceManager::FindShard(const std::string& tenant) {
@@ -244,7 +247,8 @@ void SourceManager::WireShardMetrics(Shard& shard, obs::Registry* registry) {
   metrics.candidates_rejected = &registry->GetCounter(
       "dtdevolve_candidates_rejected_total",
       "Candidate DTDs rejected by the operator", labels);
-  shard.source.set_metrics(metrics);
+  shard.source_metrics = metrics;
+  shard.source->set_metrics(metrics);
 
   shard.requests_rejected = &registry->GetCounter(
       "dtdevolve_ingest_rejected_total",
@@ -284,7 +288,7 @@ Status SourceManager::RestoreShardSnapshots(Shard& shard) {
     return Status::Ok();
   }
   shard.snapshots_restored = true;
-  for (const std::string& name : shard.source.DtdNames()) {
+  for (const std::string& name : shard.source->DtdNames()) {
     const std::string path = SnapshotPathFor(shard, name);
     StatusOr<evolve::ExtendedDtd> restored = evolve::LoadExtendedDtdFile(path);
     if (!restored.ok()) {
@@ -305,7 +309,7 @@ Status SourceManager::RestoreShardSnapshots(Shard& shard) {
       continue;
     }
     DTDEVOLVE_RETURN_IF_ERROR(
-        shard.source.RestoreExtended(name, std::move(*restored)));
+        shard.source->RestoreExtended(name, std::move(*restored)));
   }
   return Status::Ok();
 }
@@ -329,7 +333,7 @@ Status SourceManager::StartShard(Shard& shard, obs::Registry* registry) {
       wal_options.segment_bytes = options_.wal_segment_bytes;
       shard.recovery_report = {};
       StatusOr<std::unique_ptr<store::Wal>> wal = store::RecoverSource(
-          shard.source, wal_options, &shard.recovery_report);
+          *shard.source, wal_options, &shard.recovery_report);
       if (!wal.ok()) return wal.status();
       shard.wal = std::move(*wal);
       // Recovery ran exactly once for this shard — a retried Start must
@@ -537,7 +541,7 @@ void SourceManager::ProcessPending(Shard& shard,
   {
     std::lock_guard<std::mutex> lock(shard.state_mutex);
     outcomes =
-        shard.source.ProcessBatch(std::move(docs), pool_ ? &*pool_ : nullptr);
+        shard.source->ProcessBatch(std::move(docs), pool_ ? &*pool_ : nullptr);
     for (const core::XmlSource::ProcessOutcome& outcome : outcomes) {
       if (outcome.classified) ++shard.ingested_per_dtd[outcome.dtd_name];
       if (outcome.evolved) ++shard.evolutions_per_dtd[outcome.dtd_name];
@@ -549,9 +553,9 @@ void SourceManager::ProcessPending(Shard& shard,
     // candidates" so a threshold-sized repository doesn't re-cluster on
     // every batch while the operator deliberates.
     if (options_.auto_induce_threshold > 0 &&
-        shard.source.repository().size() >= options_.auto_induce_threshold &&
-        shard.source.candidates().empty()) {
-      shard.source.InduceCandidates();
+        shard.source->repository().size() >= options_.auto_induce_threshold &&
+        shard.source->candidates().empty()) {
+      shard.source->InduceCandidates();
     }
   }
   const auto now = std::chrono::steady_clock::now();
@@ -562,10 +566,19 @@ void SourceManager::ProcessPending(Shard& shard,
     shard.ingest_seconds->Observe(
         std::chrono::duration<double>(now - pending[i].enqueued).count());
     if (pending[i].waiter != nullptr) {
-      std::lock_guard<std::mutex> lock(pending[i].waiter->mutex);
-      pending[i].waiter->outcome = outcomes[i];
-      pending[i].waiter->done = true;
-      pending[i].waiter->cv.notify_all();
+      IngestWaiter& waiter = *pending[i].waiter;
+      std::function<void()> on_done;
+      {
+        std::lock_guard<std::mutex> lock(waiter.mutex);
+        waiter.outcome = outcomes[i];
+        waiter.done = true;
+        // The callback runs outside the lock: it typically re-enters the
+        // server (completion queue + wake pipe) and must not hold the
+        // waiter mutex a blocked `cv` waiter also needs.
+        on_done = std::move(waiter.on_done);
+        waiter.cv.notify_all();
+      }
+      if (on_done) on_done();
     }
   }
 }
@@ -579,7 +592,7 @@ Status SourceManager::CheckpointShard(Shard& shard, uint64_t* captured_lsn) {
   store::CheckpointData data;
   {
     std::lock_guard<std::mutex> lock(shard.state_mutex);
-    data = store::CaptureCheckpoint(shard.source, shard.applied_lsn);
+    data = store::CaptureCheckpoint(*shard.source, shard.applied_lsn);
   }
   const std::string dir = backcompat_
                               ? options_.wal_dir
@@ -661,7 +674,7 @@ StatusOr<size_t> SourceManager::InduceTenant(const std::string& tenant) {
   Shard* shard = ResolveWriteShard(tenant);
   if (shard == nullptr) return UnresolvedTenantError(tenant);
   std::lock_guard<std::mutex> lock(shard->state_mutex);
-  return shard->source.InduceCandidates();
+  return shard->source->InduceCandidates();
 }
 
 StatusOr<std::vector<SourceManager::CandidateInfo>>
@@ -670,8 +683,8 @@ SourceManager::CandidatesFor(const std::string& tenant) const {
   if (shard == nullptr) return UnresolvedTenantError(tenant);
   std::lock_guard<std::mutex> lock(shard->state_mutex);
   std::vector<CandidateInfo> out;
-  out.reserve(shard->source.candidates().size());
-  for (const induce::Candidate& candidate : shard->source.candidates()) {
+  out.reserve(shard->source->candidates().size());
+  for (const induce::Candidate& candidate : shard->source->candidates()) {
     CandidateInfo info;
     info.id = candidate.id;
     info.name = candidate.name;
@@ -709,7 +722,7 @@ StatusOr<core::XmlSource::AcceptOutcome> SourceManager::AcceptCandidate(
   }
 
   std::lock_guard<std::mutex> state(shard->state_mutex);
-  const induce::Candidate* candidate = shard->source.FindCandidate(id);
+  const induce::Candidate* candidate = shard->source->FindCandidate(id);
   if (candidate == nullptr) {
     return Status::NotFound("unknown candidate id " + std::to_string(id));
   }
@@ -724,21 +737,21 @@ StatusOr<core::XmlSource::AcceptOutcome> SourceManager::AcceptCandidate(
     shard->degraded->Set(0);
     shard->applied_lsn = *lsn;
   }
-  return shard->source.AcceptCandidate(id, options_.jobs);
+  return shard->source->AcceptCandidate(id, options_.jobs);
 }
 
 Status SourceManager::RejectCandidate(const std::string& tenant, uint64_t id) {
   Shard* shard = ResolveWriteShard(tenant);
   if (shard == nullptr) return UnresolvedTenantError(tenant);
   std::lock_guard<std::mutex> lock(shard->state_mutex);
-  return shard->source.RejectCandidate(id);
+  return shard->source->RejectCandidate(id);
 }
 
 Status SourceManager::SnapshotShard(Shard& shard) {
   std::lock_guard<std::mutex> lock(shard.state_mutex);
-  for (const std::string& name : shard.source.DtdNames()) {
+  for (const std::string& name : shard.source->DtdNames()) {
     DTDEVOLVE_RETURN_IF_ERROR(evolve::SaveExtendedDtdFile(
-        *shard.source.FindExtended(name), SnapshotPathFor(shard, name)));
+        *shard.source->FindExtended(name), SnapshotPathFor(shard, name)));
   }
   return Status::Ok();
 }
@@ -813,7 +826,7 @@ StatusOr<std::vector<std::string>> SourceManager::DtdNamesFor(
     return Status::NotFound("unknown tenant '" + tenant + "'");
   }
   std::lock_guard<std::mutex> lock(shard->state_mutex);
-  return shard->source.DtdNames();
+  return shard->source->DtdNames();
 }
 
 StatusOr<std::string> SourceManager::DtdTextFor(const std::string& tenant,
@@ -826,7 +839,7 @@ StatusOr<std::string> SourceManager::DtdTextFor(const std::string& tenant,
     return Status::NotFound("unknown tenant '" + tenant + "'");
   }
   std::lock_guard<std::mutex> lock(shard->state_mutex);
-  const dtd::Dtd* dtd = shard->source.FindDtd(name);
+  const dtd::Dtd* dtd = shard->source->FindDtd(name);
   if (dtd == nullptr) {
     return Status::NotFound("unknown DTD '" + name + "'");
   }
@@ -845,19 +858,19 @@ StatusOr<SourceManager::TenantStats> SourceManager::StatsFor(
   TenantStats stats;
   stats.tenant = shard->name;
   std::lock_guard<std::mutex> lock(shard->state_mutex);
-  stats.documents_processed = shard->source.documents_processed();
-  stats.documents_classified = shard->source.documents_classified();
-  stats.repository_size = shard->source.repository().size();
-  stats.evolutions_performed = shard->source.evolutions_performed();
-  const induce::ClusterStats clusters = shard->source.cluster_stats();
+  stats.documents_processed = shard->source->documents_processed();
+  stats.documents_classified = shard->source->documents_classified();
+  stats.repository_size = shard->source->repository().size();
+  stats.evolutions_performed = shard->source->evolutions_performed();
+  const induce::ClusterStats clusters = shard->source->cluster_stats();
   stats.cluster_count = clusters.clusters;
   stats.largest_cluster = clusters.largest_cluster;
-  stats.candidates_pending = shard->source.candidates().size();
-  stats.candidates_proposed = shard->source.candidates_proposed();
-  stats.candidates_accepted = shard->source.candidates_accepted();
-  stats.candidates_rejected = shard->source.candidates_rejected();
-  for (const std::string& name : shard->source.DtdNames()) {
-    const evolve::ExtendedDtd* ext = shard->source.FindExtended(name);
+  stats.candidates_pending = shard->source->candidates().size();
+  stats.candidates_proposed = shard->source->candidates_proposed();
+  stats.candidates_accepted = shard->source->candidates_accepted();
+  stats.candidates_rejected = shard->source->candidates_rejected();
+  for (const std::string& name : shard->source->DtdNames()) {
+    const evolve::ExtendedDtd* ext = shard->source->FindExtended(name);
     TenantDtdStats dtd_stats;
     dtd_stats.name = name;
     dtd_stats.documents_recorded = ext->documents_recorded();
@@ -896,7 +909,124 @@ const store::RecoveryReport& SourceManager::recovery_report(
 const core::XmlSource* SourceManager::source(const std::string& tenant) const {
   const Shard* shard =
       tenant.empty() && !shards_.empty() ? shards_[0].get() : FindShard(tenant);
-  return shard == nullptr ? nullptr : &shard->source;
+  return shard == nullptr ? nullptr : shard->source.get();
+}
+
+StatusOr<std::string> SourceManager::ExportCheckpointFor(
+    const std::string& tenant) {
+  Shard* shard = FindShard(tenant);
+  if (shard == nullptr) {
+    return Status::NotFound("unknown tenant '" + tenant + "'");
+  }
+  if (options_.wal_dir.empty()) {
+    return Status::FailedPrecondition(
+        "replication requires a write-ahead log (--wal-dir)");
+  }
+  const std::string dir = backcompat_
+                              ? options_.wal_dir
+                              : options_.wal_dir + "/" + shard->dir_component;
+  // Under the checkpoint mutex a concurrent checkpoint can neither swap
+  // the meta nor unlink snapshot files mid-read.
+  std::lock_guard<std::mutex> io(shard->checkpoint_mutex);
+  StatusOr<store::CheckpointData> data = store::ReadCheckpoint(dir);
+  if (!data.ok()) return data.status();
+  return store::EncodeCheckpointBlob(*data);
+}
+
+StatusOr<store::WalExport> SourceManager::ExportWalFor(
+    const std::string& tenant, uint64_t from_lsn, uint64_t max_bytes,
+    uint64_t* wal_next_lsn) {
+  Shard* shard = FindShard(tenant);
+  if (shard == nullptr) {
+    return Status::NotFound("unknown tenant '" + tenant + "'");
+  }
+  if (options_.wal_dir.empty()) {
+    return Status::FailedPrecondition(
+        "replication requires a write-ahead log (--wal-dir)");
+  }
+  const std::string dir = backcompat_
+                              ? options_.wal_dir
+                              : options_.wal_dir + "/" + shard->dir_component;
+  // The checkpoint mutex holds off TruncateThrough, so segments cannot
+  // be unlinked mid-scan. Appends still race at the tail — a torn final
+  // frame simply ends the page.
+  std::lock_guard<std::mutex> io(shard->checkpoint_mutex);
+  if (wal_next_lsn != nullptr) {
+    *wal_next_lsn = shard->wal != nullptr ? shard->wal->next_lsn() : 0;
+  }
+  return store::ExportWalRecords(dir, from_lsn, max_bytes);
+}
+
+Status SourceManager::BootstrapFromCheckpoint(
+    const std::string& tenant, const store::CheckpointData& data) {
+  Shard* shard = FindShard(tenant);
+  if (shard == nullptr) {
+    return Status::NotFound("unknown tenant '" + tenant + "'");
+  }
+  // Built off to the side — reads keep being served from the old source
+  // until the swap — then installed atomically under the state mutex.
+  auto fresh = std::make_unique<core::XmlSource>(source_options_);
+  for (const auto& seed : shard->seed_dtds) {
+    DTDEVOLVE_RETURN_IF_ERROR(fresh->AddDtdText(seed.first, seed.second));
+  }
+  DTDEVOLVE_RETURN_IF_ERROR(store::ApplyCheckpointToSource(data, *fresh));
+  fresh->set_metrics(shard->source_metrics);
+  std::lock_guard<std::mutex> lock(shard->state_mutex);
+  shard->source = std::move(fresh);
+  shard->applied_lsn = data.lsn;
+  // The per-DTD ingest tallies describe the replaced lineage and the
+  // checkpoint carries none; recorded-document and divergence stats live
+  // in the extended DTDs themselves and survive the swap.
+  shard->ingested_per_dtd.clear();
+  shard->evolutions_per_dtd.clear();
+  return Status::Ok();
+}
+
+StatusOr<bool> SourceManager::ApplyReplicated(const std::string& tenant,
+                                              uint64_t lsn,
+                                              std::string_view payload) {
+  Shard* shard = FindShard(tenant);
+  if (shard == nullptr) {
+    return Status::NotFound("unknown tenant '" + tenant + "'");
+  }
+  std::lock_guard<std::mutex> lock(shard->state_mutex);
+  // Streams resume from the last applied LSN after a disconnect, so
+  // re-delivery of an already-applied record is normal, not an error.
+  if (lsn <= shard->applied_lsn) return false;
+  if (lsn != shard->applied_lsn + 1) {
+    // Primary LSNs are gapless (a failed append never consumes one), so
+    // a hole means the follower skipped acked history — applying would
+    // silently diverge from the primary.
+    return Status::FailedPrecondition(
+        "replication gap: applied LSN " +
+        std::to_string(shard->applied_lsn) + ", received LSN " +
+        std::to_string(lsn));
+  }
+  if (store::IsInduceAcceptRecord(payload)) {
+    DTDEVOLVE_RETURN_IF_ERROR(
+        store::ApplyWalRecordToSource(lsn, payload, *shard->source));
+  } else {
+    // Inline ProcessText (rather than ApplyWalRecordToSource) to see the
+    // outcome — the per-DTD tallies feed /stats on the replica too.
+    StatusOr<core::XmlSource::ProcessOutcome> outcome =
+        shard->source->ProcessText(payload);
+    if (!outcome.ok()) {
+      return Status::Internal("replicated record " + std::to_string(lsn) +
+                              " does not apply: " +
+                              outcome.status().message());
+    }
+    if (outcome->classified) ++shard->ingested_per_dtd[outcome->dtd_name];
+    if (outcome->evolved) ++shard->evolutions_per_dtd[outcome->dtd_name];
+  }
+  shard->applied_lsn = lsn;
+  return true;
+}
+
+uint64_t SourceManager::AppliedLsnFor(const std::string& tenant) const {
+  const Shard* shard = FindShard(tenant);
+  if (shard == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(shard->state_mutex);
+  return shard->applied_lsn;
 }
 
 }  // namespace dtdevolve::server

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -94,12 +95,18 @@ struct SourceManagerOptions {
 /// `Drain` once, after the caller has stopped producing documents.
 class SourceManager {
  public:
-  /// Completion channel of a `wait`-mode enqueue.
+  /// Completion channel of a `wait`-mode enqueue. A caller may either
+  /// block on `cv` or register `on_done` (under `mutex`, after checking
+  /// `done` — the outcome may already have landed): the worker invokes
+  /// it exactly once, outside the lock, after publishing the outcome.
+  /// The event-loop server uses the callback so a wait-mode ingest never
+  /// parks the loop thread.
   struct IngestWaiter {
     std::mutex mutex;
     std::condition_variable cv;
     bool done = false;
     core::XmlSource::ProcessOutcome outcome;
+    std::function<void()> on_done;
   };
 
   enum class EnqueueCode {
@@ -274,6 +281,48 @@ class SourceManager {
   std::string WalDirFor(const std::string& tenant) const;
   std::string SnapshotDirFor(const std::string& tenant) const;
 
+  // --- Replication (primary side) ------------------------------------------
+
+  /// The tenant's latest durable checkpoint as a single transfer blob
+  /// (`EncodeCheckpointBlob`), read under the checkpoint mutex so a
+  /// concurrent checkpoint can never swap files mid-read. A tenant that
+  /// has never checkpointed yields a blob with `lsn == 0` — the follower
+  /// then streams the WAL from LSN 1. `kFailedPrecondition` without a
+  /// WAL dir.
+  StatusOr<std::string> ExportCheckpointFor(const std::string& tenant);
+
+  /// One page of the tenant's WAL from `from_lsn`, read under the
+  /// checkpoint mutex (which holds off truncation, so segments cannot
+  /// vanish mid-scan; concurrent appends at the tail are fine — a torn
+  /// final frame just ends the page). `*wal_next_lsn` (optional)
+  /// receives the live log head, for lag math and gap detection.
+  StatusOr<store::WalExport> ExportWalFor(const std::string& tenant,
+                                          uint64_t from_lsn,
+                                          uint64_t max_bytes,
+                                          uint64_t* wal_next_lsn = nullptr);
+
+  // --- Replication (follower side) -----------------------------------------
+
+  /// Replaces the tenant's pipeline state with a decoded primary
+  /// checkpoint: a fresh source is rebuilt from the shard's seed DTDs,
+  /// the checkpoint is applied onto it (`ApplyCheckpointToSource` — the
+  /// same function boot recovery uses), and it is swapped in under the
+  /// state mutex with `applied_lsn = data.lsn`. Works mid-life too (a
+  /// follower that fell behind a truncated primary re-bootstraps).
+  Status BootstrapFromCheckpoint(const std::string& tenant,
+                                 const store::CheckpointData& data);
+
+  /// Applies one replicated WAL record through the replay dispatch
+  /// (ingest document or induce-accept) under the state mutex. Records
+  /// at or below `applied_lsn` return false (idempotent re-delivery
+  /// after a resume); a gap above `applied_lsn + 1` is an error.
+  StatusOr<bool> ApplyReplicated(const std::string& tenant, uint64_t lsn,
+                                 std::string_view payload);
+
+  /// Highest LSN folded into the tenant's source (0 for unknown
+  /// tenants).
+  uint64_t AppliedLsnFor(const std::string& tenant) const;
+
  private:
   struct PendingDoc {
     xml::Document doc;
@@ -285,12 +334,18 @@ class SourceManager {
   /// One tenant: a full, independent ingest pipeline.
   struct Shard {
     explicit Shard(const core::SourceOptions& source_options)
-        : source(source_options) {}
+        : source(std::make_unique<core::XmlSource>(source_options)) {}
 
     std::string name;
     std::string dir_component;  // SafeFileComponent(name)
 
-    core::XmlSource source;
+    /// Behind a pointer (XmlSource is not movable) so a follower
+    /// re-bootstrap can swap in a freshly rebuilt source under
+    /// `state_mutex`.
+    std::unique_ptr<core::XmlSource> source;
+    /// Seed DTDs registered before Start, kept for follower bootstrap
+    /// rebuilds.
+    std::vector<std::pair<std::string, std::string>> seed_dtds;
     std::unique_ptr<store::Wal> wal;
     store::RecoveryReport recovery_report;
     bool recovered = false;           // WAL recovery already ran
@@ -301,6 +356,10 @@ class SourceManager {
     /// apply order is exactly its LSN order. Never held while another
     /// shard's is — tenants don't serialize against each other.
     std::mutex ingest_order_mutex;
+
+    /// Metric handles wired into `source`, kept so a bootstrap-swapped
+    /// replacement source keeps reporting into the same series.
+    core::SourceMetrics source_metrics;
 
     /// Guards `source` and the tallies below.
     mutable std::mutex state_mutex;

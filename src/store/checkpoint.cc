@@ -266,14 +266,80 @@ StatusOr<CheckpointData> ReadCheckpoint(const std::string& dir) {
   return data;
 }
 
-StatusOr<std::unique_ptr<Wal>> RecoverSource(core::XmlSource& source,
-                                             const WalOptions& options,
-                                             RecoveryReport* report) {
-  DTDEVOLVE_RETURN_IF_ERROR(io::CreateDir(options.dir));
-  StatusOr<CheckpointData> checkpoint = ReadCheckpoint(options.dir);
-  if (!checkpoint.ok()) return checkpoint.status();
+std::string EncodeCheckpointBlob(const CheckpointData& data) {
+  std::string out = "dtdevolve-checkpoint-blob 1\n";
+  out += "lsn " + std::to_string(data.lsn) + "\n";
+  out += "dtds " + std::to_string(data.dtds.size()) + "\n";
+  for (const auto& [name, serialized] : data.dtds) {
+    // Length-prefixed name and payload: DTD names are operator input and
+    // snapshots embed newlines, so nothing here may be delimiter-framed.
+    out += "dtd " + std::to_string(name.size()) + " " +
+           std::to_string(serialized.size()) + "\n";
+    out += name;
+    out += serialized;
+    out.push_back('\n');
+  }
+  out += "source " + std::to_string(data.source_state.size()) + "\n";
+  out += data.source_state;
+  return out;
+}
 
-  for (const auto& [name, serialized] : checkpoint->dtds) {
+StatusOr<CheckpointData> DecodeCheckpointBlob(std::string_view blob) {
+  size_t offset = 0;
+  std::string_view line;
+  std::string_view rest;
+  if (!NextLine(blob, &offset, &line) ||
+      line != "dtdevolve-checkpoint-blob 1") {
+    return Status::ParseError("bad checkpoint-blob header");
+  }
+  CheckpointData data;
+  if (!NextLine(blob, &offset, &line) || !TakeKeyword(line, "lsn", &rest) ||
+      !ParseU64(rest, &data.lsn)) {
+    return Status::ParseError("checkpoint blob: bad lsn line");
+  }
+  uint64_t count = 0;
+  if (!NextLine(blob, &offset, &line) || !TakeKeyword(line, "dtds", &rest) ||
+      !ParseU64(rest, &count)) {
+    return Status::ParseError("checkpoint blob: bad dtds line");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!NextLine(blob, &offset, &line) || !TakeKeyword(line, "dtd", &rest)) {
+      return Status::ParseError("checkpoint blob: expected dtd line");
+    }
+    const size_t space = rest.find(' ');
+    uint64_t name_bytes = 0;
+    uint64_t payload_bytes = 0;
+    if (space == std::string_view::npos ||
+        !ParseU64(rest.substr(0, space), &name_bytes) ||
+        !ParseU64(rest.substr(space + 1), &payload_bytes)) {
+      return Status::ParseError("checkpoint blob: bad dtd line");
+    }
+    if (offset + name_bytes + payload_bytes > blob.size()) {
+      return Status::ParseError("checkpoint blob: dtd payload truncated");
+    }
+    std::string name(blob.substr(offset, name_bytes));
+    offset += name_bytes;
+    std::string payload(blob.substr(offset, payload_bytes));
+    offset += payload_bytes;
+    if (offset < blob.size() && blob[offset] == '\n') ++offset;
+    data.dtds.emplace_back(std::move(name), std::move(payload));
+  }
+  uint64_t source_bytes = 0;
+  if (!NextLine(blob, &offset, &line) ||
+      !TakeKeyword(line, "source", &rest) ||
+      !ParseU64(rest, &source_bytes)) {
+    return Status::ParseError("checkpoint blob: bad source line");
+  }
+  if (offset + source_bytes > blob.size()) {
+    return Status::ParseError("checkpoint blob: source state truncated");
+  }
+  data.source_state = std::string(blob.substr(offset, source_bytes));
+  return data;
+}
+
+Status ApplyCheckpointToSource(const CheckpointData& data,
+                               core::XmlSource& source) {
+  for (const auto& [name, serialized] : data.dtds) {
     StatusOr<evolve::ExtendedDtd> ext =
         evolve::DeserializeExtendedDtd(serialized);
     if (!ext.ok()) {
@@ -294,10 +360,47 @@ StatusOr<std::unique_ptr<Wal>> RecoverSource(core::XmlSource& source,
     }
     DTDEVOLVE_RETURN_IF_ERROR(restored);
   }
-  if (checkpoint->lsn > 0) {
-    DTDEVOLVE_RETURN_IF_ERROR(
-        RestoreSourceState(source, checkpoint->source_state));
+  if (data.lsn > 0) {
+    DTDEVOLVE_RETURN_IF_ERROR(RestoreSourceState(source, data.source_state));
   }
+  return Status::Ok();
+}
+
+Status ApplyWalRecordToSource(uint64_t lsn, std::string_view payload,
+                              core::XmlSource& source) {
+  if (IsInduceAcceptRecord(payload)) {
+    StatusOr<InduceAcceptRecord> accept = DecodeInduceAcceptRecord(payload);
+    if (!accept.ok()) {
+      return Status::Internal("WAL record " + std::to_string(lsn) +
+                              " no longer applies: " +
+                              accept.status().message());
+    }
+    Status adopted =
+        source.AdoptInducedDtd(accept->name, std::move(accept->ext));
+    if (!adopted.ok()) {
+      return Status::Internal("WAL record " + std::to_string(lsn) +
+                              " no longer applies: " + adopted.message());
+    }
+    return Status::Ok();
+  }
+  StatusOr<core::XmlSource::ProcessOutcome> outcome =
+      source.ProcessText(payload);
+  if (!outcome.ok()) {
+    return Status::Internal("WAL record " + std::to_string(lsn) +
+                            " no longer applies: " +
+                            outcome.status().message());
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<Wal>> RecoverSource(core::XmlSource& source,
+                                             const WalOptions& options,
+                                             RecoveryReport* report) {
+  DTDEVOLVE_RETURN_IF_ERROR(io::CreateDir(options.dir));
+  StatusOr<CheckpointData> checkpoint = ReadCheckpoint(options.dir);
+  if (!checkpoint.ok()) return checkpoint.status();
+
+  DTDEVOLVE_RETURN_IF_ERROR(ApplyCheckpointToSource(*checkpoint, source));
 
   WalReplay replay;
   StatusOr<std::unique_ptr<Wal>> wal =
@@ -317,29 +420,8 @@ StatusOr<std::unique_ptr<Wal>> RecoverSource(core::XmlSource& source,
     // second recovery over the same files (crash before the next
     // checkpoint) a no-op for this prefix.
     if (record.lsn <= checkpoint->lsn) continue;
-    if (IsInduceAcceptRecord(record.payload)) {
-      StatusOr<InduceAcceptRecord> accept =
-          DecodeInduceAcceptRecord(record.payload);
-      if (!accept.ok()) {
-        return Status::Internal("WAL record " + std::to_string(record.lsn) +
-                                " no longer applies: " +
-                                accept.status().message());
-      }
-      Status adopted =
-          source.AdoptInducedDtd(accept->name, std::move(accept->ext));
-      if (!adopted.ok()) {
-        return Status::Internal("WAL record " + std::to_string(record.lsn) +
-                                " no longer applies: " + adopted.message());
-      }
-    } else {
-      StatusOr<core::XmlSource::ProcessOutcome> outcome =
-          source.ProcessText(record.payload);
-      if (!outcome.ok()) {
-        return Status::Internal(
-            "WAL record " + std::to_string(record.lsn) +
-            " no longer applies: " + outcome.status().message());
-      }
-    }
+    DTDEVOLVE_RETURN_IF_ERROR(
+        ApplyWalRecordToSource(record.lsn, record.payload, source));
     if (report != nullptr) {
       ++report->replayed_records;
       report->last_applied_lsn = record.lsn;

@@ -64,6 +64,28 @@ Status WriteCheckpoint(const std::string& dir, const CheckpointData& data);
 /// the WAL below that LSN is gone, so acked history would be lost.
 StatusOr<CheckpointData> ReadCheckpoint(const std::string& dir);
 
+/// Packs a checkpoint into one self-describing blob — the body of the
+/// primary's `GET /replication/checkpoint` response, so a follower
+/// bootstraps from a single transfer instead of the primary's file
+/// layout.
+std::string EncodeCheckpointBlob(const CheckpointData& data);
+StatusOr<CheckpointData> DecodeCheckpointBlob(std::string_view blob);
+
+/// Restores a decoded checkpoint onto `source` (which must hold exactly
+/// its freshly registered seed DTDs): extended-DTD snapshots first —
+/// names the seed set does not know are registered as induced DTDs, as
+/// boot recovery does — then counters + repository. The follower
+/// bootstrap and `RecoverSource` share this path, which is what makes
+/// "follower state" and "replay of the primary" the same function.
+Status ApplyCheckpointToSource(const CheckpointData& data,
+                               core::XmlSource& source);
+
+/// Applies one WAL record payload — an ingested document's raw XML or an
+/// induce-accept record — onto `source`: the single replay dispatch
+/// shared by boot recovery and the replication follower.
+Status ApplyWalRecordToSource(uint64_t lsn, std::string_view payload,
+                              core::XmlSource& source);
+
 /// What recovery found; for logs and tests.
 struct RecoveryReport {
   uint64_t checkpoint_lsn = 0;   // 0 ⇒ no checkpoint existed

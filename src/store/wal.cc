@@ -382,4 +382,109 @@ size_t Wal::SegmentCount() const {
   return segments_.size();
 }
 
+std::string EncodeWalRecord(uint64_t lsn, std::string_view payload) {
+  return EncodeRecord(lsn, payload);
+}
+
+StatusOr<WalExport> ExportWalRecords(const std::string& dir,
+                                     uint64_t from_lsn, uint64_t max_bytes) {
+  std::vector<uint64_t> seqs;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    return Status::Internal("cannot list " + dir + ": " +
+                            std::strerror(errno));
+  }
+  while (struct dirent* entry = ::readdir(handle)) {
+    unsigned long long seq = 0;
+    char tail = 0;
+    if (std::sscanf(entry->d_name, "wal-%llu.lo%c", &seq, &tail) == 2 &&
+        tail == 'g') {
+      seqs.push_back(seq);
+    }
+  }
+  ::closedir(handle);
+  std::sort(seqs.begin(), seqs.end());
+
+  WalExport page;
+  page.next_lsn = from_lsn;
+  uint64_t last_lsn = 0;
+  bool full = false;
+  for (size_t s = 0; s < seqs.size() && !full; ++s) {
+    const bool final_segment = s + 1 == seqs.size();
+    char name[32];
+    std::snprintf(name, sizeof(name), "wal-%010llu.log",
+                  static_cast<unsigned long long>(seqs[s]));
+    StatusOr<std::string> bytes = io::ReadFile(dir + "/" + name);
+    if (!bytes.ok()) return bytes.status();
+    const std::string& data = *bytes;
+
+    size_t offset = 0;
+    while (offset < data.size()) {
+      const size_t remaining = data.size() - offset;
+      uint32_t len = 0;
+      bool torn = remaining < kRecordHeaderBytes;
+      if (!torn) {
+        len = GetU32(data.data() + offset);
+        torn = len > kMaxPayloadBytes ||
+               remaining < kRecordHeaderBytes + len ||
+               GetU32(data.data() + offset + 4) !=
+                   util::Crc32(data.data() + offset + 8, 8 + len);
+      }
+      if (torn) {
+        // The in-flight append of a live primary: the frame completes
+        // (or is cut at recovery) later; the page simply ends here. Below
+        // the final segment the same bytes mean real damage.
+        if (final_segment) break;
+        return Status::ParseError("corrupt WAL record in " + dir + "/" +
+                                  name + " at offset " +
+                                  std::to_string(offset));
+      }
+      const uint64_t lsn = GetU64(data.data() + offset + 8);
+      if (lsn <= last_lsn) {
+        return Status::ParseError("WAL LSN went backwards in " + dir + "/" +
+                                  name);
+      }
+      last_lsn = lsn;
+      if (page.oldest_lsn == 0) page.oldest_lsn = lsn;
+      if (lsn >= from_lsn) {
+        // At least one frame always ships, so a single record larger
+        // than `max_bytes` cannot wedge the stream.
+        if (!page.bytes.empty() &&
+            page.bytes.size() + kRecordHeaderBytes + len > max_bytes) {
+          full = true;
+          break;
+        }
+        page.bytes.append(data, offset, kRecordHeaderBytes + len);
+        page.next_lsn = lsn + 1;
+      }
+      offset += kRecordHeaderBytes + len;
+    }
+  }
+  return page;
+}
+
+std::vector<WalRecord> DecodeWalStream(std::string_view bytes,
+                                       size_t* consumed) {
+  std::vector<WalRecord> records;
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    const size_t remaining = bytes.size() - offset;
+    if (remaining < kRecordHeaderBytes) break;
+    const uint32_t len = GetU32(bytes.data() + offset);
+    if (len > kMaxPayloadBytes || remaining < kRecordHeaderBytes + len) break;
+    if (GetU32(bytes.data() + offset + 4) !=
+        util::Crc32(bytes.data() + offset + 8, 8 + len)) {
+      break;
+    }
+    WalRecord record;
+    record.lsn = GetU64(bytes.data() + offset + 8);
+    record.payload =
+        std::string(bytes.substr(offset + kRecordHeaderBytes, len));
+    records.push_back(std::move(record));
+    offset += kRecordHeaderBytes + len;
+  }
+  if (consumed != nullptr) *consumed = offset;
+  return records;
+}
+
 }  // namespace dtdevolve::store

@@ -141,6 +141,41 @@ class Wal {
       std::chrono::steady_clock::now();
 };
 
+/// Encodes one record exactly as `Append` lays it on disk (tests and the
+/// replication oracle craft streams and torn tails with it).
+std::string EncodeWalRecord(uint64_t lsn, std::string_view payload);
+
+/// One page of a replication stream, served by the primary's
+/// `GET /replication/wal?from_lsn=N` endpoint.
+struct WalExport {
+  /// Concatenated raw frames (the on-disk format, CRC framing included —
+  /// the follower gets integrity checking for free), always cut at a
+  /// frame boundary.
+  std::string bytes;
+  /// LSN the follower should request next after applying `bytes`.
+  uint64_t next_lsn = 0;
+  /// Smallest LSN still on disk (0 when the log holds no records) — the
+  /// caller detects truncated history by comparing it to `from_lsn`.
+  uint64_t oldest_lsn = 0;
+};
+
+/// Reads committed records with `lsn >= from_lsn` straight from the
+/// segment files of `dir`, capped near `max_bytes` (but always at least
+/// one frame when any qualifies). An undecodable tail on the *final*
+/// segment is the in-flight append of a live primary and simply ends the
+/// page; damage below that is an error. The caller must hold off
+/// checkpoint truncation while exporting (segments must not vanish
+/// mid-scan).
+StatusOr<WalExport> ExportWalRecords(const std::string& dir,
+                                     uint64_t from_lsn, uint64_t max_bytes);
+
+/// Decodes framed records out of a replication stream. Stops cleanly at
+/// the first torn or corrupt frame — a disconnect can cut a stream
+/// anywhere, and the follower simply resumes from the last applied LSN —
+/// reporting how many clean bytes were consumed via `*consumed`.
+std::vector<WalRecord> DecodeWalStream(std::string_view bytes,
+                                       size_t* consumed);
+
 }  // namespace dtdevolve::store
 
 #endif  // DTDEVOLVE_STORE_WAL_H_

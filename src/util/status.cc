@@ -20,6 +20,8 @@ const char* CodeName(Status::Code code) {
       return "FailedPrecondition";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

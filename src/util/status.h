@@ -22,6 +22,7 @@ class Status {
     kAlreadyExists,     // duplicate insertion
     kFailedPrecondition,// operation called in the wrong state
     kInternal,          // invariant violation inside the library
+    kUnavailable,       // transient I/O failure (peer down); retryable
   };
 
   /// Successful status.
@@ -46,6 +47,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -55,8 +55,8 @@ struct ClientResponse {
 };
 
 /// One blocking HTTP exchange; `out->status` stays 0 on transport
-/// failure (same framing as server_test.cc: the server closes after
-/// each response).
+/// failure (same framing as server_test.cc: `Connection: close` makes
+/// the keep-alive server close after the response).
 void HttpRoundTrip(uint16_t port, const std::string& request,
                    ClientResponse* out) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -97,7 +97,9 @@ ClientResponse Post(uint16_t port, const std::string& target,
                     const std::string& body) {
   ClientResponse response;
   HttpRoundTrip(port,
-                "POST " + target + " HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+                "POST " + target +
+                    " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+                    "Content-Length: " +
                     std::to_string(body.size()) + "\r\n\r\n" + body,
                 &response);
   return response;
@@ -105,7 +107,9 @@ ClientResponse Post(uint16_t port, const std::string& target,
 
 ClientResponse Get(uint16_t port, const std::string& target) {
   ClientResponse response;
-  HttpRoundTrip(port, "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n",
+  HttpRoundTrip(port,
+                "GET " + target +
+                    " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
                 &response);
   return response;
 }
@@ -311,10 +315,10 @@ TEST(DurabilityTest, RecvTimeoutReleasesAStalledConnection) {
   ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
   ASSERT_TRUE(server.Start().ok());
 
-  // Open a connection, send half a request, then stall. Without
-  // SO_RCVTIMEO the connection thread would block in recv() forever and
-  // Wait() below would hang; with it, the server gives up within the
-  // timeout and closes — our recv sees EOF (or an error response).
+  // Open a connection, send half a request, then stall. The event
+  // loop's read-stall deadline (recv_timeout_seconds) must close the
+  // connection — our recv sees EOF (or an error response) — instead of
+  // holding it open forever.
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   ASSERT_GE(fd, 0);
   sockaddr_in addr = {};

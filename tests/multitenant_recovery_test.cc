@@ -102,7 +102,9 @@ ClientResponse Post(uint16_t port, const std::string& target,
                     const std::string& body) {
   ClientResponse response;
   HttpRoundTrip(port,
-                "POST " + target + " HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+                "POST " + target +
+                    " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+                    "Content-Length: " +
                     std::to_string(body.size()) + "\r\n\r\n" + body,
                 &response);
   return response;

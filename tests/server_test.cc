@@ -53,10 +53,11 @@ struct ClientResponse {
   std::string body;
 };
 
-/// One blocking HTTP exchange against 127.0.0.1:port. The server closes
-/// the connection after each response, so "read to EOF" frames it. On
-/// any transport failure `out->status` stays 0, which every caller's
-/// status expectation then reports.
+/// One blocking HTTP exchange against 127.0.0.1:port. The request must
+/// carry `Connection: close` so the (keep-alive by default) server
+/// closes after the response and "read to EOF" frames it. On any
+/// transport failure `out->status` stays 0, which every caller's status
+/// expectation then reports.
 void HttpRoundTrip(uint16_t port, const std::string& request,
                    ClientResponse* out) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -105,7 +106,9 @@ void HttpRoundTrip(uint16_t port, const std::string& request,
 
 ClientResponse Get(uint16_t port, const std::string& target) {
   ClientResponse response;
-  HttpRoundTrip(port, "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n",
+  HttpRoundTrip(port,
+                "GET " + target +
+                    " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
                 &response);
   return response;
 }
@@ -114,7 +117,9 @@ ClientResponse Post(uint16_t port, const std::string& target,
                     const std::string& body) {
   ClientResponse response;
   HttpRoundTrip(port,
-                "POST " + target + " HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+                "POST " + target +
+                    " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+                    "Content-Length: " +
                     std::to_string(body.size()) + "\r\n\r\n" + body,
                 &response);
   return response;
@@ -405,6 +410,7 @@ TEST(ServerTest, ConflictingContentLengthHeadersAreRejected) {
   ClientResponse conflicting;
   HttpRoundTrip(server.port(),
                 "POST /ingest?wait=1 HTTP/1.1\r\nHost: t\r\n"
+                "Connection: close\r\n"
                 "Content-Length: " + length + "\r\n"
                 "Content-Length: 5\r\n\r\n" + body,
                 &conflicting);
@@ -414,6 +420,7 @@ TEST(ServerTest, ConflictingContentLengthHeadersAreRejected) {
   ClientResponse agreeing;
   HttpRoundTrip(server.port(),
                 "POST /ingest?wait=1 HTTP/1.1\r\nHost: t\r\n"
+                "Connection: close\r\n"
                 "Content-Length: " + length + "\r\n"
                 "Content-Length: " + length + "\r\n\r\n" + body,
                 &agreeing);

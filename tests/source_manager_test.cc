@@ -96,7 +96,9 @@ void HttpRoundTrip(uint16_t port, const std::string& request,
 
 ClientResponse Get(uint16_t port, const std::string& target) {
   ClientResponse response;
-  HttpRoundTrip(port, "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n",
+  HttpRoundTrip(port,
+                "GET " + target +
+                    " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
                 &response);
   return response;
 }
@@ -105,7 +107,9 @@ ClientResponse Post(uint16_t port, const std::string& target,
                     const std::string& body) {
   ClientResponse response;
   HttpRoundTrip(port,
-                "POST " + target + " HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+                "POST " + target +
+                    " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+                    "Content-Length: " +
                     std::to_string(body.size()) + "\r\n\r\n" + body,
                 &response);
   return response;

@@ -101,20 +101,22 @@ int Usage() {
                "always|interval|none]\n"
                "                       [--fsync-interval-ms N] "
                "[--checkpoint-interval-ms N]\n"
-               "                       [--recv-timeout S] [--send-timeout "
-               "S]\n"
+               "                       [--recv-timeout S] [--send-timeout S] "
+               "[--idle-timeout S]\n"
                "                       [--score-cache-mb N] "
                "[--no-score-cache]\n"
                "                       [--tenants LIST|N] "
                "[--tenant-config FILE]\n"
                "                       [--auto-induce-threshold N]\n"
+               "                       [--follow URL] "
+               "[--poll-interval-ms N]\n"
                "  dtdevolve check      [--scenarios N] [--seed S] "
                "[--max-documents N]\n"
                "                       [--max-failures K] [--no-persistence] "
                "[--no-minimize]\n"
                "                       [--crash-recovery] [--crash-points N] "
                "[--checkpoint-every K]\n"
-               "                       [--induction]\n");
+               "                       [--induction] [--replication]\n");
   return 1;
 }
 
@@ -696,6 +698,21 @@ int CmdServe(std::vector<std::string> args) {
       server_options.send_timeout_seconds = static_cast<int>(value);
       continue;
     }
+    if (nonnegative_long("--idle-timeout", &value)) {
+      if (bad_value) return Usage();
+      server_options.idle_timeout_seconds = static_cast<int>(value);
+      continue;
+    }
+    if (args[i] == "--follow") {
+      if (i + 1 >= args.size()) return Usage();
+      server_options.follow_url = args[++i];
+      continue;
+    }
+    if (positive_long("--poll-interval-ms", &value)) {
+      if (bad_value) return Usage();
+      server_options.follow_poll_interval = std::chrono::milliseconds(value);
+      continue;
+    }
     if (nonnegative_long("--score-cache-mb", &value)) {
       if (bad_value) return Usage();
       // 0 MB means no cache at all, same as --no-score-cache.
@@ -830,8 +847,10 @@ int CmdCheck(std::vector<std::string> args) {
   dtdevolve::check::OracleOptions options;
   dtdevolve::check::CrashOracleOptions crash_options;
   dtdevolve::check::InductionOracleOptions induction_options;
+  dtdevolve::check::ReplicationOracleOptions replication_options;
   bool crash_recovery = false;
   bool induction = false;
+  bool replication = false;
   bool minimize = true;
   for (size_t i = 0; i < args.size(); ++i) {
     bool bad_value = false;
@@ -850,6 +869,7 @@ int CmdCheck(std::vector<std::string> args) {
       options.scenarios = static_cast<uint64_t>(value);
       crash_options.scenarios = static_cast<uint64_t>(value);
       induction_options.scenarios = static_cast<uint64_t>(value);
+      replication_options.scenarios = static_cast<uint64_t>(value);
       continue;
     }
     if (long_value("--seed", 0, &value)) {
@@ -857,6 +877,7 @@ int CmdCheck(std::vector<std::string> args) {
       options.seed = static_cast<uint64_t>(value);
       crash_options.seed = static_cast<uint64_t>(value);
       induction_options.seed = static_cast<uint64_t>(value);
+      replication_options.seed = static_cast<uint64_t>(value);
       continue;
     }
     if (long_value("--max-documents", 0, &value)) {
@@ -864,6 +885,7 @@ int CmdCheck(std::vector<std::string> args) {
       options.max_documents = static_cast<uint64_t>(value);
       crash_options.max_documents = static_cast<uint64_t>(value);
       induction_options.max_documents = static_cast<uint64_t>(value);
+      replication_options.max_documents = static_cast<uint64_t>(value);
       continue;
     }
     if (long_value("--max-failures", 1, &value)) {
@@ -871,6 +893,7 @@ int CmdCheck(std::vector<std::string> args) {
       options.max_failures = static_cast<uint64_t>(value);
       crash_options.max_failures = static_cast<uint64_t>(value);
       induction_options.max_failures = static_cast<uint64_t>(value);
+      replication_options.max_failures = static_cast<uint64_t>(value);
       continue;
     }
     if (long_value("--crash-points", 0, &value)) {
@@ -881,10 +904,15 @@ int CmdCheck(std::vector<std::string> args) {
     if (long_value("--checkpoint-every", 0, &value)) {
       if (bad_value) return Usage();
       crash_options.checkpoint_every = static_cast<uint64_t>(value);
+      replication_options.checkpoint_every = static_cast<uint64_t>(value);
       continue;
     }
     if (args[i] == "--crash-recovery") {
       crash_recovery = true;
+      continue;
+    }
+    if (args[i] == "--replication") {
+      replication = true;
       continue;
     }
     if (args[i] == "--induction") {
@@ -901,6 +929,18 @@ int CmdCheck(std::vector<std::string> args) {
     }
     if (IsFlag(args[i])) return UnknownFlag(args[i]);
     return Usage();  // check takes no positional arguments
+  }
+
+  if (replication) {
+    // Replication scenarios mix induction in by default (alternating
+    // seeds), so the streamed WAL covers the induce-accept record type;
+    // --induction here narrows nothing, it is already the default.
+    dtdevolve::check::ReplicationOracleReport replication_report =
+        dtdevolve::check::RunReplicationOracle(replication_options);
+    std::printf(
+        "%s",
+        dtdevolve::check::FormatReplicationReport(replication_report).c_str());
+    return replication_report.ok() ? 0 : 2;
   }
 
   if (crash_recovery) {
