@@ -8,12 +8,20 @@
 // percentiles:
 //
 //   bench_server [--docs N] [--clients C] [--jobs J] [--drift D]
-//                [--tenants T] [--out F]
+//                [--tenants T] [--flood-tenant] [--out F]
 //
 // `--tenants T` (default 1) boots T tenant shards (t0..t{T-1}) and
 // spreads the load round-robin over `/ingest/t{i}` — a mixed
 // multi-tenant workload over the shared thread pool, with evolutions
 // and repository sizes summed across shards in the report.
+//
+// `--flood-tenant` measures overload isolation rather than raw
+// throughput: an extra rate-limited "flood" shard is hammered by two
+// hostile threads for the whole run while the measured clients drive
+// the t{i} shards as usual. The reported p50/p99 are the well-behaved
+// tenants' latencies under abuse — compare against a run without the
+// flag to see what neighbor abuse costs — and the JSON gains the
+// flood's sent/admitted/429 tallies.
 //
 // Output: one JSON object on stdout, duplicated to --out (default
 // BENCH_server.json) — docs/sec, p50/p99 latency in ms, how many
@@ -51,6 +59,7 @@ struct LoadOptions {
   size_t jobs = 4;
   double drift = 0.3;
   size_t tenants = 1;
+  bool flood_tenant = false;
   std::string out = "BENCH_server.json";
 };
 
@@ -165,10 +174,20 @@ int Run(const LoadOptions& options) {
   server_options.port = 0;
   server_options.jobs = options.jobs;
   server_options.queue_capacity = std::max<size_t>(64, options.clients * 8);
-  if (options.tenants > 1) {
+  if (options.tenants > 1 || options.flood_tenant) {
     for (size_t t = 0; t < options.tenants; ++t) {
       server_options.tenants.push_back("t" + std::to_string(t));
     }
+  }
+  if (options.flood_tenant) {
+    // The abuser gets its own shard behind a token bucket; the measured
+    // tenants stay unquota'd, so any latency they lose to the flood is
+    // shared-infrastructure cost, not admission policy.
+    server_options.tenants.push_back("flood");
+    server::TenantQuota quota;
+    quota.rate = 200.0;
+    quota.burst = 50.0;
+    server_options.tenant_quotas["flood"] = quota;
   }
   server::IngestServer server(source_options, server_options);
   {
@@ -199,6 +218,33 @@ int Run(const LoadOptions& options) {
   std::vector<std::vector<double>> latencies(options.clients);
   const auto start = std::chrono::steady_clock::now();
 
+  // Hostile neighbor: hammers the quota'd flood shard for the whole
+  // measured run, fire-and-forget (no wait=1) — the abuse pattern the
+  // admission layer exists for. Its tallies are reported, not gated.
+  std::atomic<bool> flood_stop{false};
+  std::atomic<uint64_t> flood_sent{0};
+  std::atomic<uint64_t> flood_admitted{0};
+  std::atomic<uint64_t> flood_limited{0};
+  std::vector<std::thread> flooders;
+  if (options.flood_tenant) {
+    for (int f = 0; f < 2; ++f) {
+      flooders.emplace_back([&] {
+        BenchClient client(server.port());
+        const std::string body =
+            "<mail><from>f</from><to>t</to><body>flood</body></mail>";
+        while (!flood_stop.load(std::memory_order_relaxed)) {
+          const int status = client.Post("/ingest/flood", body, nullptr);
+          flood_sent.fetch_add(1);
+          if (status == 202) {
+            flood_admitted.fetch_add(1);
+          } else if (status == 429) {
+            flood_limited.fetch_add(1);
+          }
+        }
+      });
+    }
+  }
+
   std::vector<std::thread> clients;
   clients.reserve(options.clients);
   for (size_t c = 0; c < options.clients; ++c) {
@@ -210,7 +256,7 @@ int Run(const LoadOptions& options) {
         if (i >= bodies.size()) break;
         // Mixed multi-tenant load: document i goes to shard i mod T.
         const std::string target =
-            options.tenants > 1
+            options.tenants > 1 || options.flood_tenant
                 ? "/ingest/t" + std::to_string(i % options.tenants) + "?wait=1"
                 : "/ingest?wait=1";
         const auto t0 = std::chrono::steady_clock::now();
@@ -241,6 +287,8 @@ int Run(const LoadOptions& options) {
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  flood_stop.store(true);
+  for (std::thread& t : flooders) t.join();
 
   server.Shutdown();
   server.Wait();
@@ -259,21 +307,27 @@ int Run(const LoadOptions& options) {
     evolutions += server.source(tenant).evolutions_performed();
     repository += server.source(tenant).repository().size();
   }
-  char json[704];
+  char json[896];
   std::snprintf(
       json, sizeof(json),
       "{\"benchmark\":\"server_ingest\",\"docs\":%zu,\"clients\":%zu,"
       "\"jobs\":%zu,\"drift\":%g,\"tenants\":%zu,\"seconds\":%.3f,"
       "\"docs_per_second\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
       "\"rejected_503\":%llu,\"backoff_ms\":%llu,\"failed\":%llu,"
-      "\"evolutions\":%llu,\"repository\":%zu}\n",
+      "\"evolutions\":%llu,\"repository\":%zu,\"flood_tenant\":%d,"
+      "\"flood_sent\":%llu,\"flood_admitted\":%llu,"
+      "\"flood_limited_429\":%llu}\n",
       options.docs, options.clients, options.jobs, options.drift,
       options.tenants, elapsed, docs_per_second, Percentile(all, 0.50),
       Percentile(all, 0.99),
       static_cast<unsigned long long>(rejected.load()),
       static_cast<unsigned long long>(backoff_ms_total.load()),
       static_cast<unsigned long long>(failed.load()),
-      static_cast<unsigned long long>(evolutions), repository);
+      static_cast<unsigned long long>(evolutions), repository,
+      options.flood_tenant ? 1 : 0,
+      static_cast<unsigned long long>(flood_sent.load()),
+      static_cast<unsigned long long>(flood_admitted.load()),
+      static_cast<unsigned long long>(flood_limited.load()));
   std::fputs(json, stdout);
   if (!options.out.empty()) {
     if (std::FILE* f = std::fopen(options.out.c_str(), "w")) {
@@ -316,6 +370,8 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr || std::atol(v) <= 0) return 1;
       options.tenants = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--flood-tenant") {
+      options.flood_tenant = true;
     } else if (arg == "--out") {
       const char* v = value();
       if (v == nullptr) return 1;
@@ -323,7 +379,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_server [--docs N] [--clients C] [--jobs J] "
-                   "[--drift D] [--tenants T] [--out F]\n");
+                   "[--drift D] [--tenants T] [--flood-tenant] [--out F]\n");
       return 1;
     }
   }

@@ -1,0 +1,81 @@
+#ifndef DTDEVOLVE_CHECK_OVERLOAD_H_
+#define DTDEVOLVE_CHECK_OVERLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/oracle.h"
+
+namespace dtdevolve::check {
+
+/// Overload-resilience oracle (`dtdevolve check --overload`): each
+/// scenario boots a real in-process `IngestServer` (ephemeral port,
+/// WAL in a scratch directory) and abuses it over actual HTTP, then
+/// asserts the overload contract:
+///
+///   overload-status-codes — every rejection a hostile client observes
+///     is one of the documented codes (413 over the document-size
+///     quota, 429 over the ingest rate, 503 at the connection cap /
+///     pipeline cap / full queue / failed or read-only WAL), and every
+///     429/503 carries `Retry-After`;
+///   overload-isolation / overload-exactly-once — a well-behaved victim
+///     tenant flooded from a neighboring tenant loses nothing: its
+///     acked documents land exactly once, proven by fingerprinting the
+///     victim shard against a sequential replay of exactly the acked
+///     bodies in ack order;
+///   overload-quota-accounting — the tenant-labeled rejection counters
+///     equal the rejections the clients actually observed, and the
+///     token bucket never admits more than burst + rate · elapsed;
+///   overload-connection-cap — accepts over `--max-connections` get an
+///     immediate 503 and a close, and accepting resumes as soon as a
+///     slot frees;
+///   overload-loop-stall — the event loop answers a health probe within
+///     the scenario deadline at every point of the abuse;
+///   overload-readiness — `/healthz?ready=1` reports 503 while a shard
+///     is degraded or read-only (injected WAL faults, `io/fault.h`) and
+///     returns to 200 after the fault clears (the recovery probe);
+///   overload-eviction-recovery — a run whose WAL contains repository
+///     eviction records recovers byte-identically from disk, twice
+///     (idempotence), including evictions logged after a checkpoint.
+///
+/// Scenario kinds rotate by seed: rate-limit flood beside a victim,
+/// oversized bodies, connection churn against the cap, WAL faults
+/// mid-flood (degraded → read-only → recovered), and repository-quota
+/// eviction with crash recovery. All randomness derives from the
+/// scenario seed.
+struct OverloadOracleOptions {
+  /// Number of scenarios `RunOverloadOracle` derives from `seed`.
+  uint64_t scenarios = 100;
+  uint64_t seed = 1;
+  /// Caps the documents each scenario sends (0 = the kind's default).
+  uint64_t max_documents = 0;
+  /// Stop collecting after this many failing scenarios.
+  uint64_t max_failures = 1;
+};
+
+struct OverloadOracleReport {
+  uint64_t scenarios_run = 0;
+  uint64_t requests = 0;    // HTTP requests driven across all scenarios
+  uint64_t rejections = 0;  // documented 413/429/503 rejections observed
+  uint64_t recoveries = 0;  // shards probed back to ready after a fault
+  uint64_t evictions = 0;   // repository evictions enforced and replayed
+  std::vector<ScenarioResult> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Runs the hostile scenario derived from `scenario_seed`, accumulating
+/// request/rejection/recovery tallies into `*tally` when given.
+ScenarioResult RunOverloadScenario(uint64_t scenario_seed,
+                                   const OverloadOracleOptions& options = {},
+                                   OverloadOracleReport* tally = nullptr);
+
+/// Runs `options.scenarios` scenarios starting at `options.seed`.
+OverloadOracleReport RunOverloadOracle(const OverloadOracleOptions& options = {});
+
+std::string FormatOverloadReport(const OverloadOracleReport& report);
+
+}  // namespace dtdevolve::check
+
+#endif  // DTDEVOLVE_CHECK_OVERLOAD_H_

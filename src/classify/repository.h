@@ -27,6 +27,8 @@ class Repository {
   /// Ids of all stored documents, ascending.
   std::vector<int> Ids() const;
 
+  bool Has(int id) const { return docs_.find(id) != docs_.end(); }
+
   /// Must be called with a valid id.
   const xml::Document& Get(int id) const { return docs_.at(id); }
 
@@ -41,6 +43,19 @@ class Repository {
   void Restore(int id, xml::Document doc) {
     if (id >= next_id_) next_id_ = id + 1;
     docs_.insert_or_assign(id, std::move(doc));
+  }
+
+  /// The id the next `Add` will assign. Persisted in checkpoints: after
+  /// an eviction the counter is ahead of max(id)+1, and replaying WAL
+  /// eviction records (which name explicit ids) against a restored
+  /// repository only lines up when post-restore `Add` calls assign the
+  /// same ids the live run did.
+  int next_id() const { return next_id_; }
+
+  /// Raises the id counter to `next` (never lowers it — restored docs
+  /// may already have pushed it higher).
+  void SetNextId(int next) {
+    if (next > next_id_) next_id_ = next;
   }
 
   void Clear() { docs_.clear(); }

@@ -446,4 +446,15 @@ size_t XmlSource::ReclassifyRepository(size_t jobs) {
   return recovered;
 }
 
+size_t XmlSource::EvictRepositoryDocs(const std::vector<int>& ids) {
+  size_t evicted = 0;
+  for (int id : ids) {
+    if (!repository_.Has(id)) continue;
+    repository_.Take(id);
+    clusterer_.Remove(id);
+    ++evicted;
+  }
+  return evicted;
+}
+
 }  // namespace dtdevolve::core

@@ -104,6 +104,11 @@ class XmlSource {
   void RestoreCounters(uint64_t processed, uint64_t classified,
                        uint64_t evolutions);
   void RestoreRepositoryDoc(int id, xml::Document doc);
+  /// Raises the repository's id counter to `next`. An eviction leaves
+  /// the counter ahead of max(id)+1, so restoring docs alone would
+  /// re-issue ids the live run already assigned — and WAL eviction
+  /// records name explicit ids.
+  void RestoreRepositoryNextId(int next) { repository_.SetNextId(next); }
 
   /// Installs (or clears) loop instrumentation; forwarded to the
   /// classifier and to every recorder, including ones created by later
@@ -252,6 +257,12 @@ class XmlSource {
   /// (≤ 1 ⇒ inline); recording is applied serially in ascending-id order
   /// either way, so the result does not depend on `jobs`.
   size_t ReclassifyRepository(size_t jobs = 1);
+
+  /// Drops the given documents from the repository (quota enforcement
+  /// and replay of the eviction WAL record). Ids not present are skipped
+  /// — re-applying an eviction after a checkpoint that already folded it
+  /// in must be a no-op. Returns how many documents were removed.
+  size_t EvictRepositoryDocs(const std::vector<int>& ids);
 
  private:
   /// The record / check / evolve tail of `Process`, fed a precomputed

@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -144,6 +145,10 @@ Status Follower::Start() {
     state.errors = &registry_->GetCounter(
         "dtdevolve_replication_errors_total",
         "Failed replication polls (transport, decode or apply)", labels);
+    state.backoff_gauge = &registry_->GetGauge(
+        "dtdevolve_replication_backoff_ms",
+        "Current error backoff before this tenant's next poll (0 = healthy)",
+        labels);
   }
   stop_ = false;
   thread_ = std::thread([this] { Loop(); });
@@ -207,7 +212,15 @@ void Follower::Loop() {
         std::lock_guard<std::mutex> check(mutex_);
         if (stop_) break;
       }
-      busy = SyncTenant(tenant, tenants_[tenant]) || busy;
+      TenantState& state = tenants_[tenant];
+      // A tenant inside its error backoff window is skipped — an
+      // unreachable or corrupted primary is retried on the doubling
+      // schedule, not hammered at the poll cadence.
+      if (state.backoff.count() > 0 &&
+          std::chrono::steady_clock::now() < state.next_attempt) {
+        continue;
+      }
+      busy = SyncTenant(tenant, state) || busy;
     }
     lock.lock();
     if (stop_) return;
@@ -218,6 +231,30 @@ void Follower::Loop() {
   }
 }
 
+void Follower::NoteSyncError(TenantState& state) {
+  state.errors->Increment();
+  // Double from the poll cadence up to the cap, then jitter ±25% so
+  // replicas that failed together do not retry together.
+  const auto base = state.backoff.count() == 0
+                        ? config_.poll_interval
+                        : std::min(state.backoff * 2, config_.max_backoff);
+  const long jitter_span = std::max<long>(1, base.count() / 2);
+  const long jittered =
+      base.count() - base.count() / 4 +
+      static_cast<long>(rng_() % static_cast<unsigned long>(jitter_span));
+  state.backoff = std::chrono::milliseconds(jittered);
+  state.next_attempt = std::chrono::steady_clock::now() + state.backoff;
+  if (state.backoff_gauge != nullptr) {
+    state.backoff_gauge->Set(static_cast<double>(state.backoff.count()));
+  }
+}
+
+void Follower::NoteSyncOk(TenantState& state) {
+  if (state.backoff.count() == 0) return;
+  state.backoff = std::chrono::milliseconds(0);
+  if (state.backoff_gauge != nullptr) state.backoff_gauge->Set(0.0);
+}
+
 bool Follower::SyncTenant(const std::string& tenant, TenantState& state) {
   const std::string tenant_query = "tenant=" + UrlEncode(tenant);
 
@@ -225,17 +262,17 @@ bool Follower::SyncTenant(const std::string& tenant, TenantState& state) {
     StatusOr<HttpClientResponse> response =
         Get("/replication/checkpoint?" + tenant_query);
     if (!response.ok() || response->status != 200) {
-      state.errors->Increment();
+      NoteSyncError(state);
       return false;
     }
     StatusOr<store::CheckpointData> data =
         store::DecodeCheckpointBlob(response->body);
     if (!data.ok()) {
-      state.errors->Increment();
+      NoteSyncError(state);
       return false;
     }
     if (!manager_->BootstrapFromCheckpoint(tenant, *data).ok()) {
-      state.errors->Increment();
+      NoteSyncError(state);
       return false;
     }
     state.bootstrapped = true;
@@ -248,17 +285,19 @@ bool Follower::SyncTenant(const std::string& tenant, TenantState& state) {
       "&from_lsn=" + std::to_string(applied + 1) +
       "&max_bytes=" + std::to_string(config_.page_bytes));
   if (!response.ok()) {
-    state.errors->Increment();
+    NoteSyncError(state);
     return false;
   }
   if (response->status == 410) {
     // The LSN we need was checkpoint-truncated on the primary — the only
-    // way forward is the newer checkpoint.
+    // way forward is the newer checkpoint. The primary did answer, so
+    // this is progress, not an error.
+    NoteSyncOk(state);
     state.bootstrapped = false;
     return true;
   }
   if (response->status != 200) {
-    state.errors->Increment();
+    NoteSyncError(state);
     return false;
   }
 
@@ -271,7 +310,7 @@ bool Follower::SyncTenant(const std::string& tenant, TenantState& state) {
     StatusOr<bool> ok =
         manager_->ApplyReplicated(tenant, record.lsn, record.payload);
     if (!ok.ok()) {
-      state.errors->Increment();
+      NoteSyncError(state);
       if (ok.status().code() == Status::Code::kFailedPrecondition) {
         // An LSN gap means this lineage can't be extended — start over
         // from the primary's checkpoint.
@@ -281,6 +320,8 @@ bool Follower::SyncTenant(const std::string& tenant, TenantState& state) {
     }
     if (*ok) state.applied->Increment();
   }
+
+  NoteSyncOk(state);
 
   // Lag against the primary's live head, from the page header.
   const std::string* next_header = response->FindHeader("x-dtdevolve-next-lsn");

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +29,12 @@ struct FollowerConfig {
   std::chrono::milliseconds poll_interval{500};
   /// Requested WAL page size per poll.
   uint64_t page_bytes = 1 << 20;
+  /// Error backoff ceiling. A tenant whose poll fails (transport,
+  /// decode or apply) waits poll_interval, then doubles per consecutive
+  /// failure up to this cap, with ±25% jitter so a fleet of replicas
+  /// does not re-converge on a recovering primary in lockstep. Any
+  /// successful poll resets the tenant to the plain cadence.
+  std::chrono::milliseconds max_backoff{30000};
 };
 
 /// The replication client of a read replica: one background thread that,
@@ -68,16 +75,26 @@ class Follower {
  private:
   struct TenantState {
     bool bootstrapped = false;
+    /// Current error backoff (zero while healthy) and the deadline
+    /// before which Loop skips this tenant's polls.
+    std::chrono::milliseconds backoff{0};
+    std::chrono::steady_clock::time_point next_attempt;
     obs::Gauge* lag = nullptr;
     obs::Counter* applied = nullptr;
     obs::Counter* bootstraps = nullptr;
     obs::Counter* errors = nullptr;
+    obs::Gauge* backoff_gauge = nullptr;
   };
 
   void Loop();
   /// One poll round for one tenant; true when a full page suggests more
   /// data is immediately available (catch-up mode skips the sleep).
   bool SyncTenant(const std::string& tenant, TenantState& state);
+  /// Counts the error and doubles this tenant's backoff (capped,
+  /// jittered); polls before the deadline are skipped.
+  void NoteSyncError(TenantState& state);
+  /// Clears the backoff after any successful poll.
+  void NoteSyncOk(TenantState& state);
   StatusOr<HttpClientResponse> Get(const std::string& target);
   void Disconnect();
 
@@ -90,6 +107,7 @@ class Follower {
   int fd_ = -1;  // keep-alive connection to the primary (loop thread only)
 
   std::map<std::string, TenantState> tenants_;
+  std::minstd_rand rng_{std::random_device{}()};  // backoff jitter (loop thread)
 
   std::thread thread_;
   std::mutex mutex_;

@@ -70,6 +70,13 @@ SourceManagerOptions ManagerOptions(const ServerOptions& options) {
   manager_options.checkpoint_interval = options.checkpoint_interval;
   manager_options.checkpoint_on_shutdown = options.checkpoint_on_shutdown;
   manager_options.auto_induce_threshold = options.auto_induce_threshold;
+  manager_options.tenant_rate = options.tenant_rate;
+  manager_options.tenant_burst = options.tenant_burst;
+  manager_options.max_doc_bytes = options.max_doc_bytes;
+  manager_options.max_repository_docs = options.max_repository_docs;
+  manager_options.repository_policy = options.repository_policy;
+  manager_options.tenant_quotas = options.tenant_quotas;
+  manager_options.health_probe_interval = options.health_probe_interval;
   if (!options.follow_url.empty()) {
     // A replica owns no durable state — the primary does. Its shards
     // run WAL-less and snapshot-less, fed only by replicated records.
@@ -314,6 +321,12 @@ Status IngestServer::Start() {
   conns_timed_out_ = &registry_.GetCounter(
       "dtdevolve_http_connection_timeouts_total",
       "Connections closed on an idle, read-stall or write-stall deadline");
+  conns_rejected_ = &registry_.GetCounter(
+      "dtdevolve_http_connections_rejected_total",
+      "Accepts answered 503-and-close at the connection cap");
+  accept_stalls_ = &registry_.GetCounter(
+      "dtdevolve_http_accept_stalls_total",
+      "Listener backoffs after accept failed on fd exhaustion");
   conns_open_ = &registry_.GetGauge("dtdevolve_http_connections_open",
                                     "Connections currently multiplexed");
 
@@ -322,6 +335,7 @@ Status IngestServer::Start() {
   // one-shot wake write, so it has to rearm with the new pipe.
   shutdown_requested_.store(false);
   draining_ = false;
+  listener_armed_ = true;
   conns_.clear();
   completions_.clear();
   event_thread_ = std::thread([this] { EventLoop(); });
@@ -406,6 +420,7 @@ void IngestServer::EventLoop() {
 
     if (shutdown_requested_.load() && !draining_) StartDrain();
     if (accept_ready && !draining_) AcceptReady();
+    if (!draining_) RearmListenerIfDue();
 
     CloseExpiredConns();
 
@@ -420,7 +435,22 @@ void IngestServer::AcceptReady() {
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOMEM ||
+          errno == ENOBUFS) {
+        // Out of fds (or kernel memory): the pending connection stays in
+        // the backlog, so a level-triggered listener would wake the loop
+        // on every epoll_wait without ever making progress. Park the
+        // listener on a timed backoff instead; by the re-arm an
+        // established connection has usually closed and freed an fd.
+        DisarmListener();
+        break;
+      }
       break;
+    }
+    if (options_.max_connections > 0 &&
+        conns_.size() >= options_.max_connections) {
+      RejectConnection(fd);
+      continue;
     }
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
@@ -441,12 +471,65 @@ void IngestServer::AcceptReady() {
   }
 }
 
+void IngestServer::RejectConnection(int fd) {
+  // The socket never joins the event loop: one best-effort synchronous
+  // write of the 503 (a fresh connection's send buffer is empty, so a
+  // response this small does not block), then close. Truncation under a
+  // SYN flood is acceptable — the close itself is the backoff signal.
+  HttpResponse response{
+      503,
+      "application/json",
+      {{"Retry-After", std::to_string(options_.retry_after_seconds)}},
+      "{\"error\":\"connection limit reached\"}\n"};
+  const std::string bytes =
+      SerializeHttpResponse(response, /*keep_alive=*/false);
+  [[maybe_unused]] ssize_t n =
+      ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  ::close(fd);
+  conns_rejected_->Increment();
+}
+
+/// Listener backoff after fd exhaustion, folded into the epoll budget.
+constexpr int kListenerRearmMs = 100;
+
+void IngestServer::DisarmListener() {
+  if (!listener_armed_ || listen_fd_ < 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  listener_armed_ = false;
+  listener_rearm_at_ = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(kListenerRearmMs);
+  accept_stalls_->Increment();
+}
+
+void IngestServer::RearmListenerIfDue() {
+  if (listener_armed_ || listen_fd_ < 0) return;
+  if (std::chrono::steady_clock::now() < listener_rearm_at_) return;
+  struct epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = EPOLLIN;
+  event.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &event) == 0) {
+    listener_armed_ = true;
+    // The backlog accumulated during the stall; drain it now instead of
+    // waiting for the next epoll wake.
+    AcceptReady();
+  } else {
+    // Still starved (epoll_ctl itself can fail on ENOMEM) — back off
+    // again.
+    listener_rearm_at_ = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(kListenerRearmMs);
+  }
+}
+
 void IngestServer::StartDrain() {
   draining_ = true;
   // No new connections: the listener goes down first, so clients fail
   // fast to another replica instead of queueing behind a dying server.
   if (listen_fd_ >= 0) {
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    if (listener_armed_) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    }
+    listener_armed_ = false;
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
@@ -500,6 +583,7 @@ void IngestServer::HandleReadable(Connection* conn) {
 }
 
 void IngestServer::ProcessInput(Connection* conn) {
+  size_t served_this_pass = 0;
   while (!conn->close_after_flush && !conn->waiting_apply) {
     if (conn->in.empty()) break;
     HttpRequest request;
@@ -521,6 +605,25 @@ void IngestServer::ProcessInput(Connection* conn) {
     }
     conn->in.erase(0, parsed.consumed);
     const bool keep_alive = parsed.keep_alive && !draining_ && !conn->saw_eof;
+
+    if (options_.max_pipeline_depth > 0 &&
+        served_this_pass >= options_.max_pipeline_depth) {
+      // The client stuffed more requests into one burst than the server
+      // is willing to keep in flight. The overflow request gets a 503
+      // (its predecessors' responses are already buffered, in order)
+      // and the connection closes after the flush.
+      HttpResponse response{
+          503,
+          "application/json",
+          {{"Retry-After", std::to_string(options_.retry_after_seconds)}},
+          "{\"error\":\"pipeline depth limit reached\"}\n"};
+      CountRequest(PathLabel(request.path), response.status);
+      conn->out += SerializeHttpResponse(response, /*keep_alive=*/false);
+      conn->last_activity = std::chrono::steady_clock::now();
+      conn->close_after_flush = true;
+      break;
+    }
+    ++served_this_pass;
 
     RouteResult routed = Route(request, conn->fd, conn->id, keep_alive);
     if (routed.async) {
@@ -638,6 +741,14 @@ int IngestServer::TimeoutBudgetMs() const {
   using std::chrono::milliseconds;
   const steady_clock::time_point now = steady_clock::now();
   long best = 1000;  // periodic tick: cheap, bounds every deadline check
+  if (!listener_armed_ && listen_fd_ >= 0) {
+    // A parked listener re-arms on a deadline, not on an epoll event —
+    // the wait budget must not sleep past it.
+    const long remaining =
+        std::chrono::duration_cast<milliseconds>(listener_rearm_at_ - now)
+            .count();
+    if (remaining < best) best = remaining;
+  }
   for (const auto& entry : conns_) {
     const Connection* conn = entry.second.get();
     int seconds = 0;
@@ -701,6 +812,10 @@ IngestServer::RouteResult IngestServer::Route(const HttpRequest& request,
                                               int fd, uint64_t conn_id,
                                               bool keep_alive) {
   if (request.path == "/healthz") {
+    // Liveness (bare) answers 200 while the event loop turns at all;
+    // readiness (?ready=1) also vouches that the server can do useful
+    // work right now.
+    if (request.QueryFlag("ready")) return {false, HandleReady()};
     return {false, {200, "text/plain; charset=utf-8", {}, "ok\n"}};
   }
   if (follower_ != nullptr && request.method == "POST") {
@@ -754,13 +869,6 @@ IngestServer::RouteResult IngestServer::Route(const HttpRequest& request,
 
 IngestServer::RouteResult IngestServer::HandleIngest(
     const HttpRequest& request, int fd, uint64_t conn_id, bool keep_alive) {
-  StatusOr<xml::Document> doc = xml::ParseDocument(request.body);
-  if (!doc.ok()) {
-    return {false,
-            {400, "application/json", {},
-             "{\"error\":\"" + JsonEscape(doc.status().ToString()) + "\"}\n"}};
-  }
-
   // `/ingest/{tenant}` wins over `?tenant=`; both empty means anonymous
   // traffic, which the manager routes (single shard / "default" shard /
   // consistent hash of the root tag).
@@ -769,6 +877,22 @@ IngestServer::RouteResult IngestServer::HandleIngest(
     tenant = request.path.substr(std::strlen("/ingest/"));
   }
   if (tenant.empty()) tenant = request.QueryValue("tenant");
+
+  // The size quota runs before the parse: an over-quota body must not
+  // cost the event thread parser time.
+  if (!manager_.AdmitDocSize(tenant, request.body.size())) {
+    return {false,
+            {413, "application/json", {},
+             "{\"error\":\"document exceeds the per-tenant size "
+             "quota\"}\n"}};
+  }
+
+  StatusOr<xml::Document> doc = xml::ParseDocument(request.body);
+  if (!doc.ok()) {
+    return {false,
+            {400, "application/json", {},
+             "{\"error\":\"" + JsonEscape(doc.status().ToString()) + "\"}\n"}};
+  }
 
   const bool wait = request.QueryFlag("wait");
   SourceManager::EnqueueResult enqueued =
@@ -792,6 +916,19 @@ IngestServer::RouteResult IngestServer::HandleIngest(
                {{"Retry-After", std::to_string(options_.retry_after_seconds)}},
                "{\"error\":\"write-ahead log append failed: " +
                    JsonEscape(enqueued.error) + "\"}\n"}};
+    case SourceManager::EnqueueCode::kRateLimited:
+      return {false,
+              {429,
+               "application/json",
+               {{"Retry-After", std::to_string(options_.retry_after_seconds)}},
+               "{\"error\":\"tenant ingest rate limit exceeded\"}\n"}};
+    case SourceManager::EnqueueCode::kReadOnly:
+      return {false,
+              {503,
+               "application/json",
+               {{"Retry-After", std::to_string(options_.retry_after_seconds)}},
+               "{\"error\":\"shard is read-only (write-ahead log "
+               "unavailable)\"}\n"}};
     case SourceManager::EnqueueCode::kOk:
       break;
   }
@@ -1006,6 +1143,32 @@ HttpResponse IngestServer::HandleStats(const HttpRequest& request) {
   }
   body += "}}\n";
   return {200, "application/json", {}, body};
+}
+
+HttpResponse IngestServer::HandleReady() {
+  // Runs on the event thread, so conns_ is safe to read without a lock.
+  const bool saturated = options_.max_connections > 0 &&
+                         conns_.size() >= options_.max_connections;
+  bool shards_ok = true;
+  std::string shards = "{";
+  bool first = true;
+  for (const SourceManager::ShardHealthInfo& info : manager_.HealthReport()) {
+    if (info.health != ShardHealth::kOk) shards_ok = false;
+    if (!first) shards += ',';
+    first = false;
+    shards += "\"" + JsonEscape(info.tenant) + "\":\"" +
+              ShardHealthName(info.health) + "\"";
+  }
+  shards += "}";
+  const bool ready = shards_ok && !saturated;
+  std::string body = "{\"ready\":";
+  body += ready ? "true" : "false";
+  body += ",\"connections\":{\"open\":" + std::to_string(conns_.size());
+  body += ",\"limit\":" + std::to_string(options_.max_connections);
+  body += ",\"saturated\":";
+  body += saturated ? "true" : "false";
+  body += "},\"shards\":" + shards + "}\n";
+  return {ready ? 200 : 503, "application/json", {}, std::move(body)};
 }
 
 // --- Replication endpoints ------------------------------------------------

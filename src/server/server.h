@@ -42,6 +42,40 @@ struct ServerOptions {
   size_t max_body_bytes = 4 * 1024 * 1024;
   /// Advertised on 503 responses.
   int retry_after_seconds = 1;
+
+  // --- Admission control (event-loop overload guards; 0 disables each) -----
+
+  /// Connections multiplexed at once. An accept over the cap is answered
+  /// an immediate 503 + `Retry-After` and closed — it never joins the
+  /// event loop, so a connection flood cannot starve established
+  /// clients.
+  size_t max_connections = 0;
+  /// Pipelined requests answered per connection per read pass. A client
+  /// that stuffs more requests than this into one burst gets a 503 for
+  /// the overflow request and the connection is closed after the flush.
+  size_t max_pipeline_depth = 0;
+
+  // --- Per-tenant quotas (SourceManagerOptions; 0 disables each) -----------
+
+  /// Process-wide default ingest rate (documents/second, token bucket)
+  /// per tenant shard; over-rate ingests answer 429 + `Retry-After`.
+  double tenant_rate = 0.0;
+  /// Token-bucket burst capacity; defaults to max(1, tenant_rate).
+  double tenant_burst = 0.0;
+  /// Largest accepted ingest document per tenant — enforced *before*
+  /// the XML parse (413), so an oversized body costs no parser time.
+  size_t max_doc_bytes = 0;
+  /// Bound on each shard's unclassified-document repository; enforced
+  /// after every batch under `repository_policy`, WAL-logged so
+  /// recovery replays to the identical bounded state.
+  size_t max_repository_docs = 0;
+  RepositoryQuotaPolicy repository_policy = RepositoryQuotaPolicy::kEvictOldest;
+  /// Per-tenant overrides of the four defaults above (negative fields
+  /// inherit).
+  std::map<std::string, TenantQuota> tenant_quotas;
+  /// Cadence of the degraded-shard recovery probe (a real WAL append
+  /// that replays as a no-op); zero disables probing.
+  std::chrono::milliseconds health_probe_interval{200};
   /// Directory for extended-DTD snapshots (one `<name>.dtdstate` per
   /// DTD, under a per-tenant subdirectory unless single-"default"):
   /// written atomically on shutdown (and via `SnapshotNow`), restored
@@ -313,6 +347,15 @@ class IngestServer {
 
   void EventLoop();
   void AcceptReady();
+  /// 503 + `Retry-After` written straight to a just-accepted socket that
+  /// will not join the loop (connection cap), then close.
+  void RejectConnection(int fd);
+  /// Deregisters the listener from epoll for a short, timed backoff —
+  /// the fd-exhaustion path. Level-triggered epoll would otherwise spin
+  /// on a listener whose accepts can only fail.
+  void DisarmListener();
+  /// Re-registers the listener once the backoff elapsed.
+  void RearmListenerIfDue();
   void StartDrain();
   /// Read until EAGAIN, then parse/dispatch/flush. Every return path
   /// except "connection closed" leaves the epoll mask in sync.
@@ -342,6 +385,9 @@ class IngestServer {
   HttpResponse HandleInduce(const HttpRequest& request);
   HttpResponse HandleCandidates(const HttpRequest& request);
   HttpResponse HandleStats(const HttpRequest& request);
+  /// `/healthz?ready=1`: 200 only when every shard is `ok` and the event
+  /// loop has connection headroom; otherwise 503 with a JSON breakdown.
+  HttpResponse HandleReady();
   HttpResponse HandleReplicationCheckpoint(const HttpRequest& request);
   HttpResponse HandleReplicationWal(const HttpRequest& request);
   void CountRequest(const std::string& path, int status);
@@ -366,6 +412,10 @@ class IngestServer {
   std::map<int, std::unique_ptr<Connection>> conns_;
   uint64_t next_conn_id_ = 0;
   bool draining_ = false;
+  /// Listener backoff after EMFILE/ENFILE: deregistered until the
+  /// deadline, then re-armed (folded into the epoll wait budget).
+  bool listener_armed_ = true;
+  std::chrono::steady_clock::time_point listener_rearm_at_;
 
   std::mutex completion_mutex_;
   std::vector<WaitCompletion> completions_;
@@ -375,6 +425,8 @@ class IngestServer {
   // Connection metric handles (wired in Start).
   obs::Counter* conns_accepted_ = nullptr;
   obs::Counter* conns_timed_out_ = nullptr;
+  obs::Counter* conns_rejected_ = nullptr;
+  obs::Counter* accept_stalls_ = nullptr;
   obs::Gauge* conns_open_ = nullptr;
 };
 

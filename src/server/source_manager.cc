@@ -6,6 +6,7 @@
 #include "dtd/dtd_writer.h"
 #include "evolve/persist.h"
 #include "io/file.h"
+#include "store/evict_record.h"
 #include "store/induce_record.h"
 #include "util/crc32.h"
 
@@ -50,6 +51,18 @@ std::string SafeFileComponent(const std::string& name) {
   return out;
 }
 
+const char* ShardHealthName(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kOk:
+      return "ok";
+    case ShardHealth::kDegraded:
+      return "degraded";
+    case ShardHealth::kReadOnly:
+      return "read_only";
+  }
+  return "unknown";
+}
+
 SourceManager::SourceManager(core::SourceOptions source_options,
                              SourceManagerOptions options)
     : source_options_(std::move(source_options)),
@@ -78,6 +91,25 @@ SourceManager::SourceManager(core::SourceOptions source_options,
     auto shard = std::make_unique<Shard>(source_options_);
     shard->name = tenant;
     shard->dir_component = SafeFileComponent(tenant);
+    // Resolve the shard's quota once: named override over process
+    // default, negative override fields inheriting.
+    TenantQuota quota;
+    const auto quota_it = options_.tenant_quotas.find(tenant);
+    if (quota_it != options_.tenant_quotas.end()) quota = quota_it->second;
+    shard->rate_limit = quota.rate >= 0 ? quota.rate : options_.tenant_rate;
+    shard->bucket_capacity =
+        quota.burst >= 0 ? quota.burst : options_.tenant_burst;
+    if (shard->rate_limit > 0 && shard->bucket_capacity <= 0) {
+      shard->bucket_capacity = std::max(1.0, shard->rate_limit);
+    }
+    shard->tokens = shard->bucket_capacity;
+    shard->max_doc_bytes = quota.max_doc_bytes >= 0
+                               ? static_cast<size_t>(quota.max_doc_bytes)
+                               : options_.max_doc_bytes;
+    shard->max_repository_docs =
+        quota.max_repository_docs >= 0
+            ? static_cast<size_t>(quota.max_repository_docs)
+            : options_.max_repository_docs;
     by_name_[tenant] = shard.get();
     if (tenant == "default") default_shard_ = shard.get();
     shards_.push_back(std::move(shard));
@@ -253,6 +285,21 @@ void SourceManager::WireShardMetrics(Shard& shard, obs::Registry* registry) {
   shard.requests_rejected = &registry->GetCounter(
       "dtdevolve_ingest_rejected_total",
       "Ingest requests rejected with 503 (queue full)", labels);
+  shard.rate_limited = &registry->GetCounter(
+      "dtdevolve_ingest_rate_limited_total",
+      "Ingest requests rejected with 429 (token bucket empty)", labels);
+  shard.doc_too_large = &registry->GetCounter(
+      "dtdevolve_ingest_doc_too_large_total",
+      "Ingest requests rejected with 413 (body over the document-size "
+      "quota)",
+      labels);
+  shard.evictions = &registry->GetCounter(
+      "dtdevolve_repository_evictions_total",
+      "Repository documents evicted to enforce the repository quota",
+      labels);
+  shard.read_only_rejected = &registry->GetCounter(
+      "dtdevolve_ingest_read_only_rejected_total",
+      "Ingest requests rejected while the shard was read-only", labels);
   shard.queue_depth = &registry->GetGauge(
       "dtdevolve_ingest_queue_depth",
       "Documents waiting in the ingest queue", labels);
@@ -427,6 +474,11 @@ Status SourceManager::Start(obs::Registry* registry) {
   if (!options_.wal_dir.empty() && options_.checkpoint_interval.count() > 0) {
     checkpoint_thread_ = std::thread([this] { CheckpointLoop(); });
   }
+  if (!options_.wal_dir.empty() &&
+      options_.health_probe_interval.count() > 0) {
+    health_stop_ = false;
+    health_thread_ = std::thread([this] { HealthProbeLoop(); });
+  }
   started_ = true;
   return Status::Ok();
 }
@@ -472,6 +524,35 @@ SourceManager::EnqueueResult SourceManager::Enqueue(
     // apply order) is exactly its LSN order — the invariant WAL replay
     // depends on. Other shards' ingests proceed in parallel.
     std::lock_guard<std::mutex> order(shard->ingest_order_mutex);
+    if (shard->health.load(std::memory_order_relaxed) ==
+        static_cast<int>(ShardHealth::kReadOnly)) {
+      // Appends failed repeatedly; stop hammering the dead disk. The
+      // recovery probe flips the shard back once an append succeeds.
+      shard->read_only_rejected->Increment();
+      result.code = EnqueueCode::kReadOnly;
+      result.waiter = nullptr;
+      return result;
+    }
+    if (shard->rate_limit > 0) {
+      // Token bucket: refill at `rate_limit` docs/sec up to the burst
+      // capacity; one whole token admits one document.
+      const auto now = std::chrono::steady_clock::now();
+      if (shard->bucket_refilled.time_since_epoch().count() != 0) {
+        const double elapsed =
+            std::chrono::duration<double>(now - shard->bucket_refilled)
+                .count();
+        shard->tokens = std::min(shard->bucket_capacity,
+                                 shard->tokens + elapsed * shard->rate_limit);
+      }
+      shard->bucket_refilled = now;
+      if (shard->tokens < 1.0) {
+        shard->rate_limited->Increment();
+        result.code = EnqueueCode::kRateLimited;
+        result.waiter = nullptr;
+        return result;
+      }
+      shard->tokens -= 1.0;
+    }
     {
       std::lock_guard<std::mutex> lock(shard->queue_mutex);
       if (shard->queue.size() >= options_.queue_capacity) {
@@ -489,14 +570,14 @@ SourceManager::EnqueueResult SourceManager::Enqueue(
       // condition until an append succeeds again.
       StatusOr<uint64_t> lsn = shard->wal->Append(raw_body);
       if (!lsn.ok()) {
-        shard->degraded->Set(1);
+        NoteWalFailure(*shard);
         shard->requests_rejected->Increment();
         result.code = EnqueueCode::kWalError;
         result.error = lsn.status().message();
         result.waiter = nullptr;
         return result;
       }
-      shard->degraded->Set(0);
+      NoteWalSuccess(*shard);
       pending.lsn = *lsn;
     }
     {
@@ -549,6 +630,10 @@ void SourceManager::ProcessPending(Shard& shard,
     for (const PendingDoc& item : pending) {
       if (item.lsn > shard.applied_lsn) shard.applied_lsn = item.lsn;
     }
+    // Eviction records and recovery probes get LSNs out of band (they
+    // are applied at append time, not through the queue); fold any that
+    // became contiguous into the watermark so checkpoints cover them.
+    AbsorbAppliedLsn(shard, shard.applied_lsn);
     // Auto-induction proposes — it never accepts. Gated on "no pending
     // candidates" so a threshold-sized repository doesn't re-cluster on
     // every batch while the operator deliberates.
@@ -558,6 +643,7 @@ void SourceManager::ProcessPending(Shard& shard,
       shard.source->InduceCandidates();
     }
   }
+  EnforceRepositoryQuota(shard);
   const auto now = std::chrono::steady_clock::now();
   shard.batch_seconds->Observe(
       std::chrono::duration<double>(now - batch_start).count());
@@ -650,6 +736,166 @@ void SourceManager::CheckpointLoop() {
   }
 }
 
+void SourceManager::NoteWalFailure(Shard& shard) {
+  const uint64_t failures =
+      shard.wal_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  // One failed append is a degraded shard (clients should retry); three
+  // in a row with no success in between means the disk is gone for now,
+  // and writes are refused up front instead of hammering it.
+  const int next = failures >= 3 ? static_cast<int>(ShardHealth::kReadOnly)
+                                 : static_cast<int>(ShardHealth::kDegraded);
+  shard.health.store(next, std::memory_order_relaxed);
+  if (shard.degraded != nullptr) shard.degraded->Set(next);
+}
+
+void SourceManager::NoteWalSuccess(Shard& shard) {
+  shard.wal_failures.store(0, std::memory_order_relaxed);
+  if (shard.health.exchange(static_cast<int>(ShardHealth::kOk),
+                            std::memory_order_relaxed) !=
+      static_cast<int>(ShardHealth::kOk)) {
+    if (shard.degraded != nullptr) shard.degraded->Set(0);
+  }
+}
+
+void SourceManager::AbsorbAppliedLsn(Shard& shard, uint64_t lsn) {
+  // Caller holds state_mutex. Out-of-band LSNs (evictions, probes) park
+  // in applied_ahead until every record below them has been applied;
+  // only a contiguous prefix may move the checkpointable watermark, or
+  // a checkpoint could claim coverage of still-queued documents.
+  if (lsn > shard.applied_lsn) shard.applied_ahead.insert(lsn);
+  auto it = shard.applied_ahead.begin();
+  while (it != shard.applied_ahead.end()) {
+    if (*it <= shard.applied_lsn) {
+      it = shard.applied_ahead.erase(it);
+    } else if (*it == shard.applied_lsn + 1) {
+      shard.applied_lsn = *it;
+      it = shard.applied_ahead.erase(it);
+    } else {
+      break;
+    }
+  }
+}
+
+void SourceManager::EnforceRepositoryQuota(Shard& shard) {
+  if (shard.max_repository_docs == 0) return;
+  std::vector<int> victims;
+  {
+    std::lock_guard<std::mutex> state(shard.state_mutex);
+    const classify::Repository& repo = shard.source->repository();
+    if (repo.size() <= shard.max_repository_docs) return;
+    const size_t excess = repo.size() - shard.max_repository_docs;
+    std::vector<int> ids = repo.Ids();
+    // kEvictOldest drops the head of the repository (lowest ids);
+    // kRejectNew keeps the established set and drops the newcomers.
+    if (options_.repository_policy == RepositoryQuotaPolicy::kEvictOldest) {
+      victims.assign(ids.begin(), ids.begin() + excess);
+    } else {
+      victims.assign(ids.end() - excess, ids.end());
+    }
+  }
+  uint64_t evict_lsn = 0;
+  if (shard.wal != nullptr) {
+    if (shard.health.load(std::memory_order_relaxed) ==
+        static_cast<int>(ShardHealth::kReadOnly)) {
+      return;  // no log, no eviction — retried after the shard recovers
+    }
+    // Log before evicting: recovery replays the same explicit ids, so
+    // the recovered repository matches the live one even though the
+    // eviction raced queued (lower-LSN) documents. Ids absent at replay
+    // are skipped, which also makes re-application after a checkpoint
+    // a no-op.
+    StatusOr<uint64_t> lsn =
+        shard.wal->Append(store::EncodeEvictRecord(victims));
+    if (!lsn.ok()) {
+      NoteWalFailure(shard);
+      return;
+    }
+    NoteWalSuccess(shard);
+    evict_lsn = *lsn;
+  }
+  {
+    std::lock_guard<std::mutex> state(shard.state_mutex);
+    const size_t evicted = shard.source->EvictRepositoryDocs(victims);
+    if (shard.evictions != nullptr && evicted > 0) {
+      shard.evictions->Increment(static_cast<double>(evicted));
+    }
+    if (evict_lsn != 0) AbsorbAppliedLsn(shard, evict_lsn);
+  }
+}
+
+void SourceManager::HealthProbeLoop() {
+  std::unique_lock<std::mutex> lock(health_wake_mutex_);
+  for (;;) {
+    health_wake_cv_.wait_for(lock, options_.health_probe_interval,
+                             [this] { return health_stop_; });
+    if (health_stop_) return;
+    lock.unlock();
+    for (const auto& shard : shards_) {
+      if (shard->wal == nullptr) continue;
+      if (shard->health.load(std::memory_order_relaxed) ==
+          static_cast<int>(ShardHealth::kOk)) {
+        continue;
+      }
+      // The probe is an empty eviction record: a real append through
+      // the full WAL path (rotate/truncate self-healing included) that
+      // replays as a no-op. Success proves writes work again and
+      // reopens the shard.
+      StatusOr<uint64_t> lsn =
+          shard->wal->Append(store::EncodeEvictRecord({}));
+      if (lsn.ok()) {
+        NoteWalSuccess(*shard);
+        std::lock_guard<std::mutex> state(shard->state_mutex);
+        AbsorbAppliedLsn(*shard, *lsn);
+      } else {
+        shard->health.store(static_cast<int>(ShardHealth::kReadOnly),
+                            std::memory_order_relaxed);
+        if (shard->degraded != nullptr) {
+          shard->degraded->Set(static_cast<int>(ShardHealth::kReadOnly));
+        }
+      }
+    }
+    lock.lock();
+  }
+}
+
+bool SourceManager::AdmitDocSize(const std::string& tenant, size_t bytes) {
+  Shard* shard = ResolveWriteShard(tenant);
+  if (shard == nullptr) {
+    // Unroutable traffic is still bounded by the process-wide default so
+    // an unknown tenant cannot make the server buffer an oversized body.
+    return options_.max_doc_bytes == 0 || bytes <= options_.max_doc_bytes;
+  }
+  if (shard->max_doc_bytes != 0 && bytes > shard->max_doc_bytes) {
+    shard->doc_too_large->Increment();
+    return false;
+  }
+  return true;
+}
+
+std::vector<SourceManager::ShardHealthInfo> SourceManager::HealthReport()
+    const {
+  std::vector<ShardHealthInfo> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardHealthInfo info;
+    info.tenant = shard->name;
+    info.health = static_cast<ShardHealth>(
+        shard->health.load(std::memory_order_relaxed));
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+bool SourceManager::AllShardsOk() const {
+  for (const auto& shard : shards_) {
+    if (shard->health.load(std::memory_order_relaxed) !=
+        static_cast<int>(ShardHealth::kOk)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 Status SourceManager::CheckpointTenant(const std::string& tenant,
                                        uint64_t* captured_lsn) {
   Shard* shard = FindShard(tenant.empty() && !shards_.empty()
@@ -731,10 +977,10 @@ StatusOr<core::XmlSource::AcceptOutcome> SourceManager::AcceptCandidate(
         store::EncodeInduceAcceptRecord(candidate->name, candidate->ext);
     StatusOr<uint64_t> lsn = shard->wal->Append(record);
     if (!lsn.ok()) {
-      shard->degraded->Set(1);
+      NoteWalFailure(*shard);
       return lsn.status();
     }
-    shard->degraded->Set(0);
+    NoteWalSuccess(*shard);
     shard->applied_lsn = *lsn;
   }
   return shard->source->AcceptCandidate(id, options_.jobs);
@@ -786,6 +1032,13 @@ void SourceManager::Drain() {
     }
     checkpoint_wake_cv_.notify_all();
     if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
+
+    {
+      std::lock_guard<std::mutex> lock(health_wake_mutex_);
+      health_stop_ = true;
+    }
+    health_wake_cv_.notify_all();
+    if (health_thread_.joinable()) health_thread_.join();
 
     for (const auto& shard : shards_) {
       if (shard->wal == nullptr) continue;
@@ -1002,7 +1255,7 @@ StatusOr<bool> SourceManager::ApplyReplicated(const std::string& tenant,
         std::to_string(shard->applied_lsn) + ", received LSN " +
         std::to_string(lsn));
   }
-  if (store::IsInduceAcceptRecord(payload)) {
+  if (store::IsInduceAcceptRecord(payload) || store::IsEvictRecord(payload)) {
     DTDEVOLVE_RETURN_IF_ERROR(
         store::ApplyWalRecordToSource(lsn, payload, *shard->source));
   } else {

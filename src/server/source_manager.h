@@ -1,6 +1,7 @@
 #ifndef DTDEVOLVE_SERVER_SOURCE_MANAGER_H_
 #define DTDEVOLVE_SERVER_SOURCE_MANAGER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -10,6 +11,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -36,6 +38,32 @@ namespace dtdevolve::server {
 /// Names that are already safe come back verbatim, which keeps every
 /// pre-existing on-disk layout valid.
 std::string SafeFileComponent(const std::string& name);
+
+/// What to do when a shard's unclassified repository exceeds its quota:
+/// drop the oldest documents (the default — a bounded sliding window of
+/// recent structure) or the newest (reject-new semantics: the overflow
+/// that pushed it past the bound is dropped). Either way the eviction is
+/// WAL-logged with explicit ids (store/evict_record.h) so replay
+/// reproduces the identical bounded state.
+enum class RepositoryQuotaPolicy { kEvictOldest, kRejectNew };
+
+/// Per-tenant quota overrides; negative values inherit the process-wide
+/// defaults in `SourceManagerOptions`.
+struct TenantQuota {
+  double rate = -1.0;            // token-bucket refill, documents/second
+  double burst = -1.0;           // token-bucket capacity
+  long max_doc_bytes = -1;       // pre-parse document body cap
+  long max_repository_docs = -1; // bounded unclassified repository
+};
+
+/// Per-shard health: `kOk` serves everything; `kDegraded` means the
+/// last WAL append failed (writes are still attempted — one success
+/// clears the state); `kReadOnly` means appends failed repeatedly and
+/// writes are rejected outright until the recovery probe — a periodic
+/// no-op WAL append — succeeds. Reads work in every state.
+enum class ShardHealth { kOk = 0, kDegraded = 1, kReadOnly = 2 };
+
+const char* ShardHealthName(ShardHealth health);
 
 /// Configuration of a `SourceManager`. Mirrors the durability half of
 /// `ServerOptions`; the HTTP half stays with `IngestServer`.
@@ -67,6 +95,24 @@ struct SourceManagerOptions {
   /// batch that crossed the threshold — proposals only; accepting stays
   /// an explicit admin decision.
   size_t auto_induce_threshold = 0;
+
+  // --- Per-tenant quota defaults (0 = unlimited) ---------------------------
+  /// Token-bucket ingest rate limit, documents/second per shard.
+  double tenant_rate = 0.0;
+  /// Token-bucket capacity; 0 derives max(1, tenant_rate).
+  double tenant_burst = 0.0;
+  /// Largest accepted document body, checked before parsing.
+  size_t max_doc_bytes = 0;
+  /// Unclassified-repository bound per shard; enforcement per
+  /// `repository_policy`, WAL-logged as eviction records.
+  size_t max_repository_docs = 0;
+  RepositoryQuotaPolicy repository_policy = RepositoryQuotaPolicy::kEvictOldest;
+  /// Named overrides of the defaults above.
+  std::map<std::string, TenantQuota> tenant_quotas;
+
+  /// Cadence of the recovery probe that retries a WAL append on
+  /// degraded/read-only shards; zero disables it.
+  std::chrono::milliseconds health_probe_interval{200};
 };
 
 /// Owns N independent `XmlSource` shards — one per tenant — and runs
@@ -114,6 +160,8 @@ class SourceManager {
     kUnknownTenant,  // explicit tenant that no shard matches
     kQueueFull,      // shard at queue_capacity — back off and retry
     kWalError,       // WAL append failed — NOT acked, shard degraded
+    kRateLimited,    // token bucket empty — retry after the advertised delay
+    kReadOnly,       // shard in read-only health state — writes rejected
   };
 
   struct EnqueueResult {
@@ -203,6 +251,24 @@ class SourceManager {
   /// records (replay re-parses it).
   EnqueueResult Enqueue(const std::string& tenant, xml::Document doc,
                         const std::string& raw_body, bool wait);
+
+  /// Pre-parse admission check for one document body: true when `bytes`
+  /// fits the resolved tenant's document-size quota. A rejection counts
+  /// on the tenant's too-large counter. Anonymous traffic that cannot be
+  /// resolved to a shard before parsing is checked against the
+  /// process-wide default.
+  bool AdmitDocSize(const std::string& tenant, size_t bytes);
+
+  /// One tenant's health state with its shard name.
+  struct ShardHealthInfo {
+    std::string tenant;
+    ShardHealth health = ShardHealth::kOk;
+  };
+
+  /// Health of every shard, in tenant order.
+  std::vector<ShardHealthInfo> HealthReport() const;
+  /// True when every shard is `kOk` — the write-path readiness signal.
+  bool AllShardsOk() const;
 
   /// True when running in backward-compatible single-"default" mode
   /// (unlabeled metrics, root-level storage directories).
@@ -357,6 +423,24 @@ class SourceManager {
     /// shard's is — tenants don't serialize against each other.
     std::mutex ingest_order_mutex;
 
+    // Resolved quota limits (0 = unlimited; tenant override over the
+    // process default, fixed at construction).
+    double rate_limit = 0.0;
+    double bucket_capacity = 0.0;
+    size_t max_doc_bytes = 0;
+    size_t max_repository_docs = 0;
+
+    /// Token bucket (guarded by `ingest_order_mutex`, like the rest of
+    /// the admission path).
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point bucket_refilled;
+
+    /// Health state machine (values of `ShardHealth`): WAL append
+    /// failures walk ok → degraded → read_only; one successful append —
+    /// live ingest or the recovery probe — resets to ok.
+    std::atomic<int> health{0};
+    std::atomic<uint64_t> wal_failures{0};  // consecutive
+
     /// Metric handles wired into `source`, kept so a bootstrap-swapped
     /// replacement source keeps reporting into the same series.
     core::SourceMetrics source_metrics;
@@ -366,6 +450,11 @@ class SourceManager {
     std::map<std::string, uint64_t> ingested_per_dtd;
     std::map<std::string, uint64_t> evolutions_per_dtd;
     uint64_t applied_lsn = 0;  // highest LSN folded into `source`
+    /// LSNs of no-op-safe records (evictions, probes) applied ahead of
+    /// the contiguous watermark while earlier documents still sat in the
+    /// queue; absorbed into `applied_lsn` as the watermark catches up.
+    /// Guarded by `state_mutex`.
+    std::set<uint64_t> applied_ahead;
 
     /// Serializes checkpoint I/O (periodic thread vs explicit calls)
     /// and guards `last_checkpoint_lsn`.
@@ -381,6 +470,10 @@ class SourceManager {
 
     // Hot-path metric handles (tenant-labeled unless backcompat).
     obs::Counter* requests_rejected = nullptr;
+    obs::Counter* rate_limited = nullptr;
+    obs::Counter* doc_too_large = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* read_only_rejected = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Histogram* ingest_seconds = nullptr;
     obs::Histogram* batch_seconds = nullptr;
@@ -413,6 +506,22 @@ class SourceManager {
   void IngestWorker(Shard& shard);
   void ProcessPending(Shard& shard, std::vector<PendingDoc> pending);
   void CheckpointLoop();
+  /// Notes a WAL append failure on `shard`: increments the consecutive
+  /// failure count and walks the health state machine.
+  void NoteWalFailure(Shard& shard);
+  /// Notes a successful WAL append: health back to ok.
+  void NoteWalSuccess(Shard& shard);
+  /// Folds `lsn` into the shard's applied watermark — directly when
+  /// contiguous, via `applied_ahead` otherwise. Caller holds
+  /// `state_mutex`.
+  static void AbsorbAppliedLsn(Shard& shard, uint64_t lsn);
+  /// Bounded-repository enforcement after a batch: picks victims per
+  /// policy, WAL-logs the eviction, applies it. Caller holds
+  /// `state_mutex`.
+  void EnforceRepositoryQuota(Shard& shard);
+  /// The degraded/read-only recovery probe: appends a no-op (empty
+  /// eviction) record; success clears the health state.
+  void HealthProbeLoop();
   std::string SnapshotPathFor(const Shard& shard,
                               const std::string& name) const;
 
@@ -438,6 +547,11 @@ class SourceManager {
   std::mutex checkpoint_wake_mutex_;
   std::condition_variable checkpoint_wake_cv_;
   bool checkpoint_stop_ = false;
+
+  std::thread health_thread_;
+  std::mutex health_wake_mutex_;
+  std::condition_variable health_wake_cv_;
+  bool health_stop_ = false;
 };
 
 }  // namespace dtdevolve::server

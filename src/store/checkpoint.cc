@@ -8,6 +8,7 @@
 
 #include "evolve/persist.h"
 #include "io/file.h"
+#include "store/evict_record.h"
 #include "store/induce_record.h"
 #include "xml/parser.h"
 #include "xml/writer.h"
@@ -100,7 +101,12 @@ std::string SerializeSourceState(const core::XmlSource& source) {
          std::to_string(source.evolutions_performed()) + "\n";
   const classify::Repository& repo = source.repository();
   const std::vector<int> ids = repo.Ids();
-  out += "repository " + std::to_string(ids.size()) + "\n";
+  // The second field is the next id `Add` would assign — after an
+  // eviction it is ahead of max(id)+1, and WAL eviction records name
+  // explicit ids, so replay after restore must keep issuing the same
+  // ids the live run did.
+  out += "repository " + std::to_string(ids.size()) + " " +
+         std::to_string(repo.next_id()) + "\n";
   xml::WriteOptions compact;
   compact.indent = false;
   for (int id : ids) {
@@ -142,7 +148,16 @@ Status RestoreSourceState(core::XmlSource& source, std::string_view data) {
     return Status::ParseError("source state: expected repository line");
   }
   uint64_t count = 0;
-  if (!ParseU64(rest, &count)) {
+  uint64_t next_id = 0;
+  const size_t count_space = rest.find(' ');
+  if (count_space == std::string_view::npos) {
+    // Checkpoints written before the id counter was persisted: the
+    // restored docs alone decide the counter (max id + 1).
+    if (!ParseU64(rest, &count)) {
+      return Status::ParseError("source state: bad repository count");
+    }
+  } else if (!ParseU64(rest.substr(0, count_space), &count) ||
+             !ParseU64(rest.substr(count_space + 1), &next_id)) {
     return Status::ParseError("source state: bad repository count");
   }
   for (uint64_t i = 0; i < count; ++i) {
@@ -170,6 +185,7 @@ Status RestoreSourceState(core::XmlSource& source, std::string_view data) {
     if (offset < data.size() && data[offset] == '\n') ++offset;
     source.RestoreRepositoryDoc(static_cast<int>(id), std::move(*doc));
   }
+  source.RestoreRepositoryNextId(static_cast<int>(next_id));
   return Status::Ok();
 }
 
@@ -381,6 +397,17 @@ Status ApplyWalRecordToSource(uint64_t lsn, std::string_view payload,
       return Status::Internal("WAL record " + std::to_string(lsn) +
                               " no longer applies: " + adopted.message());
     }
+    return Status::Ok();
+  }
+  if (IsEvictRecord(payload)) {
+    StatusOr<std::vector<int>> ids = DecodeEvictRecord(payload);
+    if (!ids.ok()) {
+      return Status::Internal("WAL record " + std::to_string(lsn) +
+                              " no longer applies: " + ids.status().message());
+    }
+    // Ids already gone (a checkpoint below this LSN folded the eviction
+    // in) are skipped — re-applying an eviction is a no-op.
+    source.EvictRepositoryDocs(*ids);
     return Status::Ok();
   }
   StatusOr<core::XmlSource::ProcessOutcome> outcome =

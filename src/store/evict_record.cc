@@ -1,0 +1,85 @@
+#include "store/evict_record.h"
+
+#include <limits>
+
+namespace dtdevolve::store {
+
+namespace {
+
+bool NextLine(std::string_view data, size_t* offset, std::string_view* line) {
+  if (*offset >= data.size()) return false;
+  const size_t end = data.find('\n', *offset);
+  if (end == std::string_view::npos) {
+    *line = data.substr(*offset);
+    *offset = data.size();
+  } else {
+    *line = data.substr(*offset, end - *offset);
+    *offset = end + 1;
+  }
+  return true;
+}
+
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool TakeKeyword(std::string_view line, std::string_view keyword,
+                 std::string_view* rest) {
+  if (line.substr(0, keyword.size()) != keyword) return false;
+  if (line.size() <= keyword.size() || line[keyword.size()] != ' ') {
+    return false;
+  }
+  *rest = line.substr(keyword.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+bool IsEvictRecord(std::string_view payload) {
+  return payload.substr(0, kEvictHeader.size()) == kEvictHeader;
+}
+
+std::string EncodeEvictRecord(const std::vector<int>& ids) {
+  std::string out(kEvictHeader);
+  out.push_back('\n');
+  out += "count " + std::to_string(ids.size()) + "\n";
+  for (int id : ids) {
+    out += std::to_string(id);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+StatusOr<std::vector<int>> DecodeEvictRecord(std::string_view payload) {
+  size_t offset = 0;
+  std::string_view line;
+  std::string_view rest;
+  if (!NextLine(payload, &offset, &line) || line != kEvictHeader) {
+    return Status::ParseError("evict record: bad header");
+  }
+  uint64_t count = 0;
+  if (!NextLine(payload, &offset, &line) ||
+      !TakeKeyword(line, "count", &rest) || !ParseU64(rest, &count)) {
+    return Status::ParseError("evict record: bad count line");
+  }
+  std::vector<int> ids;
+  ids.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    if (!NextLine(payload, &offset, &line) || !ParseU64(line, &id) ||
+        id > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+      return Status::ParseError("evict record: bad id line");
+    }
+    ids.push_back(static_cast<int>(id));
+  }
+  return ids;
+}
+
+}  // namespace dtdevolve::store

@@ -1,0 +1,37 @@
+#ifndef DTDEVOLVE_STORE_EVICT_RECORD_H_
+#define DTDEVOLVE_STORE_EVICT_RECORD_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dtdevolve::store {
+
+/// The repository-eviction WAL record: documents dropped from the
+/// unclassified repository to enforce a per-shard quota. The evicted ids
+/// are explicit — not "the N oldest at replay time" — so replay removes
+/// exactly what the live shard removed even when the eviction raced
+/// concurrently enqueued documents, and re-applying the record after a
+/// checkpoint that already folded it in is a no-op (the ids are simply
+/// gone). Like the induce-accept record, the header line doubles as the
+/// record-type tag against the raw-XML document payloads.
+///
+/// Layout (line-oriented):
+///   dtdevolve-evict 1
+///   count <N>
+///   <id>            (N lines, ascending repository ids)
+inline constexpr std::string_view kEvictHeader = "dtdevolve-evict 1";
+
+/// True when `payload` is an eviction record (header match only; a
+/// corrupt body still decodes to an error).
+bool IsEvictRecord(std::string_view payload);
+
+std::string EncodeEvictRecord(const std::vector<int>& ids);
+
+StatusOr<std::vector<int>> DecodeEvictRecord(std::string_view payload);
+
+}  // namespace dtdevolve::store
+
+#endif  // DTDEVOLVE_STORE_EVICT_RECORD_H_

@@ -442,5 +442,103 @@ TEST(HttpConformanceTest, GracefulDrainDeliversInFlightKeepAliveResponse) {
   EXPECT_EQ(server.source().documents_processed(), 1u);
 }
 
+TEST(HttpConformanceTest, ConnectionCapAnswers503AndResumesAfterClose) {
+  ServerOptions options = EphemeralOptions();
+  options.max_connections = 2;
+  IngestServer server(DefaultSource(), options);
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Fill both slots; a request on each proves the connection joined the
+  // event loop (connect() alone only proves the kernel backlog).
+  const int first = ConnectTo(server.port());
+  const int second = ConnectTo(server.port());
+  ASSERT_GE(first, 0);
+  ASSERT_GE(second, 0);
+  std::string buf_first;
+  std::string buf_second;
+  SendAll(first, GetRequest("/healthz"));
+  SendAll(second, GetRequest("/healthz"));
+  EXPECT_EQ(ReadOne(first, &buf_first).status, 200);
+  EXPECT_EQ(ReadOne(second, &buf_second).status, 200);
+
+  // Over the cap: the 503 arrives unsolicited (no request sent) and the
+  // socket is closed — it never enters the loop.
+  const int over = ConnectTo(server.port());
+  ASSERT_GE(over, 0);
+  std::string buf_over;
+  HttpClientResponse rejected = ReadOne(over, &buf_over);
+  EXPECT_EQ(rejected.status, 503);
+  EXPECT_NE(rejected.FindHeader("retry-after"), nullptr);
+  EXPECT_TRUE(PeerClosedWithin(over, 2000));
+  ::close(over);
+
+  // Established clients keep working at the cap.
+  SendAll(first, GetRequest("/healthz"));
+  EXPECT_EQ(ReadOne(first, &buf_first).status, 200);
+
+  // Free a slot; accepting must resume (give the loop a few turns to
+  // observe the close).
+  ::close(second);
+  int resumed_status = 0;
+  for (int attempt = 0; attempt < 100 && resumed_status != 200; ++attempt) {
+    const int fresh = ConnectTo(server.port());
+    ASSERT_GE(fresh, 0);
+    std::string buf_fresh;
+    SendAll(fresh, GetRequest("/healthz"));
+    timeval tv = {};
+    tv.tv_sec = 2;
+    ::setsockopt(fresh, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    char probe[512];
+    const ssize_t n = ::recv(fresh, probe, sizeof(probe), 0);
+    if (n > 9) resumed_status = std::atoi(probe + 9);
+    ::close(fresh);
+    if (resumed_status != 200) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_EQ(resumed_status, 200);
+
+  ::close(first);
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(HttpConformanceTest, PipelineDepthCapAnswers503ForTheOverflowRequest) {
+  ServerOptions options = EphemeralOptions();
+  options.max_pipeline_depth = 2;
+  IngestServer server(DefaultSource(), options);
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = ConnectTo(server.port());
+  ASSERT_GE(fd, 0);
+  std::string buf;
+
+  // Four requests stuffed into one burst: two are served, the third
+  // answers 503 + Retry-After and the connection closes after the
+  // flush — the fourth is never parsed.
+  SendAll(fd, GetRequest("/healthz") + GetRequest("/healthz") +
+                  GetRequest("/healthz") + GetRequest("/healthz"));
+  EXPECT_EQ(ReadOne(fd, &buf).status, 200);
+  EXPECT_EQ(ReadOne(fd, &buf).status, 200);
+  HttpClientResponse overflow = ReadOne(fd, &buf);
+  EXPECT_EQ(overflow.status, 503);
+  EXPECT_NE(overflow.FindHeader("retry-after"), nullptr);
+  EXPECT_TRUE(PeerClosedWithin(fd, 2000));
+  ::close(fd);
+
+  // A polite client on a fresh connection is unaffected.
+  const int polite = ConnectTo(server.port());
+  ASSERT_GE(polite, 0);
+  std::string polite_buf;
+  SendAll(polite, GetRequest("/healthz"));
+  EXPECT_EQ(ReadOne(polite, &polite_buf).status, 200);
+  ::close(polite);
+
+  server.Shutdown();
+  server.Wait();
+}
+
 }  // namespace
 }  // namespace dtdevolve::server

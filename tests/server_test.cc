@@ -8,7 +8,9 @@
 
 #include <arpa/inet.h>
 #include <dirent.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -18,10 +20,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "io/fault.h"
 #include "server/server.h"
 
 namespace dtdevolve::server {
@@ -138,6 +142,22 @@ ServerOptions EphemeralOptions() {
   options.port = 0;  // the kernel picks; tests read server.port()
   options.jobs = 2;
   return options;
+}
+
+/// A raw connected socket, or -1 (socket/connect failure — e.g. the fd
+/// table is exhausted, which the EMFILE regression test relies on).
+int ConnectTo(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
 }
 
 TEST(ServerTest, HealthzRoutesAndMethodChecks) {
@@ -629,6 +649,114 @@ TEST(ServerTest, AutoInduceThresholdProposesCandidates) {
   EXPECT_NE(candidates.body.find("\"name\":\"induced-invoice\""),
             std::string::npos)
       << candidates.body;
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(ServerTest, ReadinessAnswers503WhileWalFailsAndRecoversAfterward) {
+  const std::string dir = testing::TempDir() + "server_readiness_wal";
+  std::filesystem::remove_all(dir);
+
+  ServerOptions options = EphemeralOptions();
+  options.wal_dir = dir;
+  options.fsync_policy = store::FsyncPolicy::kNone;
+  options.checkpoint_interval = std::chrono::milliseconds(0);
+  options.health_probe_interval = std::chrono::milliseconds(25);
+  IngestServer server(EvolvingOptions(), options);
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Healthy: liveness and readiness both 200, ingest acks.
+  EXPECT_EQ(Get(server.port(), "/healthz").status, 200);
+  EXPECT_EQ(Get(server.port(), "/healthz?ready=1").status, 200);
+  ASSERT_EQ(Post(server.port(), "/ingest", kConformingDoc).status, 202);
+
+  {
+    // Every WAL write now fails — writes get 503, readiness flips to
+    // 503 with the shard breakdown, liveness stays 200.
+    io::FaultPlan plan;
+    plan.fail_at = 1;
+    plan.op_mask = static_cast<uint32_t>(io::FaultOp::kWrite);
+    plan.crash = true;
+    io::ScopedFaultPlan fault(plan);
+
+    EXPECT_EQ(Post(server.port(), "/ingest", kConformingDoc).status, 503);
+    ClientResponse not_ready = Get(server.port(), "/healthz?ready=1");
+    EXPECT_EQ(not_ready.status, 503);
+    EXPECT_NE(not_ready.body.find("\"ready\":false"), std::string::npos)
+        << not_ready.body;
+    EXPECT_EQ(Get(server.port(), "/healthz").status, 200);
+  }
+
+  // Fault cleared: the recovery probe reopens the shard without any
+  // client traffic.
+  int ready_status = 0;
+  for (int attempt = 0; attempt < 200 && ready_status != 200; ++attempt) {
+    ready_status = Get(server.port(), "/healthz?ready=1").status;
+    if (ready_status != 200) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_EQ(ready_status, 200);
+  EXPECT_EQ(Post(server.port(), "/ingest", kConformingDoc).status, 202);
+
+  server.Shutdown();
+  server.Wait();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServerTest, AcceptRecoversAfterFdExhaustion) {
+  IngestServer server(EvolvingOptions(), EphemeralOptions());
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_EQ(Get(server.port(), "/healthz").status, 200);
+
+  // Starve the process fd table (shared with the server) so accept()
+  // fails with EMFILE. Before the listener-backoff fix this busy-looped
+  // the level-triggered epoll thread forever.
+  struct rlimit saved = {};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+  struct rlimit low = saved;
+  low.rlim_cur = 64;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &low), 0);
+
+  // Fill the table completely with /dev/null handles, then free exactly
+  // one slot: our client socket takes it, the handshake completes in
+  // the kernel backlog, and the server's accept() has no fd left.
+  std::vector<int> hogs;
+  for (int i = 0; i < 256; ++i) {
+    const int fd = ::open("/dev/null", O_RDONLY);
+    if (fd < 0) break;
+    hogs.push_back(fd);
+  }
+  ASSERT_FALSE(hogs.empty());
+  ::close(hogs.back());
+  hogs.pop_back();
+  const int client = ConnectTo(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  if (client >= 0) ::close(client);
+  for (int fd : hogs) ::close(fd);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &saved), 0);
+
+  // With fds free again the timed re-arm must restore accepting.
+  int status = 0;
+  for (int attempt = 0; attempt < 200 && status != 200; ++attempt) {
+    status = Get(server.port(), "/healthz").status;
+    if (status != 200) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_EQ(status, 200);
+
+  ClientResponse metrics = Get(server.port(), "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  // Leading newline keeps the match off the `# HELP` line.
+  const size_t at =
+      metrics.body.find("\ndtdevolve_http_accept_stalls_total ");
+  ASSERT_NE(at, std::string::npos) << metrics.body;
+  EXPECT_GE(std::atoi(metrics.body.c_str() + at + 36), 1) << metrics.body;
 
   server.Shutdown();
   server.Wait();

@@ -397,5 +397,167 @@ TEST(SourceManagerTest, TenantInductionIsIsolatedAndSurvivesRestart) {
   std::system(("rm -rf '" + wal_root + "'").c_str());
 }
 
+TEST(SourceManagerTest, TokenBucketRateLimitAnswers429PerTenant) {
+  ServerOptions options = TenantOptions({"fast", "slow"});
+  TenantQuota quota;
+  quota.rate = 1.0;  // refills far slower than the test posts
+  quota.burst = 2.0;
+  options.tenant_quotas["slow"] = quota;
+  IngestServer server(EvolvingOptions(), options);
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  int slow_ok = 0;
+  int slow_limited = 0;
+  for (int i = 0; i < 6; ++i) {
+    ClientResponse response =
+        Post(server.port(), "/ingest/slow", kConformingDoc);
+    if (response.status == 202) {
+      ++slow_ok;
+    } else {
+      ASSERT_EQ(response.status, 429) << response.head;
+      EXPECT_NE(response.head.find("Retry-After:"), std::string::npos);
+      ++slow_limited;
+    }
+  }
+  // The burst admits the first two; the 1/s refill cannot keep up with
+  // six back-to-back posts.
+  EXPECT_GE(slow_ok, 2);
+  EXPECT_GE(slow_limited, 1);
+
+  // The unquota'd neighbor is untouched by the slow tenant's bucket.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(Post(server.port(), "/ingest/fast", kConformingDoc).status,
+              202);
+  }
+
+  server.Shutdown();
+  server.Wait();
+  EXPECT_EQ(server.source("fast").documents_processed(), 6u);
+  EXPECT_EQ(server.source("slow").documents_processed(),
+            static_cast<uint64_t>(slow_ok));
+
+  // The tenant-labeled counter matches what the client observed.
+  const std::string metrics = server.metrics().RenderPrometheus();
+  EXPECT_NE(metrics.find(
+                "dtdevolve_ingest_rate_limited_total{tenant=\"slow\"} " +
+                std::to_string(slow_limited)),
+            std::string::npos)
+      << metrics;
+}
+
+TEST(SourceManagerTest, DocSizeQuotaAnswers413BeforeTheParse) {
+  ServerOptions options = TenantOptions({"tiny", "roomy"});
+  TenantQuota quota;
+  quota.max_doc_bytes = 64;
+  options.tenant_quotas["tiny"] = quota;
+  IngestServer server(EvolvingOptions(), options);
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Oversized AND malformed: a 413 (not a 400) proves the quota fired
+  // before the parser ever saw the body.
+  const std::string oversized = "<mail>" + std::string(200, 'x');
+  EXPECT_EQ(Post(server.port(), "/ingest/tiny", oversized).status, 413);
+  // In-quota documents still flow.
+  EXPECT_EQ(Post(server.port(), "/ingest/tiny", "<mail>s</mail>").status,
+            202);
+  // The quota is tiny's alone — the same oversized body is merely a 400
+  // (parse error) for the unquota'd tenant.
+  EXPECT_EQ(Post(server.port(), "/ingest/roomy?wait=1", oversized).status,
+            400);
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(SourceManagerTest, RepositoryQuotaEvictOldestKeepsTheNewestDocs) {
+  ServerOptions options = TenantOptions({});
+  options.max_repository_docs = 3;
+  options.repository_policy = RepositoryQuotaPolicy::kEvictOldest;
+  IngestServer server(EvolvingOptions(), options);
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Unclassifiable documents land in the repository; wait=1 makes each
+  // its own batch so enforcement runs after every overflow.
+  for (int i = 0; i < 6; ++i) {
+    const std::string doc =
+        "<junk><payload>p" + std::to_string(i) + "</payload></junk>";
+    EXPECT_EQ(Post(server.port(), "/ingest?wait=1", doc).status, 200);
+  }
+
+  server.Shutdown();
+  server.Wait();
+  const std::vector<int> ids = server.source().repository().Ids();
+  ASSERT_EQ(ids.size(), 3u);
+  // Oldest evicted: the survivors are the three newest insertions.
+  EXPECT_EQ(ids.front(), 3);
+  EXPECT_EQ(ids.back(), 5);
+}
+
+TEST(SourceManagerTest, RepositoryQuotaRejectNewKeepsTheEstablishedDocs) {
+  ServerOptions options = TenantOptions({});
+  options.max_repository_docs = 3;
+  options.repository_policy = RepositoryQuotaPolicy::kRejectNew;
+  IngestServer server(EvolvingOptions(), options);
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  for (int i = 0; i < 6; ++i) {
+    const std::string doc =
+        "<junk><payload>p" + std::to_string(i) + "</payload></junk>";
+    EXPECT_EQ(Post(server.port(), "/ingest?wait=1", doc).status, 200);
+  }
+
+  server.Shutdown();
+  server.Wait();
+  const std::vector<int> ids = server.source().repository().Ids();
+  ASSERT_EQ(ids.size(), 3u);
+  // Newcomers evicted: the established first three stay.
+  EXPECT_EQ(ids.front(), 0);
+  EXPECT_EQ(ids.back(), 2);
+}
+
+TEST(SourceManagerTest, FloodedTenantCannotStarveItsNeighbor) {
+  ServerOptions options = TenantOptions({"victim", "flood"});
+  TenantQuota quota;
+  quota.rate = 5.0;
+  quota.burst = 2.0;
+  options.tenant_quotas["flood"] = quota;
+  IngestServer server(EvolvingOptions(), options);
+  ASSERT_TRUE(server.AddDtdText("mail", kMailDtd).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // The flood hammers its shard from two threads while the victim
+  // ingests synchronously — every victim document must land.
+  std::thread flooders[2];
+  for (std::thread& flooder : flooders) {
+    flooder = std::thread([&] {
+      for (int i = 0; i < 20; ++i) {
+        ClientResponse response =
+            Post(server.port(), "/ingest/flood", kConformingDoc);
+        EXPECT_TRUE(response.status == 202 || response.status == 429)
+            << response.status;
+      }
+    });
+  }
+  constexpr int kVictimDocs = 8;
+  for (int i = 0; i < kVictimDocs; ++i) {
+    EXPECT_EQ(
+        Post(server.port(), "/ingest/victim?wait=1", kConformingDoc).status,
+        200)
+        << "victim doc " << i;
+  }
+  for (std::thread& flooder : flooders) flooder.join();
+
+  server.Shutdown();
+  server.Wait();
+  EXPECT_EQ(server.source("victim").documents_processed(),
+            static_cast<uint64_t>(kVictimDocs));
+  // The bucket held: far fewer flood documents were admitted than sent.
+  EXPECT_LT(server.source("flood").documents_processed(), 40u);
+}
+
 }  // namespace
 }  // namespace dtdevolve::server

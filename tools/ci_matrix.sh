@@ -1,16 +1,16 @@
 #!/usr/bin/env bash
 # Sanitizer CI matrix: builds the tree under ASan+UBSan and TSan and runs
-# the `oracle`, `concurrency`, `durability`, `induction` and `replication`
-# ctest labels — the suites that replay the differential, crash-recovery
-# and replication oracles and fan out threads, where sanitizer findings
-# actually live. Every configuration is
+# the `oracle`, `concurrency`, `durability`, `induction`, `replication`
+# and `overload` ctest labels — the suites that replay the differential,
+# crash-recovery, replication and overload oracles and fan out threads,
+# where sanitizer findings actually live. Every configuration is
 # a CMake preset (CMakePresets.json), so a single leg is reproducible by
 # hand:
 #
 #   cmake --preset tsan && cmake --build --preset tsan && ctest --preset tsan
 #
 # Usage:
-#   tools/ci_matrix.sh           # legs over oracle+concurrency+durability+induction+replication
+#   tools/ci_matrix.sh           # legs over the labeled oracle/concurrency suites
 #   tools/ci_matrix.sh --full    # sanitizer legs over the full suite
 #
 # Environment: JOBS (parallel build/test jobs, default nproc).

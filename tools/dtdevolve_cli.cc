@@ -39,6 +39,7 @@
 #include "baseline/naive_infer.h"
 #include "baseline/xtract.h"
 #include "check/oracle.h"
+#include "check/overload.h"
 #include "core/source.h"
 #include "dtd/diff.h"
 #include "dtd/dtd_parser.h"
@@ -110,13 +111,21 @@ int Usage() {
                "                       [--auto-induce-threshold N]\n"
                "                       [--follow URL] "
                "[--poll-interval-ms N]\n"
+               "                       [--max-connections N] "
+               "[--max-pipeline-depth N]\n"
+               "                       [--max-doc-bytes N] "
+               "[--tenant-rate R] [--tenant-burst B]\n"
+               "                       [--max-repository-docs N]\n"
+               "                       [--repository-policy "
+               "evict-oldest|reject-new]\n"
                "  dtdevolve check      [--scenarios N] [--seed S] "
                "[--max-documents N]\n"
                "                       [--max-failures K] [--no-persistence] "
                "[--no-minimize]\n"
                "                       [--crash-recovery] [--crash-points N] "
                "[--checkpoint-every K]\n"
-               "                       [--induction] [--replication]\n");
+               "                       [--induction] [--replication] "
+               "[--overload]\n");
   return 1;
 }
 
@@ -580,10 +589,15 @@ bool ParseTenantsFlag(const std::string& value,
 
 /// A `--tenant-config` file: one tenant per line, `<tenant> <dtd-file>...`
 /// (blank lines and `#` comments skipped). Every named tenant becomes a
-/// shard; its DTD files seed only that shard.
+/// shard; its DTD files seed only that shard. Tokens containing `=` are
+/// per-tenant quota overrides instead of DTD files: `rate=R`, `burst=B`,
+/// `max-doc-bytes=N`, `max-repository-docs=N` (fields not named inherit
+/// the process-wide `--tenant-rate`/`--max-doc-bytes`/... defaults).
 struct TenantSeed {
   std::string tenant;
   std::vector<std::string> dtd_files;
+  dtdevolve::server::TenantQuota quota;
+  bool has_quota = false;
 };
 
 bool ParseTenantConfig(const std::string& text,
@@ -596,8 +610,32 @@ bool ParseTenantConfig(const std::string& text,
     if (!(fields >> tenant) || tenant[0] == '#') continue;
     TenantSeed seed;
     seed.tenant = tenant;
-    std::string file;
-    while (fields >> file) seed.dtd_files.push_back(file);
+    std::string token;
+    while (fields >> token) {
+      const size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        seed.dtd_files.push_back(token);
+        continue;
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      double rate = 0.0;
+      long count = 0;
+      if (key == "rate" && ParseDouble(value, &rate) && rate >= 0.0) {
+        seed.quota.rate = rate;
+      } else if (key == "burst" && ParseDouble(value, &rate) && rate >= 0.0) {
+        seed.quota.burst = rate;
+      } else if (key == "max-doc-bytes" && ParseLong(value, &count) &&
+                 count >= 0) {
+        seed.quota.max_doc_bytes = count;
+      } else if (key == "max-repository-docs" && ParseLong(value, &count) &&
+                 count >= 0) {
+        seed.quota.max_repository_docs = count;
+      } else {
+        return false;  // unknown quota key or bad value
+      }
+      seed.has_quota = true;
+    }
     seeds->push_back(std::move(seed));
   }
   return !seeds->empty();
@@ -730,6 +768,51 @@ int CmdServe(std::vector<std::string> args) {
       server_options.auto_induce_threshold = static_cast<size_t>(value);
       continue;
     }
+    if (nonnegative_long("--max-connections", &value)) {
+      if (bad_value) return Usage();
+      server_options.max_connections = static_cast<size_t>(value);
+      continue;
+    }
+    if (nonnegative_long("--max-pipeline-depth", &value)) {
+      if (bad_value) return Usage();
+      server_options.max_pipeline_depth = static_cast<size_t>(value);
+      continue;
+    }
+    if (nonnegative_long("--max-doc-bytes", &value)) {
+      if (bad_value) return Usage();
+      server_options.max_doc_bytes = static_cast<size_t>(value);
+      continue;
+    }
+    if (nonnegative_long("--max-repository-docs", &value)) {
+      if (bad_value) return Usage();
+      server_options.max_repository_docs = static_cast<size_t>(value);
+      continue;
+    }
+    double rate = 0.0;
+    if (flag_value("--tenant-rate", &rate)) {
+      if (bad_value || rate < 0.0) return Usage();
+      server_options.tenant_rate = rate;
+      continue;
+    }
+    if (flag_value("--tenant-burst", &rate)) {
+      if (bad_value || rate < 0.0) return Usage();
+      server_options.tenant_burst = rate;
+      continue;
+    }
+    if (args[i] == "--repository-policy") {
+      if (i + 1 >= args.size()) return Usage();
+      const std::string& policy = args[++i];
+      if (policy == "evict-oldest") {
+        server_options.repository_policy =
+            dtdevolve::server::RepositoryQuotaPolicy::kEvictOldest;
+      } else if (policy == "reject-new") {
+        server_options.repository_policy =
+            dtdevolve::server::RepositoryQuotaPolicy::kRejectNew;
+      } else {
+        return Usage();
+      }
+      continue;
+    }
     if (args[i] == "--tenants") {
       if (i + 1 >= args.size() ||
           !ParseTenantsFlag(args[i + 1], &server_options.tenants)) {
@@ -764,6 +847,7 @@ int CmdServe(std::vector<std::string> args) {
       known = known || tenant == seed.tenant;
     }
     if (!known) server_options.tenants.push_back(seed.tenant);
+    if (seed.has_quota) server_options.tenant_quotas[seed.tenant] = seed.quota;
   }
 
   dtdevolve::server::IngestServer server(source_options, server_options);
@@ -848,9 +932,11 @@ int CmdCheck(std::vector<std::string> args) {
   dtdevolve::check::CrashOracleOptions crash_options;
   dtdevolve::check::InductionOracleOptions induction_options;
   dtdevolve::check::ReplicationOracleOptions replication_options;
+  dtdevolve::check::OverloadOracleOptions overload_options;
   bool crash_recovery = false;
   bool induction = false;
   bool replication = false;
+  bool overload = false;
   bool minimize = true;
   for (size_t i = 0; i < args.size(); ++i) {
     bool bad_value = false;
@@ -870,6 +956,7 @@ int CmdCheck(std::vector<std::string> args) {
       crash_options.scenarios = static_cast<uint64_t>(value);
       induction_options.scenarios = static_cast<uint64_t>(value);
       replication_options.scenarios = static_cast<uint64_t>(value);
+      overload_options.scenarios = static_cast<uint64_t>(value);
       continue;
     }
     if (long_value("--seed", 0, &value)) {
@@ -878,6 +965,7 @@ int CmdCheck(std::vector<std::string> args) {
       crash_options.seed = static_cast<uint64_t>(value);
       induction_options.seed = static_cast<uint64_t>(value);
       replication_options.seed = static_cast<uint64_t>(value);
+      overload_options.seed = static_cast<uint64_t>(value);
       continue;
     }
     if (long_value("--max-documents", 0, &value)) {
@@ -886,6 +974,7 @@ int CmdCheck(std::vector<std::string> args) {
       crash_options.max_documents = static_cast<uint64_t>(value);
       induction_options.max_documents = static_cast<uint64_t>(value);
       replication_options.max_documents = static_cast<uint64_t>(value);
+      overload_options.max_documents = static_cast<uint64_t>(value);
       continue;
     }
     if (long_value("--max-failures", 1, &value)) {
@@ -894,6 +983,7 @@ int CmdCheck(std::vector<std::string> args) {
       crash_options.max_failures = static_cast<uint64_t>(value);
       induction_options.max_failures = static_cast<uint64_t>(value);
       replication_options.max_failures = static_cast<uint64_t>(value);
+      overload_options.max_failures = static_cast<uint64_t>(value);
       continue;
     }
     if (long_value("--crash-points", 0, &value)) {
@@ -915,6 +1005,10 @@ int CmdCheck(std::vector<std::string> args) {
       replication = true;
       continue;
     }
+    if (args[i] == "--overload") {
+      overload = true;
+      continue;
+    }
     if (args[i] == "--induction") {
       induction = true;
       continue;
@@ -929,6 +1023,17 @@ int CmdCheck(std::vector<std::string> args) {
     }
     if (IsFlag(args[i])) return UnknownFlag(args[i]);
     return Usage();  // check takes no positional arguments
+  }
+
+  if (overload) {
+    // Hostile-load scenarios against a live in-process server: floods,
+    // oversized bodies, connection churn, injected WAL faults, and
+    // repository-quota eviction with crash recovery.
+    dtdevolve::check::OverloadOracleReport overload_report =
+        dtdevolve::check::RunOverloadOracle(overload_options);
+    std::printf(
+        "%s", dtdevolve::check::FormatOverloadReport(overload_report).c_str());
+    return overload_report.ok() ? 0 : 2;
   }
 
   if (replication) {
