@@ -12,8 +12,11 @@
 
 #include "bench_json.h"
 #include "bench_util.h"
+#include "classify/classification_memo.h"
 #include "classify/classifier.h"
+#include "core/source.h"
 #include "workload/scenarios.h"
+#include "xml/stream_reader.h"
 
 namespace dtdevolve {
 namespace {
@@ -204,6 +207,84 @@ double RunCorpus(const classify::Classifier& classifier,
       .count();
 }
 
+// --- Parse-path ingest leg ---------------------------------------------------
+//
+// End-to-end ingest (parse → classify → record → check) over the
+// repetitive-corpus workload: a stream of small documents whose shapes
+// recur exactly — the steady-state feed the streaming path is built
+// for. The DOM reference path (`streaming_parse` off, classification
+// memo off) runs against the streaming default (single-pass arena
+// parse; repeated root fingerprints replay the memoized outcome
+// without materializing a DOM). Outcomes must match entry by entry
+// across every round.
+
+struct RepetitiveCorpus {
+  std::vector<dtd::Dtd> dtds;
+  std::vector<std::string> names;
+  /// Distinct serialized document shapes, cycled by the runner.
+  std::vector<std::string> texts;
+};
+
+RepetitiveCorpus MakeRepetitiveCorpus() {
+  RepetitiveCorpus corpus;
+  corpus.names = {"order", "mail", "track"};
+  corpus.dtds.push_back(ParseOrDie(R"(
+    <!ELEMENT order (id, item+, note?)>
+    <!ELEMENT id (#PCDATA)> <!ELEMENT item (#PCDATA)>
+    <!ELEMENT note (#PCDATA)>
+  )"));
+  corpus.dtds.push_back(ParseOrDie(R"(
+    <!ELEMENT mail (from, to+, body)>
+    <!ELEMENT from (#PCDATA)> <!ELEMENT to (#PCDATA)>
+    <!ELEMENT body (#PCDATA)>
+  )"));
+  corpus.dtds.push_back(ParseOrDie(R"(
+    <!ELEMENT track (artist, song, duration?)>
+    <!ELEMENT artist (#PCDATA)> <!ELEMENT song (#PCDATA)>
+    <!ELEMENT duration (#PCDATA)>
+  )"));
+  corpus.texts = {
+      "<order><id>1</id><item>a</item></order>",
+      "<order><id>2</id><item>a</item><item>b</item></order>",
+      "<order><id>3</id><item>a</item><note>n</note></order>",
+      "<mail><from>x</from><to>y</to><body>hi</body></mail>",
+      "<mail><from>x</from><to>y</to><to>z</to><body>hi</body></mail>",
+      "<track><artist>a</artist><song>s</song></track>",
+      "<track><artist>a</artist><song>s</song><duration>3</duration></track>",
+  };
+  return corpus;
+}
+
+struct IngestRun {
+  double seconds = 0;
+  std::vector<core::XmlSource::ProcessOutcome> outcomes;
+};
+
+IngestRun RunIngest(const RepetitiveCorpus& corpus, size_t rounds,
+                    const core::SourceOptions& options) {
+  core::XmlSource src(options);
+  for (size_t i = 0; i < corpus.dtds.size(); ++i) {
+    if (!src.AddDtd(corpus.names[i], corpus.dtds[i].Clone()).ok()) {
+      std::abort();
+    }
+  }
+  IngestRun run;
+  run.outcomes.reserve(corpus.texts.size() * rounds);
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < rounds; ++r) {
+    for (const std::string& text : corpus.texts) {
+      StatusOr<core::XmlSource::ProcessOutcome> outcome =
+          src.ProcessText(text);
+      if (!outcome.ok()) std::abort();
+      run.outcomes.push_back(*outcome);
+    }
+  }
+  run.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start)
+                    .count();
+  return run;
+}
+
 int RunHeadline(const std::string& out) {
   HeadlineCorpus corpus = MakeHeadlineCorpus();
   constexpr size_t kRounds = 10;
@@ -268,8 +349,77 @@ int RunHeadline(const std::string& out) {
                      static_cast<double>(pruned + evaluated)
                : 0.0)
       .Add("outcome_mismatches", static_cast<uint64_t>(mismatches));
+
+  // Parse-path ingest leg: DOM reference vs streaming default over the
+  // repetitive-corpus workload. Enough rounds that the steady state
+  // (memo warm, stats maps populated) dominates the first-sight misses.
+  constexpr size_t kIngestRounds = 10000;
+  RepetitiveCorpus ingest_corpus = MakeRepetitiveCorpus();
+
+  core::SourceOptions dom_options;
+  dom_options.keep_documents = false;
+  dom_options.streaming_parse = false;
+  dom_options.classifier.enable_classification_memo = false;
+
+  core::SourceOptions stream_options;
+  stream_options.keep_documents = false;
+  // Shared externally so the hit-rate statistics survive the run.
+  classify::ClassificationMemo memo;
+  stream_options.classifier.shared_memo = &memo;
+
+  const IngestRun dom_run =
+      RunIngest(ingest_corpus, kIngestRounds, dom_options);
+  const IngestRun stream_run =
+      RunIngest(ingest_corpus, kIngestRounds, stream_options);
+
+  size_t ingest_mismatches = 0;
+  for (size_t i = 0; i < stream_run.outcomes.size(); ++i) {
+    const core::XmlSource::ProcessOutcome& a = dom_run.outcomes[i];
+    const core::XmlSource::ProcessOutcome& b = stream_run.outcomes[i];
+    if (a.classified != b.classified || a.dtd_name != b.dtd_name ||
+        a.similarity != b.similarity || a.evolved != b.evolved ||
+        a.reclassified != b.reclassified) {
+      ++ingest_mismatches;
+    }
+  }
+
+  uint64_t arena_bytes = 0;
+  for (const std::string& text : ingest_corpus.texts) {
+    StatusOr<xml::ArenaDocument> arena = xml::ParseArenaDocument(text);
+    if (!arena.ok()) std::abort();
+    arena_bytes += arena->arena().bytes_allocated();
+  }
+
+  const double ingest_n = static_cast<double>(ingest_corpus.texts.size()) *
+                          static_cast<double>(kIngestRounds);
+  const classify::ClassificationMemo::Stats memo_stats = memo.GetStats();
+
+  json.Add("ingest_docs", ingest_corpus.texts.size())
+      .Add("ingest_rounds", static_cast<uint64_t>(kIngestRounds))
+      .Add("ingest_baseline_docs_per_second",
+           dom_run.seconds > 0 ? ingest_n / dom_run.seconds : 0.0)
+      .Add("ingest_docs_per_second",
+           stream_run.seconds > 0 ? ingest_n / stream_run.seconds : 0.0)
+      .Add("ingest_speedup", stream_run.seconds > 0
+                                 ? dom_run.seconds / stream_run.seconds
+                                 : 0.0)
+      .Add("memo_hit_rate", memo_stats.HitRate())
+      .Add("memo_evictions", memo_stats.evictions)
+      .Add("arena_bytes_per_doc",
+           ingest_corpus.texts.empty()
+               ? 0.0
+               : static_cast<double>(arena_bytes) /
+                     static_cast<double>(ingest_corpus.texts.size()))
+      .Add("ingest_outcome_mismatches",
+           static_cast<uint64_t>(ingest_mismatches))
+      // Satellite note: similarity/validate/recording child loops now run
+      // on allocation-free child_elements() iterators; before this they
+      // materialized a ChildElements()/ChildTagSequence() vector per
+      // visit.
+      .Add("child_iteration",
+           std::string("iterator (was per-visit vector materialization)"));
   if (!json.Emit(out)) return 1;
-  return mismatches == 0 ? 0 : 2;
+  return mismatches == 0 && ingest_mismatches == 0 ? 0 : 2;
 }
 
 }  // namespace

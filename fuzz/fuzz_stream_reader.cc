@@ -1,0 +1,49 @@
+// Fuzz target: the streaming pull reader, differentially against the DOM
+// parser. Shares the xml seed corpus with fuzz_xml_parser:
+//
+//   build-fuzz/fuzz/fuzz_stream_reader tests/corpus/xml --seconds 60
+//
+// The two parsers must agree on accept/reject for every input; on accept
+// the arena tree must convert to a structurally equal DOM, the DOCTYPE
+// fields must match, and the parse-time root fingerprint must be
+// bit-identical to the after-the-fact DOM fingerprint index — the
+// contract the classification memo's correctness rests on.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "similarity/score_cache.h"
+#include "xml/document.h"
+#include "xml/parser.h"
+#include "xml/stream_reader.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  dtdevolve::StatusOr<dtdevolve::xml::Document> dom =
+      dtdevolve::xml::ParseDocument(input);
+  dtdevolve::StatusOr<dtdevolve::xml::ArenaDocument> arena =
+      dtdevolve::xml::ParseArenaDocument(input);
+  if (dom.ok() != arena.ok()) __builtin_trap();
+  if (!dom.ok()) return 0;
+  if (dom->has_root() != arena->has_root()) __builtin_trap();
+  if (dom->doctype_name() != arena->doctype_name() ||
+      dom->internal_subset() != arena->internal_subset()) {
+    __builtin_trap();
+  }
+  dtdevolve::xml::Document converted = arena->ToDocument();
+  if (dom->has_root() != converted.has_root()) __builtin_trap();
+  if (!dom->has_root()) return 0;
+  if (!dtdevolve::xml::StructurallyEqual(dom->root(), converted.root())) {
+    __builtin_trap();
+  }
+  dtdevolve::similarity::SubtreeFingerprints fps(dom->root());
+  const dtdevolve::similarity::SubtreeStats* stats = fps.Find(&dom->root());
+  const dtdevolve::xml::ArenaElement& root = arena->root();
+  if (stats == nullptr || stats->fp_hi != root.fp_hi ||
+      stats->fp_lo != root.fp_lo ||
+      stats->element_count != root.element_count) {
+    __builtin_trap();
+  }
+  return 0;
+}

@@ -26,9 +26,12 @@
 #include "evolve/windows.h"
 #include "io/fault.h"
 #include "mining/rules.h"
+#include "similarity/score_cache.h"
 #include "store/checkpoint.h"
 #include "store/wal.h"
 #include "validate/validator.h"
+#include "xml/parser.h"
+#include "xml/stream_reader.h"
 #include "workload/mutator.h"
 #include "workload/rng.h"
 #include "workload/scenarios.h"
@@ -1840,6 +1843,260 @@ std::string FormatReplicationReport(const ReplicationOracleReport& report) {
   for (const ScenarioResult& failure : report.failures) {
     out << FormatScenario(failure);
     out << "  replay: dtdevolve check --replication --seed " << failure.seed
+        << " --scenarios 1\n";
+  }
+  return out.str();
+}
+
+// --- Parse-path oracle ------------------------------------------------------
+
+namespace {
+
+/// The pure-DOM reference configuration: the legacy two-pass parser with
+/// the classification memo disabled, so nothing the streaming path adds
+/// (arena trees, fingerprint-keyed outcome replay) participates on the
+/// reference side of the comparison.
+core::SourceOptions DomReferenceOptions(core::SourceOptions options) {
+  options.streaming_parse = false;
+  options.classifier.enable_classification_memo = false;
+  return options;
+}
+
+struct TextPipelineRun {
+  Fingerprint fingerprint;
+  std::string error;  // non-empty when some document failed to parse
+};
+
+/// Feeds the serialized stream through `ProcessText` — the entry point
+/// whose parse path `streaming_parse` selects — and fingerprints the
+/// resulting state plus every outcome.
+TextPipelineRun RunTextPipeline(const Scenario& scenario,
+                                const std::vector<std::string>& texts,
+                                const core::SourceOptions& options) {
+  TextPipelineRun run;
+  core::XmlSource src(options);
+  for (const auto& [name, dtd] : scenario.dtds) {
+    (void)src.AddDtd(name, dtd.Clone());
+  }
+  std::vector<core::XmlSource::ProcessOutcome> outcomes;
+  outcomes.reserve(texts.size());
+  for (size_t i = 0; i < texts.size(); ++i) {
+    StatusOr<core::XmlSource::ProcessOutcome> outcome =
+        src.ProcessText(texts[i]);
+    if (!outcome.ok()) {
+      run.error = "document " + std::to_string(i) +
+                  " failed to parse: " + outcome.status().message();
+      return run;
+    }
+    outcomes.push_back(*outcome);
+  }
+  run.fingerprint = FingerprintOf(src, outcomes);
+  return run;
+}
+
+/// Appends `texts` to a fresh WAL in `dir`, then boots a recovery with
+/// the given parse path (`RecoverSource` replays every document record
+/// through `ProcessText`) and returns the recovered durable-state
+/// fingerprint.
+StatusOr<Fingerprint> ReplayThroughWal(const Scenario& scenario,
+                                       const std::vector<std::string>& texts,
+                                       const core::SourceOptions& options,
+                                       const std::string& dir) {
+  {
+    store::WalOptions wal_options;
+    wal_options.dir = dir;
+    store::WalReplay replay;
+    StatusOr<std::unique_ptr<store::Wal>> wal =
+        store::Wal::Open(wal_options, 0, &replay);
+    if (!wal.ok()) return wal.status();
+    for (const std::string& text : texts) {
+      StatusOr<uint64_t> lsn = (*wal)->Append(text);
+      if (!lsn.ok()) return lsn.status();
+    }
+  }
+  core::XmlSource src(options);
+  for (const auto& [name, dtd] : scenario.dtds) {
+    (void)src.AddDtd(name, dtd.Clone());
+  }
+  store::WalOptions wal_options;
+  wal_options.dir = dir;
+  StatusOr<std::unique_ptr<store::Wal>> wal =
+      store::RecoverSource(src, wal_options, nullptr);
+  if (!wal.ok()) return wal.status();
+  return CrashFingerprintOf(src);
+}
+
+}  // namespace
+
+ScenarioResult RunParsePathScenario(uint64_t scenario_seed,
+                                    const ParsePathOracleOptions& options,
+                                    bool* ran_wal_replay) {
+  Scenario scenario = MakeScenario(scenario_seed, options.max_documents);
+  ScenarioResult result;
+  result.seed = scenario_seed;
+  result.scenario = scenario.label;
+  result.documents = scenario.documents.size();
+  if (ran_wal_replay != nullptr) *ran_wal_replay = false;
+
+  auto add = [&result](std::string invariant, uint64_t index,
+                       std::string detail) {
+    if (result.violations.size() >= kMaxViolationsPerScenario) return;
+    result.violations.push_back(
+        {std::move(invariant), "", index, Truncate(detail, 240)});
+  };
+
+  xml::WriteOptions compact;
+  compact.indent = false;
+  std::vector<std::string> texts;
+  texts.reserve(scenario.documents.size());
+  for (const xml::Document& doc : scenario.documents) {
+    texts.push_back(xml::WriteDocument(doc, compact));
+  }
+
+  // Leg 1: dual-parse every document and compare the trees and the
+  // parse-time fingerprints against the after-the-fact DOM index.
+  for (size_t i = 0; i < texts.size(); ++i) {
+    StatusOr<xml::Document> dom = xml::ParseDocument(texts[i]);
+    StatusOr<xml::ArenaDocument> arena = xml::ParseArenaDocument(texts[i]);
+    if (dom.ok() != arena.ok()) {
+      add("parse-path-document", i,
+          std::string("accept/reject disagreement: DOM ") +
+              (dom.ok() ? "accepts" : "rejects (" + dom.status().message() +
+                                          ")") +
+              ", streaming " +
+              (arena.ok() ? "accepts"
+                          : "rejects (" + arena.status().message() + ")"));
+      continue;
+    }
+    if (!dom.ok()) {
+      if (dom.status().message() != arena.status().message()) {
+        add("parse-path-document", i,
+            "error messages differ: DOM \"" + dom.status().message() +
+                "\" vs streaming \"" + arena.status().message() + "\"");
+      }
+      continue;
+    }
+    xml::Document converted = arena->ToDocument();
+    if (dom->has_root() != converted.has_root() ||
+        (dom->has_root() &&
+         !xml::StructurallyEqual(dom->root(), converted.root()))) {
+      add("parse-path-document", i,
+          "arena tree is not structurally equal to the DOM tree");
+      continue;
+    }
+    if (dom->doctype_name() != arena->doctype_name() ||
+        dom->internal_subset() != arena->internal_subset()) {
+      add("parse-path-document", i, "DOCTYPE fields differ between paths");
+      continue;
+    }
+    if (dom->has_root()) {
+      similarity::SubtreeFingerprints fps(dom->root());
+      const similarity::SubtreeStats* stats = fps.Find(&dom->root());
+      const xml::ArenaElement& root = arena->root();
+      if (stats == nullptr || stats->fp_hi != root.fp_hi ||
+          stats->fp_lo != root.fp_lo ||
+          stats->element_count != root.element_count) {
+        std::ostringstream detail;
+        detail << "root fingerprint differs: streaming " << std::hex
+               << root.fp_hi << ":" << root.fp_lo << std::dec << "/"
+               << root.element_count << " vs DOM ";
+        if (stats == nullptr) {
+          detail << "(missing)";
+        } else {
+          detail << std::hex << stats->fp_hi << ":" << stats->fp_lo
+                 << std::dec << "/" << stats->element_count;
+        }
+        add("parse-path-document", i, detail.str());
+      }
+    }
+  }
+
+  // Leg 2: the full pipeline over the identical text stream, pure DOM
+  // reference vs streaming defaults.
+  TextPipelineRun dom_run =
+      RunTextPipeline(scenario, texts, DomReferenceOptions(scenario.options));
+  TextPipelineRun stream_run =
+      RunTextPipeline(scenario, texts, scenario.options);
+  if (!dom_run.error.empty() || !stream_run.error.empty()) {
+    add("parse-path-equivalence", 0,
+        !dom_run.error.empty() ? "DOM pipeline: " + dom_run.error
+                               : "streaming pipeline: " + stream_run.error);
+  } else if (dom_run.fingerprint != stream_run.fingerprint) {
+    add("parse-path-equivalence", 0,
+        FingerprintDiff(dom_run.fingerprint, stream_run.fingerprint));
+  }
+
+  // Leg 3 (sampled): WAL replay must hit the same code path — recover
+  // the appended stream once per parse path and compare the durable
+  // state against the live streaming run.
+  bool run_wal = options.wal_replay_every != 0 &&
+                 scenario_seed % options.wal_replay_every == 0;
+  if (run_wal && result.ok()) {
+    if (ran_wal_replay != nullptr) *ran_wal_replay = true;
+    const std::string stream_dir = CrashTempDir(scenario_seed, 1);
+    const std::string dom_dir = CrashTempDir(scenario_seed, 2);
+    StatusOr<Fingerprint> streamed =
+        ReplayThroughWal(scenario, texts, scenario.options, stream_dir);
+    StatusOr<Fingerprint> dom_replay = ReplayThroughWal(
+        scenario, texts, DomReferenceOptions(scenario.options), dom_dir);
+    std::error_code ec;
+    std::filesystem::remove_all(stream_dir, ec);
+    std::filesystem::remove_all(dom_dir, ec);
+    if (!streamed.ok() || !dom_replay.ok()) {
+      add("parse-path-replay", 0,
+          "WAL replay failed: " + (!streamed.ok()
+                                       ? streamed.status().message()
+                                       : dom_replay.status().message()));
+    } else {
+      core::XmlSource live(scenario.options);
+      for (const auto& [name, dtd] : scenario.dtds) {
+        (void)live.AddDtd(name, dtd.Clone());
+      }
+      for (const std::string& text : texts) (void)live.ProcessText(text);
+      Fingerprint live_fp = CrashFingerprintOf(live);
+      if (*streamed != live_fp) {
+        add("parse-path-replay", 0,
+            "streaming recovery diverged from live run: " +
+                FingerprintDiff(live_fp, *streamed));
+      } else if (*dom_replay != live_fp) {
+        add("parse-path-replay", 0,
+            "DOM recovery diverged from live run: " +
+                FingerprintDiff(live_fp, *dom_replay));
+      }
+    }
+  }
+  return result;
+}
+
+ParsePathOracleReport RunParsePathOracle(const ParsePathOracleOptions& options) {
+  ParsePathOracleReport report;
+  for (uint64_t i = 0; i < options.scenarios; ++i) {
+    bool ran_wal = false;
+    ScenarioResult result =
+        RunParsePathScenario(options.seed + i, options, &ran_wal);
+    ++report.scenarios_run;
+    report.documents += result.documents;
+    if (ran_wal) ++report.wal_replays;
+    if (!result.ok()) {
+      report.failures.push_back(std::move(result));
+      if (report.failures.size() >= options.max_failures) break;
+    }
+  }
+  return report;
+}
+
+std::string FormatParsePathReport(const ParsePathOracleReport& report) {
+  std::ostringstream out;
+  out << "parse-path oracle: " << report.scenarios_run << " scenario"
+      << (report.scenarios_run == 1 ? "" : "s") << ", " << report.documents
+      << " documents, " << report.wal_replays << " WAL replays — "
+      << (report.ok() ? "streaming and DOM paths byte-identical"
+                      : std::to_string(report.failures.size()) +
+                            " failing scenario(s)")
+      << "\n";
+  for (const ScenarioResult& failure : report.failures) {
+    out << FormatScenario(failure);
+    out << "  replay: dtdevolve check --parse-path --seed " << failure.seed
         << " --scenarios 1\n";
   }
   return out.str();

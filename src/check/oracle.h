@@ -274,6 +274,67 @@ ReplicationOracleReport RunReplicationOracle(
 
 std::string FormatReplicationReport(const ReplicationOracleReport& report);
 
+// --- Parse-path oracle ------------------------------------------------------
+
+/// Options of the parse-path-equivalence sweep (`RunParsePathOracle`).
+/// Each scenario's documents are serialized and re-read through BOTH
+/// parsers — the two-pass DOM parser (`xml::ParseDocument`) and the
+/// single-pass streaming reader (`xml::ParseArenaDocument`) — and the
+/// equivalence asserted at three levels:
+///
+///   parse-path-document    — the parsers agree on accept/reject (with
+///     the identical error message), the arena tree converts to a
+///     structurally equal DOM (tags, attributes, child order, collapsed
+///     text, DOCTYPE fields), and the arena's parse-time root
+///     fingerprint is bit-identical to `similarity::SubtreeFingerprints`
+///     computed over the DOM tree after the fact;
+///   parse-path-equivalence — two full pipelines fed the identical text
+///     stream — one with `streaming_parse` off and the classification
+///     memo disabled (the pure DOM reference), one with the streaming
+///     defaults (arena parse + memo replay) — land on byte-identical
+///     outcomes, events, counters, repository, evolved DTDs and
+///     extended-DTD state;
+///   parse-path-replay      — WAL replay hits the same code path: the
+///     scenario's stream is appended to a real WAL and recovered once
+///     per parse path (`store::RecoverSource` replays every document
+///     record through `ProcessText`), and both recoveries must be
+///     byte-identical to the live streaming run's durable state.
+struct ParsePathOracleOptions {
+  uint64_t scenarios = 20;
+  uint64_t seed = 1;
+  /// Feed only the first `max_documents` documents (0 = full scenario).
+  uint64_t max_documents = 0;
+  /// Stop after this many failing scenarios.
+  uint64_t max_failures = 1;
+  /// Run the WAL-replay leg on scenarios whose seed is divisible by this
+  /// (0 = never): the leg re-runs the pipeline twice with real disk I/O,
+  /// so it is sampled rather than run per scenario.
+  uint64_t wal_replay_every = 4;
+};
+
+struct ParsePathOracleReport {
+  uint64_t scenarios_run = 0;
+  uint64_t documents = 0;
+  uint64_t wal_replays = 0;  // scenarios that also ran the WAL-replay leg
+  std::vector<ScenarioResult> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Replays the scenario derived from `scenario_seed` through both parse
+/// paths and checks every parse-path invariant. Deterministic; sets
+/// `*ran_wal_replay` when the sampled WAL-replay leg executed.
+ScenarioResult RunParsePathScenario(uint64_t scenario_seed,
+                                    const ParsePathOracleOptions& options = {},
+                                    bool* ran_wal_replay = nullptr);
+
+/// Runs `options.scenarios` parse-path scenarios starting at
+/// `options.seed`.
+ParsePathOracleReport RunParsePathOracle(
+    const ParsePathOracleOptions& options = {});
+
+std::string FormatParsePathReport(const ParsePathOracleReport& report);
+
 /// Shrinks a failing scenario to the shortest document prefix that still
 /// fails (binary search over `max_documents`). Returns the full run when
 /// the scenario does not fail at all.

@@ -25,7 +25,8 @@ Classifier::Classifier(double sigma, similarity::SimilarityOptions options,
                        ClassifierOptions classifier_options)
     : sigma_(sigma),
       options_(options),
-      classifier_options_(classifier_options) {
+      classifier_options_(classifier_options),
+      set_epoch_(NextClassifierSetEpoch()) {
   if (classifier_options_.enable_score_cache) {
     if (classifier_options_.shared_cache != nullptr) {
       shared_cache_ = classifier_options_.shared_cache;
@@ -33,6 +34,15 @@ Classifier::Classifier(double sigma, similarity::SimilarityOptions options,
       similarity::SubtreeScoreCache::Config config;
       config.capacity_bytes = classifier_options_.score_cache_bytes;
       cache_ = std::make_unique<similarity::SubtreeScoreCache>(config);
+    }
+  }
+  if (classifier_options_.enable_classification_memo) {
+    if (classifier_options_.shared_memo != nullptr) {
+      shared_memo_ = classifier_options_.shared_memo;
+    } else if (classifier_options_.classification_memo_bytes > 0) {
+      ClassificationMemo::Config config;
+      config.capacity_bytes = classifier_options_.classification_memo_bytes;
+      memo_ = std::make_unique<ClassificationMemo>(config);
     }
   }
 }
@@ -46,10 +56,16 @@ void Classifier::set_metrics(const ClassifierMetrics& metrics) {
     cache_->set_metrics(metrics.cache_hits, metrics.cache_misses,
                         metrics.cache_evictions);
   }
+  // Same owned-only rule for the memo.
+  if (memo_ != nullptr) {
+    memo_->set_metrics(metrics.memo_hits, metrics.memo_misses,
+                       metrics.memo_evictions);
+  }
 }
 
 void Classifier::AddDtd(const std::string& name, const dtd::Dtd* dtd) {
   assert(dtd != nullptr);
+  set_epoch_ = NextClassifierSetEpoch();
   dtds_[name] = dtd;
   auto evaluator =
       std::make_unique<similarity::SimilarityEvaluator>(*dtd, options_);
@@ -58,6 +74,7 @@ void Classifier::AddDtd(const std::string& name, const dtd::Dtd* dtd) {
 }
 
 bool Classifier::RemoveDtd(const std::string& name) {
+  set_epoch_ = NextClassifierSetEpoch();
   evaluators_.erase(name);
   return dtds_.erase(name) > 0;
 }
@@ -65,6 +82,10 @@ bool Classifier::RemoveDtd(const std::string& name) {
 void Classifier::Invalidate(const std::string& name) {
   auto it = dtds_.find(name);
   if (it == dtds_.end()) return;
+  // Like the per-evaluator epoch, the set-epoch re-draw is the memo
+  // invalidation: outcomes scored against the old declarations are
+  // unreachable from here on.
+  set_epoch_ = NextClassifierSetEpoch();
   // The fresh evaluator draws a fresh epoch, so every shared-cache entry
   // of the old evaluator is unreachable from here on — epoch keying is
   // the invalidation.
@@ -75,6 +96,7 @@ void Classifier::Invalidate(const std::string& name) {
 }
 
 void Classifier::InvalidateAll() {
+  set_epoch_ = NextClassifierSetEpoch();
   for (const auto& [name, dtd] : dtds_) {
     auto evaluator =
         std::make_unique<similarity::SimilarityEvaluator>(*dtd, options_);
@@ -107,18 +129,45 @@ ClassificationOutcome Classifier::Classify(const xml::Document& doc) const {
   outcome.scores.resize(dtds_.size());
 
   // Per-document work shared by every DTD: the root content symbols feed
-  // the score bounds, the subtree fingerprints feed the shared cache.
+  // the score bounds, the subtree fingerprints feed the shared cache and
+  // the classification memo.
   const bool prune = classifier_options_.enable_pruning && dtds_.size() > 1;
   std::vector<int32_t> root_symbol_ids;
   if (prune && doc.has_root()) {
     root_symbol_ids = validate::ContentSymbolIds(doc.root());
   }
+  ClassificationMemo* memo = effective_memo();
   std::optional<similarity::SubtreeFingerprints> fingerprints;
-  if (effective_cache() != nullptr && doc.has_root()) {
+  if ((effective_cache() != nullptr || memo != nullptr) && doc.has_root()) {
     fingerprints.emplace(doc.root());
   }
   const similarity::SubtreeFingerprints* fingerprints_ptr =
-      fingerprints ? &*fingerprints : nullptr;
+      effective_cache() != nullptr && fingerprints ? &*fingerprints : nullptr;
+
+  // Memo probe: within one set-epoch, equal root fingerprints imply an
+  // identical outcome against every DTD — replay it and skip scoring.
+  ClassificationMemo::Key memo_key;
+  bool memoizable = false;
+  if (memo != nullptr && fingerprints) {
+    const similarity::SubtreeStats* root_stats =
+        fingerprints->Find(&doc.root());
+    if (root_stats != nullptr) {
+      memo_key = {set_epoch_, root_stats->fp_hi, root_stats->fp_lo};
+      memoizable = true;
+      if (memo->Lookup(memo_key, &outcome)) {
+        if (metrics_.documents_scored != nullptr) {
+          metrics_.documents_scored->Increment();
+        }
+        if (metrics_.score_seconds != nullptr) {
+          metrics_.score_seconds->Observe(
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count());
+        }
+        return outcome;
+      }
+    }
+  }
 
   struct Candidate {
     size_t index = 0;  // position in name order == outcome.scores slot
@@ -185,6 +234,7 @@ ClassificationOutcome Classifier::Classify(const xml::Document& doc) const {
   }
   outcome.classified =
       !outcome.dtd_name.empty() && outcome.similarity >= sigma_;
+  if (memoizable) memo->Insert(memo_key, outcome);
   if (metrics_.documents_scored != nullptr) {
     metrics_.documents_scored->Increment();
   }
@@ -194,6 +244,33 @@ ClassificationOutcome Classifier::Classify(const xml::Document& doc) const {
             .count());
   }
   return outcome;
+}
+
+std::optional<ClassificationOutcome> Classifier::MemoProbe(
+    const xml::ArenaDocument& doc) const {
+  ClassificationMemo* memo = effective_memo();
+  if (memo == nullptr || !doc.has_root()) return std::nullopt;
+  const xml::ArenaElement& root = doc.root();
+  ClassificationMemo::Key key{set_epoch_, root.fp_hi, root.fp_lo};
+  ClassificationOutcome outcome;
+  if (!memo->Lookup(key, &outcome)) return std::nullopt;
+  if (metrics_.documents_scored != nullptr) {
+    metrics_.documents_scored->Increment();
+  }
+  return outcome;
+}
+
+ClassificationOutcome Classifier::ClassifyArena(
+    const xml::ArenaDocument& doc,
+    std::optional<xml::Document>* materialized) const {
+  if (std::optional<ClassificationOutcome> replayed = MemoProbe(doc)) {
+    return *std::move(replayed);
+  }
+  // Miss (or memo off): materialize once and take the DOM path, which
+  // inserts under the identical key — the arena fingerprint equals the
+  // DOM fingerprint of the materialized tree by construction.
+  materialized->emplace(doc.ToDocument());
+  return Classify(**materialized);
 }
 
 std::vector<ClassificationOutcome> Classifier::ClassifyBatch(

@@ -9,11 +9,14 @@
 #include <utility>
 #include <vector>
 
+#include "classify/classification_memo.h"
+#include "classify/outcome.h"
 #include "dtd/dtd.h"
 #include "obs/metrics.h"
 #include "similarity/score_cache.h"
 #include "similarity/similarity.h"
 #include "util/thread_pool.h"
+#include "xml/arena.h"
 #include "xml/document.h"
 
 namespace dtdevolve::classify {
@@ -34,6 +37,12 @@ struct ClassifierMetrics {
   obs::Counter* cache_hits = nullptr;
   obs::Counter* cache_misses = nullptr;
   obs::Counter* cache_evictions = nullptr;
+  /// Classification memo traffic (see ClassificationMemo). A memo hit
+  /// counts on `documents_scored` but performs zero similarity
+  /// evaluations.
+  obs::Counter* memo_hits = nullptr;
+  obs::Counter* memo_misses = nullptr;
+  obs::Counter* memo_evictions = nullptr;
   /// Wall-clock seconds spent scoring one document against the full set.
   obs::Histogram* score_seconds = nullptr;
 };
@@ -60,32 +69,20 @@ struct ClassifierOptions {
   /// wires aggregate counters once); `score_cache_bytes` is likewise the
   /// owner's concern.
   similarity::SubtreeScoreCache* shared_cache = nullptr;
-};
-
-/// Similarity of one DTD in `ClassificationOutcome::scores`.
-struct ScoreEntry {
-  std::string dtd_name;
-  /// Exact similarity when `pruned` is false; the conservative upper
-  /// bound the pruning decision was made on when `pruned` is true (the
-  /// exact score is ≤ this bound, and strictly below the winner's).
-  double similarity = 0.0;
-  bool pruned = false;
-
-  friend bool operator==(const ScoreEntry&, const ScoreEntry&) = default;
-};
-
-/// Outcome of classifying one document against the DTD set.
-struct ClassificationOutcome {
-  /// True when the best similarity reached the threshold σ.
-  bool classified = false;
-  /// Name of the best-matching DTD (meaningful even when unclassified,
-  /// unless the set is empty).
-  std::string dtd_name;
-  /// Best similarity value.
-  double similarity = 0.0;
-  /// Per-DTD entries in DTD-name order, for analysis. Entries whose
-  /// evaluation was skipped by score-bound pruning are marked `pruned`.
-  std::vector<ScoreEntry> scores;
+  /// Classified-structure dedup: memoize whole outcomes by
+  /// `(set-epoch, root fingerprint)` so a document whose root
+  /// fingerprint matches an already-classified structure skips scoring
+  /// entirely. Score-equivalent like the other layers — a hit replays
+  /// byte-identical `classified` / `dtd_name` / `similarity` / `scores`,
+  /// because the fingerprint determines every triple and the epoch pins
+  /// the DTD set and σ.
+  bool enable_classification_memo = true;
+  /// Approximate capacity of the owned memo.
+  size_t classification_memo_bytes = 32ull << 20;
+  /// Optional process-wide memo (same sharing contract as
+  /// `shared_cache`: non-owning, epoch keying makes it safe across
+  /// classifiers, the owner wires metrics and sizes it).
+  ClassificationMemo* shared_memo = nullptr;
 };
 
 /// Classifies documents against a *set of DTDs* (§2): each document is
@@ -130,7 +127,12 @@ class Classifier {
   Classifier& operator=(const Classifier&) = delete;
 
   double sigma() const { return sigma_; }
-  void set_sigma(double sigma) { sigma_ = sigma; }
+  void set_sigma(double sigma) {
+    sigma_ = sigma;
+    // σ participates in `classified`, so memoized outcomes under the old
+    // threshold must become unreachable.
+    set_epoch_ = NextClassifierSetEpoch();
+  }
 
   const ClassifierOptions& classifier_options() const {
     return classifier_options_;
@@ -158,6 +160,27 @@ class Classifier {
 
   /// Classifies `doc` against every registered DTD.
   ClassificationOutcome Classify(const xml::Document& doc) const;
+
+  /// Classifies a streaming-parsed document, memo-first: the arena
+  /// carries the root fingerprint from the parse, so a hit replays the
+  /// cached outcome without materializing a DOM at all. On a miss (or
+  /// with the memo off) the document is materialized once into
+  /// `*materialized` and scored through `Classify` — which inserts the
+  /// outcome into the memo under the identical key, because arena and
+  /// DOM fingerprints are bit-identical by construction — and the
+  /// caller reuses the DOM (repository add, keep_documents) instead of
+  /// converting twice. `*materialized` stays empty on a memo hit.
+  ClassificationOutcome ClassifyArena(
+      const xml::ArenaDocument& doc,
+      std::optional<xml::Document>* materialized) const;
+
+  /// Memo-probe half of `ClassifyArena`: replays the cached outcome for
+  /// the arena root's fingerprint under the current set-epoch, or
+  /// returns nullopt (memo off, rootless document, or a miss) without
+  /// scoring anything. Batch callers use this to split a chunk into
+  /// replayed hits and to-be-scored misses.
+  std::optional<ClassificationOutcome> MemoProbe(
+      const xml::ArenaDocument& doc) const;
 
   /// Classifies every document concurrently on `jobs` threads (≤ 1 runs
   /// inline). Scoring is read-only, so the result is identical — entry by
@@ -192,6 +215,16 @@ class Classifier {
     return effective_cache();
   }
 
+  /// The classification memo in use (owned or shared), or nullptr when
+  /// disabled.
+  const ClassificationMemo* classification_memo() const {
+    return effective_memo();
+  }
+
+  /// The current set-epoch (changes on every outcome-relevant mutation);
+  /// exposed for the memo-discipline tests.
+  uint64_t set_epoch() const { return set_epoch_; }
+
  private:
   const similarity::SimilarityEvaluator& EvaluatorFor(
       const std::string& name) const;
@@ -200,6 +233,11 @@ class Classifier {
   /// configured, else the owned one, else nullptr (caching disabled).
   similarity::SubtreeScoreCache* effective_cache() const {
     return shared_cache_ != nullptr ? shared_cache_ : cache_.get();
+  }
+
+  /// The memo outcomes replay through: shared over owned, else nullptr.
+  ClassificationMemo* effective_memo() const {
+    return shared_memo_ != nullptr ? shared_memo_ : memo_.get();
   }
 
   double sigma_;
@@ -219,6 +257,13 @@ class Classifier {
   /// Externally owned process-wide cache (ClassifierOptions::shared_cache)
   /// — takes precedence over `cache_`; null when not sharing.
   similarity::SubtreeScoreCache* shared_cache_ = nullptr;
+  /// Owned classification memo; null when disabled or sharing.
+  std::unique_ptr<ClassificationMemo> memo_;
+  /// Externally owned process-wide memo — takes precedence over `memo_`.
+  ClassificationMemo* shared_memo_ = nullptr;
+  /// Epoch of the current DTD-set + σ state, re-drawn (globally unique)
+  /// by every mutating entry point; the memo key's first component.
+  uint64_t set_epoch_ = 0;
 };
 
 }  // namespace dtdevolve::classify

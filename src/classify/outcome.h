@@ -1,0 +1,37 @@
+#ifndef DTDEVOLVE_CLASSIFY_OUTCOME_H_
+#define DTDEVOLVE_CLASSIFY_OUTCOME_H_
+
+#include <string>
+#include <vector>
+
+namespace dtdevolve::classify {
+
+/// Similarity of one DTD in `ClassificationOutcome::scores`.
+struct ScoreEntry {
+  std::string dtd_name;
+  /// Exact similarity when `pruned` is false; the conservative upper
+  /// bound the pruning decision was made on when `pruned` is true (the
+  /// exact score is ≤ this bound, and strictly below the winner's).
+  double similarity = 0.0;
+  bool pruned = false;
+
+  friend bool operator==(const ScoreEntry&, const ScoreEntry&) = default;
+};
+
+/// Outcome of classifying one document against the DTD set.
+struct ClassificationOutcome {
+  /// True when the best similarity reached the threshold σ.
+  bool classified = false;
+  /// Name of the best-matching DTD (meaningful even when unclassified,
+  /// unless the set is empty).
+  std::string dtd_name;
+  /// Best similarity value.
+  double similarity = 0.0;
+  /// Per-DTD entries in DTD-name order, for analysis. Entries whose
+  /// evaluation was skipped by score-bound pruning are marked `pruned`.
+  std::vector<ScoreEntry> scores;
+};
+
+}  // namespace dtdevolve::classify
+
+#endif  // DTDEVOLVE_CLASSIFY_OUTCOME_H_

@@ -6,6 +6,7 @@
 #include "dtd/dtd_parser.h"
 #include "util/thread_pool.h"
 #include "xml/parser.h"
+#include "xml/stream_reader.h"
 
 namespace dtdevolve::core {
 
@@ -99,12 +100,22 @@ Status XmlSource::AddDtdText(const std::string& name,
 
 XmlSource::ProcessOutcome XmlSource::Process(xml::Document doc) {
   classify::ClassificationOutcome classification = classifier_.Classify(doc);
-  return ApplyClassification(std::move(doc), classification, /*jobs=*/1);
+  PendingDocument pending;
+  pending.dom.emplace(std::move(doc));
+  return ApplyClassification(std::move(pending), classification, /*jobs=*/1);
+}
+
+XmlSource::ProcessOutcome XmlSource::Process(xml::ArenaDocument doc) {
+  PendingDocument pending;
+  pending.arena = &doc;
+  classify::ClassificationOutcome classification =
+      classifier_.ClassifyArena(doc, &pending.dom);
+  return ApplyClassification(std::move(pending), classification, /*jobs=*/1);
 }
 
 XmlSource::ProcessOutcome XmlSource::ApplyClassification(
-    xml::Document doc, const classify::ClassificationOutcome& classification,
-    size_t jobs) {
+    PendingDocument doc,
+    const classify::ClassificationOutcome& classification, size_t jobs) {
   ProcessOutcome outcome;
   const uint64_t index = documents_processed_++;
   if (metrics_.documents_processed != nullptr) {
@@ -115,7 +126,7 @@ XmlSource::ProcessOutcome XmlSource::ApplyClassification(
   outcome.similarity = classification.similarity;
 
   if (!classification.classified) {
-    const int repo_id = repository_.Add(std::move(doc));
+    const int repo_id = repository_.Add(doc.TakeDom());
     if (options_.cluster_repository) {
       clusterer_.Add(repo_id, repository_.Get(repo_id));
     }
@@ -135,9 +146,16 @@ XmlSource::ProcessOutcome XmlSource::ApplyClassification(
   }
   const std::string& name = classification.dtd_name;
   evolve::ExtendedDtd& ext = dtds_.at(name);
-  recorders_.at(name)->RecordDocument(doc);
+  if (doc.dom.has_value()) {
+    recorders_.at(name)->RecordDocument(*doc.dom);
+  } else {
+    // Memo-hit streaming path: record straight off the arena tree —
+    // the recorder extracts identical statistics from either
+    // representation of the same document.
+    recorders_.at(name)->RecordDocument(*doc.arena);
+  }
   if (options_.keep_documents) {
-    instances_.at(name).push_back(std::move(doc));
+    instances_.at(name).push_back(doc.TakeDom());
   }
   events_.push_back({SourceEvent::Kind::kClassified, name,
                      classification.similarity, index, ""});
@@ -209,7 +227,9 @@ std::vector<XmlSource::ProcessOutcome> XmlSource::ProcessBatch(
         classifier_.ClassifyBatch(pending, pool);
     size_t applied = 0;
     for (size_t j = i; j < end; ++j) {
-      outcomes.push_back(ApplyClassification(std::move(docs[j]),
+      PendingDocument pending;
+      pending.dom.emplace(std::move(docs[j]));
+      outcomes.push_back(ApplyClassification(std::move(pending),
                                              classifications[j - i], jobs));
       ++applied;
       if (outcomes.back().evolved) break;  // remaining scores are stale
@@ -221,9 +241,64 @@ std::vector<XmlSource::ProcessOutcome> XmlSource::ProcessBatch(
 
 StatusOr<XmlSource::ProcessOutcome> XmlSource::ProcessText(
     std::string_view xml_text) {
+  if (options_.streaming_parse) {
+    StatusOr<xml::ArenaDocument> doc = xml::ParseArenaDocument(xml_text);
+    if (!doc.ok()) return doc.status();
+    return Process(std::move(doc).value());
+  }
   StatusOr<xml::Document> doc = xml::ParseDocument(xml_text);
   if (!doc.ok()) return doc.status();
   return Process(std::move(doc).value());
+}
+
+std::vector<XmlSource::ProcessOutcome> XmlSource::ProcessBatch(
+    std::vector<xml::ArenaDocument> docs, util::ThreadPool* pool) {
+  const size_t jobs = pool != nullptr && pool->size() > 1 ? pool->size() : 1;
+  std::vector<ProcessOutcome> outcomes;
+  outcomes.reserve(docs.size());
+  // Same chunked speculation as the DOM batch, with a memo split in
+  // front: hits replay their outcome with no DOM and no scoring, and
+  // only the misses of the chunk are materialized and batch-scored.
+  // An evolution bumps the set-epoch, so the re-probed remainder of the
+  // chunk correctly misses against the evolved set.
+  const size_t chunk = std::max<size_t>(32, 16 * jobs);
+  std::vector<std::optional<classify::ClassificationOutcome>> replayed;
+  std::vector<std::optional<xml::Document>> materialized;
+  size_t i = 0;
+  while (i < docs.size()) {
+    const size_t end = std::min(docs.size(), i + chunk);
+    replayed.clear();
+    replayed.resize(end - i);
+    materialized.clear();
+    materialized.resize(end - i);
+    std::vector<const xml::Document*> pending;
+    std::vector<size_t> pending_index;
+    for (size_t j = i; j < end; ++j) {
+      replayed[j - i] = classifier_.MemoProbe(docs[j]);
+      if (!replayed[j - i].has_value()) {
+        materialized[j - i].emplace(docs[j].ToDocument());
+        pending.push_back(&*materialized[j - i]);
+        pending_index.push_back(j - i);
+      }
+    }
+    std::vector<classify::ClassificationOutcome> scored =
+        classifier_.ClassifyBatch(pending, pool);
+    for (size_t k = 0; k < pending_index.size(); ++k) {
+      replayed[pending_index[k]] = std::move(scored[k]);
+    }
+    size_t applied = 0;
+    for (size_t j = i; j < end; ++j) {
+      PendingDocument doc;
+      doc.arena = &docs[j];
+      doc.dom = std::move(materialized[j - i]);
+      outcomes.push_back(
+          ApplyClassification(std::move(doc), *replayed[j - i], jobs));
+      ++applied;
+      if (outcomes.back().evolved) break;  // remaining scores are stale
+    }
+    i += applied;
+  }
+  return outcomes;
 }
 
 void XmlSource::AfterEvolution(const std::string& name,

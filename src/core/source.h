@@ -127,7 +127,16 @@ class XmlSource {
 
   /// Classifies, records and (when the check phase fires) evolves.
   ProcessOutcome Process(xml::Document doc);
-  /// Parses then processes.
+  /// Streaming twin: classifies memo-first from the arena's parse-time
+  /// root fingerprint. On a memo hit the whole classify → record tail
+  /// runs on the arena representation — no DOM is ever built (unless
+  /// the document is unclassified or `keep_documents` needs a copy); on
+  /// a miss the document is materialized once and takes the DOM path.
+  /// Outcome-equivalent to converting and calling the DOM overload.
+  ProcessOutcome Process(xml::ArenaDocument doc);
+  /// Parses then processes — through the streaming reader when
+  /// `options().streaming_parse` (the default), else the DOM parser.
+  /// Both parsers accept/reject identical inputs with identical errors.
   StatusOr<ProcessOutcome> ProcessText(std::string_view xml_text);
 
   /// Batch variant of `Process`: scores documents against the DTD set
@@ -151,6 +160,13 @@ class XmlSource {
   /// outcomes are identical either way.
   std::vector<ProcessOutcome> ProcessBatch(std::vector<xml::Document> docs,
                                            util::ThreadPool* pool);
+
+  /// Arena batch: memo hits replay without DOM materialization or
+  /// scoring; only the misses of each chunk are materialized and scored
+  /// (in parallel on `pool`). Outcomes are identical — entry by entry —
+  /// to converting every document and calling the DOM `ProcessBatch`.
+  std::vector<ProcessOutcome> ProcessBatch(
+      std::vector<xml::ArenaDocument> docs, util::ThreadPool* pool);
 
   // --- Inspection ----------------------------------------------------------
 
@@ -265,12 +281,27 @@ class XmlSource {
   size_t EvictRepositoryDocs(const std::vector<int>& ids);
 
  private:
+  /// A document on its way through the apply tail, in whichever
+  /// representation it still has: the DOM path fills `dom` only; the
+  /// streaming path points `arena` at the caller's arena tree and fills
+  /// `dom` lazily — only when the repository or `keep_documents`
+  /// genuinely needs an owning DOM.
+  struct PendingDocument {
+    const xml::ArenaDocument* arena = nullptr;
+    std::optional<xml::Document> dom;
+
+    xml::Document TakeDom() {
+      if (!dom.has_value()) dom.emplace(arena->ToDocument());
+      return *std::move(dom);
+    }
+  };
+
   /// The record / check / evolve tail of `Process`, fed a precomputed
   /// classification. `jobs` is forwarded to the repository re-scoring
   /// that may follow an evolution.
   ProcessOutcome ApplyClassification(
-      xml::Document doc, const classify::ClassificationOutcome& classification,
-      size_t jobs);
+      PendingDocument doc,
+      const classify::ClassificationOutcome& classification, size_t jobs);
 
   void AfterEvolution(const std::string& name,
                       const evolve::EvolutionResult& result);

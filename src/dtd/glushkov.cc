@@ -162,6 +162,38 @@ bool Automaton::Accepts(const std::vector<std::string>& symbols) const {
   return false;
 }
 
+bool Automaton::AcceptsIds(const int32_t* ids, size_t count) const {
+  if (any_) return true;
+  // Subset simulation over reused scratch state sets: state counts are
+  // tiny (bounded by the declaration's positions) and deterministic
+  // models keep them singletons, so linear-dedup vectors beat node-based
+  // sets on the per-element validation path.
+  thread_local std::vector<int> states_scratch;
+  thread_local std::vector<int> next_scratch;
+  std::vector<int>& states = states_scratch;
+  std::vector<int>& next = next_scratch;
+  states.clear();
+  states.push_back(0);
+  for (size_t i = 0; i < count; ++i) {
+    const int32_t id = ids[i];
+    next.clear();
+    for (int s : states) {
+      for (int pos : successors_[s]) {
+        if (label_ids_[pos] == id &&
+            std::find(next.begin(), next.end(), pos + 1) == next.end()) {
+          next.push_back(pos + 1);
+        }
+      }
+    }
+    if (next.empty()) return false;
+    states.swap(next);
+  }
+  for (int s : states) {
+    if (accepting_[s]) return true;
+  }
+  return false;
+}
+
 bool Automaton::IsDeterministic() const {
   if (any_) return true;
   for (const std::vector<int>& succ : successors_) {

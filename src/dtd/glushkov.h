@@ -66,6 +66,22 @@ class Automaton {
   /// tags and `kPcdataSymbol` items).
   bool Accepts(const std::vector<std::string>& symbols) const;
 
+  /// Id-side acceptance test: same subset simulation over interned
+  /// symbol ids (element-tag ids and `PcdataSymbolId()`), comparing
+  /// `LabelIdOfPosition` instead of strings — the streaming parse path
+  /// validates arena trees through this without materializing tag
+  /// strings. Every position label carries a real id (build time
+  /// interns through the unbounded table), so
+  /// `util::SymbolTable::kNoSymbol` never matches; callers holding an
+  /// unresolved id must fall back to the string-side `Accepts`.
+  bool AcceptsIds(const std::vector<int32_t>& ids) const {
+    return AcceptsIds(ids.data(), ids.size());
+  }
+
+  /// Span form of `AcceptsIds` for callers feeding a reused scratch
+  /// buffer (the recorder validates every element of every document).
+  bool AcceptsIds(const int32_t* ids, size_t count) const;
+
   /// True if no state has two distinct successor positions with the same
   /// label — i.e. the content model is deterministic (1-unambiguous), as
   /// the XML specification requires.

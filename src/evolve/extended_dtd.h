@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "dtd/dtd.h"
@@ -26,12 +27,20 @@ class ExtendedDtd {
   dtd::Dtd& mutable_dtd() { return dtd_; }
 
   /// Stats attached to the declaration of `name`, created on demand.
-  ElementStats& StatsFor(const std::string& name) { return stats_[name]; }
-  const ElementStats* FindStats(const std::string& name) const {
+  /// Transparent lookup: the recorder probes with tag views and pays a
+  /// key materialization only on first sight of a tag.
+  ElementStats& StatsFor(std::string_view name) {
+    auto it = stats_.find(name);
+    if (it == stats_.end()) {
+      it = stats_.emplace(std::string(name), ElementStats()).first;
+    }
+    return it->second;
+  }
+  const ElementStats* FindStats(std::string_view name) const {
     auto it = stats_.find(name);
     return it == stats_.end() ? nullptr : &it->second;
   }
-  const std::map<std::string, ElementStats>& all_stats() const {
+  const std::map<std::string, ElementStats, std::less<>>& all_stats() const {
     return stats_;
   }
 
@@ -69,7 +78,7 @@ class ExtendedDtd {
 
  private:
   dtd::Dtd dtd_;
-  std::map<std::string, ElementStats> stats_;
+  std::map<std::string, ElementStats, std::less<>> stats_;
   uint64_t documents_recorded_ = 0;
   uint64_t total_elements_ = 0;
   uint64_t invalid_elements_ = 0;

@@ -1,13 +1,17 @@
 #ifndef DTDEVOLVE_EVOLVE_RECORDER_H_
 #define DTDEVOLVE_EVOLVE_RECORDER_H_
 
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "evolve/extended_dtd.h"
 #include "obs/metrics.h"
 #include "validate/validator.h"
+#include "xml/arena.h"
 #include "xml/document.h"
 
 namespace dtdevolve::evolve {
@@ -38,8 +42,15 @@ class Recorder {
   /// included). Returns the document's non-valid-element fraction.
   double RecordDocument(const xml::Document& doc);
 
+  /// Arena twin for the streaming parse path: records the identical
+  /// statistics (tag sequences, text flags, attribute names, plus
+  /// structures, divergence) without a DOM — text presence comes from
+  /// the parse-time `has_text` flag instead of a child rescan.
+  double RecordDocument(const xml::ArenaDocument& doc);
+
   /// Records an element subtree (no document-level divergence update).
   void RecordTree(const xml::Element& root);
+  void RecordTree(const xml::ArenaElement& root);
 
   /// Optional instrumentation: `documents` bumps once per recorded
   /// document, `elements` by the element count of each. Either may be
@@ -50,15 +61,50 @@ class Recorder {
   }
 
  private:
-  void Walk(const xml::Element& element, std::set<std::string>& doc_valid,
-            std::set<std::string>& doc_invalid, uint64_t& total,
+  /// One traversal shared by the DOM and arena paths (instantiated in
+  /// the .cc for `xml::Element` and `xml::ArenaElement`); small shape
+  /// adapters bridge the representation differences.
+  /// Tag views stay valid for the traversal (they point into the
+  /// document being recorded), so the per-document valid/invalid tag
+  /// sets never copy a string.
+  template <typename ElementT>
+  void Walk(const ElementT& element, std::set<std::string_view>& doc_valid,
+            std::set<std::string_view>& doc_invalid, uint64_t& total,
             uint64_t& invalid);
   /// Recursively records a plus-element instance against an implicit
   /// empty declaration: every child is again a plus element.
-  void RecordPlusInstance(ElementStats& stats, const xml::Element& element);
+  template <typename ElementT>
+  void RecordPlusInstance(ElementStats& stats, const ElementT& element);
+  template <typename ElementT>
+  void RecordTreeImpl(const ElementT& root);
+  template <typename ElementT>
+  double RecordRootImpl(const ElementT& root);
+
+  /// Sorted symbol set of a declaration's content model, computed once
+  /// per declaration instead of once per invalid instance. Keyed by
+  /// declaration address — safe because the recorder's documented
+  /// lifetime ends when the target DTD changes.
+  const std::vector<std::string>& DeclaredSymbolsOf(const dtd::ElementDecl& decl);
+
+  /// The three per-element name resolutions (declaration, content
+  /// automaton, stats slot), cached against the element's interned tag
+  /// id. All three pointees are node-stable and live as long as the
+  /// recorder (the stats map only grows; the validator's automata are
+  /// fixed at construction). Dense ids above the cap and unresolved
+  /// (`kNoSymbol`) tags take the uncached string path.
+  struct TagLookup {
+    bool resolved = false;
+    const dtd::ElementDecl* decl = nullptr;
+    const dtd::Automaton* automaton = nullptr;
+    ElementStats* stats = nullptr;
+  };
+  static constexpr size_t kMaxDenseTagIds = 4096;
+  TagLookup ResolveTag(std::string_view tag);
 
   ExtendedDtd* target_;
   std::unique_ptr<validate::Validator> validator_;
+  std::vector<TagLookup> tag_lookup_;
+  std::map<const void*, std::vector<std::string>> declared_symbols_;
   obs::Counter* documents_recorded_metric_ = nullptr;
   obs::Counter* elements_recorded_metric_ = nullptr;
 };

@@ -1,5 +1,7 @@
 #include "evolve/stats.h"
 
+#include <algorithm>
+
 namespace dtdevolve::evolve {
 
 void OccurrenceStats::RecordInstance(uint32_t count_in_instance) {
@@ -25,47 +27,100 @@ void OccurrenceStats::MergeFrom(const OccurrenceStats& other) {
   position_sum += other.position_sum;
 }
 
+namespace {
+
+/// Per-label aggregate of one instance, kept in a reused scratch vector:
+/// instances are small (direct children of one element), so a linear
+/// probe beats a node-based map and leaves the hot path allocation-free.
+struct LabelAgg {
+  std::string_view label;
+  uint32_t count = 0;
+  double position_sum = 0.0;
+};
+
+thread_local std::vector<LabelAgg> label_agg_scratch;
+
+}  // namespace
+
 std::set<std::string> ElementStats::RecordInstance(
     const std::vector<std::string>& child_tags, bool locally_valid,
     bool has_text) {
-  // Per-label occurrence counts and positions within this instance.
-  std::map<std::string, uint32_t> counts;
-  std::map<std::string, double> positions;
+  thread_local std::vector<std::string_view> views;
+  views.clear();
+  views.reserve(child_tags.size());
+  for (const std::string& tag : child_tags) views.emplace_back(tag);
+  RecordInstance(views.data(), views.size(), locally_valid, has_text);
+  return std::set<std::string>(child_tags.begin(), child_tags.end());
+}
+
+void ElementStats::RecordInstance(const std::string_view* child_tags,
+                                  size_t tag_count, bool locally_valid,
+                                  bool has_text) {
+  // Per-label occurrence counts and positions within this instance,
+  // aggregated in sorted order so map insertions match the ordered
+  // traversal the map-based implementation used.
+  std::vector<LabelAgg>& aggs = label_agg_scratch;
+  aggs.clear();
   const double denom =
-      child_tags.size() > 1 ? static_cast<double>(child_tags.size() - 1) : 1.0;
-  for (size_t i = 0; i < child_tags.size(); ++i) {
-    ++counts[child_tags[i]];
-    positions[child_tags[i]] += static_cast<double>(i) / denom;
+      tag_count > 1 ? static_cast<double>(tag_count - 1) : 1.0;
+  for (size_t i = 0; i < tag_count; ++i) {
+    const std::string_view tag = child_tags[i];
+    const double position = static_cast<double>(i) / denom;
+    auto it = std::lower_bound(
+        aggs.begin(), aggs.end(), tag,
+        [](const LabelAgg& agg, std::string_view t) { return agg.label < t; });
+    if (it == aggs.end() || it->label != tag) {
+      it = aggs.insert(it, LabelAgg{tag, 0, 0.0});
+    }
+    ++it->count;
+    it->position_sum += position;
   }
 
   if (has_text) ++text_instances_;
-  if (child_tags.empty() && !has_text) ++empty_instances_;
-
-  std::set<std::string> label_set;
-  for (const auto& [label, count] : counts) label_set.insert(label);
+  if (tag_count == 0 && !has_text) ++empty_instances_;
 
   if (locally_valid) {
     ++valid_instances_;
-    for (const auto& [label, count] : counts) {
-      OccurrenceStats& occ = labels_[label].valid;
-      occ.RecordInstance(count);
-      occ.position_sum += positions[label];
+    for (const LabelAgg& agg : aggs) {
+      auto it = labels_.find(agg.label);
+      if (it == labels_.end()) {
+        it = labels_.emplace(std::string(agg.label), LabelStats()).first;
+      }
+      OccurrenceStats& occ = it->second.valid;
+      occ.RecordInstance(agg.count);
+      occ.position_sum += agg.position_sum;
     }
-    return label_set;
+    return;
   }
 
   ++invalid_instances_;
-  ++sequences_[label_set];
-  for (const auto& [label, count] : counts) {
-    OccurrenceStats& occ = labels_[label].invalid;
-    occ.RecordInstance(count);
-    occ.position_sum += positions[label];
+  // aggs is sorted and unique by label, so it is already the ordered
+  // label set; probe without building a key and pay the set
+  // materialization only on first sight of a sequence.
+  thread_local std::vector<std::string_view> label_views;
+  label_views.clear();
+  for (const LabelAgg& agg : aggs) label_views.push_back(agg.label);
+  auto seq_it = sequences_.find(label_views);
+  if (seq_it == sequences_.end()) {
+    std::set<std::string> label_set;
+    for (const LabelAgg& agg : aggs) label_set.emplace(agg.label);
+    seq_it = sequences_.emplace(std::move(label_set), 0).first;
+  }
+  ++seq_it->second;
+  for (const LabelAgg& agg : aggs) {
+    auto it = labels_.find(agg.label);
+    if (it == labels_.end()) {
+      it = labels_.emplace(std::string(agg.label), LabelStats()).first;
+    }
+    OccurrenceStats& occ = it->second.invalid;
+    occ.RecordInstance(agg.count);
+    occ.position_sum += agg.position_sum;
   }
   // Groups: for each repetition count m > 1, the set of labels repeated
   // exactly m times in this instance (§3.2).
   std::map<uint32_t, std::set<std::string>> by_count;
-  for (const auto& [label, count] : counts) {
-    if (count > 1) by_count[count].insert(label);
+  for (const LabelAgg& agg : aggs) {
+    if (agg.count > 1) by_count[agg.count].emplace(agg.label);
   }
   for (auto& [count, labels] : by_count) {
     GroupKey key;
@@ -73,7 +128,6 @@ std::set<std::string> ElementStats::RecordInstance(
     key.repeat_count = count;
     ++groups_[key];
   }
-  return label_set;
 }
 
 double ElementStats::InvalidityRatio() const {
@@ -104,8 +158,23 @@ void ElementStats::RecordAttributes(const std::vector<std::string>& names) {
   for (const std::string& name : names) ++attribute_counts_[name];
 }
 
-ElementStats& ElementStats::PlusStructureFor(const std::string& label) {
-  LabelStats& entry = labels_[label];
+void ElementStats::RecordAttributes(const std::string_view* names,
+                                    size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    auto it = attribute_counts_.find(names[i]);
+    if (it == attribute_counts_.end()) {
+      it = attribute_counts_.emplace(std::string(names[i]), 0).first;
+    }
+    ++it->second;
+  }
+}
+
+ElementStats& ElementStats::PlusStructureFor(std::string_view label) {
+  auto it = labels_.find(label);
+  if (it == labels_.end()) {
+    it = labels_.emplace(std::string(label), LabelStats()).first;
+  }
+  LabelStats& entry = it->second;
   if (!entry.plus_structure) {
     entry.plus_structure = std::make_unique<ElementStats>();
   }

@@ -1,11 +1,13 @@
 #ifndef DTDEVOLVE_EVOLVE_STATS_H_
 #define DTDEVOLVE_EVOLVE_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -97,6 +99,13 @@ class ElementStats {
       const std::vector<std::string>& child_tags, bool locally_valid,
       bool has_text);
 
+  /// Allocation-lean twin for the recorder's per-element hot path: same
+  /// recorded state, fed tag views and backed by reused scratch. The
+  /// valid-instance case (the common one on a repetitive stream) touches
+  /// only existing map nodes after warm-up.
+  void RecordInstance(const std::string_view* child_tags, size_t tag_count,
+                      bool locally_valid, bool has_text);
+
   uint64_t valid_instances() const { return valid_instances_; }
   uint64_t invalid_instances() const { return invalid_instances_; }
   uint64_t total_instances() const {
@@ -115,15 +124,30 @@ class ElementStats {
   /// The invalidity ratio I(e) = m / n (§3.2); 0 when nothing recorded.
   double InvalidityRatio() const;
 
+  /// Label map with transparent comparison, so the recording hot path
+  /// can probe by `string_view` without materializing a key.
+  using LabelMap = std::map<std::string, LabelStats, std::less<>>;
+
   /// Labels found in the recorded instances (the element's `Label` set).
-  const std::map<std::string, LabelStats>& labels() const { return labels_; }
-  std::map<std::string, LabelStats>& labels() { return labels_; }
+  const LabelMap& labels() const { return labels_; }
+  LabelMap& labels() { return labels_; }
+
+  /// Transparent element-wise lexicographic order over label sets, so
+  /// the recording hot path can probe `sequences_` with a sorted vector
+  /// of views — same ordering as `std::less<std::set<std::string>>`.
+  struct SequenceLess {
+    using is_transparent = void;
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const {
+      return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                          b.end());
+    }
+  };
+  using SequenceMap = std::map<std::set<std::string>, uint64_t, SequenceLess>;
 
   /// The sequences recorded from invalid instances: child-tag sets
   /// (order and repetition disregarded) with multiplicities.
-  const std::map<std::set<std::string>, uint64_t>& sequences() const {
-    return sequences_;
-  }
+  const SequenceMap& sequences() const { return sequences_; }
 
   /// Recorded groups with their counters r.
   const std::map<GroupKey, uint64_t>& groups() const { return groups_; }
@@ -135,13 +159,17 @@ class ElementStats {
   std::set<std::string> LabelUniverse() const;
 
   /// Gets or creates the nested stats of a plus label.
-  ElementStats& PlusStructureFor(const std::string& label);
+  ElementStats& PlusStructureFor(std::string_view label);
 
   /// Records the attribute names one instance carried (the paper leaves
   /// attributes out; this backs the attribute-evolution extension).
   void RecordAttributes(const std::vector<std::string>& names);
+  /// View twin for the recorder hot path; allocates only on first sight
+  /// of a name.
+  void RecordAttributes(const std::string_view* names, size_t count);
   /// Instances carrying each attribute name, over all instances.
-  const std::map<std::string, uint64_t>& attribute_counts() const {
+  const std::map<std::string, uint64_t, std::less<>>& attribute_counts()
+      const {
     return attribute_counts_;
   }
   void RestoreAttributeCount(const std::string& name, uint64_t count) {
@@ -172,10 +200,10 @@ class ElementStats {
   uint64_t docs_with_invalid_ = 0;
   uint64_t text_instances_ = 0;
   uint64_t empty_instances_ = 0;
-  std::map<std::string, LabelStats> labels_;
-  std::map<std::set<std::string>, uint64_t> sequences_;
+  LabelMap labels_;
+  SequenceMap sequences_;
   std::map<GroupKey, uint64_t> groups_;
-  std::map<std::string, uint64_t> attribute_counts_;
+  std::map<std::string, uint64_t, std::less<>> attribute_counts_;
 };
 
 }  // namespace dtdevolve::evolve

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "xml/parser.h"
+#include "xml/stream_reader.h"
 
 namespace dtdevolve::server {
 
@@ -887,16 +888,30 @@ IngestServer::RouteResult IngestServer::HandleIngest(
              "quota\"}\n"}};
   }
 
-  StatusOr<xml::Document> doc = xml::ParseDocument(request.body);
-  if (!doc.ok()) {
-    return {false,
-            {400, "application/json", {},
-             "{\"error\":\"" + JsonEscape(doc.status().ToString()) + "\"}\n"}};
-  }
-
   const bool wait = request.QueryFlag("wait");
-  SourceManager::EnqueueResult enqueued =
-      manager_.Enqueue(tenant, std::move(*doc), request.body, wait);
+  SourceManager::EnqueueResult enqueued;
+  if (manager_.streaming_ingest()) {
+    // Single-pass streaming parse straight into an arena tree; the
+    // reader accepts/rejects exactly what the DOM parser would, with
+    // identical error messages.
+    StatusOr<xml::ArenaDocument> doc = xml::ParseArenaDocument(request.body);
+    if (!doc.ok()) {
+      return {false,
+              {400, "application/json", {},
+               "{\"error\":\"" + JsonEscape(doc.status().ToString()) +
+                   "\"}\n"}};
+    }
+    enqueued = manager_.Enqueue(tenant, std::move(*doc), request.body, wait);
+  } else {
+    StatusOr<xml::Document> doc = xml::ParseDocument(request.body);
+    if (!doc.ok()) {
+      return {false,
+              {400, "application/json", {},
+               "{\"error\":\"" + JsonEscape(doc.status().ToString()) +
+                   "\"}\n"}};
+    }
+    enqueued = manager_.Enqueue(tenant, std::move(*doc), request.body, wait);
+  }
   switch (enqueued.code) {
     case SourceManager::EnqueueCode::kUnknownTenant:
       return {false,

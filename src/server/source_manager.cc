@@ -86,6 +86,19 @@ SourceManager::SourceManager(core::SourceOptions source_options,
     source_options_.classifier.shared_cache = shared_cache_.get();
   }
 
+  // Likewise one classification memo: set-epochs are globally unique,
+  // so one shard can never replay another's outcomes, and the dedup
+  // budget is shared instead of multiplied by the tenant count.
+  if (source_options_.classifier.enable_classification_memo &&
+      source_options_.classifier.shared_memo == nullptr &&
+      source_options_.classifier.classification_memo_bytes > 0) {
+    classify::ClassificationMemo::Config memo_config;
+    memo_config.capacity_bytes =
+        source_options_.classifier.classification_memo_bytes;
+    shared_memo_ = std::make_unique<classify::ClassificationMemo>(memo_config);
+    source_options_.classifier.shared_memo = shared_memo_.get();
+  }
+
   for (const std::string& tenant : options_.tenants) {
     if (tenant.empty() || by_name_.count(tenant) != 0) continue;
     auto shard = std::make_unique<Shard>(source_options_);
@@ -185,15 +198,14 @@ Status SourceManager::UnresolvedTenantError(const std::string& tenant) {
 }
 
 SourceManager::Shard* SourceManager::RouteIngest(const std::string& tenant,
-                                                 const xml::Document& doc) {
+                                                 std::string_view root_tag) {
   if (!tenant.empty()) return FindShard(tenant);
   if (shards_.size() == 1) return shards_[0].get();
   if (default_shard_ != nullptr) return default_shard_;
   // Anonymous traffic across tenants with no "default": consistent-hash
   // the root element tag, so one document population keeps landing on
   // one shard even as the tenant set changes.
-  const std::string& key = doc.has_root() ? doc.root().tag() : std::string();
-  const uint32_t hash = util::Crc32(key.data(), key.size());
+  const uint32_t hash = util::Crc32(root_tag.data(), root_tag.size());
   auto it = std::lower_bound(
       ring_.begin(), ring_.end(), hash,
       [](const auto& entry, uint32_t value) { return entry.first < value; });
@@ -460,6 +472,15 @@ Status SourceManager::Start(obs::Registry* registry) {
         &registry->GetCounter("dtdevolve_score_cache_evictions_total",
                               "Shared subtree score cache LRU evictions"));
   }
+  if (shared_memo_ != nullptr) {
+    shared_memo_->set_metrics(
+        &registry->GetCounter("dtdevolve_classification_memo_hits_total",
+                              "Shared classification memo hits"),
+        &registry->GetCounter("dtdevolve_classification_memo_misses_total",
+                              "Shared classification memo misses"),
+        &registry->GetCounter("dtdevolve_classification_memo_evictions_total",
+                              "Shared classification memo LRU evictions"));
+  }
 
   for (const auto& shard : shards_) {
     DTDEVOLVE_RETURN_IF_ERROR(StartShard(*shard, registry));
@@ -503,8 +524,28 @@ void SourceManager::ResumeIngest() {
 SourceManager::EnqueueResult SourceManager::Enqueue(
     const std::string& tenant, xml::Document doc, const std::string& raw_body,
     bool wait) {
+  const std::string root_tag =
+      doc.has_root() ? doc.root().tag() : std::string();
+  PendingDoc pending;
+  pending.doc = std::move(doc);
+  return EnqueuePending(tenant, std::move(pending), root_tag, raw_body, wait);
+}
+
+SourceManager::EnqueueResult SourceManager::Enqueue(
+    const std::string& tenant, xml::ArenaDocument doc,
+    const std::string& raw_body, bool wait) {
+  const std::string root_tag =
+      doc.has_root() ? std::string(doc.root().tag) : std::string();
+  PendingDoc pending;
+  pending.arena.emplace(std::move(doc));
+  return EnqueuePending(tenant, std::move(pending), root_tag, raw_body, wait);
+}
+
+SourceManager::EnqueueResult SourceManager::EnqueuePending(
+    const std::string& tenant, PendingDoc pending, std::string_view root_tag,
+    const std::string& raw_body, bool wait) {
   EnqueueResult result;
-  Shard* shard = RouteIngest(tenant, doc);
+  Shard* shard = RouteIngest(tenant, root_tag);
   if (shard == nullptr) {
     result.code = EnqueueCode::kUnknownTenant;
     result.tenant = tenant;
@@ -512,8 +553,6 @@ SourceManager::EnqueueResult SourceManager::Enqueue(
   }
   result.tenant = shard->name;
 
-  PendingDoc pending;
-  pending.doc = std::move(doc);
   pending.enqueued = std::chrono::steady_clock::now();
   if (wait) pending.waiter = std::make_shared<IngestWaiter>();
   result.waiter = pending.waiter;
@@ -613,16 +652,38 @@ void SourceManager::IngestWorker(Shard& shard) {
 
 void SourceManager::ProcessPending(Shard& shard,
                                    std::vector<PendingDoc> pending) {
-  std::vector<xml::Document> docs;
-  docs.reserve(pending.size());
-  for (PendingDoc& item : pending) docs.push_back(std::move(item.doc));
+  // All-arena batches (the streaming default) drain through the
+  // memo-first arena ProcessBatch; a mixed or DOM batch falls back to
+  // the DOM path, converting any stray arena documents. Outcomes are
+  // identical either way.
+  bool all_arena = !pending.empty();
+  for (const PendingDoc& item : pending) {
+    if (!item.arena.has_value()) {
+      all_arena = false;
+      break;
+    }
+  }
 
   const auto batch_start = std::chrono::steady_clock::now();
   std::vector<core::XmlSource::ProcessOutcome> outcomes;
   {
     std::lock_guard<std::mutex> lock(shard.state_mutex);
-    outcomes =
-        shard.source->ProcessBatch(std::move(docs), pool_ ? &*pool_ : nullptr);
+    if (all_arena) {
+      std::vector<xml::ArenaDocument> docs;
+      docs.reserve(pending.size());
+      for (PendingDoc& item : pending) docs.push_back(std::move(*item.arena));
+      outcomes = shard.source->ProcessBatch(std::move(docs),
+                                            pool_ ? &*pool_ : nullptr);
+    } else {
+      std::vector<xml::Document> docs;
+      docs.reserve(pending.size());
+      for (PendingDoc& item : pending) {
+        docs.push_back(item.arena.has_value() ? item.arena->ToDocument()
+                                              : std::move(item.doc));
+      }
+      outcomes = shard.source->ProcessBatch(std::move(docs),
+                                            pool_ ? &*pool_ : nullptr);
+    }
     for (const core::XmlSource::ProcessOutcome& outcome : outcomes) {
       if (outcome.classified) ++shard.ingested_per_dtd[outcome.dtd_name];
       if (outcome.evolved) ++shard.evolutions_per_dtd[outcome.dtd_name];

@@ -251,6 +251,16 @@ class SourceManager {
   /// records (replay re-parses it).
   EnqueueResult Enqueue(const std::string& tenant, xml::Document doc,
                         const std::string& raw_body, bool wait);
+  /// Streaming twin: enqueues an arena-parsed document. The worker
+  /// drains all-arena batches through the memo-first arena
+  /// `ProcessBatch`, so repeated structures never materialize a DOM.
+  EnqueueResult Enqueue(const std::string& tenant, xml::ArenaDocument doc,
+                        const std::string& raw_body, bool wait);
+
+  /// True when ingest should parse through the streaming reader
+  /// (`SourceOptions::streaming_parse`) — the HTTP layer picks its
+  /// parser off this.
+  bool streaming_ingest() const { return source_options_.streaming_parse; }
 
   /// Pre-parse admission check for one document body: true when `bytes`
   /// fits the resolved tenant's document-size quota. A rejection counts
@@ -391,7 +401,11 @@ class SourceManager {
 
  private:
   struct PendingDoc {
+    /// Exactly one representation is live: `arena` when the streaming
+    /// reader parsed the body (`doc` is then an empty placeholder),
+    /// else `doc`.
     xml::Document doc;
+    std::optional<xml::ArenaDocument> arena;
     std::chrono::steady_clock::time_point enqueued;
     std::shared_ptr<IngestWaiter> waiter;  // null for fire-and-forget
     uint64_t lsn = 0;                      // 0 when the WAL is disabled
@@ -495,8 +509,15 @@ class SourceManager {
   /// status `DtdNamesFor` documents.
   static Status UnresolvedTenantError(const std::string& tenant);
   /// Ingest routing: like ResolveReadShard but anonymous traffic with
-  /// no "default" shard falls through to the consistent-hash ring.
-  Shard* RouteIngest(const std::string& tenant, const xml::Document& doc);
+  /// no "default" shard falls through to the consistent-hash ring
+  /// (keyed by the document's root tag).
+  Shard* RouteIngest(const std::string& tenant, std::string_view root_tag);
+
+  /// Representation-independent tail of `Enqueue`: admission, WAL
+  /// append and queue insertion for an already-built `PendingDoc`.
+  EnqueueResult EnqueuePending(const std::string& tenant, PendingDoc pending,
+                               std::string_view root_tag,
+                               const std::string& raw_body, bool wait);
 
   Status StartShard(Shard& shard, obs::Registry* registry);
   void WireShardMetrics(Shard& shard, obs::Registry* registry);
@@ -531,6 +552,10 @@ class SourceManager {
 
   /// Process-wide shared scoring infrastructure.
   std::unique_ptr<similarity::SubtreeScoreCache> shared_cache_;
+  /// Process-wide classification memo — one structural-dedup budget for
+  /// every shard; safe because entries are keyed by classifier
+  /// set-epoch, and epochs are globally unique.
+  std::unique_ptr<classify::ClassificationMemo> shared_memo_;
   std::optional<util::ThreadPool> pool_;
 
   std::vector<std::unique_ptr<Shard>> shards_;

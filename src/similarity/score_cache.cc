@@ -5,40 +5,20 @@
 #include <string_view>
 
 #include "util/string_util.h"
+#include "xml/fingerprint.h"
 
 namespace dtdevolve::similarity {
 
 namespace {
 
-/// splitmix64-style absorption: deterministic, well-mixed, cheap.
-inline uint64_t Mix64(uint64_t h, uint64_t v) {
-  h += 0x9E3779B97F4A7C15ull + v;
-  h ^= h >> 30;
-  h *= 0xBF58476D1CE4E5B9ull;
-  h ^= h >> 27;
-  h *= 0x94D049BB133111EBull;
-  h ^= h >> 31;
-  return h;
-}
+// The fingerprint primitives live in xml/fingerprint.h so the streaming
+// arena parser can absorb the identical sequence during its single pass.
+using xml::FingerprintMix64;
 
-/// Marker absorbed for a collapsed text run; chosen to never collide with
-/// a small non-negative tag id.
-constexpr uint64_t kPcdataMarker = 0xF1E2D3C4B5A69788ull;
-/// Marker closing a child list, so (a,(b)) and (a,b) hash differently.
-constexpr uint64_t kEndMarker = 0x123456789ABCDEF0ull;
-/// Seed distinguishing string-hashed tag tokens from dense ids.
-constexpr uint64_t kOverflowTagSeed = 0xA24BAED4963EE407ull;
+inline uint64_t Mix64(uint64_t h, uint64_t v) { return FingerprintMix64(h, v); }
 
-/// The value a tag absorbs into the fingerprint. Past the symbol table's
-/// capacity distinct tags share the kNoSymbol sentinel, so the id alone
-/// would fingerprint structurally different subtrees identically and
-/// alias their cached triples — hash the tag string instead.
 inline uint64_t TagToken(const xml::Element& element) {
-  if (element.tag_id() >= 0) {
-    return static_cast<uint64_t>(element.tag_id());
-  }
-  return Mix64(kOverflowTagSeed,
-               std::hash<std::string_view>{}(element.tag()));
+  return xml::FingerprintTagToken(element.tag_id(), element.tag());
 }
 
 }  // namespace
@@ -49,36 +29,19 @@ SubtreeFingerprints::SubtreeFingerprints(const xml::Element& root) {
 }
 
 SubtreeStats SubtreeFingerprints::Compute(const xml::Element& element) {
-  // The two lanes absorb the same values under different seeds; together
-  // they form a 128-bit fingerprint, making accidental collisions across
-  // a cache lifetime negligible.
-  const uint64_t tag_token = TagToken(element);
-  uint64_t hi = Mix64(0x8A5CD789635D2DFFull, tag_token);
-  uint64_t lo = Mix64(0x121FD2155C472F96ull, ~tag_token);
-  uint32_t count = 1;
-  // Mirror the ContentSymbols collapse rules exactly: blank text skipped,
-  // consecutive non-blank text runs count once.
-  bool last_was_text = false;
+  xml::FingerprintAccumulator acc(TagToken(element));
   for (const auto& child : element.children()) {
     if (child->is_element()) {
       SubtreeStats sub = Compute(child->AsElement());
-      hi = Mix64(hi, sub.fp_hi);
-      lo = Mix64(lo, sub.fp_lo);
-      count += sub.element_count;
-      last_was_text = false;
+      acc.AbsorbElement(sub.fp_hi, sub.fp_lo, sub.element_count);
     } else {
       const auto& text = static_cast<const xml::Text&>(*child);
       if (IsBlank(text.value())) continue;
-      if (!last_was_text) {
-        hi = Mix64(hi, kPcdataMarker);
-        lo = Mix64(lo, ~kPcdataMarker);
-      }
-      last_was_text = true;
+      acc.AbsorbText();
     }
   }
-  hi = Mix64(hi, kEndMarker);
-  lo = Mix64(lo, ~kEndMarker);
-  SubtreeStats stats{hi, lo, count};
+  acc.Close();
+  SubtreeStats stats{acc.hi, acc.lo, acc.element_count};
   map_.emplace(&element, stats);
   return stats;
 }

@@ -390,10 +390,11 @@ std::vector<ElementReport> SimilarityEvaluator::EvaluateElements(
           Evaluate(report.global_triple, options_.weights);
     }
     reports.push_back(report);
-    std::vector<const xml::Element*> children = element->ChildElements();
-    for (auto it = children.rbegin(); it != children.rend(); ++it) {
-      stack.push_back(*it);
+    size_t first_child = stack.size();
+    for (const xml::Element& child : element->child_elements()) {
+      stack.push_back(&child);
     }
+    std::reverse(stack.begin() + first_child, stack.end());
   }
   return reports;
 }

@@ -1,6 +1,7 @@
 #include "validate/validator.h"
 
 #include "util/string_util.h"
+#include "util/symbol_table.h"
 
 namespace dtdevolve::validate {
 
@@ -41,6 +42,29 @@ std::vector<int32_t> ContentSymbolIds(const xml::Element& element) {
   return ids;
 }
 
+std::vector<std::string> ContentSymbols(const xml::ArenaElement& element) {
+  std::vector<std::string> symbols;
+  symbols.reserve(element.child_count);
+  for (const xml::ArenaChild& child : element.child_nodes()) {
+    if (child.is_element()) {
+      symbols.emplace_back(child.element->tag);
+    } else {
+      symbols.emplace_back(dtd::kPcdataSymbol);
+    }
+  }
+  return symbols;
+}
+
+std::vector<int32_t> ContentSymbolIds(const xml::ArenaElement& element) {
+  std::vector<int32_t> ids;
+  ids.reserve(element.child_count);
+  const int32_t pcdata = dtd::PcdataSymbolId();
+  for (const xml::ArenaChild& child : element.child_nodes()) {
+    ids.push_back(child.is_element() ? child.element->tag_id : pcdata);
+  }
+  return ids;
+}
+
 Validator::Validator(const dtd::Dtd& dtd) : dtd_(&dtd) {
   for (const std::string& name : dtd.ElementNames()) {
     const dtd::ElementDecl* decl = dtd.FindElement(name);
@@ -50,15 +74,77 @@ Validator::Validator(const dtd::Dtd& dtd) : dtd_(&dtd) {
   }
 }
 
-const dtd::Automaton* Validator::FindAutomaton(const std::string& name) const {
+const dtd::Automaton* Validator::FindAutomaton(std::string_view name) const {
   auto it = automata_.find(name);
   return it == automata_.end() ? nullptr : &it->second;
 }
 
+namespace {
+
+/// Reused per-call scratch for the id-side content sequence: local
+/// validity is probed once per element of every recorded document, so
+/// the hot path must not allocate.
+thread_local std::vector<int32_t> content_ids_scratch;
+
+}  // namespace
+
 bool Validator::ElementLocallyValid(const xml::Element& element) const {
   const dtd::Automaton* automaton = FindAutomaton(element.tag());
   if (automaton == nullptr) return false;
-  return automaton->Accepts(ContentSymbols(element));
+  return ElementLocallyValid(element, *automaton);
+}
+
+bool Validator::ElementLocallyValid(const xml::Element& element,
+                                    const dtd::Automaton& automaton) const {
+  std::vector<int32_t>& ids = content_ids_scratch;
+  ids.clear();
+  const int32_t pcdata = dtd::PcdataSymbolId();
+  bool last_was_text = false;
+  for (const auto& child : element.children()) {
+    if (child->is_element()) {
+      const int32_t id = child->AsElement().tag_id();
+      if (id == util::SymbolTable::kNoSymbol) {
+        // A child tag overflowed the bounded interning table: the
+        // id-side simulation cannot see it, but the declared label
+        // still has a real id, so only the string-side test decides
+        // correctly.
+        return automaton.Accepts(ContentSymbols(element));
+      }
+      ids.push_back(id);
+      last_was_text = false;
+    } else {
+      const auto& text = static_cast<const xml::Text&>(*child);
+      if (IsBlank(text.value())) continue;
+      if (!last_was_text) ids.push_back(pcdata);
+      last_was_text = true;
+    }
+  }
+  return automaton.AcceptsIds(ids.data(), ids.size());
+}
+
+bool Validator::ElementLocallyValid(const xml::ArenaElement& element) const {
+  const dtd::Automaton* automaton = FindAutomaton(element.tag);
+  if (automaton == nullptr) return false;
+  return ElementLocallyValid(element, *automaton);
+}
+
+bool Validator::ElementLocallyValid(const xml::ArenaElement& element,
+                                    const dtd::Automaton& automaton) const {
+  std::vector<int32_t>& ids = content_ids_scratch;
+  ids.clear();
+  const int32_t pcdata = dtd::PcdataSymbolId();
+  for (const xml::ArenaChild& child : element.child_nodes()) {
+    if (!child.is_element()) {
+      ids.push_back(pcdata);
+      continue;
+    }
+    if (child.element->tag_id == util::SymbolTable::kNoSymbol) {
+      // Same overflow fallback as the DOM side.
+      return automaton.Accepts(ContentSymbols(element));
+    }
+    ids.push_back(child.element->tag_id);
+  }
+  return automaton.AcceptsIds(ids.data(), ids.size());
 }
 
 void Validator::CheckAttributes(const xml::Element& element,
@@ -122,9 +208,9 @@ void Validator::ValidateRec(const xml::Element& element,
   }
   CheckAttributes(element, path, result);
   size_t child_index = 0;
-  for (const xml::Element* child : element.ChildElements()) {
-    ValidateRec(*child,
-                path + "/" + child->tag() + "[" +
+  for (const xml::Element& child : element.child_elements()) {
+    ValidateRec(child,
+                path + "/" + child.tag() + "[" +
                     std::to_string(child_index++) + "]",
                 result);
   }

@@ -1,12 +1,15 @@
 #ifndef DTDEVOLVE_VALIDATE_VALIDATOR_H_
 #define DTDEVOLVE_VALIDATE_VALIDATOR_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dtd/dtd.h"
 #include "dtd/glushkov.h"
+#include "xml/arena.h"
 #include "xml/document.h"
 
 namespace dtdevolve::validate {
@@ -56,17 +59,43 @@ class Validator {
   /// of the paper's *local* similarity.)
   bool ElementLocallyValid(const xml::Element& element) const;
 
+  /// Arena twin of the local check, used by the streaming parse path.
+  /// Runs the id-side subset simulation (`Automaton::AcceptsIds`) over
+  /// the arena's interned child tags, falling back to the string-side
+  /// test when any child tag failed bounded interning (an unresolved
+  /// `util::kNoSymbol` id must not be mistaken for "label absent" —
+  /// the declared label always carries a real id). Decision-equivalent
+  /// to the DOM overload on structurally equal trees.
+  bool ElementLocallyValid(const xml::ArenaElement& element) const;
+
+  /// Pre-resolved twins: the caller already holds the element's content
+  /// automaton (from `AutomatonFor`), so the per-element name lookup is
+  /// skipped. Same decision as the name-resolving overloads.
+  bool ElementLocallyValid(const xml::Element& element,
+                           const dtd::Automaton& automaton) const;
+  bool ElementLocallyValid(const xml::ArenaElement& element,
+                           const dtd::Automaton& automaton) const;
+
+  /// Content automaton of a declared element, or null when the element
+  /// has no declaration (or no content model). Stable for the
+  /// validator's lifetime — callers may cache the pointer.
+  const dtd::Automaton* AutomatonFor(std::string_view name) const {
+    return FindAutomaton(name);
+  }
+
   const dtd::Dtd& dtd() const { return *dtd_; }
 
  private:
   void ValidateRec(const xml::Element& element, const std::string& path,
                    ValidationResult& result) const;
-  const dtd::Automaton* FindAutomaton(const std::string& name) const;
+  const dtd::Automaton* FindAutomaton(std::string_view name) const;
   void CheckAttributes(const xml::Element& element, const std::string& path,
                        ValidationResult& result) const;
 
   const dtd::Dtd* dtd_;
-  std::map<std::string, dtd::Automaton> automata_;
+  /// Transparent comparator so the arena path looks up by string_view
+  /// without materializing a key.
+  std::map<std::string, dtd::Automaton, std::less<>> automata_;
 };
 
 /// Convenience: symbol sequence of an element's direct content — child
@@ -77,6 +106,13 @@ std::vector<std::string> ContentSymbols(const xml::Element& element);
 /// symbol ids (`dtd::PcdataSymbolId()` for text runs). The similarity hot
 /// path uses this form to avoid string copies entirely.
 std::vector<int32_t> ContentSymbolIds(const xml::Element& element);
+
+/// Arena overloads. Arena trees store only non-blank text with
+/// consecutive runs pre-merged at parse time, so every text child emits
+/// exactly one `kPcdataSymbol` — the same collapsed sequence the DOM
+/// overloads produce on the equivalent tree.
+std::vector<std::string> ContentSymbols(const xml::ArenaElement& element);
+std::vector<int32_t> ContentSymbolIds(const xml::ArenaElement& element);
 
 }  // namespace dtdevolve::validate
 

@@ -1,0 +1,98 @@
+#include "xml/arena.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+namespace dtdevolve::xml {
+
+namespace {
+
+/// Bounded thread-local free list of default-size chunks. A chunk is
+/// plain memory, so it may be released on a different thread than it was
+/// acquired on (documents move across threads in the server); each
+/// thread's pool simply caps its own retention.
+constexpr size_t kMaxPooledChunks = 32;
+thread_local std::vector<std::unique_ptr<char[]>> chunk_pool;
+
+}  // namespace
+
+Arena::~Arena() {
+  for (Chunk& chunk : chunks_) {
+    if (chunk.data != nullptr && chunk.size == kDefaultChunkBytes &&
+        chunk_pool.size() < kMaxPooledChunks) {
+      chunk_pool.push_back(std::move(chunk.data));
+    }
+  }
+}
+
+void Arena::NewChunk(size_t min_bytes) {
+  size_t size = std::max(kDefaultChunkBytes, min_bytes);
+  Chunk chunk;
+  if (size == kDefaultChunkBytes && !chunk_pool.empty()) {
+    chunk.data = std::move(chunk_pool.back());
+    chunk_pool.pop_back();
+  } else {
+    // Uninitialized on purpose: every byte handed out is written before
+    // it is read (tree nodes are placement-new'd, strings memcpy'd).
+    chunk.data = std::unique_ptr<char[]>(new char[size]);
+  }
+  chunk.size = size;
+  cursor_ = chunk.data.get();
+  remaining_ = size;
+  bytes_reserved_ += size;
+  chunks_.push_back(std::move(chunk));
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  if (bytes == 0) bytes = 1;
+  size_t padding =
+      (align - reinterpret_cast<uintptr_t>(cursor_) % align) % align;
+  if (padding + bytes > remaining_) {
+    NewChunk(bytes + align);
+    padding = (align - reinterpret_cast<uintptr_t>(cursor_) % align) % align;
+  }
+  cursor_ += padding;
+  remaining_ -= padding;
+  void* result = cursor_;
+  cursor_ += bytes;
+  remaining_ -= bytes;
+  bytes_allocated_ += bytes;
+  return result;
+}
+
+std::string_view Arena::CopyString(std::string_view text) {
+  if (text.empty()) return {};
+  char* storage = AllocateArray<char>(text.size());
+  std::memcpy(storage, text.data(), text.size());
+  return {storage, text.size()};
+}
+
+namespace {
+
+std::unique_ptr<Element> MaterializeElement(const ArenaElement& element) {
+  auto out = std::make_unique<Element>(std::string(element.tag));
+  for (const ArenaAttribute& attr : element.attributes()) {
+    out->AddAttribute(std::string(attr.name), std::string(attr.value));
+  }
+  for (const ArenaChild& child : element.child_nodes()) {
+    if (child.is_element()) {
+      out->AddChild(MaterializeElement(*child.element));
+    } else {
+      out->AddText(std::string(child.text));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Document ArenaDocument::ToDocument() const {
+  Document doc;
+  doc.set_doctype_name(std::string(doctype_name_));
+  doc.set_internal_subset(std::string(internal_subset_));
+  if (root_ != nullptr) doc.set_root(MaterializeElement(*root_));
+  return doc;
+}
+
+}  // namespace dtdevolve::xml

@@ -131,12 +131,14 @@ Document Document::Clone() const {
 bool StructurallyEqual(const Element& a, const Element& b) {
   if (a.tag() != b.tag()) return false;
   if (a.attributes() != b.attributes()) return false;
-  std::vector<const Element*> ea = a.ChildElements();
-  std::vector<const Element*> eb = b.ChildElements();
-  if (ea.size() != eb.size()) return false;
-  for (size_t i = 0; i < ea.size(); ++i) {
-    if (!StructurallyEqual(*ea[i], *eb[i])) return false;
+  Element::ChildElementRange ra = a.child_elements();
+  Element::ChildElementRange rb = b.child_elements();
+  auto ia = ra.begin();
+  auto ib = rb.begin();
+  for (; ia != ra.end() && ib != rb.end(); ++ia, ++ib) {
+    if (!StructurallyEqual(*ia, *ib)) return false;
   }
+  if (ia != ra.end() || ib != rb.end()) return false;
   return StripWhitespace(a.TextContent()) == StripWhitespace(b.TextContent());
 }
 

@@ -119,6 +119,51 @@ class Element : public Node {
   std::vector<const Element*> ChildElements() const;
   std::vector<Element*> ChildElements();
 
+  /// Allocation-free iteration over direct child elements — the hot-loop
+  /// replacement for `ChildElements()`, which materializes a fresh
+  /// vector on every call.
+  class ChildElementIterator {
+   public:
+    ChildElementIterator(const std::unique_ptr<Node>* pos,
+                         const std::unique_ptr<Node>* end)
+        : pos_(pos), end_(end) {
+      SkipText();
+    }
+    const Element& operator*() const { return (*pos_)->AsElement(); }
+    const Element* operator->() const { return &(*pos_)->AsElement(); }
+    ChildElementIterator& operator++() {
+      ++pos_;
+      SkipText();
+      return *this;
+    }
+    friend bool operator==(const ChildElementIterator& a,
+                           const ChildElementIterator& b) {
+      return a.pos_ == b.pos_;
+    }
+
+   private:
+    void SkipText() {
+      while (pos_ != end_ && !(*pos_)->is_element()) ++pos_;
+    }
+    const std::unique_ptr<Node>* pos_;
+    const std::unique_ptr<Node>* end_;
+  };
+  class ChildElementRange {
+   public:
+    ChildElementRange(const std::unique_ptr<Node>* begin,
+                      const std::unique_ptr<Node>* end)
+        : begin_(begin), end_(end) {}
+    ChildElementIterator begin() const { return {begin_, end_}; }
+    ChildElementIterator end() const { return {end_, end_}; }
+
+   private:
+    const std::unique_ptr<Node>* begin_;
+    const std::unique_ptr<Node>* end_;
+  };
+  ChildElementRange child_elements() const {
+    return {children_.data(), children_.data() + children_.size()};
+  }
+
   /// The paper's function αβ: the *set* of tags of direct subelements.
   std::set<std::string> ChildTagSet() const;
   /// Tags of direct subelements in document order (with repetitions).

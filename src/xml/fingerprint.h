@@ -1,0 +1,96 @@
+#ifndef DTDEVOLVE_XML_FINGERPRINT_H_
+#define DTDEVOLVE_XML_FINGERPRINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace dtdevolve::xml {
+
+// Primitives of the 128-bit structural subtree fingerprint. Both tree
+// representations hash with these — `similarity::SubtreeFingerprints`
+// walking a DOM bottom-up, and the streaming arena parser accumulating
+// per-frame during the scan — and the two MUST stay bit-identical: the
+// score cache and the classification memo key on the fingerprint, so a
+// divergence would silently alias entries across parse paths. The
+// differential oracle's parse-path invariant asserts the equality on
+// every scenario document.
+
+/// splitmix64-style absorption: deterministic, well-mixed, cheap.
+inline uint64_t FingerprintMix64(uint64_t h, uint64_t v) {
+  h += 0x9E3779B97F4A7C15ull + v;
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return h;
+}
+
+/// Marker absorbed for a collapsed text run; chosen to never collide with
+/// a small non-negative tag id.
+inline constexpr uint64_t kFingerprintPcdataMarker = 0xF1E2D3C4B5A69788ull;
+/// Marker closing a child list, so (a,(b)) and (a,b) hash differently.
+inline constexpr uint64_t kFingerprintEndMarker = 0x123456789ABCDEF0ull;
+/// Seed distinguishing string-hashed tag tokens from dense ids.
+inline constexpr uint64_t kFingerprintOverflowTagSeed = 0xA24BAED4963EE407ull;
+/// Seeds of the two independent lanes; together they form the 128-bit
+/// fingerprint, making accidental collisions across a cache lifetime
+/// negligible.
+inline constexpr uint64_t kFingerprintHiSeed = 0x8A5CD789635D2DFFull;
+inline constexpr uint64_t kFingerprintLoSeed = 0x121FD2155C472F96ull;
+
+/// The value a tag absorbs into the fingerprint. Past the symbol table's
+/// capacity distinct tags share the kNoSymbol sentinel, so the id alone
+/// would fingerprint structurally different subtrees identically and
+/// alias their cached triples — hash the tag string instead.
+inline uint64_t FingerprintTagToken(int32_t tag_id, std::string_view tag) {
+  if (tag_id >= 0) {
+    return static_cast<uint64_t>(tag_id);
+  }
+  return FingerprintMix64(kFingerprintOverflowTagSeed,
+                          std::hash<std::string_view>{}(tag));
+}
+
+/// Running fingerprint of one element whose children arrive in document
+/// order — the streaming-pass form of `SubtreeFingerprints::Compute`.
+/// Usage: construct from the tag token when the element opens, absorb
+/// each child as it closes (`AbsorbElement` / `AbsorbText`, blank text
+/// already dropped by the caller), then `Close()` once.
+struct FingerprintAccumulator {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+  uint32_t element_count = 1;
+  bool last_was_text = false;
+
+  explicit FingerprintAccumulator(uint64_t tag_token)
+      : hi(FingerprintMix64(kFingerprintHiSeed, tag_token)),
+        lo(FingerprintMix64(kFingerprintLoSeed, ~tag_token)) {}
+
+  void AbsorbElement(uint64_t child_hi, uint64_t child_lo,
+                     uint32_t child_count) {
+    hi = FingerprintMix64(hi, child_hi);
+    lo = FingerprintMix64(lo, child_lo);
+    element_count += child_count;
+    last_was_text = false;
+  }
+
+  /// Mirror the ContentSymbols collapse rules exactly: blank text skipped
+  /// (caller's job), consecutive non-blank text runs count once.
+  void AbsorbText() {
+    if (!last_was_text) {
+      hi = FingerprintMix64(hi, kFingerprintPcdataMarker);
+      lo = FingerprintMix64(lo, ~kFingerprintPcdataMarker);
+    }
+    last_was_text = true;
+  }
+
+  void Close() {
+    hi = FingerprintMix64(hi, kFingerprintEndMarker);
+    lo = FingerprintMix64(lo, ~kFingerprintEndMarker);
+  }
+};
+
+}  // namespace dtdevolve::xml
+
+#endif  // DTDEVOLVE_XML_FINGERPRINT_H_

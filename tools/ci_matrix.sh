@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Sanitizer CI matrix: builds the tree under ASan+UBSan and TSan and runs
-# the `oracle`, `concurrency`, `durability`, `induction`, `replication`
-# and `overload` ctest labels — the suites that replay the differential,
-# crash-recovery, replication and overload oracles and fan out threads,
-# where sanitizer findings actually live. Every configuration is
+# the `oracle`, `concurrency`, `durability`, `induction`, `replication`,
+# `overload` and `parsepath` ctest labels — the suites that replay the
+# differential, crash-recovery, replication, overload and parse-path
+# oracles and fan out threads, where sanitizer findings actually live. Every configuration is
 # a CMake preset (CMakePresets.json), so a single leg is reproducible by
 # hand:
 #

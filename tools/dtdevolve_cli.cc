@@ -86,7 +86,10 @@ int Usage() {
                "  dtdevolve evolve     <dtd> [--sigma S] [--tau T] "
                "[--psi P] [--mu M] [--jobs N]\n"
                "                       [--score-cache-mb N] "
-               "[--no-score-cache] <xml>...\n"
+               "[--no-score-cache]\n"
+               "                       [--classification-memo-mb N] "
+               "[--no-classification-memo]\n"
+               "                       [--no-streaming-parse] <xml>...\n"
                "  dtdevolve adapt      <dtd> <xml>\n"
                "  dtdevolve induce     <dtd> [--sigma S] [--jobs N] "
                "[--merge-threshold M]\n"
@@ -106,6 +109,9 @@ int Usage() {
                "[--idle-timeout S]\n"
                "                       [--score-cache-mb N] "
                "[--no-score-cache]\n"
+               "                       [--classification-memo-mb N] "
+               "[--no-classification-memo]\n"
+               "                       [--no-streaming-parse]\n"
                "                       [--tenants LIST|N] "
                "[--tenant-config FILE]\n"
                "                       [--auto-induce-threshold N]\n"
@@ -125,7 +131,7 @@ int Usage() {
                "                       [--crash-recovery] [--crash-points N] "
                "[--checkpoint-every K]\n"
                "                       [--induction] [--replication] "
-               "[--overload]\n");
+               "[--overload] [--parse-path]\n");
   return 1;
 }
 
@@ -309,6 +315,26 @@ int CmdEvolve(std::vector<std::string> args) {
     }
     if (args[i] == "--no-score-cache") {
       options.classifier.enable_score_cache = false;
+      continue;
+    }
+    if (args[i] == "--classification-memo-mb") {
+      long mb = 0;
+      if (i + 1 >= args.size() || !ParseLong(args[i + 1], &mb) || mb < 0) {
+        return Usage();
+      }
+      ++i;
+      // 0 MB means no memo at all, same as --no-classification-memo.
+      options.classifier.enable_classification_memo = mb > 0;
+      options.classifier.classification_memo_bytes = static_cast<size_t>(mb)
+                                                     << 20;
+      continue;
+    }
+    if (args[i] == "--no-classification-memo") {
+      options.classifier.enable_classification_memo = false;
+      continue;
+    }
+    if (args[i] == "--no-streaming-parse") {
+      options.streaming_parse = false;
       continue;
     }
     if (IsFlag(args[i])) return UnknownFlag(args[i]);
@@ -763,6 +789,22 @@ int CmdServe(std::vector<std::string> args) {
       source_options.classifier.enable_score_cache = false;
       continue;
     }
+    if (nonnegative_long("--classification-memo-mb", &value)) {
+      if (bad_value) return Usage();
+      // 0 MB means no memo at all, same as --no-classification-memo.
+      source_options.classifier.enable_classification_memo = value > 0;
+      source_options.classifier.classification_memo_bytes =
+          static_cast<size_t>(value) << 20;
+      continue;
+    }
+    if (args[i] == "--no-classification-memo") {
+      source_options.classifier.enable_classification_memo = false;
+      continue;
+    }
+    if (args[i] == "--no-streaming-parse") {
+      source_options.streaming_parse = false;
+      continue;
+    }
     if (nonnegative_long("--auto-induce-threshold", &value)) {
       if (bad_value) return Usage();
       server_options.auto_induce_threshold = static_cast<size_t>(value);
@@ -933,10 +975,12 @@ int CmdCheck(std::vector<std::string> args) {
   dtdevolve::check::InductionOracleOptions induction_options;
   dtdevolve::check::ReplicationOracleOptions replication_options;
   dtdevolve::check::OverloadOracleOptions overload_options;
+  dtdevolve::check::ParsePathOracleOptions parse_path_options;
   bool crash_recovery = false;
   bool induction = false;
   bool replication = false;
   bool overload = false;
+  bool parse_path = false;
   bool minimize = true;
   for (size_t i = 0; i < args.size(); ++i) {
     bool bad_value = false;
@@ -957,6 +1001,7 @@ int CmdCheck(std::vector<std::string> args) {
       induction_options.scenarios = static_cast<uint64_t>(value);
       replication_options.scenarios = static_cast<uint64_t>(value);
       overload_options.scenarios = static_cast<uint64_t>(value);
+      parse_path_options.scenarios = static_cast<uint64_t>(value);
       continue;
     }
     if (long_value("--seed", 0, &value)) {
@@ -966,6 +1011,7 @@ int CmdCheck(std::vector<std::string> args) {
       induction_options.seed = static_cast<uint64_t>(value);
       replication_options.seed = static_cast<uint64_t>(value);
       overload_options.seed = static_cast<uint64_t>(value);
+      parse_path_options.seed = static_cast<uint64_t>(value);
       continue;
     }
     if (long_value("--max-documents", 0, &value)) {
@@ -975,6 +1021,7 @@ int CmdCheck(std::vector<std::string> args) {
       induction_options.max_documents = static_cast<uint64_t>(value);
       replication_options.max_documents = static_cast<uint64_t>(value);
       overload_options.max_documents = static_cast<uint64_t>(value);
+      parse_path_options.max_documents = static_cast<uint64_t>(value);
       continue;
     }
     if (long_value("--max-failures", 1, &value)) {
@@ -984,6 +1031,7 @@ int CmdCheck(std::vector<std::string> args) {
       induction_options.max_failures = static_cast<uint64_t>(value);
       replication_options.max_failures = static_cast<uint64_t>(value);
       overload_options.max_failures = static_cast<uint64_t>(value);
+      parse_path_options.max_failures = static_cast<uint64_t>(value);
       continue;
     }
     if (long_value("--crash-points", 0, &value)) {
@@ -1009,6 +1057,10 @@ int CmdCheck(std::vector<std::string> args) {
       overload = true;
       continue;
     }
+    if (args[i] == "--parse-path") {
+      parse_path = true;
+      continue;
+    }
     if (args[i] == "--induction") {
       induction = true;
       continue;
@@ -1023,6 +1075,17 @@ int CmdCheck(std::vector<std::string> args) {
     }
     if (IsFlag(args[i])) return UnknownFlag(args[i]);
     return Usage();  // check takes no positional arguments
+  }
+
+  if (parse_path) {
+    // Streaming-vs-DOM parse-path equivalence, including sampled
+    // crash-recovery scenarios (WAL replay must hit the same code path).
+    dtdevolve::check::ParsePathOracleReport parse_path_report =
+        dtdevolve::check::RunParsePathOracle(parse_path_options);
+    std::printf(
+        "%s",
+        dtdevolve::check::FormatParsePathReport(parse_path_report).c_str());
+    return parse_path_report.ok() ? 0 : 2;
   }
 
   if (overload) {

@@ -5,10 +5,12 @@
 #
 #   * the fast path no longer classifies identically to the disabled
 #     fast path (outcome_mismatches != 0), or
+#   * the streaming parse path no longer ingests identically to the DOM
+#     reference path (ingest_outcome_mismatches != 0), or
 #   * throughput regressed by more than 2x against the committed
-#     baseline's docs_per_second (absolute numbers shift between
-#     machines; a >2x drop on the same fixed workload is a real
-#     regression, not noise).
+#     baseline's docs_per_second or ingest_docs_per_second (absolute
+#     numbers shift between machines; a >2x drop on the same fixed
+#     workload is a real regression, not noise).
 #
 # A second leg drives bench_server's mixed multi-tenant load (4 shards,
 # fixed seed) against the committed BENCH_server.json: every request
@@ -76,6 +78,34 @@ awk -v cur="$current" -v base="$baseline" 'BEGIN {
     exit 2
   }
 }'
+
+# --- Parse-path ingest leg: streaming default vs DOM reference ----------
+
+ingest_current=$(json_field BENCH_classification.json ingest_docs_per_second)
+ingest_mismatches=$(json_field BENCH_classification.json ingest_outcome_mismatches)
+ingest_baseline=$(json_field "$BASELINE" ingest_docs_per_second)
+
+if [ -n "$ingest_current" ]; then
+  echo "perf_smoke: ingest docs/sec current=$ingest_current" \
+       "baseline=${ingest_baseline:-none} mismatches=$ingest_mismatches"
+
+  if [ "$ingest_mismatches" != "0" ]; then
+    echo "perf_smoke: FAIL — streaming ingest diverged from DOM reference" >&2
+    exit 2
+  fi
+  # Baseline field may be absent until the first re-baselined commit.
+  if [ -n "$ingest_baseline" ]; then
+    awk -v cur="$ingest_current" -v base="$ingest_baseline" 'BEGIN {
+      if (cur * 2 < base) {
+        printf "perf_smoke: FAIL — ingest throughput regressed >2x (%.0f vs %.0f)\n",
+               cur, base > "/dev/stderr"
+        exit 2
+      }
+    }'
+  fi
+else
+  echo "perf_smoke: skipping ingest leg (no ingest fields in bench output)"
+fi
 
 # --- Server leg: mixed multi-tenant ingest over loopback ----------------
 
